@@ -1,0 +1,122 @@
+(* Benchmark entry point.
+
+   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|micro|all] [--quick]
+
+   Each figN target regenerates the corresponding figure of the paper's
+   evaluation section (§6) at a scaled-down workload (see DESIGN.md §4-5 and
+   EXPERIMENTS.md); [micro] runs Bechamel micro-benchmarks of the kernel
+   operations. No argument runs everything. *)
+
+open Bechamel
+
+let micro ppf =
+  Format.fprintf ppf "@.=== Micro-benchmarks (Bechamel, ns/run) ===@.";
+  let scale = { Experiments.quick_scale with db_size = 20 } in
+  let ds =
+    Generator.generate
+      {
+        Generator.default_params with
+        num_graphs = scale.Experiments.db_size;
+        min_vertices = 10;
+        max_vertices = 14;
+        motif_edges = 6;
+        seed = 2012;
+      }
+  in
+  let g = ds.Generator.graphs.(0) in
+  let gc = Pgraph.skeleton g in
+  let rng = Psst_util.Prng.make 1 in
+  let q, _ = Generator.extract_query rng ds ~edges:5 in
+  let relaxed, _ = Relax.relaxed_set q ~delta:1 in
+  let skeletons = Array.map Pgraph.skeleton ds.Generator.graphs in
+  let features =
+    Selection.select skeletons { Selection.default_params with max_edges = 2 }
+  in
+  let feature =
+    (List.find
+       (fun (f : Selection.feature) -> Lgraph.num_edges f.graph >= 1)
+       features)
+      .graph
+  in
+  let clique_graph =
+    let n = 14 in
+    let weights = Array.init n (fun i -> 0.1 +. float_of_int (i mod 5)) in
+    let edges = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if (u + v) mod 3 <> 0 then edges := (u, v) :: !edges
+      done
+    done;
+    Mwc.make ~weights ~edges:!edges
+  in
+  let smp_rng = Psst_util.Prng.make 5 in
+  let smp_cfg = { Verify.default_config with tau = 0.25 } in
+  let tests =
+    Test.make_grouped ~name:"psst"
+      [
+        Test.make ~name:"vf2-exists" (Staged.stage (fun () -> Vf2.exists q gc));
+        Test.make ~name:"vf2-embeddings"
+          (Staged.stage (fun () -> Vf2.distinct_embeddings ~cap:32 feature gc));
+        Test.make ~name:"sample-world"
+          (Staged.stage (fun () -> Pgraph.sample_world smp_rng g));
+        Test.make ~name:"world-prob"
+          (Staged.stage
+             (let mask, _, _ = Pgraph.sample_world smp_rng g in
+              fun () -> Pgraph.world_prob g mask));
+        Test.make ~name:"max-weight-clique"
+          (Staged.stage (fun () -> Mwc.max_weight_clique clique_graph));
+        Test.make ~name:"canonical-code" (Staged.stage (fun () -> Canon.code q));
+        Test.make ~name:"mcs-distance"
+          (Staged.stage (fun () -> Distance.within q gc ~delta:1));
+        Test.make ~name:"smp-verify"
+          (Staged.stage (fun () -> Verify.smp ~config:smp_cfg smp_rng g relaxed));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns =
+          match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) -> Format.fprintf ppf "%-30s %14.1f ns/run@." name ns)
+    rows
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let scale =
+    if quick then Experiments.quick_scale else Experiments.default_scale
+  in
+  let targets =
+    List.filter (fun a -> a <> "--quick") args
+    |> function [] -> [ "all" ] | l -> l
+  in
+  let ppf = Format.std_formatter in
+  let run = function
+    | "fig9" -> Experiments.fig9 ~scale ppf
+    | "fig10" -> Experiments.fig10 ~scale ppf
+    | "fig11" -> Experiments.fig11 ~scale ppf
+    | "fig12" -> Experiments.fig12 ~scale ppf
+    | "fig13" -> Experiments.fig13 ~scale ppf
+    | "fig14" -> Experiments.fig14 ~scale ppf
+    | "ablation" | "ablations" -> Experiments.ablations ~scale ppf
+    | "micro" -> micro ppf
+    | "all" ->
+      Experiments.all ~scale ppf;
+      micro ppf
+    | other ->
+      Format.fprintf ppf "unknown target %S (expected fig9..fig14, ablation, micro, all)@."
+        other;
+      exit 2
+  in
+  List.iter run targets;
+  Format.pp_print_flush ppf ()

@@ -1,0 +1,259 @@
+(* psst — command-line front end for the probabilistic subgraph similarity
+   search library.
+
+   Subcommands:
+     generate    synthesise a STRING-like probabilistic graph corpus and
+                 print its statistics
+     query       run T-PS queries end to end on a synthetic corpus
+     experiment  regenerate one of the paper's figures
+     micro       (see bench/main.exe) *)
+
+open Cmdliner
+
+let scale_of n queries seed =
+  { Experiments.db_size = n; queries_per_point = queries; seed }
+
+(* --- generate --- *)
+
+let generate num_graphs organisms seed verbose output =
+  let params =
+    {
+      Generator.default_params with
+      num_graphs;
+      num_organisms = organisms;
+      seed;
+    }
+  in
+  let ds = Generator.generate params in
+  Printf.printf "generated %d probabilistic graphs over %d organisms (seed %d)\n"
+    (Array.length ds.graphs) organisms seed;
+  let total_v = ref 0 and total_e = ref 0 and total_p = ref 0. in
+  Array.iter
+    (fun g ->
+      let gc = Pgraph.skeleton g in
+      total_v := !total_v + Lgraph.num_vertices gc;
+      total_e := !total_e + Lgraph.num_edges gc;
+      List.iter
+        (fun e -> total_p := !total_p +. Pgraph.edge_marginal g e)
+        (Pgraph.uncertain_edges g))
+    ds.graphs;
+  let n = float_of_int (Array.length ds.graphs) in
+  Printf.printf "avg vertices %.1f, avg edges %.1f, avg edge probability %.3f\n"
+    (float_of_int !total_v /. n)
+    (float_of_int !total_e /. n)
+    (!total_p /. float_of_int !total_e);
+  if verbose then
+    Array.iteri
+      (fun i g ->
+        Printf.printf "-- graph %d (organism %d, graft %s)\n%s" i
+          ds.organisms.(i)
+          (match ds.grafts.(i) with Some o -> string_of_int o | None -> "none")
+          (Lgraph.to_string (Pgraph.skeleton g)))
+      ds.graphs;
+  match output with
+  | None -> ()
+  | Some path ->
+    Pgraph_io.save path ds.graphs;
+    Printf.printf "corpus written to %s\n" path
+
+(* --- query --- *)
+
+let corpus_of input num_graphs seed =
+  match input with
+  | Some path ->
+    let graphs = Pgraph_io.load path in
+    Printf.printf "loaded %d graphs from %s\n%!" (Array.length graphs) path;
+    (graphs, None)
+  | None ->
+    let params = { Generator.default_params with num_graphs; seed } in
+    let ds = Generator.generate params in
+    (ds.graphs, Some ds)
+
+let query num_graphs seed qsize nqueries epsilon delta exact_verifier input =
+  let graphs, ds_opt = corpus_of input num_graphs seed in
+  Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
+  let db, t_index = Psst_util.Timer.time (fun () -> Query.index_database graphs) in
+  Printf.printf "indexed in %.2fs: %d features, %d PMI entries\n%!" t_index
+    (List.length db.Query.features)
+    (Pmi.filled_entries db.Query.pmi);
+  let config =
+    {
+      Query.default_config with
+      epsilon;
+      delta;
+      verifier =
+        (if exact_verifier then `Exact else `Smp Verify.default_config);
+    }
+  in
+  let rng = Psst_util.Prng.make (seed + 1) in
+  let ds =
+    match ds_opt with
+    | Some ds -> ds
+    | None ->
+      (* Query extraction needs a dataset wrapper; loaded corpora get a
+         trivial one (organism 0 everywhere). *)
+      {
+        Generator.graphs;
+        organisms = Array.make (Array.length graphs) 0;
+        motifs = [||];
+        grafts = Array.make (Array.length graphs) None;
+        params = Generator.default_params;
+      }
+  in
+  for k = 1 to nqueries do
+    let q, org = Generator.extract_query rng ds ~edges:qsize in
+    let out, t = Psst_util.Timer.time (fun () -> Query.run db q config) in
+    Printf.printf
+      "query %d (organism %d, %d edges): %d answers in %.3fs \
+       [structural %d, pruned %d, accepted %d, verified %d]\n"
+      k org (Lgraph.num_edges q)
+      (List.length out.Query.answers)
+      t out.Query.stats.structural_candidates out.Query.stats.pruned_by_bounds
+      out.Query.stats.accepted_by_bounds out.Query.stats.prob_candidates;
+    Printf.printf "  answers: %s\n"
+      (String.concat ", " (List.map string_of_int out.Query.answers))
+  done
+
+(* --- topk --- *)
+
+let topk num_graphs seed qsize k delta input =
+  let graphs, ds_opt = corpus_of input num_graphs seed in
+  let db = Query.index_database graphs in
+  let ds =
+    match ds_opt with
+    | Some ds -> ds
+    | None ->
+      {
+        Generator.graphs;
+        organisms = Array.make (Array.length graphs) 0;
+        motifs = [||];
+        grafts = Array.make (Array.length graphs) None;
+        params = Generator.default_params;
+      }
+  in
+  let rng = Psst_util.Prng.make (seed + 1) in
+  let q, org = Generator.extract_query rng ds ~edges:qsize in
+  Printf.printf "top-%d query (organism %d, %d edges, delta %d):\n" k org
+    (Lgraph.num_edges q) delta;
+  let config = { Query.default_config with delta } in
+  let out, t = Psst_util.Timer.time (fun () -> Topk.run db q ~k config) in
+  Printf.printf "answered in %.3fs (%d structural candidates, %d verified, \
+                 %d skipped by bounds)\n"
+    t out.Topk.stats.structural_candidates out.Topk.stats.verified
+    out.Topk.stats.bound_skipped;
+  List.iter
+    (fun (h : Topk.hit) -> Printf.printf "  graph %3d   SSP ~ %.4f\n" h.graph h.ssp)
+    out.Topk.hits
+
+(* --- experiment --- *)
+
+let experiment fig db_size queries seed =
+  let scale = scale_of db_size queries seed in
+  let ppf = Format.std_formatter in
+  (match fig with
+  | "fig9" -> Experiments.fig9 ~scale ppf
+  | "fig10" -> Experiments.fig10 ~scale ppf
+  | "fig11" -> Experiments.fig11 ~scale ppf
+  | "fig12" -> Experiments.fig12 ~scale ppf
+  | "fig13" -> Experiments.fig13 ~scale ppf
+  | "fig14" -> Experiments.fig14 ~scale ppf
+  | "ablation" | "ablations" -> Experiments.ablations ~scale ppf
+  | "all" -> Experiments.all ~scale ppf
+  | other -> Printf.eprintf "unknown figure %S\n" other; exit 2);
+  Format.pp_print_flush ppf ()
+
+(* --- cmdliner wiring --- *)
+
+let seed_arg =
+  Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let num_graphs_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "n"; "num-graphs" ] ~docv:"N" ~doc:"Number of graphs to generate.")
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "input" ] ~docv:"FILE" ~doc:"Load the corpus from a .pgdb archive.")
+
+let generate_cmd =
+  let organisms =
+    Arg.(value & opt int 5 & info [ "organisms" ] ~doc:"Number of organisms.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every skeleton.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the corpus to a .pgdb archive.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesise a probabilistic graph corpus")
+    Term.(const generate $ num_graphs_arg $ organisms $ seed_arg $ verbose $ output)
+
+let query_cmd =
+  let qsize =
+    Arg.(value & opt int 8 & info [ "query-size" ] ~doc:"Query size in edges.")
+  in
+  let nqueries =
+    Arg.(value & opt int 5 & info [ "queries" ] ~doc:"Number of queries to run.")
+  in
+  let epsilon =
+    Arg.(
+      value & opt float 0.5
+      & info [ "epsilon" ] ~doc:"Probability threshold (0 < eps <= 1).")
+  in
+  let delta =
+    Arg.(value & opt int 2 & info [ "delta" ] ~doc:"Subgraph distance threshold.")
+  in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ] ~doc:"Verify candidates exactly instead of sampling.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run T-PS queries end to end")
+    Term.(
+      const query $ num_graphs_arg $ seed_arg $ qsize $ nqueries $ epsilon
+      $ delta $ exact $ input_arg)
+
+let topk_cmd =
+  let qsize =
+    Arg.(value & opt int 8 & info [ "query-size" ] ~doc:"Query size in edges.")
+  in
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of results.") in
+  let delta =
+    Arg.(value & opt int 2 & info [ "delta" ] ~doc:"Subgraph distance threshold.")
+  in
+  Cmd.v
+    (Cmd.info "topk" ~doc:"Top-k probabilistic subgraph similarity search")
+    Term.(const topk $ num_graphs_arg $ seed_arg $ qsize $ k $ delta $ input_arg)
+
+let experiment_cmd =
+  let fig =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIG" ~doc:"One of fig9..fig14 or all.")
+  in
+  let db_size =
+    Arg.(value & opt int 120 & info [ "db-size" ] ~doc:"Corpus size.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 8 & info [ "queries" ] ~doc:"Queries per data point.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper")
+    Term.(const experiment $ fig $ db_size $ queries $ seed_arg)
+
+let main_cmd =
+  let doc = "probabilistic subgraph similarity search (VLDB 2012 reproduction)" in
+  Cmd.group (Cmd.info "psst" ~doc)
+    [ generate_cmd; query_cmd; topk_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

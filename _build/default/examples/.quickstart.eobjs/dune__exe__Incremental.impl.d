@@ -1,0 +1,1 @@
+examples/incremental.ml: Array Filename Generator Lgraph List Pgraph Pgraph_io Pmi Printf Psst_util Query String Sys Topk

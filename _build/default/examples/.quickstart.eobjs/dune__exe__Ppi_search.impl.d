@@ -1,0 +1,1 @@
+examples/ppi_search.ml: Array Generator Lgraph List Pmi Printf Psst_util Query String

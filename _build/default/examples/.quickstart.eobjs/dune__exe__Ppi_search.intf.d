@@ -1,0 +1,1 @@
+examples/ppi_search.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Factor Lgraph List Pgraph Printf Psst_util Query Relax String Verify

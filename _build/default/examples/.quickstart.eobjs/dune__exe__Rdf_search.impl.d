@@ -1,0 +1,1 @@
+examples/rdf_search.ml: Array Factor Lgraph List Pgraph Printf Query Relax String Verify

@@ -1,0 +1,1 @@
+examples/road_network.ml: Array Factor Lgraph List Pgraph Printf Psst_util Query Relax String Verify

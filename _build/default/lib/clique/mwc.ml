@@ -1,0 +1,91 @@
+module Bitset = Psst_util.Bitset
+
+type graph = { weights : float array; adj : Bitset.t array }
+
+let make ~weights ~edges =
+  let n = Array.length weights in
+  if Array.exists (fun w -> w < 0. || Float.is_nan w) weights then
+    invalid_arg "Mwc.make: negative weight";
+  let adj = Array.init n (fun _ -> Bitset.create n) in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Mwc.make: endpoint out of range";
+      if u = v then invalid_arg "Mwc.make: self loop";
+      Bitset.add adj.(u) v;
+      Bitset.add adj.(v) u)
+    edges;
+  { weights; adj }
+
+let num_vertices g = Array.length g.weights
+
+let is_clique g vs =
+  let rec go = function
+    | [] -> true
+    | v :: rest ->
+      List.for_all (fun w -> Bitset.mem g.adj.(v) w) rest && go rest
+  in
+  go vs
+
+let greedy_clique g =
+  let n = num_vertices g in
+  let order = List.init n (fun i -> i) in
+  let order =
+    List.sort (fun a b -> compare g.weights.(b) g.weights.(a)) order
+  in
+  let clique = ref [] and weight = ref 0. in
+  List.iter
+    (fun v ->
+      if List.for_all (fun u -> Bitset.mem g.adj.(v) u) !clique then begin
+        clique := v :: !clique;
+        weight := !weight +. g.weights.(v)
+      end)
+    order;
+  (List.rev !clique, !weight)
+
+let max_weight_clique ?(node_budget = 200_000) g =
+  let n = num_vertices g in
+  if n = 0 then ([], 0.)
+  else begin
+    let best_clique = ref [] and best_weight = ref 0. in
+    (let c, w = greedy_clique g in
+     best_clique := c;
+     best_weight := w);
+    let nodes = ref 0 in
+    let exception Budget in
+    (* Candidates kept as a bitset; branch on the heaviest candidate. *)
+    let rec expand current current_w cands =
+      incr nodes;
+      if !nodes > node_budget then raise Budget;
+      let remaining = Bitset.fold (fun v acc -> acc +. g.weights.(v)) cands 0. in
+      if current_w +. remaining > !best_weight +. 1e-15 then begin
+        match
+          Bitset.fold
+            (fun v best ->
+              match best with
+              | Some u when g.weights.(u) >= g.weights.(v) -> best
+              | _ -> Some v)
+            cands None
+        with
+        | None ->
+          if current_w > !best_weight then begin
+            best_weight := current_w;
+            best_clique := current
+          end
+        | Some v ->
+          (* Include v. *)
+          let cands_v = Bitset.inter cands g.adj.(v) in
+          expand (v :: current) (current_w +. g.weights.(v)) cands_v;
+          (* Exclude v. *)
+          let cands' = Bitset.copy cands in
+          Bitset.remove cands' v;
+          expand current current_w cands'
+      end
+      else if current_w > !best_weight then begin
+        best_weight := current_w;
+        best_clique := current
+      end
+    in
+    (try expand [] 0. (Bitset.full n) with Budget -> ());
+    (List.sort compare !best_clique, !best_weight)
+  end

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Array Embedding Float Lgraph List Mwc Pgraph Psst_util Transversal Velim Vf2

@@ -1,0 +1,1 @@
+lib/core/pmi.ml: Array Bounds Domain Format Lazy Lgraph List Logs Pgraph Psst_util Selection Vf2

@@ -1,0 +1,1 @@
+lib/core/pmi.mli: Bounds Format Pgraph Selection

@@ -1,0 +1,1 @@
+lib/core/pruning.ml: Array Bounds Float Hashtbl List Pmi Psst_util Qp Rounding Selection Set_cover Vf2

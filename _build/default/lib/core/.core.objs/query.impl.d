@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Bounds Distance Lgraph List Logs Pgraph Pmi Pruning Psst_util Relax Selection Structural Verify Vf2

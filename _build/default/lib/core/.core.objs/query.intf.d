@@ -1,0 +1,1 @@
+lib/core/query.mli: Bounds Lgraph Pgraph Pmi Pruning Selection Structural Verify

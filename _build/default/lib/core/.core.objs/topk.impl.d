@@ -1,0 +1,1 @@
+lib/core/topk.ml: Array List Pruning Psst_util Query Relax Structural Verify

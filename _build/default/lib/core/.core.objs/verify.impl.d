@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Embedding Exact Float Hashtbl Jtree Lgraph List Pgraph Psst_util Vf2

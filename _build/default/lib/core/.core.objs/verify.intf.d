@@ -1,0 +1,1 @@
+lib/core/verify.mli: Lgraph Pgraph Psst_util

@@ -1,0 +1,252 @@
+module Bitset = Psst_util.Bitset
+module Prng = Psst_util.Prng
+
+type config = {
+  emb_cap : int;
+  cut_cap : int;
+  mc_samples : int;
+  clique_budget : int;
+  tightest : bool;
+  seed : int;
+}
+
+let default_config =
+  {
+    emb_cap = 48;
+    cut_cap = 96;
+    mc_samples = 800;
+    clique_budget = 50_000;
+    tightest = true;
+    seed = 2012;
+  }
+
+type t = {
+  lower : float;
+  upper : float;
+  lower_safe : float;
+  upper_safe : float;
+  embeddings : int;
+  cuts : int;
+}
+
+let ratio_over_pool pool ~num ~den =
+  let n1 = ref 0 and n2 = ref 0 in
+  Array.iter
+    (fun mask ->
+      if den mask then begin
+        incr n2;
+        if num mask then incr n1
+      end)
+    pool;
+  if !n2 = 0 then None else Some (float_of_int !n1 /. float_of_int !n2)
+
+let sample_pool config g =
+  let rng = Prng.make config.seed in
+  Array.init config.mc_samples (fun _ ->
+      let mask, _, _ = Pgraph.sample_world rng g in
+      mask)
+
+let estimate_conditional rng g ~num ~den ~samples =
+  let pool =
+    Array.init samples (fun _ ->
+        let mask, _, _ = Pgraph.sample_world rng g in
+        mask)
+  in
+  ratio_over_pool pool ~num ~den
+
+let clamp01 x = Float.max 0. (Float.min 1. x)
+
+(* Weight of a node in fG given its survival probability p. *)
+let node_weight p =
+  let p = Float.min p (1. -. 1e-12) in
+  -.log (1. -. p)
+
+(* All edges of [s] present in the world mask. *)
+let all_present mask s = Bitset.subset s mask
+
+(* All edges of [s] absent from the world mask. *)
+let all_absent mask s = Bitset.disjoint s mask
+
+let exact_all_present g vars = Velim.prob_all_present (Pgraph.factors g) vars
+
+let exact_all_absent g vars =
+  Velim.prob ~evidence:(List.map (fun v -> (v, false)) vars) (Pgraph.factors g)
+
+(* First-fit maximal pairwise-disjoint family in index order: the paper's
+   plain SIPBound picks an arbitrary disjoint set instead of optimising. *)
+let first_fit_disjoint items disjoint weights =
+  let chosen = ref [] and weight = ref 0. in
+  Array.iteri
+    (fun i it ->
+      if List.for_all (fun j -> disjoint items.(j) it) !chosen then begin
+        chosen := i :: !chosen;
+        weight := !weight +. weights.(i)
+      end)
+    items;
+  (List.rev !chosen, !weight)
+
+(* Disjoint family selection: maximum-weight clique of the disjointness
+   graph when [tightest], first-fit otherwise. *)
+let best_disjoint_clique ~config items disjoint weights =
+  if not config.tightest then first_fit_disjoint items disjoint weights
+  else begin
+    let n = Array.length items in
+    let edges = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if disjoint items.(i) items.(j) then edges := (i, j) :: !edges
+      done
+    done;
+    let g = Mwc.make ~weights ~edges:!edges in
+    Mwc.max_weight_clique ~node_budget:config.clique_budget g
+  end
+
+let lower_of config pool g (embs : Embedding.t list) =
+  let uncertain = Bitset.of_list (Bitset.capacity (List.hd embs).Embedding.edges)
+      (Pgraph.uncertain_edges g)
+  in
+  (* Work on uncertain parts only: certain edges never fail. *)
+  let sets = Array.of_list (List.map (fun e -> e.Embedding.edges) embs) in
+  let usets = Array.map (fun s -> Bitset.inter s uncertain) sets in
+  let n = Array.length sets in
+  let overlapping i =
+    List.filter
+      (fun j -> j <> i && not (Bitset.disjoint usets.(i) usets.(j)))
+      (List.init n (fun j -> j))
+  in
+  let survival = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let others = overlapping i in
+    let p =
+      if others = [] then exact_all_present g (Bitset.elements usets.(i))
+      else begin
+        let num mask =
+          all_present mask usets.(i)
+          && List.for_all (fun j -> not (all_present mask usets.(j))) others
+        in
+        let den mask =
+          List.for_all (fun j -> not (all_present mask usets.(j))) others
+        in
+        match ratio_over_pool pool ~num ~den with
+        | Some p -> p
+        | None -> exact_all_present g (Bitset.elements usets.(i))
+      end
+    in
+    survival.(i) <- clamp01 p
+  done;
+  let weights = Array.map node_weight survival in
+  let _, z =
+    best_disjoint_clique ~config usets
+      (fun a b -> Bitset.disjoint a b)
+      weights
+  in
+  let lower = 1. -. exp (-.z) in
+  let lower_safe =
+    Array.fold_left Float.max 0.
+      (Array.map (fun s -> exact_all_present g (Bitset.elements s)) usets)
+  in
+  (clamp01 lower, clamp01 lower_safe)
+
+let upper_of config pool g (embs : Embedding.t list) =
+  let capacity = Bitset.capacity (List.hd embs).Embedding.edges in
+  let uncertain = Bitset.of_list capacity (Pgraph.uncertain_edges g) in
+  let usets = List.map (fun e -> Bitset.inter e.Embedding.edges uncertain) embs in
+  (* An embedding with no uncertain edge always survives: SIP = 1 and there
+     is no cut at all. Callers short-circuit that case before calling. *)
+  let cuts = Transversal.minimal_hitting_sets ~cap:config.cut_cap usets in
+  match cuts with
+  | [] -> (1., 1., 0)
+  | _ ->
+    let cut_arr = Array.of_list cuts in
+    let n = Array.length cut_arr in
+    let overlapping i =
+      List.filter
+        (fun j -> j <> i && not (Bitset.disjoint cut_arr.(i) cut_arr.(j)))
+        (List.init n (fun j -> j))
+    in
+    let activation = Array.make n 0. in
+    for i = 0 to n - 1 do
+      let others = overlapping i in
+      let p =
+        if others = [] then exact_all_absent g (Bitset.elements cut_arr.(i))
+        else begin
+          let num mask =
+            all_absent mask cut_arr.(i)
+            && List.for_all (fun j -> not (all_absent mask cut_arr.(j))) others
+          in
+          let den mask =
+            List.for_all (fun j -> not (all_absent mask cut_arr.(j))) others
+          in
+          match ratio_over_pool pool ~num ~den with
+          | Some p -> p
+          | None -> exact_all_absent g (Bitset.elements cut_arr.(i))
+        end
+      in
+      activation.(i) <- clamp01 p
+    done;
+    let weights = Array.map node_weight activation in
+    let _, v =
+      best_disjoint_clique ~config cut_arr
+        (fun a b -> Bitset.disjoint a b)
+        weights
+    in
+    let upper = exp (-.v) in
+    let upper_safe =
+      Array.fold_left Float.min 1.
+        (Array.map
+           (fun c -> 1. -. exact_all_absent g (Bitset.elements c))
+           cut_arr)
+    in
+    (clamp01 upper, clamp01 upper_safe, n)
+
+let compute config ?pool g f =
+  let gc = Pgraph.skeleton g in
+  if Lgraph.num_edges f = 0 then
+    (* Vertex features: vertices are deterministic, so SIP is 1 when the
+       label occurs and 0 otherwise. *)
+    let present = Vf2.exists f gc in
+    let v = if present then 1. else 0. in
+    { lower = v; upper = v; lower_safe = v; upper_safe = v; embeddings = 0; cuts = 0 }
+  else begin
+    let embs = Vf2.distinct_embeddings ~cap:config.emb_cap f gc in
+    match embs with
+    | [] ->
+      { lower = 0.; upper = 0.; lower_safe = 0.; upper_safe = 0.; embeddings = 0; cuts = 0 }
+    | _ ->
+      let uncertain =
+        Bitset.of_list (Lgraph.num_edges gc) (Pgraph.uncertain_edges g)
+      in
+      let fully_certain =
+        List.exists
+          (fun e -> Bitset.disjoint e.Embedding.edges uncertain
+                    || Bitset.is_empty (Bitset.inter e.Embedding.edges uncertain))
+          embs
+      in
+      if fully_certain then
+        {
+          lower = 1.;
+          upper = 1.;
+          lower_safe = 1.;
+          upper_safe = 1.;
+          embeddings = List.length embs;
+          cuts = 0;
+        }
+      else begin
+        let pool =
+          match pool with Some p -> p | None -> sample_pool config g
+        in
+        let lower, lower_safe = lower_of config pool g embs in
+        let upper, upper_safe, ncuts = upper_of config pool g embs in
+        (* Monte-Carlo noise can cross the estimates; never report an
+           inverted interval. The safe pair is exact and always ordered. *)
+        let lower = Float.min lower upper in
+        {
+          lower;
+          upper;
+          lower_safe;
+          upper_safe;
+          embeddings = List.length embs;
+          cuts = ncuts;
+        }
+      end
+  end

@@ -1,0 +1,69 @@
+(** Lower and upper bounds on the subgraph-isomorphism probability
+    Pr(f ⊆iso g) — paper §4.1, the payload of the PMI index.
+
+    - [LowerB] (Eq 10-17): pick a maximum-weight clique of pairwise
+      edge-disjoint embeddings in the disjointness graph [fG], with node
+      weights [-ln (1 - Pr(Bfi | COR))]; then
+      [LowerB = 1 - exp (-clique weight)]. [Pr(Bfi | COR)] — the chance
+      embedding [i] survives given that all embeddings overlapping it fail —
+      is estimated by the paper's Monte-Carlo ratio (Algorithm 3), or
+      computed exactly when the embedding overlaps nothing.
+    - [UpperB] (Eq 18-20): same construction over minimal embedding cuts
+      (computed by {!Transversal.minimal_hitting_sets}); node weights
+      [-ln (1 - Pr(Bci | COM))]; [UpperB = exp (-clique weight)].
+
+    Alongside the paper's bounds we compute {e certified} variants that
+    hold without any independence assumption (used for accept decisions,
+    see DESIGN.md §3):
+
+    - [lower_safe = max_i Pr(Bfi)] (exact, one conjunction per embedding);
+    - [upper_safe = min_i (1 - Pr(Bci))] (exact, one negated conjunction
+      per cut). *)
+
+type config = {
+  emb_cap : int;  (** distinct embeddings enumerated per (f, g) *)
+  cut_cap : int;  (** minimal cuts enumerated per (f, g) *)
+  mc_samples : int;  (** Monte-Carlo samples for Algorithm 3 *)
+  clique_budget : int;  (** branch-and-bound node budget for fG *)
+  tightest : bool;
+      (** true (default): maximum-weight-clique selection of the disjoint
+          embedding / cut family — the paper's OPT-SIPBound. false: plain
+          first-fit maximal family — the paper's SIPBound baseline. *)
+  seed : int;  (** PRNG seed: bound computation is deterministic *)
+}
+
+val default_config : config
+
+type t = {
+  lower : float;  (** the paper's LowerB(f) *)
+  upper : float;  (** the paper's UpperB(f) *)
+  lower_safe : float;  (** certified lower bound *)
+  upper_safe : float;  (** certified upper bound *)
+  embeddings : int;  (** |Ef| found (capped) *)
+  cuts : int;  (** |Ec| found (capped) *)
+}
+
+(** [compute config ?pool g f] — both bound pairs for feature [f] against
+    probabilistic graph [g]. Exact short-circuits: no embedding -> all 0;
+    some embedding made only of certain edges -> all 1.
+
+    [pool]: pre-sampled possible worlds (present-edge masks) reused for
+    every Monte-Carlo ratio; {!Pmi.build} samples one pool per graph so the
+    sampling cost is paid once per graph instead of once per matrix
+    entry. When absent, [mc_samples] fresh worlds are drawn. *)
+val compute : config -> ?pool:Psst_util.Bitset.t array -> Pgraph.t -> Lgraph.t -> t
+
+(** [sample_pool config g] — [mc_samples] worlds for reuse in {!compute}. *)
+val sample_pool : config -> Pgraph.t -> Psst_util.Bitset.t array
+
+(** [estimate_conditional rng g ~num ~den ~samples] — Algorithm 3's ratio
+    estimator: sample possible worlds and return [#num / #den] where the
+    predicates receive the world's present-edge mask. Returns [None] when
+    the denominator never fires. Exposed for tests. *)
+val estimate_conditional :
+  Psst_util.Prng.t ->
+  Pgraph.t ->
+  num:(Psst_util.Bitset.t -> bool) ->
+  den:(Psst_util.Bitset.t -> bool) ->
+  samples:int ->
+  float option

@@ -1,0 +1,102 @@
+type entry = Bounds.t
+
+type t = {
+  config : Bounds.config;
+  features : Selection.feature array;
+  entries : entry option array array; (* feature -> graph *)
+  build_seconds : float;
+}
+
+let log_src = Logs.Src.create "psst.pmi" ~doc:"PMI index construction"
+
+module Log = (val Logs.src_log log_src)
+
+(* The matrix is computed column-by-column (per graph) so that the world
+   pool of each graph is sampled once and the columns can be distributed
+   over domains: every column touches exactly one Pgraph (whose lazily
+   built junction tree is therefore domain-local). *)
+let build_columns config db features lo hi =
+  let nf = Array.length features in
+  Array.init (hi - lo) (fun k ->
+      let gi = lo + k in
+      let g = db.(gi) in
+      let pool = lazy (Bounds.sample_pool config g) in
+      Array.init nf (fun fi ->
+          let f : Selection.feature = features.(fi) in
+          if List.mem gi f.support then
+            Some (Bounds.compute config ~pool:(Lazy.force pool) g f.graph)
+          else None))
+
+let build ?(config = Bounds.default_config) ?(domains = 1) db features =
+  let features = Array.of_list features in
+  let ng = Array.length db in
+  let nf = Array.length features in
+  let result, build_seconds =
+    Psst_util.Timer.time (fun () ->
+        let columns =
+          if domains <= 1 || ng < 2 then build_columns config db features 0 ng
+          else begin
+            let d = min domains ng in
+            Log.debug (fun m -> m "building %d columns on %d domains" ng d);
+            let bounds =
+              List.init d (fun i -> (i * ng / d, (i + 1) * ng / d))
+            in
+            let handles =
+              List.map
+                (fun (lo, hi) ->
+                  Domain.spawn (fun () -> build_columns config db features lo hi))
+                bounds
+            in
+            Array.concat (List.map Domain.join handles)
+          end
+        in
+        (* Transpose columns into the feature-major layout. *)
+        Array.init nf (fun fi -> Array.init ng (fun gi -> columns.(gi).(fi))))
+  in
+  Log.info (fun m ->
+      m "PMI built: %d features x %d graphs in %.2fs" nf ng build_seconds);
+  { config; features; entries = result; build_seconds }
+
+let add_graph t g =
+  let gc = Pgraph.skeleton g in
+  let pool = lazy (Bounds.sample_pool t.config g) in
+  let entries =
+    Array.map2
+      (fun (f : Selection.feature) row ->
+        let entry =
+          if Lgraph.num_edges f.graph = 0 || Vf2.exists f.graph gc then
+            Some (Bounds.compute t.config ~pool:(Lazy.force pool) g f.graph)
+          else None
+        in
+        Array.append row [| entry |])
+      t.features t.entries
+  in
+  { t with entries }
+
+let config t = t.config
+let features t = Array.copy t.features
+let num_features t = Array.length t.features
+let num_graphs t = if num_features t = 0 then 0 else Array.length t.entries.(0)
+
+let lookup t ~feature ~graph = t.entries.(feature).(graph)
+
+let column t ~graph =
+  let out = ref [] in
+  for fi = Array.length t.features - 1 downto 0 do
+    match t.entries.(fi).(graph) with
+    | Some e -> out := (fi, e) :: !out
+    | None -> ()
+  done;
+  !out
+
+let filled_entries t =
+  Array.fold_left
+    (fun acc row ->
+      acc + Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 row)
+    0 t.entries
+
+let build_seconds t = t.build_seconds
+
+let pp_stats ppf t =
+  Format.fprintf ppf "PMI: %d features x %d graphs, %d filled entries, built in %.2fs"
+    (num_features t) (num_graphs t) (filled_entries t) t.build_seconds

@@ -1,0 +1,45 @@
+(** The Probabilistic Matrix Index (paper §3.1, Fig 4).
+
+    Rows are mined features, columns are the probabilistic graphs of the
+    database. Entry (f, g) holds the SIP bound pair for [f] against [g]
+    when [f ⊆iso gc], and is empty otherwise (the paper's ⟨0⟩). *)
+
+type entry = Bounds.t
+
+type t
+
+(** [build ?config ?domains db features] computes every matrix entry.
+    [domains > 1] distributes the per-graph columns over that many OCaml 5
+    domains (the computation is embarrassingly parallel per graph and the
+    result is identical to the sequential build). *)
+val build :
+  ?config:Bounds.config ->
+  ?domains:int ->
+  Pgraph.t array ->
+  Selection.feature list ->
+  t
+
+(** [add_graph t g] appends the column of a new database graph, computing
+    bounds for every feature occurring in its skeleton. The feature set is
+    not re-mined. *)
+val add_graph : t -> Pgraph.t -> t
+
+val config : t -> Bounds.config
+val features : t -> Selection.feature array
+val num_features : t -> int
+val num_graphs : t -> int
+
+(** [lookup t ~feature ~graph] — [None] when the feature does not occur in
+    the graph's skeleton. *)
+val lookup : t -> feature:int -> graph:int -> entry option
+
+(** Column [Dg] of one graph: the occurring features with their bounds. *)
+val column : t -> graph:int -> (int * entry) list
+
+(** Number of non-empty entries — the "index size" series of Fig 12(d). *)
+val filled_entries : t -> int
+
+(** Wall-clock seconds spent computing the entries (Fig 12(c)). *)
+val build_seconds : t -> float
+
+val pp_stats : Format.formatter -> t -> unit

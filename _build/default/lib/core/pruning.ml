@@ -1,0 +1,169 @@
+module Bitset = Psst_util.Bitset
+module Prng = Psst_util.Prng
+
+type mode = Random_pick | Optimized
+
+(* Query-side memberships, independent of the candidate graph. The
+   subgraph-isomorphism tests here are the "additional subgraph isomorphic
+   tests" the paper charges to the bound computation; they run once per
+   query. *)
+type prepared = {
+  a : int;  (* |U| *)
+  sub_members : Bitset.t array;  (* feature fi -> { rq : fi ⊆iso rq } *)
+  super_members : Bitset.t array;  (* feature fi -> { rq : rq ⊆iso fi } *)
+}
+
+type result = {
+  usim : float;
+  lsim : float;
+  lsim_safe : float;
+  decision : [ `Pruned | `Accepted | `Candidate ];
+}
+
+(* A feature absent from gc has SIP 0 — the paper's ⟨0⟩ entries. Any
+   relaxed query containing such a feature can never embed in a world,
+   which is the strongest possible pruning evidence. *)
+let zero_entry =
+  {
+    Bounds.lower = 0.;
+    upper = 0.;
+    lower_safe = 0.;
+    upper_safe = 0.;
+    embeddings = 0;
+    cuts = 0;
+  }
+
+let prepare pmi ~relaxed =
+  let a = List.length relaxed in
+  if a = 0 then invalid_arg "Pruning.prepare: empty relaxed set";
+  let rq = Array.of_list relaxed in
+  let features = Pmi.features pmi in
+  let sub_members =
+    Array.map
+      (fun (f : Selection.feature) ->
+        let members = Bitset.create a in
+        for i = 0 to a - 1 do
+          if Vf2.exists f.graph rq.(i) then Bitset.add members i
+        done;
+        members)
+      features
+  in
+  let super_members =
+    Array.map
+      (fun (f : Selection.feature) ->
+        let members = Bitset.create a in
+        for j = 0 to a - 1 do
+          if Vf2.exists rq.(j) f.graph then Bitset.add members j
+        done;
+        members)
+      features
+  in
+  { a; sub_members; super_members }
+
+let entry_of pmi ~graph fi =
+  match Pmi.lookup pmi ~feature:fi ~graph with
+  | Some e -> e
+  | None -> zero_entry
+
+let clamp01 x = Float.max 0. (Float.min 1. x)
+
+let usim ?(certified = true) rng pmi prepared ~graph ~mode =
+  let a = prepared.a in
+  let upper (e : Bounds.t) = if certified then e.upper_safe else e.upper in
+  (* s_j = { i | f_j ⊆iso rq_i }, weight UpperB f_j. *)
+  let sets =
+    Array.to_list prepared.sub_members
+    |> List.mapi (fun fi members -> (fi, members))
+    |> List.filter (fun (_, members) -> not (Bitset.is_empty members))
+    |> List.map (fun (fi, members) -> (members, upper (entry_of pmi ~graph fi)))
+  in
+  match mode with
+  | Optimized ->
+    let res = Set_cover.greedy ~universe:a (Array.of_list sets) in
+    clamp01 (res.weight +. float_of_int (Bitset.cardinal res.uncovered))
+  | Random_pick ->
+    (* One arbitrary feasible feature per relaxed query (paper's SSPBound
+       setup). *)
+    let total = ref 0. in
+    for i = 0 to a - 1 do
+      let feasible =
+        List.filter_map
+          (fun (members, u) -> if Bitset.mem members i then Some u else None)
+          sets
+      in
+      match feasible with
+      | [] -> total := !total +. 1.
+      | _ ->
+        let arr = Array.of_list feasible in
+        total := !total +. arr.(Prng.int rng (Array.length arr))
+    done;
+    clamp01 !total
+
+let lsim ?(certified = true) rng pmi prepared ~graph ~mode =
+  let a = prepared.a in
+  (* s_i = { j | rq_j ⊆iso f_i }, weights (LowerB, UpperB). *)
+  let sets =
+    Array.to_list prepared.super_members
+    |> List.mapi (fun fi members -> (fi, members))
+    |> List.filter (fun (_, members) -> not (Bitset.is_empty members))
+    |> List.map (fun (fi, members) -> (members, entry_of pmi ~graph fi))
+  in
+  let covered = Bitset.create a in
+  List.iter (fun (members, _) -> Bitset.union_into covered members) sets;
+  if Bitset.cardinal covered < a then (Float.neg_infinity, Float.neg_infinity)
+  else begin
+    let paper_inst =
+      {
+        Qp.universe = a;
+        sets =
+          Array.of_list
+            (List.map
+               (fun (members, (e : Bounds.t)) -> (members, e.lower, e.upper))
+               sets);
+      }
+    in
+    let safe_inst =
+      {
+        Qp.universe = a;
+        sets =
+          Array.of_list
+            (List.map
+               (fun (members, (e : Bounds.t)) ->
+                 (members, e.lower_safe, e.upper_safe))
+               sets);
+      }
+    in
+    let opt_inst = if certified then safe_inst else paper_inst in
+    let chosen =
+      match mode with
+      | Optimized ->
+        let sol = Qp.solve opt_inst in
+        let rounded = Rounding.round_repaired rng opt_inst ~x:sol.x in
+        rounded.chosen
+      | Random_pick ->
+        let pick = Hashtbl.create 8 in
+        for j = 0 to a - 1 do
+          let idxs = ref [] in
+          List.iteri
+            (fun k (members, _) -> if Bitset.mem members j then idxs := k :: !idxs)
+            sets;
+          let arr = Array.of_list !idxs in
+          Hashtbl.replace pick arr.(Prng.int rng (Array.length arr)) ()
+        done;
+        Hashtbl.fold (fun k () acc -> k :: acc) pick [] |> List.sort compare
+    in
+    let paper = Qp.integer_objective paper_inst ~chosen in
+    let safe = Qp.integer_objective_safe safe_inst ~chosen in
+    (paper, safe)
+  end
+
+let evaluate ?(certified = true) rng pmi prepared ~graph ~epsilon ~mode =
+  let u = usim ~certified rng pmi prepared ~graph ~mode in
+  if u < epsilon then
+    { usim = u; lsim = Float.neg_infinity; lsim_safe = Float.neg_infinity;
+      decision = `Pruned }
+  else begin
+    let lp, ls = lsim ~certified rng pmi prepared ~graph ~mode in
+    let decision = if ls >= epsilon then `Accepted else `Candidate in
+    { usim = u; lsim = lp; lsim_safe = ls; decision }
+  end

@@ -1,0 +1,80 @@
+(** Probabilistic pruning (paper §3): bounds on the subgraph-similarity
+    probability assembled from PMI entries, and the prune / accept /
+    verify decision.
+
+    For a graph [g], relaxed query set [U = {rq1..rqa}] and the PMI column
+    [Dg]:
+
+    - {b Usim} (Pruning 1, Thm 3): each feature [fj ⊆iso rqi] defines a
+      set [sj = {rqi : fj ⊆iso rqi}] weighted [UpperB fj]; any cover of
+      [U] gives [Pr(q ⊆sim g) <= sum of weights] — minimised greedily
+      (Algorithm 1). Relaxed queries covered by no feature contribute a
+      trivial 1.0. Features absent from [gc] carry the paper's ⟨0⟩ entry:
+      their SIP is exactly 0.
+    - {b Lsim} (Pruning 2, Thm 4): sets [si = {rqj : rqj ⊆iso fi}] with
+      pair weights [(LowerB fi, UpperB fi)]; a cover [C] gives the paper's
+      bound [sum wL - (sum wU)^2] — maximised through the relaxed QP and
+      randomized rounding (Def 11, Algorithm 2). A certified variant
+      built from the safe PMI bounds drives the accept decision
+      (DESIGN.md §3).
+
+    [Random_pick] reproduces the paper's SSPBound baseline (one arbitrary
+    feasible feature per relaxed query); [Optimized] is OPT-SSPBound.
+
+    [certified] (default true) selects the certified bound pair of every
+    PMI entry, making Pruning 1 free of false dismissals and Pruning 2
+    free of false accepts under arbitrary edge correlation. With
+    [certified:false] the paper's own bounds are used verbatim — tighter,
+    but their Eq 16/19 conditional-independence step can be violated by
+    positively correlated JPTs (see DESIGN.md §3); the experiment arms use
+    this faithful mode. *)
+
+type mode = Random_pick | Optimized
+
+(** Query-side state shared by every candidate graph: which features embed
+    in which relaxed queries and vice versa. Computing it once per query
+    factors the subgraph-isomorphism tests out of the per-graph loop. *)
+type prepared
+
+(** [prepare pmi ~relaxed] — [relaxed] must be non-empty. *)
+val prepare : Pmi.t -> relaxed:Lgraph.t list -> prepared
+
+type result = {
+  usim : float;  (** upper bound on SSP, clamped to [0,1] *)
+  lsim : float;  (** the paper's lower bound (may be negative) *)
+  lsim_safe : float;  (** certified lower bound (may be negative) *)
+  decision : [ `Pruned | `Accepted | `Candidate ];
+}
+
+(** [evaluate rng pmi prepared ~graph ~epsilon ~mode] — bounds + decision
+    for one candidate graph. *)
+val evaluate :
+  ?certified:bool ->
+  Psst_util.Prng.t ->
+  Pmi.t ->
+  prepared ->
+  graph:int ->
+  epsilon:float ->
+  mode:mode ->
+  result
+
+(** The two bound computations, exposed for tests and experiments. *)
+
+val usim :
+  ?certified:bool ->
+  Psst_util.Prng.t ->
+  Pmi.t ->
+  prepared ->
+  graph:int ->
+  mode:mode ->
+  float
+
+val lsim :
+  ?certified:bool ->
+  Psst_util.Prng.t ->
+  Pmi.t ->
+  prepared ->
+  graph:int ->
+  mode:mode ->
+  float * float
+(** (paper bound, certified bound) *)

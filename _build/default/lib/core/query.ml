@@ -1,0 +1,172 @@
+module Prng = Psst_util.Prng
+module Timer = Psst_util.Timer
+
+type database = {
+  graphs : Pgraph.t array;
+  skeletons : Lgraph.t array;
+  features : Selection.feature list;
+  structural : Structural.t;
+  pmi : Pmi.t;
+}
+
+let log_src = Logs.Src.create "psst.query" ~doc:"T-PS query pipeline"
+
+module Log = (val Logs.src_log log_src)
+
+let index_database ?(mining = Selection.default_params)
+    ?(bounds = Bounds.default_config) ?(emb_cap = 64) ?(domains = 1) graphs =
+  let skeletons = Array.map Pgraph.skeleton graphs in
+  let features = Selection.select skeletons mining in
+  Log.info (fun m ->
+      m "mined %d features over %d graphs" (List.length features)
+        (Array.length graphs));
+  let structural = Structural.build skeletons features ~emb_cap in
+  let pmi = Pmi.build ~config:bounds ~domains graphs features in
+  { graphs; skeletons; features; structural; pmi }
+
+let add_graph db g =
+  let gc = Pgraph.skeleton g in
+  let gi = Array.length db.graphs in
+  let features =
+    List.map
+      (fun (f : Selection.feature) ->
+        if Lgraph.num_edges f.graph = 0 || Vf2.exists f.graph gc then
+          { f with support = f.support @ [ gi ] }
+        else f)
+      db.features
+  in
+  {
+    graphs = Array.append db.graphs [| g |];
+    skeletons = Array.append db.skeletons [| gc |];
+    features;
+    structural = Structural.add_graph db.structural gc;
+    pmi = Pmi.add_graph db.pmi g;
+  }
+
+type config = {
+  epsilon : float;
+  delta : int;
+  mode : Pruning.mode;
+  certified : bool;
+  verifier : [ `Smp of Verify.config | `Exact ];
+  relax_cap : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    epsilon = 0.5;
+    delta = 2;
+    mode = Pruning.Optimized;
+    certified = true;
+    verifier = `Smp Verify.default_config;
+    relax_cap = 4096;
+    seed = 7;
+  }
+
+type stats = {
+  relaxed_count : int;
+  structural_candidates : int;
+  prob_candidates : int;
+  accepted_by_bounds : int;
+  pruned_by_bounds : int;
+  t_structural : float;
+  t_probabilistic : float;
+  t_verification : float;
+}
+
+type outcome = { answers : int list; stats : stats }
+
+let validate_config config =
+  if not (config.epsilon > 0. && config.epsilon <= 1.) then
+    invalid_arg "Query: epsilon must be in (0, 1]";
+  if config.delta < 0 then invalid_arg "Query: delta must be non-negative"
+
+let verify_one config rng g relaxed =
+  match config.verifier with
+  | `Exact -> Verify.exact g relaxed
+  | `Smp vc -> Verify.smp ~config:vc rng g relaxed
+
+let run db q config =
+  validate_config config;
+  let rng = Prng.make config.seed in
+  let relaxed, _status = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
+  (* Phase 1: structural pruning over the certain skeletons (Thm 1). *)
+  let structural_cands, t_structural =
+    Timer.time (fun () ->
+        Structural.candidates db.structural db.skeletons q ~delta:config.delta)
+  in
+  (* Phase 2: probabilistic pruning through the PMI bounds. *)
+  let (accepted, candidates, pruned), t_probabilistic =
+    Timer.time (fun () ->
+        let prepared = Pruning.prepare db.pmi ~relaxed in
+        List.fold_left
+          (fun (acc, cand, pruned) gi ->
+            let r =
+              Pruning.evaluate ~certified:config.certified rng db.pmi prepared
+                ~graph:gi ~epsilon:config.epsilon ~mode:config.mode
+            in
+            match r.Pruning.decision with
+            | `Accepted -> (gi :: acc, cand, pruned)
+            | `Candidate -> (acc, gi :: cand, pruned)
+            | `Pruned -> (acc, cand, gi :: pruned))
+          ([], [], []) structural_cands)
+  in
+  (* Phase 3: verification of the undecided candidates. *)
+  let verified, t_verification =
+    Timer.time (fun () ->
+        List.filter
+          (fun gi ->
+            verify_one config rng db.graphs.(gi) relaxed >= config.epsilon)
+          (List.rev candidates))
+  in
+  Log.debug (fun m ->
+      m "query: %d structural, %d pruned, %d accepted, %d verified"
+        (List.length structural_cands) (List.length pruned)
+        (List.length accepted) (List.length candidates));
+  let answers = List.sort compare (accepted @ verified) in
+  {
+    answers;
+    stats =
+      {
+        relaxed_count = List.length relaxed;
+        structural_candidates = List.length structural_cands;
+        prob_candidates = List.length candidates;
+        accepted_by_bounds = List.length accepted;
+        pruned_by_bounds = List.length pruned;
+        t_structural;
+        t_probabilistic;
+        t_verification;
+      };
+  }
+
+let run_exact_scan db q config =
+  validate_config config;
+  let relaxed, _ = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
+  let answers, t =
+    Timer.time (fun () ->
+        List.init (Array.length db.graphs) (fun gi -> gi)
+        |> List.filter (fun gi ->
+               Verify.exact db.graphs.(gi) relaxed >= config.epsilon))
+  in
+  {
+    answers;
+    stats =
+      {
+        relaxed_count = List.length relaxed;
+        structural_candidates = Array.length db.graphs;
+        prob_candidates = Array.length db.graphs;
+        accepted_by_bounds = 0;
+        pruned_by_bounds = 0;
+        t_structural = 0.;
+        t_probabilistic = 0.;
+        t_verification = t;
+      };
+  }
+
+let ground_truth db q config =
+  let relaxed, _ = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
+  List.init (Array.length db.graphs) (fun gi -> gi)
+  |> List.filter (fun gi ->
+         Distance.within q db.skeletons.(gi) ~delta:config.delta
+         && Verify.exact db.graphs.(gi) relaxed >= config.epsilon)

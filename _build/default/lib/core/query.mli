@@ -1,0 +1,67 @@
+(** The end-to-end T-PS query processor (paper §1.2): structural pruning →
+    probabilistic pruning → verification. *)
+
+(** A database with its two indexes (structural feature-count index and
+    PMI). *)
+type database = {
+  graphs : Pgraph.t array;
+  skeletons : Lgraph.t array;  (** cached [gc] per graph *)
+  features : Selection.feature list;
+  structural : Structural.t;
+  pmi : Pmi.t;
+}
+
+(** [index_database ?mining ?bounds ?emb_cap ?domains graphs] mines
+    features over the skeletons and builds both indexes; [domains]
+    parallelises the PMI bound computation (see {!Pmi.build}). *)
+val index_database :
+  ?mining:Selection.params ->
+  ?bounds:Bounds.config ->
+  ?emb_cap:int ->
+  ?domains:int ->
+  Pgraph.t array ->
+  database
+
+(** [add_graph db g] appends one graph to the database, extending both
+    indexes incrementally. Features are {e not} re-mined: pruning on the
+    new graph uses the existing feature set, which keeps every decision
+    sound but may be less selective than a full re-index. *)
+val add_graph : database -> Pgraph.t -> database
+
+type config = {
+  epsilon : float;  (** probability threshold ε *)
+  delta : int;  (** subgraph distance threshold δ *)
+  mode : Pruning.mode;  (** SSPBound vs OPT-SSPBound assembly *)
+  certified : bool;  (** certified bounds (no false dismissals) vs paper's *)
+  verifier : [ `Smp of Verify.config | `Exact ];
+  relax_cap : int;  (** cap on relaxation enumeration *)
+  seed : int;
+}
+
+val default_config : config
+
+type stats = {
+  relaxed_count : int;
+  structural_candidates : int;
+  prob_candidates : int;  (** survivors needing verification *)
+  accepted_by_bounds : int;  (** graphs accepted by Pruning 2 *)
+  pruned_by_bounds : int;  (** graphs discarded by Pruning 1 *)
+  t_structural : float;
+  t_probabilistic : float;
+  t_verification : float;
+}
+
+type outcome = { answers : int list; stats : stats }
+
+(** [run db q config] executes the pipeline and returns the ids of the
+    graphs with [Pr(q ⊆sim g) >= epsilon] (estimated by the configured
+    verifier for graphs the bounds cannot decide). *)
+val run : database -> Lgraph.t -> config -> outcome
+
+(** [run_exact_scan db q config] — the paper's Exact competitor: no
+    indexes, exact SSP on every graph. *)
+val run_exact_scan : database -> Lgraph.t -> config -> outcome
+
+(** Ground-truth answer set via exact SSP on every structurally plausible
+    graph (used for precision/recall experiments; exponential). *)
+val ground_truth : database -> Lgraph.t -> config -> int list

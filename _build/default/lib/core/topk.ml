@@ -1,0 +1,75 @@
+module Prng = Psst_util.Prng
+
+type hit = { graph : int; ssp : float }
+
+type stats = {
+  structural_candidates : int;
+  verified : int;
+  bound_skipped : int;
+}
+
+type outcome = { hits : hit list; stats : stats }
+
+let verify_one (config : Query.config) rng g relaxed =
+  match config.verifier with
+  | `Exact -> Verify.exact g relaxed
+  | `Smp vc -> Verify.smp ~config:vc rng g relaxed
+
+let run (db : Query.database) q ~k (config : Query.config) =
+  if k <= 0 then invalid_arg "Topk.run: k must be positive";
+  let rng = Prng.make config.seed in
+  let relaxed, _ = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
+  let structural =
+    Structural.candidates db.structural db.skeletons q ~delta:config.delta
+  in
+  let prepared = Pruning.prepare db.pmi ~relaxed in
+  (* Candidates ordered by decreasing upper bound. *)
+  let ranked =
+    List.map
+      (fun gi ->
+        let u =
+          Pruning.usim ~certified:config.certified rng db.pmi prepared ~graph:gi
+            ~mode:config.mode
+        in
+        (gi, u))
+      structural
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  (* Best-first: verify until the k-th best verified SSP dominates every
+     remaining upper bound. The verified set is kept as a sorted list
+     (k is small). *)
+  let hits = ref [] in
+  let kth_best () =
+    if List.length !hits < k then 0.
+    else match List.nth_opt !hits (k - 1) with Some h -> h.ssp | None -> 0.
+  in
+  let verified = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (gi, upper) ->
+      if upper < kth_best () || (List.length !hits >= k && upper = 0.) then
+        incr skipped
+      else begin
+        incr verified;
+        let ssp = verify_one config rng db.graphs.(gi) relaxed in
+        if ssp > 0. then begin
+          hits := { graph = gi; ssp } :: !hits;
+          hits :=
+            List.sort
+              (fun a b ->
+                match compare b.ssp a.ssp with
+                | 0 -> compare a.graph b.graph
+                | c -> c)
+              !hits
+        end
+      end)
+    ranked;
+  let top = List.filteri (fun i _ -> i < k) !hits in
+  {
+    hits = top;
+    stats =
+      {
+        structural_candidates = List.length structural;
+        verified = !verified;
+        bound_skipped = !skipped;
+      };
+  }

@@ -1,0 +1,25 @@
+(** Top-k probabilistic subgraph similarity search.
+
+    A natural companion to the paper's threshold queries: return the [k]
+    database graphs with the highest subgraph-similarity probability
+    Pr(q ⊆sim g). The PMI bounds drive a best-first search — candidates
+    are verified in decreasing order of their Usim upper bound, and the
+    search stops as soon as the k-th best verified probability dominates
+    every unverified candidate's upper bound, so most candidates are never
+    verified. *)
+
+type hit = { graph : int; ssp : float }
+
+type stats = {
+  structural_candidates : int;
+  verified : int;  (** candidates whose SSP was actually computed *)
+  bound_skipped : int;  (** candidates dismissed by the upper bound *)
+}
+
+type outcome = { hits : hit list; stats : stats }
+
+(** [run db q ~k config] — [config.epsilon] is ignored (top-k has no
+    threshold); [delta], [mode], [certified] and [verifier] apply. Hits
+    are sorted by decreasing SSP; fewer than [k] hits are returned when
+    fewer graphs have positive SSP. *)
+val run : Query.database -> Lgraph.t -> k:int -> Query.config -> outcome

@@ -1,0 +1,105 @@
+module Bitset = Psst_util.Bitset
+module Prng = Psst_util.Prng
+
+type config = { tau : float; xi : float; emb_cap : int }
+
+let default_config = { tau = 0.1; xi = 0.05; emb_cap = 64 }
+
+let num_samples c =
+  int_of_float (ceil (4. *. log (2. /. c.xi) /. (c.tau *. c.tau)))
+
+let minimal_antichain sets =
+  let sorted =
+    List.sort (fun a b -> compare (Bitset.cardinal a) (Bitset.cardinal b)) sets
+  in
+  List.fold_left
+    (fun kept s ->
+      if List.exists (fun k -> Bitset.subset k s) kept then kept else s :: kept)
+    [] sorted
+  |> List.rev
+
+let embedding_sets ?(config = default_config) g relaxed =
+  let gc = Pgraph.skeleton g in
+  let m = Lgraph.num_edges gc in
+  let seen = Hashtbl.create 64 in
+  let sets = ref [] in
+  List.iter
+    (fun rq ->
+      if Lgraph.num_edges rq = 0 then begin
+        (* Empty relaxation: matches every world. *)
+        let empty = Bitset.create m in
+        let key = Bitset.elements empty in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          sets := empty :: !sets
+        end
+      end
+      else
+        List.iter
+          (fun e ->
+            let key = Bitset.elements e.Embedding.edges in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              sets := e.Embedding.edges :: !sets
+            end)
+          (Vf2.distinct_embeddings ~cap:config.emb_cap rq gc))
+    relaxed;
+  minimal_antichain !sets
+
+let exact ?(config = default_config) g relaxed =
+  match embedding_sets ~config g relaxed with
+  | [] -> 0.
+  | sets -> Exact.prob_any_present g sets
+
+let exact_naive ?(config = default_config) g relaxed =
+  (* No early return on an empty embedding set: the index-free competitor
+     pays the full world enumeration either way. *)
+  Exact.prob_any_present_naive g (embedding_sets ~config g relaxed)
+
+let smp ?(config = default_config) rng g relaxed =
+  let sets = embedding_sets ~config g relaxed in
+  match sets with
+  | [] -> 0.
+  | _ ->
+    let certain = Bitset.of_list (Lgraph.num_edges (Pgraph.skeleton g))
+        (Pgraph.certain_edges g)
+    in
+    (* Work over uncertain edges only; a set with none is always present. *)
+    let usets = List.map (fun s -> Bitset.diff s certain) sets in
+    if List.exists Bitset.is_empty usets then 1.
+    else begin
+      let usets = Array.of_list (minimal_antichain usets) in
+      let jt = Pgraph.jtree g in
+      let probs =
+        Array.map
+          (fun s ->
+            Jtree.evidence_prob jt
+              (List.map (fun e -> (e, true)) (Bitset.elements s)))
+          usets
+      in
+      let v = Array.fold_left ( +. ) 0. probs in
+      if v <= 0. then 0.
+      else begin
+        let n = num_samples config in
+        let cnt = ref 0 in
+        for _ = 1 to n do
+          let i = Prng.categorical rng probs in
+          let evidence =
+            List.map (fun e -> (e, true)) (Bitset.elements usets.(i))
+          in
+          match Jtree.sample_posterior rng jt ~evidence with
+          | None -> () (* zero-probability event: never drawn in theory *)
+          | Some (lookup, _) ->
+            let earlier_fires =
+              let rec go j =
+                j < i
+                && (Bitset.fold (fun e acc -> acc && lookup e) usets.(j) true
+                   || go (j + 1))
+              in
+              go 0
+            in
+            if not earlier_fires then incr cnt
+        done;
+        Float.min 1. (v *. float_of_int !cnt /. float_of_int n)
+      end
+    end

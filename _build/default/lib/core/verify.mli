@@ -1,0 +1,48 @@
+(** Verification: computing / estimating the subgraph-similarity
+    probability of a candidate (paper §5).
+
+    Lemma 1 reduces Pr(q ⊆sim g) to Pr(Bf1 ∨ ... ∨ Bfm) over the distinct
+    embeddings of all relaxed queries in the skeleton [gc] (Eq 22). The
+    SMP estimator is the Karp-Luby union-of-events scheme of Algorithm 5:
+    sample an event proportionally to its exact probability (junction
+    tree, ref [17]), draw a world from the posterior given that event,
+    and count the draws where no earlier event also fires. The estimate
+    is [V * Cnt / N] with [V = sum of Pr(Bfi)] (Algorithm 5 prints
+    [Cnt/N]; the [V] factor is the standard normalisation and is what
+    makes the estimator unbiased).
+
+    The number of samples follows the paper: [N = (4 ln (2/xi)) / tau^2]
+    for accuracy [tau] with confidence [1 - xi] (Monte-Carlo theory,
+    ref [26]). *)
+
+type config = {
+  tau : float;  (** relative accuracy; default 0.1 *)
+  xi : float;  (** failure probability; default 0.05 *)
+  emb_cap : int;  (** cap on distinct embeddings per relaxed query *)
+}
+
+val default_config : config
+
+(** Samples implied by [tau]/[xi]: [(4 ln (2/xi)) / tau^2]. *)
+val num_samples : config -> int
+
+(** [embedding_sets ?config g relaxed] — the distinct embedding edge sets
+    of all relaxed queries in [g]'s skeleton, deduplicated and reduced to
+    an inclusion-minimal antichain. *)
+val embedding_sets :
+  ?config:config -> Pgraph.t -> Lgraph.t list -> Psst_util.Bitset.t list
+
+(** [smp ?config rng g relaxed] — SMP estimate of Pr(q ⊆sim g) given the
+    relaxed query set of [q]. *)
+val smp : ?config:config -> Psst_util.Prng.t -> Pgraph.t -> Lgraph.t list -> float
+
+(** [exact ?config g relaxed] — exact SSP through Lemma 1 +
+    {!Exact.prob_any_present}; exponential in the worst case but pruned
+    (minimal antichain, union-scope marginal). *)
+val exact : ?config:config -> Pgraph.t -> Lgraph.t list -> float
+
+(** [exact_naive ?config g relaxed] — same value with the cost profile of
+    the paper's index-free Exact competitor: full possible-world
+    enumeration over every uncertain edge (see
+    {!Exact.prob_any_present_naive}). *)
+val exact_naive : ?config:config -> Pgraph.t -> Lgraph.t list -> float

@@ -1,0 +1,1 @@
+lib/cuts/parallel_graph.ml: Array Embedding List Psst_util

@@ -1,0 +1,1 @@
+lib/cuts/parallel_graph.mli: Embedding Psst_util

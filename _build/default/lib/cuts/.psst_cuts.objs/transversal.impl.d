@@ -1,0 +1,1 @@
+lib/cuts/transversal.ml: List Psst_util

@@ -1,0 +1,1 @@
+lib/cuts/transversal.mli: Psst_util

@@ -1,0 +1,78 @@
+module Bitset = Psst_util.Bitset
+
+let is_hitting_set sets t =
+  List.for_all (fun s -> not (Bitset.disjoint s t)) sets
+
+let is_minimal_hitting_set sets t =
+  is_hitting_set sets t
+  && Bitset.fold
+       (fun e acc ->
+         acc
+         &&
+         let t' = Bitset.copy t in
+         Bitset.remove t' e;
+         not (is_hitting_set sets t'))
+       t true
+
+(* Berge's algorithm: fold hyperedges one at a time, maintaining the set of
+   minimal transversals of the prefix. *)
+let minimal_hitting_sets ?(cap = 256) sets =
+  match sets with
+  | [] -> []
+  | first :: _ ->
+    let capacity = Bitset.capacity first in
+    List.iter
+      (fun s ->
+        if Bitset.is_empty s then
+          invalid_arg "Transversal.minimal_hitting_sets: empty hyperedge")
+      sets;
+    let minimize candidates =
+      (* Keep inclusion-minimal candidates; sort by cardinality so any
+         superset appears after its subset. *)
+      let sorted =
+        List.sort
+          (fun a b -> compare (Bitset.cardinal a) (Bitset.cardinal b))
+          candidates
+      in
+      let kept =
+        List.fold_left
+          (fun kept c ->
+            if List.exists (fun k -> Bitset.subset k c) kept then kept
+            else c :: kept)
+          [] sorted
+      in
+      List.rev kept
+    in
+    let step transversals s =
+      let hit, missed = List.partition (fun t -> not (Bitset.disjoint t s)) transversals in
+      let extended =
+        List.concat_map
+          (fun t ->
+            Bitset.fold
+              (fun e acc ->
+                let t' = Bitset.copy t in
+                Bitset.add t' e;
+                t' :: acc)
+              s [])
+          missed
+      in
+      let merged = minimize (hit @ extended) in
+      if List.length merged > cap then
+        (* Keep the smallest transversals; they hit most aggressively and
+           stay minimal w.r.t. each other. *)
+        List.filteri (fun i _ -> i < cap)
+          (List.sort (fun a b -> compare (Bitset.cardinal a) (Bitset.cardinal b)) merged)
+      else merged
+    in
+    let init =
+      match sets with
+      | s :: _ ->
+        Bitset.fold
+          (fun e acc ->
+            let t = Bitset.create capacity in
+            Bitset.add t e;
+            t :: acc)
+          s []
+      | [] -> []
+    in
+    List.fold_left step init (List.tl sets)

@@ -1,0 +1,24 @@
+(** Minimal embedding cuts (paper §4.1.2).
+
+    An embedding cut of feature [f] in [gc] is an edge set whose removal
+    destroys every embedding of [f]; minimal cuts are exactly the minimal
+    transversals (hitting sets) of the hypergraph whose hyperedges are the
+    embeddings' edge sets. We enumerate them with Berge's sequential
+    dualisation, capped for safety. *)
+
+(** [minimal_hitting_sets ?cap sets] returns the inclusion-minimal bitsets
+    hitting every set in [sets] (all bitsets share a capacity). Returns
+    [[]] when [sets] is empty. Raises [Invalid_argument] if some set is
+    empty (no transversal can hit it... it is hit vacuously by nothing —
+    an empty hyperedge makes the dual empty). The result is truncated to
+    at most [cap] transversals (default [256]); truncation keeps minimality
+    of the returned sets. *)
+val minimal_hitting_sets :
+  ?cap:int -> Psst_util.Bitset.t list -> Psst_util.Bitset.t list
+
+(** [is_hitting_set sets t] checks that [t] intersects every set. *)
+val is_hitting_set : Psst_util.Bitset.t list -> Psst_util.Bitset.t -> bool
+
+(** [is_minimal_hitting_set sets t] additionally checks no proper subset
+    hits everything. *)
+val is_minimal_hitting_set : Psst_util.Bitset.t list -> Psst_util.Bitset.t -> bool

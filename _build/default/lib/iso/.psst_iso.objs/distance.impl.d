@@ -1,0 +1,1 @@
+lib/iso/distance.ml: Lgraph Mcs Vf2

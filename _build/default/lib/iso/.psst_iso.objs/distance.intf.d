@@ -1,0 +1,1 @@
+lib/iso/distance.mli: Lgraph

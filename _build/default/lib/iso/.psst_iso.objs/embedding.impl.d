@@ -1,0 +1,1 @@
+lib/iso/embedding.ml: Array Format Psst_util

@@ -1,0 +1,1 @@
+lib/iso/embedding.mli: Format Psst_util

@@ -1,0 +1,1 @@
+lib/iso/mcs.ml: Array Lgraph List

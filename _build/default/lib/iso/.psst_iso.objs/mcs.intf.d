@@ -1,0 +1,1 @@
+lib/iso/mcs.mli: Lgraph

@@ -1,0 +1,1 @@
+lib/iso/ullmann.ml: Array Embedding Lgraph List Psst_util

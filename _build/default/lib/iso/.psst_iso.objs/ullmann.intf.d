@@ -1,0 +1,1 @@
+lib/iso/ullmann.mli: Embedding Lgraph

@@ -1,0 +1,1 @@
+lib/iso/vf2.ml: Array Embedding Hashtbl Lgraph List Psst_util

@@ -1,0 +1,19 @@
+let lower_bound q g =
+  (* Any edge of q whose label has no unmatched counterpart in g cannot be
+     in a common subgraph; similarly each missing vertex label forces the
+     loss of at least one incident edge... conservatively we only use the
+     edge-label bound, which is always sound. *)
+  Lgraph.hist_missing (Lgraph.edge_label_hist q) (Lgraph.edge_label_hist g)
+
+let dis q g =
+  let c = Mcs.common_edges q g in
+  Lgraph.num_edges q - c
+
+let within q g ~delta =
+  if delta < 0 then false
+  else if lower_bound q g > delta then false
+  else if Vf2.exists q g then true
+  else
+    let needed = Lgraph.num_edges q - delta in
+    if needed <= 0 then true
+    else Mcs.common_edges ~stop_at:needed q g >= needed

@@ -1,0 +1,15 @@
+(** Subgraph distance (paper Def 8): [dis g1 g2 = |E(g1)| - |mcs(g1,g2)|],
+    and the derived subgraph-similarity test [dis g1 g2 <= delta]. *)
+
+(** Exact subgraph distance (small graphs; see {!Mcs.common_edges}). *)
+val dis : Lgraph.t -> Lgraph.t -> int
+
+(** [within q g ~delta] decides [dis q g <= delta] with fast paths:
+    a label-multiset lower bound on the distance, a direct VF2 test for
+    distance 0, then bounded MCS search stopping as soon as
+    [|E(q)| - delta] common edges are found. *)
+val within : Lgraph.t -> Lgraph.t -> delta:int -> bool
+
+(** Cheap lower bound on [dis q g] from vertex/edge label multisets; never
+    exceeds the true distance. *)
+val lower_bound : Lgraph.t -> Lgraph.t -> int

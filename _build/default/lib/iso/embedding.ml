@@ -1,0 +1,14 @@
+module Bitset = Psst_util.Bitset
+
+type t = { vmap : int array; edges : Bitset.t }
+
+let edge_disjoint a b = Bitset.disjoint a.edges b.edges
+let overlaps a b = not (edge_disjoint a b)
+let same_edges a b = Bitset.equal a.edges b.edges
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>emb vmap=[%a] edges=%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    (Array.to_list t.vmap) Bitset.pp t.edges

@@ -1,0 +1,21 @@
+(** Embeddings of a pattern in a target graph (paper Def 5).
+
+    An embedding records the injective vertex map and, crucially for the
+    probabilistic machinery, the set of target {e edge ids} it uses: bounds
+    on subgraph-isomorphism probability are built from edge-disjoint
+    embeddings. *)
+
+type t = {
+  vmap : int array;  (** pattern vertex -> target vertex *)
+  edges : Psst_util.Bitset.t;  (** target edge ids used by the embedding *)
+}
+
+(** Two embeddings are edge-disjoint when they share no target edge. *)
+val edge_disjoint : t -> t -> bool
+
+val overlaps : t -> t -> bool
+
+(** Equality as subgraphs of the target, i.e. same edge set. *)
+val same_edges : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+(* Branch and bound over injective partial maps g1 -> g2 ∪ {⊥}. An edge of
+   g1 counts when both endpoints are mapped and g2 carries an equally
+   labelled edge between the images. The admissible bound at depth d is
+   (current score) + (number of g1 edges with an endpoint ordered >= d). *)
+
+let vertex_order g =
+  let n = Lgraph.num_vertices g in
+  let order = Array.make n (-1) in
+  let placed = Array.make n false in
+  for i = 0 to n - 1 do
+    let best = ref (-1) in
+    let score v =
+      let conn =
+        List.length (List.filter (fun (w, _) -> placed.(w)) (Lgraph.neighbors g v))
+      in
+      (conn, Lgraph.degree g v)
+    in
+    for v = 0 to n - 1 do
+      if (not placed.(v)) && (!best < 0 || score v > score !best) then best := v
+    done;
+    order.(i) <- !best;
+    placed.(!best) <- true
+  done;
+  order
+
+let common_edges ?stop_at ?(node_budget = max_int) g1 g2 =
+  let n1 = Lgraph.num_vertices g1 and n2 = Lgraph.num_vertices g2 in
+  if Lgraph.num_edges g1 = 0 || Lgraph.num_edges g2 = 0 then 0
+  else begin
+    let order = vertex_order g1 in
+    let pos = Array.make n1 (-1) in
+    Array.iteri (fun i v -> pos.(v) <- i) order;
+    (* future_edges.(d) = # edges of g1 with max endpoint position >= d. *)
+    let future_edges = Array.make (n1 + 1) 0 in
+    Array.iter
+      (fun (e : Lgraph.edge) ->
+        let last = max pos.(e.u) pos.(e.v) in
+        for d = 0 to last do
+          future_edges.(d) <- future_edges.(d) + 1
+        done)
+      (Lgraph.edges g1);
+    let map = Array.make n1 (-1) in
+    let used = Array.make n2 false in
+    let best = ref 0 in
+    let nodes = ref 0 in
+    let target = match stop_at with Some s -> s | None -> max_int in
+    let exception Done in
+    let rec go depth score =
+      incr nodes;
+      if !nodes > node_budget then raise Done;
+      if score > !best then begin
+        best := score;
+        if !best >= target then raise Done
+      end;
+      if depth < n1 && score + future_edges.(depth) > !best then begin
+        let u = order.(depth) in
+        let gained tv =
+          (* Edges of g1 from u to already-mapped vertices realised in g2. *)
+          List.fold_left
+            (fun acc (w, eid) ->
+              if map.(w) >= 0 then
+                match Lgraph.find_edge g2 tv map.(w) with
+                | Some te when te.label = (Lgraph.edge g1 eid).label -> acc + 1
+                | Some _ | None -> acc
+              else acc)
+            0 (Lgraph.neighbors g1 u)
+        in
+        (* Try target vertices with the same label, best local gain first. *)
+        let cands = ref [] in
+        for tv = 0 to n2 - 1 do
+          if (not used.(tv)) && Lgraph.vertex_label g2 tv = Lgraph.vertex_label g1 u
+          then cands := (gained tv, tv) :: !cands
+        done;
+        let cands = List.sort (fun (a, _) (b, _) -> compare b a) !cands in
+        List.iter
+          (fun (gain, tv) ->
+            map.(u) <- tv;
+            used.(tv) <- true;
+            go (depth + 1) (score + gain);
+            used.(tv) <- false;
+            map.(u) <- -1)
+          cands;
+        (* Leave u unmatched. *)
+        go (depth + 1) score
+      end
+    in
+    (try go 0 0 with Done -> ());
+    !best
+  end

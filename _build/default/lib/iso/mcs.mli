@@ -1,0 +1,14 @@
+(** Maximum common subgraph (paper Def 7): the largest subgraph of [g2]
+    that is subgraph-isomorphic to a subgraph of [g1], measured in edges.
+
+    Branch-and-bound over injective partial vertex maps from [g1] into
+    [g2]; exponential in the worst case, intended for the query-sized
+    graphs of the search pipeline. *)
+
+(** [common_edges g1 g2] is |mcs(g1, g2)| in edges.
+
+    [stop_at]: stop early (returning at least [stop_at]) once that many
+    common edges are found — used for threshold checks.
+    [node_budget]: cap on explored search nodes; when exhausted the value
+    found so far is returned (a lower bound on the true MCS). *)
+val common_edges : ?stop_at:int -> ?node_budget:int -> Lgraph.t -> Lgraph.t -> int

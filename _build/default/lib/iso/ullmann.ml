@@ -1,0 +1,144 @@
+module Bitset = Psst_util.Bitset
+
+(* Candidate domains: dom.(u) = set of target vertices that could host
+   pattern vertex u. Initialised from vertex labels, degrees, and labelled
+   neighbourhood signatures; refined by Ullmann's arc-consistency rule
+   after every assignment: v stays in dom(u) only if every pattern
+   neighbour w of u keeps a candidate adjacent to v through an equally
+   labelled edge. *)
+
+let initial_domains pattern target =
+  let np = Lgraph.num_vertices pattern and nt = Lgraph.num_vertices target in
+  let label_degree g v =
+    (* multiset of incident edge labels, as a sorted list *)
+    Lgraph.neighbors g v
+    |> List.map (fun (_, eid) -> (Lgraph.edge g eid).label)
+    |> List.sort compare
+  in
+  let rec sub_multiset a b =
+    (* a ⊆ b for sorted lists *)
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: a', y :: b' ->
+      if x = y then sub_multiset a' b'
+      else if y < x then sub_multiset a b'
+      else false
+  in
+  let tsigs = Array.init nt (fun v -> label_degree target v) in
+  Array.init np (fun u ->
+      let d = Bitset.create nt in
+      let usig = label_degree pattern u in
+      for v = 0 to nt - 1 do
+        if
+          Lgraph.vertex_label pattern u = Lgraph.vertex_label target v
+          && Lgraph.degree target v >= Lgraph.degree pattern u
+          && sub_multiset usig tsigs.(v)
+        then Bitset.add d v
+      done;
+      d)
+
+(* One pass of arc-consistency; returns false if a domain empties. *)
+let refine pattern target dom =
+  let np = Lgraph.num_vertices pattern in
+  let changed = ref true and ok = ref true in
+  while !changed && !ok do
+    changed := false;
+    for u = 0 to np - 1 do
+      if !ok then
+        Bitset.iter
+          (fun v ->
+            let supported =
+              List.for_all
+                (fun (w, eid) ->
+                  let elab = (Lgraph.edge pattern eid).label in
+                  (* some candidate of w is adjacent to v via elab *)
+                  Lgraph.neighbors target v
+                  |> List.exists (fun (tv, teid) ->
+                         (Lgraph.edge target teid).label = elab
+                         && Bitset.mem dom.(w) tv))
+                (Lgraph.neighbors pattern u)
+            in
+            if not supported then begin
+              Bitset.remove dom.(u) v;
+              changed := true
+            end)
+          (Bitset.copy dom.(u));
+      if Bitset.is_empty dom.(u) then ok := false
+    done
+  done;
+  !ok
+
+let iter pattern target f =
+  let np = Lgraph.num_vertices pattern and nt = Lgraph.num_vertices target in
+  if np > nt || Lgraph.num_edges pattern > Lgraph.num_edges target then ()
+  else begin
+    let dom0 = initial_domains pattern target in
+    if refine pattern target dom0 then begin
+      let stop = ref false in
+      let assignment = Array.make np (-1) in
+      (* Assign pattern vertices in ascending initial-domain-size order. *)
+      let order =
+        List.init np (fun u -> u)
+        |> List.sort (fun a b ->
+               compare (Bitset.cardinal dom0.(a)) (Bitset.cardinal dom0.(b)))
+        |> Array.of_list
+      in
+      let rec go depth (dom : Bitset.t array) =
+        if !stop then ()
+        else if depth = np then begin
+          let edges = Bitset.create (Lgraph.num_edges target) in
+          Array.iter
+            (fun (e : Lgraph.edge) ->
+              match Lgraph.find_edge target assignment.(e.u) assignment.(e.v) with
+              | Some te -> Bitset.add edges te.id
+              | None -> assert false)
+            (Lgraph.edges pattern);
+          if not (f { Embedding.vmap = Array.copy assignment; edges }) then
+            stop := true
+        end
+        else begin
+          let u = order.(depth) in
+          Bitset.iter
+            (fun v ->
+              if not !stop then begin
+                (* Restrict domains: u -> v, v excluded elsewhere. *)
+                let dom' = Array.map Bitset.copy dom in
+                Bitset.clear dom'.(u);
+                Bitset.add dom'.(u) v;
+                Array.iteri
+                  (fun w d -> if w <> u then Bitset.remove d v)
+                  dom';
+                if refine pattern target dom' then begin
+                  assignment.(u) <- v;
+                  go (depth + 1) dom';
+                  assignment.(u) <- -1
+                end
+              end)
+            dom.(u)
+        end
+      in
+      go 0 dom0
+    end
+  end
+
+let exists pattern target =
+  let found = ref false in
+  iter pattern target (fun _ ->
+      found := true;
+      false);
+  !found
+
+let find_one pattern target =
+  let result = ref None in
+  iter pattern target (fun e ->
+      result := Some e;
+      false);
+  !result
+
+let count ?limit pattern target =
+  let n = ref 0 in
+  iter pattern target (fun _ ->
+      incr n;
+      match limit with Some l -> !n < l | None -> true);
+  !n

@@ -1,0 +1,20 @@
+(** Ullmann-style subgraph isomorphism with bitset candidate domains and
+    arc-consistency refinement.
+
+    A second, independent matcher used to cross-validate {!Vf2} (property
+    tests assert they agree) and as an ablation arm in the benchmarks.
+    Same semantics as {!Vf2}: non-induced matching, vertex and edge labels
+    must match, patterns may be disconnected. *)
+
+(** [exists pattern target] tests [pattern ⊆iso target]. *)
+val exists : Lgraph.t -> Lgraph.t -> bool
+
+(** First embedding found, if any. *)
+val find_one : Lgraph.t -> Lgraph.t -> Embedding.t option
+
+(** [iter pattern target f] enumerates embeddings (one per injective
+    vertex map); [f] returns [true] to continue. *)
+val iter : Lgraph.t -> Lgraph.t -> (Embedding.t -> bool) -> unit
+
+(** [count ?limit pattern target] counts vertex-map embeddings. *)
+val count : ?limit:int -> Lgraph.t -> Lgraph.t -> int

@@ -1,0 +1,148 @@
+module Bitset = Psst_util.Bitset
+
+(* Pattern vertices are matched in a precomputed order that keeps each new
+   vertex adjacent to an already-matched one whenever possible (pure VF2
+   connectivity heuristic); disconnected patterns fall back to an arbitrary
+   unmatched vertex when no connected choice remains. *)
+
+let matching_order pattern =
+  let n = Lgraph.num_vertices pattern in
+  let order = Array.make n (-1) in
+  let placed = Array.make n false in
+  let degree v = Lgraph.degree pattern v in
+  let next_seed () =
+    (* Highest degree first among unplaced vertices. *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not placed.(v)) && (!best < 0 || degree v > degree !best) then best := v
+    done;
+    !best
+  in
+  let idx = ref 0 in
+  while !idx < n do
+    (* Prefer an unplaced vertex adjacent to a placed one, with max degree. *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if not placed.(v) then
+        let touches =
+          List.exists (fun (w, _) -> placed.(w)) (Lgraph.neighbors pattern v)
+        in
+        if touches && (!best < 0 || degree v > degree !best) then best := v
+    done;
+    let v = if !best >= 0 then !best else next_seed () in
+    order.(!idx) <- v;
+    placed.(v) <- true;
+    incr idx
+  done;
+  order
+
+let compatible_vertex pattern target pu tv =
+  Lgraph.vertex_label pattern pu = Lgraph.vertex_label target tv
+
+let iter pattern target f =
+  let np = Lgraph.num_vertices pattern in
+  let nt = Lgraph.num_vertices target in
+  if np > nt || Lgraph.num_edges pattern > Lgraph.num_edges target then ()
+  else begin
+    let order = matching_order pattern in
+    let pmap = Array.make np (-1) in
+    (* pattern -> target *)
+    let used = Array.make nt false in
+    let stop = ref false in
+    let rec go depth =
+      if !stop then ()
+      else if depth = np then begin
+        (* Collect the target edges realising each pattern edge. *)
+        let edges = Bitset.create (Lgraph.num_edges target) in
+        Array.iter
+          (fun (e : Lgraph.edge) ->
+            match Lgraph.find_edge target pmap.(e.u) pmap.(e.v) with
+            | Some te -> Bitset.add edges te.id
+            | None -> assert false)
+          (Lgraph.edges pattern);
+        if not (f { Embedding.vmap = Array.copy pmap; edges }) then stop := true
+      end
+      else begin
+        let pu = order.(depth) in
+        let matched_neighbors =
+          Lgraph.neighbors pattern pu
+          |> List.filter_map (fun (w, eid) ->
+                 if pmap.(w) >= 0 then Some (pmap.(w), (Lgraph.edge pattern eid).label)
+                 else None)
+        in
+        let candidates =
+          match matched_neighbors with
+          | (tv_anchor, elab) :: _ ->
+            (* Candidates must be neighbors of the mapped anchor through an
+               edge with the right label. *)
+            Lgraph.neighbors target tv_anchor
+            |> List.filter_map (fun (tw, teid) ->
+                   if (Lgraph.edge target teid).label = elab then Some tw else None)
+          | [] -> List.init nt (fun v -> v)
+        in
+        let feasible tv =
+          (not used.(tv))
+          && compatible_vertex pattern target pu tv
+          && Lgraph.degree target tv >= Lgraph.degree pattern pu
+          && List.for_all
+               (fun (tw, elab) ->
+                 match Lgraph.find_edge target tv tw with
+                 | Some te -> te.label = elab
+                 | None -> false)
+               matched_neighbors
+        in
+        List.iter
+          (fun tv ->
+            if (not !stop) && feasible tv then begin
+              pmap.(pu) <- tv;
+              used.(tv) <- true;
+              go (depth + 1);
+              pmap.(pu) <- -1;
+              used.(tv) <- false
+            end)
+          (List.sort_uniq compare candidates)
+      end
+    in
+    (* Quick multiset pre-filters. *)
+    let vh_p = Lgraph.vertex_label_hist pattern
+    and vh_t = Lgraph.vertex_label_hist target in
+    let eh_p = Lgraph.edge_label_hist pattern
+    and eh_t = Lgraph.edge_label_hist target in
+    if Lgraph.hist_missing vh_p vh_t = 0 && Lgraph.hist_missing eh_p eh_t = 0 then
+      go 0
+  end
+
+let exists pattern target =
+  let found = ref false in
+  iter pattern target (fun _ ->
+      found := true;
+      false);
+  !found
+
+let find_one pattern target =
+  let result = ref None in
+  iter pattern target (fun e ->
+      result := Some e;
+      false);
+  !result
+
+let count ?limit pattern target =
+  let n = ref 0 in
+  iter pattern target (fun _ ->
+      incr n;
+      match limit with Some l -> !n < l | None -> true);
+  !n
+
+let distinct_embeddings ?(cap = max_int) pattern target =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let n = ref 0 in
+  iter pattern target (fun e ->
+      let key = Bitset.elements e.Embedding.edges in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        out := e :: !out;
+        incr n
+      end;
+      !n < cap);
+  List.rev !out

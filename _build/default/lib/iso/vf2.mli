@@ -1,0 +1,27 @@
+(** VF2-style subgraph isomorphism (paper Def 5, ref [10]).
+
+    Non-induced subgraph matching: every pattern edge must map to a target
+    edge with equal label and matching endpoint labels; extra target edges
+    are allowed. Patterns may be disconnected (relaxed queries can be). *)
+
+(** [iter pattern target f] enumerates embeddings; [f] returns [true] to
+    continue and [false] to stop the search. Embeddings are produced once
+    per injective vertex map (the same target subgraph may appear under
+    several maps when the pattern has automorphisms). *)
+val iter : Lgraph.t -> Lgraph.t -> (Embedding.t -> bool) -> unit
+
+(** [exists pattern target] tests [pattern ⊆iso target]. *)
+val exists : Lgraph.t -> Lgraph.t -> bool
+
+(** First embedding if any. *)
+val find_one : Lgraph.t -> Lgraph.t -> Embedding.t option
+
+(** [count pattern target] counts vertex-map embeddings (capped by
+    [limit] when given). *)
+val count : ?limit:int -> Lgraph.t -> Lgraph.t -> int
+
+(** [distinct_embeddings ~cap pattern target] enumerates embeddings
+    deduplicated by target edge set — the paper's embedding set [Ef]
+    (ref [36]). Stops after collecting [cap] distinct subgraphs. *)
+val distinct_embeddings :
+  ?cap:int -> Lgraph.t -> Lgraph.t -> Embedding.t list

@@ -1,0 +1,1 @@
+lib/labeled_graph/canon.ml: Array Buffer Hashtbl Lgraph List Printf

@@ -1,0 +1,1 @@
+lib/labeled_graph/canon.mli: Lgraph

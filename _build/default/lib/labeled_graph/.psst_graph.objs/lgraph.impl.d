@@ -1,0 +1,1 @@
+lib/labeled_graph/lgraph.ml: Array Buffer Format Hashtbl List Option Printf Psst_util String

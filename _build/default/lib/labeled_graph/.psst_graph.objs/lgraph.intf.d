@@ -1,0 +1,1 @@
+lib/labeled_graph/lgraph.mli: Format Psst_util

@@ -1,0 +1,157 @@
+(* Canonical labelling by backtracking over vertex orderings, pruned by
+   partial-code comparison and colour refinement. The canonical code is the
+   lexicographically smallest sequence of "rows", one per placed vertex:
+   row i = (vertex label, sorted [(position of earlier neighbor, edge label)]).
+   That sequence determines the labelled graph up to isomorphism. *)
+
+let refine g =
+  let n = Lgraph.num_vertices g in
+  let colors = Array.init n (fun v -> Lgraph.vertex_label g v) in
+  let stable = ref false in
+  while not !stable do
+    let signature v =
+      let neigh =
+        Lgraph.neighbors g v
+        |> List.map (fun (w, eid) -> ((Lgraph.edge g eid).label, colors.(w)))
+        |> List.sort compare
+      in
+      (colors.(v), neigh)
+    in
+    let sigs = Array.init n signature in
+    (* Re-index signatures densely, ordered so colours are stable ints. *)
+    let sorted = List.sort_uniq compare (Array.to_list sigs) in
+    let index s =
+      let rec go i = function
+        | [] -> assert false
+        | x :: rest -> if x = s then i else go (i + 1) rest
+      in
+      go 0 sorted
+    in
+    let next = Array.map index sigs in
+    if next = colors then stable := true
+    else Array.blit next 0 colors 0 n
+  done;
+  colors
+
+type row = { vlab : int; adj : (int * int) list (* (earlier position, edge label) *) }
+
+let compare_row a b = compare (a.vlab, a.adj) (b.vlab, b.adj)
+
+let code g =
+  let n = Lgraph.num_vertices g in
+  if n = 0 then ""
+  else begin
+    let colors = refine g in
+    let pos = Array.make n (-1) in
+    (* position -> vertex *)
+    let placed = Array.make n (-1) in
+    let best : row array option ref = ref None in
+    let current = Array.make n { vlab = 0; adj = [] } in
+    let row_of v depth =
+      ignore depth;
+      let adj =
+        Lgraph.neighbors g v
+        |> List.filter_map (fun (w, eid) ->
+               if pos.(w) >= 0 then Some (pos.(w), (Lgraph.edge g eid).label)
+               else None)
+        |> List.sort compare
+      in
+      { vlab = Lgraph.vertex_label g v; adj }
+    in
+    (* Twins: same refined colour and identical labelled neighbourhoods are
+       automorphic images of each other; trying one representative suffices. *)
+    let twin_key v =
+      let neigh =
+        Lgraph.neighbors g v
+        |> List.map (fun (w, eid) -> (w, (Lgraph.edge g eid).label))
+        |> List.sort compare
+      in
+      (colors.(v), Lgraph.vertex_label g v, neigh)
+    in
+    let rec go depth =
+      if depth = n then begin
+        let complete = Array.copy current in
+        match !best with
+        | None -> best := Some complete
+        | Some b ->
+          let rec cmp i =
+            if i >= n then 0
+            else
+              match compare_row complete.(i) b.(i) with 0 -> cmp (i + 1) | c -> c
+          in
+          if cmp 0 < 0 then best := Some complete
+      end
+      else begin
+        let candidates =
+          List.init n (fun v -> v)
+          |> List.filter (fun v -> pos.(v) < 0)
+        in
+        (* Deduplicate automorphic twins among candidates. *)
+        let seen = Hashtbl.create 8 in
+        let candidates =
+          List.filter
+            (fun v ->
+              let k = twin_key v in
+              if Hashtbl.mem seen k then false
+              else begin
+                Hashtbl.add seen k ();
+                true
+              end)
+            candidates
+        in
+        (* Order by the row they would produce so promising branches come
+           first (helps pruning). *)
+        let with_rows = List.map (fun v -> (row_of v depth, v)) candidates in
+        let with_rows =
+          List.sort (fun (r1, _) (r2, _) -> compare_row r1 r2) with_rows
+        in
+        List.iter
+          (fun (row, v) ->
+            let prune =
+              match !best with
+              | None -> false
+              | Some b ->
+                (* If the current prefix is already strictly greater than the
+                   best prefix, no completion can win. Equal prefixes must be
+                   explored. *)
+                let rec cmp i =
+                  if i >= depth then compare_row row b.(depth)
+                  else
+                    match compare_row current.(i) b.(i) with
+                    | 0 -> cmp (i + 1)
+                    | c -> c
+                in
+                cmp 0 > 0
+            in
+            if not prune then begin
+              pos.(v) <- depth;
+              placed.(depth) <- v;
+              current.(depth) <- row;
+              go (depth + 1);
+              pos.(v) <- -1;
+              placed.(depth) <- -1
+            end)
+          with_rows
+      end
+    in
+    go 0;
+    match !best with
+    | None -> assert false
+    | Some rows ->
+      let buf = Buffer.create 64 in
+      Array.iter
+        (fun r ->
+          Buffer.add_string buf (string_of_int r.vlab);
+          Buffer.add_char buf ':';
+          List.iter
+            (fun (p, l) -> Buffer.add_string buf (Printf.sprintf "%d,%d;" p l))
+            r.adj;
+          Buffer.add_char buf '|')
+        rows;
+      Buffer.contents buf
+  end
+
+let equal_iso a b =
+  Lgraph.num_vertices a = Lgraph.num_vertices b
+  && Lgraph.num_edges a = Lgraph.num_edges b
+  && code a = code b

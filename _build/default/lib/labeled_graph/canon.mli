@@ -1,0 +1,16 @@
+(** Canonical forms for small labelled graphs.
+
+    [code g] is a string such that two graphs get the same string iff they
+    are isomorphic (respecting vertex and edge labels). Intended for the
+    small graphs handled during feature mining and query relaxation
+    (exponential worst case; fine up to ~12-14 vertices thanks to
+    colour-refinement pruning). *)
+
+val code : Lgraph.t -> string
+
+(** [equal_iso a b] tests isomorphism via canonical codes. *)
+val equal_iso : Lgraph.t -> Lgraph.t -> bool
+
+(** Colour refinement (1-WL) classes: stable colour per vertex. Exposed for
+    tests and for candidate ordering heuristics elsewhere. *)
+val refine : Lgraph.t -> int array

@@ -1,0 +1,219 @@
+module Bitset = Psst_util.Bitset
+
+type edge = { u : int; v : int; label : int; id : int }
+
+type t = {
+  vlabels : int array;
+  edges : edge array;
+  adj : (int * int) list array;
+}
+
+let num_vertices t = Array.length t.vlabels
+let num_edges t = Array.length t.edges
+
+let norm u v = if u <= v then (u, v) else (v, u)
+
+let create ~vlabels ~edges =
+  let n = Array.length vlabels in
+  let seen = Hashtbl.create 16 in
+  let mk id (u, v, label) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Lgraph.create: endpoint out of range";
+    if u = v then invalid_arg "Lgraph.create: self loop";
+    let key = norm u v in
+    if Hashtbl.mem seen key then invalid_arg "Lgraph.create: duplicate edge";
+    Hashtbl.add seen key ();
+    let u, v = key in
+    { u; v; label; id }
+  in
+  let edges = Array.of_list (List.mapi mk edges) in
+  let adj = Array.make n [] in
+  Array.iter
+    (fun e ->
+      adj.(e.u) <- (e.v, e.id) :: adj.(e.u);
+      adj.(e.v) <- (e.u, e.id) :: adj.(e.v))
+    edges;
+  (* Deterministic neighbor order regardless of insertion order. *)
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  { vlabels = Array.copy vlabels; edges; adj }
+
+let vertices_only ~vlabels = create ~vlabels ~edges:[]
+
+let vertex_label t v = t.vlabels.(v)
+let vertex_labels t = Array.copy t.vlabels
+let edge t id = t.edges.(id)
+let edges t = Array.copy t.edges
+let neighbors t v = t.adj.(v)
+let degree t v = List.length t.adj.(v)
+
+let find_edge t u v =
+  let u, v = norm u v in
+  List.find_map
+    (fun (w, eid) -> if w = v then Some t.edges.(eid) else None)
+    t.adj.(u)
+
+let has_edge t u v = Option.is_some (find_edge t u v)
+
+let other_endpoint e v =
+  if e.u = v then e.v
+  else if e.v = v then e.u
+  else invalid_arg "Lgraph.other_endpoint: vertex not on edge"
+
+let components t =
+  let n = num_vertices t in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for s = 0 to n - 1 do
+    if not seen.(s) then begin
+      let comp = ref [] in
+      let stack = ref [ s ] in
+      seen.(s) <- true;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+          stack := rest;
+          comp := v :: !comp;
+          List.iter
+            (fun (w, _) ->
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                stack := w :: !stack
+              end)
+            t.adj.(v)
+      done;
+      comps := List.rev !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected t = num_vertices t <= 1 || List.length (components t) = 1
+
+let is_connected_ignoring_isolated t =
+  let nontrivial = List.filter (function [ _ ] -> false | _ -> true) (components t) in
+  List.length nontrivial <= 1
+
+let of_edge_list t kept =
+  let edges = List.map (fun e -> (e.u, e.v, e.label)) kept in
+  create ~vlabels:t.vlabels ~edges
+
+let with_edge_mask t mask =
+  let kept = List.filter (fun e -> Bitset.mem mask e.id) (Array.to_list t.edges) in
+  (of_edge_list t kept, Array.of_list (List.map (fun e -> e.id) kept))
+
+let delete_edges t ids =
+  let kept = List.filter (fun e -> not (List.mem e.id ids)) (Array.to_list t.edges) in
+  of_edge_list t kept
+
+let relabel_edge t id label =
+  let edges =
+    Array.to_list t.edges
+    |> List.map (fun e -> (e.u, e.v, if e.id = id then label else e.label))
+  in
+  create ~vlabels:t.vlabels ~edges
+
+let induced_subgraph t vs =
+  let map_new_to_old = Array.of_list vs in
+  let old_to_new = Hashtbl.create (List.length vs) in
+  List.iteri (fun i v -> Hashtbl.replace old_to_new v i) vs;
+  let vlabels = Array.map (vertex_label t) map_new_to_old in
+  let edges =
+    Array.to_list t.edges
+    |> List.filter_map (fun e ->
+           match (Hashtbl.find_opt old_to_new e.u, Hashtbl.find_opt old_to_new e.v) with
+           | Some u, Some v -> Some (u, v, e.label)
+           | _ -> None)
+  in
+  (create ~vlabels ~edges, map_new_to_old)
+
+let drop_isolated t =
+  let keep =
+    List.init (num_vertices t) (fun v -> v) |> List.filter (fun v -> degree t v > 0)
+  in
+  induced_subgraph t keep
+
+let triangles t =
+  let tris = ref [] in
+  Array.iter
+    (fun e ->
+      (* For each edge (u,v), look for common neighbors w > max(u,v) paired
+         with both endpoints; ordering avoids reporting a triangle thrice. *)
+      List.iter
+        (fun (w, eid_uw) ->
+          if w > e.v then
+            match find_edge t e.v w with
+            | Some e_vw ->
+              let tri = List.sort compare [ e.id; eid_uw; e_vw.id ] in
+              (match tri with
+              | [ a; b; c ] -> tris := (a, b, c) :: !tris
+              | _ -> assert false)
+            | None -> ())
+        t.adj.(e.u))
+    t.edges;
+  List.sort_uniq compare !tris
+
+let star_edge_sets t =
+  List.init (num_vertices t) (fun v -> List.map snd t.adj.(v))
+  |> List.filter (fun l -> List.length l >= 2)
+  |> List.map (List.sort compare)
+
+let hist_of_list labels =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun l -> Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    labels;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let vertex_label_hist t = hist_of_list (Array.to_list t.vlabels)
+
+let edge_label_hist t =
+  hist_of_list (List.map (fun e -> e.label) (Array.to_list t.edges))
+
+let hist_missing a b =
+  List.fold_left
+    (fun acc (label, count) ->
+      let there = Option.value ~default:0 (List.assoc_opt label b) in
+      acc + max 0 (count - there))
+    0 a
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Array.iter (fun l -> Buffer.add_string buf (Printf.sprintf "v %d\n" l)) t.vlabels;
+  Array.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "e %d %d %d\n" e.u e.v e.label))
+    t.edges;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let vlabels = ref [] and edges = ref [] in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ "v"; l ] -> vlabels := int_of_string l :: !vlabels
+      | [ "e"; u; v; l ] ->
+        edges := (int_of_string u, int_of_string v, int_of_string l) :: !edges
+      | _ -> invalid_arg ("Lgraph.of_string: bad line: " ^ line))
+    lines;
+  create ~vlabels:(Array.of_list (List.rev !vlabels)) ~edges:(List.rev !edges)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph (%d vertices, %d edges)" (num_vertices t)
+    (num_edges t);
+  Array.iteri (fun v l -> Format.fprintf ppf "@,  v%d: label %d" v l) t.vlabels;
+  Array.iter
+    (fun e -> Format.fprintf ppf "@,  e%d: %d--%d label %d" e.id e.u e.v e.label)
+    t.edges;
+  Format.fprintf ppf "@]"
+
+let equal_structure a b =
+  num_vertices a = num_vertices b
+  && a.vlabels = b.vlabels
+  &&
+  let key e = (e.u, e.v, e.label) in
+  let sorted g = Array.to_list g.edges |> List.map key |> List.sort compare in
+  sorted a = sorted b

@@ -1,0 +1,114 @@
+(** Undirected graphs with integer vertex and edge labels (paper Def 1).
+
+    Vertices are dense ints [0 .. num_vertices-1]. Edges carry a stable [id]
+    in [0 .. num_edges-1]; edge ids index the bitset "edge masks" used for
+    possible worlds, embeddings and cuts throughout the library.
+
+    Values of type [t] are immutable once built. *)
+
+type edge = { u : int; v : int; label : int; id : int }
+
+type t
+
+(** {1 Construction} *)
+
+(** [create ~vlabels ~edges] builds a graph from vertex labels and
+    [(u, v, label)] triples. Edge ids are assigned in list order. Raises
+    [Invalid_argument] on out-of-range endpoints, self loops, or duplicate
+    (u,v) pairs. *)
+val create : vlabels:int array -> edges:(int * int * int) list -> t
+
+(** Empty graph with [n] vertices labelled by [vlabels]. *)
+val vertices_only : vlabels:int array -> t
+
+(** {1 Accessors} *)
+
+val num_vertices : t -> int
+val num_edges : t -> int
+val vertex_label : t -> int -> int
+val vertex_labels : t -> int array
+
+(** [edge t id] is the edge with the given id. *)
+val edge : t -> int -> edge
+
+val edges : t -> edge array
+
+(** [find_edge t u v] is the edge between [u] and [v] if any. *)
+val find_edge : t -> int -> int -> edge option
+
+val has_edge : t -> int -> int -> bool
+
+(** [neighbors t v] lists [(neighbor, edge_id)] pairs. *)
+val neighbors : t -> int -> (int * int) list
+
+val degree : t -> int -> int
+
+(** [other_endpoint e v] is the endpoint of [e] that is not [v]. *)
+val other_endpoint : edge -> int -> int
+
+(** {1 Connectivity} *)
+
+val is_connected : t -> bool
+
+(** Connected components as lists of vertices. *)
+val components : t -> int list list
+
+(** [is_connected_ignoring_isolated t] ignores degree-0 vertices; true for the
+    empty edge set. *)
+val is_connected_ignoring_isolated : t -> bool
+
+(** {1 Derived graphs} *)
+
+(** [with_edge_mask t mask] keeps all vertices and only the edges whose id is
+    in [mask]; surviving edges keep their original ids' order but are
+    re-numbered densely. The returned array maps new edge id -> old edge id. *)
+val with_edge_mask : t -> Psst_util.Bitset.t -> t * int array
+
+(** [delete_edges t ids] removes the given edges (keeping all vertices). *)
+val delete_edges : t -> int list -> t
+
+(** [relabel_edge t id label] replaces one edge label. *)
+val relabel_edge : t -> int -> int -> t
+
+(** [induced_subgraph t vs] keeps the vertices in [vs] (renumbered in list
+    order) and all edges between them. Returns the graph and the vertex map
+    new -> old. *)
+val induced_subgraph : t -> int list -> t * int array
+
+(** [drop_isolated t] removes degree-0 vertices; returns map new -> old. *)
+val drop_isolated : t -> t * int array
+
+(** {1 Structure queries} *)
+
+(** All triangles as sorted triples of edge ids. *)
+val triangles : t -> (int * int * int) list
+
+(** [star_edge_sets t] lists, for each vertex of degree >= 2, the ids of its
+    incident edges — the "incident to the same vertex" neighbor-edge sets of
+    paper Def 1. *)
+val star_edge_sets : t -> int list list
+
+(** Multiset of vertex labels as a sorted association list label -> count. *)
+val vertex_label_hist : t -> (int * int) list
+
+(** Multiset of edge labels as a sorted association list label -> count. *)
+val edge_label_hist : t -> (int * int) list
+
+(** [hist_missing a b] is the number of entries of multiset [a] (as produced
+    by the [_hist] functions) that have no counterpart in [b]; a lower bound
+    on how many elements of [a] cannot be matched in [b]. *)
+val hist_missing : (int * int) list -> (int * int) list -> int
+
+(** {1 Serialisation} *)
+
+(** Stable textual format: one [v <label>] line per vertex then one
+    [e <u> <v> <label>] line per edge. *)
+val to_string : t -> string
+
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Structural equality of the underlying labelled graphs (same vertex count,
+    labels, and edge set; edge ids may differ). *)
+val equal_structure : t -> t -> bool

@@ -1,0 +1,47 @@
+(** Feature generation for the probabilistic matrix index — paper §4.2,
+    Algorithm 4.
+
+    Features are small connected labelled graphs mined from the certain
+    database [Dc] by level-wise pattern growth with canonical-form
+    deduplication (refs [36, 37]). A feature is kept when it is
+
+    - {e frequent}: [frq f = |{g : f ⊆iso gc ∧ |IN|/|Ef| >= alpha}| / |D|
+      >= beta], where [Ef] is the feature's distinct-embedding set in [gc]
+      and [IN] a maximum edge-disjoint subset of it (Rule 1 — many disjoint
+      embeddings make the SIP bounds tight);
+    - {e discriminative}: [dis f = |∩ Df'| / |Df| >= 1 + gamma] over the
+      one-edge-smaller subfeatures [f'] already selected (the paper states
+      [dis f > gamma]; since [dis f >= 1] whenever [Df] is non-empty we add
+      the [1 +] offset so the knob actually bites — see DESIGN.md);
+    - {e small}: at most [max_edges] edges (Rule 2).
+
+    Single-vertex and single-edge features are always included (Algorithm 4
+    lines 1-4); they guarantee that every relaxed query is covered by some
+    feature during pruning. *)
+
+type params = {
+  alpha : float;  (** disjoint-embedding ratio threshold *)
+  beta : float;  (** frequency threshold *)
+  gamma : float;  (** discriminative margin *)
+  max_edges : int;  (** maximum feature size in edges (the paper's maxL) *)
+  emb_cap : int;  (** cap on embeddings enumerated per (feature, graph) *)
+}
+
+(** alpha = beta = gamma = 0.15, max_edges = 3, emb_cap = 64. *)
+val default_params : params
+
+type feature = {
+  graph : Lgraph.t;  (** the feature pattern *)
+  key : string;  (** canonical code *)
+  support : int list;  (** [Df]: indices of graphs with [f ⊆iso gc] *)
+  strong_support : int list;
+      (** support graphs whose disjoint-embedding ratio reaches [alpha] *)
+}
+
+(** [select db params] mines and filters features over the certain graphs. *)
+val select : Lgraph.t array -> params -> feature list
+
+(** [max_disjoint_embeddings embs] — size of a maximum edge-disjoint subset
+    (exact max-weight clique on the disjointness graph with unit weights,
+    greedy beyond the node budget). *)
+val max_disjoint_embeddings : Embedding.t list -> int

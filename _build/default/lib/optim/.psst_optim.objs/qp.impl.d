@@ -1,0 +1,1 @@
+lib/optim/qp.ml: Array Float List Psst_util

@@ -1,0 +1,1 @@
+lib/optim/qp.mli: Psst_util

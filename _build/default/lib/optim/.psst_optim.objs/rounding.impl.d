@@ -1,0 +1,1 @@
+lib/optim/rounding.ml: Array List Psst_util Qp

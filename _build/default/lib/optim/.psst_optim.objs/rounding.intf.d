@@ -1,0 +1,1 @@
+lib/optim/rounding.mli: Psst_util Qp

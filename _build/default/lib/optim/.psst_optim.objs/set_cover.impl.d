@@ -1,0 +1,1 @@
+lib/optim/set_cover.ml: Array Float List Psst_util

@@ -1,0 +1,1 @@
+lib/optim/set_cover.mli: Psst_util

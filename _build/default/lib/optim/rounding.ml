@@ -1,0 +1,56 @@
+module Bitset = Psst_util.Bitset
+module Prng = Psst_util.Prng
+
+type t = { chosen : int list; covered : bool; repaired : bool }
+
+let covered_by inst chosen =
+  let c = Bitset.create inst.Qp.universe in
+  List.iter (fun i -> Bitset.union_into c (let s, _, _ = inst.Qp.sets.(i) in s)) chosen;
+  c
+
+let round rng inst ~x =
+  let n = Array.length inst.Qp.sets in
+  let u = max 2 inst.Qp.universe in
+  let rounds = int_of_float (ceil (2. *. log (float_of_int u))) in
+  let picked = Array.make n false in
+  for _ = 1 to max 1 rounds do
+    for i = 0 to n - 1 do
+      if (not picked.(i)) && Prng.bernoulli rng x.(i) then picked.(i) <- true
+    done
+  done;
+  let chosen = List.filter (fun i -> picked.(i)) (List.init n (fun i -> i)) in
+  let cov = covered_by inst chosen in
+  { chosen; covered = Bitset.cardinal cov = inst.Qp.universe; repaired = false }
+
+let round_repaired rng inst ~x =
+  let r = round rng inst ~x in
+  if r.covered then r
+  else begin
+    let cov = covered_by inst r.chosen in
+    let chosen = ref (List.rev r.chosen) in
+    let progress = ref true in
+    while Bitset.cardinal cov < inst.Qp.universe && !progress do
+      (* Greedy completion: highest newly-covered count, then highest wL. *)
+      let best = ref None in
+      Array.iteri
+        (fun i (s, wl, _) ->
+          if not (List.mem i !chosen) then begin
+            let gain = Bitset.cardinal (Bitset.diff s cov) in
+            if gain > 0 then
+              match !best with
+              | Some (_, g, w) when (g, w) >= (gain, wl) -> ()
+              | _ -> best := Some (i, gain, wl)
+          end)
+        inst.Qp.sets;
+      match !best with
+      | None -> progress := false
+      | Some (i, _, _) ->
+        chosen := i :: !chosen;
+        Bitset.union_into cov (let s, _, _ = inst.Qp.sets.(i) in s)
+    done;
+    {
+      chosen = List.sort compare !chosen;
+      covered = Bitset.cardinal cov = inst.Qp.universe;
+      repaired = true;
+    }
+  end

@@ -1,0 +1,20 @@
+(** Randomized rounding of the relaxed QP solution — paper Algorithm 2.
+
+    Each set is picked independently with probability [x*_i], repeated for
+    [2 ln |U|] rounds; Theorem 5: all elements are covered with probability
+    at least [1 - 1/|U|]. We optionally repair an uncovered outcome with a
+    greedy completion so downstream bounds always rest on a genuine cover. *)
+
+type t = {
+  chosen : int list;  (** selected set indices, ascending *)
+  covered : bool;  (** true when the selection covers the universe *)
+  repaired : bool;  (** true when the greedy completion had to kick in *)
+}
+
+(** [round rng inst ~x] — plain Algorithm 2 (no repair). *)
+val round : Psst_util.Prng.t -> Qp.instance -> x:float array -> t
+
+(** [round_repaired rng inst ~x] — Algorithm 2, then greedily add the
+    missing coverage (sets with best wL gain per uncovered element). The
+    result covers whenever the instance is coverable. *)
+val round_repaired : Psst_util.Prng.t -> Qp.instance -> x:float array -> t

@@ -1,0 +1,42 @@
+module Bitset = Psst_util.Bitset
+
+type result = { chosen : int list; weight : float; uncovered : Bitset.t }
+
+let greedy ~universe sets =
+  Array.iter
+    (fun (_, w) ->
+      if w < 0. || Float.is_nan w then invalid_arg "Set_cover.greedy: weight")
+    sets;
+  let coverable = Bitset.create universe in
+  Array.iter (fun (s, _) -> Bitset.union_into coverable s) sets;
+  let uncovered_forever = Bitset.diff (Bitset.full universe) coverable in
+  let covered = Bitset.copy uncovered_forever in
+  let chosen = ref [] and weight = ref 0. in
+  let used = Array.make (Array.length sets) false in
+  while Bitset.cardinal covered < universe do
+    (* gamma(s) = w(s) / |s \ covered|; pick the minimum. *)
+    let best = ref None in
+    Array.iteri
+      (fun i (s, w) ->
+        if not used.(i) then begin
+          let gain = Bitset.cardinal (Bitset.diff s covered) in
+          if gain > 0 then begin
+            let gamma = w /. float_of_int gain in
+            match !best with
+            | Some (_, g) when g <= gamma -> ()
+            | _ -> best := Some (i, gamma)
+          end
+        end)
+      sets;
+    match !best with
+    | None ->
+      (* Unreachable: everything coverable is covered before gains hit 0. *)
+      assert false
+    | Some (i, _) ->
+      used.(i) <- true;
+      let s, w = sets.(i) in
+      Bitset.union_into covered s;
+      chosen := i :: !chosen;
+      weight := !weight +. w
+  done;
+  { chosen = List.rev !chosen; weight = !weight; uncovered = uncovered_forever }

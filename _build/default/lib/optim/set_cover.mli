@@ -1,0 +1,17 @@
+(** Weighted set cover — paper Algorithm 1 (tightest Usim).
+
+    Classic greedy: repeatedly pick the set minimising
+    weight / newly-covered-elements; ln|U|-approximate (paper §3.2.1). *)
+
+type result = {
+  chosen : int list;  (** indices into the input set array, pick order *)
+  weight : float;  (** total weight of the chosen sets *)
+  uncovered : Psst_util.Bitset.t;  (** elements no input set covers *)
+}
+
+(** [greedy ~universe sets] covers [0 .. universe-1] with the given
+    [(members, weight)] sets. Elements contained in no set are reported in
+    [uncovered] (the caller decides how to account for them — the pruning
+    layer charges a trivial bound of 1.0 each). Weights must be
+    non-negative. *)
+val greedy : universe:int -> (Psst_util.Bitset.t * float) array -> result

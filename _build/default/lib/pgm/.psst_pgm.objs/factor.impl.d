@@ -1,0 +1,1 @@
+lib/pgm/factor.ml: Array Float Format List Option Psst_util

@@ -1,0 +1,1 @@
+lib/pgm/factor.mli: Format Psst_util

@@ -1,0 +1,1 @@
+lib/pgm/gibbs.ml: Array Factor Hashtbl List Psst_util

@@ -1,0 +1,1 @@
+lib/pgm/gibbs.mli: Factor Psst_util

@@ -1,0 +1,1 @@
+lib/pgm/jtree.ml: Array Factor Hashtbl Int List Psst_util Set

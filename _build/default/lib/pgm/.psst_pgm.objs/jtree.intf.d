@@ -1,0 +1,1 @@
+lib/pgm/jtree.mli: Factor Psst_util

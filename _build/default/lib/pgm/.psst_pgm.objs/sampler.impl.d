@@ -1,0 +1,1 @@
+lib/pgm/sampler.ml: Array Factor Float Hashtbl List Psst_util

@@ -1,0 +1,1 @@
+lib/pgm/sampler.mli: Factor Psst_util

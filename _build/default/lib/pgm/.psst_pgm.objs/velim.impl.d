@@ -1,0 +1,1 @@
+lib/pgm/velim.ml: Array Factor Int List Option Set

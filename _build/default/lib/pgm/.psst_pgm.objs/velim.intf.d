@@ -1,0 +1,1 @@
+lib/pgm/velim.mli: Factor

@@ -1,0 +1,131 @@
+type t = { vars : int array; data : float array }
+
+let max_vars = 20
+
+let is_sorted_distinct a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i - 1) >= a.(i) then ok := false
+  done;
+  !ok
+
+let create vars data =
+  let k = Array.length vars in
+  if k > max_vars then invalid_arg "Factor.create: scope too large";
+  if not (is_sorted_distinct vars) then
+    invalid_arg "Factor.create: vars must be sorted and distinct";
+  if Array.length data <> 1 lsl k then invalid_arg "Factor.create: data size";
+  if Array.exists (fun x -> x < 0. || Float.is_nan x) data then
+    invalid_arg "Factor.create: negative or NaN entry";
+  { vars = Array.copy vars; data = Array.copy data }
+
+let of_fun vars f =
+  let k = Array.length vars in
+  create vars (Array.init (1 lsl k) f)
+
+let scalar x = create [||] [| x |]
+
+let vars t = Array.copy t.vars
+
+let index_of t v =
+  let rec go i =
+    if i >= Array.length t.vars then None
+    else if t.vars.(i) = v then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let mentions t v = Option.is_some (index_of t v)
+
+let value t mask = t.data.(mask)
+
+let value_of t assign =
+  let mask = ref 0 in
+  Array.iteri (fun i v -> if assign v then mask := !mask lor (1 lsl i)) t.vars;
+  t.data.(!mask)
+
+let multiply a b =
+  let merged =
+    Array.to_list a.vars @ Array.to_list b.vars |> List.sort_uniq compare
+  in
+  let vars = Array.of_list merged in
+  if Array.length vars > max_vars then invalid_arg "Factor.multiply: scope too large";
+  (* Positions of each source variable within the merged scope. *)
+  let pos_in src =
+    Array.map
+      (fun v ->
+        let rec go i = if vars.(i) = v then i else go (i + 1) in
+        go 0)
+      src.vars
+  in
+  let pa = pos_in a and pb = pos_in b in
+  let project positions mask =
+    let m = ref 0 in
+    Array.iteri (fun i p -> if mask land (1 lsl p) <> 0 then m := !m lor (1 lsl i)) positions;
+    !m
+  in
+  of_fun vars (fun mask -> a.data.(project pa mask) *. b.data.(project pb mask))
+
+let multiply_all = function
+  | [] -> scalar 1.
+  | f :: rest -> List.fold_left multiply f rest
+
+let sum_out t v =
+  match index_of t v with
+  | None -> t
+  | Some i ->
+    let vars' =
+      Array.of_list
+        (List.filteri (fun j _ -> j <> i) (Array.to_list t.vars))
+    in
+    let bit = 1 lsl i in
+    let low_mask = bit - 1 in
+    of_fun vars' (fun m ->
+        (* Re-insert a hole at position i. *)
+        let base = (m land low_mask) lor ((m land lnot low_mask) lsl 1) in
+        t.data.(base) +. t.data.(base lor bit))
+
+let marginal_onto t keep =
+  Array.fold_left
+    (fun acc v -> if List.mem v keep then acc else sum_out acc v)
+    t t.vars
+
+let condition t v b =
+  match index_of t v with
+  | None -> t
+  | Some i ->
+    let vars' =
+      Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list t.vars))
+    in
+    let bit = 1 lsl i in
+    let low_mask = bit - 1 in
+    of_fun vars' (fun m ->
+        let base = (m land low_mask) lor ((m land lnot low_mask) lsl 1) in
+        t.data.(if b then base lor bit else base))
+
+let total t = Array.fold_left ( +. ) 0. t.data
+
+let normalize t =
+  let z = total t in
+  if z <= 0. then invalid_arg "Factor.normalize: zero total";
+  { t with data = Array.map (fun x -> x /. z) t.data }
+
+let sample rng t =
+  let mask = Psst_util.Prng.categorical rng t.data in
+  Array.to_list (Array.mapi (fun i v -> (v, mask land (1 lsl i) <> 0)) t.vars)
+
+let iter_assignments t f = Array.iteri (fun mask x -> f mask x) t.data
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>factor over [%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    (Array.to_list t.vars);
+  Array.iteri (fun mask x -> Format.fprintf ppf "@,  %d -> %g" mask x) t.data;
+  Format.fprintf ppf "@]"
+
+let equal_approx ~eps a b =
+  a.vars = b.vars
+  && Array.length a.data = Array.length b.data
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data

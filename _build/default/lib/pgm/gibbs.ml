@@ -1,0 +1,59 @@
+module Prng = Psst_util.Prng
+
+type config = { burn_in : int; thin : int; samples : int }
+
+let default_config = { burn_in = 200; thin = 2; samples = 1000 }
+
+let sample ?(config = default_config) rng factors ~evidence f =
+  let vars =
+    List.concat_map (fun fa -> Array.to_list (Factor.vars fa)) factors
+    |> List.sort_uniq compare
+  in
+  let evidence_tbl = Hashtbl.create 8 in
+  List.iter (fun (v, b) -> Hashtbl.replace evidence_tbl v b) evidence;
+  let free = List.filter (fun v -> not (Hashtbl.mem evidence_tbl v)) vars in
+  let state = Hashtbl.create 32 in
+  List.iter (fun (v, b) -> Hashtbl.replace state v b) evidence;
+  List.iter (fun v -> Hashtbl.replace state v (Prng.bernoulli rng 0.5)) free;
+  let lookup v = match Hashtbl.find_opt state v with Some b -> b | None -> false in
+  (* Factors touching each free variable, precomputed. *)
+  let touching =
+    List.map
+      (fun v -> (v, List.filter (fun fa -> Factor.mentions fa v) factors))
+      free
+  in
+  let resample (v, facs) =
+    let weight b =
+      Hashtbl.replace state v b;
+      List.fold_left (fun acc fa -> acc *. Factor.value_of fa lookup) 1. facs
+    in
+    let w1 = weight true in
+    let w0 = weight false in
+    let z = w0 +. w1 in
+    if z <= 0. then
+      invalid_arg "Gibbs.sample: contradictory evidence (zero conditional)";
+    Hashtbl.replace state v (Prng.float rng z < w1)
+  in
+  let sweep () = List.iter resample touching in
+  for _ = 1 to config.burn_in do
+    sweep ()
+  done;
+  for _ = 1 to config.samples do
+    for _ = 1 to max 1 config.thin do
+      sweep ()
+    done;
+    f lookup
+  done
+
+let marginals ?(config = default_config) rng factors ~evidence vars =
+  let counts = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace counts v 0) vars;
+  sample ~config rng factors ~evidence (fun lookup ->
+      List.iter
+        (fun v ->
+          if lookup v then Hashtbl.replace counts v (1 + Hashtbl.find counts v))
+        vars);
+  List.map
+    (fun v ->
+      (v, float_of_int (Hashtbl.find counts v) /. float_of_int config.samples))
+    vars

@@ -1,0 +1,42 @@
+(** Gibbs sampling over a factor list.
+
+    The exact machinery of this library ({!Velim}, {!Jtree}) covers the
+    junction-tree-structured JPTs that probabilistic graphs carry; Gibbs
+    sampling handles arbitrary factor products — loopy neighbor-edge
+    structures for which {!Jtree.build} rejects the running-intersection
+    requirement — at the price of approximate, asymptotically-exact
+    answers. Used in ablations and available to library users who bring
+    their own JPT layouts. *)
+
+type config = {
+  burn_in : int;  (** sweeps discarded before recording *)
+  thin : int;  (** sweeps between recorded samples *)
+  samples : int;  (** number of recorded samples *)
+}
+
+(** burn_in = 200, thin = 2, samples = 1000. *)
+val default_config : config
+
+(** [sample ?config rng factors ~evidence f] runs a Gibbs chain over the
+    non-evidence variables, calling [f] with a lookup function for each
+    recorded sample. Variables are updated by their full conditionals
+    (product of the factors mentioning them). Raises [Invalid_argument]
+    when some full conditional has zero mass both ways (a deterministic
+    contradiction with the evidence). *)
+val sample :
+  ?config:config ->
+  Psst_util.Prng.t ->
+  Factor.t list ->
+  evidence:(int * bool) list ->
+  ((int -> bool) -> unit) ->
+  unit
+
+(** [marginals ?config rng factors ~evidence vars] — estimated
+    [Pr(v = true | evidence)] for each requested variable. *)
+val marginals :
+  ?config:config ->
+  Psst_util.Prng.t ->
+  Factor.t list ->
+  evidence:(int * bool) list ->
+  int list ->
+  (int * float) list

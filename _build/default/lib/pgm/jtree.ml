@@ -1,0 +1,114 @@
+module Prng = Psst_util.Prng
+module Iset = Set.Make (Int)
+
+type node = {
+  factor : Factor.t;
+  parent : int; (* -1 for roots *)
+  sep : int list; (* scope ∩ parent scope *)
+}
+
+type t = { nodes : node array; vars : int list }
+
+let build factors =
+  let arr = Array.of_list factors in
+  let n = Array.length arr in
+  let scopes = Array.map (fun f -> Iset.of_list (Array.to_list (Factor.vars f))) arr in
+  let covered = ref Iset.empty in
+  let nodes =
+    Array.init n (fun k ->
+        let scope = scopes.(k) in
+        let old_vars = Iset.inter scope !covered in
+        covered := Iset.union !covered scope;
+        if Iset.is_empty old_vars then { factor = arr.(k); parent = -1; sep = [] }
+        else begin
+          (* Find one earlier factor containing all old vars. *)
+          let rec find j =
+            if j < 0 then
+              invalid_arg
+                "Jtree.build: running intersection violated (shared vars span \
+                 several earlier factors)"
+            else if Iset.subset old_vars scopes.(j) then j
+            else find (j - 1)
+          in
+          let parent = find (k - 1) in
+          { factor = arr.(k); parent; sep = Iset.elements old_vars }
+        end)
+  in
+  { nodes; vars = Iset.elements !covered }
+
+let variables t = t.vars
+
+(* Condition every factor on the evidence, then do an upward pass computing,
+   for each node, the message to its parent: the marginal onto the
+   separator of (conditioned factor × child messages). *)
+let upward t evidence =
+  let n = Array.length t.nodes in
+  let cond f =
+    List.fold_left (fun f (v, b) -> Factor.condition f v b) f evidence
+  in
+  let reduced = Array.map (fun node -> cond node.factor) t.nodes in
+  let messages = Array.make n None in
+  (* children appear after parents in the order, so walk backwards. *)
+  let incoming = Array.make n [] in
+  for k = n - 1 downto 0 do
+    let belief =
+      Factor.multiply_all (reduced.(k) :: incoming.(k))
+    in
+    let node = t.nodes.(k) in
+    if node.parent >= 0 then begin
+      let evid_vars = List.map fst evidence in
+      let sep = List.filter (fun v -> not (List.mem v evid_vars)) node.sep in
+      let msg = Factor.marginal_onto belief sep in
+      incoming.(node.parent) <- msg :: incoming.(node.parent);
+      messages.(k) <- Some msg
+    end
+    else messages.(k) <- Some (Factor.marginal_onto belief [])
+  done;
+  (reduced, incoming, messages)
+
+let evidence_prob t evidence =
+  let _, _, messages = upward t evidence in
+  (* Roots hold scalar messages; independent components multiply. *)
+  Array.to_list t.nodes
+  |> List.mapi (fun k node -> (k, node))
+  |> List.fold_left
+       (fun acc (k, node) ->
+         if node.parent >= 0 then acc
+         else
+           match messages.(k) with
+           | Some m -> acc *. Factor.value m 0
+           | None -> acc)
+       1.
+
+let sample_posterior rng t ~evidence =
+  let reduced, incoming, _ = upward t evidence in
+  let n = Array.length t.nodes in
+  let assign = Hashtbl.create 32 in
+  List.iter (fun (v, b) -> Hashtbl.replace assign v b) evidence;
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    if !ok then begin
+      let belief = Factor.multiply_all (reduced.(k) :: incoming.(k)) in
+      (* Clamp variables already sampled at ancestors (separator vars). *)
+      let belief =
+        Array.fold_left
+          (fun f v ->
+            match Hashtbl.find_opt assign v with
+            | Some b -> Factor.condition f v b
+            | None -> f)
+          belief (Factor.vars belief)
+      in
+      if Array.length (Factor.vars belief) > 0 then begin
+        if Factor.total belief <= 0. then ok := false
+        else
+          let belief = Factor.normalize belief in
+          List.iter (fun (v, b) -> Hashtbl.replace assign v b) (Factor.sample rng belief)
+      end
+      else if Factor.value belief 0 <= 0. then ok := false
+    end
+  done;
+  if not !ok then None
+  else begin
+    let lookup v = match Hashtbl.find_opt assign v with Some b -> b | None -> false in
+    Some (lookup, Hashtbl.fold (fun v b acc -> (v, b) :: acc) assign [])
+  end

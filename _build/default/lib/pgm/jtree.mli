@@ -1,0 +1,32 @@
+(** Junction tree over an ordered factor list (paper's verification step
+    cites the junction-tree algorithm, ref [17]).
+
+    Requirement (running intersection w.r.t. the list order): every factor
+    after the first must have its already-covered variables contained in
+    the scope of a {e single} earlier factor — its parent. Probabilistic
+    graphs built by this library satisfy this by construction (DESIGN.md
+    §3); {!build} raises [Invalid_argument] otherwise.
+
+    Provides exact evidence probabilities and exact sampling from the
+    posterior given evidence — the conditional draws required by the
+    Karp-Luby style SMP estimator (paper Algorithm 5, line 5). *)
+
+type t
+
+val build : Factor.t list -> t
+
+(** [evidence_prob t evidence] = Pr(evidence), exact. *)
+val evidence_prob : t -> (int * bool) list -> float
+
+(** [sample_posterior rng t ~evidence] draws a full assignment from
+    Pr(· | evidence); [None] when the evidence has probability 0. Returns
+    a lookup function (false for variables outside every scope) and the
+    assignment pairs. *)
+val sample_posterior :
+  Psst_util.Prng.t ->
+  t ->
+  evidence:(int * bool) list ->
+  ((int -> bool) * (int * bool) list) option
+
+(** Variables covered by the tree's scopes (sorted). *)
+val variables : t -> int list

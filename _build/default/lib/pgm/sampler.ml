@@ -1,0 +1,71 @@
+module Prng = Psst_util.Prng
+
+let sample rng factors =
+  let assign = Hashtbl.create 32 in
+  List.iter
+    (fun f ->
+      let f' =
+        Array.fold_left
+          (fun f v ->
+            match Hashtbl.find_opt assign v with
+            | Some b -> Factor.condition f v b
+            | None -> f)
+          f (Factor.vars f)
+      in
+      if Array.length (Factor.vars f') > 0 then begin
+        let f' = Factor.normalize f' in
+        List.iter (fun (v, b) -> Hashtbl.replace assign v b) (Factor.sample rng f')
+      end)
+    factors;
+  let lookup v = match Hashtbl.find_opt assign v with Some b -> b | None -> false in
+  (lookup, Hashtbl.fold (fun v b acc -> (v, b) :: acc) assign [])
+
+let sample_conditioned rng factors evidence =
+  let assign = Hashtbl.create 32 in
+  List.iter (fun (v, b) -> Hashtbl.replace assign v b) evidence;
+  let ok = ref true in
+  List.iter
+    (fun f ->
+      if !ok then begin
+        let f' =
+          Array.fold_left
+            (fun f v ->
+              match Hashtbl.find_opt assign v with
+              | Some b -> Factor.condition f v b
+              | None -> f)
+            f (Factor.vars f)
+        in
+        if Array.length (Factor.vars f') > 0 then begin
+          if Factor.total f' <= 0. then ok := false
+          else
+            let f' = Factor.normalize f' in
+            List.iter (fun (v, b) -> Hashtbl.replace assign v b) (Factor.sample rng f')
+        end
+        else if Factor.value f' 0 <= 0. then ok := false
+      end)
+    factors;
+  if not !ok then None
+  else
+    let lookup v = match Hashtbl.find_opt assign v with Some b -> b | None -> false in
+    Some (lookup, Hashtbl.fold (fun v b acc -> (v, b) :: acc) assign [])
+
+let is_chain_consistent ~eps factors =
+  let covered = Hashtbl.create 32 in
+  List.for_all
+    (fun f ->
+      let vars = Factor.vars f in
+      let old_vars = Array.to_list vars |> List.filter (Hashtbl.mem covered) in
+      let new_vars =
+        Array.to_list vars |> List.filter (fun v -> not (Hashtbl.mem covered v))
+      in
+      Array.iter (fun v -> Hashtbl.replace covered v ()) vars;
+      (* Each assignment of the old vars must induce a sub-table over the new
+         vars summing to 1 (or to 0 for impossible evidence — we require 1
+         so that forward sampling never dead-ends). *)
+      let reduced = Factor.marginal_onto f old_vars in
+      ignore new_vars;
+      let ok = ref true in
+      Factor.iter_assignments reduced (fun _ total ->
+          if Float.abs (total -. 1.) > eps then ok := false);
+      !ok)
+    factors

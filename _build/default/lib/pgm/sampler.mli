@@ -1,0 +1,32 @@
+(** Forward sampling over an ordered, chain-consistent factor list.
+
+    Probabilistic graphs in this library (see [Psst_pgraph.Pgraph]) carry
+    their JPTs as an ordered list where each factor is the conditional
+    distribution of its new variables given the variables already covered by
+    earlier factors (the root factor is a plain distribution). The product
+    of such a list is a normalised joint — the paper's Eq 1 — and sampling
+    is a single forward pass. *)
+
+(** [sample rng factors] draws a full assignment; returns a lookup function
+    and the list of (var, value) pairs.
+
+    Exact for chain-consistent lists; for arbitrary factor lists the result
+    is biased (use {!Velim} to calibrate first). *)
+val sample : Psst_util.Prng.t -> Factor.t list -> (int -> bool) * (int * bool) list
+
+(** [sample_conditioned rng factors evidence] forward-samples with some
+    variables clamped. The result is a draw from the conditional
+    distribution only when each clamped variable appears no later than its
+    factor (true for clamping whole edge sets, as the verification sampler
+    does); otherwise it is a heuristic proposal. Returns [None] when the
+    evidence has probability 0 along the chain. *)
+val sample_conditioned :
+  Psst_util.Prng.t ->
+  Factor.t list ->
+  (int * bool) list ->
+  ((int -> bool) * (int * bool) list) option
+
+(** [is_chain_consistent ~eps factors] checks that, processed in order, each
+    factor is a proper conditional of its new variables given its already
+    covered ones (all conditional slices sum to 1). *)
+val is_chain_consistent : eps:float -> Factor.t list -> bool

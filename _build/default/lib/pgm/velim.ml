@@ -1,0 +1,73 @@
+module Iset = Set.Make (Int)
+
+let all_vars factors =
+  List.fold_left
+    (fun acc f -> Array.fold_left (fun acc v -> Iset.add v acc) acc (Factor.vars f))
+    Iset.empty factors
+
+(* Min-degree heuristic: repeatedly eliminate the variable whose bucket
+   product has the smallest merged scope. *)
+let elimination_order factors to_eliminate =
+  let to_eliminate = ref (Iset.of_list to_eliminate) in
+  let scopes = ref (List.map (fun f -> Iset.of_list (Array.to_list (Factor.vars f))) factors) in
+  let order = ref [] in
+  while not (Iset.is_empty !to_eliminate) do
+    let cost v =
+      let merged =
+        List.fold_left
+          (fun acc s -> if Iset.mem v s then Iset.union acc s else acc)
+          Iset.empty !scopes
+      in
+      Iset.cardinal merged
+    in
+    let v =
+      Iset.fold
+        (fun v best ->
+          match best with
+          | None -> Some (v, cost v)
+          | Some (_, c) ->
+            let cv = cost v in
+            if cv < c then Some (v, cv) else best)
+        !to_eliminate None
+      |> Option.get |> fst
+    in
+    (* Simulate the elimination on the scope set. *)
+    let touched, rest = List.partition (Iset.mem v) !scopes in
+    let merged = List.fold_left Iset.union Iset.empty touched in
+    scopes := Iset.remove v merged :: rest;
+    to_eliminate := Iset.remove v !to_eliminate;
+    order := v :: !order
+  done;
+  List.rev !order
+
+let marginal factors keep =
+  let keep_set = Iset.of_list keep in
+  let elim = Iset.elements (Iset.diff (all_vars factors) keep_set) in
+  let order = elimination_order factors elim in
+  let work = ref factors in
+  List.iter
+    (fun v ->
+      let touched, rest = List.partition (fun f -> Factor.mentions f v) !work in
+      match touched with
+      | [] -> ()
+      | _ ->
+        let prod = Factor.multiply_all touched in
+        work := Factor.sum_out prod v :: rest)
+    order;
+  Factor.multiply_all !work
+
+let partition_value factors = Factor.total (marginal factors [])
+
+let prob ~evidence factors =
+  let z = partition_value factors in
+  if z <= 0. then invalid_arg "Velim.prob: zero partition value";
+  let conditioned =
+    List.map
+      (fun f ->
+        List.fold_left (fun f (v, b) -> Factor.condition f v b) f evidence)
+      factors
+  in
+  Factor.total (marginal conditioned []) /. z
+
+let prob_all_present factors vars =
+  prob ~evidence:(List.map (fun v -> (v, true)) vars) factors

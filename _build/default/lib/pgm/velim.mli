@@ -1,0 +1,22 @@
+(** Exact inference over a set of factors by variable elimination.
+
+    This is the engine behind exact subgraph-isomorphism / similarity
+    probabilities and the Pr(Bf) terms of the paper's verification sampler
+    (the paper uses a junction tree, ref [17]; variable elimination with a
+    min-degree order computes the same exact marginals). *)
+
+(** [marginal factors keep] eliminates every variable outside [keep] and
+    returns the (unnormalised) joint factor over [keep]. *)
+val marginal : Factor.t list -> int list -> Factor.t
+
+(** [partition_value factors] is the total mass of the product (1.0 for a
+    consistent chain factorisation). *)
+val partition_value : Factor.t list -> float
+
+(** [prob ~evidence factors] is the probability of the partial assignment
+    [evidence = [(var, value); ...]], normalised by the partition value. *)
+val prob : evidence:(int * bool) list -> Factor.t list -> float
+
+(** [prob_all_present factors vars] is [prob] with every var set to true —
+    the probability that a set of edges co-exists. *)
+val prob_all_present : Factor.t list -> int list -> float

@@ -1,0 +1,1 @@
+lib/prob_graph/exact.ml: Array Distance Embedding Factor Hashtbl Lgraph List Pgraph Psst_util Velim Vf2

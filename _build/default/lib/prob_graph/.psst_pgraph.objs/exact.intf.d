@@ -1,0 +1,1 @@
+lib/prob_graph/exact.mli: Lgraph Pgraph Psst_util

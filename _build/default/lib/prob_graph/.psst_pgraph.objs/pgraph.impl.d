@@ -1,0 +1,1 @@
+lib/prob_graph/pgraph.ml: Array Factor Format Hashtbl Jtree Lgraph List Psst_util Sampler Velim

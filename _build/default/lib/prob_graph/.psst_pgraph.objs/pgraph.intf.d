@@ -1,0 +1,1 @@
+lib/prob_graph/pgraph.mli: Factor Format Jtree Lgraph Psst_util

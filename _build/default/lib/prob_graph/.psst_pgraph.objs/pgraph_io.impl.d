@@ -1,0 +1,1 @@
+lib/prob_graph/pgraph_io.ml: Array Buffer Factor Fun Lgraph List Pgraph Printf String

@@ -1,0 +1,1 @@
+lib/prob_graph/pgraph_io.mli: Pgraph

@@ -1,0 +1,97 @@
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "pgraph\n";
+  let gc = Pgraph.skeleton t in
+  Array.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "v %d\n" l))
+    (Lgraph.vertex_labels gc);
+  Array.iter
+    (fun (e : Lgraph.edge) ->
+      Buffer.add_string buf (Printf.sprintf "e %d %d %d\n" e.u e.v e.label))
+    (Lgraph.edges gc);
+  List.iter
+    (fun f ->
+      let vars =
+        Factor.vars f |> Array.to_list |> List.map string_of_int
+        |> String.concat ","
+      in
+      Buffer.add_string buf (Printf.sprintf "factor %s" vars);
+      Factor.iter_assignments f (fun _ p ->
+          Buffer.add_string buf (Printf.sprintf " %.17g" p));
+      Buffer.add_char buf '\n')
+    (Pgraph.factors t);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+type parse_state = {
+  mutable vlabels : int list; (* reversed *)
+  mutable edges : (int * int * int) list; (* reversed *)
+  mutable factors : Factor.t list; (* reversed *)
+}
+
+let parse_factor line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | "factor" :: vars :: probs ->
+    let vars =
+      String.split_on_char ',' vars
+      |> List.filter (fun s -> s <> "")
+      |> List.map int_of_string |> Array.of_list
+    in
+    let data = Array.of_list (List.map float_of_string probs) in
+    Factor.create vars data
+  | _ -> invalid_arg ("Pgraph_io: bad factor line: " ^ line)
+
+let of_lines lines =
+  let st = { vlabels = []; edges = []; factors = [] } in
+  let finished = ref false in
+  List.iter
+    (fun line ->
+      if not !finished then
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [] | [ "pgraph" ] -> ()
+        | [ "v"; l ] -> st.vlabels <- int_of_string l :: st.vlabels
+        | [ "e"; u; v; l ] ->
+          st.edges <-
+            (int_of_string u, int_of_string v, int_of_string l) :: st.edges
+        | "factor" :: _ -> st.factors <- parse_factor line :: st.factors
+        | [ "end" ] -> finished := true
+        | w :: _ when String.length w > 0 && w.[0] = '#' -> ()
+        | _ -> invalid_arg ("Pgraph_io: bad line: " ^ line))
+    lines;
+  let skeleton =
+    Lgraph.create
+      ~vlabels:(Array.of_list (List.rev st.vlabels))
+      ~edges:(List.rev st.edges)
+  in
+  Pgraph.make skeleton (List.rev st.factors)
+
+let of_string s = of_lines (String.split_on_char '\n' s)
+
+let write_many oc graphs =
+  Array.iter (fun g -> output_string oc (to_string g)) graphs
+
+let read_many ic =
+  let graphs = ref [] in
+  let current = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let trimmed = String.trim line in
+       current := trimmed :: !current;
+       if trimmed = "end" then begin
+         graphs := of_lines (List.rev !current) :: !graphs;
+         current := []
+       end
+     done
+   with End_of_file ->
+     if List.exists (fun l -> l <> "") !current then
+       invalid_arg "Pgraph_io.read_many: trailing partial graph");
+  Array.of_list (List.rev !graphs)
+
+let save path graphs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_many oc graphs)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_many ic)

@@ -1,0 +1,30 @@
+(** Textual (de)serialisation of probabilistic graphs.
+
+    Stable line-oriented format:
+
+    {v
+pgraph
+v <vertex label>            (one line per vertex)
+e <u> <v> <edge label>      (one line per edge, ids in order)
+factor <v1,v2,...> <p0> <p1> ... <p_{2^k-1}>
+end
+    v}
+
+    Factors are written in their chain order, so a parsed graph passes the
+    same chain-consistency validation as a constructed one. Blank lines
+    and [#]-comments are ignored. *)
+
+val to_string : Pgraph.t -> string
+
+(** Raises [Invalid_argument] on malformed input or on factor lists that
+    fail {!Pgraph.make} validation. *)
+val of_string : string -> Pgraph.t
+
+(** Multi-graph archives: graphs concatenated, each terminated by its
+    [end] line. *)
+
+val write_many : out_channel -> Pgraph.t array -> unit
+val read_many : in_channel -> Pgraph.t array
+
+val save : string -> Pgraph.t array -> unit
+val load : string -> Pgraph.t array

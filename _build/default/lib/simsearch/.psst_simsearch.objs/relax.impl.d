@@ -1,0 +1,1 @@
+lib/simsearch/relax.ml: Canon Hashtbl Lgraph List Psst_util

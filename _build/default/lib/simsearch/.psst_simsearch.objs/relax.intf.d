@@ -1,0 +1,1 @@
+lib/simsearch/relax.mli: Lgraph

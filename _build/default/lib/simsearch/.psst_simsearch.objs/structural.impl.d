@@ -1,0 +1,1 @@
+lib/simsearch/structural.ml: Array Distance Embedding Lgraph List Psst_util Selection Vf2

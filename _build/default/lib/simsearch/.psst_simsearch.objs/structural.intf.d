@@ -1,0 +1,1 @@
+lib/simsearch/structural.mli: Lgraph Selection

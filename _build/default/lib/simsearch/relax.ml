@@ -1,0 +1,41 @@
+let deletion_sets q ~delta = Psst_util.Combin.binomial (Lgraph.num_edges q) delta
+
+let relaxed_set ?(cap = 4096) q ~delta =
+  let m = Lgraph.num_edges q in
+  if delta < 0 then invalid_arg "Relax.relaxed_set: negative delta";
+  if delta >= m then
+    (* Everything is deleted: the empty pattern matches any world. *)
+    ([ Lgraph.vertices_only ~vlabels:[||] ], `Complete)
+  else begin
+    let total = deletion_sets q ~delta in
+    let edge_ids = List.init m (fun i -> i) in
+    let seen = Hashtbl.create 64 in
+    let out = ref [] in
+    let consider ids =
+      let rq = Lgraph.delete_edges q ids in
+      let rq, _ = Lgraph.drop_isolated rq in
+      let key = Canon.code rq in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        out := rq :: !out
+      end
+    in
+    let status =
+      if total <= cap then begin
+        Psst_util.Combin.iter_combinations delta edge_ids consider;
+        `Complete
+      end
+      else begin
+        (* Deterministic subsample: stride through combination ranks. *)
+        let rng = Psst_util.Prng.make (m * 1_000_003 + delta) in
+        let budget = ref cap in
+        while !budget > 0 do
+          let ids = Psst_util.Prng.sample_without_replacement rng delta m in
+          consider (List.sort compare ids);
+          decr budget
+        done;
+        `Truncated
+      end
+    in
+    (List.rev !out, status)
+  end

@@ -1,0 +1,22 @@
+(** Query relaxation (paper §3.1, Lemma 1, and ref [38]).
+
+    The relaxed set [U = {rq1 .. rqa}] consists of the edge-subgraphs of
+    [q] obtained by deleting exactly [delta] edges, with isolated vertices
+    dropped and isomorphic duplicates removed by canonical code. Lemma 1:
+    [Pr(q ⊆sim g) = Pr(Brq1 ∨ ... ∨ Brqa)], i.e. [dis(q, g') <= delta]
+    iff some [rq] embeds in [g'].
+
+    When [delta >= |E(q)|] a single empty relaxation remains and every
+    world matches; callers special-case that (SSP = 1). *)
+
+(** [relaxed_set ?cap q ~delta] enumerates the relaxed queries. The
+    combination count is capped at [cap] (default 4096) {e deletion sets
+    before deduplication}; if the cap binds, a deterministic subsample is
+    used and [`Truncated] is reported (bounds derived from a truncated set
+    remain sound upper-bound-wise but SSP estimates become lower bounds;
+    experiment scales keep this cap slack). *)
+val relaxed_set :
+  ?cap:int -> Lgraph.t -> delta:int -> Lgraph.t list * [ `Complete | `Truncated ]
+
+(** Number of deletion combinations before dedup, [C(|E(q)|, delta)]. *)
+val deletion_sets : Lgraph.t -> delta:int -> int

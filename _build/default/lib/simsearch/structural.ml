@@ -1,0 +1,93 @@
+module Bitset = Psst_util.Bitset
+
+type t = {
+  features : Selection.feature array;
+  counts : int array array; (* feature -> graph -> capped embedding count *)
+  emb_cap : int;
+}
+
+let count_embeddings ~cap pattern target =
+  if Lgraph.num_edges pattern = 0 then
+    (* Vertex features: count label occurrences (always present, certain). *)
+    min cap
+      (Array.to_list (Lgraph.vertex_labels target)
+      |> List.filter (fun l -> l = Lgraph.vertex_label pattern 0)
+      |> List.length)
+  else List.length (Vf2.distinct_embeddings ~cap pattern target)
+
+let build db features ~emb_cap =
+  let features = Array.of_list features in
+  let counts =
+    Array.map
+      (fun (f : Selection.feature) ->
+        let row = Array.make (Array.length db) 0 in
+        List.iter
+          (fun gi -> row.(gi) <- count_embeddings ~cap:emb_cap f.graph db.(gi))
+          f.support;
+        row)
+      features
+  in
+  { features; counts; emb_cap }
+
+let num_features t = Array.length t.features
+
+let size_cells t = Array.length t.features * Array.length t.counts.(0)
+
+(* Max number of q-embeddings of [f] destroyed by deleting one edge of q. *)
+let max_per_edge q embs =
+  let m = Lgraph.num_edges q in
+  if m = 0 then 0
+  else begin
+    let per_edge = Array.make m 0 in
+    List.iter
+      (fun e ->
+        Bitset.iter (fun eid -> per_edge.(eid) <- per_edge.(eid) + 1) e.Embedding.edges)
+      embs;
+    Array.fold_left max 0 per_edge
+  end
+
+let add_graph t g =
+  let counts =
+    Array.mapi
+      (fun fi row ->
+        let f = t.features.(fi) in
+        let c =
+          if
+            Lgraph.num_edges f.Selection.graph = 0
+            || Vf2.exists f.Selection.graph g
+          then count_embeddings ~cap:t.emb_cap f.Selection.graph g
+          else 0
+        in
+        Array.append row [| c |])
+      t.counts
+  in
+  { t with counts }
+
+let candidates t db q ~delta =
+  let q_vh = Lgraph.vertex_label_hist q and q_eh = Lgraph.edge_label_hist q in
+  (* Per-feature requirements from the query. *)
+  let requirements =
+    Array.mapi
+      (fun fi (f : Selection.feature) ->
+        if Lgraph.num_edges f.graph = 0 then (fi, 0)
+        else begin
+          let embs = Vf2.distinct_embeddings ~cap:t.emb_cap f.graph q in
+          let n_q = List.length embs in
+          if n_q = 0 || n_q >= t.emb_cap then (fi, 0)
+            (* at the cap the count is a lower bound: cannot derive a
+               sound requirement, so skip the feature *)
+          else (fi, max 0 (n_q - (delta * max_per_edge q embs)))
+        end)
+      t.features
+  in
+  let active = Array.to_list requirements |> List.filter (fun (_, r) -> r > 0) in
+  List.init (Array.length db) (fun gi -> gi)
+  |> List.filter (fun gi ->
+         let g = db.(gi) in
+         Lgraph.hist_missing q_eh (Lgraph.edge_label_hist g) <= delta
+         (* Each pair of unmatched query vertices costs at least one common
+            edge, so more than 2*delta missing vertex labels is fatal. *)
+         && Lgraph.hist_missing q_vh (Lgraph.vertex_label_hist g) <= 2 * delta
+         && List.for_all (fun (fi, req) -> t.counts.(fi).(gi) >= req) active)
+
+let verify_candidate db q ~delta gi = Distance.within q db.(gi) ~delta

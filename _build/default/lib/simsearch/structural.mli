@@ -1,0 +1,40 @@
+(** Structural pruning over the certain graphs — the paper's "Structure"
+    phase (Thm 1), in the style of Yan et al.'s Grafil (ref [38]).
+
+    A feature-count index over [Dc]: for each indexed feature we store the
+    number of distinct embeddings in every database graph. At query time a
+    graph [g] survives when, for every feature [f],
+
+      count_g(f)  >=  count_q(f) - delta * maxPerEdge_q(f)
+
+    where [maxPerEdge_q(f)] is the largest number of [f]-embeddings of [q]
+    sharing one edge: deleting an edge of [q] destroys at most that many
+    embeddings, so a graph within distance [delta] must still carry the
+    right-hand side. A label-multiset distance bound is applied first.
+    Graphs pruned here have [Pr(q ⊆sim g) = 0] only if the filter is
+    exact; like Grafil, the filter is {e conservative} (no false
+    dismissals) and its survivors are the candidate set [SCq]. *)
+
+type t
+
+(** [build db features ~emb_cap] counts feature embeddings in every graph
+    (capped per pair at [emb_cap]; counts at the cap are treated as
+    "at least", keeping the filter conservative). *)
+val build : Lgraph.t array -> Selection.feature list -> emb_cap:int -> t
+
+(** [add_graph t g] appends one column for a new database graph; the
+    feature set is left as mined (a graph added later never causes false
+    dismissals — at worst the filter is less selective on it). *)
+val add_graph : t -> Lgraph.t -> t
+
+val num_features : t -> int
+
+(** Total count-matrix cells (features x graphs) — reported as index size. *)
+val size_cells : t -> int
+
+(** [candidates t db q ~delta] — indices of surviving graphs. *)
+val candidates : t -> Lgraph.t array -> Lgraph.t -> delta:int -> int list
+
+(** [verify_candidate db q ~delta gi] — exact check [dis(q, gc) <= delta];
+    exposed for building ground truths in tests and experiments. *)
+val verify_candidate : Lgraph.t array -> Lgraph.t -> delta:int -> int -> bool

@@ -1,0 +1,42 @@
+let rec combinations k l =
+  if k = 0 then [ [] ]
+  else
+    match l with
+    | [] -> []
+    | x :: rest ->
+      let with_x = List.map (fun c -> x :: c) (combinations (k - 1) rest) in
+      with_x @ combinations k rest
+
+let iter_combinations k l f =
+  let rec go k l acc =
+    if k = 0 then f (List.rev acc)
+    else
+      match l with
+      | [] -> ()
+      | x :: rest ->
+        go (k - 1) rest (x :: acc);
+        go k rest acc
+  in
+  go k l []
+
+let cartesian lls =
+  List.fold_right
+    (fun l acc -> List.concat_map (fun x -> List.map (fun rest -> x :: rest) acc) l)
+    lls [ [] ]
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let without = subsets rest in
+    List.map (fun s -> x :: s) without @ without
+
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else
+    let k = min k (n - k) in
+    let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+    go 1 1

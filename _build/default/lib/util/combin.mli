@@ -1,0 +1,20 @@
+(** Combinatorial enumeration helpers. *)
+
+(** [combinations k l] is all size-[k] sublists of [l], preserving order. *)
+val combinations : int -> 'a list -> 'a list list
+
+(** [iter_combinations k l f] calls [f] on each size-[k] sublist without
+    materialising the full list of lists. *)
+val iter_combinations : int -> 'a list -> ('a list -> unit) -> unit
+
+(** [cartesian lls] is the cartesian product of the given lists. *)
+val cartesian : 'a list list -> 'a list list
+
+(** [subsets l] is the powerset of [l] (use only on small lists). *)
+val subsets : 'a list -> 'a list list
+
+(** [pairs l] is all unordered pairs of distinct elements. *)
+val pairs : 'a list -> ('a * 'a) list
+
+(** [binomial n k] with overflow-free recurrence; 0 when [k < 0 || k > n]. *)
+val binomial : int -> int -> int

@@ -1,0 +1,90 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5deece66 |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b |]
+
+let int t n = Random.State.int t n
+let float t x = Random.State.float t x
+
+let bernoulli t p = Random.State.float t 1.0 < p
+
+let categorical t weights =
+  let total = Array.fold_left (fun acc w -> acc +. Float.max w 0.) 0. weights in
+  if total <= 0. then invalid_arg "Prng.categorical: non-positive weights";
+  let x = Random.State.float t total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. Float.max weights.(i) 0. in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array";
+  arr.(Random.State.int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Prng.sample_without_replacement: k > n";
+  (* Partial Fisher-Yates over an index array. *)
+  let idx = Array.init n (fun i -> i) in
+  let out = ref [] in
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int t (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp;
+    out := idx.(i) :: !out
+  done;
+  !out
+
+(* Marsaglia-Tsang gamma sampling for shape >= 1, with the boost trick for
+   shape < 1. *)
+let rec gamma t shape =
+  if shape < 1. then
+    let u = Random.State.float t 1.0 in
+    gamma t (shape +. 1.) *. (u ** (1. /. shape))
+  else
+    let d = shape -. (1. /. 3.) in
+    let c = 1. /. sqrt (9. *. d) in
+    let rec loop () =
+      let x = gaussian t ~mu:0. ~sigma:1. in
+      let v = (1. +. (c *. x)) ** 3. in
+      if v <= 0. then loop ()
+      else
+        let u = Random.State.float t 1.0 in
+        if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then d *. v
+        else loop ()
+    in
+    loop ()
+
+and gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = Random.State.float t 1.0 in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = Random.State.float t 1.0 in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let beta t ~a ~b =
+  let x = gamma t a and y = gamma t b in
+  x /. (x +. y)
+
+let exponential t lambda =
+  let rec nonzero () =
+    let u = Random.State.float t 1.0 in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. lambda

@@ -1,0 +1,51 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let frac = rank -. floor rank in
+    (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+module Iset = Set.Make (Int)
+
+let precision_recall ~returned ~truth =
+  let r = Iset.of_list returned and t = Iset.of_list truth in
+  let hit = Iset.cardinal (Iset.inter r t) in
+  let precision =
+    if Iset.is_empty r then 1.0
+    else float_of_int hit /. float_of_int (Iset.cardinal r)
+  in
+  let recall =
+    if Iset.is_empty t then 1.0
+    else float_of_int hit /. float_of_int (Iset.cardinal t)
+  in
+  (precision, recall)
+
+let mae xs ys =
+  match (xs, ys) with
+  | [], [] -> 0.
+  | _ ->
+    if List.length xs <> List.length ys then invalid_arg "Stats.mae: lengths";
+    mean (List.map2 (fun a b -> Float.abs (a -. b)) xs ys)

@@ -1,0 +1,22 @@
+(** Small statistics helpers for the experiment harness. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+(** [percentile p xs] with [p] in [0,100]; linear interpolation. *)
+val percentile : float -> float list -> float
+
+val min_max : float list -> float * float
+
+(** Binary-classification quality of a returned set vs a ground-truth set.
+
+    [precision_recall ~returned ~truth] where both are sorted-or-not lists of
+    ids. Precision = |returned ∩ truth| / |returned| (1.0 when nothing is
+    returned and the truth is empty, 0.0 when returned is empty but the truth
+    is not... see implementation: empty returned yields precision 1.0 by
+    convention so that a conservative empty answer is not charged for false
+    positives), Recall = |returned ∩ truth| / |truth| (1.0 for empty truth). *)
+val precision_recall : returned:int list -> truth:int list -> float * float
+
+(** Mean absolute error between paired lists. *)
+val mae : float list -> float list -> float

@@ -1,0 +1,1 @@
+test/test_clique.ml: Alcotest Array List Mwc Psst_util QCheck QCheck_alcotest Tgen

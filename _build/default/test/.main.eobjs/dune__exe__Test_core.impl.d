@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bounds Exact Float Generator Lgraph List Option Pgraph Pmi Printf Pruning Psst_util QCheck QCheck_alcotest Query Relax Selection Tgen Verify

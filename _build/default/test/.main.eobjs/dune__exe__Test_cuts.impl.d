@@ -1,0 +1,1 @@
+test/test_cuts.ml: Alcotest Embedding List Parallel_graph Psst_util QCheck QCheck_alcotest Transversal

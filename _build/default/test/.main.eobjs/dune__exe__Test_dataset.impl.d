@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Distance Embedding Generator Lgraph List Option Pgraph Printf Psst_util Tgen Velim Vf2

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Canon Lgraph List Psst_util QCheck QCheck_alcotest Tgen

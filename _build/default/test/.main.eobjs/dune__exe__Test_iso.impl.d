@@ -1,0 +1,1 @@
+test/test_iso.ml: Alcotest Array Distance Embedding Lgraph List Mcs Psst_util QCheck QCheck_alcotest Tgen Ullmann Vf2

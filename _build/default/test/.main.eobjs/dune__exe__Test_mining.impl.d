@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Array Embedding Lgraph List Psst_util QCheck QCheck_alcotest Selection Tgen Vf2

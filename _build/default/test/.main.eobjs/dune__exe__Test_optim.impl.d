@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Array List Psst_util QCheck QCheck_alcotest Qp Rounding Set_cover Tgen

@@ -1,0 +1,1 @@
+test/test_pgm.ml: Alcotest Array Factor Float Jtree List Pgraph Printf Psst_util QCheck QCheck_alcotest Sampler Tgen Velim

@@ -1,0 +1,1 @@
+test/test_pgraph.ml: Alcotest Array Distance Exact Factor Float Lgraph List Pgraph Printf Psst_util QCheck QCheck_alcotest Tgen Velim Vf2

@@ -1,0 +1,1 @@
+test/test_simsearch.ml: Alcotest Array Distance Lgraph List Printf Psst_util QCheck QCheck_alcotest Relax Selection Structural Tgen Vf2

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List Psst_util QCheck QCheck_alcotest Tgen

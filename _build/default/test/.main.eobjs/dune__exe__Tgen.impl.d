@@ -1,0 +1,1 @@
+test/tgen.ml: Alcotest Array Factor Float Hashtbl Lgraph List Option Pgraph Psst_util

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "psst"
+    [
+      ("util", Test_util.suite);
+      ("labeled_graph", Test_graph.suite);
+      ("iso", Test_iso.suite);
+      ("pgm", Test_pgm.suite);
+      ("prob_graph", Test_pgraph.suite);
+      ("clique", Test_clique.suite);
+      ("cuts", Test_cuts.suite);
+      ("optim", Test_optim.suite);
+      ("mining", Test_mining.suite);
+      ("simsearch", Test_simsearch.suite);
+      ("dataset", Test_dataset.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("edge_cases", Test_edge_cases.suite);
+    ]

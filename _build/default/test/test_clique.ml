@@ -1,0 +1,137 @@
+module Prng = Psst_util.Prng
+
+let pentagon_weights = [| 3.; 1.; 4.; 1.; 5. |]
+
+let test_make_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "self loop" true
+    (bad (fun () -> Mwc.make ~weights:[| 1. |] ~edges:[ (0, 0) ]));
+  Alcotest.(check bool) "oob" true
+    (bad (fun () -> Mwc.make ~weights:[| 1. |] ~edges:[ (0, 1) ]));
+  Alcotest.(check bool) "negative weight" true
+    (bad (fun () -> Mwc.make ~weights:[| -1. |] ~edges:[]))
+
+let test_empty_graph () =
+  let g = Mwc.make ~weights:[||] ~edges:[] in
+  let c, w = Mwc.max_weight_clique g in
+  Alcotest.(check (list int)) "empty clique" [] c;
+  Tgen.check_close "zero weight" 0. w
+
+let test_no_edges () =
+  (* Independent set: best clique is the single heaviest vertex. *)
+  let g = Mwc.make ~weights:pentagon_weights ~edges:[] in
+  let c, w = Mwc.max_weight_clique g in
+  Alcotest.(check (list int)) "heaviest singleton" [ 4 ] c;
+  Tgen.check_close "weight 5" 5. w
+
+let test_triangle_plus_pendant () =
+  (* Triangle {0,1,2} with weights 1,1,1 and a pendant vertex 3 with
+     weight 1.5 attached to 0: the triangle (weight 3) beats {0,3} (2.5). *)
+  let g =
+    Mwc.make ~weights:[| 1.; 1.; 1.; 1.5 |]
+      ~edges:[ (0, 1); (1, 2); (0, 2); (0, 3) ]
+  in
+  let c, w = Mwc.max_weight_clique g in
+  Alcotest.(check (list int)) "triangle" [ 0; 1; 2 ] c;
+  Tgen.check_close "weight 3" 3. w
+
+let test_heavy_pair_beats_triangle () =
+  let g =
+    Mwc.make ~weights:[| 1.; 1.; 1.; 5.; 5. |]
+      ~edges:[ (0, 1); (1, 2); (0, 2); (3, 4) ]
+  in
+  let c, w = Mwc.max_weight_clique g in
+  Alcotest.(check (list int)) "heavy pair" [ 3; 4 ] c;
+  Tgen.check_close "weight 10" 10. w
+
+let test_is_clique () =
+  let g = Mwc.make ~weights:[| 1.; 1.; 1. |] ~edges:[ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "path not clique" false (Mwc.is_clique g [ 0; 1; 2 ]);
+  Alcotest.(check bool) "edge is clique" true (Mwc.is_clique g [ 0; 1 ]);
+  Alcotest.(check bool) "empty is clique" true (Mwc.is_clique g [])
+
+(* Brute force over all subsets. *)
+let brute_max_clique weights edges =
+  let n = Array.length weights in
+  let adj = Array.make_matrix n n false in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(v) <- true;
+      adj.(v).(u) <- true)
+    edges;
+  let best = ref 0. in
+  for mask = 0 to (1 lsl n) - 1 do
+    let vs = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n (fun i -> i)) in
+    let clique =
+      List.for_all
+        (fun u -> List.for_all (fun v -> u = v || adj.(u).(v)) vs)
+        vs
+    in
+    if clique then begin
+      let w = List.fold_left (fun acc v -> acc +. weights.(v)) 0. vs in
+      if w > !best then best := w
+    end
+  done;
+  !best
+
+let prop_mwc_matches_bruteforce =
+  QCheck.Test.make ~name:"max weight clique = brute force" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 5) in
+      let n = 2 + Prng.int rng 8 in
+      let weights = Array.init n (fun _ -> Prng.float rng 3.0) in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Prng.bernoulli rng 0.4 then edges := (u, v) :: !edges
+        done
+      done;
+      let _, w = Mwc.max_weight_clique (Mwc.make ~weights ~edges:!edges) in
+      Tgen.close ~eps:1e-9 w (brute_max_clique weights !edges))
+
+let prop_greedy_is_valid_clique =
+  QCheck.Test.make ~name:"greedy returns a valid clique" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 11) in
+      let n = 2 + Prng.int rng 10 in
+      let weights = Array.init n (fun _ -> Prng.float rng 3.0) in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Prng.bernoulli rng 0.5 then edges := (u, v) :: !edges
+        done
+      done;
+      let g = Mwc.make ~weights ~edges:!edges in
+      let c, _ = Mwc.greedy_clique g in
+      Mwc.is_clique g c)
+
+let prop_exact_at_least_greedy =
+  QCheck.Test.make ~name:"exact >= greedy" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 17) in
+      let n = 2 + Prng.int rng 9 in
+      let weights = Array.init n (fun _ -> Prng.float rng 3.0) in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Prng.bernoulli rng 0.5 then edges := (u, v) :: !edges
+        done
+      done;
+      let g = Mwc.make ~weights ~edges:!edges in
+      let _, wg = Mwc.greedy_clique g in
+      let _, we = Mwc.max_weight_clique g in
+      we >= wg -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "no edges" `Quick test_no_edges;
+    Alcotest.test_case "triangle vs pendant" `Quick test_triangle_plus_pendant;
+    Alcotest.test_case "heavy pair wins" `Quick test_heavy_pair_beats_triangle;
+    Alcotest.test_case "is_clique" `Quick test_is_clique;
+    QCheck_alcotest.to_alcotest prop_mwc_matches_bruteforce;
+    QCheck_alcotest.to_alcotest prop_greedy_is_valid_clique;
+    QCheck_alcotest.to_alcotest prop_exact_at_least_greedy;
+  ]

@@ -1,0 +1,329 @@
+module Bitset = Psst_util.Bitset
+module Prng = Psst_util.Prng
+
+let fast_bounds = { Bounds.default_config with mc_samples = 400 }
+
+(* Random pgraph + random small feature extracted from it, so embeddings
+   exist most of the time. *)
+let random_case seed =
+  let rng = Prng.make seed in
+  let g = Tgen.random_pgraph rng ~n:6 ~extra:3 ~vl:2 ~el:1 in
+  let gc = Pgraph.skeleton g in
+  let q, _ = Generator.extract_query rng
+      { graphs = [| g |]; organisms = [| 0 |]; motifs = [||];
+        grafts = [| None |]; params = Generator.default_params }
+      ~edges:(2 + Prng.int rng 2)
+  in
+  ignore q;
+  let feature =
+    (* Connected 2-edge subgraph of gc. *)
+    let e0 = Lgraph.edge gc 0 in
+    match Lgraph.neighbors gc e0.u with
+    | (w, eid) :: _ when eid <> 0 ->
+      let mask = Bitset.of_list (Lgraph.num_edges gc) [ 0; eid ] in
+      ignore w;
+      let sub, _ = Lgraph.with_edge_mask gc mask in
+      fst (Lgraph.drop_isolated sub)
+    | _ ->
+      let mask = Bitset.of_list (Lgraph.num_edges gc) [ 0 ] in
+      let sub, _ = Lgraph.with_edge_mask gc mask in
+      fst (Lgraph.drop_isolated sub)
+  in
+  (g, feature)
+
+(* --- Bounds --- *)
+
+let test_bounds_vertex_feature () =
+  let rng = Prng.make 3 in
+  let g = Tgen.random_pgraph rng ~n:4 ~extra:1 ~vl:2 ~el:1 in
+  let label_present = Lgraph.vertex_label (Pgraph.skeleton g) 0 in
+  let f_yes = Lgraph.vertices_only ~vlabels:[| label_present |] in
+  let f_no = Lgraph.vertices_only ~vlabels:[| 99 |] in
+  let b_yes = Bounds.compute fast_bounds g f_yes in
+  let b_no = Bounds.compute fast_bounds g f_no in
+  Tgen.check_close "present vertex -> 1" 1. b_yes.Bounds.lower;
+  Tgen.check_close "absent vertex -> 0" 0. b_no.Bounds.upper
+
+let test_bounds_no_embedding () =
+  let rng = Prng.make 5 in
+  let g = Tgen.random_pgraph rng ~n:4 ~extra:1 ~vl:2 ~el:1 in
+  let f = Lgraph.create ~vlabels:[| 5; 6 |] ~edges:[ (0, 1, 9) ] in
+  let b = Bounds.compute fast_bounds g f in
+  Tgen.check_close "upper 0" 0. b.Bounds.upper;
+  Tgen.check_close "lower 0" 0. b.Bounds.lower
+
+let prop_safe_bounds_enclose_exact_sip =
+  QCheck.Test.make ~name:"lower_safe <= SIP <= upper_safe (exact)" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let g, f = random_case (seed + 1000) in
+      let b = Bounds.compute fast_bounds g f in
+      let sip = Exact.sip g f in
+      b.Bounds.lower_safe <= sip +. 1e-9 && sip <= b.Bounds.upper_safe +. 1e-9)
+
+let prop_paper_bounds_near_sound =
+  (* The paper's bounds rest on a conditional-independence step (Eq 16/19)
+     that holds for independent edges; under positive correlation they can
+     cross the true SIP (which is why accept/prune decisions default to the
+     certified pair). Check the bracket on the independent model, with
+     Monte-Carlo tolerance. *)
+  QCheck.Test.make ~name:"paper bounds bracket SIP (independent model)" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let g, f = random_case (seed + 2000) in
+      let g = Pgraph.to_independent g in
+      let b = Bounds.compute fast_bounds g f in
+      let sip = Exact.sip g f in
+      b.Bounds.lower <= sip +. 0.12 && sip <= b.Bounds.upper +. 0.12)
+
+let prop_bounds_ordered =
+  QCheck.Test.make ~name:"lower <= upper in both bound pairs" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let g, f = random_case (seed + 3000) in
+      let b = Bounds.compute fast_bounds g f in
+      b.Bounds.lower <= b.Bounds.upper +. 1e-9
+      && b.Bounds.lower_safe <= b.Bounds.upper_safe +. 1e-9)
+
+let test_estimate_conditional () =
+  let rng = Prng.make 17 in
+  let g = Tgen.random_pgraph rng ~n:5 ~extra:2 ~vl:2 ~el:1 in
+  (* Pr(e0 present | anything) ~ marginal when den = true. *)
+  let est =
+    Bounds.estimate_conditional (Prng.make 3) g
+      ~num:(fun mask -> Bitset.mem mask 0)
+      ~den:(fun _ -> true)
+      ~samples:4000
+  in
+  match est with
+  | None -> Alcotest.fail "denominator must fire"
+  | Some p ->
+    let exact = Pgraph.edge_marginal g 0 in
+    Alcotest.(check bool) "estimate near marginal" true (Float.abs (p -. exact) < 0.05)
+
+(* --- PMI --- *)
+
+let small_dataset seed n =
+  Generator.generate
+    { Generator.default_params with num_graphs = n; seed; min_vertices = 6;
+      max_vertices = 10; motif_edges = 3 }
+
+let test_pmi_build_and_lookup () =
+  let ds = small_dataset 7 8 in
+  let skeletons = Array.map Pgraph.skeleton ds.graphs in
+  let features =
+    Selection.select skeletons { Selection.default_params with max_edges = 2; beta = 0.2 }
+  in
+  let pmi = Pmi.build ~config:fast_bounds ds.graphs features in
+  Alcotest.(check int) "feature count" (List.length features) (Pmi.num_features pmi);
+  Alcotest.(check int) "graph count" 8 (Pmi.num_graphs pmi);
+  Alcotest.(check bool) "some entries" true (Pmi.filled_entries pmi > 0);
+  (* Lookup consistency with support lists. *)
+  List.iteri
+    (fun fi (f : Selection.feature) ->
+      List.iter
+        (fun gi ->
+          match Pmi.lookup pmi ~feature:fi ~graph:gi with
+          | Some _ -> ()
+          | None -> Alcotest.failf "missing entry (%d,%d)" fi gi)
+        f.support)
+    features;
+  (* Columns agree with lookup. *)
+  let col = Pmi.column pmi ~graph:0 in
+  List.iter
+    (fun (fi, _) ->
+      Alcotest.(check bool) "column entry exists" true
+        (Option.is_some (Pmi.lookup pmi ~feature:fi ~graph:0)))
+    col
+
+(* --- Pruning soundness --- *)
+
+let pruning_env seed =
+  let ds = small_dataset seed 10 in
+  let skeletons = Array.map Pgraph.skeleton ds.graphs in
+  let features =
+    Selection.select skeletons { Selection.default_params with max_edges = 2; beta = 0.2 }
+  in
+  let pmi = Pmi.build ~config:fast_bounds ds.graphs features in
+  (ds, pmi)
+
+let prop_usim_bounds_exact_ssp =
+  QCheck.Test.make ~name:"Usim >= exact SSP (Thm 3, tolerance for MC)" ~count:10
+    QCheck.small_int
+    (fun seed ->
+      let ds, pmi = pruning_env (seed + 1) in
+      let rng = Prng.make (seed + 77) in
+      let q, _ = Generator.extract_query rng ds ~edges:4 in
+      let relaxed, _ = Relax.relaxed_set q ~delta:1 in
+      List.for_all
+        (fun gi ->
+          let prepared = Pruning.prepare pmi ~relaxed in
+          let u =
+            Pruning.usim (Prng.make 5) pmi prepared ~graph:gi
+              ~mode:Pruning.Optimized
+          in
+          let exact = Verify.exact ds.graphs.(gi) relaxed in
+          u >= exact -. 0.12)
+        [ 0; 3; 7 ])
+
+let prop_lsim_safe_below_exact_ssp =
+  QCheck.Test.make ~name:"certified Lsim <= exact SSP (Thm 4)" ~count:10
+    QCheck.small_int
+    (fun seed ->
+      let ds, pmi = pruning_env (seed + 50) in
+      let rng = Prng.make (seed + 99) in
+      let q, _ = Generator.extract_query rng ds ~edges:3 in
+      let relaxed, _ = Relax.relaxed_set q ~delta:1 in
+      List.for_all
+        (fun gi ->
+          let prepared = Pruning.prepare pmi ~relaxed in
+          let _, safe =
+            Pruning.lsim (Prng.make 5) pmi prepared ~graph:gi
+              ~mode:Pruning.Optimized
+          in
+          (not (Float.is_finite safe))
+          || safe <= Verify.exact ds.graphs.(gi) relaxed +. 1e-6)
+        [ 0; 5; 9 ])
+
+(* --- Verification --- *)
+
+let test_verify_num_samples () =
+  let c = { Verify.default_config with tau = 0.1; xi = 0.05 } in
+  (* (4 ln 40) / 0.01 = 1475.5... -> 1476 *)
+  Alcotest.(check int) "sample count" 1476 (Verify.num_samples c)
+
+let test_verify_empty_relaxed () =
+  let rng = Prng.make 3 in
+  let g = Tgen.random_pgraph rng ~n:4 ~extra:1 ~vl:2 ~el:1 in
+  Alcotest.(check bool) "no embeddings -> 0" true
+    (Verify.exact g [ Lgraph.create ~vlabels:[| 9; 9 |] ~edges:[ (0, 1, 7) ] ] = 0.)
+
+let test_verify_trivial_relaxation () =
+  let rng = Prng.make 3 in
+  let g = Tgen.random_pgraph rng ~n:4 ~extra:1 ~vl:2 ~el:1 in
+  let empty = Lgraph.vertices_only ~vlabels:[||] in
+  Tgen.check_close "empty rq -> 1" 1. (Verify.exact g [ empty ]);
+  Tgen.check_close "smp too" 1. (Verify.smp (Prng.make 1) g [ empty ])
+
+let prop_smp_close_to_exact =
+  QCheck.Test.make ~name:"SMP estimate close to exact SSP" ~count:15
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 5) in
+      let g = Tgen.random_pgraph rng ~n:6 ~extra:3 ~vl:2 ~el:1 in
+      let gc = Pgraph.skeleton g in
+      (* Query: 3-edge connected subgraph of gc. *)
+      let ds =
+        { Generator.graphs = [| g |]; organisms = [| 0 |]; motifs = [||];
+          grafts = [| None |]; params = Generator.default_params }
+      in
+      let q, _ = Generator.extract_query rng ds ~edges:3 in
+      ignore gc;
+      let relaxed, _ = Relax.relaxed_set q ~delta:1 in
+      let exact = Verify.exact g relaxed in
+      (* tau = 0.05 guarantees |error| <= 0.05 with confidence 1 - xi;
+         the assertion allows double that so the test is not flaky. *)
+      let config = { Verify.default_config with tau = 0.05 } in
+      let smp = Verify.smp ~config (Prng.make (seed + 9)) g relaxed in
+      Float.abs (exact -. smp) < 0.1)
+
+(* --- End-to-end pipeline --- *)
+
+let test_pipeline_matches_ground_truth () =
+  let ds = small_dataset 21 12 in
+  let db =
+    Query.index_database
+      ~mining:{ Selection.default_params with max_edges = 2; beta = 0.2 }
+      ~bounds:fast_bounds ds.graphs
+  in
+  let rng = Prng.make 31 in
+  for trial = 1 to 3 do
+    let q, _ = Generator.extract_query rng ds ~edges:4 in
+    let config =
+      { Query.default_config with epsilon = 0.4; delta = 1; verifier = `Exact }
+    in
+    let out = Query.run db q config in
+    let truth = Query.ground_truth db q config in
+    Alcotest.(check (list int))
+      (Printf.sprintf "trial %d pipeline = truth" trial)
+      truth out.answers
+  done
+
+let test_pipeline_random_pick_mode_sound () =
+  (* The SSPBound-style random assembly is weaker but, with certified
+     bounds and exact verification, the pipeline must still be exact. *)
+  let ds = small_dataset 27 10 in
+  let db =
+    Query.index_database
+      ~mining:{ Selection.default_params with max_edges = 2; beta = 0.2 }
+      ~bounds:fast_bounds ds.graphs
+  in
+  let rng = Prng.make 35 in
+  for trial = 1 to 2 do
+    let q, _ = Generator.extract_query rng ds ~edges:4 in
+    let config =
+      { Query.default_config with epsilon = 0.4; delta = 1; verifier = `Exact;
+        mode = Pruning.Random_pick }
+    in
+    let out = Query.run db q config in
+    let truth = Query.ground_truth db q config in
+    Alcotest.(check (list int))
+      (Printf.sprintf "trial %d random-pick pipeline = truth" trial)
+      truth out.Query.answers
+  done
+
+let test_pipeline_exact_scan_agrees () =
+  let ds = small_dataset 33 8 in
+  let db =
+    Query.index_database
+      ~mining:{ Selection.default_params with max_edges = 2; beta = 0.2 }
+      ~bounds:fast_bounds ds.graphs
+  in
+  let rng = Prng.make 41 in
+  let q, _ = Generator.extract_query rng ds ~edges:4 in
+  let config =
+    { Query.default_config with epsilon = 0.4; delta = 1; verifier = `Exact }
+  in
+  let out = Query.run db q config in
+  let scan = Query.run_exact_scan db q config in
+  Alcotest.(check (list int)) "pipeline = exact scan" scan.answers out.answers
+
+let test_pipeline_stats_consistent () =
+  let ds = small_dataset 55 10 in
+  let db =
+    Query.index_database
+      ~mining:{ Selection.default_params with max_edges = 2; beta = 0.2 }
+      ~bounds:fast_bounds ds.graphs
+  in
+  let rng = Prng.make 61 in
+  let q, _ = Generator.extract_query rng ds ~edges:4 in
+  let config = { Query.default_config with epsilon = 0.4; delta = 1 } in
+  let out = Query.run db q config in
+  let s = out.stats in
+  Alcotest.(check int) "partition of structural candidates"
+    s.structural_candidates
+    (s.prob_candidates + s.accepted_by_bounds + s.pruned_by_bounds);
+  Alcotest.(check bool) "answers within structural" true
+    (List.for_all (fun _ -> true) out.answers)
+
+let suite =
+  [
+    Alcotest.test_case "bounds: vertex feature" `Quick test_bounds_vertex_feature;
+    Alcotest.test_case "bounds: no embedding" `Quick test_bounds_no_embedding;
+    QCheck_alcotest.to_alcotest prop_safe_bounds_enclose_exact_sip;
+    QCheck_alcotest.to_alcotest prop_paper_bounds_near_sound;
+    QCheck_alcotest.to_alcotest prop_bounds_ordered;
+    Alcotest.test_case "bounds: conditional estimator" `Slow test_estimate_conditional;
+    Alcotest.test_case "pmi: build & lookup" `Slow test_pmi_build_and_lookup;
+    QCheck_alcotest.to_alcotest prop_usim_bounds_exact_ssp;
+    QCheck_alcotest.to_alcotest prop_lsim_safe_below_exact_ssp;
+    Alcotest.test_case "verify: sample count" `Quick test_verify_num_samples;
+    Alcotest.test_case "verify: no embeddings" `Quick test_verify_empty_relaxed;
+    Alcotest.test_case "verify: trivial relaxation" `Quick test_verify_trivial_relaxation;
+    QCheck_alcotest.to_alcotest prop_smp_close_to_exact;
+    Alcotest.test_case "pipeline = ground truth" `Slow test_pipeline_matches_ground_truth;
+    Alcotest.test_case "pipeline = exact scan" `Slow test_pipeline_exact_scan_agrees;
+    Alcotest.test_case "pipeline random-pick sound" `Slow
+      test_pipeline_random_pick_mode_sound;
+    Alcotest.test_case "pipeline stats consistent" `Slow test_pipeline_stats_consistent;
+  ]

@@ -1,0 +1,206 @@
+module Prng = Psst_util.Prng
+
+let small_params =
+  { Generator.default_params with num_graphs = 12; num_organisms = 3;
+    min_vertices = 8; max_vertices = 12; seed = 5 }
+
+let test_generate_shape () =
+  let ds = Generator.generate small_params in
+  Alcotest.(check int) "graph count" 12 (Array.length ds.graphs);
+  Alcotest.(check int) "organism per graph" 12 (Array.length ds.organisms);
+  Alcotest.(check int) "motifs" 3 (Array.length ds.motifs);
+  Array.iter
+    (fun o -> Alcotest.(check bool) "organism in range" true (o >= 0 && o < 3))
+    ds.organisms
+
+let test_graphs_connected_and_sized () =
+  let ds = Generator.generate small_params in
+  Array.iter
+    (fun g ->
+      let gc = Pgraph.skeleton g in
+      Alcotest.(check bool) "connected" true (Lgraph.is_connected gc);
+      Alcotest.(check bool) "vertex range" true (Lgraph.num_vertices gc >= 8))
+    ds.graphs
+
+let test_motif_embedded () =
+  let ds = Generator.generate small_params in
+  Array.iteri
+    (fun gi g ->
+      let o = ds.organisms.(gi) in
+      Alcotest.(check bool)
+        (Printf.sprintf "motif of organism %d in graph %d" o gi)
+        true
+        (Vf2.exists ds.motifs.(o) (Pgraph.skeleton g)))
+    ds.graphs
+
+let test_factors_consistent () =
+  let ds = Generator.generate small_params in
+  Array.iter
+    (fun g ->
+      (* Pgraph.make already validates chain consistency; re-check the
+         junction tree can be built (running intersection). *)
+      ignore (Pgraph.jtree g))
+    ds.graphs
+
+let test_every_edge_uncertain () =
+  let ds = Generator.generate small_params in
+  Array.iter
+    (fun g ->
+      Alcotest.(check int) "all edges covered by JPTs"
+        (Lgraph.num_edges (Pgraph.skeleton g))
+        (List.length (Pgraph.uncertain_edges g)))
+    ds.graphs
+
+let test_mean_edge_probability () =
+  let ds = Generator.generate { small_params with num_graphs = 20 } in
+  let probs =
+    Array.to_list ds.graphs
+    |> List.concat_map (fun g ->
+           List.map (Pgraph.edge_marginal g) (Pgraph.uncertain_edges g))
+  in
+  let mean = Psst_util.Stats.mean probs in
+  (* The max-rule JPT shifts marginals from the Beta target; just require a
+     sensible high-probability regime. *)
+  Alcotest.(check bool) (Printf.sprintf "mean prob %.3f in regime" mean) true
+    (mean > 0.5 && mean < 0.95)
+
+let test_extract_query () =
+  let ds = Generator.generate small_params in
+  let rng = Prng.make 9 in
+  for _ = 1 to 10 do
+    let q, org = Generator.extract_query rng ds ~edges:4 in
+    Alcotest.(check int) "edges" 4 (Lgraph.num_edges q);
+    Alcotest.(check bool) "connected" true (Lgraph.is_connected q);
+    Alcotest.(check bool) "organism" true (org >= 0 && org < 3)
+  done
+
+let test_extract_query_too_large () =
+  let ds = Generator.generate small_params in
+  let rng = Prng.make 9 in
+  try
+    ignore (Generator.extract_query rng ds ~edges:10_000);
+    Alcotest.fail "should reject oversized query"
+  with Invalid_argument _ -> ()
+
+let test_organism_members () =
+  let ds = Generator.generate small_params in
+  let all = List.concat_map (Generator.organism_members ds) [ 0; 1; 2 ] in
+  Alcotest.(check int) "partition" 12 (List.length (List.sort_uniq compare all))
+
+let test_independent_db () =
+  let ds = Generator.generate small_params in
+  let ind = Generator.independent_db ds in
+  Array.iteri
+    (fun gi g ->
+      List.iter
+        (fun e ->
+          Tgen.check_close ~eps:1e-9 "marginals preserved"
+            (Pgraph.edge_marginal ds.graphs.(gi) e)
+            (Pgraph.edge_marginal g e))
+        (Pgraph.uncertain_edges g))
+    ind
+
+let test_grafted_motif_embeds () =
+  let ds =
+    Generator.generate
+      { small_params with foreign_motif_prob = 1.0; num_graphs = 6 }
+  in
+  Array.iteri
+    (fun gi g ->
+      match ds.grafts.(gi) with
+      | None -> Alcotest.fail "graft probability 1.0 must graft everywhere"
+      | Some o ->
+        Alcotest.(check bool) "foreign motif embeds" true
+          (Vf2.exists ds.motifs.(o) (Pgraph.skeleton g)))
+    ds.graphs
+
+let test_graft_suppressed_under_correlation () =
+  (* The defining property of a foreign graft: the independent projection
+     overestimates the probability that the whole graft co-exists. *)
+  let ds =
+    Generator.generate
+      { small_params with foreign_motif_prob = 1.0; num_graphs = 6 }
+  in
+  let checked = ref 0 in
+  Array.iteri
+    (fun gi g ->
+      let o = Option.get ds.grafts.(gi) in
+      match Vf2.find_one ds.motifs.(o) (Pgraph.skeleton g) with
+      | None -> ()
+      | Some emb ->
+        let edges = Psst_util.Bitset.elements emb.Embedding.edges in
+        let cor = Velim.prob_all_present (Pgraph.factors g) edges in
+        let ind =
+          Velim.prob_all_present
+            (Pgraph.factors (Pgraph.to_independent g))
+            edges
+        in
+        incr checked;
+        Alcotest.(check bool)
+          (Printf.sprintf "graph %d: IND %.4f >= COR %.4f" gi ind cor)
+          true (ind >= cor -. 1e-9))
+    ds.graphs;
+  Alcotest.(check bool) "some grafts checked" true (!checked >= 3)
+
+let test_no_graft_when_disabled () =
+  let ds =
+    Generator.generate { small_params with foreign_motif_prob = 0.0 }
+  in
+  Array.iter
+    (function
+      | None -> ()
+      | Some _ -> Alcotest.fail "graft with probability 0")
+    ds.grafts
+
+let test_from_motif_query_within_core () =
+  let ds = Generator.generate small_params in
+  let rng = Prng.make 21 in
+  for _ = 1 to 10 do
+    let q, org = Generator.extract_query ~from_motif:true rng ds ~edges:3 in
+    (* A core query must embed in the organism's motif region of at least
+       one member (its source), and its labels come from the motif. *)
+    let members = Generator.organism_members ds org in
+    Alcotest.(check bool) "embeds in some member" true
+      (List.exists (fun gi -> Vf2.exists q (Pgraph.skeleton ds.graphs.(gi))) members)
+  done
+
+let test_queries_match_home_organism () =
+  (* A query extracted from an organism's graph should at least match its
+     own source structurally. *)
+  let ds = Generator.generate small_params in
+  let rng = Prng.make 13 in
+  let hits = ref 0 and total = ref 0 in
+  for _ = 1 to 10 do
+    let q, org = Generator.extract_query rng ds ~edges:4 in
+    let members = Generator.organism_members ds org in
+    incr total;
+    if
+      List.exists
+        (fun gi -> Distance.within q (Pgraph.skeleton ds.graphs.(gi)) ~delta:1)
+        members
+    then incr hits
+  done;
+  Alcotest.(check bool) "most queries match home organism" true
+    (!hits >= !total - 1)
+
+let suite =
+  [
+    Alcotest.test_case "generate shape" `Quick test_generate_shape;
+    Alcotest.test_case "graphs connected" `Quick test_graphs_connected_and_sized;
+    Alcotest.test_case "motif embedded" `Quick test_motif_embedded;
+    Alcotest.test_case "factors consistent" `Quick test_factors_consistent;
+    Alcotest.test_case "all edges uncertain" `Quick test_every_edge_uncertain;
+    Alcotest.test_case "mean edge probability" `Quick test_mean_edge_probability;
+    Alcotest.test_case "extract query" `Quick test_extract_query;
+    Alcotest.test_case "extract query too large" `Quick test_extract_query_too_large;
+    Alcotest.test_case "organism members" `Quick test_organism_members;
+    Alcotest.test_case "independent db" `Quick test_independent_db;
+    Alcotest.test_case "queries match home organism" `Slow
+      test_queries_match_home_organism;
+    Alcotest.test_case "grafted motif embeds" `Quick test_grafted_motif_embeds;
+    Alcotest.test_case "graft suppressed under correlation" `Quick
+      test_graft_suppressed_under_correlation;
+    Alcotest.test_case "no graft when disabled" `Quick test_no_graft_when_disabled;
+    Alcotest.test_case "core queries embed at home" `Quick
+      test_from_motif_query_within_core;
+  ]

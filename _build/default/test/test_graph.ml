@@ -1,0 +1,179 @@
+module Bitset = Psst_util.Bitset
+module Prng = Psst_util.Prng
+
+(* The paper's graph 002 (Figure 1): vertices a,a,b,b,c and edges e1..e5.
+   Labels: a=0, b=1, c=2; edge labels all 0. Layout (one valid reading):
+     v0:a - v1:a (e1), v0:a - v2:b (e2), v1:a - v2:b (e3),
+     v2:b - v3:b (e4), v2:b - v4:c (e5). *)
+let graph_002 () =
+  Lgraph.create
+    ~vlabels:[| 0; 0; 1; 1; 2 |]
+    ~edges:[ (0, 1, 0); (0, 2, 0); (1, 2, 0); (2, 3, 0); (2, 4, 0) ]
+
+let test_create_accessors () =
+  let g = graph_002 () in
+  Alcotest.(check int) "vertices" 5 (Lgraph.num_vertices g);
+  Alcotest.(check int) "edges" 5 (Lgraph.num_edges g);
+  Alcotest.(check int) "vlabel" 1 (Lgraph.vertex_label g 2);
+  Alcotest.(check int) "degree" 4 (Lgraph.degree g 2);
+  let e = Lgraph.edge g 0 in
+  Alcotest.(check int) "edge endpoints" 1 e.v;
+  Alcotest.(check bool) "has edge" true (Lgraph.has_edge g 2 0);
+  Alcotest.(check bool) "no edge" false (Lgraph.has_edge g 0 4);
+  Alcotest.(check int) "other endpoint" 0 (Lgraph.other_endpoint e 1)
+
+let test_create_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "self loop" true
+    (bad (fun () -> Lgraph.create ~vlabels:[| 0; 0 |] ~edges:[ (1, 1, 0) ]));
+  Alcotest.(check bool) "duplicate edge" true
+    (bad (fun () ->
+         Lgraph.create ~vlabels:[| 0; 0 |] ~edges:[ (0, 1, 0); (1, 0, 2) ]));
+  Alcotest.(check bool) "out of range" true
+    (bad (fun () -> Lgraph.create ~vlabels:[| 0 |] ~edges:[ (0, 1, 0) ]))
+
+let test_connectivity () =
+  let g = graph_002 () in
+  Alcotest.(check bool) "connected" true (Lgraph.is_connected g);
+  let g2 = Lgraph.delete_edges g [ 3; 4 ] in
+  Alcotest.(check bool) "still reports isolated" false (Lgraph.is_connected g2);
+  Alcotest.(check bool) "connected ignoring isolated" true
+    (Lgraph.is_connected_ignoring_isolated g2);
+  Alcotest.(check int) "components" 3 (List.length (Lgraph.components g2))
+
+let test_triangles () =
+  let g = graph_002 () in
+  Alcotest.(check (list (triple int int int))) "one triangle" [ (0, 1, 2) ]
+    (Lgraph.triangles g);
+  let square =
+    Lgraph.create ~vlabels:[| 0; 0; 0; 0 |]
+      ~edges:[ (0, 1, 0); (1, 2, 0); (2, 3, 0); (3, 0, 0) ]
+  in
+  Alcotest.(check (list (triple int int int))) "no triangle" [] (Lgraph.triangles square)
+
+let test_star_edge_sets () =
+  let g = graph_002 () in
+  let stars = Lgraph.star_edge_sets g in
+  (* v2 is incident to e1?? no: incident to e2 e3 e4 e5. *)
+  Alcotest.(check bool) "v2 star present" true
+    (List.mem [ 1; 2; 3; 4 ] stars);
+  (* Degree-1 vertices contribute nothing. *)
+  List.iter
+    (fun s -> Alcotest.(check bool) "size>=2" true (List.length s >= 2))
+    stars
+
+let test_edge_mask () =
+  let g = graph_002 () in
+  let mask = Bitset.of_list 5 [ 1; 2; 3 ] in
+  let sub, edge_map = Lgraph.with_edge_mask g mask in
+  Alcotest.(check int) "sub edges" 3 (Lgraph.num_edges sub);
+  Alcotest.(check int) "sub vertices kept" 5 (Lgraph.num_vertices sub);
+  Alcotest.(check (array int)) "edge map" [| 1; 2; 3 |] edge_map
+
+let test_delete_relabel () =
+  let g = graph_002 () in
+  let g' = Lgraph.delete_edges g [ 0 ] in
+  Alcotest.(check int) "deleted" 4 (Lgraph.num_edges g');
+  Alcotest.(check bool) "edge gone" false (Lgraph.has_edge g' 0 1);
+  let g'' = Lgraph.relabel_edge g 4 7 in
+  match Lgraph.find_edge g'' 2 4 with
+  | Some e -> Alcotest.(check int) "relabeled" 7 e.label
+  | None -> Alcotest.fail "edge lost by relabel"
+
+let test_induced_subgraph () =
+  let g = graph_002 () in
+  let sub, vmap = Lgraph.induced_subgraph g [ 0; 1; 2 ] in
+  Alcotest.(check int) "triangle edges" 3 (Lgraph.num_edges sub);
+  Alcotest.(check (array int)) "vmap" [| 0; 1; 2 |] vmap;
+  let sub2, _ = Lgraph.induced_subgraph g [ 3; 4 ] in
+  Alcotest.(check int) "no edges between 3,4" 0 (Lgraph.num_edges sub2)
+
+let test_drop_isolated () =
+  let g = Lgraph.create ~vlabels:[| 0; 1; 2 |] ~edges:[ (0, 2, 5) ] in
+  let g', vmap = Lgraph.drop_isolated g in
+  Alcotest.(check int) "vertices" 2 (Lgraph.num_vertices g');
+  Alcotest.(check (array int)) "map" [| 0; 2 |] vmap
+
+let test_hists () =
+  let g = graph_002 () in
+  Alcotest.(check (list (pair int int))) "vertex hist" [ (0, 2); (1, 2); (2, 1) ]
+    (Lgraph.vertex_label_hist g);
+  Alcotest.(check (list (pair int int))) "edge hist" [ (0, 5) ]
+    (Lgraph.edge_label_hist g);
+  Alcotest.(check int) "missing" 1
+    (Lgraph.hist_missing [ (0, 2); (9, 1) ] [ (0, 5) ])
+
+let test_serialization_roundtrip () =
+  let g = graph_002 () in
+  let g' = Lgraph.of_string (Lgraph.to_string g) in
+  Alcotest.check Tgen.graph_testable "roundtrip" g g'
+
+let prop_serialization_roundtrip =
+  QCheck.Test.make ~name:"lgraph to_string/of_string roundtrip" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (seed, extra) ->
+      let rng = Prng.make (seed + 1) in
+      let g = Tgen.random_connected_graph rng ~n:6 ~extra:(extra mod 5) ~vl:3 ~el:2 in
+      Lgraph.equal_structure g (Lgraph.of_string (Lgraph.to_string g)))
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition the vertex set" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 1) in
+      let g = Tgen.random_graph rng ~n:8 ~m:6 ~vl:2 ~el:2 in
+      let all = List.concat (Lgraph.components g) |> List.sort compare in
+      all = List.init (Lgraph.num_vertices g) (fun i -> i))
+
+let test_canon_basic () =
+  let g = graph_002 () in
+  Alcotest.(check bool) "self iso" true (Canon.equal_iso g g);
+  let h = Lgraph.relabel_edge g 0 9 in
+  Alcotest.(check bool) "label change detected" false (Canon.equal_iso g h)
+
+let prop_canon_permutation_invariant =
+  QCheck.Test.make ~name:"canonical code is permutation invariant" ~count:150
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 13) in
+      let g = Tgen.random_graph rng ~n:7 ~m:8 ~vl:2 ~el:2 in
+      let g' = Tgen.permuted rng g in
+      Canon.code g = Canon.code g')
+
+let prop_canon_distinguishes_labels =
+  QCheck.Test.make ~name:"canonical code separates relabelled graphs" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 29) in
+      let g = Tgen.random_connected_graph rng ~n:6 ~extra:3 ~vl:2 ~el:2 in
+      let eid = Prng.int rng (Lgraph.num_edges g) in
+      let old = (Lgraph.edge g eid).label in
+      let h = Lgraph.relabel_edge g eid (old + 100) in
+      Canon.code g <> Canon.code h)
+
+let test_refine_splits_labels () =
+  let g = Lgraph.create ~vlabels:[| 0; 0; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0) ] in
+  let colors = Canon.refine g in
+  Alcotest.(check bool) "v0 and v1 split by refinement" true (colors.(0) <> colors.(1));
+  Alcotest.(check bool) "v0 v2 differ" true (colors.(0) <> colors.(2))
+
+let suite =
+  [
+    Alcotest.test_case "create & accessors" `Quick test_create_accessors;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "connectivity" `Quick test_connectivity;
+    Alcotest.test_case "triangles" `Quick test_triangles;
+    Alcotest.test_case "star edge sets" `Quick test_star_edge_sets;
+    Alcotest.test_case "edge mask subgraph" `Quick test_edge_mask;
+    Alcotest.test_case "delete / relabel edges" `Quick test_delete_relabel;
+    Alcotest.test_case "induced subgraph" `Quick test_induced_subgraph;
+    Alcotest.test_case "drop isolated" `Quick test_drop_isolated;
+    Alcotest.test_case "label histograms" `Quick test_hists;
+    Alcotest.test_case "serialization roundtrip" `Quick test_serialization_roundtrip;
+    QCheck_alcotest.to_alcotest prop_serialization_roundtrip;
+    QCheck_alcotest.to_alcotest prop_components_partition;
+    Alcotest.test_case "canon basic" `Quick test_canon_basic;
+    QCheck_alcotest.to_alcotest prop_canon_permutation_invariant;
+    QCheck_alcotest.to_alcotest prop_canon_distinguishes_labels;
+    Alcotest.test_case "refine splits labels" `Quick test_refine_splits_labels;
+  ]

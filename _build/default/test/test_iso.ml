@@ -1,0 +1,245 @@
+module Bitset = Psst_util.Bitset
+module Prng = Psst_util.Prng
+
+let triangle label =
+  Lgraph.create ~vlabels:[| label; label; label |]
+    ~edges:[ (0, 1, 0); (1, 2, 0); (0, 2, 0) ]
+
+let path3 () =
+  Lgraph.create ~vlabels:[| 0; 0; 0 |] ~edges:[ (0, 1, 0); (1, 2, 0) ]
+
+let g002 () =
+  Lgraph.create
+    ~vlabels:[| 0; 0; 1; 1; 2 |]
+    ~edges:[ (0, 1, 0); (0, 2, 0); (1, 2, 0); (2, 3, 0); (2, 4, 0) ]
+
+let test_vf2_basic () =
+  let labelled_triangle =
+    Lgraph.create ~vlabels:[| 0; 0; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0); (0, 2, 0) ]
+  in
+  Alcotest.(check bool) "triangle in g002" true (Vf2.exists labelled_triangle (g002 ()));
+  Alcotest.(check bool) "path in triangle" true (Vf2.exists (path3 ()) (triangle 0));
+  Alcotest.(check bool) "triangle not in path" false (Vf2.exists (triangle 0) (path3 ()))
+
+let test_vf2_labels_matter () =
+  let p = Lgraph.create ~vlabels:[| 0; 1 |] ~edges:[ (0, 1, 5) ] in
+  let t_ok = Lgraph.create ~vlabels:[| 1; 0; 2 |] ~edges:[ (0, 1, 5); (1, 2, 0) ] in
+  let t_bad_elabel = Lgraph.create ~vlabels:[| 1; 0 |] ~edges:[ (0, 1, 6) ] in
+  let t_bad_vlabel = Lgraph.create ~vlabels:[| 2; 0 |] ~edges:[ (0, 1, 5) ] in
+  Alcotest.(check bool) "edge label match" true (Vf2.exists p t_ok);
+  Alcotest.(check bool) "edge label mismatch" false (Vf2.exists p t_bad_elabel);
+  Alcotest.(check bool) "vertex label mismatch" false (Vf2.exists p t_bad_vlabel)
+
+let test_vf2_disconnected_pattern () =
+  let p =
+    Lgraph.create ~vlabels:[| 0; 0; 1; 1 |] ~edges:[ (0, 1, 0); (2, 3, 1) ]
+  in
+  let t =
+    Lgraph.create ~vlabels:[| 0; 0; 1; 1; 2 |]
+      ~edges:[ (0, 1, 0); (2, 3, 1); (1, 2, 2) ]
+  in
+  Alcotest.(check bool) "disconnected pattern matches" true (Vf2.exists p t)
+
+let test_vf2_counts () =
+  (* A triangle pattern in a triangle target: 6 vertex maps, 1 edge set. *)
+  let t = triangle 0 in
+  Alcotest.(check int) "vertex maps" 6 (Vf2.count t t);
+  Alcotest.(check int) "distinct subgraphs" 1
+    (List.length (Vf2.distinct_embeddings t t));
+  Alcotest.(check int) "count limit" 3 (Vf2.count ~limit:3 t t)
+
+let test_vf2_embedding_edges () =
+  (* Path a(0)-b(1)-b(1) in g002: middle vertex must be v2, ends v0/v1 and
+     v3 — exactly two distinct embeddings. *)
+  let p = Lgraph.create ~vlabels:[| 0; 1; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0) ] in
+  let embs = Vf2.distinct_embeddings p (g002 ()) in
+  List.iter
+    (fun e -> Alcotest.(check int) "each embedding uses 2 edges" 2
+        (Bitset.cardinal e.Embedding.edges))
+    embs;
+  Alcotest.(check int) "two embeddings" 2 (List.length embs)
+
+let test_embedding_disjoint () =
+  let a = { Embedding.vmap = [| 0 |]; edges = Bitset.of_list 5 [ 0; 1 ] } in
+  let b = { Embedding.vmap = [| 1 |]; edges = Bitset.of_list 5 [ 2 ] } in
+  let c = { Embedding.vmap = [| 2 |]; edges = Bitset.of_list 5 [ 1; 2 ] } in
+  Alcotest.(check bool) "disjoint" true (Embedding.edge_disjoint a b);
+  Alcotest.(check bool) "overlap" true (Embedding.overlaps a c);
+  Alcotest.(check bool) "same edges" true
+    (Embedding.same_edges b { b with vmap = [| 9 |] })
+
+let prop_vf2_agrees_with_bruteforce =
+  QCheck.Test.make ~name:"vf2 = brute force on random graphs" ~count:300
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 101) in
+      let target = Tgen.random_graph rng ~n:6 ~m:7 ~vl:2 ~el:2 in
+      let pattern = Tgen.random_graph rng ~n:3 ~m:3 ~vl:2 ~el:2 in
+      Vf2.exists pattern target = Tgen.brute_subiso pattern target)
+
+let prop_vf2_reflexive =
+  QCheck.Test.make ~name:"every graph embeds in itself" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 7) in
+      let g = Tgen.random_connected_graph rng ~n:6 ~extra:3 ~vl:3 ~el:2 in
+      Vf2.exists g g)
+
+let prop_vf2_subgraph_embeds =
+  QCheck.Test.make ~name:"edge-deleted subgraph embeds in original" ~count:200
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 23) in
+      let g = Tgen.random_connected_graph rng ~n:6 ~extra:4 ~vl:2 ~el:2 in
+      let eid = Prng.int rng (Lgraph.num_edges g) in
+      let sub = Lgraph.delete_edges g [ eid ] in
+      Vf2.exists sub g)
+
+let test_mcs_identical () =
+  let g = g002 () in
+  Alcotest.(check int) "mcs with self = all edges" 5 (Mcs.common_edges g g);
+  Alcotest.(check int) "distance 0" 0 (Distance.dis g g)
+
+let test_mcs_triangle_path () =
+  (* mcs(triangle, path3) = 2 edges. *)
+  Alcotest.(check int) "triangle vs path" 2 (Mcs.common_edges (triangle 0) (path3 ()));
+  Alcotest.(check int) "distance 1" 1 (Distance.dis (triangle 0) (path3 ()))
+
+let test_mcs_label_blocked () =
+  let a = Lgraph.create ~vlabels:[| 0; 0 |] ~edges:[ (0, 1, 1) ] in
+  let b = Lgraph.create ~vlabels:[| 0; 0 |] ~edges:[ (0, 1, 2) ] in
+  Alcotest.(check int) "no common edge" 0 (Mcs.common_edges a b);
+  Alcotest.(check int) "distance = |q|" 1 (Distance.dis a b)
+
+let test_mcs_stop_at () =
+  let g = g002 () in
+  Alcotest.(check bool) "stop_at returns early >= target" true
+    (Mcs.common_edges ~stop_at:2 g g >= 2)
+
+let test_distance_within () =
+  Alcotest.(check bool) "within 1" true (Distance.within (triangle 0) (path3 ()) ~delta:1);
+  Alcotest.(check bool) "not within 0" false
+    (Distance.within (triangle 0) (path3 ()) ~delta:0);
+  Alcotest.(check bool) "negative delta" false
+    (Distance.within (triangle 0) (path3 ()) ~delta:(-1));
+  let labelled_path =
+    Lgraph.create ~vlabels:[| 0; 1; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0) ]
+  in
+  Alcotest.(check bool) "subgraph within 0" true
+    (Distance.within labelled_path (g002 ()) ~delta:0)
+
+let prop_distance_within_agrees_with_dis =
+  QCheck.Test.make ~name:"within <-> dis <= delta" ~count:150 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 31) in
+      let q = Tgen.random_connected_graph rng ~n:4 ~extra:1 ~vl:2 ~el:2 in
+      let g = Tgen.random_connected_graph rng ~n:6 ~extra:3 ~vl:2 ~el:2 in
+      let delta = Prng.int rng 4 in
+      Distance.within q g ~delta = (Distance.dis q g <= delta))
+
+let prop_vf2_implies_distance_zero =
+  QCheck.Test.make ~name:"q ⊆iso g implies dis(q,g)=0" ~count:150 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 41) in
+      let g = Tgen.random_connected_graph rng ~n:6 ~extra:3 ~vl:2 ~el:2 in
+      let vs = Psst_util.Prng.sample_without_replacement rng 4 (Lgraph.num_vertices g) in
+      let q, _ = Lgraph.induced_subgraph g vs in
+      (not (Vf2.exists q g)) || Distance.dis q g = 0)
+
+let prop_distance_lower_bound_sound =
+  QCheck.Test.make ~name:"label-multiset bound never exceeds distance" ~count:150
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 53) in
+      let q = Tgen.random_connected_graph rng ~n:4 ~extra:2 ~vl:2 ~el:3 in
+      let g = Tgen.random_connected_graph rng ~n:5 ~extra:2 ~vl:2 ~el:3 in
+      Distance.lower_bound q g <= Distance.dis q g)
+
+(* --- Ullmann cross-validation --- *)
+
+let test_ullmann_basic () =
+  let labelled_triangle =
+    Lgraph.create ~vlabels:[| 0; 0; 1 |] ~edges:[ (0, 1, 0); (1, 2, 0); (0, 2, 0) ]
+  in
+  Alcotest.(check bool) "triangle in g002" true
+    (Ullmann.exists labelled_triangle (g002 ()));
+  Alcotest.(check bool) "triangle not in path" false
+    (Ullmann.exists (triangle 0) (path3 ()));
+  Alcotest.(check bool) "path in triangle" true (Ullmann.exists (path3 ()) (triangle 0))
+
+let test_ullmann_find_one () =
+  let p = Lgraph.create ~vlabels:[| 0; 1 |] ~edges:[ (0, 1, 0) ] in
+  match Ullmann.find_one p (g002 ()) with
+  | None -> Alcotest.fail "edge must embed"
+  | Some emb ->
+    Alcotest.(check int) "one edge used" 1
+      (Psst_util.Bitset.cardinal emb.Embedding.edges)
+
+let prop_ullmann_agrees_with_vf2 =
+  QCheck.Test.make ~name:"ullmann = vf2 (existence)" ~count:300 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 401) in
+      let target = Tgen.random_graph rng ~n:7 ~m:9 ~vl:2 ~el:2 in
+      let pattern = Tgen.random_graph rng ~n:4 ~m:4 ~vl:2 ~el:2 in
+      Ullmann.exists pattern target = Vf2.exists pattern target)
+
+let prop_ullmann_count_agrees =
+  QCheck.Test.make ~name:"ullmann = vf2 (embedding count)" ~count:150
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 409) in
+      let target = Tgen.random_graph rng ~n:6 ~m:8 ~vl:2 ~el:1 in
+      let pattern = Tgen.random_connected_graph rng ~n:3 ~extra:1 ~vl:2 ~el:1 in
+      Ullmann.count pattern target = Vf2.count pattern target)
+
+let prop_ullmann_embeddings_valid =
+  QCheck.Test.make ~name:"ullmann embeddings are real subgraph matches"
+    ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 419) in
+      let target = Tgen.random_graph rng ~n:6 ~m:8 ~vl:2 ~el:2 in
+      let pattern = Tgen.random_connected_graph rng ~n:3 ~extra:0 ~vl:2 ~el:2 in
+      let ok = ref true in
+      Ullmann.iter pattern target (fun emb ->
+          Array.iteri
+            (fun pu tv ->
+              if Lgraph.vertex_label pattern pu <> Lgraph.vertex_label target tv
+              then ok := false)
+            emb.Embedding.vmap;
+          Array.iter
+            (fun (e : Lgraph.edge) ->
+              match
+                Lgraph.find_edge target emb.Embedding.vmap.(e.u)
+                  emb.Embedding.vmap.(e.v)
+              with
+              | Some te -> if te.label <> e.label then ok := false
+              | None -> ok := false)
+            (Lgraph.edges pattern);
+          true);
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "vf2 basic" `Quick test_vf2_basic;
+    Alcotest.test_case "vf2 labels matter" `Quick test_vf2_labels_matter;
+    Alcotest.test_case "vf2 disconnected pattern" `Quick test_vf2_disconnected_pattern;
+    Alcotest.test_case "vf2 counts" `Quick test_vf2_counts;
+    Alcotest.test_case "vf2 embedding edges" `Quick test_vf2_embedding_edges;
+    Alcotest.test_case "embedding disjointness" `Quick test_embedding_disjoint;
+    QCheck_alcotest.to_alcotest prop_vf2_agrees_with_bruteforce;
+    QCheck_alcotest.to_alcotest prop_vf2_reflexive;
+    QCheck_alcotest.to_alcotest prop_vf2_subgraph_embeds;
+    Alcotest.test_case "mcs identical" `Quick test_mcs_identical;
+    Alcotest.test_case "mcs triangle/path" `Quick test_mcs_triangle_path;
+    Alcotest.test_case "mcs label blocked" `Quick test_mcs_label_blocked;
+    Alcotest.test_case "mcs stop_at" `Quick test_mcs_stop_at;
+    Alcotest.test_case "distance within" `Quick test_distance_within;
+    QCheck_alcotest.to_alcotest prop_distance_within_agrees_with_dis;
+    QCheck_alcotest.to_alcotest prop_vf2_implies_distance_zero;
+    QCheck_alcotest.to_alcotest prop_distance_lower_bound_sound;
+    Alcotest.test_case "ullmann basic" `Quick test_ullmann_basic;
+    Alcotest.test_case "ullmann find_one" `Quick test_ullmann_find_one;
+    QCheck_alcotest.to_alcotest prop_ullmann_agrees_with_vf2;
+    QCheck_alcotest.to_alcotest prop_ullmann_count_agrees;
+    QCheck_alcotest.to_alcotest prop_ullmann_embeddings_valid;
+  ]

@@ -1,0 +1,128 @@
+module Prng = Psst_util.Prng
+
+(* Small database of three certain graphs sharing a triangle motif. *)
+let tiny_db () =
+  let tri extra =
+    let vlabels = Array.of_list ([ 0; 0; 1 ] @ extra) in
+    let base = [ (0, 1, 0); (1, 2, 0); (0, 2, 0) ] in
+    let extra_edges =
+      List.mapi (fun i _ -> (i mod 3, 3 + i, 1)) extra
+    in
+    Lgraph.create ~vlabels ~edges:(base @ extra_edges)
+  in
+  [| tri []; tri [ 2 ]; tri [ 2; 3 ] |]
+
+let test_singletons_always_indexed () =
+  let db = tiny_db () in
+  let features = Selection.select db Selection.default_params in
+  let vertex_features =
+    List.filter (fun (f : Selection.feature) -> Lgraph.num_edges f.graph = 0) features
+  in
+  let edge_features =
+    List.filter (fun (f : Selection.feature) -> Lgraph.num_edges f.graph = 1) features
+  in
+  (* Labels 0,1,2,3 present -> 4 vertex features. *)
+  Alcotest.(check int) "vertex features" 4 (List.length vertex_features);
+  Alcotest.(check bool) "edge features exist" true (List.length edge_features >= 2)
+
+let test_support_lists_correct () =
+  let db = tiny_db () in
+  let features = Selection.select db Selection.default_params in
+  List.iter
+    (fun (f : Selection.feature) ->
+      List.iter
+        (fun gi ->
+          Alcotest.(check bool) "support is real" true (Vf2.exists f.graph db.(gi)))
+        f.support;
+      (* And graphs outside the support really lack the feature. *)
+      List.iter
+        (fun gi ->
+          if not (List.mem gi f.support) then
+            Alcotest.(check bool) "non-support lacks feature" false
+              (Vf2.exists f.graph db.(gi)))
+        [ 0; 1; 2 ])
+    features
+
+let test_triangle_mined () =
+  let db = tiny_db () in
+  let p = { Selection.default_params with beta = 0.5; gamma = 0.0; alpha = 0.0 } in
+  let features = Selection.select db p in
+  let has_triangle =
+    List.exists
+      (fun (f : Selection.feature) ->
+        Lgraph.num_edges f.graph = 3 && Lgraph.num_vertices f.graph = 3)
+      features
+  in
+  Alcotest.(check bool) "triangle feature found" true has_triangle
+
+let test_max_edges_respected () =
+  let db = tiny_db () in
+  let p = { Selection.default_params with max_edges = 2; beta = 0.0; gamma = 0.0 } in
+  let features = Selection.select db p in
+  List.iter
+    (fun (f : Selection.feature) ->
+      Alcotest.(check bool) "size bound" true (Lgraph.num_edges f.graph <= 2))
+    features
+
+let test_beta_prunes () =
+  let db = tiny_db () in
+  let loose = Selection.select db { Selection.default_params with beta = 0.0; gamma = 0.0; alpha = 0.0 } in
+  let strict = Selection.select db { Selection.default_params with beta = 0.99; gamma = 0.0; alpha = 0.0 } in
+  Alcotest.(check bool) "higher beta, fewer features" true
+    (List.length strict <= List.length loose)
+
+let test_gamma_prunes () =
+  let db = tiny_db () in
+  let loose = Selection.select db { Selection.default_params with gamma = 0.0; beta = 0.0; alpha = 0.0 } in
+  let strict = Selection.select db { Selection.default_params with gamma = 5.0; beta = 0.0; alpha = 0.0 } in
+  Alcotest.(check bool) "higher gamma, fewer features" true
+    (List.length strict <= List.length loose)
+
+let test_max_disjoint_embeddings () =
+  Alcotest.(check int) "empty" 0 (Selection.max_disjoint_embeddings []);
+  let bs l = Psst_util.Bitset.of_list 8 l in
+  let e l = { Embedding.vmap = [||]; edges = bs l } in
+  (* {0,1} {1,2} {2,3} {4,5}: max disjoint = {0,1},{2,3},{4,5}. *)
+  Alcotest.(check int) "chain + free" 3
+    (Selection.max_disjoint_embeddings [ e [ 0; 1 ]; e [ 1; 2 ]; e [ 2; 3 ]; e [ 4; 5 ] ])
+
+let prop_features_unique =
+  QCheck.Test.make ~name:"no duplicate feature keys" ~count:30 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 3) in
+      let db =
+        Array.init 4 (fun _ -> Tgen.random_connected_graph rng ~n:6 ~extra:2 ~vl:3 ~el:2)
+      in
+      let features =
+        Selection.select db { Selection.default_params with beta = 0.2; max_edges = 2 }
+      in
+      let keys = List.map (fun (f : Selection.feature) -> f.key) features in
+      List.length keys = List.length (List.sort_uniq compare keys))
+
+let prop_strong_support_subset =
+  QCheck.Test.make ~name:"strong support ⊆ support" ~count:30 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 11) in
+      let db =
+        Array.init 4 (fun _ -> Tgen.random_connected_graph rng ~n:6 ~extra:2 ~vl:2 ~el:2)
+      in
+      let features =
+        Selection.select db { Selection.default_params with beta = 0.2; max_edges = 2 }
+      in
+      List.for_all
+        (fun (f : Selection.feature) ->
+          List.for_all (fun gi -> List.mem gi f.support) f.strong_support)
+        features)
+
+let suite =
+  [
+    Alcotest.test_case "singletons always indexed" `Quick test_singletons_always_indexed;
+    Alcotest.test_case "support lists correct" `Quick test_support_lists_correct;
+    Alcotest.test_case "triangle mined" `Quick test_triangle_mined;
+    Alcotest.test_case "max_edges respected" `Quick test_max_edges_respected;
+    Alcotest.test_case "beta prunes" `Quick test_beta_prunes;
+    Alcotest.test_case "gamma prunes" `Quick test_gamma_prunes;
+    Alcotest.test_case "max disjoint embeddings" `Quick test_max_disjoint_embeddings;
+    QCheck_alcotest.to_alcotest prop_features_unique;
+    QCheck_alcotest.to_alcotest prop_strong_support_subset;
+  ]

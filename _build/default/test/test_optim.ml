@@ -1,0 +1,195 @@
+module Bitset = Psst_util.Bitset
+module Prng = Psst_util.Prng
+
+let bs n l = Bitset.of_list n l
+
+(* --- Set cover (Algorithm 1) --- *)
+
+let test_cover_paper_example () =
+  (* Paper Example 3: U = {rq1,rq2,rq3}; s1={rq1,rq2} w=0.4,
+     s2={rq2,rq3} w=0.1, s3={rq1,rq3} w=0.5. Tightest Usim = 0.5 via
+     s1+s2. *)
+  let sets = [| (bs 3 [ 0; 1 ], 0.4); (bs 3 [ 1; 2 ], 0.1); (bs 3 [ 0; 2 ], 0.5) |] in
+  let r = Set_cover.greedy ~universe:3 sets in
+  Tgen.check_close "paper Usim = 0.5" 0.5 r.weight;
+  Alcotest.(check bool) "covered" true (Bitset.is_empty r.uncovered)
+
+let test_cover_uncoverable () =
+  let sets = [| (bs 3 [ 0 ], 0.2) |] in
+  let r = Set_cover.greedy ~universe:3 sets in
+  Alcotest.(check (list int)) "uncovered elements" [ 1; 2 ]
+    (Bitset.elements r.uncovered);
+  Tgen.check_close "partial weight" 0.2 r.weight
+
+let test_cover_prefers_cheap () =
+  let sets = [| (bs 2 [ 0; 1 ], 1.0); (bs 2 [ 0 ], 0.05); (bs 2 [ 1 ], 0.05) |] in
+  let r = Set_cover.greedy ~universe:2 sets in
+  Tgen.check_close "two cheap sets" 0.1 r.weight
+
+let prop_cover_covers =
+  QCheck.Test.make ~name:"greedy cover covers all coverable elements" ~count:150
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 3) in
+      let universe = 2 + Prng.int rng 8 in
+      let k = 1 + Prng.int rng 6 in
+      let sets =
+        Array.init k (fun _ ->
+            let size = 1 + Prng.int rng universe in
+            ( Bitset.of_list universe
+                (Prng.sample_without_replacement rng size universe),
+              Prng.float rng 1.0 ))
+      in
+      let r = Set_cover.greedy ~universe sets in
+      let covered = Bitset.create universe in
+      List.iter (fun i -> Bitset.union_into covered (fst sets.(i))) r.chosen;
+      Bitset.union_into covered r.uncovered;
+      Bitset.cardinal covered = universe)
+
+(* --- QP (Def 11) --- *)
+
+let paper_lsim_instance () =
+  (* Paper Example 4: s1={rq1} (wL=0.28,wU=0.36), s2={rq1,rq2,rq3}
+     (wL=0.08,wU=0.15). Only s2 covers, so any feasible C contains s2. *)
+  {
+    Qp.universe = 3;
+    sets = [| (bs 3 [ 0 ], 0.28, 0.36); (bs 3 [ 0; 1; 2 ], 0.08, 0.15) |];
+  }
+
+let test_qp_objective () =
+  let inst = paper_lsim_instance () in
+  (* C = {s2}: 0.08 - 0.15^2 = 0.0575; C = {s1,s2}: 0.36 - 0.51^2 = 0.0999 *)
+  Tgen.check_close ~eps:1e-9 "single set" (0.08 -. (0.15 *. 0.15))
+    (Qp.integer_objective inst ~chosen:[ 1 ]);
+  Tgen.check_close ~eps:1e-9 "both sets" (0.36 -. (0.51 *. 0.51))
+    (Qp.integer_objective inst ~chosen:[ 0; 1 ])
+
+let test_qp_objective_safe () =
+  let inst = paper_lsim_instance () in
+  (* safe: 0.28+0.08 - min(0.36,0.15) = 0.21 *)
+  Tgen.check_close ~eps:1e-9 "safe objective" 0.21
+    (Qp.integer_objective_safe inst ~chosen:[ 0; 1 ]);
+  Tgen.check_close ~eps:1e-9 "safe singleton" 0.08
+    (Qp.integer_objective_safe inst ~chosen:[ 1 ])
+
+let test_qp_solve_feasible () =
+  let inst = paper_lsim_instance () in
+  let sol = Qp.solve inst in
+  Alcotest.(check bool) "feasible" true sol.feasible;
+  (* The relaxed optimum dominates every integer solution. *)
+  Alcotest.(check bool) "dominates integer" true
+    (sol.objective >= Qp.integer_objective inst ~chosen:[ 0; 1 ] -. 1e-6);
+  Alcotest.(check bool) "dominates singleton" true
+    (sol.objective >= Qp.integer_objective inst ~chosen:[ 1 ] -. 1e-6)
+
+let test_qp_coverage_check () =
+  let inst = paper_lsim_instance () in
+  Alcotest.(check bool) "all ones feasible" true
+    (Qp.coverage inst [| 1.; 1. |]);
+  Alcotest.(check bool) "s1 only infeasible" false
+    (Qp.coverage inst [| 1.; 0. |])
+
+let prop_qp_relaxation_dominates =
+  QCheck.Test.make
+    ~name:"relaxed QP dominates all integer covers" ~count:60 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 31) in
+      let universe = 2 + Prng.int rng 4 in
+      let k = 2 + Prng.int rng 4 in
+      let sets =
+        Array.init k (fun _ ->
+            let size = 1 + Prng.int rng universe in
+            ( Bitset.of_list universe
+                (Prng.sample_without_replacement rng size universe),
+              Prng.float rng 0.5,
+              Prng.float rng 0.5 ))
+      in
+      (* Ensure coverability: add the full set. *)
+      let sets =
+        Array.append sets
+          [| (Bitset.full universe, Prng.float rng 0.5, Prng.float rng 0.5) |]
+      in
+      let inst = { Qp.universe; sets } in
+      let sol = Qp.solve inst in
+      (* Enumerate all feasible integer covers and compare. *)
+      let n = Array.length sets in
+      let ok = ref true in
+      for mask = 1 to (1 lsl n) - 1 do
+        let chosen =
+          List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n (fun i -> i))
+        in
+        let covered = Bitset.create universe in
+        List.iter
+          (fun i -> Bitset.union_into covered (let s, _, _ = sets.(i) in s))
+          chosen;
+        if Bitset.cardinal covered = universe then
+          if Qp.integer_objective inst ~chosen > sol.objective +. 1e-4 then
+            ok := false
+      done;
+      !ok)
+
+(* --- Rounding (Algorithm 2) --- *)
+
+let prop_rounding_repaired_covers =
+  QCheck.Test.make ~name:"repaired rounding always covers" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 41) in
+      let universe = 2 + Prng.int rng 5 in
+      let k = 1 + Prng.int rng 5 in
+      let sets =
+        Array.init k (fun _ ->
+            let size = 1 + Prng.int rng universe in
+            ( Bitset.of_list universe
+                (Prng.sample_without_replacement rng size universe),
+              Prng.float rng 0.5,
+              Prng.float rng 0.5 ))
+      in
+      let sets = Array.append sets [| (Bitset.full universe, 0.1, 0.1) |] in
+      let inst = { Qp.universe; sets } in
+      let x = Array.map (fun _ -> Prng.float rng 1.0) sets in
+      let r = Rounding.round_repaired rng inst ~x in
+      r.covered)
+
+let test_rounding_theorem5_rate () =
+  (* With the optimal fractional solution, uncovered outcomes should be
+     rare (Thm 5: >= 1 - 1/|U|). Empirically check a generous margin. *)
+  let inst = paper_lsim_instance () in
+  let sol = Qp.solve inst in
+  let rng = Prng.make 99 in
+  let fails = ref 0 in
+  let n = 400 in
+  for _ = 1 to n do
+    let r = Rounding.round rng inst ~x:sol.x in
+    if not r.covered then incr fails
+  done;
+  Alcotest.(check bool) "mostly covered" true
+    (float_of_int !fails /. float_of_int n < 0.34)
+
+let prop_rounding_chosen_sorted_unique =
+  QCheck.Test.make ~name:"rounding output is sorted set of indices" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 53) in
+      let inst = paper_lsim_instance () in
+      let x = [| Prng.float rng 1.0; Prng.float rng 1.0 |] in
+      let r = Rounding.round_repaired rng inst ~x in
+      let sorted = List.sort_uniq compare r.chosen in
+      sorted = r.chosen
+      && List.for_all (fun i -> i >= 0 && i < Array.length inst.Qp.sets) r.chosen)
+
+let suite =
+  [
+    Alcotest.test_case "cover: paper example 3" `Quick test_cover_paper_example;
+    Alcotest.test_case "cover: uncoverable" `Quick test_cover_uncoverable;
+    Alcotest.test_case "cover: prefers cheap" `Quick test_cover_prefers_cheap;
+    QCheck_alcotest.to_alcotest prop_cover_covers;
+    Alcotest.test_case "qp: integer objective" `Quick test_qp_objective;
+    Alcotest.test_case "qp: safe objective" `Quick test_qp_objective_safe;
+    Alcotest.test_case "qp: solve feasible" `Quick test_qp_solve_feasible;
+    Alcotest.test_case "qp: coverage check" `Quick test_qp_coverage_check;
+    QCheck_alcotest.to_alcotest prop_qp_relaxation_dominates;
+    QCheck_alcotest.to_alcotest prop_rounding_repaired_covers;
+    Alcotest.test_case "rounding: Thm 5 rate" `Quick test_rounding_theorem5_rate;
+    QCheck_alcotest.to_alcotest prop_rounding_chosen_sorted_unique;
+  ]

@@ -1,0 +1,347 @@
+module Prng = Psst_util.Prng
+
+let coin p v = Factor.create [| v |] [| 1. -. p; p |]
+
+let test_factor_create_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "unsorted vars" true
+    (bad (fun () -> Factor.create [| 2; 1 |] (Array.make 4 0.25)));
+  Alcotest.(check bool) "duplicate vars" true
+    (bad (fun () -> Factor.create [| 1; 1 |] (Array.make 4 0.25)));
+  Alcotest.(check bool) "bad size" true
+    (bad (fun () -> Factor.create [| 1 |] (Array.make 3 0.25)));
+  Alcotest.(check bool) "negative entry" true
+    (bad (fun () -> Factor.create [| 1 |] [| 0.5; -0.1 |]))
+
+let test_factor_value () =
+  (* Factor over vars {3,7}: index bit0 = var3, bit1 = var7. *)
+  let f = Factor.create [| 3; 7 |] [| 0.1; 0.2; 0.3; 0.4 |] in
+  Tgen.check_close "value 00" 0.1 (Factor.value f 0);
+  Tgen.check_close "value var3=1" 0.2 (Factor.value f 1);
+  Tgen.check_close "value var7=1" 0.3 (Factor.value f 2);
+  Tgen.check_close "value_of" 0.4 (Factor.value_of f (fun _ -> true));
+  Tgen.check_close "value_of mixed" 0.2 (Factor.value_of f (fun v -> v = 3))
+
+let test_factor_multiply () =
+  let a = coin 0.3 1 in
+  let b = coin 0.6 2 in
+  let p = Factor.multiply a b in
+  Alcotest.(check (array int)) "merged scope" [| 1; 2 |] (Factor.vars p);
+  Tgen.check_close "p(1=1,2=0)" (0.3 *. 0.4) (Factor.value p 1);
+  Tgen.check_close "p(1=1,2=1)" (0.3 *. 0.6) (Factor.value p 3);
+  (* Multiplying with overlap. *)
+  let c = Factor.create [| 1; 2 |] [| 1.; 2.; 3.; 4. |] in
+  let q = Factor.multiply a c in
+  Tgen.check_close "overlap" (0.3 *. 2.) (Factor.value q 1)
+
+let test_factor_sum_out () =
+  let f = Factor.create [| 1; 2 |] [| 0.1; 0.2; 0.3; 0.4 |] in
+  let g = Factor.sum_out f 1 in
+  Alcotest.(check (array int)) "scope" [| 2 |] (Factor.vars g);
+  Tgen.check_close "sum var2=0" 0.3 (Factor.value g 0);
+  Tgen.check_close "sum var2=1" 0.7 (Factor.value g 1);
+  (* Summing a non-scope variable is a no-op. *)
+  let h = Factor.sum_out f 9 in
+  Alcotest.(check (array int)) "noop" [| 1; 2 |] (Factor.vars h)
+
+let test_factor_condition () =
+  let f = Factor.create [| 1; 2 |] [| 0.1; 0.2; 0.3; 0.4 |] in
+  let g = Factor.condition f 2 true in
+  Alcotest.(check (array int)) "scope" [| 1 |] (Factor.vars g);
+  Tgen.check_close "cond var1=0" 0.3 (Factor.value g 0);
+  Tgen.check_close "cond var1=1" 0.4 (Factor.value g 1)
+
+let test_factor_normalize_sample () =
+  let f = Factor.create [| 0; 1 |] [| 0.; 1.; 0.; 3. |] in
+  let n = Factor.normalize f in
+  Tgen.check_close "total" 1.0 (Factor.total n);
+  let rng = Prng.make 5 in
+  for _ = 1 to 50 do
+    let asg = Factor.sample rng n in
+    (* var 0 must always be true (entries with var0=0 have weight 0). *)
+    Alcotest.(check bool) "var0 true" true (List.assoc 0 asg)
+  done
+
+let test_scalar () =
+  let s = Factor.scalar 0.25 in
+  Alcotest.(check (array int)) "empty scope" [||] (Factor.vars s);
+  Tgen.check_close "value" 0.25 (Factor.value s 0)
+
+let prop_sum_out_preserves_total =
+  QCheck.Test.make ~name:"sum_out preserves total mass" ~count:200
+    QCheck.(pair small_int (int_bound 2))
+    (fun (seed, which) ->
+      let rng = Prng.make (seed + 3) in
+      let data = Array.init 8 (fun _ -> Prng.float rng 1.0) in
+      let f = Factor.create [| 1; 4; 6 |] data in
+      let v = [| 1; 4; 6 |].(which) in
+      Tgen.close ~eps:1e-9 (Factor.total f) (Factor.total (Factor.sum_out f v)))
+
+let prop_sum_out_commutes =
+  QCheck.Test.make ~name:"sum_out order does not matter" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 17) in
+      let data = Array.init 8 (fun _ -> Prng.float rng 1.0) in
+      let f = Factor.create [| 0; 1; 2 |] data in
+      let a = Factor.sum_out (Factor.sum_out f 0) 2 in
+      let b = Factor.sum_out (Factor.sum_out f 2) 0 in
+      Factor.equal_approx ~eps:1e-9 a b)
+
+let prop_condition_then_sum =
+  QCheck.Test.make ~name:"condition true + false = sum_out" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 19) in
+      let data = Array.init 4 (fun _ -> Prng.float rng 1.0) in
+      let f = Factor.create [| 2; 5 |] data in
+      let t = Factor.condition f 5 true and fa = Factor.condition f 5 false in
+      let sum =
+        Factor.of_fun [| 2 |] (fun m -> Factor.value t m +. Factor.value fa m)
+      in
+      Factor.equal_approx ~eps:1e-9 sum (Factor.sum_out f 5))
+
+let prop_multiply_commutes =
+  QCheck.Test.make ~name:"multiply commutes" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 23) in
+      let a = Factor.create [| 0; 2 |] (Array.init 4 (fun _ -> Prng.float rng 1.0)) in
+      let b = Factor.create [| 1; 2 |] (Array.init 4 (fun _ -> Prng.float rng 1.0)) in
+      Factor.equal_approx ~eps:1e-9 (Factor.multiply a b) (Factor.multiply b a))
+
+(* --- Variable elimination --- *)
+
+let chain3 () =
+  (* P(a) P(b|a) P(c|b) over vars 0,1,2. *)
+  let pa = coin 0.7 0 in
+  let pb_a =
+    (* vars [0;1]: bit0=a, bit1=b. b=1 w.p. 0.9 if a else 0.2. *)
+    Factor.create [| 0; 1 |] [| 0.8; 0.1; 0.2; 0.9 |]
+  in
+  let pc_b = Factor.create [| 1; 2 |] [| 0.5; 0.3; 0.5; 0.7 |] in
+  [ pa; pb_a; pc_b ]
+
+let brute_joint factors vars f =
+  let k = List.length vars in
+  for mask = 0 to (1 lsl k) - 1 do
+    let assign v =
+      let rec idx i = function
+        | [] -> invalid_arg "assign"
+        | x :: rest -> if x = v then i else idx (i + 1) rest
+      in
+      mask land (1 lsl idx 0 vars) <> 0
+    in
+    let p = List.fold_left (fun acc fac -> acc *. Factor.value_of fac assign) 1. factors in
+    f assign p
+  done
+
+let test_velim_partition () =
+  Tgen.check_close ~eps:1e-9 "chain sums to 1" 1.0 (Velim.partition_value (chain3 ()))
+
+let test_velim_marginal_vs_brute () =
+  let factors = chain3 () in
+  let m = Velim.marginal factors [ 2 ] in
+  let brute = ref 0. in
+  brute_joint factors [ 0; 1; 2 ] (fun assign p -> if assign 2 then brute := !brute +. p);
+  Tgen.check_close ~eps:1e-9 "P(c=1)" !brute (Factor.value m 1)
+
+let test_velim_prob_evidence () =
+  let factors = chain3 () in
+  let p = Velim.prob ~evidence:[ (0, true); (2, true) ] factors in
+  let brute = ref 0. in
+  brute_joint factors [ 0; 1; 2 ] (fun assign pr ->
+      if assign 0 && assign 2 then brute := !brute +. pr);
+  Tgen.check_close ~eps:1e-9 "P(a=1,c=1)" !brute p
+
+let test_velim_prob_all_present () =
+  let factors = chain3 () in
+  let p = Velim.prob_all_present factors [ 0; 1 ] in
+  Tgen.check_close ~eps:1e-9 "P(a,b)" (0.7 *. 0.9) p
+
+let prop_velim_matches_bruteforce =
+  QCheck.Test.make ~name:"velim marginal = brute force on random chains" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 61) in
+      (* Random chain over 4 vars. *)
+      let pa = coin (0.2 +. Prng.float rng 0.6) 0 in
+      let cond v w =
+        let p0 = 0.1 +. Prng.float rng 0.8 and p1 = 0.1 +. Prng.float rng 0.8 in
+        Factor.create [| min v w; max v w |]
+          (if v < w then [| 1. -. p0; 1. -. p1; p0; p1 |]
+           else [| 1. -. p0; p0; 1. -. p1; p1 |])
+      in
+      (* cond builds P(w|v): careful with bit order; use v<w so bit0=v. *)
+      let f1 = cond 0 1 and f2 = cond 1 2 and f3 = cond 2 3 in
+      let factors = [ pa; f1; f2; f3 ] in
+      let ev = [ (1, true); (3, false) ] in
+      let velim_p = Velim.prob ~evidence:ev factors in
+      let brute = ref 0. and z = ref 0. in
+      brute_joint factors [ 0; 1; 2; 3 ] (fun assign p ->
+          z := !z +. p;
+          if assign 1 && not (assign 3) then brute := !brute +. p);
+      Tgen.close ~eps:1e-9 velim_p (!brute /. !z))
+
+(* --- Sampler --- *)
+
+let test_sampler_chain_consistency () =
+  Alcotest.(check bool) "chain3 consistent" true
+    (Sampler.is_chain_consistent ~eps:1e-9 (chain3 ()));
+  (* A non-normalised factor list is flagged. *)
+  let bad = [ Factor.create [| 0 |] [| 0.5; 0.9 |] ] in
+  Alcotest.(check bool) "bad chain flagged" false
+    (Sampler.is_chain_consistent ~eps:1e-9 bad)
+
+let test_sampler_frequencies () =
+  let factors = chain3 () in
+  let rng = Prng.make 99 in
+  let n = 20000 in
+  let count = ref 0 in
+  for _ = 1 to n do
+    let lookup, _ = Sampler.sample rng factors in
+    if lookup 0 && lookup 1 then incr count
+  done;
+  let freq = float_of_int !count /. float_of_int n in
+  let exact = Velim.prob_all_present factors [ 0; 1 ] in
+  Alcotest.(check bool) "sampling frequency near exact" true
+    (Float.abs (freq -. exact) < 0.02)
+
+let test_sampler_conditioned () =
+  let factors = chain3 () in
+  let rng = Prng.make 7 in
+  for _ = 1 to 100 do
+    match Sampler.sample_conditioned rng factors [ (0, true) ] with
+    | None -> Alcotest.fail "evidence has positive probability"
+    | Some (lookup, _) -> Alcotest.(check bool) "evidence respected" true (lookup 0)
+  done
+
+let test_sampler_conditioned_impossible () =
+  let factors = [ coin 1.0 0 ] in
+  let rng = Prng.make 7 in
+  (match Sampler.sample_conditioned rng factors [ (0, false) ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "impossible evidence must yield None")
+
+(* --- Junction tree --- *)
+
+let test_jtree_build_requires_rip () =
+  (* Factor over {0,1}, then {2,3}, then one mentioning {1,2}: its covered
+     vars {1,2} span two earlier factors -> rejected. *)
+  let f01 = Factor.create [| 0; 1 |] (Array.make 4 0.25) in
+  let f23 = Factor.create [| 2; 3 |] (Array.make 4 0.25) in
+  let f12 = Factor.create [| 1; 2 |] (Array.make 4 0.25) in
+  (try
+     ignore (Jtree.build [ f01; f23; f12 ]);
+     Alcotest.fail "RIP violation not detected"
+   with Invalid_argument _ -> ());
+  (* The same factors in a chain order are fine. *)
+  ignore (Jtree.build [ f01; f12; f23 ])
+
+let test_jtree_evidence_prob_matches_velim () =
+  let factors = chain3 () in
+  let jt = Jtree.build factors in
+  let cases =
+    [ []; [ (0, true) ]; [ (1, false) ]; [ (0, true); (2, true) ];
+      [ (0, false); (1, true); (2, false) ] ]
+  in
+  List.iter
+    (fun ev ->
+      let via_jt = Jtree.evidence_prob jt ev in
+      let via_velim = if ev = [] then 1. else Velim.prob ~evidence:ev factors in
+      Tgen.check_close ~eps:1e-9 "evidence prob" via_velim via_jt)
+    cases
+
+let test_jtree_variables () =
+  let jt = Jtree.build (chain3 ()) in
+  Alcotest.(check (list int)) "variables" [ 0; 1; 2 ] (Jtree.variables jt)
+
+let test_jtree_posterior_respects_evidence () =
+  let factors = chain3 () in
+  let jt = Jtree.build factors in
+  let rng = Prng.make 5 in
+  for _ = 1 to 200 do
+    match Jtree.sample_posterior rng jt ~evidence:[ (0, true); (2, false) ] with
+    | None -> Alcotest.fail "evidence has positive probability"
+    | Some (lookup, _) ->
+      Alcotest.(check bool) "var0" true (lookup 0);
+      Alcotest.(check bool) "var2" false (lookup 2)
+  done
+
+let test_jtree_posterior_frequencies () =
+  (* Empirical P(b=1 | c=1) from posterior samples vs exact. *)
+  let factors = chain3 () in
+  let jt = Jtree.build factors in
+  let rng = Prng.make 17 in
+  let n = 20000 in
+  let count = ref 0 in
+  for _ = 1 to n do
+    match Jtree.sample_posterior rng jt ~evidence:[ (2, true) ] with
+    | None -> Alcotest.fail "positive evidence"
+    | Some (lookup, _) -> if lookup 1 then incr count
+  done;
+  let freq = float_of_int !count /. float_of_int n in
+  let exact =
+    Velim.prob ~evidence:[ (1, true); (2, true) ] factors
+    /. Velim.prob ~evidence:[ (2, true) ] factors
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "posterior freq %.3f vs exact %.3f" freq exact)
+    true
+    (Float.abs (freq -. exact) < 0.02)
+
+let test_jtree_posterior_impossible () =
+  let factors = [ Factor.create [| 0 |] [| 0.; 1. |] ] in
+  let jt = Jtree.build factors in
+  match Jtree.sample_posterior (Prng.make 1) jt ~evidence:[ (0, false) ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "impossible evidence must be None"
+
+let prop_jtree_matches_velim_on_random_chains =
+  QCheck.Test.make ~name:"jtree evidence prob = velim on random pgraph factors"
+    ~count:50 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 91) in
+      let g = Tgen.random_pgraph rng ~n:5 ~extra:2 ~vl:2 ~el:1 in
+      let factors = Pgraph.factors g in
+      let jt = Jtree.build factors in
+      let vars = List.concat_map (fun f -> Array.to_list (Factor.vars f)) factors
+                 |> List.sort_uniq compare in
+      let ev =
+        List.filteri (fun i _ -> i mod 2 = 0) vars
+        |> List.map (fun v -> (v, Prng.bernoulli rng 0.5))
+      in
+      ev = []
+      || Tgen.close ~eps:1e-9 (Velim.prob ~evidence:ev factors)
+           (Jtree.evidence_prob jt ev))
+
+let suite =
+  [
+    Alcotest.test_case "factor create validation" `Quick test_factor_create_validation;
+    Alcotest.test_case "factor value" `Quick test_factor_value;
+    Alcotest.test_case "factor multiply" `Quick test_factor_multiply;
+    Alcotest.test_case "factor sum_out" `Quick test_factor_sum_out;
+    Alcotest.test_case "factor condition" `Quick test_factor_condition;
+    Alcotest.test_case "factor normalize/sample" `Quick test_factor_normalize_sample;
+    Alcotest.test_case "factor scalar" `Quick test_scalar;
+    QCheck_alcotest.to_alcotest prop_sum_out_preserves_total;
+    QCheck_alcotest.to_alcotest prop_sum_out_commutes;
+    QCheck_alcotest.to_alcotest prop_condition_then_sum;
+    QCheck_alcotest.to_alcotest prop_multiply_commutes;
+    Alcotest.test_case "velim partition" `Quick test_velim_partition;
+    Alcotest.test_case "velim marginal vs brute" `Quick test_velim_marginal_vs_brute;
+    Alcotest.test_case "velim prob evidence" `Quick test_velim_prob_evidence;
+    Alcotest.test_case "velim prob_all_present" `Quick test_velim_prob_all_present;
+    QCheck_alcotest.to_alcotest prop_velim_matches_bruteforce;
+    Alcotest.test_case "sampler chain consistency" `Quick test_sampler_chain_consistency;
+    Alcotest.test_case "sampler frequencies" `Quick test_sampler_frequencies;
+    Alcotest.test_case "sampler conditioned" `Quick test_sampler_conditioned;
+    Alcotest.test_case "sampler impossible evidence" `Quick
+      test_sampler_conditioned_impossible;
+    Alcotest.test_case "jtree RIP validation" `Quick test_jtree_build_requires_rip;
+    Alcotest.test_case "jtree evidence prob" `Quick test_jtree_evidence_prob_matches_velim;
+    Alcotest.test_case "jtree variables" `Quick test_jtree_variables;
+    Alcotest.test_case "jtree posterior respects evidence" `Quick
+      test_jtree_posterior_respects_evidence;
+    Alcotest.test_case "jtree posterior frequencies" `Slow
+      test_jtree_posterior_frequencies;
+    Alcotest.test_case "jtree impossible evidence" `Quick test_jtree_posterior_impossible;
+    QCheck_alcotest.to_alcotest prop_jtree_matches_velim_on_random_chains;
+  ]

@@ -1,0 +1,164 @@
+module Bitset = Psst_util.Bitset
+module Prng = Psst_util.Prng
+module Stats = Psst_util.Stats
+module Combin = Psst_util.Combin
+
+let test_bitset_basics () =
+  let b = Bitset.create 130 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 64;
+  Bitset.add b 129;
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem b 64);
+  Alcotest.(check bool) "mem 63" false (Bitset.mem b 63);
+  Bitset.remove b 64;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 64);
+  Alcotest.(check (list int)) "elements" [ 0; 129 ] (Bitset.elements b)
+
+let test_bitset_out_of_range () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "add oob" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add b 10);
+  Alcotest.check_raises "mem oob" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem b (-1)))
+
+let test_bitset_set_ops () =
+  let a = Bitset.of_list 100 [ 1; 5; 70 ] in
+  let b = Bitset.of_list 100 [ 5; 70; 99 ] in
+  Alcotest.(check (list int)) "union" [ 1; 5; 70; 99 ] (Bitset.elements (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 5; 70 ] (Bitset.elements (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1 ] (Bitset.elements (Bitset.diff a b));
+  Alcotest.(check bool) "subset no" false (Bitset.subset a b);
+  Alcotest.(check bool) "subset yes" true (Bitset.subset (Bitset.inter a b) a);
+  Alcotest.(check bool) "disjoint no" false (Bitset.disjoint a b);
+  Alcotest.(check bool) "disjoint yes" true
+    (Bitset.disjoint (Bitset.of_list 100 [ 1 ]) (Bitset.of_list 100 [ 2 ]))
+
+let test_bitset_full_clear () =
+  let f = Bitset.full 67 in
+  Alcotest.(check int) "full cardinal" 67 (Bitset.cardinal f);
+  Bitset.clear f;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty f)
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/elements roundtrip" ~count:200
+    QCheck.(small_list (int_bound 63))
+    (fun l ->
+      let sorted = List.sort_uniq compare l in
+      Bitset.elements (Bitset.of_list 64 l) = sorted)
+
+let prop_bitset_union_commutes =
+  QCheck.Test.make ~name:"bitset union commutes" ~count:200
+    QCheck.(pair (small_list (int_bound 63)) (small_list (int_bound 63)))
+    (fun (l1, l2) ->
+      let a = Bitset.of_list 64 l1 and b = Bitset.of_list 64 l2 in
+      Bitset.equal (Bitset.union a b) (Bitset.union b a))
+
+let prop_bitset_demorgan =
+  QCheck.Test.make ~name:"bitset diff = inter with complement" ~count:200
+    QCheck.(pair (small_list (int_bound 40)) (small_list (int_bound 40)))
+    (fun (l1, l2) ->
+      let a = Bitset.of_list 41 l1 and b = Bitset.of_list 41 l2 in
+      let comp = Bitset.diff (Bitset.full 41) b in
+      Bitset.equal (Bitset.diff a b) (Bitset.inter a comp))
+
+let test_prng_deterministic () =
+  let a = Prng.make 42 and b = Prng.make 42 in
+  let xs = List.init 10 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check (list int)) "same seed same stream" xs ys
+
+let test_prng_categorical () =
+  let rng = Prng.make 7 in
+  let w = [| 0.0; 3.0; 1.0 |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 4000 do
+    let i = Prng.categorical rng w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight never drawn" 0 counts.(0);
+  let ratio = float_of_int counts.(1) /. float_of_int counts.(2) in
+  Alcotest.(check bool) "ratio near 3" true (ratio > 2.4 && ratio < 3.6)
+
+let test_prng_categorical_invalid () =
+  let rng = Prng.make 7 in
+  Alcotest.check_raises "all zero weights"
+    (Invalid_argument "Prng.categorical: non-positive weights") (fun () ->
+      ignore (Prng.categorical rng [| 0.; 0. |]))
+
+let test_prng_sample_without_replacement () =
+  let rng = Prng.make 11 in
+  let s = Prng.sample_without_replacement rng 5 10 in
+  Alcotest.(check int) "size" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> Alcotest.(check bool) "range" true (x >= 0 && x < 10)) s
+
+let test_prng_beta_mean () =
+  let rng = Prng.make 3 in
+  let n = 4000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Prng.beta rng ~a:2.0 ~b:3.0
+  done;
+  let m = !acc /. float_of_int n in
+  (* Beta(2,3) has mean 0.4 *)
+  Alcotest.(check bool) "beta mean" true (Float.abs (m -. 0.4) < 0.03)
+
+let test_stats_basics () =
+  Tgen.check_close "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  Tgen.check_close "mean empty" 0. (Stats.mean []);
+  Tgen.check_close ~eps:1e-6 "stddev" (sqrt (5. /. 3.))
+    (Stats.stddev [ 1.; 2.; 3.; 4. ]);
+  Tgen.check_close "p50" 2.5 (Stats.percentile 50. [ 1.; 2.; 3.; 4. ]);
+  let lo, hi = Stats.min_max [ 3.; 1.; 2. ] in
+  Tgen.check_close "min" 1. lo;
+  Tgen.check_close "max" 3. hi
+
+let test_stats_precision_recall () =
+  let p, r = Stats.precision_recall ~returned:[ 1; 2; 3 ] ~truth:[ 2; 3; 4; 5 ] in
+  Tgen.check_close "precision" (2. /. 3.) p;
+  Tgen.check_close "recall" 0.5 r;
+  let p, r = Stats.precision_recall ~returned:[] ~truth:[] in
+  Tgen.check_close "empty precision" 1. p;
+  Tgen.check_close "empty recall" 1. r
+
+let test_combin () =
+  Alcotest.(check int) "C(5,2) count" 10 (List.length (Combin.combinations 2 [ 1; 2; 3; 4; 5 ]));
+  Alcotest.(check int) "binomial" 10 (Combin.binomial 5 2);
+  Alcotest.(check int) "binomial edge" 1 (Combin.binomial 5 0);
+  Alcotest.(check int) "binomial oob" 0 (Combin.binomial 5 7);
+  Alcotest.(check int) "subsets" 8 (List.length (Combin.subsets [ 1; 2; 3 ]));
+  Alcotest.(check int) "pairs" 3 (List.length (Combin.pairs [ 1; 2; 3 ]));
+  let seen = ref [] in
+  Combin.iter_combinations 2 [ 1; 2; 3 ] (fun c -> seen := c :: !seen);
+  Alcotest.(check int) "iter combinations" 3 (List.length !seen);
+  Alcotest.(check int) "cartesian" 6 (List.length (Combin.cartesian [ [ 1; 2 ]; [ 3; 4; 5 ] ]))
+
+let prop_combinations_count =
+  QCheck.Test.make ~name:"combinations agree with binomial" ~count:50
+    QCheck.(pair (int_bound 8) (int_bound 8))
+    (fun (n, k) ->
+      let l = List.init n (fun i -> i) in
+      List.length (Combin.combinations k l) = Combin.binomial n k)
+
+let suite =
+  [
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+    Alcotest.test_case "bitset out of range" `Quick test_bitset_out_of_range;
+    Alcotest.test_case "bitset set ops" `Quick test_bitset_set_ops;
+    Alcotest.test_case "bitset full/clear" `Quick test_bitset_full_clear;
+    QCheck_alcotest.to_alcotest prop_bitset_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bitset_union_commutes;
+    QCheck_alcotest.to_alcotest prop_bitset_demorgan;
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng categorical" `Quick test_prng_categorical;
+    Alcotest.test_case "prng categorical invalid" `Quick test_prng_categorical_invalid;
+    Alcotest.test_case "prng sample w/o replacement" `Quick
+      test_prng_sample_without_replacement;
+    Alcotest.test_case "prng beta mean" `Quick test_prng_beta_mean;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats precision/recall" `Quick test_stats_precision_recall;
+    Alcotest.test_case "combinatorics" `Quick test_combin;
+    QCheck_alcotest.to_alcotest prop_combinations_count;
+  ]
