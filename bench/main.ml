@@ -1,6 +1,6 @@
 (* Benchmark entry point.
 
-   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|micro|all] [--quick]
+   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|micro|all] [--quick]
 
    Each figN target regenerates the corresponding figure of the paper's
    evaluation section (§6) at a scaled-down workload (see DESIGN.md §4-5 and
@@ -109,12 +109,13 @@ let () =
     | "fig13" -> Experiments.fig13 ~scale ppf
     | "fig14" -> Experiments.fig14 ~scale ppf
     | "ablation" | "ablations" -> Experiments.ablations ~scale ppf
+    | "parallel" -> Experiments.parallel ~scale ppf
     | "micro" -> micro ppf
     | "all" ->
       Experiments.all ~scale ppf;
       micro ppf
     | other ->
-      Format.fprintf ppf "unknown target %S (expected fig9..fig14, ablation, micro, all)@."
+      Format.fprintf ppf "unknown target %S (expected fig9..fig14, ablation, parallel, micro, all)@."
         other;
       exit 2
   in

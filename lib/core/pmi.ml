@@ -13,19 +13,18 @@ module Log = (val Logs.src_log log_src)
 
 (* The matrix is computed column-by-column (per graph) so that the world
    pool of each graph is sampled once and the columns can be distributed
-   over domains: every column touches exactly one Pgraph (whose lazily
-   built junction tree is therefore domain-local). *)
-let build_columns config db features lo hi =
+   over domains: every column touches exactly one Pgraph, so the lazily
+   built junction trees never contend. Columns land at their graph index,
+   hence the build is independent of how the pool schedules them. *)
+let build_column config db features gi =
   let nf = Array.length features in
-  Array.init (hi - lo) (fun k ->
-      let gi = lo + k in
-      let g = db.(gi) in
-      let pool = lazy (Bounds.sample_pool config g) in
-      Array.init nf (fun fi ->
-          let f : Selection.feature = features.(fi) in
-          if List.mem gi f.support then
-            Some (Bounds.compute config ~pool:(Lazy.force pool) g f.graph)
-          else None))
+  let g = db.(gi) in
+  let world_pool = lazy (Bounds.sample_pool config g) in
+  Array.init nf (fun fi ->
+      let f : Selection.feature = features.(fi) in
+      if List.mem gi f.support then
+        Some (Bounds.compute config ~pool:(Lazy.force world_pool) g f.graph)
+      else None)
 
 let build ?(config = Bounds.default_config) ?(domains = 1) db features =
   let features = Array.of_list features in
@@ -33,22 +32,13 @@ let build ?(config = Bounds.default_config) ?(domains = 1) db features =
   let nf = Array.length features in
   let result, build_seconds =
     Psst_util.Timer.time (fun () ->
+        let d = max 1 (min domains ng) in
+        if d > 1 then Log.debug (fun m -> m "building %d columns on %d domains" ng d);
         let columns =
-          if domains <= 1 || ng < 2 then build_columns config db features 0 ng
-          else begin
-            let d = min domains ng in
-            Log.debug (fun m -> m "building %d columns on %d domains" ng d);
-            let bounds =
-              List.init d (fun i -> (i * ng / d, (i + 1) * ng / d))
-            in
-            let handles =
-              List.map
-                (fun (lo, hi) ->
-                  Domain.spawn (fun () -> build_columns config db features lo hi))
-                bounds
-            in
-            Array.concat (List.map Domain.join handles)
-          end
+          Psst_util.Pool.with_pool ~domains:d (fun pool ->
+              Psst_util.Pool.map_array pool ~chunk:1
+                (build_column config db features)
+                (Array.init ng Fun.id))
         in
         (* Transpose columns into the feature-major layout. *)
         Array.init nf (fun fi -> Array.init ng (fun gi -> columns.(gi).(fi))))

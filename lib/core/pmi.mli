@@ -9,9 +9,10 @@ type entry = Bounds.t
 type t
 
 (** [build ?config ?domains db features] computes every matrix entry.
-    [domains > 1] distributes the per-graph columns over that many OCaml 5
-    domains (the computation is embarrassingly parallel per graph and the
-    result is identical to the sequential build). *)
+    [domains > 1] distributes the per-graph columns over a
+    {!Psst_util.Pool} of that many OCaml 5 domains (the computation is
+    embarrassingly parallel per graph and the result is identical to the
+    sequential build). *)
 val build :
   ?config:Bounds.config ->
   ?domains:int ->

@@ -1,5 +1,6 @@
 module Prng = Psst_util.Prng
 module Timer = Psst_util.Timer
+module Pool = Psst_util.Pool
 
 type database = {
   graphs : Pgraph.t array;
@@ -73,6 +74,8 @@ type stats = {
   t_structural : float;
   t_probabilistic : float;
   t_verification : float;
+  t_verification_cpu : float;
+  verify_domains : int;
 }
 
 type outcome = { answers : int list; stats : stats }
@@ -87,7 +90,14 @@ let verify_one config rng g relaxed =
   | `Exact -> Verify.exact g relaxed
   | `Smp vc -> Verify.smp ~config:vc rng g relaxed
 
-let run db q config =
+(* The pipeline on an existing pool, so that [run_batch] can interleave
+   the verification tasks of many queries on one set of domains. Phases 1
+   and 2 are sequential (they are cheap and Pruning threads one rng
+   through the candidates in order); phase 3 fans out over the surviving
+   candidates. Each candidate verifies under its own PRNG stream derived
+   from [config.seed] and the graph id alone, so the answer set is
+   bit-identical for every pool size — including the sequential one. *)
+let run_on pool db q config =
   validate_config config;
   let rng = Prng.make config.seed in
   let relaxed, _status = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
@@ -113,12 +123,23 @@ let run db q config =
           ([], [], []) structural_cands)
   in
   (* Phase 3: verification of the undecided candidates. *)
-  let verified, t_verification =
+  let results, t_verification =
     Timer.time (fun () ->
-        List.filter
+        Pool.map_array pool ~chunk:1
           (fun gi ->
-            verify_one config rng db.graphs.(gi) relaxed >= config.epsilon)
-          (List.rev candidates))
+            let rng = Prng.stream ~seed:config.seed gi in
+            let v, t =
+              Timer.time (fun () -> verify_one config rng db.graphs.(gi) relaxed)
+            in
+            (gi, v >= config.epsilon, t))
+          (Array.of_list (List.rev candidates)))
+  in
+  let verified =
+    Array.to_list results
+    |> List.filter_map (fun (gi, keep, _) -> if keep then Some gi else None)
+  in
+  let t_verification_cpu =
+    Array.fold_left (fun acc (_, _, t) -> acc +. t) 0. results
   in
   Log.debug (fun m ->
       m "query: %d structural, %d pruned, %d accepted, %d verified"
@@ -137,8 +158,21 @@ let run db q config =
         t_structural;
         t_probabilistic;
         t_verification;
+        t_verification_cpu;
+        verify_domains = Pool.size pool;
       };
   }
+
+let run ?(domains = 1) db q config =
+  Pool.with_pool ~domains (fun pool -> run_on pool db q config)
+
+let run_batch ?(domains = 1) db queries config =
+  validate_config config;
+  Pool.with_pool ~domains (fun pool ->
+      Pool.map_array pool ~chunk:1
+        (fun q -> run_on pool db q config)
+        (Array.of_list queries))
+  |> Array.to_list
 
 let run_exact_scan db q config =
   validate_config config;
@@ -161,6 +195,8 @@ let run_exact_scan db q config =
         t_structural = 0.;
         t_probabilistic = 0.;
         t_verification = t;
+        t_verification_cpu = t;
+        verify_domains = 1;
       };
   }
 

@@ -48,15 +48,32 @@ type stats = {
   pruned_by_bounds : int;  (** graphs discarded by Pruning 1 *)
   t_structural : float;
   t_probabilistic : float;
-  t_verification : float;
+  t_verification : float;  (** wall-clock seconds of the verification phase *)
+  t_verification_cpu : float;
+      (** per-candidate verification time summed across domains; the
+          phase's parallel speedup is [t_verification_cpu /.
+          t_verification] *)
+  verify_domains : int;  (** pool size the verification fan-out ran on *)
 }
 
 type outcome = { answers : int list; stats : stats }
 
-(** [run db q config] executes the pipeline and returns the ids of the
-    graphs with [Pr(q ⊆sim g) >= epsilon] (estimated by the configured
-    verifier for graphs the bounds cannot decide). *)
-val run : database -> Lgraph.t -> config -> outcome
+(** [run ?domains db q config] executes the pipeline and returns the ids
+    of the graphs with [Pr(q ⊆sim g) >= epsilon] (estimated by the
+    configured verifier for graphs the bounds cannot decide).
+
+    [domains] (default 1) fans the verification phase out over that many
+    OCaml 5 domains. Every candidate verifies under its own PRNG stream
+    [Prng.stream ~seed:config.seed gi], so the answer set and every
+    pruning counter are identical for all values of [domains]. *)
+val run : ?domains:int -> database -> Lgraph.t -> config -> outcome
+
+(** [run_batch ?domains db queries config] answers many queries on one
+    domain pool — the heavy-traffic path. Queries and their verification
+    tasks interleave freely on the pool; outcome [i] is bit-identical to
+    [run db (List.nth queries i) config]. *)
+val run_batch :
+  ?domains:int -> database -> Lgraph.t list -> config -> outcome list
 
 (** [run_exact_scan db q config] — the paper's Exact competitor: no
     indexes, exact SSP on every graph. *)

@@ -56,5 +56,13 @@ val fig14 : ?scale:scale -> Format.formatter -> unit
     - A4 {b VF2 vs Ullmann} — matcher running times on the query workload. *)
 val ablations : ?scale:scale -> Format.formatter -> unit
 
+(** Domain sweep (1/2/4/8) over the Fig 9 corpus and query distribution:
+    runs the same batch through {!Query.run_batch} at each pool size,
+    reporting batch wall time, end-to-end speedup vs 1 domain, the
+    verification phase's cpu/wall parallelism, and whether every answer
+    set is identical to the sequential run (it must be — the per-candidate
+    PRNG streams make parallel execution bit-identical). *)
+val parallel : ?scale:scale -> Format.formatter -> unit
+
 (** Run every figure in order. *)
 val all : ?scale:scale -> Format.formatter -> unit

@@ -5,6 +5,7 @@ type t = {
   skeleton : Lgraph.t;
   factors : Factor.t list;
   uncertain : int list; (* sorted *)
+  jt_lock : Mutex.t; (* guards [jt]: graphs are shared across query domains *)
   mutable jt : Jtree.t option; (* built on first use *)
 }
 
@@ -24,7 +25,7 @@ let make skeleton factors =
     List.concat_map (fun f -> Array.to_list (Factor.vars f)) factors
     |> List.sort_uniq compare
   in
-  { skeleton; factors; uncertain; jt = None }
+  { skeleton; factors; uncertain; jt_lock = Mutex.create (); jt = None }
 
 let independent skeleton probs =
   let factors =
@@ -41,12 +42,13 @@ let factors t = t.factors
 let uncertain_edges t = t.uncertain
 
 let jtree t =
-  match t.jt with
-  | Some jt -> jt
-  | None ->
-    let jt = Jtree.build t.factors in
-    t.jt <- Some jt;
-    jt
+  Mutex.protect t.jt_lock (fun () ->
+      match t.jt with
+      | Some jt -> jt
+      | None ->
+        let jt = Jtree.build t.factors in
+        t.jt <- Some jt;
+        jt)
 
 let certain_edges t =
   let unc = Hashtbl.create 16 in

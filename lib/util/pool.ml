@@ -1,0 +1,135 @@
+type t = {
+  size : int;
+  lock : Mutex.t;
+  pending : (unit -> unit) Queue.t;
+  wake : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Workers block on [wake] until a job (or shutdown) arrives; on shutdown
+   they drain the queue before exiting so submitted work is never lost. *)
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.pending && not pool.closed do
+    Condition.wait pool.wake pool.lock
+  done;
+  if Queue.is_empty pool.pending then Mutex.unlock pool.lock
+  else begin
+    let job = Queue.pop pool.pending in
+    Mutex.unlock pool.lock;
+    job ();
+    worker_loop pool
+  end
+
+let create ?(domains = 1) () =
+  let pool =
+    {
+      size = max 1 domains;
+      lock = Mutex.create ();
+      pending = Queue.create ();
+      wake = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (pool.size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+(* Helpers that find the pool closed just run the job in the caller: the
+   call sites only use submission to add parallelism, never for
+   correctness. *)
+let submit pool job =
+  Mutex.lock pool.lock;
+  if pool.closed then begin
+    Mutex.unlock pool.lock;
+    job ()
+  end
+  else begin
+    Queue.push job pool.pending;
+    Condition.signal pool.wake;
+    Mutex.unlock pool.lock
+  end
+
+let iter_range pool ?chunk n f =
+  if n > 0 then
+    if pool.size <= 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let chunk =
+        match chunk with
+        | Some c -> max 1 c
+        | None -> max 1 (n / (4 * pool.size))
+      in
+      let nchunks = ((n + chunk - 1) / chunk : int) in
+      let next = Atomic.make 0 in
+      let remaining = Atomic.make nchunks in
+      let failure = Atomic.make None in
+      let fin_lock = Mutex.create () in
+      let fin = Condition.create () in
+      (* Every participant claims chunks off [next] until none are left;
+         the one that retires the last chunk wakes the waiting caller.
+         Writes made by the chunks happen-before the caller's return via
+         the [remaining] atomic. *)
+      let run_chunks () =
+        let continue = ref true in
+        while !continue do
+          let c = Atomic.fetch_and_add next 1 in
+          if c >= nchunks then continue := false
+          else begin
+            (try
+               for i = c * chunk to min n ((c + 1) * chunk) - 1 do
+                 f i
+               done
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+            if Atomic.fetch_and_add remaining (-1) = 1 then begin
+              Mutex.lock fin_lock;
+              Condition.broadcast fin;
+              Mutex.unlock fin_lock
+            end
+          end
+        done
+      in
+      for _ = 2 to min pool.size nchunks do
+        submit pool run_chunks
+      done;
+      run_chunks ();
+      Mutex.lock fin_lock;
+      while Atomic.get remaining > 0 do
+        Condition.wait fin fin_lock
+      done;
+      Mutex.unlock fin_lock;
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+let map_array pool ?chunk f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    iter_range pool ?chunk n (fun i -> out.(i) <- Some (f a.(i)));
+    Array.map (function Some x -> x | None -> assert false) out
+  end
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.closed <- true;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -6,6 +6,18 @@ let split t =
   let a = Random.State.bits t and b = Random.State.bits t in
   Random.State.make [| a; b |]
 
+(* SplitMix-style finalizer; the constants are 60-bit truncations of the
+   usual 64-bit ones (OCaml ints are 63-bit). *)
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0xbf58476d1ce4e5 in
+  let z = (z lxor (z lsr 27)) * 0x94d049bb133111 in
+  z lxor (z lsr 31)
+
+let stream ~seed i =
+  let a = mix (seed + (i * 0x9e3779b97f4a7c)) in
+  let b = mix (a lxor (i + 0x7f4a7c15)) in
+  Random.State.make [| seed; i; a; b |]
+
 let int t n = Random.State.int t n
 let float t x = Random.State.float t x
 

@@ -11,6 +11,14 @@ val make : int -> t
 (** [split t] derives an independent child state (for parallel workloads). *)
 val split : t -> t
 
+(** [stream ~seed i] is the [i]-th member of a family of statistically
+    independent states derived from [seed] alone. Unlike {!split} it does
+    not advance any parent state, so stream [i] is the same no matter how
+    many other streams were drawn, in which order, or on which domain —
+    the property that makes parallel query execution bit-identical to
+    sequential (see DESIGN.md §8). *)
+val stream : seed:int -> int -> t
+
 val int : t -> int -> int
 val float : t -> float -> float
 

@@ -13,6 +13,8 @@ let () =
       ("simsearch", Test_simsearch.suite);
       ("dataset", Test_dataset.suite);
       ("core", Test_core.suite);
+      ("verify_diff", Test_verify_diff.suite);
+      ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);
       ("edge_cases", Test_edge_cases.suite);
     ]

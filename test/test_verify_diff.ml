@@ -1,0 +1,65 @@
+(* Differential harness for the verifier stack (DESIGN.md §6): on small
+   random probabilistic graphs the three implementations of Pr(q ⊆sim g)
+   must agree — [Verify.exact] against the index-free
+   [Verify.exact_naive] world enumeration exactly, and the Karp–Luby
+   [Verify.smp] estimator against [Verify.exact] within its Monte-Carlo
+   guarantee. *)
+
+module Prng = Psst_util.Prng
+
+(* A chain-consistent pgraph with at most 8 uncertain edges (n-1 + extra
+   edges, all covered by factors), plus a small query extracted from it so
+   embeddings exist most of the time. *)
+let small_case seed =
+  let rng = Prng.make seed in
+  let n = 4 + Prng.int rng 2 in
+  let extra = Prng.int rng 3 in
+  let g = Tgen.random_pgraph rng ~n ~extra ~vl:2 ~el:1 in
+  assert (List.length (Pgraph.uncertain_edges g) <= 8);
+  let ds =
+    { Generator.graphs = [| g |]; organisms = [| 0 |]; motifs = [||];
+      grafts = [| None |]; params = Generator.default_params }
+  in
+  let q, _ = Generator.extract_query rng ds ~edges:(2 + Prng.int rng 2) in
+  let relaxed, _ = Relax.relaxed_set q ~delta:1 in
+  (g, relaxed)
+
+let prop_exact_agrees_with_naive =
+  QCheck.Test.make ~name:"Verify.exact = Verify.exact_naive (oracle)" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let g, relaxed = small_case (seed + 100) in
+      let a = Verify.exact g relaxed in
+      let b = Verify.exact_naive g relaxed in
+      Float.abs (a -. b) <= 1e-9)
+
+let prop_smp_within_3tau_of_exact =
+  (* |SMP - exact| <= tau holds with probability 1 - xi; testing against
+     3·tau makes a false alarm vanishingly unlikely while still catching
+     any systematic estimator bias. *)
+  QCheck.Test.make ~name:"|Verify.smp - Verify.exact| <= 3*tau" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let g, relaxed = small_case (seed + 500) in
+      let exact = Verify.exact g relaxed in
+      let tau = 0.15 in
+      let config = { Verify.default_config with tau } in
+      let smp = Verify.smp ~config (Prng.make (seed + 7)) g relaxed in
+      Float.abs (smp -. exact) <= 3. *. tau)
+
+let prop_smp_seed_deterministic =
+  QCheck.Test.make ~name:"Verify.smp is a function of the PRNG stream" ~count:20
+    QCheck.small_int
+    (fun seed ->
+      let g, relaxed = small_case (seed + 900) in
+      let config = { Verify.default_config with tau = 0.3 } in
+      let a = Verify.smp ~config (Prng.stream ~seed 0) g relaxed in
+      let b = Verify.smp ~config (Prng.stream ~seed 0) g relaxed in
+      a = b)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_exact_agrees_with_naive;
+    QCheck_alcotest.to_alcotest prop_smp_within_3tau_of_exact;
+    QCheck_alcotest.to_alcotest prop_smp_seed_deterministic;
+  ]
