@@ -1,13 +1,104 @@
 (* Benchmark entry point.
 
-   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|micro|all] [--quick]
+   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|micro|all] [--quick]
 
    Each figN target regenerates the corresponding figure of the paper's
    evaluation section (§6) at a scaled-down workload (see DESIGN.md §4-5 and
-   EXPERIMENTS.md); [micro] runs Bechamel micro-benchmarks of the kernel
+   EXPERIMENTS.md); [store] measures the persistent index (cold PMI build
+   vs. load-from-disk, DESIGN.md §9) and emits machine-readable
+   BENCH_store.json; [micro] runs Bechamel micro-benchmarks of the kernel
    operations. No argument runs everything. *)
 
 open Bechamel
+
+(* Cold PMI build vs. load-from-disk on the Fig 9 workload. The loaded
+   index must answer bit-identically (same answers, same pruning counters),
+   so the comparison also doubles as an end-to-end determinism check. *)
+let store ~scale ppf =
+  Format.fprintf ppf
+    "@.=== Store: cold index build vs load-from-disk (Fig 9 workload) ===@.";
+  let ds = Generator.generate (Experiments.dataset_params scale) in
+  let graphs = ds.Generator.graphs in
+  let skeletons = Array.map Pgraph.skeleton graphs in
+  let features, t_mine =
+    Psst_util.Timer.time (fun () ->
+        Selection.select skeletons Experiments.mining_params)
+  in
+  let pmi, t_cold = Psst_util.Timer.time (fun () -> Pmi.build graphs features) in
+  let path = Filename.temp_file "psst_bench" ".pmi" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let () = Pmi.save path ~db:graphs pmi in
+      let bytes =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> in_channel_length ic)
+      in
+      let loaded, t_load =
+        Psst_util.Timer.time (fun () -> Pmi.load path ~db:graphs)
+      in
+      let structural = Structural.build skeletons features ~emb_cap:64 in
+      let mk pmi =
+        { Query.graphs; skeletons; features; structural; pmi }
+      in
+      let db_fresh = mk pmi and db_loaded = mk loaded in
+      let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
+      let nq = max 4 scale.Experiments.queries_per_point in
+      let queries =
+        List.init nq (fun _ -> fst (Generator.extract_query rng ds ~edges:8))
+      in
+      let config = Query.default_config in
+      let identical =
+        List.for_all
+          (fun q ->
+            let a = Query.run db_fresh q config in
+            let b = Query.run db_loaded q config in
+            a.Query.answers = b.Query.answers
+            && a.stats.relaxed_count = b.stats.relaxed_count
+            && a.stats.structural_candidates = b.stats.structural_candidates
+            && a.stats.prob_candidates = b.stats.prob_candidates
+            && a.stats.accepted_by_bounds = b.stats.accepted_by_bounds
+            && a.stats.pruned_by_bounds = b.stats.pruned_by_bounds)
+          queries
+      in
+      let speedup = if t_load > 0. then t_cold /. t_load else infinity in
+      Format.fprintf ppf
+        "@[<v>db size            %d graphs@,\
+         features           %d@,\
+         filled entries     %d@,\
+         mining             %.3f s@,\
+         cold Pmi.build     %.3f s@,\
+         load from disk     %.3f s@,\
+         speedup            %.1fx@,\
+         index file         %d bytes@,\
+         answers identical  %b (%d queries)@]@."
+        (Array.length graphs) (List.length features)
+        (Pmi.filled_entries pmi) t_mine t_cold t_load speedup bytes identical nq;
+      let oc = open_out "BENCH_store.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Printf.fprintf oc
+            "{\n\
+            \  \"workload\": \"fig9\",\n\
+            \  \"db_size\": %d,\n\
+            \  \"features\": %d,\n\
+            \  \"filled_entries\": %d,\n\
+            \  \"mine_s\": %.6f,\n\
+            \  \"cold_build_s\": %.6f,\n\
+            \  \"load_s\": %.6f,\n\
+            \  \"speedup\": %.2f,\n\
+            \  \"file_bytes\": %d,\n\
+            \  \"queries\": %d,\n\
+            \  \"identical_answers\": %b\n\
+             }\n"
+            (Array.length graphs) (List.length features)
+            (Pmi.filled_entries pmi) t_mine t_cold t_load speedup bytes nq
+            identical);
+      Format.fprintf ppf "wrote BENCH_store.json@.";
+      if not identical then exit 1)
 
 let micro ppf =
   Format.fprintf ppf "@.=== Micro-benchmarks (Bechamel, ns/run) ===@.";
@@ -110,12 +201,15 @@ let () =
     | "fig14" -> Experiments.fig14 ~scale ppf
     | "ablation" | "ablations" -> Experiments.ablations ~scale ppf
     | "parallel" -> Experiments.parallel ~scale ppf
+    | "store" -> store ~scale ppf
     | "micro" -> micro ppf
     | "all" ->
       Experiments.all ~scale ppf;
+      store ~scale ppf;
       micro ppf
     | other ->
-      Format.fprintf ppf "unknown target %S (expected fig9..fig14, ablation, parallel, micro, all)@."
+      Format.fprintf ppf
+        "unknown target %S (expected fig9..fig14, ablation, parallel, store, micro, all)@."
         other;
       exit 2
   in

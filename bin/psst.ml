@@ -4,7 +4,10 @@
    Subcommands:
      generate    synthesise a STRING-like probabilistic graph corpus and
                  print its statistics
+     index       build the feature/PMI indexes once and persist them
      query       run T-PS queries end to end on a synthetic corpus
+                 (--index FILE skips mining/PMI build when a valid
+                 persisted index exists)
      experiment  regenerate one of the paper's figures
      micro       (see bench/main.exe) *)
 
@@ -15,7 +18,7 @@ let scale_of n queries seed =
 
 (* --- generate --- *)
 
-let generate num_graphs organisms seed verbose output =
+let generate num_graphs organisms seed verbose binary output =
   let params =
     {
       Generator.default_params with
@@ -53,15 +56,17 @@ let generate num_graphs organisms seed verbose output =
   match output with
   | None -> ()
   | Some path ->
-    Pgraph_io.save path ds.graphs;
-    Printf.printf "corpus written to %s\n" path
+    if binary then Pgraph_io.save_binary path ds.graphs
+    else Pgraph_io.save path ds.graphs;
+    Printf.printf "corpus written to %s (%s)\n" path
+      (if binary then "binary" else "text")
 
 (* --- query --- *)
 
 let corpus_of input num_graphs seed =
   match input with
   | Some path ->
-    let graphs = Pgraph_io.load path in
+    let graphs = Pgraph_io.load_auto path in
     Printf.printf "loaded %d graphs from %s\n%!" (Array.length graphs) path;
     (graphs, None)
   | None ->
@@ -69,11 +74,58 @@ let corpus_of input num_graphs seed =
     let ds = Generator.generate params in
     (ds.graphs, Some ds)
 
-let query num_graphs seed qsize nqueries epsilon delta exact_verifier input =
-  let graphs, ds_opt = corpus_of input num_graphs seed in
+(* Build the indexes, or reuse a persisted database when [index_file] names
+   a valid store for this exact corpus. A missing file is built and saved; a
+   corrupt/stale/foreign one is reported, rebuilt and overwritten — a bad
+   cache never changes answers, only costs the rebuild. *)
+let obtain_database index_file graphs =
+  let build_and_save () =
+    let db, t = Psst_util.Timer.time (fun () -> Query.index_database graphs) in
+    (match index_file with
+    | Some path ->
+      Query.save_database path db;
+      Printf.printf "index persisted to %s\n%!" path
+    | None -> ());
+    (db, t, "built")
+  in
+  match index_file with
+  | Some path when Sys.file_exists path -> (
+    match Psst_util.Timer.time (fun () -> Query.load_database path) with
+    | db, t when
+        Pgraph_io.db_fingerprint db.Query.graphs
+        = Pgraph_io.db_fingerprint graphs ->
+      (db, t, "loaded (mining and PMI build skipped)")
+    | _ ->
+      Printf.printf "index %s was built for a different corpus; rebuilding\n%!"
+        path;
+      build_and_save ()
+    | exception Psst_store.Store_error msg ->
+      Printf.printf "index %s rejected (%s); rebuilding\n%!" path msg;
+      build_and_save ())
+  | _ -> build_and_save ()
+
+let index num_graphs seed input output =
+  let graphs, _ = corpus_of input num_graphs seed in
   Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
   let db, t_index = Psst_util.Timer.time (fun () -> Query.index_database graphs) in
-  Printf.printf "indexed in %.2fs: %d features, %d PMI entries\n%!" t_index
+  Query.save_database output db;
+  let bytes =
+    let ic = open_in_bin output in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> in_channel_length ic)
+  in
+  Printf.printf
+    "indexed in %.2fs: %d features, %d PMI entries\nindex written to %s (%d bytes)\n"
+    t_index
+    (List.length db.Query.features)
+    (Pmi.filled_entries db.Query.pmi)
+    output bytes
+
+let query num_graphs seed qsize nqueries epsilon delta exact_verifier input
+    index_file =
+  let graphs, ds_opt = corpus_of input num_graphs seed in
+  Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
+  let db, t_index, how = obtain_database index_file graphs in
+  Printf.printf "index %s in %.2fs: %d features, %d PMI entries\n%!" how t_index
     (List.length db.Query.features)
     (Pmi.filled_entries db.Query.pmi);
   let config =
@@ -185,6 +237,12 @@ let generate_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every skeleton.")
   in
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Write the checksummed binary store format instead of text.")
+  in
   let output =
     Arg.(
       value
@@ -193,7 +251,24 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Synthesise a probabilistic graph corpus")
-    Term.(const generate $ num_graphs_arg $ organisms $ seed_arg $ verbose $ output)
+    Term.(
+      const generate $ num_graphs_arg $ organisms $ seed_arg $ verbose $ binary
+      $ output)
+
+let index_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the persistent index (graphs + features + PMI) here.")
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:
+         "Mine features and build the PMI once, persisting the whole \
+          query-time state for later $(b,query --index) runs")
+    Term.(const index $ num_graphs_arg $ seed_arg $ input_arg $ output)
 
 let query_cmd =
   let qsize =
@@ -215,11 +290,21 @@ let query_cmd =
       value & flag
       & info [ "exact" ] ~doc:"Verify candidates exactly instead of sampling.")
   in
+  let index_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "index" ] ~docv:"FILE"
+          ~doc:
+            "Reuse the persisted index at $(docv) (built by $(b,psst index)) \
+             instead of mining and computing bounds; a missing file is built \
+             and saved, an invalid or stale one is rejected and rebuilt.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Run T-PS queries end to end")
     Term.(
       const query $ num_graphs_arg $ seed_arg $ qsize $ nqueries $ epsilon
-      $ delta $ exact $ input_arg)
+      $ delta $ exact $ input_arg $ index_file)
 
 let topk_cmd =
   let qsize =
@@ -254,6 +339,6 @@ let experiment_cmd =
 let main_cmd =
   let doc = "probabilistic subgraph similarity search (VLDB 2012 reproduction)" in
   Cmd.group (Cmd.info "psst" ~doc)
-    [ generate_cmd; query_cmd; topk_cmd; experiment_cmd ]
+    [ generate_cmd; index_cmd; query_cmd; topk_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

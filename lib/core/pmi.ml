@@ -87,6 +87,115 @@ let filled_entries t =
 
 let build_seconds t = t.build_seconds
 
+(* --- persistence (DESIGN.md §9) --- *)
+
+module S = Psst_store
+
+let encode_entry e (b : entry) =
+  S.put_f64 e b.Bounds.lower;
+  S.put_f64 e b.upper;
+  S.put_f64 e b.lower_safe;
+  S.put_f64 e b.upper_safe;
+  S.put_i64 e b.embeddings;
+  S.put_i64 e b.cuts
+
+let decode_entry d : entry =
+  let lower = S.get_f64 d in
+  let upper = S.get_f64 d in
+  let lower_safe = S.get_f64 d in
+  let upper_safe = S.get_f64 d in
+  let embeddings = S.get_nat d in
+  let cuts = S.get_nat d in
+  { Bounds.lower; upper; lower_safe; upper_safe; embeddings; cuts }
+
+let to_sections ~db t =
+  let config = S.encoder () in
+  S.put_i64 config t.config.Bounds.emb_cap;
+  S.put_i64 config t.config.cut_cap;
+  S.put_i64 config t.config.mc_samples;
+  S.put_i64 config t.config.clique_budget;
+  S.put_bool config t.config.tightest;
+  S.put_i64 config t.config.seed;
+  let dbsec = S.encoder () in
+  S.put_i64 dbsec (Array.length db);
+  S.put_i32 dbsec (Pgraph_io.db_fingerprint db);
+  let features = S.encoder () in
+  S.put_array features Selection.encode_feature t.features;
+  let entries = S.encoder () in
+  S.put_i64 entries (num_features t);
+  S.put_i64 entries (num_graphs t);
+  Array.iter (fun row -> Array.iter (S.put_option entries encode_entry) row) t.entries;
+  let meta = S.encoder () in
+  S.put_f64 meta t.build_seconds;
+  [
+    S.section "pmi.config" config;
+    S.section "pmi.db" dbsec;
+    S.section "pmi.features" features;
+    S.section "pmi.entries" entries;
+    S.section "pmi.meta" meta;
+  ]
+
+let of_sections ~db sections =
+  let config =
+    S.decode_section sections "pmi.config" (fun d ->
+        let emb_cap = S.get_nat d in
+        let cut_cap = S.get_nat d in
+        let mc_samples = S.get_nat d in
+        let clique_budget = S.get_nat d in
+        let tightest = S.get_bool d in
+        let seed = S.get_i64 d in
+        { Bounds.emb_cap; cut_cap; mc_samples; clique_budget; tightest; seed })
+  in
+  S.decode_section sections "pmi.db" (fun d ->
+      let stored_ng = S.get_nat d in
+      let stored_fp = S.get_i32 d in
+      if stored_ng <> Array.length db then
+        S.error
+          "database mismatch: index was built over %d graphs, this database \
+           has %d — rebuild the index"
+          stored_ng (Array.length db);
+      let fp = Pgraph_io.db_fingerprint db in
+      if stored_fp <> fp then
+        S.error
+          "database fingerprint mismatch (stored %08lx, actual %08lx): the \
+           index was built for a different database — rebuild the index"
+          stored_fp fp);
+  let ng = Array.length db in
+  let features =
+    S.decode_section sections "pmi.features" (fun d ->
+        S.get_array d Selection.decode_feature)
+  in
+  Array.iter
+    (fun (f : Selection.feature) ->
+      List.iter
+        (fun gi ->
+          if gi >= ng then
+            S.error "feature support mentions graph %d of a %d-graph database"
+              gi ng)
+        f.support)
+    features;
+  let entries =
+    S.decode_section sections "pmi.entries" (fun d ->
+        let nf = S.get_nat d in
+        let stored_ng = S.get_nat d in
+        if nf <> Array.length features then
+          S.error "entry matrix has %d rows for %d features" nf
+            (Array.length features);
+        if stored_ng <> ng then
+          S.error "entry matrix has %d columns for %d graphs" stored_ng ng;
+        Array.init nf (fun _ ->
+            let row = Array.make ng None in
+            for gi = 0 to ng - 1 do
+              row.(gi) <- S.get_option d decode_entry
+            done;
+            row))
+  in
+  let build_seconds = S.decode_section sections "pmi.meta" S.get_f64 in
+  { config; features; entries; build_seconds }
+
+let save path ~db t = S.write_file path ~kind:S.Pmi_index (to_sections ~db t)
+let load path ~db = of_sections ~db (S.read_file path ~kind:S.Pmi_index)
+
 let pp_stats ppf t =
   Format.fprintf ppf "PMI: %d features x %d graphs, %d filled entries, built in %.2fs"
     (num_features t) (num_graphs t) (filled_entries t) t.build_seconds

@@ -43,4 +43,29 @@ val filled_entries : t -> int
 (** Wall-clock seconds spent computing the entries (Fig 12(c)). *)
 val build_seconds : t -> float
 
+(** {1 Persistence (DESIGN.md §9)}
+
+    The PMI is the expensive offline artifact of the pipeline; it is stored
+    bit-exactly (float bounds as IEEE-754 bits), so queries on a loaded
+    index are bit-identical — same answers, same pruning counters — to
+    queries on a freshly built one. *)
+
+(** [save path ~db t] writes a [Pmi_index]-kind {!Psst_store} file carrying
+    the bound matrix, the mined features, the bounds configuration, and a
+    fingerprint of [db]. *)
+val save : string -> db:Pgraph.t array -> t -> unit
+
+(** [load path ~db] validates the store's format version, kind, checksums,
+    and that the persisted database fingerprint matches [db] before any
+    entry is reused; raises [Psst_store.Store_error] otherwise (a stale or
+    foreign index is rejected, never silently reused). *)
+val load : string -> db:Pgraph.t array -> t
+
+(** Section-level codec, shared with the whole-database store
+    ({!Query.save_database}). [of_sections] performs the same validation as
+    {!load} minus the file-level header checks. *)
+val to_sections : db:Pgraph.t array -> t -> Psst_store.section list
+
+val of_sections : db:Pgraph.t array -> Psst_store.section list -> t
+
 val pp_stats : Format.formatter -> t -> unit

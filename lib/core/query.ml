@@ -206,3 +206,45 @@ let ground_truth db q config =
   |> List.filter (fun gi ->
          Distance.within q db.skeletons.(gi) ~delta:config.delta
          && Verify.exact db.graphs.(gi) relaxed >= config.epsilon)
+
+(* --- persistence (DESIGN.md §9) --- *)
+
+module Store = Psst_store
+
+let save_database path db =
+  let graphs = Store.encoder () in
+  Store.put_array graphs Pgraph_io.encode_binary db.graphs;
+  let structural = Store.encoder () in
+  Store.put_i64 structural (Structural.emb_cap db.structural);
+  Store.put_array structural
+    (fun e row -> Store.put_array e Store.put_i64 row)
+    (Structural.counts db.structural);
+  Store.write_file path ~kind:Store.Database
+    (Store.section "graphs" graphs
+    :: Store.section "structural" structural
+    :: Pmi.to_sections ~db:db.graphs db.pmi)
+
+let load_database path =
+  let sections = Store.read_file path ~kind:Store.Database in
+  let graphs =
+    Store.decode_section sections "graphs" (fun d ->
+        Store.get_array d Pgraph_io.decode_binary)
+  in
+  (* [Pmi.of_sections] re-fingerprints the embedded graphs against the
+     stored fingerprint, so a file stitched together from two different
+     stores is rejected here. *)
+  let pmi = Pmi.of_sections ~db:graphs sections in
+  let features = Array.to_list (Pmi.features pmi) in
+  let structural =
+    Store.decode_section sections "structural" (fun d ->
+        let emb_cap = Store.get_nat d in
+        let counts = Store.get_array d (fun d -> Store.get_array d Store.get_nat) in
+        Store.checked (fun () -> Structural.of_parts ~features ~counts ~emb_cap))
+  in
+  {
+    graphs;
+    skeletons = Array.map Pgraph.skeleton graphs;
+    features;
+    structural;
+    pmi;
+  }

@@ -75,6 +75,22 @@ val run : ?domains:int -> database -> Lgraph.t -> config -> outcome
 val run_batch :
   ?domains:int -> database -> Lgraph.t list -> config -> outcome list
 
+(** {1 Persistence (DESIGN.md §9)}
+
+    The whole query-time state — probabilistic graphs with their JPTs,
+    mined features, the structural count matrix and the PMI bound matrix —
+    as one {!Psst_store} file, so a process answers queries without paying
+    mining or {!Pmi.build} again. *)
+
+(** [save_database path db] writes a [Database]-kind store file. *)
+val save_database : string -> database -> unit
+
+(** [load_database path] — raises [Psst_store.Store_error] on corruption,
+    truncation, version skew, or when the embedded PMI's fingerprint does
+    not match the embedded graphs. Queries on the result are bit-identical
+    to queries on the database that was saved. *)
+val load_database : string -> database
+
 (** [run_exact_scan db q config] — the paper's Exact competitor: no
     indexes, exact SSP on every graph. *)
 val run_exact_scan : database -> Lgraph.t -> config -> outcome

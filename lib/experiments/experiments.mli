@@ -22,6 +22,14 @@ val default_scale : scale
 (** A tiny scale for smoke tests (fast, minutes for the full suite). *)
 val quick_scale : scale
 
+(** The corpus parameters behind Fig 9-14 at the given scale, and the
+    feature-mining parameters every figure indexes with — exposed so
+    external harnesses (e.g. [bench/main.exe store]) can reproduce the
+    exact Fig 9 workload. *)
+val dataset_params : scale -> Generator.params
+
+val mining_params : Selection.params
+
 (** Fig 9: verification time (a) and SMP quality (b) vs query size. *)
 val fig9 : ?scale:scale -> Format.formatter -> unit
 

@@ -189,3 +189,28 @@ let select db params =
     frontier := !next
   done;
   List.rev !out
+
+(* --- binary codec --- *)
+
+let encode_feature e (f : feature) =
+  Psst_store.put_lgraph e f.graph;
+  Psst_store.put_string e f.key;
+  Psst_store.put_int_list e f.support;
+  Psst_store.put_int_list e f.strong_support
+
+let decode_support d what =
+  let l = Psst_store.get_int_list d in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a < b && sorted rest
+    | _ -> true
+  in
+  if List.exists (fun g -> g < 0) l || not (sorted l) then
+    Psst_store.error "feature %s list is not a sorted set of graph ids" what;
+  l
+
+let decode_feature d =
+  let graph = Psst_store.get_lgraph d in
+  let key = Psst_store.get_string d in
+  let support = decode_support d "support" in
+  let strong_support = decode_support d "strong-support" in
+  { graph; key; support; strong_support }

@@ -45,3 +45,12 @@ val select : Lgraph.t array -> params -> feature list
     (exact max-weight clique on the disjointness graph with unit weights,
     greedy beyond the node budget). *)
 val max_disjoint_embeddings : Embedding.t list -> int
+
+(** {1 Binary codec} — mined feature sets are part of the persisted index
+    (DESIGN.md §9), so queries on a loaded index skip re-mining. *)
+
+val encode_feature : Psst_store.enc -> feature -> unit
+
+(** Raises [Psst_store.Store_error] on malformed data (including support
+    lists that are unsorted or mention negative graph ids). *)
+val decode_feature : Psst_store.dec -> feature

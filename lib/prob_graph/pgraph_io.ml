@@ -23,6 +23,40 @@ let to_string t =
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
+(* --- JPT row validation ---
+
+   [Pgraph.make] checks chain consistency with a 1e-6 tolerance, so a
+   conditional row summing to, say, 1 + 5e-7 used to be accepted here and
+   only misbehaved later in [Exact] (world probabilities summing past 1).
+   Both parsers therefore reject over-unity rows up front, with a message
+   naming the factor and the offending row. *)
+
+let jpt_row_eps = 1e-9
+
+let validate_factor_rows ~fail factors =
+  let covered = Hashtbl.create 16 in
+  List.iteri
+    (fun i f ->
+      let vars = Factor.vars f in
+      let old_vars =
+        Array.to_list vars |> List.filter (Hashtbl.mem covered)
+      in
+      (* Summing the new variables out leaves, per conditioning assignment,
+         that row's total probability mass. *)
+      let row_totals = Factor.marginal_onto f old_vars in
+      Factor.iter_assignments row_totals (fun row total ->
+          if total > 1. +. jpt_row_eps then
+            fail
+              (Printf.sprintf
+                 "factor %d over edges {%s}: conditional row %d has \
+                  probabilities summing to %.17g > 1"
+                 i
+                 (Array.to_list vars |> List.map string_of_int
+                 |> String.concat ",")
+                 row total));
+      Array.iter (fun v -> Hashtbl.replace covered v ()) vars)
+    factors
+
 type parse_state = {
   mutable vlabels : int list; (* reversed *)
   mutable edges : (int * int * int) list; (* reversed *)
@@ -63,7 +97,9 @@ let of_lines lines =
       ~vlabels:(Array.of_list (List.rev st.vlabels))
       ~edges:(List.rev st.edges)
   in
-  Pgraph.make skeleton (List.rev st.factors)
+  let factors = List.rev st.factors in
+  validate_factor_rows ~fail:(fun msg -> invalid_arg ("Pgraph_io: " ^ msg)) factors;
+  Pgraph.make skeleton factors
 
 let of_string s = of_lines (String.split_on_char '\n' s)
 
@@ -95,3 +131,58 @@ let save path graphs =
 let load path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_many ic)
+
+(* --- binary codec --- *)
+
+module S = Psst_store
+
+let encode_factor e f =
+  let vars = Factor.vars f in
+  S.put_int_list e (Array.to_list vars);
+  Factor.iter_assignments f (fun _ p -> S.put_f64 e p)
+
+let decode_factor d =
+  let vars = S.get_int_list d in
+  let k = List.length vars in
+  if k > Factor.max_vars then
+    S.error "factor scope of %d variables exceeds the %d-variable cap" k
+      Factor.max_vars;
+  let data = Array.init (1 lsl k) (fun _ -> 0.) in
+  for i = 0 to Array.length data - 1 do
+    data.(i) <- S.get_f64 d
+  done;
+  S.checked (fun () -> Factor.create (Array.of_list vars) data)
+
+let encode_binary e g =
+  S.put_lgraph e (Pgraph.skeleton g);
+  S.put_list e encode_factor (Pgraph.factors g)
+
+let decode_binary d =
+  let skeleton = S.get_lgraph d in
+  let factors = S.get_list d decode_factor in
+  validate_factor_rows ~fail:(fun msg -> S.error "Pgraph_io: %s" msg) factors;
+  S.checked (fun () -> Pgraph.make skeleton factors)
+
+let save_binary path graphs =
+  let meta = S.encoder () in
+  S.put_i64 meta (Array.length graphs);
+  let body = S.encoder () in
+  S.put_array body encode_binary graphs;
+  S.write_file path ~kind:S.Pgdb [ S.section "meta" meta; S.section "graphs" body ]
+
+let load_binary path =
+  let sections = S.read_file path ~kind:S.Pgdb in
+  let count = S.decode_section sections "meta" S.get_nat in
+  let graphs = S.decode_section sections "graphs" (fun d -> S.get_array d decode_binary) in
+  if Array.length graphs <> count then
+    S.error "graph count mismatch: meta says %d, payload holds %d" count
+      (Array.length graphs);
+  graphs
+
+let load_auto path =
+  if S.is_store_file path then load_binary path else load path
+
+let db_fingerprint graphs =
+  let e = S.encoder () in
+  S.put_array e encode_binary graphs;
+  Psst_util.Crc32.digest (S.contents e)

@@ -29,6 +29,25 @@ let build db features ~emb_cap =
   in
   { features; counts; emb_cap }
 
+let of_parts ~features ~counts ~emb_cap =
+  let features = Array.of_list features in
+  if emb_cap <= 0 then invalid_arg "Structural.of_parts: emb_cap must be positive";
+  if Array.length counts <> Array.length features then
+    invalid_arg "Structural.of_parts: one count row per feature required";
+  let ng = if Array.length counts = 0 then 0 else Array.length counts.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> ng then
+        invalid_arg "Structural.of_parts: ragged count matrix";
+      Array.iter
+        (fun c -> if c < 0 then invalid_arg "Structural.of_parts: negative count")
+        row)
+    counts;
+  { features; counts = Array.map Array.copy counts; emb_cap }
+
+let counts t = Array.map Array.copy t.counts
+let emb_cap t = t.emb_cap
+
 let num_features t = Array.length t.features
 
 let size_cells t = Array.length t.features * Array.length t.counts.(0)

@@ -27,6 +27,21 @@ val build : Lgraph.t array -> Selection.feature list -> emb_cap:int -> t
     dismissals — at worst the filter is less selective on it). *)
 val add_graph : t -> Lgraph.t -> t
 
+(** [of_parts ~features ~counts ~emb_cap] rebuilds the index from its raw
+    state (one count row per feature) — the load path of the persistent
+    store, which skips re-running VF2 over the whole database. Raises
+    [Invalid_argument] on dimension mismatches or negative counts. *)
+val of_parts :
+  features:Selection.feature list ->
+  counts:int array array ->
+  emb_cap:int ->
+  t
+
+(** Raw capped embedding-count matrix, feature-major (a copy). *)
+val counts : t -> int array array
+
+val emb_cap : t -> int
+
 val num_features : t -> int
 
 (** Total count-matrix cells (features x graphs) — reported as index size. *)

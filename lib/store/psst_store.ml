@@ -1,0 +1,343 @@
+module Crc32 = Psst_util.Crc32
+
+exception Store_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Store_error s)) fmt
+
+let checked f =
+  try f () with
+  | Invalid_argument msg | Failure msg -> error "invalid stored data: %s" msg
+
+let magic = "PSSTSTR\x00"
+let format_version = 1
+let header_bytes = 24
+
+type kind = Pgdb | Pmi_index | Dataset | Database
+
+let kind_tag = function Pgdb -> 1 | Pmi_index -> 2 | Dataset -> 3 | Database -> 4
+
+let kind_name = function
+  | Pgdb -> "probabilistic graph database"
+  | Pmi_index -> "PMI index"
+  | Dataset -> "dataset"
+  | Database -> "query database"
+
+let kind_of_tag = function
+  | 1 -> Some Pgdb
+  | 2 -> Some Pmi_index
+  | 3 -> Some Dataset
+  | 4 -> Some Database
+  | _ -> None
+
+type section = { name : string; payload : string }
+
+(* --- payload encoding --- *)
+
+type enc = Buffer.t
+
+let encoder () = Buffer.create 4096
+let contents = Buffer.contents
+let put_i64 e i = Buffer.add_int64_le e (Int64.of_int i)
+let put_i32 e (i : int32) = Buffer.add_int32_le e i
+let put_f64 e f = Buffer.add_int64_le e (Int64.bits_of_float f)
+let put_bool e b = Buffer.add_char e (if b then '\001' else '\000')
+
+let put_string e s =
+  put_i64 e (String.length s);
+  Buffer.add_string e s
+
+let put_list e f l =
+  put_i64 e (List.length l);
+  List.iter (f e) l
+
+let put_array e f a =
+  put_i64 e (Array.length a);
+  Array.iter (f e) a
+
+let put_int_list e l = put_list e put_i64 l
+
+let put_option e f = function
+  | None -> put_bool e false
+  | Some x ->
+    put_bool e true;
+    f e x
+
+let put_lgraph e g =
+  put_i64 e (Lgraph.num_vertices g);
+  Array.iter (put_i64 e) (Lgraph.vertex_labels g);
+  let edges = Lgraph.edges g in
+  put_i64 e (Array.length edges);
+  Array.iter
+    (fun (ed : Lgraph.edge) ->
+      put_i64 e ed.u;
+      put_i64 e ed.v;
+      put_i64 e ed.label)
+    edges
+
+let section name e = { name; payload = contents e }
+
+(* --- payload decoding --- *)
+
+type dec = { data : string; mutable pos : int; ctx : string }
+
+let decoder ?(name = "payload") payload = { data = payload; pos = 0; ctx = name }
+
+let remaining d = String.length d.data - d.pos
+
+let need d n =
+  if n > remaining d then
+    error "section %S: unexpected end of data (need %d bytes, have %d)" d.ctx n
+      (remaining d)
+
+let get_i64 d =
+  need d 8;
+  let v = Int64.to_int (String.get_int64_le d.data d.pos) in
+  d.pos <- d.pos + 8;
+  v
+
+let get_nat d =
+  let v = get_i64 d in
+  if v < 0 then error "section %S: negative length %d" d.ctx v;
+  v
+
+(* Every codec in this library consumes at least one byte per element, so a
+   count can never legitimately exceed the bytes left — checking up front
+   keeps a corrupted count from triggering a huge allocation. *)
+let get_count d =
+  let v = get_nat d in
+  if v > remaining d then
+    error "section %S: count %d exceeds remaining %d bytes" d.ctx v (remaining d);
+  v
+
+let get_i32 d =
+  need d 4;
+  let v = String.get_int32_le d.data d.pos in
+  d.pos <- d.pos + 4;
+  v
+
+let get_f64 d =
+  need d 8;
+  let v = Int64.float_of_bits (String.get_int64_le d.data d.pos) in
+  d.pos <- d.pos + 8;
+  v
+
+let get_bool d =
+  need d 1;
+  let c = d.data.[d.pos] in
+  d.pos <- d.pos + 1;
+  match c with
+  | '\000' -> false
+  | '\001' -> true
+  | c -> error "section %S: invalid boolean byte 0x%02x" d.ctx (Char.code c)
+
+let get_string d =
+  let n = get_count d in
+  let s = String.sub d.data d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let get_list d f =
+  let n = get_count d in
+  let acc = ref [] in
+  for _ = 1 to n do
+    acc := f d :: !acc
+  done;
+  List.rev !acc
+
+let get_array d f =
+  let n = get_count d in
+  if n = 0 then [||]
+  else begin
+    let first = f d in
+    let a = Array.make n first in
+    for i = 1 to n - 1 do
+      a.(i) <- f d
+    done;
+    a
+  end
+
+let get_int_list d = get_list d get_i64
+
+let get_option d f = if get_bool d then Some (f d) else None
+
+let get_lgraph d =
+  let n = get_count d in
+  let vlabels = Array.init n (fun _ -> 0) in
+  for i = 0 to n - 1 do
+    vlabels.(i) <- get_i64 d
+  done;
+  let m = get_count d in
+  let edges = ref [] in
+  for _ = 1 to m do
+    let u = get_i64 d in
+    let v = get_i64 d in
+    let label = get_i64 d in
+    edges := (u, v, label) :: !edges
+  done;
+  checked (fun () -> Lgraph.create ~vlabels ~edges:(List.rev !edges))
+
+let expect_end d =
+  if remaining d <> 0 then
+    error "section %S: %d trailing bytes after payload" d.ctx (remaining d)
+
+let find_section sections name =
+  match List.find_opt (fun s -> s.name = name) sections with
+  | Some s -> s.payload
+  | None -> error "missing section %S" name
+
+let decode_section sections name f =
+  let d = decoder ~name (find_section sections name) in
+  let v = f d in
+  expect_end d;
+  v
+
+(* --- file framing --- *)
+
+let add_u32 buf (i : int32) =
+  Buffer.add_int32_le buf i
+
+let section_crc s =
+  Crc32.update
+    (Crc32.digest s.name)
+    s.payload ~pos:0 ~len:(String.length s.payload)
+
+let write_file ?(version = format_version) path ~kind sections =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf magic;
+  add_u32 buf (Int32.of_int version);
+  add_u32 buf (Int32.of_int (kind_tag kind));
+  add_u32 buf (Int32.of_int (List.length sections));
+  add_u32 buf (Crc32.update 0l (Buffer.contents buf) ~pos:0 ~len:20);
+  List.iter
+    (fun s ->
+      add_u32 buf (Int32.of_int (String.length s.name));
+      Buffer.add_string buf s.name;
+      Buffer.add_int64_le buf (Int64.of_int (String.length s.payload));
+      add_u32 buf (section_crc s);
+      Buffer.add_string buf s.payload)
+    sections;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Sys.rename tmp path
+
+(* A raw cursor over the whole file, distinct from [dec] so framing errors
+   talk about the file rather than a section. *)
+type raw = { file : string; mutable at : int }
+
+let raw_need r n what =
+  if r.at + n > String.length r.file then
+    error "truncated store: unexpected end of file in %s" what
+
+let raw_u32 r what =
+  raw_need r 4 what;
+  let v = String.get_int32_le r.file r.at in
+  r.at <- r.at + 4;
+  v
+
+let raw_u64 r what =
+  raw_need r 8 what;
+  let v = String.get_int64_le r.file r.at in
+  r.at <- r.at + 8;
+  v
+
+let raw_bytes r n what =
+  raw_need r n what;
+  let s = String.sub r.file r.at n in
+  r.at <- r.at + n;
+  s
+
+let max_section_name = 255
+
+let read_header r ~kind =
+  if String.length r.file < header_bytes then
+    error "truncated store: %d bytes is shorter than the %d-byte header"
+      (String.length r.file) header_bytes;
+  let m = raw_bytes r 8 "header" in
+  if m <> magic then error "bad magic: not a PSST store file";
+  let version = Int32.to_int (raw_u32 r "header") in
+  let ktag = Int32.to_int (raw_u32 r "header") in
+  let count = Int32.to_int (raw_u32 r "header") in
+  let stored_crc = raw_u32 r "header" in
+  let actual_crc = Crc32.update 0l r.file ~pos:0 ~len:20 in
+  if stored_crc <> actual_crc then error "header checksum mismatch";
+  if version <> format_version then
+    error "unsupported store format version %d (this build reads version %d)"
+      version format_version;
+  (match kind_of_tag ktag with
+  | None -> error "unknown store kind tag %d" ktag
+  | Some k ->
+    if k <> kind then
+      error "wrong store kind: expected a %s file, found a %s file"
+        (kind_name kind) (kind_name k));
+  if count < 0 then error "negative section count";
+  count
+
+let read_one_section r =
+  let name_len = Int32.to_int (raw_u32 r "section header") in
+  if name_len < 0 || name_len > max_section_name then
+    error "implausible section name length %d" name_len;
+  let name = raw_bytes r name_len "section name" in
+  let ctx = if name = "" then "<unnamed>" else name in
+  let payload_len = raw_u64 r (Printf.sprintf "section %S header" ctx) in
+  if Int64.compare payload_len 0L < 0
+     || Int64.compare payload_len (Int64.of_int (String.length r.file - r.at)) > 0
+  then
+    error "section %S: payload length %Ld exceeds the file" ctx payload_len;
+  let stored_crc = raw_u32 r (Printf.sprintf "section %S header" ctx) in
+  let len = Int64.to_int payload_len in
+  let payload = raw_bytes r len (Printf.sprintf "section %S payload" ctx) in
+  let s = { name; payload } in
+  if section_crc s <> stored_crc then
+    error "section %S: checksum mismatch (corrupted payload)" ctx;
+  s
+
+let read_string file ~kind =
+  let r = { file; at = 0 } in
+  let count = read_header r ~kind in
+  let sections = ref [] in
+  for _ = 1 to count do
+    let s = read_one_section r in
+    if List.exists (fun s' -> s'.name = s.name) !sections then
+      error "duplicate section %S" s.name;
+    sections := s :: !sections
+  done;
+  if r.at <> String.length file then
+    error "trailing garbage: %d bytes after the last section"
+      (String.length file - r.at);
+  List.rev !sections
+
+let read_whole_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> error "cannot open store: %s" msg
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_file path ~kind = read_string (read_whole_file path) ~kind
+
+let section_spans file =
+  let r = { file; at = 0 } in
+  if String.length file < header_bytes then error "file shorter than header";
+  if String.sub file 0 8 <> magic then error "bad magic";
+  r.at <- 16;
+  let count = Int32.to_int (raw_u32 r "header") in
+  r.at <- header_bytes;
+  List.init count (fun _ ->
+      let start = r.at in
+      let s = read_one_section r in
+      (s.name, start, r.at))
+
+let is_store_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        in_channel_length ic >= 8
+        && really_input_string ic 8 = magic)

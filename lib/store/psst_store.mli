@@ -1,0 +1,136 @@
+(** Versioned binary on-disk store (DESIGN.md §9).
+
+    A store file is a magic/version/kind header followed by named,
+    length-prefixed sections, each protected by a CRC-32 over its name and
+    payload. Every reader-side anomaly — truncation, a flipped byte, an
+    unknown format version, a file of the wrong kind, a missing section, or
+    payload bytes that decode to out-of-range values — raises {!Store_error}
+    with a human-readable message; readers never raise [Failure] or leak a
+    low-level exception, and never return silently wrong data (every byte of
+    the file is covered by either the header CRC or a section CRC).
+
+    Layout (all integers little-endian):
+
+    {v
+    offset 0   magic    "PSSTSTR\x00"            8 bytes
+           8   version  u32                      {!format_version}
+          12   kind     u32                      see {!kind}
+          16   count    u32                      number of sections
+          20   crc      u32                      CRC-32 of bytes 0..19
+          24   sections, each:
+                 name_len     u32
+                 name         bytes
+                 payload_len  u64
+                 crc          u32                CRC-32 of name ++ payload
+                 payload      bytes
+    v}
+
+    Versioning policy: [format_version] is bumped on any incompatible layout
+    change; readers reject any other version outright (no migration — stores
+    are caches that can always be rebuilt from source data). *)
+
+exception Store_error of string
+
+(** [error fmt ...] raises {!Store_error} with a formatted message. *)
+val error : ('a, unit, string, 'b) format4 -> 'a
+
+(** [checked f] runs [f ()], converting any [Invalid_argument] or [Failure]
+    escaping it into {!Store_error} — used to wrap validating constructors
+    ([Lgraph.create], [Factor.create], [Pgraph.make]) on the decode path. *)
+val checked : (unit -> 'a) -> 'a
+
+val format_version : int
+
+(** Size of the fixed file header in bytes. *)
+val header_bytes : int
+
+(** What a store file holds; readers reject a kind mismatch. *)
+type kind =
+  | Pgdb  (** an array of probabilistic graphs *)
+  | Pmi_index  (** a serialized {!Pmi.t} with its database fingerprint *)
+  | Dataset  (** a full {!Generator.t} corpus *)
+  | Database  (** the whole query-time state ({!Query.database}) *)
+
+val kind_name : kind -> string
+
+type section = { name : string; payload : string }
+
+(** [write_file ?version path ~kind sections] writes atomically (via a
+    temporary file and rename). [?version] exists so tests can produce
+    version-skewed files; production callers omit it. *)
+val write_file : ?version:int -> string -> kind:kind -> section list -> unit
+
+(** [read_file path ~kind] validates the header and every section checksum.
+    Raises {!Store_error} on any anomaly. *)
+val read_file : string -> kind:kind -> section list
+
+(** [read_string contents ~kind] — same, from in-memory file contents. *)
+val read_string : string -> kind:kind -> section list
+
+(** [find_section sections name] — {!Store_error} when absent. *)
+val find_section : section list -> string -> string
+
+(** [section_spans contents] parses the framing of a well-formed store and
+    returns [(name, start, stop)] byte spans of each section (including its
+    name/length/CRC framing, [stop] exclusive) — the corruption test suite
+    uses it to truncate at section boundaries and flip bytes per section. *)
+val section_spans : string -> (string * int * int) list
+
+(** [is_store_file path] — true when the file starts with the store magic
+    (used to sniff binary vs. textual corpora). *)
+val is_store_file : string -> bool
+
+(** {1 Payload encoding}
+
+    Primitives for section payloads: fixed-width little-endian integers,
+    IEEE-754 bit-exact floats, and length-prefixed strings and containers.
+    Decoders are bounds-checked and raise {!Store_error} (never an
+    out-of-bounds [Invalid_argument]) on overrun or invalid data. *)
+
+type enc
+
+val encoder : unit -> enc
+val contents : enc -> string
+val put_i64 : enc -> int -> unit
+val put_i32 : enc -> int32 -> unit
+
+(** Stored as IEEE-754 bits: round-trips every float bit-exactly. *)
+val put_f64 : enc -> float -> unit
+
+val put_bool : enc -> bool -> unit
+val put_string : enc -> string -> unit
+val put_int_list : enc -> int list -> unit
+val put_list : enc -> (enc -> 'a -> unit) -> 'a list -> unit
+val put_array : enc -> (enc -> 'a -> unit) -> 'a array -> unit
+val put_option : enc -> (enc -> 'a -> unit) -> 'a option -> unit
+val put_lgraph : enc -> Lgraph.t -> unit
+
+(** [section name enc] packages an encoder's contents as a section. *)
+val section : string -> enc -> section
+
+type dec
+
+(** [decoder ?name payload] — [name] is quoted in error messages. *)
+val decoder : ?name:string -> string -> dec
+
+val get_i64 : dec -> int
+
+(** A length or count: a [get_i64] that must be non-negative. *)
+val get_nat : dec -> int
+
+val get_i32 : dec -> int32
+val get_f64 : dec -> float
+val get_bool : dec -> bool
+val get_string : dec -> string
+val get_int_list : dec -> int list
+val get_list : dec -> (dec -> 'a) -> 'a list
+val get_array : dec -> (dec -> 'a) -> 'a array
+val get_option : dec -> (dec -> 'a) -> 'a option
+val get_lgraph : dec -> Lgraph.t
+
+(** [expect_end d] — {!Store_error} unless the payload was fully consumed. *)
+val expect_end : dec -> unit
+
+(** [decode_section sections name f] finds the section, decodes it with [f]
+    and checks the payload was fully consumed. *)
+val decode_section : section list -> string -> (dec -> 'a) -> 'a

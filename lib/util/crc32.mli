@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]) — the per-section
+    checksum of the on-disk store format (DESIGN.md §9). Matches the CRC used
+    by zlib/gzip, so stored files can be cross-checked with external tools. *)
+
+(** [digest s] is the CRC of the whole string. *)
+val digest : string -> int32
+
+(** [update crc s ~pos ~len] extends [crc] with a substring, so a digest can
+    be computed over a concatenation without materialising it. Raises
+    [Invalid_argument] when [pos]/[len] do not describe a valid substring. *)
+val update : int32 -> string -> pos:int -> len:int -> int32

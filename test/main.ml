@@ -14,6 +14,7 @@ let () =
       ("dataset", Test_dataset.suite);
       ("core", Test_core.suite);
       ("verify_diff", Test_verify_diff.suite);
+      ("store", Test_store.suite);
       ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);
       ("edge_cases", Test_edge_cases.suite);

@@ -1,0 +1,461 @@
+(* The persistent store (DESIGN.md §9): randomized round trips, bit-identical
+   query answers from a loaded PMI, and a corruption suite — every truncation
+   and byte flip must surface as [Psst_store.Store_error], never as
+   [Failure], a segfault, or a silent success. *)
+
+module S = Psst_store
+module Prng = Psst_util.Prng
+
+let with_tmp f =
+  let path = Filename.temp_file "psst_store" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let lgraph_identical a b =
+  Lgraph.vertex_labels a = Lgraph.vertex_labels b
+  && Array.length (Lgraph.edges a) = Array.length (Lgraph.edges b)
+  && Array.for_all2
+       (fun (x : Lgraph.edge) (y : Lgraph.edge) ->
+         x.u = y.u && x.v = y.v && x.label = y.label && x.id = y.id)
+       (Lgraph.edges a) (Lgraph.edges b)
+
+let pgraph_identical a b =
+  lgraph_identical (Pgraph.skeleton a) (Pgraph.skeleton b)
+  && Pgraph.uncertain_edges a = Pgraph.uncertain_edges b
+  && List.length (Pgraph.factors a) = List.length (Pgraph.factors b)
+  && List.for_all2
+       (Factor.equal_approx ~eps:0.) (* bit-identical tables *)
+       (Pgraph.factors a) (Pgraph.factors b)
+
+(* --- primitives --- *)
+
+let test_primitive_round_trip () =
+  let e = S.encoder () in
+  S.put_i64 e min_int;
+  S.put_i64 e max_int;
+  S.put_i64 e 0;
+  S.put_f64 e 0.1;
+  S.put_f64 e (-0.0);
+  S.put_f64 e infinity;
+  S.put_f64 e 1.0000000000000002;
+  S.put_bool e true;
+  S.put_bool e false;
+  S.put_string e "";
+  S.put_string e "hello\x00world";
+  S.put_int_list e [ 3; 1; 4; 1; 5 ];
+  S.put_option e S.put_i64 None;
+  S.put_option e S.put_i64 (Some 42);
+  S.put_i32 e 0xDEADBEEFl;
+  let d = S.decoder (S.contents e) in
+  Alcotest.(check bool) "min_int" true (S.get_i64 d = min_int);
+  Alcotest.(check bool) "max_int" true (S.get_i64 d = max_int);
+  Alcotest.(check int) "zero" 0 (S.get_i64 d);
+  Alcotest.(check bool) "0.1 bits" true
+    (Int64.bits_of_float (S.get_f64 d) = Int64.bits_of_float 0.1);
+  Alcotest.(check bool) "-0.0 bits" true
+    (Int64.bits_of_float (S.get_f64 d) = Int64.bits_of_float (-0.0));
+  Alcotest.(check bool) "inf" true (S.get_f64 d = infinity);
+  Alcotest.(check bool) "1+ulp" true (S.get_f64 d = 1.0000000000000002);
+  Alcotest.(check bool) "true" true (S.get_bool d);
+  Alcotest.(check bool) "false" false (S.get_bool d);
+  Alcotest.(check string) "empty string" "" (S.get_string d);
+  Alcotest.(check string) "nul string" "hello\x00world" (S.get_string d);
+  Alcotest.(check (list int)) "int list" [ 3; 1; 4; 1; 5 ] (S.get_int_list d);
+  Alcotest.(check bool) "none" true (S.get_option d S.get_i64 = None);
+  Alcotest.(check bool) "some" true (S.get_option d S.get_i64 = Some 42);
+  Alcotest.(check int32) "i32" 0xDEADBEEFl (S.get_i32 d);
+  S.expect_end d
+
+let test_crc32_known_vectors () =
+  (* Standard check values for the IEEE CRC-32. *)
+  Alcotest.(check int32) "check string" 0xCBF43926l
+    (Psst_util.Crc32.digest "123456789");
+  Alcotest.(check int32) "empty" 0l (Psst_util.Crc32.digest "");
+  let whole = Psst_util.Crc32.digest "123456789" in
+  let incr =
+    Psst_util.Crc32.update
+      (Psst_util.Crc32.update 0l "12345" ~pos:0 ~len:5)
+      "6789" ~pos:0 ~len:4
+  in
+  Alcotest.(check int32) "incremental = whole" whole incr
+
+(* --- graph / pgraph round trips --- *)
+
+let test_lgraph_round_trip () =
+  let rng = Prng.make 2024 in
+  for i = 0 to 199 do
+    let g =
+      if i mod 3 = 0 then Tgen.random_graph rng ~n:(1 + Prng.int rng 9) ~m:(Prng.int rng 12) ~vl:4 ~el:3
+      else Tgen.random_connected_graph rng ~n:(2 + Prng.int rng 8) ~extra:(Prng.int rng 5) ~vl:4 ~el:3
+    in
+    let e = S.encoder () in
+    S.put_lgraph e g;
+    let d = S.decoder (S.contents e) in
+    let g' = S.get_lgraph d in
+    S.expect_end d;
+    if not (lgraph_identical g g') then
+      Alcotest.failf "lgraph %d not identical after round trip" i
+  done
+
+let test_pgraph_round_trip () =
+  let rng = Prng.make 4711 in
+  for i = 0 to 199 do
+    let g = Tgen.random_pgraph rng ~n:(3 + Prng.int rng 6) ~extra:(Prng.int rng 4) ~vl:3 ~el:2 in
+    let e = S.encoder () in
+    Pgraph_io.encode_binary e g;
+    let d = S.decoder (S.contents e) in
+    let g' = Pgraph_io.decode_binary d in
+    S.expect_end d;
+    if not (pgraph_identical g g') then
+      Alcotest.failf "pgraph %d not identical after round trip" i;
+    (* Bit-identical factors imply bit-identical marginals. *)
+    List.iter
+      (fun eid ->
+        if Pgraph.edge_marginal g eid <> Pgraph.edge_marginal g' eid then
+          Alcotest.failf "pgraph %d: marginal of edge %d drifted" i eid)
+      (Pgraph.uncertain_edges g)
+  done
+
+let test_pgdb_file_round_trip () =
+  let rng = Prng.make 99 in
+  let graphs =
+    Array.init 50 (fun _ ->
+        Tgen.random_pgraph rng ~n:(3 + Prng.int rng 5) ~extra:(Prng.int rng 3) ~vl:3 ~el:2)
+  in
+  with_tmp (fun path ->
+      Pgraph_io.save_binary path graphs;
+      let loaded = Pgraph_io.load_binary path in
+      Alcotest.(check int) "count" 50 (Array.length loaded);
+      Array.iteri
+        (fun i g ->
+          if not (pgraph_identical g loaded.(i)) then
+            Alcotest.failf "graph %d not identical" i)
+        graphs;
+      (* load_auto sniffs binary... *)
+      Alcotest.(check int) "auto binary" 50 (Array.length (Pgraph_io.load_auto path));
+      (* ...and still reads text archives. *)
+      Pgraph_io.save path graphs;
+      Alcotest.(check int) "auto text" 50 (Array.length (Pgraph_io.load_auto path)))
+
+let test_db_fingerprint_sensitivity () =
+  let rng = Prng.make 7 in
+  let graphs =
+    Array.init 6 (fun _ -> Tgen.random_pgraph rng ~n:5 ~extra:2 ~vl:3 ~el:2)
+  in
+  let fp = Pgraph_io.db_fingerprint graphs in
+  Alcotest.(check int32) "deterministic" fp (Pgraph_io.db_fingerprint graphs);
+  let shorter = Array.sub graphs 0 5 in
+  Alcotest.(check bool) "prefix differs" true
+    (fp <> Pgraph_io.db_fingerprint shorter);
+  let swapped = Array.copy graphs in
+  swapped.(0) <- graphs.(1);
+  swapped.(1) <- graphs.(0);
+  Alcotest.(check bool) "order matters" true
+    (fp <> Pgraph_io.db_fingerprint swapped)
+
+(* --- features --- *)
+
+let small_dataset seed n =
+  Generator.generate
+    { Generator.default_params with num_graphs = n; seed; min_vertices = 6;
+      max_vertices = 10; motif_edges = 3 }
+
+let fast_bounds = { Bounds.default_config with mc_samples = 400 }
+let small_mining = { Selection.default_params with max_edges = 2; beta = 0.2 }
+
+let test_feature_round_trip () =
+  let ds = small_dataset 5 8 in
+  let skeletons = Array.map Pgraph.skeleton ds.graphs in
+  let features = Selection.select skeletons small_mining in
+  Alcotest.(check bool) "some features mined" true (List.length features > 0);
+  List.iter
+    (fun (f : Selection.feature) ->
+      let e = S.encoder () in
+      Selection.encode_feature e f;
+      let d = S.decoder (S.contents e) in
+      let f' = Selection.decode_feature d in
+      S.expect_end d;
+      Alcotest.(check string) "key" f.key f'.key;
+      Alcotest.(check (list int)) "support" f.support f'.support;
+      Alcotest.(check (list int)) "strong" f.strong_support f'.strong_support;
+      if not (lgraph_identical f.graph f'.graph) then
+        Alcotest.fail "feature graph not identical")
+    features
+
+(* --- PMI and whole-database round trips --- *)
+
+let build_db seed n =
+  let ds = small_dataset seed n in
+  (ds, Query.index_database ~mining:small_mining ~bounds:fast_bounds ds.graphs)
+
+let entry_identical (a : Pmi.entry) (b : Pmi.entry) =
+  Int64.bits_of_float a.Bounds.lower = Int64.bits_of_float b.Bounds.lower
+  && Int64.bits_of_float a.upper = Int64.bits_of_float b.upper
+  && Int64.bits_of_float a.lower_safe = Int64.bits_of_float b.lower_safe
+  && Int64.bits_of_float a.upper_safe = Int64.bits_of_float b.upper_safe
+  && a.embeddings = b.embeddings && a.cuts = b.cuts
+
+let check_pmi_identical pmi pmi' =
+  Alcotest.(check int) "features" (Pmi.num_features pmi) (Pmi.num_features pmi');
+  Alcotest.(check int) "graphs" (Pmi.num_graphs pmi) (Pmi.num_graphs pmi');
+  Alcotest.(check bool) "config" true (Pmi.config pmi = Pmi.config pmi');
+  for fi = 0 to Pmi.num_features pmi - 1 do
+    for gi = 0 to Pmi.num_graphs pmi - 1 do
+      match Pmi.lookup pmi ~feature:fi ~graph:gi,
+            Pmi.lookup pmi' ~feature:fi ~graph:gi with
+      | None, None -> ()
+      | Some a, Some b when entry_identical a b -> ()
+      | _ -> Alcotest.failf "entry (%d,%d) differs after round trip" fi gi
+    done
+  done
+
+let counters (s : Query.stats) =
+  ( s.relaxed_count, s.structural_candidates, s.prob_candidates,
+    s.accepted_by_bounds, s.pruned_by_bounds )
+
+let check_same_answers ds db db' =
+  let rng = Prng.make 1234 in
+  let config = { Query.default_config with epsilon = 0.4; delta = 1 } in
+  for trial = 1 to 4 do
+    let q, _ = Generator.extract_query rng ds ~edges:4 in
+    let a = Query.run db q config in
+    let b = Query.run db' q config in
+    Alcotest.(check (list int))
+      (Printf.sprintf "trial %d answers" trial)
+      a.Query.answers b.Query.answers;
+    if counters a.stats <> counters b.stats then
+      Alcotest.failf "trial %d: pruning counters differ" trial
+  done
+
+let test_pmi_save_load_bit_identical () =
+  let ds, db = build_db 11 10 in
+  with_tmp (fun path ->
+      Pmi.save path ~db:ds.graphs db.Query.pmi;
+      let pmi' = Pmi.load path ~db:ds.graphs in
+      check_pmi_identical db.Query.pmi pmi';
+      let db' = { db with Query.pmi = pmi' } in
+      check_same_answers ds db db')
+
+let test_database_save_load_bit_identical () =
+  let ds, db = build_db 23 10 in
+  with_tmp (fun path ->
+      Query.save_database path db;
+      let db' = Query.load_database path in
+      Alcotest.(check int) "graphs" (Array.length db.Query.graphs)
+        (Array.length db'.Query.graphs);
+      Array.iteri
+        (fun i g ->
+          if not (pgraph_identical g db'.Query.graphs.(i)) then
+            Alcotest.failf "stored graph %d differs" i)
+        db.Query.graphs;
+      Alcotest.(check int) "feature count"
+        (List.length db.Query.features)
+        (List.length db'.Query.features);
+      check_pmi_identical db.Query.pmi db'.Query.pmi;
+      Alcotest.(check bool) "structural counts" true
+        (Structural.counts db.Query.structural
+        = Structural.counts db'.Query.structural);
+      check_same_answers ds db db')
+
+(* --- rejection: version skew, kind and fingerprint mismatches --- *)
+
+let expect_store_error what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: accepted instead of raising Store_error" what
+  | exception S.Store_error _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: raised %s instead of Store_error" what
+      (Printexc.to_string e)
+
+let test_version_skew_rejected () =
+  let ds, db = build_db 31 8 in
+  with_tmp (fun path ->
+      S.write_file ~version:(S.format_version + 1) path ~kind:S.Pmi_index
+        (Pmi.to_sections ~db:ds.graphs db.Query.pmi);
+      expect_store_error "future version" (fun () ->
+          Pmi.load path ~db:ds.graphs))
+
+let test_kind_mismatch_rejected () =
+  let ds, _ = build_db 37 6 in
+  with_tmp (fun path ->
+      Pgraph_io.save_binary path ds.graphs;
+      expect_store_error "pgdb loaded as pmi" (fun () ->
+          Pmi.load path ~db:ds.graphs);
+      expect_store_error "pgdb loaded as database" (fun () ->
+          Query.load_database path))
+
+let test_fingerprint_mismatch_rejected () =
+  let ds, db = build_db 41 8 in
+  let other = small_dataset 999 8 in
+  with_tmp (fun path ->
+      Pmi.save path ~db:ds.graphs db.Query.pmi;
+      expect_store_error "different corpus" (fun () ->
+          Pmi.load path ~db:other.graphs);
+      expect_store_error "different size" (fun () ->
+          Pmi.load path ~db:(Array.sub ds.graphs 0 5)))
+
+let test_missing_and_garbage_files () =
+  expect_store_error "missing file" (fun () ->
+      Pmi.load "/nonexistent/psst.pmi" ~db:[||]);
+  with_tmp (fun path ->
+      write_bytes path "";
+      expect_store_error "empty file" (fun () -> Pgraph_io.load_binary path);
+      write_bytes path "this is not a store file at all.............";
+      expect_store_error "garbage file" (fun () -> Pgraph_io.load_binary path))
+
+(* --- corruption: truncations and byte flips --- *)
+
+(* Sample positions inside [start, stop): the framing fields live at the
+   front, so always hit the first bytes, plus a spread through the payload. *)
+let sample_positions start stop =
+  let head = List.init (min 24 (stop - start)) (fun i -> start + i) in
+  let spread =
+    List.init 7 (fun i -> start + ((stop - start - 1) * (i + 1) / 8))
+  in
+  List.sort_uniq compare (head @ spread @ [ stop - 1 ])
+
+let test_corruption_detected () =
+  let ds, db = build_db 53 8 in
+  with_tmp (fun path ->
+      Pmi.save path ~db:ds.graphs db.Query.pmi;
+      let original = read_bytes path in
+      let spans = S.section_spans original in
+      Alcotest.(check int) "five sections" 5 (List.length spans);
+      let reload () = ignore (Pmi.load path ~db:ds.graphs) in
+      (* Sanity: the pristine file loads. *)
+      reload ();
+      (* Truncate at every section boundary, inside every section, and at
+         a few header offsets. *)
+      let boundaries =
+        0 :: 1 :: (S.header_bytes - 1) :: S.header_bytes
+        :: List.concat_map
+             (fun (_, start, stop) -> [ start; start + 3; stop - 1; stop ])
+             spans
+      in
+      List.iter
+        (fun cut ->
+          if cut < String.length original then begin
+            write_bytes path (String.sub original 0 cut);
+            expect_store_error (Printf.sprintf "truncated at %d" cut) reload
+          end)
+        boundaries;
+      (* Flip bytes: the whole header, and a sample of every section
+         (framing fields, payload start/middle/end). *)
+      let positions =
+        List.init S.header_bytes Fun.id
+        @ List.concat_map (fun (_, start, stop) -> sample_positions start stop) spans
+      in
+      List.iter
+        (fun pos ->
+          let corrupt = Bytes.of_string original in
+          Bytes.set corrupt pos
+            (Char.chr (Char.code (Bytes.get corrupt pos) lxor 0xFF));
+          write_bytes path (Bytes.to_string corrupt);
+          expect_store_error (Printf.sprintf "byte %d flipped" pos) reload)
+        positions;
+      (* Restore and confirm the error path never cached anything. *)
+      write_bytes path original;
+      reload ())
+
+(* --- Pgraph_io JPT row validation (regression) --- *)
+
+let test_jpt_row_sum_rejected () =
+  (* Grossly over unity: previously rejected by Pgraph.make's generic
+     chain-consistency error; now rejected up front with a diagnostic. *)
+  (try
+     ignore
+       (Pgraph_io.of_string "pgraph\nv 0\nv 1\ne 0 1 0\nfactor 0 0.3 0.9\nend\n");
+     Alcotest.fail "row sum 1.2 accepted"
+   with Invalid_argument msg ->
+     Alcotest.(check bool)
+       (Printf.sprintf "diagnostic names the row (%s)" msg)
+       true
+       (String.length msg > 0
+       && String.sub msg 0 9 = "Pgraph_io"
+       && (let has_sub needle =
+             let n = String.length needle and m = String.length msg in
+             let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+             go 0
+           in
+           has_sub "summing")));
+  (* Regression: 1 + 5e-7 is within Pgraph.make's 1e-6 chain tolerance and
+     used to be accepted, silently producing probabilities > 1 in Exact. *)
+  (try
+     ignore
+       (Pgraph_io.of_string
+          "pgraph\nv 0\nv 1\ne 0 1 0\nfactor 0 0.3 0.7000005\nend\n");
+     Alcotest.fail "row sum 1 + 5e-7 accepted"
+   with Invalid_argument _ -> ());
+  (* A conditional factor with one over-unity row among valid ones. *)
+  (try
+     ignore
+       (Pgraph_io.of_string
+          ("pgraph\nv 0\nv 1\nv 2\ne 0 1 0\ne 1 2 0\n"
+          ^ "factor 0 0.5 0.5\nfactor 0,1 0.2 0.9 0.5 0.5\nend\n"));
+     Alcotest.fail "over-unity conditional row accepted"
+   with Invalid_argument _ -> ());
+  (* Valid rows still parse. *)
+  let g =
+    Pgraph_io.of_string "pgraph\nv 0\nv 1\ne 0 1 0\nfactor 0 0.3 0.7\nend\n"
+  in
+  Tgen.check_close "marginal" 0.7 (Pgraph.edge_marginal g 0)
+
+let test_jpt_row_sum_rejected_binary () =
+  (* Hand-craft a binary pgdb whose single factor row sums to 1.2: the
+     binary reader must reject it with Store_error, not Invalid_argument. *)
+  let graph_payload =
+    let e = S.encoder () in
+    (* one graph: 2 vertices, 1 edge, factor over edge 0 with table [0.3;0.9] *)
+    S.put_i64 e 1;
+    S.put_lgraph e (Lgraph.create ~vlabels:[| 0; 0 |] ~edges:[ (0, 1, 0) ]);
+    S.put_i64 e 1;
+    (* one factor *)
+    S.put_int_list e [ 0 ];
+    S.put_f64 e 0.3;
+    S.put_f64 e 0.9;
+    e
+  in
+  let meta = S.encoder () in
+  S.put_i64 meta 1;
+  with_tmp (fun path ->
+      S.write_file path ~kind:S.Pgdb
+        [ S.section "meta" meta; S.section "graphs" graph_payload ];
+      expect_store_error "binary over-unity row" (fun () ->
+          Pgraph_io.load_binary path))
+
+let suite =
+  [
+    Alcotest.test_case "primitive round trip" `Quick test_primitive_round_trip;
+    Alcotest.test_case "crc32 known vectors" `Quick test_crc32_known_vectors;
+    Alcotest.test_case "lgraph round trip x200" `Quick test_lgraph_round_trip;
+    Alcotest.test_case "pgraph round trip x200" `Quick test_pgraph_round_trip;
+    Alcotest.test_case "pgdb file round trip" `Quick test_pgdb_file_round_trip;
+    Alcotest.test_case "db fingerprint sensitivity" `Quick
+      test_db_fingerprint_sensitivity;
+    Alcotest.test_case "feature round trip" `Quick test_feature_round_trip;
+    Alcotest.test_case "pmi save/load bit-identical" `Slow
+      test_pmi_save_load_bit_identical;
+    Alcotest.test_case "database save/load bit-identical" `Slow
+      test_database_save_load_bit_identical;
+    Alcotest.test_case "version skew rejected" `Quick test_version_skew_rejected;
+    Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch_rejected;
+    Alcotest.test_case "fingerprint mismatch rejected" `Quick
+      test_fingerprint_mismatch_rejected;
+    Alcotest.test_case "missing and garbage files" `Quick
+      test_missing_and_garbage_files;
+    Alcotest.test_case "corruption detected everywhere" `Slow
+      test_corruption_detected;
+    Alcotest.test_case "jpt row sums rejected (text)" `Quick
+      test_jpt_row_sum_rejected;
+    Alcotest.test_case "jpt row sums rejected (binary)" `Quick
+      test_jpt_row_sum_rejected_binary;
+  ]
