@@ -120,8 +120,27 @@ let index num_graphs seed input output =
     (Pmi.filled_entries db.Query.pmi)
     output bytes
 
+(* [--stats-json FILE]: the per-query traces plus a full dump of the
+   metrics registry, one machine-readable document. *)
+let write_stats_json path traces =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"queries\": [";
+  List.iteri
+    (fun i tr ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Psst_obs.Trace.to_json buf tr)
+    traces;
+  Buffer.add_string buf "], \"metrics\": ";
+  Psst_obs.to_json buf;
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "stats written to %s\n%!" path
+
 let query num_graphs seed qsize nqueries epsilon delta exact_verifier input
-    index_file =
+    index_file stats_json =
   let graphs, ds_opt = corpus_of input num_graphs seed in
   Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
   let db, t_index, how = obtain_database index_file graphs in
@@ -152,9 +171,11 @@ let query num_graphs seed qsize nqueries epsilon delta exact_verifier input
         params = Generator.default_params;
       }
   in
+  let traces = ref [] in
   for k = 1 to nqueries do
     let q, org = Generator.extract_query rng ds ~edges:qsize in
     let out, t = Psst_util.Timer.time (fun () -> Query.run db q config) in
+    traces := out.Query.trace :: !traces;
     Printf.printf
       "query %d (organism %d, %d edges): %d answers in %.3fs \
        [structural %d, pruned %d, accepted %d, verified %d]\n"
@@ -162,9 +183,17 @@ let query num_graphs seed qsize nqueries epsilon delta exact_verifier input
       (List.length out.Query.answers)
       t out.Query.stats.structural_candidates out.Query.stats.pruned_by_bounds
       out.Query.stats.accepted_by_bounds out.Query.stats.prob_candidates;
+    if out.Query.stats.relaxed_truncated then
+      Printf.printf
+        "  warning: relaxed set truncated at %d patterns — SSP estimates \
+         are lower bounds, the answer set may under-approximate\n"
+        config.Query.relax_cap;
     Printf.printf "  answers: %s\n"
       (String.concat ", " (List.map string_of_int out.Query.answers))
-  done
+  done;
+  match stats_json with
+  | None -> ()
+  | Some path -> write_stats_json path (List.rev !traces)
 
 (* --- topk --- *)
 
@@ -193,6 +222,10 @@ let topk num_graphs seed qsize k delta input =
                  %d skipped by bounds)\n"
     t out.Topk.stats.structural_candidates out.Topk.stats.verified
     out.Topk.stats.bound_skipped;
+  if out.Topk.stats.relaxed_truncated then
+    Printf.printf
+      "warning: relaxed set truncated — SSPs are lower bounds, the ranking \
+       may under-rank some graphs\n";
   List.iter
     (fun (h : Topk.hit) -> Printf.printf "  graph %3d   SSP ~ %.4f\n" h.graph h.ssp)
     out.Topk.hits
@@ -300,11 +333,20 @@ let query_cmd =
              instead of mining and computing bounds; a missing file is built \
              and saved, an invalid or stale one is rejected and rebuilt.")
   in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Write per-query traces and the full metrics registry \
+             (counters, histograms, warning events) as JSON to $(docv).")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Run T-PS queries end to end")
     Term.(
       const query $ num_graphs_arg $ seed_arg $ qsize $ nqueries $ epsilon
-      $ delta $ exact $ input_arg $ index_file)
+      $ delta $ exact $ input_arg $ index_file $ stats_json)
 
 let topk_cmd =
   let qsize =

@@ -36,9 +36,7 @@ let () =
 
   (* New observations arrive: extend the database in place — no re-mining,
      no index rebuild; bounds for the new graphs are computed on demand. *)
-  for gi = 24 to 29 do
-    db := Query.add_graph !db ds.graphs.(gi)
-  done;
+  db := Query.add_graphs !db (Array.sub ds.graphs 24 6);
   Printf.printf "after incremental adds: %d graphs, %d PMI entries\n"
     (Array.length !db.Query.graphs)
     (Pmi.filled_entries !db.Query.pmi);

@@ -29,6 +29,19 @@ type t = {
   cuts : int;
 }
 
+(* Bound-computation observability (DESIGN.md §10). [mc_pool_estimates]
+   vs [mc_exact_fallbacks] tracks how often the shared Monte-Carlo world
+   pool had conditioning support versus falling back to variable
+   elimination. *)
+let m_computed = Psst_obs.counter "bounds.computed"
+let m_vertex_features = Psst_obs.counter "bounds.vertex_features"
+let m_no_embedding = Psst_obs.counter "bounds.no_embedding"
+let m_fully_certain = Psst_obs.counter "bounds.fully_certain"
+let m_embeddings = Psst_obs.counter "bounds.embeddings"
+let m_cuts = Psst_obs.counter "bounds.cuts"
+let m_pool_hits = Psst_obs.counter "bounds.mc_pool_estimates"
+let m_pool_misses = Psst_obs.counter "bounds.mc_exact_fallbacks"
+
 let ratio_over_pool pool ~num ~den =
   let n1 = ref 0 and n2 = ref 0 in
   Array.iter
@@ -39,6 +52,15 @@ let ratio_over_pool pool ~num ~den =
       end)
     pool;
   if !n2 = 0 then None else Some (float_of_int !n1 /. float_of_int !n2)
+
+let counted_ratio_over_pool pool ~num ~den =
+  match ratio_over_pool pool ~num ~den with
+  | Some _ as r ->
+    Psst_obs.incr m_pool_hits;
+    r
+  | None ->
+    Psst_obs.incr m_pool_misses;
+    None
 
 let sample_pool config g =
   let rng = Prng.make config.seed in
@@ -127,7 +149,7 @@ let lower_of config pool g (embs : Embedding.t list) =
         let den mask =
           List.for_all (fun j -> not (all_present mask usets.(j))) others
         in
-        match ratio_over_pool pool ~num ~den with
+        match counted_ratio_over_pool pool ~num ~den with
         | Some p -> p
         | None -> exact_all_present g (Bitset.elements usets.(i))
       end
@@ -177,7 +199,7 @@ let upper_of config pool g (embs : Embedding.t list) =
           let den mask =
             List.for_all (fun j -> not (all_absent mask cut_arr.(j))) others
           in
-          match ratio_over_pool pool ~num ~den with
+          match counted_ratio_over_pool pool ~num ~den with
           | Some p -> p
           | None -> exact_all_absent g (Bitset.elements cut_arr.(i))
         end
@@ -200,29 +222,33 @@ let upper_of config pool g (embs : Embedding.t list) =
     (clamp01 upper, clamp01 upper_safe, n)
 
 let compute config ?pool g f =
+  Psst_obs.incr m_computed;
   let gc = Pgraph.skeleton g in
-  if Lgraph.num_edges f = 0 then
+  if Lgraph.num_edges f = 0 then begin
     (* Vertex features: vertices are deterministic, so SIP is 1 when the
        label occurs and 0 otherwise. *)
+    Psst_obs.incr m_vertex_features;
     let present = Vf2.exists f gc in
     let v = if present then 1. else 0. in
     { lower = v; upper = v; lower_safe = v; upper_safe = v; embeddings = 0; cuts = 0 }
+  end
   else begin
     let embs = Vf2.distinct_embeddings ~cap:config.emb_cap f gc in
     match embs with
     | [] ->
+      Psst_obs.incr m_no_embedding;
       { lower = 0.; upper = 0.; lower_safe = 0.; upper_safe = 0.; embeddings = 0; cuts = 0 }
     | _ ->
+      Psst_obs.add m_embeddings (List.length embs);
       let uncertain =
         Bitset.of_list (Lgraph.num_edges gc) (Pgraph.uncertain_edges g)
       in
+      (* An embedding avoiding every uncertain edge survives all worlds. *)
       let fully_certain =
-        List.exists
-          (fun e -> Bitset.disjoint e.Embedding.edges uncertain
-                    || Bitset.is_empty (Bitset.inter e.Embedding.edges uncertain))
-          embs
+        List.exists (fun e -> Bitset.disjoint e.Embedding.edges uncertain) embs
       in
-      if fully_certain then
+      if fully_certain then begin
+        Psst_obs.incr m_fully_certain;
         {
           lower = 1.;
           upper = 1.;
@@ -231,12 +257,14 @@ let compute config ?pool g f =
           embeddings = List.length embs;
           cuts = 0;
         }
+      end
       else begin
         let pool =
           match pool with Some p -> p | None -> sample_pool config g
         in
         let lower, lower_safe = lower_of config pool g embs in
         let upper, upper_safe, ncuts = upper_of config pool g embs in
+        Psst_obs.add m_cuts ncuts;
         (* Monte-Carlo noise can cross the estimates; never report an
            inverted interval. The safe pair is exact and always ordered. *)
         let lower = Float.min lower upper in

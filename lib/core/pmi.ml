@@ -4,6 +4,7 @@ type t = {
   config : Bounds.config;
   features : Selection.feature array;
   entries : entry option array array; (* feature -> graph *)
+  num_graphs : int;
   build_seconds : float;
 }
 
@@ -16,15 +17,20 @@ module Log = (val Logs.src_log log_src)
    over domains: every column touches exactly one Pgraph, so the lazily
    built junction trees never contend. Columns land at their graph index,
    hence the build is independent of how the pool schedules them. *)
+let m_columns = Psst_obs.counter "pmi.columns_built"
+let h_column = Psst_obs.histogram "pmi.column_build_s"
+
 let build_column config db features gi =
-  let nf = Array.length features in
-  let g = db.(gi) in
-  let world_pool = lazy (Bounds.sample_pool config g) in
-  Array.init nf (fun fi ->
-      let f : Selection.feature = features.(fi) in
-      if List.mem gi f.support then
-        Some (Bounds.compute config ~pool:(Lazy.force world_pool) g f.graph)
-      else None)
+  Psst_obs.incr m_columns;
+  Psst_obs.span h_column (fun () ->
+      let nf = Array.length features in
+      let g = db.(gi) in
+      let world_pool = lazy (Bounds.sample_pool config g) in
+      Array.init nf (fun fi ->
+          let f : Selection.feature = features.(fi) in
+          if List.mem gi f.support then
+            Some (Bounds.compute config ~pool:(Lazy.force world_pool) g f.graph)
+          else None))
 
 let build ?(config = Bounds.default_config) ?(domains = 1) db features =
   let features = Array.of_list features in
@@ -45,28 +51,72 @@ let build ?(config = Bounds.default_config) ?(domains = 1) db features =
   in
   Log.info (fun m ->
       m "PMI built: %d features x %d graphs in %.2fs" nf ng build_seconds);
-  { config; features; entries = result; build_seconds }
+  { config; features; entries = result; num_graphs = ng; build_seconds }
 
-let add_graph t g =
-  let gc = Pgraph.skeleton g in
-  let pool = lazy (Bounds.sample_pool t.config g) in
-  let entries =
-    Array.map2
-      (fun (f : Selection.feature) row ->
-        let entry =
-          if Lgraph.num_edges f.graph = 0 || Vf2.exists f.graph gc then
-            Some (Bounds.compute t.config ~pool:(Lazy.force pool) g f.graph)
-          else None
-        in
-        Array.append row [| entry |])
-      t.features t.entries
-  in
-  { t with entries }
+(* Incremental insertion. Alongside the new bound columns, the mined
+   features' support lists must absorb the new graph ids: supports drive
+   [build_column] on a reload and the structural filter's count rows, so a
+   stale support would silently drop the graph from both after a
+   save/load round trip. Supports stay sorted because new ids are the
+   largest in the database. One [Array.append] per row per batch keeps a
+   bulk load of k graphs at O(nf * (ng + k)) instead of O(nf * ng * k). *)
+let add_graphs t gs =
+  let k = Array.length gs in
+  if k = 0 then t
+  else begin
+    let base = t.num_graphs in
+    let nf = Array.length t.features in
+    let skels = Array.map Pgraph.skeleton gs in
+    (* occurs.(i).(fi): does feature fi occur in the skeleton of gs.(i)? *)
+    let occurs =
+      Array.map
+        (fun gc ->
+          Array.map
+            (fun (f : Selection.feature) -> Vf2.exists f.graph gc)
+            t.features)
+        skels
+    in
+    let columns =
+      Array.mapi
+        (fun i g ->
+          Psst_obs.incr m_columns;
+          Psst_obs.span h_column (fun () ->
+              let pool = lazy (Bounds.sample_pool t.config g) in
+              Array.init nf (fun fi ->
+                  let f = t.features.(fi) in
+                  if Lgraph.num_edges f.Selection.graph = 0 || occurs.(i).(fi)
+                  then
+                    Some
+                      (Bounds.compute t.config ~pool:(Lazy.force pool) g
+                         f.Selection.graph)
+                  else None)))
+        gs
+    in
+    let entries =
+      Array.mapi
+        (fun fi row -> Array.append row (Array.init k (fun i -> columns.(i).(fi))))
+        t.entries
+    in
+    let features =
+      Array.mapi
+        (fun fi (f : Selection.feature) ->
+          let extra = ref [] in
+          for i = k - 1 downto 0 do
+            if occurs.(i).(fi) then extra := (base + i) :: !extra
+          done;
+          if !extra = [] then f
+          else { f with Selection.support = f.support @ !extra })
+        t.features
+    in
+    { t with features; entries; num_graphs = base + k }
+  end
+
+let add_graph t g = add_graphs t [| g |]
 
 let config t = t.config
 let features t = Array.copy t.features
 let num_features t = Array.length t.features
-let num_graphs t = if num_features t = 0 then 0 else Array.length t.entries.(0)
+let num_graphs t = t.num_graphs
 
 let lookup t ~feature ~graph = t.entries.(feature).(graph)
 
@@ -191,7 +241,7 @@ let of_sections ~db sections =
             row))
   in
   let build_seconds = S.decode_section sections "pmi.meta" S.get_f64 in
-  { config; features; entries; build_seconds }
+  { config; features; entries; num_graphs = ng; build_seconds }
 
 let save path ~db t = S.write_file path ~kind:S.Pmi_index (to_sections ~db t)
 let load path ~db = of_sections ~db (S.read_file path ~kind:S.Pmi_index)

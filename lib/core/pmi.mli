@@ -21,9 +21,16 @@ val build :
   t
 
 (** [add_graph t g] appends the column of a new database graph, computing
-    bounds for every feature occurring in its skeleton. The feature set is
-    not re-mined. *)
+    bounds for every feature occurring in its skeleton and adding the new
+    graph id to the support list of every such feature (so the persisted
+    index rebuilds the same columns after a save/load round trip). The
+    feature set is not re-mined. *)
 val add_graph : t -> Pgraph.t -> t
+
+(** [add_graphs t gs] is [add_graph] for a batch: one matrix reallocation
+    per feature row for the whole batch instead of one per graph, making a
+    bulk load linear instead of quadratic in the batch size. *)
+val add_graphs : t -> Pgraph.t array -> t
 
 val config : t -> Bounds.config
 val features : t -> Selection.feature array

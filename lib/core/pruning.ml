@@ -157,13 +157,22 @@ let lsim ?(certified = true) rng pmi prepared ~graph ~mode =
     (paper, safe)
   end
 
+let m_evaluated = Psst_obs.counter "pruning.evaluated"
+let m_pruned = Psst_obs.counter "pruning.pruned_by_usim"
+let m_accepted = Psst_obs.counter "pruning.accepted_by_lsim"
+let m_undecided = Psst_obs.counter "pruning.undecided"
+
 let evaluate ?(certified = true) rng pmi prepared ~graph ~epsilon ~mode =
+  Psst_obs.incr m_evaluated;
   let u = usim ~certified rng pmi prepared ~graph ~mode in
-  if u < epsilon then
+  if u < epsilon then begin
+    Psst_obs.incr m_pruned;
     { usim = u; lsim = Float.neg_infinity; lsim_safe = Float.neg_infinity;
       decision = `Pruned }
+  end
   else begin
     let lp, ls = lsim ~certified rng pmi prepared ~graph ~mode in
     let decision = if ls >= epsilon then `Accepted else `Candidate in
+    Psst_obs.incr (if decision = `Accepted then m_accepted else m_undecided);
     { usim = u; lsim = lp; lsim_safe = ls; decision }
   end

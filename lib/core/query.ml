@@ -25,24 +25,30 @@ let index_database ?(mining = Selection.default_params)
   let pmi = Pmi.build ~config:bounds ~domains graphs features in
   { graphs; skeletons; features; structural; pmi }
 
-let add_graph db g =
-  let gc = Pgraph.skeleton g in
-  let gi = Array.length db.graphs in
-  let features =
-    List.map
-      (fun (f : Selection.feature) ->
-        if Lgraph.num_edges f.graph = 0 || Vf2.exists f.graph gc then
-          { f with support = f.support @ [ gi ] }
-        else f)
-      db.features
-  in
-  {
-    graphs = Array.append db.graphs [| g |];
-    skeletons = Array.append db.skeletons [| gc |];
-    features;
-    structural = Structural.add_graph db.structural gc;
-    pmi = Pmi.add_graph db.pmi g;
-  }
+let m_runs = Psst_obs.counter "query.runs"
+let m_answers = Psst_obs.counter "query.answers"
+let m_exact_scans = Psst_obs.counter "query.exact_scans"
+let m_graphs_added = Psst_obs.counter "query.graphs_added"
+
+let add_graphs db gs =
+  if Array.length gs = 0 then db
+  else begin
+    let skels = Array.map Pgraph.skeleton gs in
+    (* [Pmi.add_graphs] is the single owner of the support-list update:
+       re-reading the features from the new index keeps the database copy
+       and the persisted copy identical by construction. *)
+    let pmi = Pmi.add_graphs db.pmi gs in
+    Psst_obs.add m_graphs_added (Array.length gs);
+    {
+      graphs = Array.append db.graphs gs;
+      skeletons = Array.append db.skeletons skels;
+      features = Array.to_list (Pmi.features pmi);
+      structural = Structural.add_graphs db.structural skels;
+      pmi;
+    }
+  end
+
+let add_graph db g = add_graphs db [| g |]
 
 type config = {
   epsilon : float;
@@ -67,10 +73,12 @@ let default_config =
 
 type stats = {
   relaxed_count : int;
+  relaxed_truncated : bool;
   structural_candidates : int;
   prob_candidates : int;
   accepted_by_bounds : int;
   pruned_by_bounds : int;
+  t_relax : float;
   t_structural : float;
   t_probabilistic : float;
   t_verification : float;
@@ -78,7 +86,26 @@ type stats = {
   verify_domains : int;
 }
 
-type outcome = { answers : int list; stats : stats }
+type outcome = { answers : int list; stats : stats; trace : Psst_obs.Trace.t }
+
+(* Per-query trace assembled from the phase timings already measured for
+   [stats]: no extra clock reads on the hot path. *)
+let trace_of ~label ~answers stats =
+  let tr = Psst_obs.Trace.create label in
+  Psst_obs.Trace.set_time tr "relax" stats.t_relax;
+  Psst_obs.Trace.set_time tr "structural" stats.t_structural;
+  Psst_obs.Trace.set_time tr "probabilistic" stats.t_probabilistic;
+  Psst_obs.Trace.set_time tr "verification" stats.t_verification;
+  Psst_obs.Trace.set_time tr "verification_cpu" stats.t_verification_cpu;
+  Psst_obs.Trace.set_count tr "relaxed" stats.relaxed_count;
+  Psst_obs.Trace.set_count tr "structural_candidates" stats.structural_candidates;
+  Psst_obs.Trace.set_count tr "prob_candidates" stats.prob_candidates;
+  Psst_obs.Trace.set_count tr "accepted_by_bounds" stats.accepted_by_bounds;
+  Psst_obs.Trace.set_count tr "pruned_by_bounds" stats.pruned_by_bounds;
+  Psst_obs.Trace.set_count tr "answers" (List.length answers);
+  Psst_obs.Trace.set_count tr "verify_domains" stats.verify_domains;
+  Psst_obs.Trace.set_flag tr "relaxed_truncated" stats.relaxed_truncated;
+  tr
 
 let validate_config config =
   if not (config.epsilon > 0. && config.epsilon <= 1.) then
@@ -99,8 +126,13 @@ let verify_one config rng g relaxed =
    bit-identical for every pool size — including the sequential one. *)
 let run_on pool db q config =
   validate_config config;
+  Psst_obs.incr m_runs;
   let rng = Prng.make config.seed in
-  let relaxed, _status = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
+  let (relaxed, status), t_relax =
+    Timer.time (fun () ->
+        Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta)
+  in
+  let relaxed_truncated = status = `Truncated in
   (* Phase 1: structural pruning over the certain skeletons (Thm 1). *)
   let structural_cands, t_structural =
     Timer.time (fun () ->
@@ -146,22 +178,24 @@ let run_on pool db q config =
         (List.length structural_cands) (List.length pruned)
         (List.length accepted) (List.length candidates));
   let answers = List.sort compare (accepted @ verified) in
-  {
-    answers;
-    stats =
-      {
-        relaxed_count = List.length relaxed;
-        structural_candidates = List.length structural_cands;
-        prob_candidates = List.length candidates;
-        accepted_by_bounds = List.length accepted;
-        pruned_by_bounds = List.length pruned;
-        t_structural;
-        t_probabilistic;
-        t_verification;
-        t_verification_cpu;
-        verify_domains = Pool.size pool;
-      };
-  }
+  Psst_obs.add m_answers (List.length answers);
+  let stats =
+    {
+      relaxed_count = List.length relaxed;
+      relaxed_truncated;
+      structural_candidates = List.length structural_cands;
+      prob_candidates = List.length candidates;
+      accepted_by_bounds = List.length accepted;
+      pruned_by_bounds = List.length pruned;
+      t_relax;
+      t_structural;
+      t_probabilistic;
+      t_verification;
+      t_verification_cpu;
+      verify_domains = Pool.size pool;
+    }
+  in
+  { answers; stats; trace = trace_of ~label:"query" ~answers stats }
 
 let run ?(domains = 1) db q config =
   Pool.with_pool ~domains (fun pool -> run_on pool db q config)
@@ -176,29 +210,34 @@ let run_batch ?(domains = 1) db queries config =
 
 let run_exact_scan db q config =
   validate_config config;
-  let relaxed, _ = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
+  Psst_obs.incr m_exact_scans;
+  let (relaxed, status), t_relax =
+    Timer.time (fun () ->
+        Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta)
+  in
   let answers, t =
     Timer.time (fun () ->
         List.init (Array.length db.graphs) (fun gi -> gi)
         |> List.filter (fun gi ->
                Verify.exact db.graphs.(gi) relaxed >= config.epsilon))
   in
-  {
-    answers;
-    stats =
-      {
-        relaxed_count = List.length relaxed;
-        structural_candidates = Array.length db.graphs;
-        prob_candidates = Array.length db.graphs;
-        accepted_by_bounds = 0;
-        pruned_by_bounds = 0;
-        t_structural = 0.;
-        t_probabilistic = 0.;
-        t_verification = t;
-        t_verification_cpu = t;
-        verify_domains = 1;
-      };
-  }
+  let stats =
+    {
+      relaxed_count = List.length relaxed;
+      relaxed_truncated = status = `Truncated;
+      structural_candidates = Array.length db.graphs;
+      prob_candidates = Array.length db.graphs;
+      accepted_by_bounds = 0;
+      pruned_by_bounds = 0;
+      t_relax;
+      t_structural = 0.;
+      t_probabilistic = 0.;
+      t_verification = t;
+      t_verification_cpu = t;
+      verify_domains = 1;
+    }
+  in
+  { answers; stats; trace = trace_of ~label:"exact-scan" ~answers stats }
 
 let ground_truth db q config =
   let relaxed, _ = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in

@@ -23,10 +23,17 @@ val index_database :
   database
 
 (** [add_graph db g] appends one graph to the database, extending both
-    indexes incrementally. Features are {e not} re-mined: pruning on the
-    new graph uses the existing feature set, which keeps every decision
+    indexes incrementally (including the feature support lists, so a
+    subsequent {!save_database}/{!load_database} round trip reproduces
+    the same indexes). Features are {e not} re-mined: pruning on the new
+    graph uses the existing feature set, which keeps every decision
     sound but may be less selective than a full re-index. *)
 val add_graph : database -> Pgraph.t -> database
+
+(** [add_graphs db gs] bulk insertion: equivalent to folding
+    {!add_graph} over [gs] but with one reallocation per index row per
+    batch, so loading k graphs costs O(k) appends instead of O(k²). *)
+val add_graphs : database -> Pgraph.t array -> database
 
 type config = {
   epsilon : float;  (** probability threshold ε *)
@@ -42,10 +49,16 @@ val default_config : config
 
 type stats = {
   relaxed_count : int;
+  relaxed_truncated : bool;
+      (** the relaxation enumeration hit [relax_cap]: the relaxed set is
+          a sample, so reported SSPs are lower bounds and the answer set
+          may under-approximate (a warning event with code
+          ["relax.truncated"] is emitted alongside) *)
   structural_candidates : int;
   prob_candidates : int;  (** survivors needing verification *)
   accepted_by_bounds : int;  (** graphs accepted by Pruning 2 *)
   pruned_by_bounds : int;  (** graphs discarded by Pruning 1 *)
+  t_relax : float;
   t_structural : float;
   t_probabilistic : float;
   t_verification : float;  (** wall-clock seconds of the verification phase *)
@@ -56,7 +69,10 @@ type stats = {
   verify_domains : int;  (** pool size the verification fan-out ran on *)
 }
 
-type outcome = { answers : int list; stats : stats }
+(** [trace] is the machine-readable end-to-end record of the query
+    (phase times, candidate counts, flags) for [--stats-json]; it carries
+    the same numbers as [stats]. *)
+type outcome = { answers : int list; stats : stats; trace : Psst_obs.Trace.t }
 
 (** [run ?domains db q config] executes the pipeline and returns the ids
     of the graphs with [Pr(q ⊆sim g) >= epsilon] (estimated by the

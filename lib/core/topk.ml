@@ -6,7 +6,10 @@ type stats = {
   structural_candidates : int;
   verified : int;
   bound_skipped : int;
+  relaxed_truncated : bool;
 }
+
+let m_runs = Psst_obs.counter "topk.runs"
 
 type outcome = { hits : hit list; stats : stats }
 
@@ -17,8 +20,11 @@ let verify_one (config : Query.config) rng g relaxed =
 
 let run (db : Query.database) q ~k (config : Query.config) =
   if k <= 0 then invalid_arg "Topk.run: k must be positive";
+  Psst_obs.incr m_runs;
   let rng = Prng.make config.seed in
-  let relaxed, _ = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
+  let relaxed, status =
+    Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta
+  in
   let structural =
     Structural.candidates db.structural db.skeletons q ~delta:config.delta
   in
@@ -71,5 +77,6 @@ let run (db : Query.database) q ~k (config : Query.config) =
         structural_candidates = List.length structural;
         verified = !verified;
         bound_skipped = !skipped;
+        relaxed_truncated = status = `Truncated;
       };
   }

@@ -14,6 +14,9 @@ type stats = {
   structural_candidates : int;
   verified : int;  (** candidates whose SSP was actually computed *)
   bound_skipped : int;  (** candidates dismissed by the upper bound *)
+  relaxed_truncated : bool;
+      (** the relaxed set was sampled ([relax_cap] hit): reported SSPs
+          are lower bounds, so the ranking may under-rank some graphs *)
 }
 
 type outcome = { hits : hit list; stats : stats }

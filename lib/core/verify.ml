@@ -46,7 +46,16 @@ let embedding_sets ?(config = default_config) g relaxed =
     relaxed;
   minimal_antichain !sets
 
+let m_exact_calls = Psst_obs.counter "verify.exact_calls"
+let m_smp_calls = Psst_obs.counter "verify.smp_calls"
+let m_smp_samples = Psst_obs.counter "verify.smp_samples"
+
+(* Per-call estimator variance v^2 * p(1-p)/n of the Karp-Luby mean;
+   the registry mean over a workload is the Fig 10-style noise figure. *)
+let a_smp_variance = Psst_obs.accumulator "verify.smp_variance"
+
 let exact ?(config = default_config) g relaxed =
+  Psst_obs.incr m_exact_calls;
   match embedding_sets ~config g relaxed with
   | [] -> 0.
   | sets -> Exact.prob_any_present g sets
@@ -57,6 +66,7 @@ let exact_naive ?(config = default_config) g relaxed =
   Exact.prob_any_present_naive g (embedding_sets ~config g relaxed)
 
 let smp ?(config = default_config) rng g relaxed =
+  Psst_obs.incr m_smp_calls;
   let sets = embedding_sets ~config g relaxed in
   match sets with
   | [] -> 0.
@@ -100,6 +110,10 @@ let smp ?(config = default_config) rng g relaxed =
             in
             if not earlier_fires then incr cnt
         done;
+        Psst_obs.add m_smp_samples n;
+        (let p_hat = float_of_int !cnt /. float_of_int n in
+         Psst_obs.record a_smp_variance
+           (v *. v *. p_hat *. (1. -. p_hat) /. float_of_int n));
         Float.min 1. (v *. float_of_int !cnt /. float_of_int n)
       end
     end

@@ -1,11 +1,18 @@
 let deletion_sets q ~delta = Psst_util.Combin.binomial (Lgraph.num_edges q) delta
 
+let m_calls = Psst_obs.counter "relax.calls"
+let m_patterns = Psst_obs.counter "relax.patterns"
+let m_truncated = Psst_obs.counter "relax.truncated"
+
 let relaxed_set ?(cap = 4096) q ~delta =
   let m = Lgraph.num_edges q in
   if delta < 0 then invalid_arg "Relax.relaxed_set: negative delta";
-  if delta >= m then
+  Psst_obs.incr m_calls;
+  if delta >= m then begin
     (* Everything is deleted: the empty pattern matches any world. *)
+    Psst_obs.incr m_patterns;
     ([ Lgraph.vertices_only ~vlabels:[||] ], `Complete)
+  end
   else begin
     let total = deletion_sets q ~delta in
     let edge_ids = List.init m (fun i -> i) in
@@ -26,8 +33,14 @@ let relaxed_set ?(cap = 4096) q ~delta =
         `Complete
       end
       else begin
+        Psst_obs.incr m_truncated;
+        Psst_obs.warn ~code:"relax.truncated"
+          (Printf.sprintf
+             "relaxed set truncated: sampled %d of %d deletion sets \
+              (|E(q)| = %d, delta = %d); SSP estimates become lower bounds"
+             cap total m delta);
         (* Deterministic subsample: stride through combination ranks. *)
-        let rng = Psst_util.Prng.make (m * 1_000_003 + delta) in
+        let rng = Psst_util.Prng.make ((m * 1_000_003) + delta) in
         let budget = ref cap in
         while !budget > 0 do
           let ids = Psst_util.Prng.sample_without_replacement rng delta m in
@@ -37,5 +50,6 @@ let relaxed_set ?(cap = 4096) q ~delta =
         `Truncated
       end
     in
+    Psst_obs.add m_patterns (List.length !out);
     (List.rev !out, status)
   end

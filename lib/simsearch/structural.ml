@@ -65,24 +65,36 @@ let max_per_edge q embs =
     Array.fold_left max 0 per_edge
   end
 
-let add_graph t g =
-  let counts =
-    Array.mapi
-      (fun fi row ->
-        let f = t.features.(fi) in
-        let c =
-          if
-            Lgraph.num_edges f.Selection.graph = 0
-            || Vf2.exists f.Selection.graph g
-          then count_embeddings ~cap:t.emb_cap f.Selection.graph g
-          else 0
-        in
-        Array.append row [| c |])
-      t.counts
-  in
-  { t with counts }
+let add_graphs t gs =
+  if Array.length gs = 0 then t
+  else begin
+    let counts =
+      Array.mapi
+        (fun fi row ->
+          let f = t.features.(fi) in
+          let cs =
+            Array.map
+              (fun g ->
+                if
+                  Lgraph.num_edges f.Selection.graph = 0
+                  || Vf2.exists f.Selection.graph g
+                then count_embeddings ~cap:t.emb_cap f.Selection.graph g
+                else 0)
+              gs
+          in
+          Array.append row cs)
+        t.counts
+    in
+    { t with counts }
+  end
+
+let add_graph t g = add_graphs t [| g |]
+
+let m_checked = Psst_obs.counter "structural.checked"
+let m_survivors = Psst_obs.counter "structural.survivors"
 
 let candidates t db q ~delta =
+  Psst_obs.add m_checked (Array.length db);
   let q_vh = Lgraph.vertex_label_hist q and q_eh = Lgraph.edge_label_hist q in
   (* Per-feature requirements from the query. *)
   let requirements =
@@ -100,13 +112,17 @@ let candidates t db q ~delta =
       t.features
   in
   let active = Array.to_list requirements |> List.filter (fun (_, r) -> r > 0) in
-  List.init (Array.length db) (fun gi -> gi)
-  |> List.filter (fun gi ->
-         let g = db.(gi) in
-         Lgraph.hist_missing q_eh (Lgraph.edge_label_hist g) <= delta
-         (* Each pair of unmatched query vertices costs at least one common
-            edge, so more than 2*delta missing vertex labels is fatal. *)
-         && Lgraph.hist_missing q_vh (Lgraph.vertex_label_hist g) <= 2 * delta
-         && List.for_all (fun (fi, req) -> t.counts.(fi).(gi) >= req) active)
+  let survivors =
+    List.init (Array.length db) (fun gi -> gi)
+    |> List.filter (fun gi ->
+           let g = db.(gi) in
+           Lgraph.hist_missing q_eh (Lgraph.edge_label_hist g) <= delta
+           (* Each pair of unmatched query vertices costs at least one common
+              edge, so more than 2*delta missing vertex labels is fatal. *)
+           && Lgraph.hist_missing q_vh (Lgraph.vertex_label_hist g) <= 2 * delta
+           && List.for_all (fun (fi, req) -> t.counts.(fi).(gi) >= req) active)
+  in
+  Psst_obs.add m_survivors (List.length survivors);
+  survivors
 
 let verify_candidate db q ~delta gi = Distance.within q db.(gi) ~delta

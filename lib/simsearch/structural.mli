@@ -27,6 +27,11 @@ val build : Lgraph.t array -> Selection.feature list -> emb_cap:int -> t
     dismissals — at worst the filter is less selective on it). *)
 val add_graph : t -> Lgraph.t -> t
 
+(** [add_graphs t gs] appends one column per new graph with a single
+    row reallocation per feature — the batch form [Query.add_graphs]
+    uses to avoid quadratic repeated appends. *)
+val add_graphs : t -> Lgraph.t array -> t
+
 (** [of_parts ~features ~counts ~emb_cap] rebuilds the index from its raw
     state (one count row per feature) — the load path of the persistent
     store, which skips re-running VF2 over the whole database. Raises

@@ -7,6 +7,15 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+(* Scheduler observability (DESIGN.md §10): how many chunks each
+   parallel [iter_range] distributed and what fraction the calling
+   domain ended up executing itself — 1.0 means the workers never got
+   to steal (pool starved or work too small), 1/size means perfect
+   balance. *)
+let m_parallel_runs = Psst_obs.counter "pool.parallel_runs"
+let m_chunks = Psst_obs.counter "pool.chunks"
+let h_caller_share = Psst_obs.histogram "pool.caller_share"
+
 let default_domains () = Domain.recommended_domain_count ()
 
 (* Workers block on [wake] until a job (or shutdown) arrives; on shutdown
@@ -74,16 +83,22 @@ let iter_range pool ?chunk n f =
       let failure = Atomic.make None in
       let fin_lock = Mutex.create () in
       let fin = Condition.create () in
+      let nparticipants = min pool.size nchunks in
+      (* Chunks executed per participant: slot [pid] is written by the one
+         domain running that participant's loop, and read by the caller
+         only after [remaining] hits zero, which orders the writes. *)
+      let claimed = Array.make nparticipants 0 in
       (* Every participant claims chunks off [next] until none are left;
          the one that retires the last chunk wakes the waiting caller.
          Writes made by the chunks happen-before the caller's return via
          the [remaining] atomic. *)
-      let run_chunks () =
+      let run_chunks pid =
         let continue = ref true in
         while !continue do
           let c = Atomic.fetch_and_add next 1 in
           if c >= nchunks then continue := false
           else begin
+            claimed.(pid) <- claimed.(pid) + 1;
             (try
                for i = c * chunk to min n ((c + 1) * chunk) - 1 do
                  f i
@@ -99,15 +114,19 @@ let iter_range pool ?chunk n f =
           end
         done
       in
-      for _ = 2 to min pool.size nchunks do
-        submit pool run_chunks
+      for pid = 1 to nparticipants - 1 do
+        submit pool (fun () -> run_chunks pid)
       done;
-      run_chunks ();
+      run_chunks 0;
       Mutex.lock fin_lock;
       while Atomic.get remaining > 0 do
         Condition.wait fin fin_lock
       done;
       Mutex.unlock fin_lock;
+      Psst_obs.incr m_parallel_runs;
+      Psst_obs.add m_chunks nchunks;
+      Psst_obs.observe h_caller_share
+        (float_of_int claimed.(0) /. float_of_int nchunks);
       match Atomic.get failure with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()

@@ -13,6 +13,8 @@ let () =
       ("simsearch", Test_simsearch.suite);
       ("dataset", Test_dataset.suite);
       ("core", Test_core.suite);
+      ("obs", Test_obs.suite);
+      ("dynamic", Test_dynamic.suite);
       ("verify_diff", Test_verify_diff.suite);
       ("store", Test_store.suite);
       ("parallel", Test_parallel.suite);

@@ -52,6 +52,40 @@ let test_bounds_no_embedding () =
   Tgen.check_close "upper 0" 0. b.Bounds.upper;
   Tgen.check_close "lower 0" 0. b.Bounds.lower
 
+(* Triangle with exactly one uncertain edge: a feature embedding only on
+   certain edges short-circuits to the all-1s fully-certain bounds (no
+   cuts, no sampling); a feature embedding only on the uncertain edge has
+   SIP exactly that edge's marginal, and the safe pair is tight. *)
+let triangle_one_uncertain p =
+  let tri =
+    Lgraph.create ~vlabels:[| 0; 1; 2 |]
+      ~edges:[ (0, 1, 0); (1, 2, 1); (0, 2, 2) ]
+  in
+  Pgraph.independent tri [ (2, p) ]
+
+let test_bounds_fully_certain () =
+  let g = triangle_one_uncertain 0.6 in
+  let f = Lgraph.create ~vlabels:[| 0; 1 |] ~edges:[ (0, 1, 0) ] in
+  let b = Bounds.compute fast_bounds g f in
+  Tgen.check_close "lower 1" 1. b.Bounds.lower;
+  Tgen.check_close "upper 1" 1. b.Bounds.upper;
+  Tgen.check_close "lower_safe 1" 1. b.Bounds.lower_safe;
+  Tgen.check_close "upper_safe 1" 1. b.Bounds.upper_safe;
+  Alcotest.(check int) "one embedding" 1 b.Bounds.embeddings;
+  Alcotest.(check int) "no cuts" 0 b.Bounds.cuts
+
+let test_bounds_single_uncertain_edge () =
+  let p = 0.6 in
+  let g = triangle_one_uncertain p in
+  let f = Lgraph.create ~vlabels:[| 0; 2 |] ~edges:[ (0, 1, 2) ] in
+  let b = Bounds.compute fast_bounds g f in
+  Tgen.check_close "marginal" p (Pgraph.edge_marginal g 2);
+  Tgen.check_close "lower_safe = marginal" p b.Bounds.lower_safe;
+  Tgen.check_close "upper_safe = marginal" p b.Bounds.upper_safe;
+  Tgen.check_close "lower = marginal" p b.Bounds.lower;
+  Tgen.check_close "upper = marginal" p b.Bounds.upper;
+  Alcotest.(check int) "one cut" 1 b.Bounds.cuts
+
 let prop_safe_bounds_enclose_exact_sip =
   QCheck.Test.make ~name:"lower_safe <= SIP <= upper_safe (exact)" ~count:40
     QCheck.small_int
@@ -310,6 +344,9 @@ let suite =
   [
     Alcotest.test_case "bounds: vertex feature" `Quick test_bounds_vertex_feature;
     Alcotest.test_case "bounds: no embedding" `Quick test_bounds_no_embedding;
+    Alcotest.test_case "bounds: fully certain" `Quick test_bounds_fully_certain;
+    Alcotest.test_case "bounds: single uncertain edge" `Quick
+      test_bounds_single_uncertain_edge;
     QCheck_alcotest.to_alcotest prop_safe_bounds_enclose_exact_sip;
     QCheck_alcotest.to_alcotest prop_paper_bounds_near_sound;
     QCheck_alcotest.to_alcotest prop_bounds_ordered;

@@ -57,9 +57,46 @@ let prop_smp_seed_deterministic =
       let b = Verify.smp ~config (Prng.stream ~seed 0) g relaxed in
       a = b)
 
+(* [ground_truth] applies a [Distance.within] pre-filter that
+   [run_exact_scan] does not; when the relaxed set is complete the filter
+   can never change the answer set (any graph with positive exact SSP
+   embeds some complete relaxation in a world contained in its skeleton,
+   so its MCS distance is within delta). Differential check on randomized
+   databases. *)
+let prop_exact_scan_matches_ground_truth =
+  QCheck.Test.make ~name:"run_exact_scan = ground_truth (Exact verifier)"
+    ~count:15 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 4200) in
+      let graphs =
+        Array.init 6 (fun _ ->
+            Tgen.random_pgraph rng ~n:(4 + Prng.int rng 2)
+              ~extra:(Prng.int rng 2) ~vl:2 ~el:1)
+      in
+      let db =
+        Query.index_database
+          ~mining:{ Selection.default_params with max_edges = 2; beta = 0.2 }
+          ~bounds:{ Bounds.default_config with mc_samples = 200 }
+          graphs
+      in
+      let ds =
+        { Generator.graphs; organisms = Array.make 6 0; motifs = [||];
+          grafts = Array.make 6 None; params = Generator.default_params }
+      in
+      let q, _ = Generator.extract_query rng ds ~edges:(2 + Prng.int rng 2) in
+      let config =
+        { Query.default_config with epsilon = 0.4; delta = 1;
+          verifier = `Exact }
+      in
+      let scan = Query.run_exact_scan db q config in
+      let truth = Query.ground_truth db q config in
+      (not scan.Query.stats.relaxed_truncated)
+      && List.sort compare scan.Query.answers = List.sort compare truth)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_exact_agrees_with_naive;
     QCheck_alcotest.to_alcotest prop_smp_within_3tau_of_exact;
     QCheck_alcotest.to_alcotest prop_smp_seed_deterministic;
+    QCheck_alcotest.to_alcotest prop_exact_scan_matches_ground_truth;
   ]
