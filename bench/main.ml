@@ -1,6 +1,6 @@
 (* Benchmark entry point.
 
-   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|micro|all] [--quick]
+   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|micro|all] [--quick]
 
    Each figN target regenerates the corresponding figure of the paper's
    evaluation section (§6) at a scaled-down workload (see DESIGN.md §4-5 and
@@ -199,6 +199,196 @@ let obs ~scale ppf =
   Format.fprintf ppf "wrote BENCH_obs.json@.";
   if not identical then exit 1
 
+(* Server load driver: sweep client concurrency over the Fig 9 workload
+   against an in-process Psst_server, measuring throughput and exact
+   client-side p50/p95/p99 latency per concurrency level, then an overload
+   phase (tiny queue, tight deadline) that exercises the backpressure and
+   deadline paths so their counters appear in the embedded registry dump.
+   Served answers are checked bit-identical to offline Query.run. *)
+let serve ~scale ppf =
+  Format.fprintf ppf
+    "@.=== Serve: concurrency sweep + overload (Fig 9 workload) ===@.";
+  let ds = Generator.generate (Experiments.dataset_params scale) in
+  let graphs = ds.Generator.graphs in
+  let skeletons = Array.map Pgraph.skeleton graphs in
+  let features = Selection.select skeletons Experiments.mining_params in
+  let structural = Structural.build skeletons features ~emb_cap:64 in
+  let pmi = Pmi.build graphs features in
+  let db = { Query.graphs; skeletons; features; structural; pmi } in
+  let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
+  let nq = max 4 scale.Experiments.queries_per_point in
+  let queries =
+    Array.init nq (fun _ -> fst (Generator.extract_query rng ds ~edges:8))
+  in
+  let config = Query.default_config in
+  let offline =
+    Array.map (fun q -> (Query.run db q config).Query.answers) queries
+  in
+  let sock = Filename.temp_file "psst_serve" ".sock" in
+  let endpoint = Psst_proto.Unix_socket sock in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then nan
+    else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+  in
+  let identical = ref true in
+  (* One client thread: [count] requests round-robin over the workload,
+     returning per-request latencies and the error-reply count. *)
+  let client_thread start count =
+    let c = Psst_client.connect endpoint in
+    Fun.protect
+      ~finally:(fun () -> Psst_client.close c)
+      (fun () ->
+        let lats = Array.make count 0. in
+        let errors = ref 0 in
+        for j = 0 to count - 1 do
+          let qi = (start + j) mod nq in
+          let t0 = Unix.gettimeofday () in
+          (match
+             Psst_client.rpc c
+               (Psst_proto.Run { id = j; query = queries.(qi); config })
+           with
+          | Psst_proto.Answer { answers; _ } ->
+            if answers <> offline.(qi) then identical := false
+          | Psst_proto.Error_reply _ -> incr errors
+          | _ -> incr errors);
+          lats.(j) <- Unix.gettimeofday () -. t0
+        done;
+        (lats, !errors))
+  in
+  let sweep_rows =
+    let srv =
+      Psst_server.start
+        {
+          (Psst_server.default_config endpoint) with
+          Psst_server.domains = 4;
+          queue_cap = 1024;
+        }
+        db
+    in
+    Fun.protect
+      ~finally:(fun () -> Psst_server.stop srv)
+      (fun () ->
+        List.map
+          (fun clients ->
+            let per_client = max 4 nq in
+            let total = clients * per_client in
+            (* Thread.join discards results; collect via a mutex'd cell. *)
+            let results = ref [] and rm = Mutex.create () in
+            let t0 = Unix.gettimeofday () in
+            let threads =
+              List.init clients (fun i ->
+                  Thread.create
+                    (fun () ->
+                      let r = client_thread (i * per_client) per_client in
+                      Mutex.lock rm;
+                      results := r :: !results;
+                      Mutex.unlock rm)
+                    ())
+            in
+            let wall =
+              List.iter Thread.join threads;
+              Unix.gettimeofday () -. t0
+            in
+            let lats =
+              List.concat_map (fun (l, _) -> Array.to_list l) !results
+              |> Array.of_list
+            in
+            Array.sort compare lats;
+            let errors = List.fold_left (fun a (_, e) -> a + e) 0 !results in
+            let row =
+              ( clients,
+                total,
+                wall,
+                float_of_int total /. wall,
+                1000. *. percentile lats 0.50,
+                1000. *. percentile lats 0.95,
+                1000. *. percentile lats 0.99,
+                errors )
+            in
+            let c, t, w, thr, p50, p95, p99, e = row in
+            Format.fprintf ppf
+              "clients %2d  requests %4d  wall %6.2f s  %7.1f req/s  \
+               p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms  errors %d@."
+              c t w thr p50 p95 p99 e;
+            row)
+          [ 1; 2; 4; 8 ])
+  in
+  (* Overload: queue of 2 and a 1 ms queue-wait deadline under an 8-client
+     burst forces queue-full rejections and deadline misses. *)
+  let overload =
+    let srv =
+      Psst_server.start
+        {
+          (Psst_server.default_config endpoint) with
+          Psst_server.domains = 1;
+          queue_cap = 2;
+          deadline_ms = 1.;
+          batch_max = 2;
+        }
+        db
+    in
+    Fun.protect
+      ~finally:(fun () -> Psst_server.stop srv)
+      (fun () ->
+        let ok = ref 0 and full = ref 0 and deadline = ref 0 and other = ref 0 in
+        let m = Mutex.create () in
+        let burst () =
+          let c = Psst_client.connect endpoint in
+          Fun.protect
+            ~finally:(fun () -> Psst_client.close c)
+            (fun () ->
+              for j = 0 to (2 * nq) - 1 do
+                match
+                  Psst_client.rpc c
+                    (Psst_proto.Run
+                       { id = j; query = queries.(j mod nq); config })
+                with
+                | Psst_proto.Answer _ ->
+                  Mutex.lock m; incr ok; Mutex.unlock m
+                | Psst_proto.Error_reply { code = Psst_proto.Queue_full; _ } ->
+                  Mutex.lock m; incr full; Mutex.unlock m
+                | Psst_proto.Error_reply { code = Psst_proto.Deadline; _ } ->
+                  Mutex.lock m; incr deadline; Mutex.unlock m
+                | _ -> Mutex.lock m; incr other; Mutex.unlock m
+              done)
+        in
+        let threads = List.init 8 (fun _ -> Thread.create burst ()) in
+        List.iter Thread.join threads;
+        Format.fprintf ppf
+          "overload (queue 2, deadline 1 ms): %d ok, %d queue-full, \
+           %d deadline, %d other@."
+          !ok !full !deadline !other;
+        (!ok, !full, !deadline, !other))
+  in
+  (try Sys.remove sock with Sys_error _ -> ());
+  Format.fprintf ppf "answers identical  %b@." !identical;
+  let oc = open_out "BENCH_serve.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ok, full, deadline, other = overload in
+      Printf.fprintf oc
+        "{\n  \"workload\": \"fig9\",\n  \"db_size\": %d,\n  \"distinct_queries\": %d,\n  \"sweep\": [\n"
+        (Array.length graphs) nq;
+      List.iteri
+        (fun i (c, t, w, thr, p50, p95, p99, e) ->
+          Printf.fprintf oc
+            "    {\"clients\": %d, \"requests\": %d, \"wall_s\": %.6f, \
+             \"throughput_rps\": %.2f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+             \"p99_ms\": %.3f, \"errors\": %d}%s\n"
+            c t w thr p50 p95 p99 e
+            (if i < List.length sweep_rows - 1 then "," else ""))
+        sweep_rows;
+      Printf.fprintf oc
+        "  ],\n  \"overload\": {\"ok\": %d, \"queue_full\": %d, \
+         \"deadline\": %d, \"other\": %d},\n  \"identical_answers\": %b,\n  \
+         \"metrics\": %s}\n"
+        ok full deadline other !identical
+        (Psst_obs.to_json_string ()));
+  Format.fprintf ppf "wrote BENCH_serve.json@.";
+  if not !identical then exit 1
+
 let micro ppf =
   Format.fprintf ppf "@.=== Micro-benchmarks (Bechamel, ns/run) ===@.";
   let scale = { Experiments.quick_scale with db_size = 20 } in
@@ -302,15 +492,17 @@ let () =
     | "parallel" -> Experiments.parallel ~scale ppf
     | "store" -> store ~scale ppf
     | "obs" -> obs ~scale ppf
+    | "serve" -> serve ~scale ppf
     | "micro" -> micro ppf
     | "all" ->
       Experiments.all ~scale ppf;
       store ~scale ppf;
       obs ~scale ppf;
+      serve ~scale ppf;
       micro ppf
     | other ->
       Format.fprintf ppf
-        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, micro, all)@."
+        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, micro, all)@."
         other;
       exit 2
   in

@@ -8,6 +8,9 @@
      query       run T-PS queries end to end on a synthetic corpus
                  (--index FILE skips mining/PMI build when a valid
                  persisted index exists)
+     serve       resident query server over a Unix/TCP socket
+                 (DESIGN.md §11): load once, answer until SIGTERM
+     client      submit queries to a running server, print answers
      experiment  regenerate one of the paper's figures
      micro       (see bench/main.exe) *)
 
@@ -16,9 +19,31 @@ open Cmdliner
 let scale_of n queries seed =
   { Experiments.db_size = n; queries_per_point = queries; seed }
 
+(* Uniform failure behaviour for every subcommand (DESIGN.md §11): a
+   missing, malformed or unreachable database / index / query file — or an
+   unreachable server — prints one line on stderr and exits 1, instead of
+   leaking a raw exception (backtrace + cmdliner's internal-error code). *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "psst: %s\n%!" msg;
+      exit 1)
+    fmt
+
+let or_die f =
+  try f () with
+  | Psst_store.Store_error msg -> die "%s" msg
+  | Psst_proto.Proto_error msg -> die "protocol error: %s" msg
+  | Sys_error msg -> die "%s" msg
+  | Failure msg -> die "%s" msg
+  | Invalid_argument msg -> die "%s" msg
+  | Unix.Unix_error (e, fn, arg) ->
+    die "%s%s: %s" fn (if arg = "" then "" else " " ^ arg) (Unix.error_message e)
+
 (* --- generate --- *)
 
 let generate num_graphs organisms seed verbose binary output =
+  or_die @@ fun () ->
   let params =
     {
       Generator.default_params with
@@ -105,6 +130,7 @@ let obtain_database index_file graphs =
   | _ -> build_and_save ()
 
 let index num_graphs seed input output =
+  or_die @@ fun () ->
   let graphs, _ = corpus_of input num_graphs seed in
   Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
   let db, t_index = Psst_util.Timer.time (fun () -> Query.index_database graphs) in
@@ -141,6 +167,7 @@ let write_stats_json path traces =
 
 let query num_graphs seed qsize nqueries epsilon delta exact_verifier input
     index_file stats_json =
+  or_die @@ fun () ->
   let graphs, ds_opt = corpus_of input num_graphs seed in
   Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
   let db, t_index, how = obtain_database index_file graphs in
@@ -198,6 +225,7 @@ let query num_graphs seed qsize nqueries epsilon delta exact_verifier input
 (* --- topk --- *)
 
 let topk num_graphs seed qsize k delta input =
+  or_die @@ fun () ->
   let graphs, ds_opt = corpus_of input num_graphs seed in
   let db = Query.index_database graphs in
   let ds =
@@ -230,9 +258,140 @@ let topk num_graphs seed qsize k delta input =
     (fun (h : Topk.hit) -> Printf.printf "  graph %3d   SSP ~ %.4f\n" h.graph h.ssp)
     out.Topk.hits
 
+(* --- serve / client (DESIGN.md §11) --- *)
+
+let endpoint_of socket port host =
+  match (socket, port) with
+  | Some path, None -> Psst_proto.Unix_socket path
+  | None, Some p -> Psst_proto.Tcp (host, p)
+  | Some _, Some _ -> die "pass either --socket PATH or --port PORT, not both"
+  | None, None -> die "pass --socket PATH or --port PORT"
+
+(* A dataset wrapper for query extraction over a loaded corpus (same
+   trivial organism assignment as the [query] subcommand, so the extracted
+   query sequence is identical for the same corpus and seed). *)
+let dataset_wrapper graphs ds_opt =
+  match ds_opt with
+  | Some ds -> ds
+  | None ->
+    {
+      Generator.graphs;
+      organisms = Array.make (Array.length graphs) 0;
+      motifs = [||];
+      grafts = Array.make (Array.length graphs) None;
+      params = Generator.default_params;
+    }
+
+let serve num_graphs seed input index_file socket port host domains queue_cap
+    deadline_ms batch_max stats_json =
+  or_die @@ fun () ->
+  let endpoint = endpoint_of socket port host in
+  let graphs, _ = corpus_of input num_graphs seed in
+  Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
+  let db, t_index, how = obtain_database index_file graphs in
+  Printf.printf "index %s in %.2fs: %d features, %d PMI entries\n%!" how t_index
+    (List.length db.Query.features)
+    (Pmi.filled_entries db.Query.pmi);
+  let cfg =
+    {
+      (Psst_server.default_config endpoint) with
+      Psst_server.domains;
+      queue_cap;
+      deadline_ms = float_of_int deadline_ms;
+      batch_max;
+    }
+  in
+  let srv = Psst_server.start cfg db in
+  Printf.printf
+    "serving on %s (%d domains, queue cap %d, deadline %s, batch cap %d)\n%!"
+    (Psst_proto.endpoint_to_string (Psst_server.endpoint srv))
+    domains queue_cap
+    (if deadline_ms > 0 then Printf.sprintf "%d ms" deadline_ms else "off")
+    batch_max;
+  (* Signal handlers only flip an atomic; the main thread performs the
+     drain outside signal context. *)
+  let stop_requested = Atomic.make false in
+  let on_signal _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.05
+  done;
+  Printf.printf "shutdown requested; draining in-flight requests...\n%!";
+  Psst_server.stop srv;
+  (match stats_json with
+  | None -> ()
+  | Some path -> write_stats_json path (Psst_server.traces srv));
+  Printf.printf "served %d requests; drained cleanly\n%!"
+    (Psst_server.served srv)
+
+let client socket port host num_graphs seed qsize nqueries epsilon delta
+    exact_verifier input do_ping do_stats =
+  or_die @@ fun () ->
+  let endpoint = endpoint_of socket port host in
+  let c = Psst_client.connect endpoint in
+  Fun.protect
+    ~finally:(fun () -> Psst_client.close c)
+    (fun () ->
+      if do_ping then begin
+        Psst_client.ping c;
+        Printf.printf "pong from %s\n%!" (Psst_proto.endpoint_to_string endpoint)
+      end;
+      if nqueries > 0 then begin
+        let graphs, ds_opt = corpus_of input num_graphs seed in
+        let ds = dataset_wrapper graphs ds_opt in
+        let rng = Psst_util.Prng.make (seed + 1) in
+        let queries =
+          List.init nqueries (fun _ ->
+              Generator.extract_query rng ds ~edges:qsize)
+        in
+        let config =
+          {
+            Query.default_config with
+            epsilon;
+            delta;
+            verifier =
+              (if exact_verifier then `Exact else `Smp Verify.default_config);
+          }
+        in
+        let replies, t =
+          Psst_util.Timer.time (fun () ->
+              Psst_client.run_all c (List.map fst queries) config)
+        in
+        List.iteri
+          (fun i (q, org) ->
+            match replies.(i) with
+            | Psst_proto.Answer { answers; stats; _ } ->
+              Printf.printf
+                "query %d (organism %d, %d edges): %d answers \
+                 [structural %d, pruned %d, accepted %d, verified %d]\n"
+                (i + 1) org (Lgraph.num_edges q) (List.length answers)
+                stats.Psst_proto.structural_candidates
+                stats.Psst_proto.pruned_by_bounds
+                stats.Psst_proto.accepted_by_bounds
+                stats.Psst_proto.prob_candidates;
+              if stats.Psst_proto.relaxed_truncated then
+                Printf.printf
+                  "  warning: relaxed set truncated — SSP estimates are \
+                   lower bounds, the answer set may under-approximate\n";
+              Printf.printf "  answers: %s\n"
+                (String.concat ", " (List.map string_of_int answers))
+            | Psst_proto.Error_reply { code; message; _ } ->
+              Printf.printf "query %d: server error [%s%s]: %s\n" (i + 1)
+                (Psst_proto.error_code_name code)
+                (if Psst_proto.error_code_retryable code then ", retryable"
+                 else "")
+                message
+            | _ -> die "unexpected reply kind from server")
+          queries;
+        Printf.printf "%d queries answered in %.3fs\n%!" nqueries t
+      end;
+      if do_stats then print_string (Psst_client.stats_json c))
+
 (* --- experiment --- *)
 
 let experiment fig db_size queries seed =
+  or_die @@ fun () ->
   let scale = scale_of db_size queries seed in
   let ppf = Format.std_formatter in
   (match fig with
@@ -360,6 +519,123 @@ let topk_cmd =
     (Cmd.info "topk" ~doc:"Top-k probabilistic subgraph similarity search")
     Term.(const topk $ num_graphs_arg $ seed_arg $ qsize $ k $ delta $ input_arg)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (alternative to --socket).")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host to bind/connect (with --port).")
+
+let serve_cmd =
+  let index_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "index" ] ~docv:"FILE"
+          ~doc:
+            "Serve from the persisted index at $(docv) (built by \
+             $(b,psst index)); a missing file is built and saved, an \
+             invalid or stale one is rejected and rebuilt.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domain-pool size for the verification fan-out.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 128
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound; requests beyond it are rejected with a \
+             retryable queue-full error.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Maximum queue wait per request; 0 disables deadlines. A \
+             request that waited longer is answered with a deadline error \
+             instead of being executed.")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 32
+      & info [ "batch-max" ] ~docv:"N" ~doc:"Micro-batch size cap.")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "On shutdown, write recent per-query traces and the full \
+             metrics registry as JSON to $(docv) (same document shape as \
+             $(b,psst query --stats-json)).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident query server: load the database and indexes \
+          once, then answer T-PS and top-k queries over a framed binary \
+          protocol until SIGTERM/SIGINT (graceful drain)")
+    Term.(
+      const serve $ num_graphs_arg $ seed_arg $ input_arg $ index_file
+      $ socket_arg $ port_arg $ host_arg $ domains $ queue_cap $ deadline_ms
+      $ batch_max $ stats_json)
+
+let client_cmd =
+  let qsize =
+    Arg.(value & opt int 8 & info [ "query-size" ] ~doc:"Query size in edges.")
+  in
+  let nqueries =
+    Arg.(value & opt int 5 & info [ "queries" ] ~doc:"Number of queries to send.")
+  in
+  let epsilon =
+    Arg.(
+      value & opt float 0.5
+      & info [ "epsilon" ] ~doc:"Probability threshold (0 < eps <= 1).")
+  in
+  let delta =
+    Arg.(value & opt int 2 & info [ "delta" ] ~doc:"Subgraph distance threshold.")
+  in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ] ~doc:"Verify candidates exactly instead of sampling.")
+  in
+  let do_ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Round-trip a ping first.")
+  in
+  let do_stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the server's metrics registry JSON after the queries.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Submit queries to a running $(b,psst serve) and print the \
+          answers (extracted from the same corpus/seed as $(b,psst query), \
+          so offline and served answers are directly comparable)")
+    Term.(
+      const client $ socket_arg $ port_arg $ host_arg $ num_graphs_arg
+      $ seed_arg $ qsize $ nqueries $ epsilon $ delta $ exact $ input_arg
+      $ do_ping $ do_stats)
+
 let experiment_cmd =
   let fig =
     Arg.(
@@ -381,6 +657,14 @@ let experiment_cmd =
 let main_cmd =
   let doc = "probabilistic subgraph similarity search (VLDB 2012 reproduction)" in
   Cmd.group (Cmd.info "psst" ~doc)
-    [ generate_cmd; index_cmd; query_cmd; topk_cmd; experiment_cmd ]
+    [
+      generate_cmd;
+      index_cmd;
+      query_cmd;
+      topk_cmd;
+      serve_cmd;
+      client_cmd;
+      experiment_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -200,13 +200,15 @@ let run_on pool db q config =
 let run ?(domains = 1) db q config =
   Pool.with_pool ~domains (fun pool -> run_on pool db q config)
 
-let run_batch ?(domains = 1) db queries config =
+let run_batch_on pool db queries config =
   validate_config config;
-  Pool.with_pool ~domains (fun pool ->
-      Pool.map_array pool ~chunk:1
-        (fun q -> run_on pool db q config)
-        (Array.of_list queries))
+  Pool.map_array pool ~chunk:1
+    (fun q -> run_on pool db q config)
+    (Array.of_list queries)
   |> Array.to_list
+
+let run_batch ?(domains = 1) db queries config =
+  Pool.with_pool ~domains (fun pool -> run_batch_on pool db queries config)
 
 let run_exact_scan db q config =
   validate_config config;
@@ -249,6 +251,57 @@ let ground_truth db q config =
 (* --- persistence (DESIGN.md §9) --- *)
 
 module Store = Psst_store
+
+(* Wire codec for [config], shared by the RPC protocol (lib/server) and any
+   future persisted query plans. Decoding validates the variant tags and the
+   same numeric ranges as [validate_config], so a corrupted or adversarial
+   payload surfaces as [Store_error], never as a bogus query. *)
+let put_config e (c : config) =
+  Store.put_f64 e c.epsilon;
+  Store.put_i64 e c.delta;
+  Store.put_i64 e (match c.mode with Pruning.Random_pick -> 0 | Optimized -> 1);
+  Store.put_bool e c.certified;
+  (match c.verifier with
+  | `Exact -> Store.put_i64 e 0
+  | `Smp (vc : Verify.config) ->
+    Store.put_i64 e 1;
+    Store.put_f64 e vc.tau;
+    Store.put_f64 e vc.xi;
+    Store.put_i64 e vc.emb_cap);
+  Store.put_i64 e c.relax_cap;
+  Store.put_i64 e c.seed
+
+let get_config d =
+  let epsilon = Store.get_f64 d in
+  let delta = Store.get_i64 d in
+  let mode =
+    match Store.get_i64 d with
+    | 0 -> Pruning.Random_pick
+    | 1 -> Pruning.Optimized
+    | t -> Store.error "config: unknown pruning mode tag %d" t
+  in
+  let certified = Store.get_bool d in
+  let verifier =
+    match Store.get_i64 d with
+    | 0 -> `Exact
+    | 1 ->
+      let tau = Store.get_f64 d in
+      let xi = Store.get_f64 d in
+      let emb_cap = Store.get_i64 d in
+      if not (tau > 0. && xi > 0. && xi < 1. && emb_cap > 0) then
+        Store.error "config: invalid verifier parameters (tau %g, xi %g, emb_cap %d)"
+          tau xi emb_cap;
+      `Smp { Verify.tau; xi; emb_cap }
+    | t -> Store.error "config: unknown verifier tag %d" t
+  in
+  let relax_cap = Store.get_i64 d in
+  let seed = Store.get_i64 d in
+  let c = { epsilon; delta; mode; certified; verifier; relax_cap; seed } in
+  (match validate_config c with
+  | () -> ()
+  | exception Invalid_argument msg -> Store.error "config: %s" msg);
+  if relax_cap <= 0 then Store.error "config: relax_cap must be positive";
+  c
 
 let save_database path db =
   let graphs = Store.encoder () in

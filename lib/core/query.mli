@@ -91,6 +91,20 @@ val run : ?domains:int -> database -> Lgraph.t -> config -> outcome
 val run_batch :
   ?domains:int -> database -> Lgraph.t list -> config -> outcome list
 
+(** [run_batch_on pool db queries config] — {!run_batch} on a caller-owned
+    pool, so a resident process (the query server) pays domain spawning
+    once at startup instead of once per micro-batch. Outcomes are
+    bit-identical to {!run_batch} with [domains = Pool.size pool]. *)
+val run_batch_on :
+  Psst_util.Pool.t -> database -> Lgraph.t list -> config -> outcome list
+
+(** Wire codec for {!config} (used by the RPC protocol of [Psst_server]).
+    [get_config] validates variant tags and numeric ranges, raising
+    [Psst_store.Store_error] on anything invalid. *)
+val put_config : Psst_store.enc -> config -> unit
+
+val get_config : Psst_store.dec -> config
+
 (** {1 Persistence (DESIGN.md §9)}
 
     The whole query-time state — probabilistic graphs with their JPTs,

@@ -1,0 +1,74 @@
+module Proto = Psst_proto
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect endpoint =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let fd, addr =
+    match endpoint with
+    | Proto.Unix_socket path ->
+      (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Proto.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> failwith (host ^ ": unknown host"))
+      in
+      (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0, Unix.ADDR_INET (inet, port))
+  in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close c =
+  (try flush c.oc with Sys_error _ -> ());
+  try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+
+let send_raw c bytes =
+  output_string c.oc bytes;
+  flush c.oc
+
+let send c req = send_raw c (Proto.encode_request req)
+let read_reply c = Proto.read_reply c.ic
+let half_close c = Unix.shutdown c.fd Unix.SHUTDOWN_SEND
+
+let rpc c req =
+  send c req;
+  read_reply c
+
+let ping c =
+  match rpc c Proto.Ping with
+  | Proto.Pong -> ()
+  | _ -> failwith "ping: unexpected reply"
+
+let stats_json c =
+  match rpc c Proto.Get_stats with
+  | Proto.Stats_json j -> j
+  | _ -> failwith "stats: unexpected reply"
+
+let run_all c queries config =
+  let n = List.length queries in
+  List.iteri
+    (fun id query -> send c (Proto.Run { id; query; config }))
+    queries;
+  let out = Array.make n None in
+  for _ = 1 to n do
+    let reply = read_reply c in
+    let id =
+      match reply with
+      | Proto.Answer { id; _ } | Proto.Error_reply { id; _ } -> id
+      | Proto.Pong | Proto.Topk_answer _ | Proto.Stats_json _ ->
+        failwith "run_all: unexpected reply kind"
+    in
+    if id < 0 || id >= n then failwith "run_all: reply id out of range";
+    if out.(id) <> None then failwith "run_all: duplicate reply id";
+    out.(id) <- Some reply
+  done;
+  Array.map
+    (function Some r -> r | None -> failwith "run_all: missing reply")
+    out

@@ -1,0 +1,36 @@
+(** Blocking client for the {!Psst_server} wire protocol — the substrate of
+    [psst client], the differential serving tests and the bench load
+    driver. One [t] is one connection; it is not thread-safe (use one
+    connection per client thread). *)
+
+type t
+
+(** Raises [Unix.Unix_error] when the endpoint cannot be reached. *)
+val connect : Psst_proto.endpoint -> t
+
+val close : t -> unit
+
+(** Raw frame I/O. [send_raw] writes arbitrary bytes (the fuzz tests use
+    it to deliver corrupted frames); [half_close] shuts down the send
+    side so the server sees EOF while the reply path stays open. *)
+val send : t -> Psst_proto.request -> unit
+
+val read_reply : t -> Psst_proto.reply
+val send_raw : t -> string -> unit
+val half_close : t -> unit
+
+(** [rpc c req] — send one request, read one reply. *)
+val rpc : t -> Psst_proto.request -> Psst_proto.reply
+
+(** [ping c] — round-trip; [Failure] if the server answers anything but
+    [Pong]. *)
+val ping : t -> unit
+
+(** Full registry dump of the server process. *)
+val stats_json : t -> string
+
+(** [run_all c queries config] — pipeline all queries (ids [0..n-1]),
+    then collect the replies and return them indexed by query position
+    (replies may arrive out of order across micro-batches). Each slot is
+    an [Answer] or an [Error_reply]. *)
+val run_all : t -> Lgraph.t list -> Query.config -> Psst_proto.reply array

@@ -1,0 +1,328 @@
+(* Framed binary RPC protocol (DESIGN.md §11). Payloads reuse the
+   Psst_store codecs; the frame adds a magic/version/type header, a u32
+   length and a CRC-32 over header and payload, so every byte on the wire
+   is covered by the checksum. *)
+
+module S = Psst_store
+module Crc32 = Psst_util.Crc32
+
+exception Proto_error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Proto_error msg)) fmt
+let proto_version = 1
+let magic = "PSSTRPC\x00"
+let header_bytes = 24
+let max_payload = 16 * 1024 * 1024
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let endpoint_to_string = function
+  | Unix_socket path -> Printf.sprintf "unix:%s" path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+type error_code = Malformed | Queue_full | Deadline | Shutdown | Internal
+
+let error_code_name = function
+  | Malformed -> "malformed"
+  | Queue_full -> "queue_full"
+  | Deadline -> "deadline"
+  | Shutdown -> "shutdown"
+  | Internal -> "internal"
+
+let error_code_retryable = function
+  | Queue_full | Shutdown -> true
+  | Malformed | Deadline | Internal -> false
+
+let error_code_tag = function
+  | Malformed -> 0
+  | Queue_full -> 1
+  | Deadline -> 2
+  | Shutdown -> 3
+  | Internal -> 4
+
+let error_code_of_tag = function
+  | 0 -> Malformed
+  | 1 -> Queue_full
+  | 2 -> Deadline
+  | 3 -> Shutdown
+  | 4 -> Internal
+  | t -> error "unknown error code tag %d" t
+
+type query_stats = {
+  relaxed_truncated : bool;
+  structural_candidates : int;
+  prob_candidates : int;
+  accepted_by_bounds : int;
+  pruned_by_bounds : int;
+}
+
+let stats_of_query (s : Query.stats) =
+  {
+    relaxed_truncated = s.relaxed_truncated;
+    structural_candidates = s.structural_candidates;
+    prob_candidates = s.prob_candidates;
+    accepted_by_bounds = s.accepted_by_bounds;
+    pruned_by_bounds = s.pruned_by_bounds;
+  }
+
+type request =
+  | Ping
+  | Run of { id : int; query : Lgraph.t; config : Query.config }
+  | Run_topk of { id : int; query : Lgraph.t; k : int; config : Query.config }
+  | Get_stats
+
+type reply =
+  | Pong
+  | Answer of { id : int; answers : int list; stats : query_stats }
+  | Topk_answer of { id : int; hits : (int * float) list }
+  | Stats_json of string
+  | Error_reply of { id : int; code : error_code; message : string }
+
+let request_id = function
+  | Ping | Get_stats -> 0
+  | Run { id; _ } | Run_topk { id; _ } -> id
+
+(* --- message payloads (tag + Psst_store-encoded body) --- *)
+
+let tag_ping = 1
+and tag_run = 2
+and tag_run_topk = 3
+and tag_get_stats = 4
+
+let tag_pong = 65
+and tag_answer = 66
+and tag_topk_answer = 67
+and tag_stats_json = 68
+and tag_error = 69
+
+let encode_request_payload = function
+  | Ping -> (tag_ping, "")
+  | Run { id; query; config } ->
+    let e = S.encoder () in
+    S.put_i64 e id;
+    S.put_lgraph e query;
+    Query.put_config e config;
+    (tag_run, S.contents e)
+  | Run_topk { id; query; k; config } ->
+    let e = S.encoder () in
+    S.put_i64 e id;
+    S.put_lgraph e query;
+    S.put_i64 e k;
+    Query.put_config e config;
+    (tag_run_topk, S.contents e)
+  | Get_stats -> (tag_get_stats, "")
+
+let encode_reply_payload = function
+  | Pong -> (tag_pong, "")
+  | Answer { id; answers; stats } ->
+    let e = S.encoder () in
+    S.put_i64 e id;
+    S.put_int_list e answers;
+    S.put_bool e stats.relaxed_truncated;
+    S.put_i64 e stats.structural_candidates;
+    S.put_i64 e stats.prob_candidates;
+    S.put_i64 e stats.accepted_by_bounds;
+    S.put_i64 e stats.pruned_by_bounds;
+    (tag_answer, S.contents e)
+  | Topk_answer { id; hits } ->
+    let e = S.encoder () in
+    S.put_i64 e id;
+    S.put_list e
+      (fun e (g, ssp) ->
+        S.put_i64 e g;
+        S.put_f64 e ssp)
+      hits;
+    (tag_topk_answer, S.contents e)
+  | Stats_json json ->
+    let e = S.encoder () in
+    S.put_string e json;
+    (tag_stats_json, S.contents e)
+  | Error_reply { id; code; message } ->
+    let e = S.encoder () in
+    S.put_i64 e id;
+    S.put_i64 e (error_code_tag code);
+    S.put_string e message;
+    (tag_error, S.contents e)
+
+(* Payload decoders run under [decoding]: a Psst_store decode failure (or a
+   validating constructor rejecting the data) surfaces as Proto_error. *)
+let decoding name f =
+  match f () with
+  | v -> v
+  | exception S.Store_error msg -> error "%s: %s" name msg
+
+let decode_request tag payload =
+  decoding "request payload" (fun () ->
+      let d = S.decoder ~name:"request" payload in
+      let req =
+        if tag = tag_ping then Ping
+        else if tag = tag_run then begin
+          let id = S.get_i64 d in
+          let query = S.get_lgraph d in
+          let config = Query.get_config d in
+          Run { id; query; config }
+        end
+        else if tag = tag_run_topk then begin
+          let id = S.get_i64 d in
+          let query = S.get_lgraph d in
+          let k = S.get_i64 d in
+          if k < 1 then S.error "top-k count %d must be >= 1" k;
+          let config = Query.get_config d in
+          Run_topk { id; query; k; config }
+        end
+        else if tag = tag_get_stats then Get_stats
+        else S.error "unknown request tag %d" tag
+      in
+      S.expect_end d;
+      req)
+
+let decode_reply tag payload =
+  decoding "reply payload" (fun () ->
+      let d = S.decoder ~name:"reply" payload in
+      let rep =
+        if tag = tag_pong then Pong
+        else if tag = tag_answer then begin
+          let id = S.get_i64 d in
+          let answers = S.get_int_list d in
+          let relaxed_truncated = S.get_bool d in
+          let structural_candidates = S.get_i64 d in
+          let prob_candidates = S.get_i64 d in
+          let accepted_by_bounds = S.get_i64 d in
+          let pruned_by_bounds = S.get_i64 d in
+          Answer
+            {
+              id;
+              answers;
+              stats =
+                {
+                  relaxed_truncated;
+                  structural_candidates;
+                  prob_candidates;
+                  accepted_by_bounds;
+                  pruned_by_bounds;
+                };
+            }
+        end
+        else if tag = tag_topk_answer then begin
+          let id = S.get_i64 d in
+          let hits =
+            S.get_list d (fun d ->
+                let g = S.get_i64 d in
+                let ssp = S.get_f64 d in
+                (g, ssp))
+          in
+          Topk_answer { id; hits }
+        end
+        else if tag = tag_stats_json then Stats_json (S.get_string d)
+        else if tag = tag_error then begin
+          let id = S.get_i64 d in
+          let code = error_code_of_tag (S.get_i64 d) in
+          let message = S.get_string d in
+          Error_reply { id; code; message }
+        end
+        else S.error "unknown reply tag %d" tag
+      in
+      S.expect_end d;
+      rep)
+
+(* --- framing --- *)
+
+let frame ~tag payload =
+  let len = String.length payload in
+  if len > max_payload then error "payload of %d bytes exceeds frame cap" len;
+  let head = Bytes.create 20 in
+  Bytes.blit_string magic 0 head 0 8;
+  Bytes.set_int32_le head 8 (Int32.of_int proto_version);
+  Bytes.set_int32_le head 12 (Int32.of_int tag);
+  Bytes.set_int32_le head 16 (Int32.of_int len);
+  let head = Bytes.unsafe_to_string head in
+  let crc = Crc32.update (Crc32.digest head) payload ~pos:0 ~len in
+  let b = Buffer.create (header_bytes + len) in
+  Buffer.add_string b head;
+  let crcb = Bytes.create 4 in
+  Bytes.set_int32_le crcb 0 crc;
+  Buffer.add_bytes b crcb;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let encode_request r =
+  let tag, payload = encode_request_payload r in
+  frame ~tag payload
+
+let encode_reply r =
+  let tag, payload = encode_reply_payload r in
+  frame ~tag payload
+
+(* Validate the 20 header bytes; returns (tag, payload_len). The length is
+   range-checked here, before any caller allocates for the payload. *)
+let check_header head =
+  if String.length head <> 20 then
+    error "internal: header slice of %d bytes" (String.length head);
+  if String.sub head 0 8 <> magic then error "bad frame magic";
+  let u32 pos =
+    let v = Int32.to_int (String.get_int32_le head pos) in
+    if v < 0 then v + 0x1_0000_0000 else v
+  in
+  let version = u32 8 in
+  if version <> proto_version then
+    error "unsupported protocol version %d (expected %d)" version proto_version;
+  let tag = u32 12 in
+  let len = u32 16 in
+  if len > max_payload then
+    error "frame payload length %d exceeds cap %d" len max_payload;
+  (tag, len)
+
+let check_crc head crc payload =
+  let expect = Crc32.update (Crc32.digest head) payload ~pos:0 ~len:(String.length payload) in
+  if crc <> expect then
+    error "frame checksum mismatch (stored %08lx, computed %08lx)" crc expect
+
+let decode_frame_string s =
+  let total = String.length s in
+  if total < header_bytes then
+    error "truncated frame: %d bytes, header needs %d" total header_bytes;
+  let head = String.sub s 0 20 in
+  let tag, len = check_header head in
+  let crc = String.get_int32_le s 20 in
+  if total < header_bytes + len then
+    error "truncated frame: payload needs %d bytes, have %d" len
+      (total - header_bytes);
+  if total > header_bytes + len then
+    error "trailing bytes after frame (%d extra)" (total - header_bytes - len);
+  let payload = String.sub s header_bytes len in
+  check_crc head crc payload;
+  (tag, payload)
+
+let request_of_string s =
+  let tag, payload = decode_frame_string s in
+  decode_request tag payload
+
+let reply_of_string s =
+  let tag, payload = decode_frame_string s in
+  decode_reply tag payload
+
+(* Blocking reader. The first byte decides between a clean End_of_file and
+   a truncated frame; everything after it must be complete. *)
+let read_frame ic =
+  let first = input_char ic (* End_of_file here = clean close *) in
+  let rest =
+    try really_input_string ic 23
+    with End_of_file -> error "truncated frame header"
+  in
+  let head = String.make 1 first ^ String.sub rest 0 19 in
+  let tag, len = check_header head in
+  let crc = String.get_int32_le rest 19 in
+  let payload =
+    try really_input_string ic len
+    with End_of_file -> error "truncated frame payload (expected %d bytes)" len
+  in
+  check_crc head crc payload;
+  (tag, payload)
+
+let read_request ic =
+  let tag, payload = read_frame ic in
+  decode_request tag payload
+
+let read_reply ic =
+  let tag, payload = read_frame ic in
+  decode_reply tag payload

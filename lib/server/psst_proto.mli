@@ -1,0 +1,96 @@
+(** Wire protocol of the resident query server (DESIGN.md §11).
+
+    Every message travels in one length-prefixed, CRC-32-framed binary
+    frame layered on the {!Psst_store} payload codecs:
+
+    {v
+    offset 0   magic        "PSSTRPC\x00"        8 bytes
+           8   version      u32                  {!proto_version}
+          12   type         u32                  message tag
+          16   payload_len  u32                  <= {!max_payload}
+          20   crc          u32                  CRC-32 of bytes 0..19 ++ payload
+          24   payload      bytes                {!Psst_store} encoding
+    v}
+
+    Readers are defensive end to end: a bad magic, an unknown version or
+    tag, an oversized or negative length, a checksum mismatch, a payload
+    that does not decode, trailing payload bytes, or EOF in the middle of
+    a frame all raise {!Proto_error} with a human-readable message — never
+    [Failure], an out-of-bounds [Invalid_argument], or a hang (a corrupted
+    length field is bounded by [max_payload], so a reader never waits for
+    gigabytes that will not come). *)
+
+exception Proto_error of string
+
+val proto_version : int
+
+(** 8-byte frame magic. *)
+val magic : string
+
+(** Size of the fixed frame header ([magic] through [crc]). *)
+val header_bytes : int
+
+(** Hard cap on [payload_len]; larger lengths are rejected before any
+    allocation. *)
+val max_payload : int
+
+(** Where a server listens / a client connects. *)
+type endpoint = Unix_socket of string | Tcp of string * int
+
+val endpoint_to_string : endpoint -> string
+
+(** Error taxonomy of {!reply.Error_reply}. [Queue_full] and [Shutdown]
+    are retryable: the request was never admitted, so the client may
+    resubmit (ideally elsewhere or after a backoff). *)
+type error_code = Malformed | Queue_full | Deadline | Shutdown | Internal
+
+val error_code_name : error_code -> string
+val error_code_retryable : error_code -> bool
+
+(** The pruning counters echoed with every answer, so a client can check
+    bit-identity with an offline {!Query.run} without a second channel. *)
+type query_stats = {
+  relaxed_truncated : bool;
+  structural_candidates : int;
+  prob_candidates : int;
+  accepted_by_bounds : int;
+  pruned_by_bounds : int;
+}
+
+val stats_of_query : Query.stats -> query_stats
+
+type request =
+  | Ping
+  | Run of { id : int; query : Lgraph.t; config : Query.config }
+  | Run_topk of { id : int; query : Lgraph.t; k : int; config : Query.config }
+  | Get_stats
+
+type reply =
+  | Pong
+  | Answer of { id : int; answers : int list; stats : query_stats }
+  | Topk_answer of { id : int; hits : (int * float) list }
+  | Stats_json of string
+  | Error_reply of { id : int; code : error_code; message : string }
+
+(** [request_id r] — the client-chosen correlation id ([0] for [Ping] /
+    [Get_stats], which are answered in order on the connection). *)
+val request_id : request -> int
+
+(** Full frame bytes (header + payload) for one message. *)
+val encode_request : request -> string
+
+val encode_reply : reply -> string
+
+(** Decode one complete frame from a string (fuzz tests and tooling);
+    {!Proto_error} on any anomaly, including trailing bytes after the
+    frame. *)
+val request_of_string : string -> request
+
+val reply_of_string : string -> reply
+
+(** Blocking frame readers. [End_of_file] is raised only at a clean frame
+    boundary (zero bytes of the next frame read); EOF anywhere inside a
+    frame is a truncation and raises {!Proto_error}. *)
+val read_request : in_channel -> request
+
+val read_reply : in_channel -> reply

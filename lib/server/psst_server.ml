@@ -1,0 +1,502 @@
+(* Resident query server (DESIGN.md §11).
+
+   Thread roles:
+     - accept thread: accepts sockets, spawns one reader per connection;
+     - reader threads: parse frames, answer Ping/Get_stats inline, admit
+       Run/Run_topk into the bounded queue (or reject with a retryable
+       error when the queue is full / the server is stopping);
+     - batcher thread: owns the domain pool; pops micro-batches, enforces
+       queue-wait deadlines, executes with Query.run_batch_on, writes
+       replies.
+
+   The queue mutex orders admission against the drain: once [stopping] is
+   set under the mutex, no new job can enter, so the batcher's "stopping
+   and empty" exit condition is a true drain barrier — every admitted
+   request is answered before stop() returns. *)
+
+module Proto = Psst_proto
+module Pool = Psst_util.Pool
+
+(* --- metrics (bound once; see Psst_obs interning rules) --- *)
+
+let m_conns = Psst_obs.counter "server.conns"
+let m_requests = Psst_obs.counter "server.requests"
+let m_served = Psst_obs.counter "server.served"
+let m_reject_full = Psst_obs.counter "server.reject.queue_full"
+let m_reject_deadline = Psst_obs.counter "server.reject.deadline"
+let m_reject_shutdown = Psst_obs.counter "server.reject.shutdown"
+let m_proto_errors = Psst_obs.counter "server.proto.errors"
+let m_write_errors = Psst_obs.counter "server.write.errors"
+let m_batch_size = Psst_obs.histogram ~lo:1. ~hi:1e4 "server.batch.size"
+let m_queue_depth = Psst_obs.histogram ~lo:1. ~hi:1e6 "server.queue.depth"
+let m_queue_wait = Psst_obs.histogram "server.queue.wait_s"
+let m_latency = Psst_obs.histogram "server.latency_s"
+
+type config = {
+  endpoint : Proto.endpoint;
+  domains : int;
+  queue_cap : int;
+  deadline_ms : float;
+  batch_max : int;
+  trace_cap : int;
+}
+
+let default_config endpoint =
+  {
+    endpoint;
+    domains = 1;
+    queue_cap = 128;
+    deadline_ms = 0.;
+    batch_max = 32;
+    trace_cap = 256;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wmutex : Mutex.t;  (* serialises reply writes and the close *)
+  mutable open_ : bool;
+}
+
+type job = {
+  jconn : conn;
+  jid : int;
+  jkind :
+    [ `Run of Lgraph.t * Query.config | `Topk of Lgraph.t * int * Query.config ];
+  enqueued : float;
+}
+
+type t = {
+  cfg : config;
+  db : Query.database;
+  pool : Pool.t;
+  listen_fd : Unix.file_descr;
+  bound : Proto.endpoint;  (* endpoint with the actual port resolved *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : job Queue.t;
+  mutable stopping : bool;
+  mutable is_stopped : bool;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable batch_thread : Thread.t option;
+  trace_ring : Psst_obs.Trace.t Queue.t;  (* guarded by [mutex] *)
+  served_count : int Atomic.t;
+}
+
+let endpoint t = t.bound
+let stopped t = t.is_stopped
+let served t = Atomic.get t.served_count
+
+let traces t =
+  Mutex.lock t.mutex;
+  let l = List.of_seq (Queue.to_seq t.trace_ring) in
+  Mutex.unlock t.mutex;
+  l
+
+let push_trace t tr =
+  Mutex.lock t.mutex;
+  Queue.add tr t.trace_ring;
+  while Queue.length t.trace_ring > t.cfg.trace_cap do
+    ignore (Queue.pop t.trace_ring)
+  done;
+  Mutex.unlock t.mutex
+
+(* --- connection plumbing --- *)
+
+let close_conn t c =
+  Mutex.lock c.wmutex;
+  let was_open = c.open_ in
+  if was_open then begin
+    c.open_ <- false;
+    (try flush c.oc with Sys_error _ -> ());
+    (* shutdown() wakes a reader blocked in read(2) on this socket —
+       close() alone does not — so stop() can join every reader thread. *)
+    (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ())
+  end;
+  Mutex.unlock c.wmutex;
+  if was_open then begin
+    Mutex.lock t.mutex;
+    t.conns <- List.filter (fun c' -> c' != c) t.conns;
+    Mutex.unlock t.mutex
+  end
+
+let send_reply c reply =
+  Mutex.lock c.wmutex;
+  (if c.open_ then
+     match
+       output_string c.oc (Proto.encode_reply reply);
+       flush c.oc
+     with
+     | () -> Psst_obs.incr m_served
+     | exception (Sys_error _ | Unix.Unix_error (_, _, _)) ->
+       (* The client hung up mid-reply: normal under load, not a warning. *)
+       Psst_obs.incr m_write_errors);
+  Mutex.unlock c.wmutex
+
+let send_counted t c reply =
+  Atomic.incr t.served_count;
+  send_reply c reply
+
+(* --- admission --- *)
+
+let admit t job =
+  Mutex.lock t.mutex;
+  let verdict =
+    if t.stopping then `Shutdown
+    else if Queue.length t.queue >= t.cfg.queue_cap then `Full
+    else begin
+      Queue.add job t.queue;
+      Psst_obs.observe m_queue_depth (float_of_int (Queue.length t.queue));
+      Condition.signal t.cond;
+      `Admitted
+    end
+  in
+  Mutex.unlock t.mutex;
+  match verdict with
+  | `Admitted -> ()
+  | `Full ->
+    Psst_obs.incr m_reject_full;
+    send_counted t job.jconn
+      (Proto.Error_reply
+         {
+           id = job.jid;
+           code = Proto.Queue_full;
+           message =
+             Printf.sprintf "admission queue full (%d requests); retry later"
+               t.cfg.queue_cap;
+         })
+  | `Shutdown ->
+    Psst_obs.incr m_reject_shutdown;
+    send_counted t job.jconn
+      (Proto.Error_reply
+         {
+           id = job.jid;
+           code = Proto.Shutdown;
+           message = "server is shutting down; retry elsewhere";
+         })
+
+let reader_loop t c =
+  let rec loop () =
+    match Proto.read_request c.ic with
+    | exception End_of_file -> close_conn t c
+    | exception Sys_error _ -> close_conn t c
+    | exception Proto.Proto_error msg ->
+      (* One error reply, one warning event, then drop the connection:
+         after a framing error the byte stream has no trustworthy frame
+         boundary left. *)
+      Psst_obs.incr m_proto_errors;
+      Psst_obs.warn ~code:"proto" msg;
+      send_counted t c
+        (Proto.Error_reply { id = 0; code = Proto.Malformed; message = msg });
+      close_conn t c
+    | Proto.Ping ->
+      Psst_obs.incr m_requests;
+      send_counted t c Proto.Pong;
+      loop ()
+    | Proto.Get_stats ->
+      Psst_obs.incr m_requests;
+      send_counted t c (Proto.Stats_json (Psst_obs.to_json_string ()));
+      loop ()
+    | Proto.Run { id; query; config } ->
+      Psst_obs.incr m_requests;
+      admit t
+        {
+          jconn = c;
+          jid = id;
+          jkind = `Run (query, config);
+          enqueued = Unix.gettimeofday ();
+        };
+      loop ()
+    | Proto.Run_topk { id; query; k; config } ->
+      Psst_obs.incr m_requests;
+      admit t
+        {
+          jconn = c;
+          jid = id;
+          jkind = `Topk (query, k, config);
+          enqueued = Unix.gettimeofday ();
+        };
+      loop ()
+  in
+  loop ()
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _addr when t.stopping ->
+      (* stop()'s wake-up connection (or a raced late client): admission
+         is closed, drop it. *)
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    | fd, _addr ->
+      let c =
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          wmutex = Mutex.create ();
+          open_ = true;
+        }
+      in
+      Psst_obs.incr m_conns;
+      let th =
+        Thread.create
+          (fun () ->
+            try reader_loop t c
+            with e ->
+              Psst_obs.warn ~code:"server.reader" (Printexc.to_string e);
+              close_conn t c)
+          ()
+      in
+      Mutex.lock t.mutex;
+      t.conns <- c :: t.conns;
+      t.readers <- th :: t.readers;
+      Mutex.unlock t.mutex;
+      loop ()
+    | exception Unix.Unix_error (e, _, _) ->
+      if t.stopping then ()
+      else if e = Unix.ECONNABORTED || e = Unix.EINTR then loop ()
+      else begin
+        (* Transient accept failure (e.g. EMFILE): report, back off, keep
+           serving the connections we already have. *)
+        Psst_obs.warn ~code:"server.accept" (Unix.error_message e);
+        Thread.delay 0.05;
+        if t.stopping then () else loop ()
+      end
+  in
+  loop ()
+
+(* --- batching --- *)
+
+let job_error t job code message =
+  (match code with
+  | Proto.Deadline -> Psst_obs.incr m_reject_deadline
+  | _ -> ());
+  send_counted t job.jconn
+    (Proto.Error_reply { id = job.jid; code; message })
+
+let finish_run t job (out : Query.outcome) =
+  push_trace t out.trace;
+  send_counted t job.jconn
+    (Proto.Answer
+       {
+         id = job.jid;
+         answers = out.answers;
+         stats = Proto.stats_of_query out.stats;
+       });
+  Psst_obs.observe m_latency (Unix.gettimeofday () -. job.enqueued)
+
+let process_batch t batch =
+  let now = Unix.gettimeofday () in
+  Psst_obs.observe m_batch_size (float_of_int (List.length batch));
+  List.iter
+    (fun j -> Psst_obs.observe m_queue_wait (now -. j.enqueued))
+    batch;
+  let live, expired =
+    if t.cfg.deadline_ms <= 0. then (batch, [])
+    else
+      List.partition
+        (fun j -> (now -. j.enqueued) *. 1000. <= t.cfg.deadline_ms)
+        batch
+  in
+  List.iter
+    (fun j ->
+      job_error t j Proto.Deadline
+        (Printf.sprintf "deadline exceeded: waited %.1f ms in queue (limit %.1f)"
+           ((now -. j.enqueued) *. 1000.)
+           t.cfg.deadline_ms))
+    expired;
+  let runs, topks =
+    List.partition_map
+      (fun j ->
+        match j.jkind with
+        | `Run (q, cfg) -> Either.Left (j, q, cfg)
+        | `Topk (q, k, cfg) -> Either.Right (j, q, k, cfg))
+      live
+  in
+  (* Group Run jobs by config so each group is one Query.run_batch_on call
+     on the shared pool; answers stay bit-identical to offline runs. *)
+  let groups =
+    List.fold_left
+      (fun acc (j, q, cfg) ->
+        match List.assoc_opt cfg acc with
+        | Some cell ->
+          cell := (j, q) :: !cell;
+          acc
+        | None -> (cfg, ref [ (j, q) ]) :: acc)
+      [] runs
+    |> List.rev_map (fun (cfg, cell) -> (cfg, List.rev !cell))
+  in
+  List.iter
+    (fun (cfg, jobs) ->
+      match Query.run_batch_on t.pool t.db (List.map snd jobs) cfg with
+      | outs -> List.iter2 (fun (j, _) out -> finish_run t j out) jobs outs
+      | exception e ->
+        let msg = Printexc.to_string e in
+        Psst_obs.warn ~code:"server.batch" msg;
+        List.iter
+          (fun (j, _) -> job_error t j Proto.Internal ("query failed: " ^ msg))
+          jobs)
+    groups;
+  List.iter
+    (fun (j, q, k, cfg) ->
+      match Topk.run t.db q ~k cfg with
+      | out ->
+        send_counted t j.jconn
+          (Proto.Topk_answer
+             {
+               id = j.jid;
+               hits =
+                 List.map (fun (h : Topk.hit) -> (h.graph, h.ssp)) out.Topk.hits;
+             });
+        Psst_obs.observe m_latency (Unix.gettimeofday () -. j.enqueued)
+      | exception e ->
+        let msg = Printexc.to_string e in
+        Psst_obs.warn ~code:"server.batch" msg;
+        job_error t j Proto.Internal ("top-k failed: " ^ msg))
+    topks
+
+let batch_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.cond t.mutex
+    done;
+    let batch = ref [] in
+    let n = ref 0 in
+    while (not (Queue.is_empty t.queue)) && !n < t.cfg.batch_max do
+      batch := Queue.pop t.queue :: !batch;
+      incr n
+    done;
+    let batch = List.rev !batch in
+    Mutex.unlock t.mutex;
+    if batch <> [] then begin
+      process_batch t batch;
+      loop ()
+    end
+    else if not t.stopping then loop ()
+    (* else: stopping with an empty queue — drained, exit. *)
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+let bind_endpoint = function
+  | Proto.Unix_socket path ->
+    (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.bind fd (Unix.ADDR_UNIX path)
+     with e -> Unix.close fd; raise e);
+    Unix.listen fd 64;
+    (fd, Proto.Unix_socket path)
+  | Proto.Tcp (host, port) ->
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> failwith (host ^ ": unknown host"))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (addr, port))
+     with e -> Unix.close fd; raise e);
+    Unix.listen fd 64;
+    let actual =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (fd, Proto.Tcp (host, actual))
+
+let start cfg db =
+  if cfg.queue_cap < 1 then invalid_arg "Psst_server: queue_cap must be >= 1";
+  if cfg.batch_max < 1 then invalid_arg "Psst_server: batch_max must be >= 1";
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let listen_fd, bound = bind_endpoint cfg.endpoint in
+  let t =
+    {
+      cfg;
+      db;
+      pool = Pool.create ~domains:cfg.domains ();
+      listen_fd;
+      bound;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      is_stopped = false;
+      conns = [];
+      readers = [];
+      accept_thread = None;
+      batch_thread = None;
+      trace_ring = Queue.create ();
+      served_count = Atomic.make 0;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.batch_thread <-
+    Some
+      (Thread.create
+         (fun () ->
+           try batch_loop t
+           with e ->
+             (* A bug escaping process_batch's per-group guards: report it
+                loudly; stop() can still join and shut the process down. *)
+             Psst_obs.warn ~code:"server.batcher" (Printexc.to_string e))
+         ());
+  t
+
+let stop t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  if not already then begin
+    (* Unblock the accept thread. Closing the fd does NOT wake a thread
+       already blocked in accept(2) on Linux, so: shutdown the listening
+       socket (wakes accept on most kernels), then make one wake-up
+       connection to the endpoint as a portable fallback — the accept loop
+       sees [stopping] and drops it. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error (_, _, _) -> ());
+    (try
+       let wake =
+         match t.bound with
+         | Proto.Unix_socket path ->
+           let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+           (try Unix.connect fd (Unix.ADDR_UNIX path)
+            with e -> Unix.close fd; raise e);
+           fd
+         | Proto.Tcp (_, port) ->
+           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+           (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+            with e -> Unix.close fd; raise e);
+           fd
+       in
+       Unix.close wake
+     with Unix.Unix_error (_, _, _) | Failure _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+    Option.iter Thread.join t.batch_thread;
+    (* Every admitted request is answered by now; drop the connections so
+       the reader threads unblock and exit. *)
+    Mutex.lock t.mutex;
+    let conns = t.conns and readers = t.readers in
+    Mutex.unlock t.mutex;
+    List.iter (fun c -> close_conn t c) conns;
+    List.iter Thread.join readers;
+    Pool.shutdown t.pool;
+    (match t.bound with
+    | Proto.Unix_socket path ->
+      (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+    | Proto.Tcp _ -> ());
+    t.is_stopped <- true
+  end

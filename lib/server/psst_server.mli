@@ -1,0 +1,67 @@
+(** Resident query server (DESIGN.md §11).
+
+    Loads a database once and answers {!Psst_proto} requests over a
+    Unix-domain or TCP socket for the life of the process — the
+    index-resident serving model the succinct-index literature assumes
+    (no per-query process start, mining, or PMI build).
+
+    Execution model: one accept thread, one lightweight reader thread per
+    connection, and a single batcher thread that owns the domain pool.
+    Readers admit [Run]/[Run_topk] requests into a bounded queue
+    (explicit backpressure: a full queue yields a retryable
+    [`Queue_full`] error reply, never an unbounded buffer); the batcher
+    drains the queue in micro-batches and executes them with
+    {!Query.run_batch_on} on the shared pool, so concurrent requests
+    interleave across domains while each answer stays bit-identical to an
+    offline {!Query.run}. [Ping]/[Get_stats] are answered inline by the
+    reader and never queue.
+
+    Deadlines bound queue wait: a request that has already waited longer
+    than [deadline_ms] when the batcher pops it is answered with a
+    [`Deadline`] error instead of being executed (verification is not
+    preempted once started).
+
+    Shutdown ({!stop}) is a graceful drain: admission closes (late
+    arrivals get a retryable [`Shutdown`] error), every already-queued
+    request is answered, then connections are closed and the pool is
+    released. A malformed frame on a connection produces one [`Malformed`]
+    error reply and a ["proto"] warning event, then closes that
+    connection; the server itself keeps serving. *)
+
+type config = {
+  endpoint : Psst_proto.endpoint;
+  domains : int;  (** domain-pool size for verification fan-out *)
+  queue_cap : int;  (** admission queue bound (backpressure) *)
+  deadline_ms : float;  (** max queue wait; [0.] disables deadlines *)
+  batch_max : int;  (** micro-batch size cap *)
+  trace_cap : int;  (** per-query traces retained for [--stats-json] *)
+}
+
+(** Unix socket, 1 domain, queue of 128, no deadline, batches of 32,
+    256 traces. *)
+val default_config : Psst_proto.endpoint -> config
+
+type t
+
+(** [start config db] binds the endpoint and spawns the serving threads.
+    Raises [Unix.Unix_error] when the endpoint cannot be bound. SIGPIPE is
+    set to ignore (a client hanging up mid-reply must not kill the
+    process). *)
+val start : config -> Query.database -> t
+
+(** The bound endpoint — for [Tcp (host, 0)] this carries the actual
+    kernel-assigned port. *)
+val endpoint : t -> Psst_proto.endpoint
+
+(** Graceful drain as described above. Idempotent; blocks until every
+    queued request is answered and all threads have joined. *)
+val stop : t -> unit
+
+(** True once {!stop} has completed. *)
+val stopped : t -> bool
+
+(** Most recent per-query traces (oldest first, at most [trace_cap]). *)
+val traces : t -> Psst_obs.Trace.t list
+
+(** Requests answered since {!start} (including error replies). *)
+val served : t -> int

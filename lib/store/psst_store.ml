@@ -115,6 +115,15 @@ let get_i32 d =
   d.pos <- d.pos + 4;
   v
 
+let get_bytes d n =
+  if n < 0 then error "section %S: negative byte count %d" d.ctx n;
+  need d n;
+  let s = String.sub d.data d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let dec_remaining = remaining
+
 let get_f64 d =
   need d 8;
   let v = Int64.float_of_bits (String.get_int64_le d.data d.pos) in

@@ -128,6 +128,14 @@ val get_array : dec -> (dec -> 'a) -> 'a array
 val get_option : dec -> (dec -> 'a) -> 'a option
 val get_lgraph : dec -> Lgraph.t
 
+(** [get_bytes d n] — the next [n] raw bytes, bounds-checked. Used by
+    codecs with fixed-width fields (e.g. the RPC frame magic) that are not
+    length-prefixed. *)
+val get_bytes : dec -> int -> string
+
+(** Bytes left to consume in the payload. *)
+val dec_remaining : dec -> int
+
 (** [expect_end d] — {!Store_error} unless the payload was fully consumed. *)
 val expect_end : dec -> unit
 

@@ -17,6 +17,9 @@ let () =
       ("dynamic", Test_dynamic.suite);
       ("verify_diff", Test_verify_diff.suite);
       ("store", Test_store.suite);
+      ("proto", Test_proto.suite);
+      ("server", Test_server.suite);
+      ("cli", Test_cli.suite);
       ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);
       ("edge_cases", Test_edge_cases.suite);

@@ -1,0 +1,113 @@
+(* CLI failure contract (DESIGN.md §11): every subcommand handed a
+   missing, malformed or unreachable file/endpoint exits 1 with exactly
+   one "psst: ..." line on stderr — no backtraces, no cmdliner internal
+   error (exit 125), no exit 0 with an error buried in stdout. Runs the
+   real binary; see the (deps ...) clause in test/dune. *)
+
+(* dune runtest runs us in _build/default/test; dune exec from the
+   workspace root. *)
+let exe =
+  let candidates =
+    [ "../bin/psst.exe"; "_build/default/bin/psst.exe"; "bin/psst.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "../bin/psst.exe"
+
+(* Run [args], return (exit code, stderr lines). stdout is discarded. *)
+let run_psst args =
+  let err = Filename.temp_file "psst_cli" ".err" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove err with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s >/dev/null 2>%s" (Filename.quote exe) args
+          (Filename.quote err)
+      in
+      let code = Sys.command cmd in
+      let ic = open_in err in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      (code, List.rev !lines))
+
+let check_dies what args =
+  let code, stderr = run_psst args in
+  Alcotest.(check int) (what ^ ": exit code") 1 code;
+  (match stderr with
+  | [ line ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: stderr is one psst-prefixed line (got %S)" what line)
+      true
+      (String.length line > 6 && String.sub line 0 6 = "psst: ")
+  | [] -> Alcotest.failf "%s: nothing on stderr" what
+  | ls -> Alcotest.failf "%s: %d stderr lines, expected one" what (List.length ls))
+
+let with_file contents f =
+  let path = Filename.temp_file "psst_cli" ".pgdb" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let missing_path () =
+  let p = Filename.temp_file "psst_cli" ".absent" in
+  Sys.remove p;
+  p
+
+let test_missing_corpus () =
+  let p = Filename.quote (missing_path ()) in
+  check_dies "query on a missing corpus" (Printf.sprintf "query --input %s" p);
+  check_dies "topk on a missing corpus" (Printf.sprintf "topk --input %s" p);
+  check_dies "index on a missing corpus"
+    (Printf.sprintf "index --input %s -o /dev/null" p)
+
+let test_malformed_text_corpus () =
+  with_file "this is not a corpus\nv banana\nend\n" (fun p ->
+      check_dies "query on a malformed text corpus"
+        (Printf.sprintf "query --input %s" (Filename.quote p)))
+
+let test_truncated_binary_corpus () =
+  (* The binary store magic followed by junk: recognised as a store file,
+     then rejected by the checksummed reader. *)
+  with_file "PSSTSTR\x00garbage-that-is-not-a-store" (fun p ->
+      check_dies "query on a corrupt binary corpus"
+        (Printf.sprintf "query --input %s" (Filename.quote p)))
+
+let test_unreachable_server () =
+  let p = Filename.quote (missing_path ()) in
+  check_dies "client with no server"
+    (Printf.sprintf "client --socket %s --ping --queries 0" p)
+
+let test_endpoint_flag_validation () =
+  check_dies "serve with neither --socket nor --port" "serve";
+  check_dies "serve with both --socket and --port"
+    "serve --socket /tmp/x.sock --port 7777";
+  check_dies "client with neither --socket nor --port" "client --queries 0"
+
+let test_success_path_stays_zero () =
+  let code, stderr = run_psst "generate -n 4 --seed 3" in
+  Alcotest.(check int) "generate exits 0" 0 code;
+  Alcotest.(check int) "generate prints nothing on stderr" 0
+    (List.length stderr)
+
+let suite =
+  [
+    Alcotest.test_case "missing files exit 1" `Quick test_missing_corpus;
+    Alcotest.test_case "malformed text corpus exits 1" `Quick
+      test_malformed_text_corpus;
+    Alcotest.test_case "corrupt binary corpus exits 1" `Quick
+      test_truncated_binary_corpus;
+    Alcotest.test_case "unreachable server exits 1" `Quick
+      test_unreachable_server;
+    Alcotest.test_case "endpoint flag validation exits 1" `Quick
+      test_endpoint_flag_validation;
+    Alcotest.test_case "healthy invocation exits 0" `Quick
+      test_success_path_stays_zero;
+  ]

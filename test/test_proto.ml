@@ -1,0 +1,276 @@
+(* Wire-protocol codecs and frame fuzzing (DESIGN.md §11): round trips
+   through the framed encoding, then the same adversarial treatment
+   Test_store gives the on-disk format — truncation at every byte
+   boundary and single-byte corruption at every offset. Every anomaly
+   must surface as Proto_error with a readable message, never Failure,
+   Invalid_argument or an out-of-bounds access. *)
+
+module P = Psst_proto
+module Crc32 = Psst_util.Crc32
+module S = Psst_store
+
+let query_graph =
+  Lgraph.create ~vlabels:[| 0; 1; 2; 1 |]
+    ~edges:[ (0, 1, 0); (1, 2, 1); (2, 3, 0); (3, 0, 2) ]
+
+let smp_config =
+  {
+    Query.epsilon = 0.35;
+    delta = 2;
+    mode = Pruning.Optimized;
+    certified = true;
+    verifier = `Smp { Verify.default_config with tau = 0.25; emb_cap = 9 };
+    relax_cap = 5000;
+    seed = 77;
+  }
+
+let exact_config =
+  { Query.default_config with verifier = `Exact; mode = Pruning.Random_pick }
+
+let sample_requests =
+  [
+    P.Ping;
+    P.Get_stats;
+    P.Run { id = 3; query = query_graph; config = smp_config };
+    P.Run { id = 0; query = query_graph; config = exact_config };
+    P.Run_topk { id = 12; query = query_graph; k = 5; config = smp_config };
+  ]
+
+let sample_replies =
+  [
+    P.Pong;
+    P.Answer
+      {
+        id = 3;
+        answers = [ 0; 4; 17 ];
+        stats =
+          {
+            P.relaxed_truncated = true;
+            structural_candidates = 12;
+            prob_candidates = 7;
+            accepted_by_bounds = 2;
+            pruned_by_bounds = 5;
+          };
+      };
+    P.Answer
+      {
+        id = 0;
+        answers = [];
+        stats =
+          {
+            P.relaxed_truncated = false;
+            structural_candidates = 0;
+            prob_candidates = 0;
+            accepted_by_bounds = 0;
+            pruned_by_bounds = 0;
+          };
+      };
+    P.Topk_answer { id = 12; hits = [ (4, 0.75); (0, 0.5) ] };
+    P.Stats_json "{\"counters\": {}}";
+    P.Error_reply { id = 9; code = P.Queue_full; message = "queue full" };
+    P.Error_reply { id = 0; code = P.Malformed; message = "bad magic" };
+    P.Error_reply { id = 1; code = P.Deadline; message = "too late" };
+    P.Error_reply { id = 2; code = P.Shutdown; message = "draining" };
+    P.Error_reply { id = 3; code = P.Internal; message = "boom" };
+  ]
+
+(* Lgraph.t has no structural equality usable by polymorphic compare
+   (adjacency is derived), so compare requests via their encoding. *)
+let check_request_roundtrip i req =
+  let bytes = P.encode_request req in
+  let back = P.request_of_string bytes in
+  Alcotest.(check string)
+    (Printf.sprintf "request %d re-encodes identically" i)
+    bytes (P.encode_request back)
+
+let test_request_roundtrips () =
+  List.iteri check_request_roundtrip sample_requests
+
+let test_reply_roundtrips () =
+  List.iteri
+    (fun i rep ->
+      let bytes = P.encode_reply rep in
+      Alcotest.(check bool)
+        (Printf.sprintf "reply %d round-trips" i)
+        true
+        (P.reply_of_string bytes = rep))
+    sample_replies
+
+let test_config_roundtrip () =
+  List.iter
+    (fun cfg ->
+      let e = S.encoder () in
+      Query.put_config e cfg;
+      let d = S.decoder ~name:"config" (S.contents e) in
+      let back = Query.get_config d in
+      S.expect_end d;
+      Alcotest.(check bool) "config round-trips" true (cfg = back))
+    [ Query.default_config; smp_config; exact_config ]
+
+(* --- adversarial framing --- *)
+
+let expect_proto_error what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Proto_error" what
+  | exception P.Proto_error _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: expected Proto_error, got %s" what (Printexc.to_string e)
+
+let test_truncation_every_boundary () =
+  let frame =
+    P.encode_request (P.Run { id = 1; query = query_graph; config = smp_config })
+  in
+  for n = 0 to String.length frame - 1 do
+    expect_proto_error
+      (Printf.sprintf "prefix of %d/%d bytes" n (String.length frame))
+      (fun () -> P.request_of_string (String.sub frame 0 n))
+  done
+
+let test_trailing_bytes_rejected () =
+  let frame = P.encode_request P.Ping in
+  expect_proto_error "one trailing byte" (fun () ->
+      P.request_of_string (frame ^ "\x00"));
+  expect_proto_error "frame after frame" (fun () ->
+      P.request_of_string (frame ^ frame))
+
+(* A single corrupted byte anywhere in the frame — magic, version, tag,
+   length, CRC or payload — must be detected. The header fields are
+   validated directly and everything else is covered by the CRC-32, so
+   no flip can slip through. *)
+let test_single_byte_flips () =
+  List.iter
+    (fun (name, frame) ->
+      for pos = 0 to String.length frame - 1 do
+        let b = Bytes.of_string frame in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+        expect_proto_error
+          (Printf.sprintf "%s: flipped byte %d" name pos)
+          (fun () -> P.request_of_string (Bytes.to_string b))
+      done)
+    [
+      ("ping", P.encode_request P.Ping);
+      ( "run",
+        P.encode_request
+          (P.Run { id = 1; query = query_graph; config = smp_config }) );
+    ]
+
+let test_low_bit_flips_in_header () =
+  (* Low-bit flips keep the length small, exercising the checksum (not
+     the length cap) on the validation path. *)
+  let frame =
+    P.encode_request (P.Run { id = 1; query = query_graph; config = smp_config })
+  in
+  for pos = 0 to P.header_bytes - 1 do
+    let b = Bytes.of_string frame in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+    expect_proto_error
+      (Printf.sprintf "header byte %d low-bit flip" pos)
+      (fun () -> P.request_of_string (Bytes.to_string b))
+  done
+
+(* Hand-build frames with a correct CRC so corruption *below* the framing
+   layer (store payload decode) is reached. *)
+let mk_frame ~version ~tag payload =
+  let head = Bytes.create 20 in
+  Bytes.blit_string P.magic 0 head 0 8;
+  Bytes.set_int32_le head 8 (Int32.of_int version);
+  Bytes.set_int32_le head 12 (Int32.of_int tag);
+  Bytes.set_int32_le head 16 (Int32.of_int (String.length payload));
+  let head = Bytes.unsafe_to_string head in
+  let crc =
+    Crc32.update (Crc32.digest head) payload ~pos:0
+      ~len:(String.length payload)
+  in
+  let crcb = Bytes.create 4 in
+  Bytes.set_int32_le crcb 0 crc;
+  head ^ Bytes.to_string crcb ^ payload
+
+let test_valid_crc_bad_payload () =
+  (* Unknown tag. *)
+  expect_proto_error "unknown request tag" (fun () ->
+      P.request_of_string (mk_frame ~version:P.proto_version ~tag:250 ""));
+  (* A reply tag is not a request. *)
+  expect_proto_error "reply tag as request" (fun () ->
+      P.request_of_string (mk_frame ~version:P.proto_version ~tag:65 ""));
+  (* Wrong version, frame otherwise perfect. *)
+  expect_proto_error "future version" (fun () ->
+      P.request_of_string (mk_frame ~version:(P.proto_version + 1) ~tag:1 ""));
+  (* Garbage store payload under a Run tag. *)
+  expect_proto_error "garbage run payload" (fun () ->
+      P.request_of_string
+        (mk_frame ~version:P.proto_version ~tag:2 "\x01\x02\x03\x04"));
+  (* Store payload truncated mid-field but the frame itself is whole. *)
+  let whole =
+    let e = S.encoder () in
+    S.put_i64 e 1;
+    S.put_lgraph e query_graph;
+    S.contents e
+  in
+  expect_proto_error "store payload cut short" (fun () ->
+      P.request_of_string
+        (mk_frame ~version:P.proto_version ~tag:2
+           (String.sub whole 0 (String.length whole / 2))));
+  (* Trailing payload bytes after a complete message body. *)
+  let ping_plus =
+    mk_frame ~version:P.proto_version ~tag:1 "\x00"
+  in
+  expect_proto_error "payload bytes after message" (fun () ->
+      P.request_of_string ping_plus)
+
+let test_oversized_length_rejected_before_allocation () =
+  (* A corrupted length field larger than max_payload must be rejected
+     from the header alone — no attempt to read or allocate gigabytes. *)
+  let b = Bytes.of_string (P.encode_request P.Ping) in
+  Bytes.set_int32_le b 16 0x7FFF_FFFFl;
+  expect_proto_error "4GiB length" (fun () ->
+      P.request_of_string (Bytes.to_string b))
+
+let test_stream_reader_matches_string_decoder () =
+  (* read_request over a pipe agrees with request_of_string, and EOF at a
+     frame boundary is a clean End_of_file while EOF inside a frame is a
+     Proto_error. *)
+  let frame =
+    P.encode_request (P.Run { id = 7; query = query_graph; config = exact_config })
+  in
+  let feed bytes f =
+    let path = Filename.temp_file "psst_proto" ".bin" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out_bin path in
+        output_string oc bytes;
+        close_out oc;
+        let ic = open_in_bin path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic))
+  in
+  feed (frame ^ frame) (fun ic ->
+      let a = P.read_request ic in
+      let b = P.read_request ic in
+      Alcotest.(check string) "two frames, same decode"
+        (P.encode_request a) (P.encode_request b);
+      match P.read_request ic with
+      | _ -> Alcotest.fail "expected End_of_file at frame boundary"
+      | exception End_of_file -> ());
+  feed (String.sub frame 0 (String.length frame - 3)) (fun ic ->
+      expect_proto_error "EOF inside frame" (fun () -> P.read_request ic))
+
+let suite =
+  [
+    Alcotest.test_case "requests round-trip" `Quick test_request_roundtrips;
+    Alcotest.test_case "replies round-trip" `Quick test_reply_roundtrips;
+    Alcotest.test_case "query config round-trips" `Quick test_config_roundtrip;
+    Alcotest.test_case "truncation at every boundary" `Quick
+      test_truncation_every_boundary;
+    Alcotest.test_case "trailing bytes rejected" `Quick
+      test_trailing_bytes_rejected;
+    Alcotest.test_case "single-byte flips detected" `Quick
+      test_single_byte_flips;
+    Alcotest.test_case "header low-bit flips detected" `Quick
+      test_low_bit_flips_in_header;
+    Alcotest.test_case "valid CRC, hostile payload" `Quick
+      test_valid_crc_bad_payload;
+    Alcotest.test_case "oversized length rejected early" `Quick
+      test_oversized_length_rejected_before_allocation;
+    Alcotest.test_case "stream reader = string decoder" `Quick
+      test_stream_reader_matches_string_decoder;
+  ]

@@ -1,0 +1,322 @@
+(* The resident query server (DESIGN.md §11): served answers must be
+   bit-identical to offline Query.run at every pool size, backpressure
+   and deadlines must reject with the documented retryable codes, a
+   graceful stop must drain every admitted request, and corrupted frames
+   must produce one Malformed reply plus a "proto" warning — never a
+   crash and never a wedged server. *)
+
+module P = Psst_proto
+module Client = Psst_client
+module Server = Psst_server
+module Prng = Psst_util.Prng
+
+let fast_bounds = { Bounds.default_config with mc_samples = 400 }
+let fast_smp = { Verify.default_config with tau = 0.3 }
+
+(* Verification cost scales like 1/tau^2, so this config makes each query
+   slow enough for the backpressure and deadline tests to observe a busy
+   batcher without any sleeps in the server. *)
+let slow_smp = { Verify.default_config with tau = 0.05 }
+
+let make_db seed n =
+  let ds =
+    Generator.generate
+      { Generator.default_params with num_graphs = n; seed; min_vertices = 6;
+        max_vertices = 10; motif_edges = 3 }
+  in
+  let db =
+    Query.index_database
+      ~mining:{ Selection.default_params with max_edges = 2; beta = 0.2 }
+      ~bounds:fast_bounds ds.graphs
+  in
+  (ds, db)
+
+let base_config =
+  { Query.default_config with epsilon = 0.4; delta = 1; verifier = `Smp fast_smp }
+
+let with_server ?(domains = 1) ?(queue_cap = 128) ?(deadline_ms = 0.)
+    ?(batch_max = 32) db f =
+  let path = Filename.temp_file "psst_test_srv" ".sock" in
+  let srv =
+    Server.start
+      {
+        (Server.default_config (P.Unix_socket path)) with
+        Server.domains;
+        queue_cap;
+        deadline_ms;
+        batch_max;
+      }
+      db
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f srv)
+
+let with_client srv f =
+  let c = Client.connect (Server.endpoint srv) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* --- differential: served = offline, at 1 and 4 domains --- *)
+
+let check_differential ~domains () =
+  let ds, db = make_db 211 25 in
+  let rng = Prng.make 31 in
+  let queries =
+    List.init 3 (fun _ -> fst (Generator.extract_query rng ds ~edges:4))
+  in
+  let offline = List.map (fun q -> Query.run db q base_config) queries in
+  with_server ~domains db (fun srv ->
+      with_client srv (fun c ->
+          let replies = Client.run_all c queries base_config in
+          List.iteri
+            (fun i (off : Query.outcome) ->
+              match replies.(i) with
+              | P.Answer { id; answers; stats } ->
+                Alcotest.(check int) (Printf.sprintf "query %d id" i) i id;
+                Alcotest.(check (list int))
+                  (Printf.sprintf "query %d answers @ %d domains" i domains)
+                  off.Query.answers answers;
+                Alcotest.(check bool)
+                  (Printf.sprintf "query %d pruning counters" i)
+                  true
+                  (stats = P.stats_of_query off.Query.stats)
+              | _ -> Alcotest.failf "query %d: expected Answer" i)
+            offline))
+
+let test_differential_sequential () = check_differential ~domains:1 ()
+let test_differential_parallel () = check_differential ~domains:4 ()
+
+let test_differential_topk () =
+  let ds, db = make_db 223 20 in
+  let rng = Prng.make 37 in
+  let q, _ = Generator.extract_query rng ds ~edges:4 in
+  let offline = Topk.run db q ~k:3 base_config in
+  let expect =
+    List.map (fun (h : Topk.hit) -> (h.graph, h.ssp)) offline.Topk.hits
+  in
+  with_server db (fun srv ->
+      with_client srv (fun c ->
+          match
+            Client.rpc c (P.Run_topk { id = 5; query = q; k = 3; config = base_config })
+          with
+          | P.Topk_answer { id; hits } ->
+            Alcotest.(check int) "id echoed" 5 id;
+            Alcotest.(check bool) "top-k hits identical" true (hits = expect)
+          | _ -> Alcotest.fail "expected Topk_answer"))
+
+(* --- control plane --- *)
+
+let test_ping_and_stats () =
+  let _, db = make_db 227 10 in
+  with_server db (fun srv ->
+      with_client srv (fun c ->
+          Client.ping c;
+          let json = Client.stats_json c in
+          Alcotest.(check bool) "stats is a JSON object" true
+            (String.length json > 2 && json.[0] = '{');
+          let contains hay needle =
+            let n = String.length needle and h = String.length hay in
+            let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "registry includes server counters" true
+            (contains json "server.requests")))
+
+let test_tcp_endpoint_port_resolution () =
+  let _, db = make_db 229 10 in
+  let srv =
+    Server.start
+      { (Server.default_config (P.Tcp ("127.0.0.1", 0))) with Server.domains = 1 }
+      db
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      (match Server.endpoint srv with
+      | P.Tcp (_, port) ->
+        Alcotest.(check bool) "kernel assigned a real port" true (port > 0)
+      | P.Unix_socket _ -> Alcotest.fail "expected a TCP endpoint");
+      with_client srv (fun c -> Client.ping c))
+
+(* --- backpressure and deadlines --- *)
+
+let slow_config = { base_config with verifier = `Smp slow_smp }
+
+let test_queue_full_rejection () =
+  let ds, db = make_db 233 15 in
+  let rng = Prng.make 41 in
+  let q, _ = Generator.extract_query rng ds ~edges:4 in
+  with_server ~queue_cap:1 ~batch_max:1 db (fun srv ->
+      with_client srv (fun c ->
+          let n = 16 in
+          let queries = List.init n (fun _ -> q) in
+          let replies = Client.run_all c queries slow_config in
+          let answered = ref 0 and full = ref 0 in
+          Array.iter
+            (function
+              | P.Answer _ -> incr answered
+              | P.Error_reply { code = P.Queue_full; _ } -> incr full
+              | P.Error_reply { code; _ } ->
+                Alcotest.failf "unexpected reject: %s" (P.error_code_name code)
+              | _ -> Alcotest.fail "unexpected reply kind")
+            replies;
+          Alcotest.(check int) "every request got a reply" n (!answered + !full);
+          Alcotest.(check bool) "some requests were answered" true (!answered >= 1);
+          Alcotest.(check bool) "a full queue rejected the rest" true (!full >= 1);
+          Alcotest.(check bool) "queue_full is retryable" true
+            (P.error_code_retryable P.Queue_full)))
+
+let test_deadline_rejection () =
+  let ds, db = make_db 239 15 in
+  let rng = Prng.make 43 in
+  let q, _ = Generator.extract_query rng ds ~edges:4 in
+  with_server ~deadline_ms:0.01 ~batch_max:1 db (fun srv ->
+      with_client srv (fun c ->
+          let n = 6 in
+          let queries = List.init n (fun _ -> q) in
+          let replies = Client.run_all c queries slow_config in
+          let deadline = ref 0 in
+          Array.iter
+            (function
+              | P.Answer _ -> ()
+              | P.Error_reply { code = P.Deadline; _ } -> incr deadline
+              | P.Error_reply { code; _ } ->
+                Alcotest.failf "unexpected reject: %s" (P.error_code_name code)
+              | _ -> Alcotest.fail "unexpected reply kind")
+            replies;
+          Alcotest.(check bool)
+            "queued requests missed the 10 microsecond deadline" true
+            (!deadline >= 1)))
+
+(* --- graceful drain --- *)
+
+let test_stop_drains_inflight () =
+  let ds, db = make_db 241 15 in
+  let rng = Prng.make 47 in
+  let queries =
+    List.init 5 (fun _ -> fst (Generator.extract_query rng ds ~edges:4))
+  in
+  let offline = List.map (fun q -> (Query.run db q slow_config).Query.answers) queries in
+  let path = Filename.temp_file "psst_test_drain" ".sock" in
+  let srv =
+    Server.start { (Server.default_config (P.Unix_socket path)) with batch_max = 1 } db
+  in
+  let replies = ref [||] in
+  let client =
+    Thread.create
+      (fun () ->
+        let c = Client.connect (Server.endpoint srv) in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () -> replies := Client.run_all c queries slow_config))
+      ()
+  in
+  (* Give the reader time to admit the burst, then stop mid-processing:
+     the drain barrier must answer every admitted request before stop
+     returns. *)
+  Thread.delay 0.05;
+  Server.stop srv;
+  Alcotest.(check bool) "stop completed" true (Server.stopped srv);
+  Thread.join client;
+  (try Sys.remove path with Sys_error _ -> ());
+  Alcotest.(check int) "every request got a reply" 5 (Array.length !replies);
+  List.iteri
+    (fun i off ->
+      match !replies.(i) with
+      | P.Answer { answers; _ } ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "drained answer %d is bit-identical" i)
+          off answers
+      | P.Error_reply { code = P.Shutdown; _ } ->
+        (* Raced past the admission close: explicitly rejected, retryable. *)
+        Alcotest.(check bool) "shutdown is retryable" true
+          (P.error_code_retryable P.Shutdown)
+      | _ -> Alcotest.failf "request %d: expected Answer or Shutdown" i)
+    offline;
+  Alcotest.(check int) "server counted every reply" 5 (Server.served srv)
+
+(* --- socket-level fuzz: corrupted frames against a live server --- *)
+
+let warn_proto_count () =
+  Psst_obs.counter_value (Psst_obs.counter "warn.proto")
+
+let expect_malformed_then_recover srv corrupt =
+  let before = warn_proto_count () in
+  with_client srv (fun c ->
+      corrupt c;
+      (match Client.read_reply c with
+      | P.Error_reply { code = P.Malformed; _ } -> ()
+      | r ->
+        Alcotest.failf "expected Malformed reply, got %s"
+          (match r with
+          | P.Pong -> "Pong"
+          | P.Answer _ -> "Answer"
+          | P.Topk_answer _ -> "Topk_answer"
+          | P.Stats_json _ -> "Stats_json"
+          | P.Error_reply _ -> "Error_reply")));
+  Alcotest.(check bool) "a proto warning was recorded" true
+    (warn_proto_count () > before);
+  (* The connection is gone but the server must keep serving. *)
+  with_client srv (fun c -> Client.ping c)
+
+let test_fuzzed_frames_never_crash () =
+  let ds, db = make_db 251 15 in
+  let rng = Prng.make 53 in
+  let q, _ = Generator.extract_query rng ds ~edges:4 in
+  let frame = P.encode_request (P.Run { id = 0; query = q; config = base_config }) in
+  with_server db (fun srv ->
+      (* Bad magic. *)
+      expect_malformed_then_recover srv (fun c ->
+          Client.send_raw c ("XSSTRPC\x00" ^ String.sub frame 8 (String.length frame - 8)));
+      (* Flipped payload byte: checksum mismatch. *)
+      expect_malformed_then_recover srv (fun c ->
+          let b = Bytes.of_string frame in
+          let pos = P.header_bytes + 3 in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+          Client.send_raw c (Bytes.to_string b));
+      (* Flipped CRC byte. *)
+      expect_malformed_then_recover srv (fun c ->
+          let b = Bytes.of_string frame in
+          Bytes.set b 20 (Char.chr (Char.code (Bytes.get b 20) lxor 0xFF));
+          Client.send_raw c (Bytes.to_string b));
+      (* Truncated frame then EOF: the half-close turns a blocked read
+         into a detected truncation, not a hang. *)
+      expect_malformed_then_recover srv (fun c ->
+          Client.send_raw c (String.sub frame 0 (String.length frame - 5));
+          Client.half_close c);
+      (* Unsupported version. *)
+      expect_malformed_then_recover srv (fun c ->
+          let b = Bytes.of_string frame in
+          Bytes.set_int32_le b 8 99l;
+          Client.send_raw c (Bytes.to_string b));
+      (* And after all that abuse, real queries still run. *)
+      with_client srv (fun c ->
+          match Client.rpc c (P.Run { id = 9; query = q; config = base_config }) with
+          | P.Answer { id; answers; _ } ->
+            Alcotest.(check int) "id echoed" 9 id;
+            Alcotest.(check (list int)) "answers still bit-identical"
+              (Query.run db q base_config).Query.answers answers
+          | _ -> Alcotest.fail "expected Answer after fuzzing"))
+
+let suite =
+  [
+    Alcotest.test_case "served = offline @ 1 domain" `Slow
+      test_differential_sequential;
+    Alcotest.test_case "served = offline @ 4 domains" `Slow
+      test_differential_parallel;
+    Alcotest.test_case "served top-k = offline top-k" `Slow
+      test_differential_topk;
+    Alcotest.test_case "ping and stats round-trip" `Quick test_ping_and_stats;
+    Alcotest.test_case "tcp port 0 resolves" `Quick
+      test_tcp_endpoint_port_resolution;
+    Alcotest.test_case "full queue rejects with Queue_full" `Slow
+      test_queue_full_rejection;
+    Alcotest.test_case "stale requests rejected by deadline" `Slow
+      test_deadline_rejection;
+    Alcotest.test_case "stop drains in-flight requests" `Slow
+      test_stop_drains_inflight;
+    Alcotest.test_case "fuzzed frames: reply, warn, keep serving" `Slow
+      test_fuzzed_frames_never_crash;
+  ]
