@@ -1,6 +1,6 @@
 (* Benchmark entry point.
 
-   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|micro|all] [--quick]
+   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|chaos|micro|all] [--quick]
 
    Each figN target regenerates the corresponding figure of the paper's
    evaluation section (§6) at a scaled-down workload (see DESIGN.md §4-5 and
@@ -389,6 +389,209 @@ let serve ~scale ppf =
   Format.fprintf ppf "wrote BENCH_serve.json@.";
   if not !identical then exit 1
 
+(* Chaos load: the Fig 9 serving workload twice — faults disarmed, then
+   armed (lossy sockets, a flaky batcher, rare verification faults) with a
+   per-batch verification budget. Measures what degradation costs
+   (throughput, p99) and what it buys (no hangs, no crashes, no silently
+   wrong answers): every armed-phase reply must be exact, a flagged
+   degraded superset, or a retryable error the client absorbed. *)
+let chaos ~scale ppf =
+  Format.fprintf ppf
+    "@.=== Chaos: serving under injected faults (Fig 9 workload) ===@.";
+  let ds = Generator.generate (Experiments.dataset_params scale) in
+  let graphs = ds.Generator.graphs in
+  let skeletons = Array.map Pgraph.skeleton graphs in
+  let features = Selection.select skeletons Experiments.mining_params in
+  let structural = Structural.build skeletons features ~emb_cap:64 in
+  let pmi = Pmi.build graphs features in
+  let db = { Query.graphs; skeletons; features; structural; pmi } in
+  let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
+  let nq = max 4 scale.Experiments.queries_per_point in
+  let queries =
+    Array.init nq (fun _ -> fst (Generator.extract_query rng ds ~edges:8))
+  in
+  let config = Query.default_config in
+  let offline =
+    Array.map (fun q -> (Query.run db q config).Query.answers) queries
+  in
+  let sock = Filename.temp_file "psst_chaos" ".sock" in
+  let endpoint = Psst_proto.Unix_socket sock in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then nan
+    else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+  in
+  let c_degraded = Psst_obs.counter "server.degraded" in
+  let c_retries = Psst_obs.counter "server.retries" in
+  let clients = 4 and per_client = 2 * nq in
+  let violations = ref [] and vm = Mutex.create () in
+  let phase ~label ~faults =
+    let srv =
+      Psst_server.start
+        {
+          (Psst_server.default_config endpoint) with
+          Psst_server.domains = 2;
+          queue_cap = 1024;
+          verify_budget_ms = (if faults then 50. else 0.);
+        }
+        db
+    in
+    let d0 = Psst_obs.counter_value c_degraded
+    and r0 = Psst_obs.counter_value c_retries in
+    Fun.protect
+      ~finally:(fun () -> Psst_server.stop srv)
+      (fun () ->
+        if faults then
+          Psst_fault.arm ~seed:20120805
+            [
+              ("proto.read", Psst_fault.Partial_io, 0.1);
+              ("proto.write", Psst_fault.Partial_io, 0.1);
+              ("server.batch", Psst_fault.Fail, 0.25);
+              ("verify.sample", Psst_fault.Fail, 0.002);
+            ];
+        Fun.protect ~finally:Psst_fault.disarm (fun () ->
+            let results = ref [] and rm = Mutex.create () in
+            (* One request per run_all call: the client's reconnect and
+               retry logic absorbs transport faults and retryable errors,
+               and each call gives one end-to-end latency sample. *)
+            let client_thread start =
+              let c =
+                Psst_client.connect ~connect_timeout_ms:5000.
+                  ~call_timeout_ms:10000. endpoint
+              in
+              Fun.protect
+                ~finally:(fun () -> Psst_client.close c)
+                (fun () ->
+                  let lats = Array.make per_client 0. in
+                  let exact = ref 0 and degraded = ref 0 and errors = ref 0 in
+                  for j = 0 to per_client - 1 do
+                    let qi = (start + j) mod nq in
+                    let t0 = Unix.gettimeofday () in
+                    (match
+                       Psst_client.run_all ~max_retries:8 ~backoff_ms:5. c
+                         [ queries.(qi) ] config
+                     with
+                    | [| Psst_proto.Answer { answers; stats; _ } |] ->
+                      if stats.Psst_proto.degraded then begin
+                        incr degraded;
+                        if
+                          not
+                            (List.for_all
+                               (fun a -> List.mem a answers)
+                               offline.(qi))
+                        then begin
+                          Mutex.lock vm;
+                          violations :=
+                            Printf.sprintf
+                              "query %d: degraded answer not a superset" qi
+                            :: !violations;
+                          Mutex.unlock vm
+                        end
+                      end
+                      else begin
+                        incr exact;
+                        if answers <> offline.(qi) then begin
+                          Mutex.lock vm;
+                          violations :=
+                            Printf.sprintf
+                              "query %d: unflagged answer differs from \
+                               offline"
+                              qi
+                            :: !violations;
+                          Mutex.unlock vm
+                        end
+                      end
+                    | [| Psst_proto.Error_reply { code; _ } |] ->
+                      (* Non-retryable would mean the invariant broke;
+                         retryable ones surviving max_retries are counted
+                         but acceptable under sustained faults. *)
+                      incr errors;
+                      if not (Psst_proto.error_code_retryable code) then begin
+                        Mutex.lock vm;
+                        violations :=
+                          Printf.sprintf "query %d: non-retryable error %s" qi
+                            (Psst_proto.error_code_name code)
+                          :: !violations;
+                        Mutex.unlock vm
+                      end
+                    | _ | (exception Psst_client.Client_error _) ->
+                      incr errors);
+                    lats.(j) <- Unix.gettimeofday () -. t0
+                  done;
+                  Mutex.lock rm;
+                  results := (lats, !exact, !degraded, !errors) :: !results;
+                  Mutex.unlock rm)
+            in
+            let t0 = Unix.gettimeofday () in
+            let threads =
+              List.init clients (fun i ->
+                  Thread.create (fun () -> client_thread (i * per_client)) ())
+            in
+            List.iter Thread.join threads;
+            let wall = Unix.gettimeofday () -. t0 in
+            let lats =
+              List.concat_map (fun (l, _, _, _) -> Array.to_list l) !results
+              |> Array.of_list
+            in
+            Array.sort compare lats;
+            let sum f = List.fold_left (fun a r -> a + f r) 0 !results in
+            let exact = sum (fun (_, e, _, _) -> e)
+            and degraded = sum (fun (_, _, d, _) -> d)
+            and errors = sum (fun (_, _, _, e) -> e) in
+            let total = clients * per_client in
+            let row =
+              ( label,
+                total,
+                wall,
+                float_of_int total /. wall,
+                1000. *. percentile lats 0.50,
+                1000. *. percentile lats 0.99,
+                exact,
+                degraded,
+                errors,
+                Psst_obs.counter_value c_degraded - d0,
+                Psst_obs.counter_value c_retries - r0 )
+            in
+            let ( l, t, w, thr, p50, p99, ex, dg, er, srv_dg, srv_rt ) = row in
+            Format.fprintf ppf
+              "%-10s requests %4d  wall %6.2f s  %7.1f req/s  p50 %7.2f ms  \
+               p99 %7.2f ms  exact %d  degraded %d  errors %d  \
+               (server: %d degraded, %d retryable rejections)@."
+              l t w thr p50 p99 ex dg er srv_dg srv_rt;
+            row))
+  in
+  let baseline = phase ~label:"faults-off" ~faults:false in
+  let faulted = phase ~label:"faults-on" ~faults:true in
+  let rows = [ baseline; faulted ] in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let ok = !violations = [] in
+  List.iter (fun v -> Format.fprintf ppf "VIOLATION: %s@." v) !violations;
+  Format.fprintf ppf "chaos invariant held  %b@." ok;
+  let oc = open_out "BENCH_chaos.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"workload\": \"fig9\",\n  \"db_size\": %d,\n  \
+         \"distinct_queries\": %d,\n  \"fault_seed\": 20120805,\n  \
+         \"phases\": [\n"
+        (Array.length graphs) nq;
+      List.iteri
+        (fun i (l, t, w, thr, p50, p99, ex, dg, er, srv_dg, srv_rt) ->
+          Printf.fprintf oc
+            "    {\"label\": %S, \"requests\": %d, \"wall_s\": %.6f, \
+             \"throughput_rps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+             \"exact\": %d, \"degraded\": %d, \"errors\": %d, \
+             \"server_degraded\": %d, \"server_retryable\": %d}%s\n"
+            l t w thr p50 p99 ex dg er srv_dg srv_rt
+            (if i < List.length rows - 1 then "," else ""))
+        rows;
+      Printf.fprintf oc
+        "  ],\n  \"invariant_held\": %b,\n  \"metrics\": %s}\n" ok
+        (Psst_obs.to_json_string ()));
+  Format.fprintf ppf "wrote BENCH_chaos.json@.";
+  if not ok then exit 1
+
 let micro ppf =
   Format.fprintf ppf "@.=== Micro-benchmarks (Bechamel, ns/run) ===@.";
   let scale = { Experiments.quick_scale with db_size = 20 } in
@@ -493,16 +696,18 @@ let () =
     | "store" -> store ~scale ppf
     | "obs" -> obs ~scale ppf
     | "serve" -> serve ~scale ppf
+    | "chaos" -> chaos ~scale ppf
     | "micro" -> micro ppf
     | "all" ->
       Experiments.all ~scale ppf;
       store ~scale ppf;
       obs ~scale ppf;
       serve ~scale ppf;
+      chaos ~scale ppf;
       micro ppf
     | other ->
       Format.fprintf ppf
-        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, micro, all)@."
+        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, chaos, micro, all)@."
         other;
       exit 2
   in

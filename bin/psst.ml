@@ -34,6 +34,8 @@ let or_die f =
   try f () with
   | Psst_store.Store_error msg -> die "%s" msg
   | Psst_proto.Proto_error msg -> die "protocol error: %s" msg
+  | Psst_proto.Timed_out -> die "timed out waiting for the server"
+  | Psst_client.Client_error msg -> die "%s" msg
   | Sys_error msg -> die "%s" msg
   | Failure msg -> die "%s" msg
   | Invalid_argument msg -> die "%s" msg
@@ -283,7 +285,7 @@ let dataset_wrapper graphs ds_opt =
     }
 
 let serve num_graphs seed input index_file socket port host domains queue_cap
-    deadline_ms batch_max stats_json =
+    deadline_ms verify_budget_ms batch_max stats_json =
   or_die @@ fun () ->
   let endpoint = endpoint_of socket port host in
   let graphs, _ = corpus_of input num_graphs seed in
@@ -298,15 +300,19 @@ let serve num_graphs seed input index_file socket port host domains queue_cap
       Psst_server.domains;
       queue_cap;
       deadline_ms = float_of_int deadline_ms;
+      verify_budget_ms;
       batch_max;
     }
   in
   let srv = Psst_server.start cfg db in
   Printf.printf
-    "serving on %s (%d domains, queue cap %d, deadline %s, batch cap %d)\n%!"
+    "serving on %s (%d domains, queue cap %d, deadline %s, verify budget %s, \
+     batch cap %d)\n%!"
     (Psst_proto.endpoint_to_string (Psst_server.endpoint srv))
     domains queue_cap
     (if deadline_ms > 0 then Printf.sprintf "%d ms" deadline_ms else "off")
+    (if verify_budget_ms > 0. then Printf.sprintf "%.0f ms" verify_budget_ms
+     else "off")
     batch_max;
   (* Signal handlers only flip an atomic; the main thread performs the
      drain outside signal context. *)
@@ -326,16 +332,29 @@ let serve num_graphs seed input index_file socket port host domains queue_cap
     (Psst_server.served srv)
 
 let client socket port host num_graphs seed qsize nqueries epsilon delta
-    exact_verifier input do_ping do_stats =
+    exact_verifier input do_ping do_health do_stats connect_timeout_ms
+    timeout_ms retries backoff_ms =
   or_die @@ fun () ->
   let endpoint = endpoint_of socket port host in
-  let c = Psst_client.connect endpoint in
+  let c =
+    Psst_client.connect ~connect_timeout_ms ~call_timeout_ms:timeout_ms
+      endpoint
+  in
   Fun.protect
     ~finally:(fun () -> Psst_client.close c)
     (fun () ->
       if do_ping then begin
         Psst_client.ping c;
         Printf.printf "pong from %s\n%!" (Psst_proto.endpoint_to_string endpoint)
+      end;
+      if do_health then begin
+        let h = Psst_client.health c in
+        Printf.printf
+          "health of %s: up %.1fs, queue depth %d, served %d, degraded \
+           answers %d, retryable rejections %d\n%!"
+          (Psst_proto.endpoint_to_string endpoint)
+          h.Psst_proto.uptime_s h.Psst_proto.queue_depth h.Psst_proto.served
+          h.Psst_proto.degraded_answers h.Psst_proto.retryable_rejections
       end;
       if nqueries > 0 then begin
         let graphs, ds_opt = corpus_of input num_graphs seed in
@@ -356,16 +375,20 @@ let client socket port host num_graphs seed qsize nqueries epsilon delta
         in
         let replies, t =
           Psst_util.Timer.time (fun () ->
-              Psst_client.run_all c (List.map fst queries) config)
+              Psst_client.run_all ~max_retries:retries ~backoff_ms c
+                (List.map fst queries) config)
         in
         List.iteri
           (fun i (q, org) ->
             match replies.(i) with
             | Psst_proto.Answer { answers; stats; _ } ->
               Printf.printf
-                "query %d (organism %d, %d edges): %d answers \
+                "query %d (organism %d, %d edges): %d answers%s \
                  [structural %d, pruned %d, accepted %d, verified %d]\n"
                 (i + 1) org (Lgraph.num_edges q) (List.length answers)
+                (if stats.Psst_proto.degraded then
+                   " (degraded: correct to bounds, superset of exact)"
+                 else "")
                 stats.Psst_proto.structural_candidates
                 stats.Psst_proto.pruned_by_bounds
                 stats.Psst_proto.accepted_by_bounds
@@ -570,6 +593,17 @@ let serve_cmd =
              request that waited longer is answered with a deadline error \
              instead of being executed.")
   in
+  let verify_budget_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "verify-budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Verification budget per micro-batch; 0 disables it. Candidates \
+             whose verification would start after the budget elapses are \
+             answered from their PMI bounds and the reply is flagged \
+             degraded (a superset of the exact answer set) — graceful \
+             degradation under load instead of an unbounded latency tail.")
+  in
   let batch_max =
     Arg.(
       value & opt int 32
@@ -594,7 +628,7 @@ let serve_cmd =
     Term.(
       const serve $ num_graphs_arg $ seed_arg $ input_arg $ index_file
       $ socket_arg $ port_arg $ host_arg $ domains $ queue_cap $ deadline_ms
-      $ batch_max $ stats_json)
+      $ verify_budget_ms $ batch_max $ stats_json)
 
 let client_cmd =
   let qsize =
@@ -619,11 +653,52 @@ let client_cmd =
   let do_ping =
     Arg.(value & flag & info [ "ping" ] ~doc:"Round-trip a ping first.")
   in
+  let do_health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Print the server's health snapshot (uptime, queue depth, \
+             served / degraded / retryable-rejection counters).")
+  in
   let do_stats =
     Arg.(
       value & flag
       & info [ "stats" ]
           ~doc:"Print the server's metrics registry JSON after the queries.")
+  in
+  let connect_timeout_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "connect-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Give up on the connection attempt after $(docv) milliseconds \
+             (clean error instead of the kernel's minutes-long TCP \
+             timeout); 0 blocks indefinitely.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-call socket timeout in milliseconds; 0 blocks \
+             indefinitely.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Recovery budget: reconnect-and-resend after a transport break \
+             and resubmit retryable server rejections up to $(docv) times.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt float 50.
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Base retry backoff; doubled per attempt, capped at 2s, with \
+             deterministic jitter.")
   in
   Cmd.v
     (Cmd.info "client"
@@ -634,7 +709,8 @@ let client_cmd =
     Term.(
       const client $ socket_arg $ port_arg $ host_arg $ num_graphs_arg
       $ seed_arg $ qsize $ nqueries $ epsilon $ delta $ exact $ input_arg
-      $ do_ping $ do_stats)
+      $ do_ping $ do_health $ do_stats $ connect_timeout_ms $ timeout_ms
+      $ retries $ backoff_ms)
 
 let experiment_cmd =
   let fig =
@@ -667,4 +743,12 @@ let main_cmd =
       experiment_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* Fault-injection plans from PSST_FAULTS / PSST_FAULT_SEED (chaos CI,
+     DESIGN.md §12) arm before any subcommand touches a fault site. *)
+  (match Psst_fault.arm_from_env () with
+  | armed ->
+    if armed then
+      Printf.eprintf "psst: fault injection armed from PSST_FAULTS\n%!"
+  | exception Failure msg -> die "%s" msg);
+  exit (Cmd.eval main_cmd)

@@ -158,6 +158,18 @@ let decode_entry d : entry =
   let cuts = S.get_nat d in
   { Bounds.lower; upper; lower_safe; upper_safe; embeddings; cuts }
 
+(* The bound matrix is stored as graph-column shards of [shard_width]
+   columns each ("pmi.entries.<k>"), not one monolithic section: each shard
+   carries its own CRC, so a corrupted byte damages one shard and a salvage
+   load can keep every other column and rebuild only the damaged ones with
+   [build_column] (which is deterministic per (config, db, features, gi) —
+   the salvage result is bit-identical to a full rebuild). "pmi.layout"
+   records the geometry so readers know which shards to expect. *)
+let shard_width = 16
+let shard_name k = Printf.sprintf "pmi.entries.%d" k
+let num_shards ng = if ng = 0 then 0 else ((ng - 1) / shard_width) + 1
+let m_salvaged = Psst_obs.counter "store.salvaged_columns"
+
 let to_sections ~db t =
   let config = S.encoder () in
   S.put_i64 config t.config.Bounds.emb_cap;
@@ -171,21 +183,31 @@ let to_sections ~db t =
   S.put_i32 dbsec (Pgraph_io.db_fingerprint db);
   let features = S.encoder () in
   S.put_array features Selection.encode_feature t.features;
-  let entries = S.encoder () in
-  S.put_i64 entries (num_features t);
-  S.put_i64 entries (num_graphs t);
-  Array.iter (fun row -> Array.iter (S.put_option entries encode_entry) row) t.entries;
+  let nf = num_features t and ng = num_graphs t in
+  let layout = S.encoder () in
+  S.put_i64 layout nf;
+  S.put_i64 layout ng;
+  S.put_i64 layout shard_width;
+  let shards =
+    List.init (num_shards ng) (fun k ->
+        let e = S.encoder () in
+        let lo = k * shard_width and hi = min ng ((k + 1) * shard_width) in
+        for gi = lo to hi - 1 do
+          for fi = 0 to nf - 1 do
+            S.put_option e encode_entry t.entries.(fi).(gi)
+          done
+        done;
+        S.section (shard_name k) e)
+  in
   let meta = S.encoder () in
   S.put_f64 meta t.build_seconds;
-  [
-    S.section "pmi.config" config;
-    S.section "pmi.db" dbsec;
-    S.section "pmi.features" features;
-    S.section "pmi.entries" entries;
-    S.section "pmi.meta" meta;
-  ]
+  S.section "pmi.config" config
+  :: S.section "pmi.db" dbsec
+  :: S.section "pmi.features" features
+  :: S.section "pmi.layout" layout
+  :: (shards @ [ S.section "pmi.meta" meta ])
 
-let of_sections ~db sections =
+let of_sections ?(salvage = false) ~db sections =
   let config =
     S.decode_section sections "pmi.config" (fun d ->
         let emb_cap = S.get_nat d in
@@ -224,27 +246,70 @@ let of_sections ~db sections =
               gi ng)
         f.support)
     features;
-  let entries =
-    S.decode_section sections "pmi.entries" (fun d ->
-        let nf = S.get_nat d in
+  let nf = Array.length features in
+  let shard_w =
+    S.decode_section sections "pmi.layout" (fun d ->
+        let stored_nf = S.get_nat d in
         let stored_ng = S.get_nat d in
-        if nf <> Array.length features then
-          S.error "entry matrix has %d rows for %d features" nf
-            (Array.length features);
+        let w = S.get_nat d in
+        if stored_nf <> nf then
+          S.error "entry layout has %d rows for %d features" stored_nf nf;
         if stored_ng <> ng then
-          S.error "entry matrix has %d columns for %d graphs" stored_ng ng;
-        Array.init nf (fun _ ->
-            let row = Array.make ng None in
-            for gi = 0 to ng - 1 do
-              row.(gi) <- S.get_option d decode_entry
-            done;
-            row))
+          S.error "entry layout has %d columns for %d graphs" stored_ng ng;
+        if w < 1 then S.error "entry layout shard width %d must be >= 1" w;
+        w)
   in
-  let build_seconds = S.decode_section sections "pmi.meta" S.get_f64 in
+  let entries = Array.init nf (fun _ -> Array.make ng None) in
+  let nshards = if ng = 0 then 0 else ((ng - 1) / shard_w) + 1 in
+  let rebuilt_shards = ref [] in
+  let rebuilt_cols = ref 0 in
+  let has name = List.exists (fun (s : S.section) -> s.S.name = name) sections in
+  for k = 0 to nshards - 1 do
+    let name = shard_name k in
+    let lo = k * shard_w and hi = min ng ((k + 1) * shard_w) in
+    if has name then
+      S.decode_section sections name (fun d ->
+          for gi = lo to hi - 1 do
+            for fi = 0 to nf - 1 do
+              entries.(fi).(gi) <- S.get_option d decode_entry
+            done
+          done)
+    else if not salvage then ignore (S.find_section sections name)
+    else
+      (* Self-healing (DESIGN.md §12): the shard's checksum failed (or the
+         section never made it to disk) — recompute exactly its columns
+         from the graphs and the intact feature section. *)
+      begin
+        for gi = lo to hi - 1 do
+          let col = build_column config db features gi in
+          for fi = 0 to nf - 1 do
+            entries.(fi).(gi) <- col.(fi)
+          done;
+          incr rebuilt_cols
+        done;
+        rebuilt_shards := name :: !rebuilt_shards
+      end
+  done;
+  if !rebuilt_cols > 0 then begin
+    Psst_obs.add m_salvaged !rebuilt_cols;
+    Psst_obs.warn ~code:"store.salvaged"
+      (Printf.sprintf "PMI salvage: rebuilt %d columns (damaged shards: %s)"
+         !rebuilt_cols
+         (String.concat ", " (List.rev !rebuilt_shards)))
+  end;
+  let build_seconds =
+    if salvage && not (has "pmi.meta") then 0.
+    else S.decode_section sections "pmi.meta" S.get_f64
+  in
   { config; features; entries; num_graphs = ng; build_seconds }
 
 let save path ~db t = S.write_file path ~kind:S.Pmi_index (to_sections ~db t)
-let load path ~db = of_sections ~db (S.read_file path ~kind:S.Pmi_index)
+
+let load ?(salvage = false) path ~db =
+  if salvage then
+    of_sections ~salvage:true ~db
+      (S.read_file_salvage path ~kind:S.Pmi_index).S.intact
+  else of_sections ~db (S.read_file path ~kind:S.Pmi_index)
 
 let pp_stats ppf t =
   Format.fprintf ppf "PMI: %d features x %d graphs, %d filled entries, built in %.2fs"

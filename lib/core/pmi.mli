@@ -65,14 +65,29 @@ val save : string -> db:Pgraph.t array -> t -> unit
 (** [load path ~db] validates the store's format version, kind, checksums,
     and that the persisted database fingerprint matches [db] before any
     entry is reused; raises [Psst_store.Store_error] otherwise (a stale or
-    foreign index is rejected, never silently reused). *)
-val load : string -> db:Pgraph.t array -> t
+    foreign index is rejected, never silently reused).
+
+    [~salvage:true] turns corruption of the bound matrix into self-healing
+    instead of rejection (DESIGN.md §12): the matrix is stored as
+    per-shard-checksummed column groups, so a load keeps every shard whose
+    CRC holds and recomputes only the damaged or missing ones with the same
+    deterministic column builder the offline build uses — the result is
+    bit-identical to a full rebuild. Each rebuilt column counts into
+    ["store.salvaged_columns"] and the load emits one ["store.salvaged"]
+    warning event. The small metadata sections (config, database
+    fingerprint, features, layout) cannot be salvaged — if one of those is
+    damaged the load still raises [Store_error] and the caller should fall
+    back to a full rebuild. *)
+val load : ?salvage:bool -> string -> db:Pgraph.t array -> t
 
 (** Section-level codec, shared with the whole-database store
     ({!Query.save_database}). [of_sections] performs the same validation as
-    {!load} minus the file-level header checks. *)
+    {!load} minus the file-level header checks; [~salvage:true] rebuilds
+    entry shards missing from [sections] instead of failing (pass the
+    [intact] list of {!Psst_store.read_file_salvage}). *)
 val to_sections : db:Pgraph.t array -> t -> Psst_store.section list
 
-val of_sections : db:Pgraph.t array -> Psst_store.section list -> t
+val of_sections :
+  ?salvage:bool -> db:Pgraph.t array -> Psst_store.section list -> t
 
 val pp_stats : Format.formatter -> t -> unit

@@ -78,6 +78,7 @@ type stats = {
   prob_candidates : int;
   accepted_by_bounds : int;
   pruned_by_bounds : int;
+  degraded_candidates : int;
   t_relax : float;
   t_structural : float;
   t_probabilistic : float;
@@ -102,6 +103,7 @@ let trace_of ~label ~answers stats =
   Psst_obs.Trace.set_count tr "prob_candidates" stats.prob_candidates;
   Psst_obs.Trace.set_count tr "accepted_by_bounds" stats.accepted_by_bounds;
   Psst_obs.Trace.set_count tr "pruned_by_bounds" stats.pruned_by_bounds;
+  Psst_obs.Trace.set_count tr "degraded_candidates" stats.degraded_candidates;
   Psst_obs.Trace.set_count tr "answers" (List.length answers);
   Psst_obs.Trace.set_count tr "verify_domains" stats.verify_domains;
   Psst_obs.Trace.set_flag tr "relaxed_truncated" stats.relaxed_truncated;
@@ -117,29 +119,35 @@ let verify_one config rng g relaxed =
   | `Exact -> Verify.exact g relaxed
   | `Smp vc -> Verify.smp ~config:vc rng g relaxed
 
-(* The pipeline on an existing pool, so that [run_batch] can interleave
-   the verification tasks of many queries on one set of domains. Phases 1
-   and 2 are sequential (they are cheap and Pruning threads one rng
-   through the candidates in order); phase 3 fans out over the surviving
-   candidates. Each candidate verifies under its own PRNG stream derived
-   from [config.seed] and the graph id alone, so the answer set is
-   bit-identical for every pool size — including the sequential one. *)
-let run_on pool db q config =
-  validate_config config;
-  Psst_obs.incr m_runs;
+(* Phases 1 and 2, shared by [run_on] and [run_bounds_only]. They are
+   sequential (they are cheap and Pruning threads one rng through the
+   candidates in order). [p_candidates] is in reverse structural order,
+   exactly as the fold accumulates it. *)
+type pruned_phases = {
+  p_relaxed : Lgraph.t list;
+  p_truncated : bool;
+  p_structural : int list;
+  p_accepted : int list;
+  p_candidates : int list;
+  p_pruned : int list;
+  pt_relax : float;
+  pt_structural : float;
+  pt_probabilistic : float;
+}
+
+let prune_phases db q config =
   let rng = Prng.make config.seed in
-  let (relaxed, status), t_relax =
+  let (relaxed, status), pt_relax =
     Timer.time (fun () ->
         Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta)
   in
-  let relaxed_truncated = status = `Truncated in
   (* Phase 1: structural pruning over the certain skeletons (Thm 1). *)
-  let structural_cands, t_structural =
+  let structural_cands, pt_structural =
     Timer.time (fun () ->
         Structural.candidates db.structural db.skeletons q ~delta:config.delta)
   in
   (* Phase 2: probabilistic pruning through the PMI bounds. *)
-  let (accepted, candidates, pruned), t_probabilistic =
+  let (accepted, candidates, pruned), pt_probabilistic =
     Timer.time (fun () ->
         let prepared = Pruning.prepare db.pmi ~relaxed in
         List.fold_left
@@ -154,42 +162,89 @@ let run_on pool db q config =
             | `Pruned -> (acc, cand, gi :: pruned))
           ([], [], []) structural_cands)
   in
+  {
+    p_relaxed = relaxed;
+    p_truncated = status = `Truncated;
+    p_structural = structural_cands;
+    p_accepted = accepted;
+    p_candidates = candidates;
+    p_pruned = pruned;
+    pt_relax;
+    pt_structural;
+    pt_probabilistic;
+  }
+
+(* The pipeline on an existing pool, so that [run_batch] can interleave
+   the verification tasks of many queries on one set of domains. Phase 3
+   fans out over the surviving candidates; each one verifies under its
+   own PRNG stream derived from [config.seed] and the graph id alone, so
+   the answer set is bit-identical for every pool size — including the
+   sequential one.
+
+   [?deadline] (absolute, seconds) is the graceful-degradation path
+   (DESIGN.md §12): a candidate whose verification would start past the
+   deadline — or whose verification is cut down by an injected fault —
+   is answered from its PMI bounds instead. Every such candidate already
+   passed the Usim >= ε screening of phase 2, so including it can only
+   over-approximate, never drop a true answer (the paper's anytime bound
+   semantics); the count surfaces as [stats.degraded_candidates] so the
+   caller can flag the reply. With [deadline = None] and no armed faults
+   this path is byte-for-byte the exact pipeline. *)
+let run_on ?deadline pool db q config =
+  validate_config config;
+  Psst_obs.incr m_runs;
+  let p = prune_phases db q config in
+  let relaxed = p.p_relaxed in
   (* Phase 3: verification of the undecided candidates. *)
   let results, t_verification =
     Timer.time (fun () ->
         Pool.map_array pool ~chunk:1
           (fun gi ->
-            let rng = Prng.stream ~seed:config.seed gi in
-            let v, t =
-              Timer.time (fun () -> verify_one config rng db.graphs.(gi) relaxed)
+            let late =
+              match deadline with
+              | None -> false
+              | Some dl -> Unix.gettimeofday () > dl
             in
-            (gi, v >= config.epsilon, t))
-          (Array.of_list (List.rev candidates)))
+            if late then (gi, true, 0., true)
+            else
+              let rng = Prng.stream ~seed:config.seed gi in
+              match
+                Timer.time (fun () ->
+                    verify_one config rng db.graphs.(gi) relaxed)
+              with
+              | v, t -> (gi, v >= config.epsilon, t, false)
+              | exception Psst_fault.Injected _ -> (gi, true, 0., true))
+          (Array.of_list (List.rev p.p_candidates)))
   in
   let verified =
     Array.to_list results
-    |> List.filter_map (fun (gi, keep, _) -> if keep then Some gi else None)
+    |> List.filter_map (fun (gi, keep, _, _) -> if keep then Some gi else None)
   in
   let t_verification_cpu =
-    Array.fold_left (fun acc (_, _, t) -> acc +. t) 0. results
+    Array.fold_left (fun acc (_, _, t, _) -> acc +. t) 0. results
+  in
+  let degraded_candidates =
+    Array.fold_left (fun acc (_, _, _, d) -> if d then acc + 1 else acc) 0 results
   in
   Log.debug (fun m ->
-      m "query: %d structural, %d pruned, %d accepted, %d verified"
-        (List.length structural_cands) (List.length pruned)
-        (List.length accepted) (List.length candidates));
-  let answers = List.sort compare (accepted @ verified) in
+      m "query: %d structural, %d pruned, %d accepted, %d verified, %d degraded"
+        (List.length p.p_structural) (List.length p.p_pruned)
+        (List.length p.p_accepted) (List.length p.p_candidates)
+        degraded_candidates);
+  let answers = List.sort compare (p.p_accepted @ verified) in
   Psst_obs.add m_answers (List.length answers);
   let stats =
     {
       relaxed_count = List.length relaxed;
-      relaxed_truncated;
-      structural_candidates = List.length structural_cands;
-      prob_candidates = List.length candidates;
-      accepted_by_bounds = List.length accepted;
-      pruned_by_bounds = List.length pruned;
-      t_relax;
-      t_structural;
-      t_probabilistic;
+      relaxed_truncated = p.p_truncated;
+      structural_candidates = List.length p.p_structural;
+      prob_candidates = List.length p.p_candidates;
+      accepted_by_bounds = List.length p.p_accepted;
+      pruned_by_bounds = List.length p.p_pruned;
+      degraded_candidates;
+      t_relax = p.pt_relax;
+      t_structural = p.pt_structural;
+      t_probabilistic = p.pt_probabilistic;
       t_verification;
       t_verification_cpu;
       verify_domains = Pool.size pool;
@@ -197,18 +252,57 @@ let run_on pool db q config =
   in
   { answers; stats; trace = trace_of ~label:"query" ~answers stats }
 
-let run ?(domains = 1) db q config =
-  Pool.with_pool ~domains (fun pool -> run_on pool db q config)
-
-let run_batch_on pool db queries config =
+(* Bounds-only fallback: phases 1–2 alone, every undecided candidate
+   included. The all-degraded limit of [run_on ?deadline] — used when the
+   verification stage itself is unavailable, so the server can still give
+   a correct-to-bounds, flagged answer instead of an error. *)
+let run_bounds_only db q config =
   validate_config config;
+  Psst_obs.incr m_runs;
+  let p = prune_phases db q config in
+  let candidates = List.rev p.p_candidates in
+  let answers = List.sort compare (p.p_accepted @ candidates) in
+  Psst_obs.add m_answers (List.length answers);
+  let stats =
+    {
+      relaxed_count = List.length p.p_relaxed;
+      relaxed_truncated = p.p_truncated;
+      structural_candidates = List.length p.p_structural;
+      prob_candidates = List.length p.p_candidates;
+      accepted_by_bounds = List.length p.p_accepted;
+      pruned_by_bounds = List.length p.p_pruned;
+      degraded_candidates = List.length p.p_candidates;
+      t_relax = p.pt_relax;
+      t_structural = p.pt_structural;
+      t_probabilistic = p.pt_probabilistic;
+      t_verification = 0.;
+      t_verification_cpu = 0.;
+      verify_domains = 0;
+    }
+  in
+  { answers; stats; trace = trace_of ~label:"bounds-only" ~answers stats }
+
+let deadline_of_budget = function
+  | Some ms when ms > 0. -> Some (Unix.gettimeofday () +. (ms /. 1000.))
+  | _ -> None
+
+let run ?(domains = 1) ?budget_ms db q config =
+  let deadline = deadline_of_budget budget_ms in
+  Pool.with_pool ~domains (fun pool -> run_on ?deadline pool db q config)
+
+let run_batch_on ?budget_ms pool db queries config =
+  validate_config config;
+  (* One absolute deadline for the whole batch, fixed before the fan-out:
+     however the pool schedules the queries, they degrade against the
+     same wall-clock instant. *)
+  let deadline = deadline_of_budget budget_ms in
   Pool.map_array pool ~chunk:1
-    (fun q -> run_on pool db q config)
+    (fun q -> run_on ?deadline pool db q config)
     (Array.of_list queries)
   |> Array.to_list
 
-let run_batch ?(domains = 1) db queries config =
-  Pool.with_pool ~domains (fun pool -> run_batch_on pool db queries config)
+let run_batch ?(domains = 1) ?budget_ms db queries config =
+  Pool.with_pool ~domains (fun pool -> run_batch_on ?budget_ms pool db queries config)
 
 let run_exact_scan db q config =
   validate_config config;
@@ -231,6 +325,7 @@ let run_exact_scan db q config =
       prob_candidates = Array.length db.graphs;
       accepted_by_bounds = 0;
       pruned_by_bounds = 0;
+      degraded_candidates = 0;
       t_relax;
       t_structural = 0.;
       t_probabilistic = 0.;
@@ -316,8 +411,15 @@ let save_database path db =
     :: Store.section "structural" structural
     :: Pmi.to_sections ~db:db.graphs db.pmi)
 
-let load_database path =
-  let sections = Store.read_file path ~kind:Store.Database in
+let load_database ?(salvage = false) path =
+  let sections =
+    if salvage then
+      (Store.read_file_salvage path ~kind:Store.Database).Store.intact
+    else Store.read_file path ~kind:Store.Database
+  in
+  (* The graphs are the source of truth — nothing to rebuild them from, so
+     even a salvage load requires them (and the structural counts) intact;
+     only the PMI entry shards are self-healing. *)
   let graphs =
     Store.decode_section sections "graphs" (fun d ->
         Store.get_array d Pgraph_io.decode_binary)
@@ -325,7 +427,7 @@ let load_database path =
   (* [Pmi.of_sections] re-fingerprints the embedded graphs against the
      stored fingerprint, so a file stitched together from two different
      stores is rejected here. *)
-  let pmi = Pmi.of_sections ~db:graphs sections in
+  let pmi = Pmi.of_sections ~salvage ~db:graphs sections in
   let features = Array.to_list (Pmi.features pmi) in
   let structural =
     Store.decode_section sections "structural" (fun d ->

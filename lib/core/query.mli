@@ -58,6 +58,13 @@ type stats = {
   prob_candidates : int;  (** survivors needing verification *)
   accepted_by_bounds : int;  (** graphs accepted by Pruning 2 *)
   pruned_by_bounds : int;  (** graphs discarded by Pruning 1 *)
+  degraded_candidates : int;
+      (** candidates answered from their PMI bounds instead of verified —
+          because the verification budget ran out or an injected fault cut
+          verification short. Each was included (it passed the Usim ≥ ε
+          screening), so a degraded answer set is a superset of the exact
+          one and never drops a true answer; [> 0] flags the reply as
+          degraded (DESIGN.md §12) *)
   t_relax : float;
   t_structural : float;
   t_probabilistic : float;
@@ -81,22 +88,47 @@ type outcome = { answers : int list; stats : stats; trace : Psst_obs.Trace.t }
     [domains] (default 1) fans the verification phase out over that many
     OCaml 5 domains. Every candidate verifies under its own PRNG stream
     [Prng.stream ~seed:config.seed gi], so the answer set and every
-    pruning counter are identical for all values of [domains]. *)
-val run : ?domains:int -> database -> Lgraph.t -> config -> outcome
+    pruning counter are identical for all values of [domains].
+
+    [budget_ms] (default none) bounds the verification phase: candidates
+    whose verification would start after the budget elapses are answered
+    from their PMI bounds and counted in [stats.degraded_candidates]
+    (see its documentation for why that is superset-safe). Without a
+    budget and without armed faults the result is bit-identical to
+    previous releases. *)
+val run :
+  ?domains:int -> ?budget_ms:float -> database -> Lgraph.t -> config -> outcome
 
 (** [run_batch ?domains db queries config] answers many queries on one
     domain pool — the heavy-traffic path. Queries and their verification
     tasks interleave freely on the pool; outcome [i] is bit-identical to
-    [run db (List.nth queries i) config]. *)
+    [run db (List.nth queries i) config]. [budget_ms] is one shared
+    absolute deadline fixed when the batch starts. *)
 val run_batch :
-  ?domains:int -> database -> Lgraph.t list -> config -> outcome list
+  ?domains:int ->
+  ?budget_ms:float ->
+  database ->
+  Lgraph.t list ->
+  config ->
+  outcome list
 
 (** [run_batch_on pool db queries config] — {!run_batch} on a caller-owned
     pool, so a resident process (the query server) pays domain spawning
     once at startup instead of once per micro-batch. Outcomes are
     bit-identical to {!run_batch} with [domains = Pool.size pool]. *)
 val run_batch_on :
-  Psst_util.Pool.t -> database -> Lgraph.t list -> config -> outcome list
+  ?budget_ms:float ->
+  Psst_util.Pool.t ->
+  database ->
+  Lgraph.t list ->
+  config ->
+  outcome list
+
+(** [run_bounds_only db q config] — phases 1–2 alone: every candidate the
+    bounds cannot decide is included and counted degraded. The fallback
+    the server uses when the verification stage itself is unavailable
+    (DESIGN.md §12); the answer set is a superset of {!run}'s. *)
+val run_bounds_only : database -> Lgraph.t -> config -> outcome
 
 (** Wire codec for {!config} (used by the RPC protocol of [Psst_server]).
     [get_config] validates variant tags and numeric ranges, raising
@@ -118,8 +150,11 @@ val save_database : string -> database -> unit
 (** [load_database path] — raises [Psst_store.Store_error] on corruption,
     truncation, version skew, or when the embedded PMI's fingerprint does
     not match the embedded graphs. Queries on the result are bit-identical
-    to queries on the database that was saved. *)
-val load_database : string -> database
+    to queries on the database that was saved. [~salvage:true] applies
+    {!Pmi.load}'s self-healing to the embedded PMI entry shards; the
+    graphs and structural sections have no rebuild source and must be
+    intact either way. *)
+val load_database : ?salvage:bool -> string -> database
 
 (** [run_exact_scan db q config] — the paper's Exact competitor: no
     indexes, exact SSP on every graph. *)

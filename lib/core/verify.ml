@@ -50,6 +50,12 @@ let m_exact_calls = Psst_obs.counter "verify.exact_calls"
 let m_smp_calls = Psst_obs.counter "verify.smp_calls"
 let m_smp_samples = Psst_obs.counter "verify.smp_samples"
 
+(* Chaos site inside the Karp–Luby sampling loop (DESIGN.md §12): a Fail
+   plan aborts the candidate's verification with Psst_fault.Injected —
+   which Query.run catches and degrades to a bounds answer — and a Delay
+   plan slows sampling down enough to trip verification budgets. *)
+let fault_sample = Psst_fault.site "verify.sample"
+
 (* Per-call estimator variance v^2 * p(1-p)/n of the Karp-Luby mean;
    the registry mean over a workload is the Fig 10-style noise figure. *)
 let a_smp_variance = Psst_obs.accumulator "verify.smp_variance"
@@ -93,6 +99,7 @@ let smp ?(config = default_config) rng g relaxed =
         let n = num_samples config in
         let cnt = ref 0 in
         for _ = 1 to n do
+          Psst_fault.inject fault_sample;
           let i = Prng.categorical rng probs in
           let evidence =
             List.map (fun e -> (e, true)) (Bitset.elements usets.(i))

@@ -1,40 +1,98 @@
 module Proto = Psst_proto
 
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+exception Client_error of string
 
-let connect endpoint =
+let client_error fmt = Printf.ksprintf (fun s -> raise (Client_error s)) fmt
+
+type t = {
+  endpoint : Proto.endpoint;
+  connect_timeout_ms : float;  (* 0. = block indefinitely *)
+  call_timeout_ms : float;  (* 0. = block indefinitely *)
+  mutable fd : Unix.file_descr;
+}
+
+let resolve endpoint =
+  match endpoint with
+  | Proto.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Proto.Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> client_error "%s: unknown host" host)
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+
+(* Non-blocking connect + select so an unreachable or black-holed endpoint
+   surfaces as a clean Client_error after [timeout_ms] instead of blocking
+   the caller for the kernel's (minutes-long) TCP timeout. *)
+let connect_fd endpoint timeout_ms =
+  let domain, addr = resolve endpoint in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  try
+    (if timeout_ms <= 0. then Unix.connect fd addr
+     else begin
+       Unix.set_nonblock fd;
+       (match Unix.connect fd addr with
+       | () -> ()
+       | exception
+           Unix.Unix_error
+             ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+         let deadline = Unix.gettimeofday () +. (timeout_ms /. 1000.) in
+         let rec wait () =
+           let left = deadline -. Unix.gettimeofday () in
+           if left <= 0. then
+             client_error "connect to %s timed out after %.0f ms"
+               (Proto.endpoint_to_string endpoint)
+               timeout_ms;
+           match Unix.select [] [ fd ] [ fd ] left with
+           | _, [], [] -> wait ()
+           | _ -> ()
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+         in
+         wait ();
+         (* The socket is writable on success AND on failure; SO_ERROR
+            tells them apart. *)
+         (match Unix.getsockopt_error fd with
+         | None -> ()
+         | Some err ->
+           client_error "connect to %s failed: %s"
+             (Proto.endpoint_to_string endpoint)
+             (Unix.error_message err)));
+       Unix.clear_nonblock fd
+     end);
+    fd
+  with
+  | Client_error _ as e ->
+    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+    raise e
+  | Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+    client_error "connect to %s failed: %s"
+      (Proto.endpoint_to_string endpoint)
+      (Unix.error_message err)
+
+let connect ?(connect_timeout_ms = 0.) ?(call_timeout_ms = 0.) endpoint =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
-  let fd, addr =
-    match endpoint with
-    | Proto.Unix_socket path ->
-      (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
-    | Proto.Tcp (host, port) ->
-      let inet =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (
-          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-          with Not_found -> failwith (host ^ ": unknown host"))
-      in
-      (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0, Unix.ADDR_INET (inet, port))
-  in
-  (try Unix.connect fd addr
-   with e ->
-     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
-     raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  let fd = connect_fd endpoint connect_timeout_ms in
+  { endpoint; connect_timeout_ms; call_timeout_ms; fd }
 
-let close c =
-  (try flush c.oc with Sys_error _ -> ());
-  try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+let close c = try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
 
-let send_raw c bytes =
-  output_string c.oc bytes;
-  flush c.oc
+let reconnect c =
+  close c;
+  c.fd <- connect_fd c.endpoint c.connect_timeout_ms
 
+let deadline c =
+  if c.call_timeout_ms > 0. then
+    Some (Unix.gettimeofday () +. (c.call_timeout_ms /. 1000.))
+  else None
+
+let send_raw c bytes = Proto.write_frame_fd ?deadline:(deadline c) c.fd bytes
 let send c req = send_raw c (Proto.encode_request req)
-let read_reply c = Proto.read_reply c.ic
+let read_reply c = Proto.read_reply_fd ?deadline:(deadline c) c.fd
 let half_close c = Unix.shutdown c.fd Unix.SHUTDOWN_SEND
 
 let rpc c req =
@@ -44,31 +102,112 @@ let rpc c req =
 let ping c =
   match rpc c Proto.Ping with
   | Proto.Pong -> ()
-  | _ -> failwith "ping: unexpected reply"
+  | _ -> raise (Client_error "ping: unexpected reply")
 
 let stats_json c =
   match rpc c Proto.Get_stats with
   | Proto.Stats_json j -> j
-  | _ -> failwith "stats: unexpected reply"
+  | _ -> raise (Client_error "stats: unexpected reply")
 
-let run_all c queries config =
-  let n = List.length queries in
-  List.iteri
-    (fun id query -> send c (Proto.Run { id; query; config }))
-    queries;
-  let out = Array.make n None in
-  for _ = 1 to n do
-    let reply = read_reply c in
-    let id =
-      match reply with
-      | Proto.Answer { id; _ } | Proto.Error_reply { id; _ } -> id
-      | Proto.Pong | Proto.Topk_answer _ | Proto.Stats_json _ ->
-        failwith "run_all: unexpected reply kind"
-    in
-    if id < 0 || id >= n then failwith "run_all: reply id out of range";
-    if out.(id) <> None then failwith "run_all: duplicate reply id";
-    out.(id) <- Some reply
-  done;
+let health c =
+  match rpc c Proto.Get_health with
+  | Proto.Health_reply h -> h
+  | _ -> raise (Client_error "health: unexpected reply")
+
+(* Capped exponential backoff with a deterministic jitter (a PRNG here
+   would make load-driver runs unrepeatable); returns seconds. *)
+let backoff_delay backoff_ms attempt =
+  let base = backoff_ms *. (2. ** float_of_int attempt) in
+  let capped = Float.min base 2000. in
+  let jitter = 0.75 +. (0.5 *. float_of_int (attempt * 7919 mod 997) /. 997.) in
+  capped *. jitter /. 1000.
+
+let run_all ?(max_retries = 0) ?(backoff_ms = 50.) c queries config =
+  let queries = Array.of_list queries in
+  let n = Array.length queries in
+  let out : Proto.reply option array = Array.make n None in
+  let pending () =
+    let l = ref [] in
+    for id = n - 1 downto 0 do
+      if out.(id) = None then l := id :: !l
+    done;
+    !l
+  in
+  let attempt = ref 0 in
+  let rec go () =
+    match pending () with
+    | [] -> ()
+    | todo ->
+      (* Pipeline every unanswered id, then collect. Server answers are
+         deterministic per (db, query, config), so resending after a
+         transport break cannot change a result — at worst the server
+         computes an answer twice. *)
+      let transport_ok =
+        try
+          List.iter
+            (fun id -> send c (Proto.Run { id; query = queries.(id); config }))
+            todo;
+          let remaining = ref (List.length todo) in
+          while !remaining > 0 do
+            let reply = read_reply c in
+            let id =
+              match reply with
+              | Proto.Answer { id; _ } | Proto.Error_reply { id; _ } -> id
+              | Proto.Pong | Proto.Topk_answer _ | Proto.Stats_json _
+              | Proto.Health_reply _ ->
+                raise (Client_error "run_all: unexpected reply kind")
+            in
+            if id < 0 || id >= n then
+              raise (Client_error "run_all: reply id out of range");
+            if out.(id) <> None then
+              raise (Client_error "run_all: duplicate reply id");
+            out.(id) <- Some reply;
+            decr remaining
+          done;
+          true
+        with
+        | End_of_file | Proto.Proto_error _ | Proto.Timed_out
+        | Unix.Unix_error (_, _, _)
+        | Sys_error _
+        | Psst_fault.Injected _ ->
+          false
+      in
+      (* Retryable error replies (queue full, shutdown, unavailable) are
+         resubmitted while retries remain; past the budget they stay in
+         their slot for the caller to see. *)
+      let retryable_cleared =
+        if !attempt < max_retries then begin
+          let any = ref false in
+          Array.iteri
+            (fun id r ->
+              match r with
+              | Some (Proto.Error_reply { code; _ })
+                when Proto.error_code_retryable code ->
+                out.(id) <- None;
+                any := true
+              | _ -> ())
+            out;
+          !any
+        end
+        else false
+      in
+      if (not transport_ok) || retryable_cleared then begin
+        if !attempt >= max_retries then
+          client_error
+            "run_all: connection to %s failed with %d of %d replies missing \
+             and no retries left (%d attempts)"
+            (Proto.endpoint_to_string c.endpoint)
+            (List.length (pending ()))
+            n (!attempt + 1);
+        Unix.sleepf (backoff_delay backoff_ms !attempt);
+        incr attempt;
+        if not transport_ok then reconnect c;
+        go ()
+      end
+  in
+  go ();
   Array.map
-    (function Some r -> r | None -> failwith "run_all: missing reply")
+    (function
+      | Some r -> r
+      | None -> raise (Client_error "run_all: missing reply"))
     out

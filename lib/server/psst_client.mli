@@ -1,12 +1,28 @@
-(** Blocking client for the {!Psst_server} wire protocol — the substrate of
+(** Client for the {!Psst_server} wire protocol — the substrate of
     [psst client], the differential serving tests and the bench load
     driver. One [t] is one connection; it is not thread-safe (use one
-    connection per client thread). *)
+    connection per client thread).
+
+    Failure handling (DESIGN.md §12): connection problems surface as
+    {!Client_error} with a readable message — never a hang. [connect]
+    bounds the TCP handshake with [connect_timeout_ms]; every call bounds
+    its socket waits with [call_timeout_ms] ({!Psst_proto.Timed_out} past
+    it, after which the stream position is untrustworthy — reconnect).
+    {!run_all} retries transport breaks and retryable server rejections
+    with capped exponential backoff and automatic reconnection; resending
+    is safe because server answers are deterministic per
+    (database, query, config). *)
 
 type t
 
-(** Raises [Unix.Unix_error] when the endpoint cannot be reached. *)
-val connect : Psst_proto.endpoint -> t
+exception Client_error of string
+
+(** [connect ?connect_timeout_ms ?call_timeout_ms endpoint]. Timeouts are
+    in milliseconds; [0.] (the default) blocks indefinitely, matching the
+    old behaviour. Raises {!Client_error} when the endpoint is unknown,
+    unreachable, or does not accept within [connect_timeout_ms]. *)
+val connect :
+  ?connect_timeout_ms:float -> ?call_timeout_ms:float -> Psst_proto.endpoint -> t
 
 val close : t -> unit
 
@@ -19,18 +35,37 @@ val read_reply : t -> Psst_proto.reply
 val send_raw : t -> string -> unit
 val half_close : t -> unit
 
-(** [rpc c req] — send one request, read one reply. *)
+(** [rpc c req] — send one request, read one reply. Low-level: transport
+    exceptions ([End_of_file], [Proto_error], [Timed_out]) propagate. *)
 val rpc : t -> Psst_proto.request -> Psst_proto.reply
 
-(** [ping c] — round-trip; [Failure] if the server answers anything but
-    [Pong]. *)
+(** [ping c] — round-trip; {!Client_error} if the server answers anything
+    but [Pong]. *)
 val ping : t -> unit
 
 (** Full registry dump of the server process. *)
 val stats_json : t -> string
 
+(** Health snapshot of the server (uptime, queue depth, served /
+    degraded / retryable-rejection counters). *)
+val health : t -> Psst_proto.health
+
 (** [run_all c queries config] — pipeline all queries (ids [0..n-1]),
     then collect the replies and return them indexed by query position
     (replies may arrive out of order across micro-batches). Each slot is
-    an [Answer] or an [Error_reply]. *)
-val run_all : t -> Lgraph.t list -> Query.config -> Psst_proto.reply array
+    an [Answer] or an [Error_reply].
+
+    [max_retries] (default 0) bounds recovery attempts: a transport break
+    triggers reconnect-and-resend of the unanswered ids; a retryable
+    error reply (queue full / shutdown / unavailable) is resubmitted.
+    Each recovery round sleeps [backoff_ms] (default 50) doubled per
+    attempt, capped at 2 s, with deterministic jitter. Past the budget a
+    transport break raises {!Client_error}; retryable error replies are
+    returned in their slots. *)
+val run_all :
+  ?max_retries:int ->
+  ?backoff_ms:float ->
+  t ->
+  Lgraph.t list ->
+  Query.config ->
+  Psst_proto.reply array

@@ -1,18 +1,40 @@
-(* Framed binary RPC protocol (DESIGN.md §11). Payloads reuse the
+(* Framed binary RPC protocol (DESIGN.md §11, §12). Payloads reuse the
    Psst_store codecs; the frame adds a magic/version/type header, a u32
    length and a CRC-32 over header and payload, so every byte on the wire
-   is covered by the checksum. *)
+   is covered by the checksum.
+
+   Version negotiation is per frame: a peer speaks by stamping its version
+   into each frame, and readers accept any version in
+   [min_proto_version .. proto_version]. Version 2 added the [degraded]
+   flag on answers, the [Health] RPC and the [Unavailable] error code; a
+   version-1 frame still decodes (the flag defaults to false) and replies
+   to a version-1 peer are encoded in version 1 (with [Unavailable]
+   mapped to the equally-retryable [Shutdown]), so old clients keep
+   working against new servers and vice versa. *)
 
 module S = Psst_store
 module Crc32 = Psst_util.Crc32
 
 exception Proto_error of string
+exception Timed_out
 
 let error fmt = Printf.ksprintf (fun msg -> raise (Proto_error msg)) fmt
-let proto_version = 1
+let proto_version = 2
+let min_proto_version = 1
 let magic = "PSSTRPC\x00"
 let header_bytes = 24
 let max_payload = 16 * 1024 * 1024
+
+(* Chaos sites on the wire (DESIGN.md §12): Partial_io forces the fd IO
+   into 1-byte reads/writes (the retry loops must reassemble the frame),
+   Bitflip damages bytes the CRC must catch, Fail simulates a dead link. *)
+let fault_read = Psst_fault.site "proto.read"
+let fault_write = Psst_fault.site "proto.write"
+
+let injected site =
+  raise
+    (Psst_fault.Injected
+       ("injected fault at site " ^ Psst_fault.site_name site))
 
 type endpoint = Unix_socket of string | Tcp of string * int
 
@@ -20,7 +42,13 @@ let endpoint_to_string = function
   | Unix_socket path -> Printf.sprintf "unix:%s" path
   | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
 
-type error_code = Malformed | Queue_full | Deadline | Shutdown | Internal
+type error_code =
+  | Malformed
+  | Queue_full
+  | Deadline
+  | Shutdown
+  | Internal
+  | Unavailable
 
 let error_code_name = function
   | Malformed -> "malformed"
@@ -28,9 +56,10 @@ let error_code_name = function
   | Deadline -> "deadline"
   | Shutdown -> "shutdown"
   | Internal -> "internal"
+  | Unavailable -> "unavailable"
 
 let error_code_retryable = function
-  | Queue_full | Shutdown -> true
+  | Queue_full | Shutdown | Unavailable -> true
   | Malformed | Deadline | Internal -> false
 
 let error_code_tag = function
@@ -39,6 +68,7 @@ let error_code_tag = function
   | Deadline -> 2
   | Shutdown -> 3
   | Internal -> 4
+  | Unavailable -> 5
 
 let error_code_of_tag = function
   | 0 -> Malformed
@@ -46,6 +76,7 @@ let error_code_of_tag = function
   | 2 -> Deadline
   | 3 -> Shutdown
   | 4 -> Internal
+  | 5 -> Unavailable
   | t -> error "unknown error code tag %d" t
 
 type query_stats = {
@@ -54,6 +85,7 @@ type query_stats = {
   prob_candidates : int;
   accepted_by_bounds : int;
   pruned_by_bounds : int;
+  degraded : bool;
 }
 
 let stats_of_query (s : Query.stats) =
@@ -63,23 +95,34 @@ let stats_of_query (s : Query.stats) =
     prob_candidates = s.prob_candidates;
     accepted_by_bounds = s.accepted_by_bounds;
     pruned_by_bounds = s.pruned_by_bounds;
+    degraded = s.degraded_candidates > 0;
   }
+
+type health = {
+  uptime_s : float;
+  queue_depth : int;
+  served : int;
+  degraded_answers : int;
+  retryable_rejections : int;
+}
 
 type request =
   | Ping
   | Run of { id : int; query : Lgraph.t; config : Query.config }
   | Run_topk of { id : int; query : Lgraph.t; k : int; config : Query.config }
   | Get_stats
+  | Get_health
 
 type reply =
   | Pong
   | Answer of { id : int; answers : int list; stats : query_stats }
   | Topk_answer of { id : int; hits : (int * float) list }
   | Stats_json of string
+  | Health_reply of health
   | Error_reply of { id : int; code : error_code; message : string }
 
 let request_id = function
-  | Ping | Get_stats -> 0
+  | Ping | Get_stats | Get_health -> 0
   | Run { id; _ } | Run_topk { id; _ } -> id
 
 (* --- message payloads (tag + Psst_store-encoded body) --- *)
@@ -88,12 +131,14 @@ let tag_ping = 1
 and tag_run = 2
 and tag_run_topk = 3
 and tag_get_stats = 4
+and tag_get_health = 5
 
 let tag_pong = 65
 and tag_answer = 66
 and tag_topk_answer = 67
 and tag_stats_json = 68
 and tag_error = 69
+and tag_health = 70
 
 let encode_request_payload = function
   | Ping -> (tag_ping, "")
@@ -111,8 +156,9 @@ let encode_request_payload = function
     Query.put_config e config;
     (tag_run_topk, S.contents e)
   | Get_stats -> (tag_get_stats, "")
+  | Get_health -> (tag_get_health, "")
 
-let encode_reply_payload = function
+let encode_reply_payload ~version = function
   | Pong -> (tag_pong, "")
   | Answer { id; answers; stats } ->
     let e = S.encoder () in
@@ -123,6 +169,10 @@ let encode_reply_payload = function
     S.put_i64 e stats.prob_candidates;
     S.put_i64 e stats.accepted_by_bounds;
     S.put_i64 e stats.pruned_by_bounds;
+    (* Version 1 predates the degraded flag; a v1 peer decodes the same
+       frame it always did (and treats every answer as exact, which only
+       loses precision of reporting, not correctness of the id list). *)
+    if version >= 2 then S.put_bool e stats.degraded;
     (tag_answer, S.contents e)
   | Topk_answer { id; hits } ->
     let e = S.encoder () in
@@ -137,7 +187,18 @@ let encode_reply_payload = function
     let e = S.encoder () in
     S.put_string e json;
     (tag_stats_json, S.contents e)
+  | Health_reply h ->
+    let e = S.encoder () in
+    S.put_f64 e h.uptime_s;
+    S.put_i64 e h.queue_depth;
+    S.put_i64 e h.served;
+    S.put_i64 e h.degraded_answers;
+    S.put_i64 e h.retryable_rejections;
+    (tag_health, S.contents e)
   | Error_reply { id; code; message } ->
+    (* [Unavailable] postdates v1; degrade it to the equally-retryable
+       [Shutdown] so a v1 peer still backs off and retries. *)
+    let code = if version < 2 && code = Unavailable then Shutdown else code in
     let e = S.encoder () in
     S.put_i64 e id;
     S.put_i64 e (error_code_tag code);
@@ -171,12 +232,13 @@ let decode_request tag payload =
           Run_topk { id; query; k; config }
         end
         else if tag = tag_get_stats then Get_stats
+        else if tag = tag_get_health then Get_health
         else S.error "unknown request tag %d" tag
       in
       S.expect_end d;
       req)
 
-let decode_reply tag payload =
+let decode_reply ~version tag payload =
   decoding "reply payload" (fun () ->
       let d = S.decoder ~name:"reply" payload in
       let rep =
@@ -189,6 +251,7 @@ let decode_reply tag payload =
           let prob_candidates = S.get_i64 d in
           let accepted_by_bounds = S.get_i64 d in
           let pruned_by_bounds = S.get_i64 d in
+          let degraded = if version >= 2 then S.get_bool d else false in
           Answer
             {
               id;
@@ -200,6 +263,7 @@ let decode_reply tag payload =
                   prob_candidates;
                   accepted_by_bounds;
                   pruned_by_bounds;
+                  degraded;
                 };
             }
         end
@@ -214,6 +278,16 @@ let decode_reply tag payload =
           Topk_answer { id; hits }
         end
         else if tag = tag_stats_json then Stats_json (S.get_string d)
+        else if tag = tag_health then begin
+          let uptime_s = S.get_f64 d in
+          let queue_depth = S.get_nat d in
+          let served = S.get_nat d in
+          let degraded_answers = S.get_nat d in
+          let retryable_rejections = S.get_nat d in
+          Health_reply
+            { uptime_s; queue_depth; served; degraded_answers;
+              retryable_rejections }
+        end
         else if tag = tag_error then begin
           let id = S.get_i64 d in
           let code = error_code_of_tag (S.get_i64 d) in
@@ -227,12 +301,12 @@ let decode_reply tag payload =
 
 (* --- framing --- *)
 
-let frame ~tag payload =
+let frame ~version ~tag payload =
   let len = String.length payload in
   if len > max_payload then error "payload of %d bytes exceeds frame cap" len;
   let head = Bytes.create 20 in
   Bytes.blit_string magic 0 head 0 8;
-  Bytes.set_int32_le head 8 (Int32.of_int proto_version);
+  Bytes.set_int32_le head 8 (Int32.of_int version);
   Bytes.set_int32_le head 12 (Int32.of_int tag);
   Bytes.set_int32_le head 16 (Int32.of_int len);
   let head = Bytes.unsafe_to_string head in
@@ -245,16 +319,17 @@ let frame ~tag payload =
   Buffer.add_string b payload;
   Buffer.contents b
 
-let encode_request r =
+let encode_request ?(version = proto_version) r =
   let tag, payload = encode_request_payload r in
-  frame ~tag payload
+  frame ~version ~tag payload
 
-let encode_reply r =
-  let tag, payload = encode_reply_payload r in
-  frame ~tag payload
+let encode_reply ?(version = proto_version) r =
+  let tag, payload = encode_reply_payload ~version r in
+  frame ~version ~tag payload
 
-(* Validate the 20 header bytes; returns (tag, payload_len). The length is
-   range-checked here, before any caller allocates for the payload. *)
+(* Validate the 20 header bytes; returns (version, tag, payload_len). The
+   length is range-checked here, before any caller allocates for the
+   payload. *)
 let check_header head =
   if String.length head <> 20 then
     error "internal: header slice of %d bytes" (String.length head);
@@ -264,13 +339,14 @@ let check_header head =
     if v < 0 then v + 0x1_0000_0000 else v
   in
   let version = u32 8 in
-  if version <> proto_version then
-    error "unsupported protocol version %d (expected %d)" version proto_version;
+  if version < min_proto_version || version > proto_version then
+    error "unsupported protocol version %d (this build speaks %d..%d)" version
+      min_proto_version proto_version;
   let tag = u32 12 in
   let len = u32 16 in
   if len > max_payload then
     error "frame payload length %d exceeds cap %d" len max_payload;
-  (tag, len)
+  (version, tag, len)
 
 let check_crc head crc payload =
   let expect = Crc32.update (Crc32.digest head) payload ~pos:0 ~len:(String.length payload) in
@@ -282,7 +358,7 @@ let decode_frame_string s =
   if total < header_bytes then
     error "truncated frame: %d bytes, header needs %d" total header_bytes;
   let head = String.sub s 0 20 in
-  let tag, len = check_header head in
+  let version, tag, len = check_header head in
   let crc = String.get_int32_le s 20 in
   if total < header_bytes + len then
     error "truncated frame: payload needs %d bytes, have %d" len
@@ -291,18 +367,19 @@ let decode_frame_string s =
     error "trailing bytes after frame (%d extra)" (total - header_bytes - len);
   let payload = String.sub s header_bytes len in
   check_crc head crc payload;
-  (tag, payload)
+  (version, tag, payload)
 
 let request_of_string s =
-  let tag, payload = decode_frame_string s in
+  let _, tag, payload = decode_frame_string s in
   decode_request tag payload
 
 let reply_of_string s =
-  let tag, payload = decode_frame_string s in
-  decode_reply tag payload
+  let version, tag, payload = decode_frame_string s in
+  decode_reply ~version tag payload
 
-(* Blocking reader. The first byte decides between a clean End_of_file and
-   a truncated frame; everything after it must be complete. *)
+(* Blocking channel reader. The first byte decides between a clean
+   End_of_file and a truncated frame; everything after it must be
+   complete. *)
 let read_frame ic =
   let first = input_char ic (* End_of_file here = clean close *) in
   let rest =
@@ -310,19 +387,143 @@ let read_frame ic =
     with End_of_file -> error "truncated frame header"
   in
   let head = String.make 1 first ^ String.sub rest 0 19 in
-  let tag, len = check_header head in
+  let version, tag, len = check_header head in
   let crc = String.get_int32_le rest 19 in
   let payload =
     try really_input_string ic len
     with End_of_file -> error "truncated frame payload (expected %d bytes)" len
   in
   check_crc head crc payload;
-  (tag, payload)
+  (version, tag, payload)
 
 let read_request ic =
-  let tag, payload = read_frame ic in
+  let _, tag, payload = read_frame ic in
   decode_request tag payload
 
 let read_reply ic =
-  let tag, payload = read_frame ic in
-  decode_reply tag payload
+  let version, tag, payload = read_frame ic in
+  decode_reply ~version tag payload
+
+(* --- fd-level IO: EINTR- and short-IO-safe, with optional deadlines ---
+
+   Sockets deliver short reads and writes and EINTR as a matter of course
+   (the old channel-based path hid the read side and simply broke on the
+   write side under signals); these loops retry until the full frame has
+   moved or the deadline passes. [deadline] is absolute
+   (Unix.gettimeofday-based); on expiry the call raises {!Timed_out} —
+   the connection is then in an undefined mid-frame state and must be
+   closed, which is exactly what the reconnecting client does. *)
+
+let wait_io fd ~deadline ~for_read =
+  match deadline with
+  | None -> ()
+  | Some dl ->
+    let rec wait () =
+      let left = dl -. Unix.gettimeofday () in
+      if left <= 0. then raise Timed_out;
+      let r, w, _ =
+        try
+          if for_read then Unix.select [ fd ] [] [] left
+          else Unix.select [] [ fd ] [] left
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if r = [] && w = [] then
+        if Unix.gettimeofday () >= dl then raise Timed_out else wait ()
+    in
+    wait ()
+
+(* Read exactly [len] bytes into [buf] at [pos]. [eof_ok_at_start]: a
+   clean EOF before the first byte raises End_of_file, EOF later is a
+   truncation. [chunk] caps per-call read sizes (the Partial_io fault
+   forces it to 1 to exercise this very loop). *)
+let read_exact fd buf pos len ~deadline ~chunk ~eof_ok_at_start ~what =
+  let got = ref 0 in
+  while !got < len do
+    wait_io fd ~deadline ~for_read:true;
+    match
+      Unix.read fd buf (pos + !got) (min chunk (len - !got))
+    with
+    | 0 ->
+      if !got = 0 && eof_ok_at_start then raise End_of_file
+      else error "truncated frame: EOF inside %s" what
+    | n -> got := !got + n
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error (e, _, _) ->
+      error "read failed inside %s: %s" what (Unix.error_message e)
+  done
+
+let read_frame_fd ?deadline fd =
+  let chunk, bitflip =
+    match Psst_fault.fire fault_read with
+    | None -> (max_int, false)
+    | Some Psst_fault.Partial_io -> (1, false)
+    | Some Psst_fault.Bitflip -> (max_int, true)
+    | Some Psst_fault.Fail -> injected fault_read
+    | Some (Psst_fault.Delay s) ->
+      Unix.sleepf s;
+      (max_int, false)
+  in
+  let head = Bytes.create header_bytes in
+  read_exact fd head 0 header_bytes ~deadline ~chunk ~eof_ok_at_start:true
+    ~what:"frame header";
+  let version, tag, len = check_header (Bytes.sub_string head 0 20) in
+  let crc = Bytes.get_int32_le head 20 in
+  let payload = Bytes.create len in
+  read_exact fd payload 0 len ~deadline ~chunk ~eof_ok_at_start:false
+    ~what:"frame payload";
+  (* Wire corruption: damage a byte the CRC covers — the payload when
+     there is one, a stored-CRC byte otherwise — so validation below must
+     reject the frame exactly like a flipped byte on a real link. *)
+  let crc, payload =
+    if not bitflip then (crc, payload)
+    else if len > 0 then begin
+      let p = Psst_fault.draw_int fault_read len in
+      Bytes.set payload p
+        (Char.chr (Char.code (Bytes.get payload p) lxor (1 lsl Psst_fault.draw_int fault_read 8)));
+      (crc, payload)
+    end
+    else (Int32.logxor crc 0x1l, payload)
+  in
+  let payload = Bytes.unsafe_to_string payload in
+  check_crc (Bytes.sub_string head 0 20) crc payload;
+  (version, tag, payload)
+
+let read_request_fd ?deadline fd =
+  let version, tag, payload = read_frame_fd ?deadline fd in
+  (version, decode_request tag payload)
+
+let read_reply_fd ?deadline fd =
+  let version, tag, payload = read_frame_fd ?deadline fd in
+  decode_reply ~version tag payload
+
+let write_frame_fd ?deadline fd data =
+  let chunk, data =
+    match Psst_fault.fire fault_write with
+    | None -> (max_int, data)
+    | Some Psst_fault.Partial_io -> (1, data)
+    | Some Psst_fault.Fail -> injected fault_write
+    | Some (Psst_fault.Delay s) ->
+      Unix.sleepf s;
+      (max_int, data)
+    | Some Psst_fault.Bitflip when String.length data > 0 ->
+      let b = Bytes.of_string data in
+      let p = Psst_fault.draw_int fault_write (Bytes.length b) in
+      Bytes.set b p
+        (Char.chr (Char.code (Bytes.get b p) lxor (1 lsl Psst_fault.draw_int fault_write 8)));
+      (max_int, Bytes.unsafe_to_string b)
+    | Some Psst_fault.Bitflip -> (max_int, data)
+  in
+  let len = String.length data in
+  let sent = ref 0 in
+  while !sent < len do
+    wait_io fd ~deadline ~for_read:false;
+    match
+      Unix.write_substring fd data !sent (min chunk (len - !sent))
+    with
+    | n -> sent := !sent + n
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+      ()
+  done

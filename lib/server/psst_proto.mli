@@ -1,11 +1,11 @@
-(** Wire protocol of the resident query server (DESIGN.md §11).
+(** Wire protocol of the resident query server (DESIGN.md §11, §12).
 
     Every message travels in one length-prefixed, CRC-32-framed binary
     frame layered on the {!Psst_store} payload codecs:
 
     {v
     offset 0   magic        "PSSTRPC\x00"        8 bytes
-           8   version      u32                  {!proto_version}
+           8   version      u32                  {!min_proto_version} .. {!proto_version}
           12   type         u32                  message tag
           16   payload_len  u32                  <= {!max_payload}
           20   crc          u32                  CRC-32 of bytes 0..19 ++ payload
@@ -18,11 +18,24 @@
     a frame all raise {!Proto_error} with a human-readable message — never
     [Failure], an out-of-bounds [Invalid_argument], or a hang (a corrupted
     length field is bounded by [max_payload], so a reader never waits for
-    gigabytes that will not come). *)
+    gigabytes that will not come).
+
+    Versioning is per frame. Version 2 added the [degraded] answer flag,
+    the {!request.Get_health} RPC and the [Unavailable] error code; both
+    sides accept version-1 frames and answer a version-1 peer in version 1
+    ([degraded] is simply not sent; [Unavailable] is downgraded to the
+    equally-retryable [Shutdown]), so old clients interoperate with new
+    servers and vice versa. *)
 
 exception Proto_error of string
 
+(** Raised by the [?deadline] fd readers/writers when the deadline passes
+    mid-frame. The stream position is then untrustworthy: close the
+    connection (the reconnecting client does exactly that). *)
+exception Timed_out
+
 val proto_version : int
+val min_proto_version : int
 
 (** 8-byte frame magic. *)
 val magic : string
@@ -39,47 +52,73 @@ type endpoint = Unix_socket of string | Tcp of string * int
 
 val endpoint_to_string : endpoint -> string
 
-(** Error taxonomy of {!reply.Error_reply}. [Queue_full] and [Shutdown]
-    are retryable: the request was never admitted, so the client may
-    resubmit (ideally elsewhere or after a backoff). *)
-type error_code = Malformed | Queue_full | Deadline | Shutdown | Internal
+(** Error taxonomy of {!reply.Error_reply}. [Queue_full], [Shutdown] and
+    [Unavailable] are retryable: the request was not executed, so the
+    client may resubmit (ideally elsewhere or after a backoff). *)
+type error_code =
+  | Malformed
+  | Queue_full
+  | Deadline
+  | Shutdown
+  | Internal
+  | Unavailable
 
 val error_code_name : error_code -> string
 val error_code_retryable : error_code -> bool
 
 (** The pruning counters echoed with every answer, so a client can check
-    bit-identity with an offline {!Query.run} without a second channel. *)
+    bit-identity with an offline {!Query.run} without a second channel.
+    [degraded] (version >= 2) marks an answer assembled under a
+    verification budget or an injected fault: correct to the PMI bounds
+    (a superset of the exact answer set), not exactly verified. *)
 type query_stats = {
   relaxed_truncated : bool;
   structural_candidates : int;
   prob_candidates : int;
   accepted_by_bounds : int;
   pruned_by_bounds : int;
+  degraded : bool;
 }
 
 val stats_of_query : Query.stats -> query_stats
+
+(** The [Get_health] snapshot a load balancer polls (DESIGN.md §12). *)
+type health = {
+  uptime_s : float;
+  queue_depth : int;  (** requests admitted but not yet executed *)
+  served : int;  (** replies sent since start, error replies included *)
+  degraded_answers : int;  (** answers sent with [degraded = true] *)
+  retryable_rejections : int;
+      (** retryable error replies sent (queue-full / shutdown /
+          unavailable) — the server-side retry-pressure counter *)
+}
 
 type request =
   | Ping
   | Run of { id : int; query : Lgraph.t; config : Query.config }
   | Run_topk of { id : int; query : Lgraph.t; k : int; config : Query.config }
   | Get_stats
+  | Get_health
 
 type reply =
   | Pong
   | Answer of { id : int; answers : int list; stats : query_stats }
   | Topk_answer of { id : int; hits : (int * float) list }
   | Stats_json of string
+  | Health_reply of health
   | Error_reply of { id : int; code : error_code; message : string }
 
 (** [request_id r] — the client-chosen correlation id ([0] for [Ping] /
-    [Get_stats], which are answered in order on the connection). *)
+    [Get_stats] / [Get_health], which are answered in order on the
+    connection). *)
 val request_id : request -> int
 
-(** Full frame bytes (header + payload) for one message. *)
-val encode_request : request -> string
+(** Full frame bytes (header + payload) for one message. [?version]
+    (default {!proto_version}) stamps the frame and, for replies, selects
+    the encoding a peer of that version expects. *)
+val encode_request : ?version:int -> request -> string
 
-val encode_reply : reply -> string
+val encode_reply : ?version:int -> reply -> string
 
 (** Decode one complete frame from a string (fuzz tests and tooling);
     {!Proto_error} on any anomaly, including trailing bytes after the
@@ -88,9 +127,30 @@ val request_of_string : string -> request
 
 val reply_of_string : string -> reply
 
-(** Blocking frame readers. [End_of_file] is raised only at a clean frame
-    boundary (zero bytes of the next frame read); EOF anywhere inside a
-    frame is a truncation and raises {!Proto_error}. *)
+(** Blocking channel frame readers (tooling and tests). [End_of_file] is
+    raised only at a clean frame boundary (zero bytes of the next frame
+    read); EOF anywhere inside a frame is a truncation and raises
+    {!Proto_error}. *)
 val read_request : in_channel -> request
 
 val read_reply : in_channel -> reply
+
+(** {1 Fd-level frame IO}
+
+    What the server and client actually use on sockets: retry loops over
+    [Unix.read]/[Unix.write] that survive [EINTR] and short reads/writes
+    (both routine on sockets), with an optional absolute deadline
+    enforced by [select] — {!Timed_out} on expiry. The ["proto.read"] /
+    ["proto.write"] fault sites act here: [Partial_io] forces 1-byte
+    chunks through the same loops, [Bitflip] damages a checksummed byte,
+    [Fail] raises {!Psst_fault.Injected} as a dead link. *)
+
+(** [read_request_fd fd] returns [(frame_version, request)] — the server
+    mirrors the version back in its reply. [End_of_file] at a clean frame
+    boundary. *)
+val read_request_fd : ?deadline:float -> Unix.file_descr -> int * request
+
+val read_reply_fd : ?deadline:float -> Unix.file_descr -> reply
+
+(** [write_frame_fd fd bytes] writes a complete pre-encoded frame. *)
+val write_frame_fd : ?deadline:float -> Unix.file_descr -> string -> unit

@@ -27,6 +27,8 @@ let m_reject_deadline = Psst_obs.counter "server.reject.deadline"
 let m_reject_shutdown = Psst_obs.counter "server.reject.shutdown"
 let m_proto_errors = Psst_obs.counter "server.proto.errors"
 let m_write_errors = Psst_obs.counter "server.write.errors"
+let m_degraded = Psst_obs.counter "server.degraded"
+let m_retries = Psst_obs.counter "server.retries"
 let m_batch_size = Psst_obs.histogram ~lo:1. ~hi:1e4 "server.batch.size"
 let m_queue_depth = Psst_obs.histogram ~lo:1. ~hi:1e6 "server.queue.depth"
 let m_queue_wait = Psst_obs.histogram "server.queue.wait_s"
@@ -37,6 +39,7 @@ type config = {
   domains : int;
   queue_cap : int;
   deadline_ms : float;
+  verify_budget_ms : float;
   batch_max : int;
   trace_cap : int;
 }
@@ -47,14 +50,18 @@ let default_config endpoint =
     domains = 1;
     queue_cap = 128;
     deadline_ms = 0.;
+    verify_budget_ms = 0.;
     batch_max = 32;
     trace_cap = 256;
   }
 
+(* Chaos site around batch execution (DESIGN.md §12): a Fail plan here
+   stands in for the verification stage dying (pool wedged, OOM-killed
+   helper, ...) and exercises the bounds-only degradation path. *)
+let fault_batch = Psst_fault.site "server.batch"
+
 type conn = {
   fd : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
   wmutex : Mutex.t;  (* serialises reply writes and the close *)
   mutable open_ : bool;
 }
@@ -62,6 +69,7 @@ type conn = {
 type job = {
   jconn : conn;
   jid : int;
+  jver : int;  (* protocol version of the request frame; replies mirror it *)
   jkind :
     [ `Run of Lgraph.t * Query.config | `Topk of Lgraph.t * int * Query.config ];
   enqueued : float;
@@ -84,6 +92,9 @@ type t = {
   mutable batch_thread : Thread.t option;
   trace_ring : Psst_obs.Trace.t Queue.t;  (* guarded by [mutex] *)
   served_count : int Atomic.t;
+  degraded_count : int Atomic.t;
+  retry_count : int Atomic.t;  (* retryable error replies sent *)
+  start_time : float;
 }
 
 let endpoint t = t.bound
@@ -111,7 +122,6 @@ let close_conn t c =
   let was_open = c.open_ in
   if was_open then begin
     c.open_ <- false;
-    (try flush c.oc with Sys_error _ -> ());
     (* shutdown() wakes a reader blocked in read(2) on this socket —
        close() alone does not — so stop() can join every reader thread. *)
     (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
@@ -125,22 +135,31 @@ let close_conn t c =
     Mutex.unlock t.mutex
   end
 
-let send_reply c reply =
+let send_reply c ~version reply =
   Mutex.lock c.wmutex;
   (if c.open_ then
-     match
-       output_string c.oc (Proto.encode_reply reply);
-       flush c.oc
-     with
+     match Proto.write_frame_fd c.fd (Proto.encode_reply ~version reply) with
      | () -> Psst_obs.incr m_served
      | exception (Sys_error _ | Unix.Unix_error (_, _, _)) ->
        (* The client hung up mid-reply: normal under load, not a warning. *)
+       Psst_obs.incr m_write_errors
+     | exception Psst_fault.Injected _ ->
+       (* Injected dead link on proto.write: same accounting as a hang-up;
+          the reader side of this connection fails next and closes it. *)
        Psst_obs.incr m_write_errors);
   Mutex.unlock c.wmutex
 
-let send_counted t c reply =
+let send_counted t c ~version reply =
   Atomic.incr t.served_count;
-  send_reply c reply
+  (match reply with
+  | Proto.Answer { stats; _ } when stats.Proto.degraded ->
+    Atomic.incr t.degraded_count;
+    Psst_obs.incr m_degraded
+  | Proto.Error_reply { code; _ } when Proto.error_code_retryable code ->
+    Atomic.incr t.retry_count;
+    Psst_obs.incr m_retries
+  | _ -> ());
+  send_reply c ~version reply
 
 (* --- admission --- *)
 
@@ -161,7 +180,7 @@ let admit t job =
   | `Admitted -> ()
   | `Full ->
     Psst_obs.incr m_reject_full;
-    send_counted t job.jconn
+    send_counted t job.jconn ~version:job.jver
       (Proto.Error_reply
          {
            id = job.jid;
@@ -172,7 +191,7 @@ let admit t job =
          })
   | `Shutdown ->
     Psst_obs.incr m_reject_shutdown;
-    send_counted t job.jconn
+    send_counted t job.jconn ~version:job.jver
       (Proto.Error_reply
          {
            id = job.jid;
@@ -180,48 +199,76 @@ let admit t job =
            message = "server is shutting down; retry elsewhere";
          })
 
+let health_snapshot t =
+  Mutex.lock t.mutex;
+  let depth = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  {
+    Proto.uptime_s = Unix.gettimeofday () -. t.start_time;
+    queue_depth = depth;
+    served = Atomic.get t.served_count;
+    degraded_answers = Atomic.get t.degraded_count;
+    retryable_rejections = Atomic.get t.retry_count;
+  }
+
+let health = health_snapshot
+
 let reader_loop t c =
   let rec loop () =
-    match Proto.read_request c.ic with
+    match Proto.read_request_fd c.fd with
     | exception End_of_file -> close_conn t c
-    | exception Sys_error _ -> close_conn t c
+    | exception (Sys_error _ | Unix.Unix_error (_, _, _)) -> close_conn t c
+    | exception Psst_fault.Injected _ ->
+      (* Injected dead link on proto.read: drop the connection cleanly,
+         exactly as a real half-open socket would resolve. *)
+      close_conn t c
     | exception Proto.Proto_error msg ->
       (* One error reply, one warning event, then drop the connection:
          after a framing error the byte stream has no trustworthy frame
-         boundary left. *)
+         boundary left. The peer's version is unknowable at this point, so
+         the reply is framed at min_proto_version — decodable by all. *)
       Psst_obs.incr m_proto_errors;
       Psst_obs.warn ~code:"proto" msg;
-      send_counted t c
+      send_counted t c ~version:Proto.min_proto_version
         (Proto.Error_reply { id = 0; code = Proto.Malformed; message = msg });
       close_conn t c
-    | Proto.Ping ->
-      Psst_obs.incr m_requests;
-      send_counted t c Proto.Pong;
-      loop ()
-    | Proto.Get_stats ->
-      Psst_obs.incr m_requests;
-      send_counted t c (Proto.Stats_json (Psst_obs.to_json_string ()));
-      loop ()
-    | Proto.Run { id; query; config } ->
-      Psst_obs.incr m_requests;
-      admit t
-        {
-          jconn = c;
-          jid = id;
-          jkind = `Run (query, config);
-          enqueued = Unix.gettimeofday ();
-        };
-      loop ()
-    | Proto.Run_topk { id; query; k; config } ->
-      Psst_obs.incr m_requests;
-      admit t
-        {
-          jconn = c;
-          jid = id;
-          jkind = `Topk (query, k, config);
-          enqueued = Unix.gettimeofday ();
-        };
-      loop ()
+    | version, req -> (
+      match req with
+      | Proto.Ping ->
+        Psst_obs.incr m_requests;
+        send_counted t c ~version Proto.Pong;
+        loop ()
+      | Proto.Get_stats ->
+        Psst_obs.incr m_requests;
+        send_counted t c ~version
+          (Proto.Stats_json (Psst_obs.to_json_string ()));
+        loop ()
+      | Proto.Get_health ->
+        Psst_obs.incr m_requests;
+        send_counted t c ~version (Proto.Health_reply (health_snapshot t));
+        loop ()
+      | Proto.Run { id; query; config } ->
+        Psst_obs.incr m_requests;
+        admit t
+          {
+            jconn = c;
+            jid = id;
+            jver = version;
+            jkind = `Run (query, config);
+            enqueued = Unix.gettimeofday ();
+          };
+        loop ()
+      | Proto.Run_topk { id; query; k; config } ->
+        Psst_obs.incr m_requests;
+        admit t
+          {
+            jconn = c;
+            jid = id;
+            jver = version;
+            jkind = `Topk (query, k, config);
+            enqueued = Unix.gettimeofday ();
+          };
+        loop ())
   in
   loop ()
 
@@ -233,15 +280,7 @@ let accept_loop t =
          is closed, drop it. *)
       (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
     | fd, _addr ->
-      let c =
-        {
-          fd;
-          ic = Unix.in_channel_of_descr fd;
-          oc = Unix.out_channel_of_descr fd;
-          wmutex = Mutex.create ();
-          open_ = true;
-        }
-      in
+      let c = { fd; wmutex = Mutex.create (); open_ = true } in
       Psst_obs.incr m_conns;
       let th =
         Thread.create
@@ -276,12 +315,12 @@ let job_error t job code message =
   (match code with
   | Proto.Deadline -> Psst_obs.incr m_reject_deadline
   | _ -> ());
-  send_counted t job.jconn
+  send_counted t job.jconn ~version:job.jver
     (Proto.Error_reply { id = job.jid; code; message })
 
 let finish_run t job (out : Query.outcome) =
   push_trace t out.trace;
-  send_counted t job.jconn
+  send_counted t job.jconn ~version:job.jver
     (Proto.Answer
        {
          id = job.jid;
@@ -331,10 +370,31 @@ let process_batch t batch =
       [] runs
     |> List.rev_map (fun (cfg, cell) -> (cfg, List.rev !cell))
   in
+  let budget_ms =
+    if t.cfg.verify_budget_ms > 0. then Some t.cfg.verify_budget_ms else None
+  in
   List.iter
     (fun (cfg, jobs) ->
-      match Query.run_batch_on t.pool t.db (List.map snd jobs) cfg with
+      match
+        Psst_fault.inject fault_batch;
+        Query.run_batch_on ?budget_ms t.pool t.db (List.map snd jobs) cfg
+      with
       | outs -> List.iter2 (fun (j, _) out -> finish_run t j out) jobs outs
+      | exception Psst_fault.Injected _ ->
+        (* Verification stage down: degrade the whole group to bounds-only
+           answers (supersets of the exact sets, flagged degraded) instead
+           of failing the requests — DESIGN.md §12. *)
+        Psst_obs.warn ~code:"server.batch"
+          "verification unavailable (injected fault): serving bounds-only \
+           answers";
+        List.iter
+          (fun (j, q) ->
+            match Query.run_bounds_only t.db q cfg with
+            | out -> finish_run t j out
+            | exception e ->
+              job_error t j Proto.Internal
+                ("query failed: " ^ Printexc.to_string e))
+          jobs
       | exception e ->
         let msg = Printexc.to_string e in
         Psst_obs.warn ~code:"server.batch" msg;
@@ -344,9 +404,12 @@ let process_batch t batch =
     groups;
   List.iter
     (fun (j, q, k, cfg) ->
-      match Topk.run t.db q ~k cfg with
+      match
+        Psst_fault.inject fault_batch;
+        Topk.run t.db q ~k cfg
+      with
       | out ->
-        send_counted t j.jconn
+        send_counted t j.jconn ~version:j.jver
           (Proto.Topk_answer
              {
                id = j.jid;
@@ -354,6 +417,10 @@ let process_batch t batch =
                  List.map (fun (h : Topk.hit) -> (h.graph, h.ssp)) out.Topk.hits;
              });
         Psst_obs.observe m_latency (Unix.gettimeofday () -. j.enqueued)
+      | exception Psst_fault.Injected _ ->
+        (* Top-k has no bounds-only fallback; answer with a clean retryable
+           error rather than a wrong or missing reply. *)
+        job_error t j Proto.Unavailable "top-k stage unavailable; retry"
       | exception e ->
         let msg = Printexc.to_string e in
         Psst_obs.warn ~code:"server.batch" msg;
@@ -438,6 +505,9 @@ let start cfg db =
       batch_thread = None;
       trace_ring = Queue.create ();
       served_count = Atomic.make 0;
+      degraded_count = Atomic.make 0;
+      retry_count = Atomic.make 0;
+      start_time = Unix.gettimeofday ();
     }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());

@@ -33,12 +33,18 @@ type config = {
   domains : int;  (** domain-pool size for verification fan-out *)
   queue_cap : int;  (** admission queue bound (backpressure) *)
   deadline_ms : float;  (** max queue wait; [0.] disables deadlines *)
+  verify_budget_ms : float;
+      (** per-batch verification budget (DESIGN.md §12): candidates whose
+          verification would start after the budget elapses are answered
+          from their PMI bounds and the reply is flagged [degraded] — a
+          superset-safe answer under overload instead of an ever-growing
+          latency tail. [0.] disables budgets (exact answers always). *)
   batch_max : int;  (** micro-batch size cap *)
   trace_cap : int;  (** per-query traces retained for [--stats-json] *)
 }
 
-(** Unix socket, 1 domain, queue of 128, no deadline, batches of 32,
-    256 traces. *)
+(** Unix socket, 1 domain, queue of 128, no deadline, no verification
+    budget, batches of 32, 256 traces. *)
 val default_config : Psst_proto.endpoint -> config
 
 type t
@@ -65,3 +71,7 @@ val traces : t -> Psst_obs.Trace.t list
 
 (** Requests answered since {!start} (including error replies). *)
 val served : t -> int
+
+(** The snapshot the [Get_health] RPC answers from (also available
+    in-process, e.g. for tests and supervisors). *)
+val health : t -> Psst_proto.health

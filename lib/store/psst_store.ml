@@ -2,6 +2,19 @@ module Crc32 = Psst_util.Crc32
 
 exception Store_error of string
 
+(* Chaos coverage (DESIGN.md §12): the write site can abandon a partial
+   temporary, corrupt a byte before the atomic rename, or stall with the
+   temporary visible (the SIGKILL-mid-write window); the read site damages
+   the bytes after they leave the kernel, which the CRCs must catch. *)
+let fault_write = Psst_fault.site "store.write"
+let fault_read = Psst_fault.site "store.read"
+let m_tmp_cleaned = Psst_obs.counter "store.tmp_cleaned"
+
+let injected site =
+  raise
+    (Psst_fault.Injected
+       ("injected fault at site " ^ Psst_fault.site_name site))
+
 let error fmt = Printf.ksprintf (fun s -> raise (Store_error s)) fmt
 
 let checked f =
@@ -225,12 +238,51 @@ let write_file ?(version = format_version) path ~kind sections =
       add_u32 buf (section_crc s);
       Buffer.add_string buf s.payload)
     sections;
+  let fault = Psst_fault.fire fault_write in
+  if fault = Some Psst_fault.Fail then injected fault_write;
+  let data =
+    match fault with
+    | Some Psst_fault.Bitflip when Buffer.length buf > 0 ->
+      (* Complete the write and the rename, but with one damaged byte:
+         the readers' checksums must refuse the file. *)
+      let b = Buffer.to_bytes buf in
+      let pos = Psst_fault.draw_int fault_write (Bytes.length b) in
+      let bit = Psst_fault.draw_int fault_write 8 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      Bytes.unsafe_to_string b
+    | _ -> Buffer.contents buf
+  in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf);
-  Sys.rename tmp path
+  (match fault with
+  | Some Psst_fault.Partial_io ->
+    (* A crash mid-write: a prefix lands in the temporary, the rename
+       never happens, the orphan stays behind for the next reader to
+       clean up. *)
+    let cut =
+      if String.length data = 0 then 0
+      else Psst_fault.draw_int fault_write (String.length data)
+    in
+    output_substring oc data 0 cut;
+    close_out oc;
+    injected fault_write
+  | Some (Psst_fault.Delay s) ->
+    (* Stall with the temporary half-written and flushed: the window a
+       SIGKILL-mid-write test aims at. *)
+    let half = String.length data / 2 in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_substring oc data 0 half;
+        flush oc;
+        Unix.sleepf s;
+        output_substring oc data half (String.length data - half));
+    Sys.rename tmp path
+  | _ ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc data);
+    Sys.rename tmp path)
 
 (* A raw cursor over the whole file, distinct from [dec] so framing errors
    talk about the file rather than a section. *)
@@ -284,7 +336,11 @@ let read_header r ~kind =
   if count < 0 then error "negative section count";
   count
 
-let read_one_section r =
+(* Framing parse of one section, CRC left to the caller: [read_one_section]
+   turns a mismatch into an error, the salvage reader skips the section and
+   keeps going (the length field it already consumed tells it where the
+   next section starts). *)
+let read_one_section_raw r =
   let name_len = Int32.to_int (raw_u32 r "section header") in
   if name_len < 0 || name_len > max_section_name then
     error "implausible section name length %d" name_len;
@@ -298,9 +354,13 @@ let read_one_section r =
   let stored_crc = raw_u32 r (Printf.sprintf "section %S header" ctx) in
   let len = Int64.to_int payload_len in
   let payload = raw_bytes r len (Printf.sprintf "section %S payload" ctx) in
-  let s = { name; payload } in
+  ({ name; payload }, stored_crc)
+
+let read_one_section r =
+  let s, stored_crc = read_one_section_raw r in
   if section_crc s <> stored_crc then
-    error "section %S: checksum mismatch (corrupted payload)" ctx;
+    error "section %S: checksum mismatch (corrupted payload)"
+      (if s.name = "" then "<unnamed>" else s.name);
   s
 
 let read_string file ~kind =
@@ -323,11 +383,74 @@ let read_whole_file path =
     try open_in_bin path
     with Sys_error msg -> error "cannot open store: %s" msg
   in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Psst_fault.fire fault_read with
+  | None -> contents
+  | Some Psst_fault.Fail -> injected fault_read
+  | Some (Psst_fault.Delay s) ->
+    Unix.sleepf s;
+    contents
+  | Some Psst_fault.Bitflip when String.length contents > 0 ->
+    let b = Bytes.of_string contents in
+    let pos = Psst_fault.draw_int fault_read (Bytes.length b) in
+    let bit = Psst_fault.draw_int fault_read 8 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    Bytes.unsafe_to_string b
+  | Some Psst_fault.Partial_io when String.length contents > 0 ->
+    String.sub contents 0 (Psst_fault.draw_int fault_read (String.length contents))
+  | Some (Psst_fault.Bitflip | Psst_fault.Partial_io) -> contents
 
-let read_file path ~kind = read_string (read_whole_file path) ~kind
+(* Crash-safe cleanup: an interrupted [write_file] leaves [path ^ ".tmp"]
+   behind (the rename never ran, so [path] itself is the intact previous
+   version). The next open removes the orphan so it cannot accumulate or
+   be mistaken for live data. *)
+let clean_orphan_tmp path =
+  let tmp = path ^ ".tmp" in
+  if Sys.file_exists tmp then begin
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Psst_obs.incr m_tmp_cleaned;
+    Psst_obs.warn ~code:"store.tmp_cleaned"
+      (Printf.sprintf
+         "removed orphaned temporary %s left by an interrupted write" tmp)
+  end
+
+let read_file path ~kind =
+  clean_orphan_tmp path;
+  read_string (read_whole_file path) ~kind
+
+(* Best-effort reader for self-healing loads: keeps every section whose
+   checksum holds, lists the ones that do not. The header must be intact
+   (nothing to salvage otherwise), and a destroyed section *framing* —
+   a corrupted length or name length, or a truncated file — ends the scan,
+   since the remaining byte positions cannot be trusted; sections expected
+   but never reached simply come back neither intact nor damaged, which a
+   caller must treat as damaged. *)
+type salvage = { intact : section list; damaged : string list }
+
+let read_string_salvage file ~kind =
+  let r = { file; at = 0 } in
+  let count = read_header r ~kind in
+  let intact = ref [] in
+  let damaged = ref [] in
+  (try
+     for _ = 1 to count do
+       let s, stored_crc = read_one_section_raw r in
+       if section_crc s <> stored_crc then damaged := s.name :: !damaged
+       else if List.exists (fun s' -> s'.name = s.name) !intact then
+         error "duplicate section %S" s.name
+       else intact := s :: !intact
+     done
+   with Store_error msg ->
+     damaged := Printf.sprintf "<unreadable tail: %s>" msg :: !damaged);
+  { intact = List.rev !intact; damaged = List.rev !damaged }
+
+let read_file_salvage path ~kind =
+  clean_orphan_tmp path;
+  read_string_salvage (read_whole_file path) ~kind
 
 let section_spans file =
   let r = { file; at = 0 } in

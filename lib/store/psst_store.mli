@@ -61,11 +61,29 @@ type section = { name : string; payload : string }
 val write_file : ?version:int -> string -> kind:kind -> section list -> unit
 
 (** [read_file path ~kind] validates the header and every section checksum.
-    Raises {!Store_error} on any anomaly. *)
+    Raises {!Store_error} on any anomaly. As a side effect it removes an
+    orphaned [path ^ ".tmp"] left behind by an interrupted {!write_file}
+    (counted as ["store.tmp_cleaned"], with a warning event) — the rename
+    never ran, so [path] itself is still the intact previous version. *)
 val read_file : string -> kind:kind -> section list
 
 (** [read_string contents ~kind] — same, from in-memory file contents. *)
 val read_string : string -> kind:kind -> section list
+
+(** Result of a best-effort read: the sections whose checksums held, and
+    the names of the ones that did not (or a ["<unreadable tail: ..>"]
+    marker when section framing itself was destroyed — sections expected
+    but not listed in either field were never reached and must be treated
+    as damaged). *)
+type salvage = { intact : section list; damaged : string list }
+
+(** [read_file_salvage path ~kind] reads whatever survives of a damaged
+    store (DESIGN.md §12): the header must be intact, per-section CRC
+    failures skip just that section instead of aborting. Also cleans an
+    orphaned [.tmp] like {!read_file}. *)
+val read_file_salvage : string -> kind:kind -> salvage
+
+val read_string_salvage : string -> kind:kind -> salvage
 
 (** [find_section sections name] — {!Store_error} when absent. *)
 val find_section : section list -> string -> string

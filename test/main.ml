@@ -23,4 +23,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);
       ("edge_cases", Test_edge_cases.suite);
+      ("chaos", Test_chaos.suite);
     ]

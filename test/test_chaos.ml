@@ -1,0 +1,625 @@
+(* Chaos harness (DESIGN.md §12): deterministic fault injection, the
+   self-healing salvage loader, crash atomicity under SIGKILL, and the
+   serving stack's degradation invariant — under armed faults every reply
+   is (a) correct and exact, (b) correct-to-bounds and flagged degraded,
+   or (c) a clean retryable error. Never a hang, a crash, or a silently
+   wrong answer; with faults disarmed, everything is bit-identical to
+   offline Query.run.
+
+   Faults are process-global state: every arming test disarms in a
+   Fun.protect finally so no fault leaks into the other suites. *)
+
+module F = Psst_fault
+module P = Psst_proto
+module S = Psst_store
+module Client = Psst_client
+module Server = Psst_server
+module Prng = Psst_util.Prng
+
+let counter_delta c f =
+  let before = Psst_obs.counter_value c in
+  let r = f () in
+  (r, Psst_obs.counter_value c - before)
+
+let with_tmp f =
+  let path = Filename.temp_file "psst_chaos" ".store" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let expect_store_error what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Store_error" what
+  | exception S.Store_error _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: expected Store_error, got %s" what
+      (Printexc.to_string e)
+
+(* --- the fault registry itself --- *)
+
+let fire_pattern site n =
+  List.init n (fun _ -> Option.is_some (F.fire site))
+
+let test_fault_determinism () =
+  let s = F.site "chaos.unit" in
+  let record seed =
+    F.arm ~seed [ ("chaos.unit", F.Fail, 0.3) ];
+    Fun.protect ~finally:F.disarm (fun () -> fire_pattern s 200)
+  in
+  let a = record 99 in
+  Alcotest.(check bool) "some consultations fire" true (List.mem true a);
+  Alcotest.(check bool) "some consultations pass" true (List.mem false a);
+  Alcotest.(check (list bool)) "same seed, same schedule" a (record 99);
+  Alcotest.(check bool) "different seed, different schedule" false
+    (a = record 100);
+  (* The schedule is per-site: consulting another armed site between
+     consultations must not perturb it. *)
+  F.arm ~seed:99
+    [ ("chaos.unit", F.Fail, 0.3); ("chaos.other", F.Fail, 0.5) ];
+  let interleaved =
+    Fun.protect ~finally:F.disarm (fun () ->
+        let other = F.site "chaos.other" in
+        List.init 200 (fun _ ->
+            ignore (F.fire other);
+            Option.is_some (F.fire s)))
+  in
+  Alcotest.(check (list bool)) "independent of other sites" a interleaved
+
+let test_disarmed_is_silent () =
+  let s = F.site "chaos.unit" in
+  Alcotest.(check bool) "disarmed by default" false (F.enabled ());
+  for _ = 1 to 1000 do
+    match F.fire s with
+    | None -> ()
+    | Some _ -> Alcotest.fail "disarmed site fired"
+  done;
+  (* inject is a no-op when disarmed *)
+  F.inject s
+
+let test_fires_are_metered () =
+  let s = F.site "chaos.metered" in
+  F.arm ~seed:1 [ ("chaos.metered", F.Fail, 1.) ];
+  let (), fired =
+    counter_delta
+      (Psst_obs.counter "fault.chaos.metered")
+      (fun () ->
+        Fun.protect ~finally:F.disarm (fun () ->
+            for _ = 1 to 7 do
+              ignore (F.fire s)
+            done))
+  in
+  Alcotest.(check int) "every firing bumps fault.<site>" 7 fired
+
+let test_parse_plan () =
+  Alcotest.(check bool) "bare fail" true
+    (F.parse_plan "a.b=fail" = [ ("a.b", F.Fail, 1.) ]);
+  Alcotest.(check bool) "delay with ms and prob" true
+    (F.parse_plan "x=delay:25@0.5" = [ ("x", F.Delay 0.025, 0.5) ]);
+  Alcotest.(check bool) "multi-entry" true
+    (F.parse_plan "a=partial@0.25, b=bitflip"
+    = [ ("a", F.Partial_io, 0.25); ("b", F.Bitflip, 1.) ]);
+  let bad spec =
+    match F.parse_plan spec with
+    | _ -> Alcotest.failf "%S: expected Failure" spec
+    | exception Failure _ -> ()
+  in
+  bad "nonsense";
+  bad "a=explode";
+  bad "a=fail@2";
+  bad "a=delay:-5"
+
+let test_arm_from_env () =
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "PSST_FAULTS" "";
+      F.disarm ())
+    (fun () ->
+      Unix.putenv "PSST_FAULTS" "";
+      Alcotest.(check bool) "empty spec does not arm" false (F.arm_from_env ());
+      Unix.putenv "PSST_FAULTS" "chaos.env=fail@0.5";
+      Unix.putenv "PSST_FAULT_SEED" "7";
+      Alcotest.(check bool) "plan arms" true (F.arm_from_env ());
+      Alcotest.(check bool) "enabled" true (F.enabled ());
+      F.disarm ();
+      Unix.putenv "PSST_FAULTS" "garbage spec";
+      match F.arm_from_env () with
+      | _ -> Alcotest.fail "malformed spec: expected Failure"
+      | exception Failure _ -> ())
+
+(* --- store under fault: atomicity, orphan cleanup, corruption refusal --- *)
+
+let sections_a =
+  [ { S.name = "alpha"; payload = "payload one" };
+    { S.name = "beta"; payload = String.make 64 'b' } ]
+
+let sections_b =
+  [ { S.name = "alpha"; payload = "payload TWO" };
+    { S.name = "beta"; payload = String.make 64 'B' } ]
+
+let test_partial_write_leaves_old_intact () =
+  with_tmp (fun path ->
+      S.write_file path ~kind:S.Database sections_a;
+      F.arm ~seed:3 [ ("store.write", F.Partial_io, 1.) ];
+      (match
+         Fun.protect ~finally:F.disarm (fun () ->
+             S.write_file path ~kind:S.Database sections_b)
+       with
+      | () -> Alcotest.fail "expected Injected from a partial write"
+      | exception F.Injected _ -> ());
+      Alcotest.(check bool) "orphan tmp left behind" true
+        (Sys.file_exists (path ^ ".tmp"));
+      (* The next reader gets the OLD data and cleans the orphan. *)
+      let back, cleaned =
+        counter_delta (Psst_obs.counter "store.tmp_cleaned") (fun () ->
+            S.read_file path ~kind:S.Database)
+      in
+      Alcotest.(check bool) "old sections intact" true (back = sections_a);
+      Alcotest.(check int) "orphan cleanup metered" 1 cleaned;
+      Alcotest.(check bool) "orphan tmp removed" false
+        (Sys.file_exists (path ^ ".tmp")))
+
+let test_bitflipped_write_is_refused_by_readers () =
+  with_tmp (fun path ->
+      F.arm ~seed:5 [ ("store.write", F.Bitflip, 1.) ];
+      Fun.protect ~finally:F.disarm (fun () ->
+          S.write_file path ~kind:S.Database sections_a);
+      (* The write completed — but its checksums must now refuse it. *)
+      expect_store_error "bitflipped store" (fun () ->
+          S.read_file path ~kind:S.Database))
+
+let test_read_faults_surface_cleanly () =
+  with_tmp (fun path ->
+      S.write_file path ~kind:S.Database sections_a;
+      F.arm ~seed:8 [ ("store.read", F.Bitflip, 1.) ];
+      Fun.protect ~finally:F.disarm (fun () ->
+          expect_store_error "bitflipped read" (fun () ->
+              S.read_file path ~kind:S.Database));
+      F.arm ~seed:8 [ ("store.read", F.Partial_io, 1.) ];
+      Fun.protect ~finally:F.disarm (fun () ->
+          expect_store_error "truncated read" (fun () ->
+              S.read_file path ~kind:S.Database));
+      (* disarmed: same file reads fine — the faults were injected, not real *)
+      Alcotest.(check bool) "pristine after disarm" true
+        (S.read_file path ~kind:S.Database = sections_a))
+
+(* --- self-healing PMI salvage --- *)
+
+let fast_bounds = { Bounds.default_config with mc_samples = 400 }
+let fast_smp = { Verify.default_config with tau = 0.3 }
+let slow_smp = { Verify.default_config with tau = 0.05 }
+
+let make_db seed n =
+  let ds =
+    Generator.generate
+      { Generator.default_params with num_graphs = n; seed; min_vertices = 6;
+        max_vertices = 10; motif_edges = 3 }
+  in
+  let db =
+    Query.index_database
+      ~mining:{ Selection.default_params with max_edges = 2; beta = 0.2 }
+      ~bounds:fast_bounds ds.graphs
+  in
+  (ds, db)
+
+let base_config =
+  { Query.default_config with epsilon = 0.4; delta = 1; verifier = `Smp fast_smp }
+
+let c_columns = Psst_obs.counter "pmi.columns_built"
+
+let corrupt_section path original name =
+  let _, start, stop =
+    List.find (fun (n, _, _) -> n = name) (S.section_spans original)
+  in
+  let b = Bytes.of_string original in
+  (* Midpoint of the span: inside the checksummed payload, away from the
+     section framing, so exactly this one section is damaged. *)
+  let pos = start + ((stop - start) / 2) in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+  write_bytes path (Bytes.to_string b)
+
+let test_salvage_rebuilds_only_damaged_shard () =
+  (* 24 graphs and shard width 16: shard 0 holds columns 0..15, shard 1
+     columns 16..23. Damaging shard 1 must rebuild exactly 8 columns. *)
+  let ds, db = make_db 331 24 in
+  with_tmp (fun path ->
+      Pmi.save path ~db:ds.graphs db.Query.pmi;
+      let pristine = read_bytes path in
+      corrupt_section path pristine "pmi.entries.1";
+      expect_store_error "plain load refuses the damaged shard" (fun () ->
+          Pmi.load path ~db:ds.graphs);
+      let salvaged, rebuilt =
+        counter_delta c_columns (fun () ->
+            Pmi.load ~salvage:true path ~db:ds.graphs)
+      in
+      Alcotest.(check int) "exactly the damaged shard's columns rebuilt" 8
+        rebuilt;
+      Alcotest.(check bool) "salvage metered" true
+        (Psst_obs.counter_value (Psst_obs.counter "store.salvaged_columns")
+        >= 8);
+      Alcotest.(check bool) "salvage warning recorded" true
+        (Psst_obs.counter_value (Psst_obs.counter "warn.store.salvaged") >= 1);
+      (* Bit-identity: build_column is deterministic per (config, db,
+         features, gi), so re-saving the salvaged index reproduces the
+         pristine file byte for byte. *)
+      with_tmp (fun path2 ->
+          Pmi.save path2 ~db:ds.graphs salvaged;
+          Alcotest.(check bool) "salvaged index re-saves bit-identically" true
+            (read_bytes path2 = pristine)))
+
+let test_salvage_cannot_rebuild_metadata () =
+  (* The feature / config / layout sections have no rebuild source: a
+     salvage load must refuse (callers fall back to a full rebuild). *)
+  let ds, db = make_db 337 8 in
+  with_tmp (fun path ->
+      Pmi.save path ~db:ds.graphs db.Query.pmi;
+      let pristine = read_bytes path in
+      List.iter
+        (fun name ->
+          corrupt_section path pristine name;
+          expect_store_error (name ^ " is not salvageable") (fun () ->
+              Pmi.load ~salvage:true path ~db:ds.graphs))
+        [ "pmi.config"; "pmi.features"; "pmi.layout" ])
+
+(* --- degradation: budgets and verification faults, offline --- *)
+
+(* Choose queries that leave candidates for the verifier: degradation is
+   only observable when phase 3 has work to cut short. *)
+let queries_with_candidates ds db config rng ~want =
+  let rec go acc n =
+    if List.length acc >= want || n = 0 then List.rev acc
+    else
+      let q, _ = Generator.extract_query rng ds ~edges:4 in
+      let out = Query.run db q config in
+      if out.Query.stats.prob_candidates > 0 then go ((q, out) :: acc) (n - 1)
+      else go acc (n - 1)
+  in
+  go [] 40
+
+let test_budget_degrades_to_superset () =
+  let ds, db = make_db 311 18 in
+  let config = { base_config with verifier = `Smp slow_smp } in
+  let picked =
+    queries_with_candidates ds db config (Prng.make 17) ~want:2
+  in
+  Alcotest.(check bool) "found queries with verification work" true
+    (picked <> []);
+  List.iter
+    (fun (q, (exact : Query.outcome)) ->
+      (* A budget that is already spent: every candidate degrades. *)
+      let out = Query.run ~budget_ms:1e-6 db q config in
+      Alcotest.(check int) "all candidates degraded"
+        out.Query.stats.prob_candidates out.Query.stats.degraded_candidates;
+      List.iter
+        (fun a ->
+          Alcotest.(check bool)
+            (Printf.sprintf "degraded answers keep true answer %d" a)
+            true
+            (List.mem a out.Query.answers))
+        exact.Query.answers;
+      (* Pruning phases are untouched by the budget. *)
+      Alcotest.(check int) "same candidate count"
+        exact.Query.stats.prob_candidates out.Query.stats.prob_candidates;
+      (* No budget: bit-identical to the exact run. *)
+      let again = Query.run db q config in
+      Alcotest.(check (list int)) "no budget, no deviation"
+        exact.Query.answers again.Query.answers)
+    picked
+
+let test_verify_fault_degrades_to_superset () =
+  let ds, db = make_db 317 18 in
+  let picked =
+    queries_with_candidates ds db base_config (Prng.make 19) ~want:2
+  in
+  Alcotest.(check bool) "found queries with verification work" true
+    (picked <> []);
+  F.arm ~seed:23 [ ("verify.sample", F.Fail, 0.02) ];
+  Fun.protect ~finally:F.disarm (fun () ->
+      List.iter
+        (fun (q, (exact : Query.outcome)) ->
+          let out = Query.run db q base_config in
+          List.iter
+            (fun a ->
+              Alcotest.(check bool)
+                (Printf.sprintf "answer %d survives verify faults" a)
+                true
+                (List.mem a out.Query.answers))
+            exact.Query.answers)
+        picked);
+  (* Disarmed again: answers return to bit-identical. *)
+  List.iter
+    (fun (q, (exact : Query.outcome)) ->
+      let out = Query.run db q base_config in
+      Alcotest.(check (list int)) "disarmed, bit-identical" exact.Query.answers
+        out.Query.answers)
+    picked
+
+(* --- the serving stack under chaos --- *)
+
+let with_server ?(domains = 1) ?(verify_budget_ms = 0.) db f =
+  let path = Filename.temp_file "psst_chaos_srv" ".sock" in
+  let srv =
+    Server.start
+      {
+        (Server.default_config (P.Unix_socket path)) with
+        Server.domains;
+        verify_budget_ms;
+      }
+      db
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f srv)
+
+let with_client ?(connect_timeout_ms = 5000.) ?(call_timeout_ms = 30000.) srv f
+    =
+  let c =
+    Client.connect ~connect_timeout_ms ~call_timeout_ms (Server.endpoint srv)
+  in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let check_invariant ~what offline replies =
+  List.iteri
+    (fun i exact ->
+      match replies.(i) with
+      | P.Answer { answers; stats; _ } ->
+        if stats.P.degraded then
+          List.iter
+            (fun a ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: degraded reply %d keeps answer %d" what i
+                   a)
+                true (List.mem a answers))
+            exact
+        else
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s: exact reply %d is bit-identical" what i)
+            exact answers
+      | P.Error_reply { code; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: error reply %d is retryable" what i)
+          true
+          (P.error_code_retryable code)
+      | _ -> Alcotest.failf "%s: reply %d has unexpected kind" what i)
+    offline
+
+let test_served_chaos_invariant () =
+  let ds, db = make_db 347 20 in
+  let rng = Prng.make 29 in
+  let queries =
+    List.init 4 (fun _ -> fst (Generator.extract_query rng ds ~edges:4))
+  in
+  let offline =
+    List.map (fun q -> (Query.run db q base_config).Query.answers) queries
+  in
+  with_server db (fun srv ->
+      (* Round 1, armed: byte-at-a-time socket IO on both sides plus a
+         flaky verification stage. Every reply must satisfy the chaos
+         invariant; the run must terminate (call timeouts bound hangs). *)
+      F.arm ~seed:4242
+        [
+          ("proto.read", F.Partial_io, 0.25);
+          ("proto.write", F.Partial_io, 0.25);
+          ("server.batch", F.Fail, 0.5);
+        ];
+      Fun.protect ~finally:F.disarm (fun () ->
+          with_client srv (fun c ->
+              let replies =
+                Client.run_all ~max_retries:6 ~backoff_ms:5. c queries
+                  base_config
+              in
+              check_invariant ~what:"armed" offline replies));
+      (* Round 2, disarmed: bit-identical to offline, not flagged. *)
+      with_client srv (fun c ->
+          let replies = Client.run_all c queries base_config in
+          List.iteri
+            (fun i exact ->
+              match replies.(i) with
+              | P.Answer { answers; stats; _ } ->
+                Alcotest.(check (list int))
+                  (Printf.sprintf "disarmed reply %d bit-identical" i)
+                  exact answers;
+                Alcotest.(check bool)
+                  (Printf.sprintf "disarmed reply %d not degraded" i)
+                  false stats.P.degraded
+              | _ -> Alcotest.failf "disarmed reply %d: expected Answer" i)
+            offline))
+
+let test_served_budget_and_health () =
+  let ds, db = make_db 353 18 in
+  let config = { base_config with verifier = `Smp slow_smp } in
+  let picked =
+    queries_with_candidates ds db config (Prng.make 43) ~want:2
+  in
+  Alcotest.(check bool) "found queries with verification work" true
+    (picked <> []);
+  let queries = List.map fst picked in
+  let offline = List.map (fun (_, o) -> o.Query.answers) picked in
+  with_server ~verify_budget_ms:1e-6 db (fun srv ->
+      with_client srv (fun c ->
+          let h0 = Client.health c in
+          Alcotest.(check bool) "uptime sane" true (h0.P.uptime_s >= 0.);
+          Alcotest.(check int) "no degraded answers yet" 0
+            h0.P.degraded_answers;
+          let replies = Client.run_all c queries config in
+          check_invariant ~what:"budgeted" offline replies;
+          let degraded_replies =
+            Array.to_list replies
+            |> List.filter (function
+                 | P.Answer { stats; _ } -> stats.P.degraded
+                 | _ -> false)
+            |> List.length
+          in
+          Alcotest.(check bool) "budget produced degraded answers" true
+            (degraded_replies > 0);
+          let h = Client.health c in
+          Alcotest.(check int) "health counts the degraded answers"
+            degraded_replies h.P.degraded_answers;
+          Alcotest.(check bool) "health counts served" true
+            (h.P.served > h0.P.served)))
+
+let test_connect_timeout () =
+  (* A listener whose accept queue is full drops further SYNs, so a
+     connect to it hangs in SYN-sent — exactly the case the timeout
+     exists for. The call must return a clean Client_error within the
+     timeout instead of blocking for the kernel's minutes-long retry. *)
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let fillers = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (srv :: !fillers))
+    (fun () ->
+      Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen srv 1;
+      let port =
+        match Unix.getsockname srv with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      (* Saturate the accept queue; these are never accepted. *)
+      for _ = 1 to 8 do
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        fillers := fd :: !fillers;
+        Unix.set_nonblock fd;
+        try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+        with
+        | Unix.Unix_error
+            ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+        ->
+          ()
+      done;
+      Thread.delay 0.05;
+      let t0 = Unix.gettimeofday () in
+      (match
+         Client.connect ~connect_timeout_ms:300.
+           (P.Tcp ("127.0.0.1", port))
+       with
+      | c ->
+        Client.close c;
+        Alcotest.fail "connected past a full accept queue?"
+      | exception Client.Client_error _ -> ());
+      Alcotest.(check bool) "bounded connect wait" true
+        (Unix.gettimeofday () -. t0 < 10.))
+
+(* --- crash atomicity: SIGKILL a child mid-write --- *)
+
+let exe =
+  let candidates =
+    [ "../bin/psst.exe"; "_build/default/bin/psst.exe"; "bin/psst.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "../bin/psst.exe"
+
+let run_child ?(env = [||]) args =
+  (* Drop any PSST_FAULTS* the test process itself carries (putenv in
+     test_arm_from_env): with duplicate entries the child's getenv sees
+     the FIRST one, which would shadow the plan passed in [env]. *)
+  let inherited =
+    Array.to_list (Unix.environment ())
+    |> List.filter (fun kv ->
+           not (String.length kv >= 11 && String.sub kv 0 11 = "PSST_FAULTS")
+           && not
+                (String.length kv >= 15
+                && String.sub kv 0 15 = "PSST_FAULT_SEED"))
+    |> Array.of_list
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close devnull)
+    (fun () ->
+      Unix.create_process_env exe
+        (Array.append [| exe |] args)
+        (Array.append inherited env)
+        devnull devnull devnull)
+
+let test_sigkill_mid_write () =
+  with_tmp (fun path ->
+      (* A pristine index written by a clean child run. *)
+      let pid =
+        run_child [| "index"; "-n"; "10"; "--seed"; "5"; "-o"; path |]
+      in
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "clean index run failed");
+      let pristine = read_bytes path in
+      (* A second run, same output path, with a 5 s delay injected into the
+         middle of store.write: the tmp file sits half-flushed while the
+         child sleeps — SIGKILL it there. *)
+      let pid =
+        run_child
+          ~env:
+            [| "PSST_FAULTS=store.write=delay:5000"; "PSST_FAULT_SEED=1" |]
+          [| "index"; "-n"; "10"; "--seed"; "6"; "-o"; path |]
+      in
+      let rec await_tmp n =
+        if Sys.file_exists (path ^ ".tmp") then true
+        else if n = 0 then false
+        else begin
+          Thread.delay 0.05;
+          await_tmp (n - 1)
+        end
+      in
+      let caught_mid_write = await_tmp 1200 (* up to 60 s *) in
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      Alcotest.(check bool) "child was killed inside the write window" true
+        caught_mid_write;
+      Alcotest.(check bool) "old index bytes intact after SIGKILL" true
+        (read_bytes path = pristine);
+      Alcotest.(check bool) "orphan tmp left by the kill" true
+        (Sys.file_exists (path ^ ".tmp"));
+      (* The next open serves the old index and cleans the orphan. *)
+      let db = Query.load_database path in
+      Alcotest.(check int) "old index loads" 10 (Array.length db.Query.graphs);
+      Alcotest.(check bool) "orphan tmp cleaned on open" false
+        (Sys.file_exists (path ^ ".tmp")))
+
+let suite =
+  [
+    Alcotest.test_case "fault schedules are deterministic" `Quick
+      test_fault_determinism;
+    Alcotest.test_case "disarmed sites never fire" `Quick
+      test_disarmed_is_silent;
+    Alcotest.test_case "firings are metered" `Quick test_fires_are_metered;
+    Alcotest.test_case "PSST_FAULTS syntax" `Quick test_parse_plan;
+    Alcotest.test_case "arming from the environment" `Quick test_arm_from_env;
+    Alcotest.test_case "partial write leaves old file intact" `Quick
+      test_partial_write_leaves_old_intact;
+    Alcotest.test_case "bitflipped write refused by readers" `Quick
+      test_bitflipped_write_is_refused_by_readers;
+    Alcotest.test_case "read faults surface as Store_error" `Quick
+      test_read_faults_surface_cleanly;
+    Alcotest.test_case "salvage rebuilds only the damaged shard" `Slow
+      test_salvage_rebuilds_only_damaged_shard;
+    Alcotest.test_case "metadata sections are not salvageable" `Quick
+      test_salvage_cannot_rebuild_metadata;
+    Alcotest.test_case "budget degrades to a flagged superset" `Slow
+      test_budget_degrades_to_superset;
+    Alcotest.test_case "verify faults degrade to a superset" `Slow
+      test_verify_fault_degrades_to_superset;
+    Alcotest.test_case "served chaos invariant" `Slow
+      test_served_chaos_invariant;
+    Alcotest.test_case "served budget + health endpoint" `Slow
+      test_served_budget_and_health;
+    Alcotest.test_case "connect timeout is bounded" `Quick
+      test_connect_timeout;
+    Alcotest.test_case "SIGKILL mid-write keeps the old index" `Slow
+      test_sigkill_mid_write;
+  ]

@@ -31,6 +31,7 @@ let sample_requests =
   [
     P.Ping;
     P.Get_stats;
+    P.Get_health;
     P.Run { id = 3; query = query_graph; config = smp_config };
     P.Run { id = 0; query = query_graph; config = exact_config };
     P.Run_topk { id = 12; query = query_graph; k = 5; config = smp_config };
@@ -50,6 +51,7 @@ let sample_replies =
             prob_candidates = 7;
             accepted_by_bounds = 2;
             pruned_by_bounds = 5;
+            degraded = false;
           };
       };
     P.Answer
@@ -63,15 +65,25 @@ let sample_replies =
             prob_candidates = 0;
             accepted_by_bounds = 0;
             pruned_by_bounds = 0;
+            degraded = true;
           };
       };
     P.Topk_answer { id = 12; hits = [ (4, 0.75); (0, 0.5) ] };
     P.Stats_json "{\"counters\": {}}";
+    P.Health_reply
+      {
+        P.uptime_s = 12.5;
+        queue_depth = 3;
+        served = 10_000;
+        degraded_answers = 42;
+        retryable_rejections = 7;
+      };
     P.Error_reply { id = 9; code = P.Queue_full; message = "queue full" };
     P.Error_reply { id = 0; code = P.Malformed; message = "bad magic" };
     P.Error_reply { id = 1; code = P.Deadline; message = "too late" };
     P.Error_reply { id = 2; code = P.Shutdown; message = "draining" };
     P.Error_reply { id = 3; code = P.Internal; message = "boom" };
+    P.Error_reply { id = 4; code = P.Unavailable; message = "retry" };
   ]
 
 (* Lgraph.t has no structural equality usable by polymorphic compare
@@ -195,6 +207,8 @@ let test_valid_crc_bad_payload () =
   (* Wrong version, frame otherwise perfect. *)
   expect_proto_error "future version" (fun () ->
       P.request_of_string (mk_frame ~version:(P.proto_version + 1) ~tag:1 ""));
+  expect_proto_error "below min version" (fun () ->
+      P.request_of_string (mk_frame ~version:(P.min_proto_version - 1) ~tag:1 ""));
   (* Garbage store payload under a Run tag. *)
   expect_proto_error "garbage run payload" (fun () ->
       P.request_of_string
@@ -254,9 +268,50 @@ let test_stream_reader_matches_string_decoder () =
   feed (String.sub frame 0 (String.length frame - 3)) (fun ic ->
       expect_proto_error "EOF inside frame" (fun () -> P.read_request ic))
 
+(* Version negotiation (DESIGN.md §12): a version-1 peer's frames are
+   accepted, and version-2-only information degrades cleanly when a reply
+   is framed for it — the degraded flag is dropped and [Unavailable]
+   becomes the equally-retryable [Shutdown]. *)
+let test_v1_interop () =
+  let answer =
+    P.Answer
+      {
+        id = 1;
+        answers = [ 2 ];
+        stats =
+          {
+            P.relaxed_truncated = false;
+            structural_candidates = 1;
+            prob_candidates = 1;
+            accepted_by_bounds = 0;
+            pruned_by_bounds = 0;
+            degraded = true;
+          };
+      }
+  in
+  (match P.reply_of_string (P.encode_reply ~version:1 answer) with
+  | P.Answer { stats; _ } ->
+    Alcotest.(check bool) "v1 frame drops the degraded flag" false
+      stats.P.degraded
+  | _ -> Alcotest.fail "expected Answer");
+  (match
+     P.reply_of_string
+       (P.encode_reply ~version:1
+          (P.Error_reply { id = 0; code = P.Unavailable; message = "m" }))
+   with
+  | P.Error_reply { code; _ } ->
+    Alcotest.(check string) "Unavailable downgrades to Shutdown at v1"
+      (P.error_code_name P.Shutdown)
+      (P.error_code_name code)
+  | _ -> Alcotest.fail "expected Error_reply");
+  match P.request_of_string (P.encode_request ~version:1 P.Ping) with
+  | P.Ping -> ()
+  | _ -> Alcotest.fail "expected Ping"
+
 let suite =
   [
     Alcotest.test_case "requests round-trip" `Quick test_request_roundtrips;
+    Alcotest.test_case "v1 frames interoperate" `Quick test_v1_interop;
     Alcotest.test_case "replies round-trip" `Quick test_reply_roundtrips;
     Alcotest.test_case "query config round-trips" `Quick test_config_roundtrip;
     Alcotest.test_case "truncation at every boundary" `Quick

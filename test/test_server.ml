@@ -255,6 +255,7 @@ let expect_malformed_then_recover srv corrupt =
           | P.Answer _ -> "Answer"
           | P.Topk_answer _ -> "Topk_answer"
           | P.Stats_json _ -> "Stats_json"
+          | P.Health_reply _ -> "Health_reply"
           | P.Error_reply _ -> "Error_reply")));
   Alcotest.(check bool) "a proto warning was recorded" true
     (warn_proto_count () > before);

@@ -329,7 +329,9 @@ let test_corruption_detected () =
       Pmi.save path ~db:ds.graphs db.Query.pmi;
       let original = read_bytes path in
       let spans = S.section_spans original in
-      Alcotest.(check int) "five sections" 5 (List.length spans);
+      (* config, db, features, layout, one entry shard (8 graphs fit one
+         16-column shard), meta. *)
+      Alcotest.(check int) "six sections" 6 (List.length spans);
       let reload () = ignore (Pmi.load path ~db:ds.graphs) in
       (* Sanity: the pristine file loads. *)
       reload ();
