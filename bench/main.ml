@@ -1,6 +1,6 @@
 (* Benchmark entry point.
 
-   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|chaos|micro|all] [--quick]
+   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|chaos|verify|micro|all] [--quick]
 
    Each figN target regenerates the corresponding figure of the paper's
    evaluation section (§6) at a scaled-down workload (see DESIGN.md §4-5 and
@@ -592,6 +592,178 @@ let chaos ~scale ppf =
   Format.fprintf ppf "wrote BENCH_chaos.json@.";
   if not ok then exit 1
 
+(* Verification hot path on the Fig 9 workload: the same repeated query
+   sequence cold (no cache), with the cross-query cache armed, and with
+   the cache plus adaptive-precision sampling (DESIGN.md §13). Reports
+   per-query latency percentiles, Karp–Luby samples per candidate and
+   cache hit rates; asserts the cached run is bit-identical to the cold
+   one (same answers, same pruning counters) — the cache's hard
+   invariant — and exits non-zero if it is not. *)
+let verify_bench ~scale ppf =
+  Format.fprintf ppf
+    "@.=== Verify: cold vs warm-cache vs adaptive (Fig 9 workload) ===@.";
+  let ds = Generator.generate (Experiments.dataset_params scale) in
+  let graphs = ds.Generator.graphs in
+  let skeletons = Array.map Pgraph.skeleton graphs in
+  let features = Selection.select skeletons Experiments.mining_params in
+  let structural = Structural.build skeletons features ~emb_cap:64 in
+  let pmi = Pmi.build graphs features in
+  let db = { Query.graphs; skeletons; features; structural; pmi } in
+  let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
+  let nq = max 4 scale.Experiments.queries_per_point in
+  let rounds = 3 in
+  let distinct =
+    List.init nq (fun _ -> fst (Generator.extract_query rng ds ~edges:8))
+  in
+  (* The serving pattern the cache exists for: the same queries coming
+     back — round 1 is compulsory misses, rounds 2..r are warm. *)
+  let sequence = List.concat (List.init rounds (fun _ -> distinct)) in
+  let smp_cfg =
+    match Query.default_config.Query.verifier with
+    | `Smp c -> c
+    | `Exact -> Verify.default_config
+  in
+  let adaptive_config =
+    { Query.default_config with
+      verifier = `Smp { smp_cfg with Verify.adaptive = true } }
+  in
+  let c_samples = Psst_obs.counter "verify.smp_samples" in
+  let c_hit = Psst_obs.counter "cache.hit" in
+  let c_miss = Psst_obs.counter "cache.miss" in
+  let c_early = Psst_obs.counter "verify.early_stop" in
+  let percentile sorted q =
+    match Array.length sorted with
+    | 0 -> nan
+    | n -> sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  let run_variant ?cache config =
+    let samples0 = Psst_obs.counter_value c_samples
+    and hit0 = Psst_obs.counter_value c_hit
+    and miss0 = Psst_obs.counter_value c_miss
+    and early0 = Psst_obs.counter_value c_early in
+    let results =
+      List.map
+        (fun q ->
+          let out, t =
+            Psst_util.Timer.time (fun () -> Query.run ?cache db q config)
+          in
+          (out, t))
+        sequence
+    in
+    let outs = List.map fst results in
+    let lats = List.map snd results in
+    let candidates =
+      List.fold_left
+        (fun acc (o : Query.outcome) -> acc + o.Query.stats.prob_candidates)
+        0 outs
+    in
+    let warm_lats =
+      (* Rounds 2..r only: the steady-state latency a resident server
+         sees once the working set is cached. *)
+      List.filteri (fun i _ -> i >= nq) lats
+    in
+    let sorted l =
+      let a = Array.of_list l in
+      Array.sort compare a;
+      a
+    in
+    let all = sorted lats and warm = sorted warm_lats in
+    let hits = Psst_obs.counter_value c_hit - hit0
+    and misses = Psst_obs.counter_value c_miss - miss0 in
+    ( outs,
+      ( percentile all 0.50, percentile all 0.95, percentile all 0.99,
+        percentile warm 0.50,
+        (let s = Psst_obs.counter_value c_samples - samples0 in
+         if candidates = 0 then 0. else float_of_int s /. float_of_int candidates),
+        (if hits + misses = 0 then 0.
+         else float_of_int hits /. float_of_int (hits + misses)),
+        Psst_obs.counter_value c_early - early0 ) )
+  in
+  let cold_outs, cold_row = run_variant Query.default_config in
+  let warm_outs, warm_row =
+    run_variant ~cache:(Qcache.create ()) Query.default_config
+  in
+  let adap_outs, adap_row =
+    run_variant ~cache:(Qcache.create ()) adaptive_config
+  in
+  let identical =
+    List.for_all2
+      (fun (a : Query.outcome) (b : Query.outcome) ->
+        a.Query.answers = b.Query.answers
+        && a.stats.relaxed_count = b.stats.relaxed_count
+        && a.stats.structural_candidates = b.stats.structural_candidates
+        && a.stats.prob_candidates = b.stats.prob_candidates
+        && a.stats.accepted_by_bounds = b.stats.accepted_by_bounds
+        && a.stats.pruned_by_bounds = b.stats.pruned_by_bounds)
+      cold_outs warm_outs
+  in
+  let same_answers =
+    List.for_all2
+      (fun (a : Query.outcome) (b : Query.outcome) ->
+        a.Query.answers = b.Query.answers)
+      cold_outs adap_outs
+  in
+  let p50_of (p50, _, _, _, _, _, _) = p50
+  and warm50_of (_, _, _, w, _, _, _) = w in
+  let speedup_warm =
+    if warm50_of warm_row > 0. then p50_of cold_row /. warm50_of warm_row
+    else infinity
+  in
+  let speedup_adaptive =
+    if warm50_of adap_row > 0. then p50_of cold_row /. warm50_of adap_row
+    else infinity
+  in
+  let pr label (p50, p95, p99, w50, spc, hr, early) =
+    Format.fprintf ppf
+      "%-10s p50 %8.2f ms  p95 %8.2f ms  p99 %8.2f ms  warm-p50 %8.2f ms  \
+       samples/cand %8.1f  hit-rate %5.1f%%  early-stops %d@."
+      label (1000. *. p50) (1000. *. p95) (1000. *. p99) (1000. *. w50) spc
+      (100. *. hr) early
+  in
+  pr "cold" cold_row;
+  pr "warm" warm_row;
+  pr "adaptive" adap_row;
+  Format.fprintf ppf
+    "speedup (cold p50 / warm p50)      %8.1fx@,\
+     speedup (cold p50 / adaptive p50)  %8.1fx@,\
+     answers identical (cold = warm)    %b@,\
+     answer sets match (cold = adaptive) %b@."
+    speedup_warm speedup_adaptive identical same_answers;
+  let oc = open_out "BENCH_verify.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let row label (p50, p95, p99, w50, spc, hr, early) last =
+        Printf.sprintf
+          "    { \"variant\": %S, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+           \"p99_ms\": %.3f, \"warm_p50_ms\": %.3f, \
+           \"samples_per_candidate\": %.2f, \"hit_rate\": %.4f, \
+           \"early_stops\": %d }%s\n"
+          label (1000. *. p50) (1000. *. p95) (1000. *. p99) (1000. *. w50)
+          spc hr early
+          (if last then "" else ",")
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"workload\": \"fig9\",\n\
+        \  \"db_size\": %d,\n\
+        \  \"distinct_queries\": %d,\n\
+        \  \"rounds\": %d,\n\
+        \  \"variants\": [\n\
+         %s%s%s  ],\n\
+        \  \"speedup_warm_p50\": %.2f,\n\
+        \  \"speedup_adaptive_p50\": %.2f,\n\
+        \  \"identical_answers\": %b,\n\
+        \  \"adaptive_same_answer_sets\": %b\n\
+         }\n"
+        (Array.length graphs) nq rounds
+        (row "cold" cold_row false)
+        (row "warm" warm_row false)
+        (row "adaptive" adap_row true)
+        speedup_warm speedup_adaptive identical same_answers);
+  Format.fprintf ppf "wrote BENCH_verify.json@.";
+  if not identical then exit 1
+
 let micro ppf =
   Format.fprintf ppf "@.=== Micro-benchmarks (Bechamel, ns/run) ===@.";
   let scale = { Experiments.quick_scale with db_size = 20 } in
@@ -697,6 +869,7 @@ let () =
     | "obs" -> obs ~scale ppf
     | "serve" -> serve ~scale ppf
     | "chaos" -> chaos ~scale ppf
+    | "verify" -> verify_bench ~scale ppf
     | "micro" -> micro ppf
     | "all" ->
       Experiments.all ~scale ppf;
@@ -704,10 +877,11 @@ let () =
       obs ~scale ppf;
       serve ~scale ppf;
       chaos ~scale ppf;
+      verify_bench ~scale ppf;
       micro ppf
     | other ->
       Format.fprintf ppf
-        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, chaos, micro, all)@."
+        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, chaos, verify, micro, all)@."
         other;
       exit 2
   in

@@ -285,7 +285,7 @@ let dataset_wrapper graphs ds_opt =
     }
 
 let serve num_graphs seed input index_file socket port host domains queue_cap
-    deadline_ms verify_budget_ms batch_max stats_json =
+    deadline_ms verify_budget_ms batch_max cache_cap stats_json =
   or_die @@ fun () ->
   let endpoint = endpoint_of socket port host in
   let graphs, _ = corpus_of input num_graphs seed in
@@ -302,18 +302,20 @@ let serve num_graphs seed input index_file socket port host domains queue_cap
       deadline_ms = float_of_int deadline_ms;
       verify_budget_ms;
       batch_max;
+      cache_cap;
     }
   in
   let srv = Psst_server.start cfg db in
   Printf.printf
     "serving on %s (%d domains, queue cap %d, deadline %s, verify budget %s, \
-     batch cap %d)\n%!"
+     batch cap %d, cache %s)\n%!"
     (Psst_proto.endpoint_to_string (Psst_server.endpoint srv))
     domains queue_cap
     (if deadline_ms > 0 then Printf.sprintf "%d ms" deadline_ms else "off")
     (if verify_budget_ms > 0. then Printf.sprintf "%.0f ms" verify_budget_ms
      else "off")
-    batch_max;
+    batch_max
+    (if cache_cap > 0 then Printf.sprintf "%d entries" cache_cap else "off");
   (* Signal handlers only flip an atomic; the main thread performs the
      drain outside signal context. *)
   let stop_requested = Atomic.make false in
@@ -609,6 +611,18 @@ let serve_cmd =
       value & opt int 32
       & info [ "batch-max" ] ~docv:"N" ~doc:"Micro-batch size cap.")
   in
+  let cache_cap =
+    Arg.(
+      value & opt int 16384
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:
+            "Cross-query verification cache bound (entries); 0 disables \
+             it. The cache memoises relaxed sets, embedding sets, \
+             calibrated Karp-Luby preparations and final SSP values \
+             across queries; answers are bit-identical with or without \
+             it. Hit/miss/eviction counts surface as the \
+             cache.{hit,miss,evict} metrics.")
+  in
   let stats_json =
     Arg.(
       value
@@ -628,7 +642,7 @@ let serve_cmd =
     Term.(
       const serve $ num_graphs_arg $ seed_arg $ input_arg $ index_file
       $ socket_arg $ port_arg $ host_arg $ domains $ queue_cap $ deadline_ms
-      $ verify_budget_ms $ batch_max $ stats_json)
+      $ verify_budget_ms $ batch_max $ cache_cap $ stats_json)
 
 let client_cmd =
   let qsize =

@@ -1,0 +1,200 @@
+module Bitset = Psst_util.Bitset
+
+(* Cross-query verification cache (DESIGN.md §13).
+
+   Keys are strings built from the query's canonical code
+   (Canon.code, so the key space buckets by isomorphism class) plus its
+   exact textual presentation (Lgraph.to_string) plus the parameters the
+   cached artifact depends on. The presentation component is load-bearing
+   for bit-identity: capped VF2 enumeration and relaxation order depend
+   on vertex/edge numbering, so two isomorphic but differently-presented
+   queries may legitimately produce different (equally sound) embedding
+   samples — they must not share entries.
+
+   Every cached artifact is a deterministic, PRNG-free function of
+   (query presentation, database, parameters) — or, for final SSP values,
+   of those plus the verifier config and seed, which Query.run derives
+   per candidate as Prng.stream ~seed gi independently of pool size. So a
+   hit returns exactly the value a cold run would recompute, and cached
+   runs stay bit-identical to cold runs under fixed seeds.
+
+   Invalidation is by physical identity of the database's [graphs] array
+   and PMI: Query.add_graphs, index_database and load_database all
+   allocate fresh arrays/PMI values, so arming a scope against a changed
+   database flushes every table (counter cache.flush).
+
+   All operations take one mutex; compute callbacks run outside the lock
+   (two domains may race to fill the same key — both compute the same
+   deterministic value, first insert wins). *)
+
+let m_hit = Psst_obs.counter "cache.hit"
+let m_miss = Psst_obs.counter "cache.miss"
+let m_evict = Psst_obs.counter "cache.evict"
+let m_flush = Psst_obs.counter "cache.flush"
+let h_key = Psst_obs.histogram "cache.key_s"
+
+(* Bounded FIFO table. Insertion order approximates recency well enough
+   for the workloads here (repeated hot queries re-enter after a flush);
+   eviction is O(1) amortised. *)
+module Tbl = struct
+  type 'v t = {
+    tbl : (string, 'v) Hashtbl.t;
+    order : string Queue.t;
+    cap : int;
+  }
+
+  let create cap = { tbl = Hashtbl.create 64; order = Queue.create (); cap }
+  let find t k = Hashtbl.find_opt t.tbl k
+  let remove t k = Hashtbl.remove t.tbl k
+
+  let add t k v =
+    if not (Hashtbl.mem t.tbl k) then begin
+      while Hashtbl.length t.tbl >= t.cap do
+        match Queue.take_opt t.order with
+        | None -> Hashtbl.reset t.tbl (* unreachable: queue covers tbl *)
+        | Some old ->
+          (* Stale queue entries (removed for poisoning) pop silently. *)
+          if Hashtbl.mem t.tbl old then begin
+            Hashtbl.remove t.tbl old;
+            Psst_obs.incr m_evict
+          end
+      done;
+      Hashtbl.replace t.tbl k v;
+      Queue.add k t.order
+    end
+
+  let clear t =
+    Hashtbl.reset t.tbl;
+    Queue.clear t.order
+
+  let length t = Hashtbl.length t.tbl
+end
+
+type t = {
+  mu : Mutex.t;
+  mutable owner_graphs : Pgraph.t array;
+  mutable owner_pmi : Pmi.t option;
+  relaxed : (Lgraph.t list * [ `Complete | `Truncated ]) Tbl.t;
+  prepared : Pruning.prepared Tbl.t;
+  emb : Bitset.t list Tbl.t;
+  sprep : Verify.smp_prep Tbl.t;
+  ssp : float Tbl.t;
+}
+
+let create ?(query_cap = 128) ?(value_cap = 16384) () =
+  {
+    mu = Mutex.create ();
+    owner_graphs = [||];
+    owner_pmi = None;
+    relaxed = Tbl.create query_cap;
+    prepared = Tbl.create query_cap;
+    emb = Tbl.create value_cap;
+    sprep = Tbl.create value_cap;
+    ssp = Tbl.create value_cap;
+  }
+
+let flush t =
+  Tbl.clear t.relaxed;
+  Tbl.clear t.prepared;
+  Tbl.clear t.emb;
+  Tbl.clear t.sprep;
+  Tbl.clear t.ssp
+
+let entries t =
+  Mutex.protect t.mu (fun () ->
+      Tbl.length t.relaxed + Tbl.length t.prepared + Tbl.length t.emb
+      + Tbl.length t.sprep + Tbl.length t.ssp)
+
+type scope = { cache : t; qkey : string }
+
+let scope t ~graphs ~pmi ~q ~delta ~relax_cap =
+  let qkey =
+    Psst_obs.span h_key (fun () ->
+        Printf.sprintf "%s\x01%s\x01d=%d;rc=%d" (Canon.code q) (Lgraph.to_string q)
+          delta relax_cap)
+  in
+  Mutex.protect t.mu (fun () ->
+      let same_owner =
+        t.owner_graphs == graphs
+        && match t.owner_pmi with Some p -> p == pmi | None -> false
+      in
+      if not same_owner then begin
+        if t.owner_pmi <> None then Psst_obs.incr m_flush;
+        flush t;
+        t.owner_graphs <- graphs;
+        t.owner_pmi <- Some pmi
+      end);
+  { cache = t; qkey }
+
+(* Shared lookup-or-compute: the lock covers only table access, never the
+   compute callback; exceptions from [compute] (injected faults, budget
+   aborts) propagate without storing anything. *)
+let memo tbl s key compute =
+  let t = s.cache in
+  let cached = Mutex.protect t.mu (fun () -> Tbl.find tbl key) in
+  match cached with
+  | Some v ->
+    Psst_obs.incr m_hit;
+    v
+  | None ->
+    Psst_obs.incr m_miss;
+    let v = compute () in
+    Mutex.protect t.mu (fun () -> Tbl.add tbl key v);
+    v
+
+let relaxed s ~compute = memo s.cache.relaxed s s.qkey compute
+let prepared s ~compute = memo s.cache.prepared s s.qkey compute
+
+let emb_key s ~graph ~emb_cap =
+  Printf.sprintf "%s\x02g=%d;cap=%d" s.qkey graph emb_cap
+
+let embeddings s ~graph ~emb_cap ~compute =
+  memo s.cache.emb s (emb_key s ~graph ~emb_cap) compute
+
+let smp_prep s ~graph ~emb_cap ~compute =
+  memo s.cache.sprep s (emb_key s ~graph ~emb_cap) compute
+
+let verifier_key ~epsilon ~seed verifier =
+  match verifier with
+  | `Exact -> Printf.sprintf "exact"
+  | `Smp (vc : Verify.config) ->
+    if vc.adaptive then
+      (* Adaptive estimates depend on the decision threshold (the
+         CI-clears-epsilon stop), so epsilon joins the key. *)
+      Printf.sprintf "smp;t=%h;x=%h;c=%d;s=%d;ad;e=%h" vc.tau vc.xi vc.emb_cap
+        seed epsilon
+    else Printf.sprintf "smp;t=%h;x=%h;c=%d;s=%d" vc.tau vc.xi vc.emb_cap seed
+
+(* Final SSP values are validated on read: a poisoned entry (NaN or out
+   of [0,1] — SSP is a probability) is evicted and recomputed instead of
+   served (DESIGN.md §13). *)
+let ssp s ~graph ~vkey ~compute =
+  let t = s.cache in
+  let key = Printf.sprintf "%s\x03g=%d;%s" s.qkey graph vkey in
+  let cached =
+    Mutex.protect t.mu (fun () ->
+        match Tbl.find t.ssp key with
+        | Some v when Float.is_nan v || v < 0. || v > 1. ->
+          Tbl.remove t.ssp key;
+          Psst_obs.incr m_evict;
+          Psst_obs.warn ~code:"cache.poisoned"
+            (Printf.sprintf "evicted out-of-range cached SSP %h for graph %d" v
+               graph);
+          None
+        | found -> found)
+  in
+  match cached with
+  | Some v ->
+    Psst_obs.incr m_hit;
+    v
+  | None ->
+    Psst_obs.incr m_miss;
+    let v = compute () in
+    Mutex.protect t.mu (fun () -> Tbl.add t.ssp key v);
+    v
+
+let poison_ssp t value =
+  Mutex.protect t.mu (fun () ->
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.ssp.Tbl.tbl [] in
+      List.iter (fun k -> Hashtbl.replace t.ssp.Tbl.tbl k value) keys;
+      List.length keys)

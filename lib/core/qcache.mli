@@ -1,0 +1,95 @@
+(** Cross-query verification cache (DESIGN.md §13).
+
+    Memoises the deterministic, PRNG-free artifacts of the T-PS pipeline
+    — relaxed query sets, {!Pruning.prepared} memberships, VF2 embedding
+    sets, calibrated Karp–Luby preparations — plus final SSP values,
+    which under {!Query.run}'s per-candidate PRNG streams are themselves
+    pure functions of (query presentation, graph, verifier config, seed).
+    A hit therefore returns exactly what a cold run would recompute:
+    cached answers are bit-identical to uncached ones at fixed seeds.
+
+    Keys combine the query's canonical code ({!Canon.code}) with its
+    exact textual presentation: capped embedding enumeration is
+    presentation-dependent, so isomorphic-but-renumbered queries never
+    share entries.
+
+    Invalidation is by physical identity of the database ([graphs] array
+    and PMI): {!Query.add_graphs}, {!Query.index_database} and
+    {!Query.load_database} all allocate fresh values, so {!scope} flushes
+    automatically when armed against a changed database.
+
+    Tables are FIFO-bounded; hits, misses, evictions and flushes surface
+    as the [cache.{hit,miss,evict,flush}] counters in {!Psst_obs}. All
+    operations are safe from every domain of a [Psst_util.Pool]; compute
+    callbacks run outside the cache lock. *)
+
+type t
+
+(** [create ?query_cap ?value_cap ()] — [query_cap] bounds the per-query
+    tables (relaxed sets, prepared memberships; defaults 128),
+    [value_cap] the per-(query, graph) tables (embeddings, preparations,
+    SSP values; default 16384). *)
+val create : ?query_cap:int -> ?value_cap:int -> unit -> t
+
+(** Total cached entries across all tables. *)
+val entries : t -> int
+
+(** Drop every entry (owner sticks). *)
+val flush : t -> unit
+
+(** A cache armed for one (database, query, relaxation parameters)
+    triple. Arming verifies the owner database by physical identity and
+    flushes on change. *)
+type scope
+
+val scope :
+  t ->
+  graphs:Pgraph.t array ->
+  pmi:Pmi.t ->
+  q:Lgraph.t ->
+  delta:int ->
+  relax_cap:int ->
+  scope
+
+(** Each [with]-style accessor returns the cached artifact or runs
+    [compute], stores and returns its result. Exceptions from [compute]
+    propagate and cache nothing. *)
+
+val relaxed :
+  scope ->
+  compute:(unit -> Lgraph.t list * [ `Complete | `Truncated ]) ->
+  Lgraph.t list * [ `Complete | `Truncated ]
+
+val prepared : scope -> compute:(unit -> Pruning.prepared) -> Pruning.prepared
+
+val embeddings :
+  scope ->
+  graph:int ->
+  emb_cap:int ->
+  compute:(unit -> Psst_util.Bitset.t list) ->
+  Psst_util.Bitset.t list
+
+val smp_prep :
+  scope ->
+  graph:int ->
+  emb_cap:int ->
+  compute:(unit -> Verify.smp_prep) ->
+  Verify.smp_prep
+
+(** [verifier_key ~epsilon ~seed verifier] — the key component capturing
+    everything a final SSP value depends on beyond (query, graph):
+    verifier parameters and seed, plus [epsilon] when the verifier stops
+    adaptively (the decision threshold shapes the estimate). *)
+val verifier_key :
+  epsilon:float -> seed:int -> [ `Exact | `Smp of Verify.config ] -> string
+
+(** [ssp scope ~graph ~vkey ~compute] — final SSP values. Entries are
+    validated on read: NaN or out-of-[0,1] values (a poisoned cache) are
+    evicted with a ["cache.poisoned"] warning and recomputed, never
+    served. *)
+val ssp : scope -> graph:int -> vkey:string -> compute:(unit -> float) -> float
+
+(** Test hook: overwrite every cached SSP value with [v] (e.g. [nan]),
+    returning how many entries were poisoned. Exercised by the chaos
+    suite to pin the eviction path. *)
+val poison_ssp : t -> float -> int

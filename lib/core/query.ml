@@ -114,10 +114,48 @@ let validate_config config =
     invalid_arg "Query: epsilon must be in (0, 1]";
   if config.delta < 0 then invalid_arg "Query: delta must be non-negative"
 
-let verify_one config rng g relaxed =
-  match config.verifier with
-  | `Exact -> Verify.exact g relaxed
-  | `Smp vc -> Verify.smp ~config:vc rng g relaxed
+(* One candidate's verification, optionally through a cache scope. Every
+   staged artifact (embedding sets, Karp–Luby preparation, final SSP) is
+   a deterministic function of its key, so the cached and cold paths
+   return bit-identical values under a fixed [rng] stream (DESIGN.md
+   §13). Adaptive verifiers receive the query's epsilon as the
+   CI-clears-threshold stopping target. *)
+let verify_candidate ?scope ~graph:gi config rng g relaxed =
+  let cached_embeddings emb_cap compute =
+    match scope with
+    | None -> compute ()
+    | Some s -> Qcache.embeddings s ~graph:gi ~emb_cap ~compute
+  in
+  let compute () =
+    match config.verifier with
+    | `Exact ->
+      let sets =
+        cached_embeddings Verify.default_config.emb_cap (fun () ->
+            Verify.embedding_sets g relaxed)
+      in
+      Verify.exact_with_sets g sets
+    | `Smp vc ->
+      let prep =
+        match scope with
+        | None -> Verify.smp_prepare g (Verify.embedding_sets ~config:vc g relaxed)
+        | Some s ->
+          Qcache.smp_prep s ~graph:gi ~emb_cap:vc.emb_cap ~compute:(fun () ->
+              let sets =
+                cached_embeddings vc.emb_cap (fun () ->
+                    Verify.embedding_sets ~config:vc g relaxed)
+              in
+              Verify.smp_prepare g sets)
+      in
+      let stop_epsilon = if vc.adaptive then Some config.epsilon else None in
+      (Verify.smp_run ~config:vc ?stop_epsilon rng prep).value
+  in
+  match scope with
+  | None -> compute ()
+  | Some s ->
+    let vkey =
+      Qcache.verifier_key ~epsilon:config.epsilon ~seed:config.seed config.verifier
+    in
+    Qcache.ssp s ~graph:gi ~vkey ~compute
 
 (* Phases 1 and 2, shared by [run_on] and [run_bounds_only]. They are
    sequential (they are cheap and Pruning threads one rng through the
@@ -135,11 +173,16 @@ type pruned_phases = {
   pt_probabilistic : float;
 }
 
-let prune_phases db q config =
+let prune_phases ?scope db q config =
   let rng = Prng.make config.seed in
   let (relaxed, status), pt_relax =
     Timer.time (fun () ->
-        Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta)
+        let compute () =
+          Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta
+        in
+        match scope with
+        | None -> compute ()
+        | Some s -> Qcache.relaxed s ~compute)
   in
   (* Phase 1: structural pruning over the certain skeletons (Thm 1). *)
   let structural_cands, pt_structural =
@@ -149,7 +192,12 @@ let prune_phases db q config =
   (* Phase 2: probabilistic pruning through the PMI bounds. *)
   let (accepted, candidates, pruned), pt_probabilistic =
     Timer.time (fun () ->
-        let prepared = Pruning.prepare db.pmi ~relaxed in
+        let prepared =
+          let compute () = Pruning.prepare db.pmi ~relaxed in
+          match scope with
+          | None -> compute ()
+          | Some s -> Qcache.prepared s ~compute
+        in
         List.fold_left
           (fun (acc, cand, pruned) gi ->
             let r =
@@ -189,11 +237,26 @@ let prune_phases db q config =
    over-approximate, never drop a true answer (the paper's anytime bound
    semantics); the count surfaces as [stats.degraded_candidates] so the
    caller can flag the reply. With [deadline = None] and no armed faults
-   this path is byte-for-byte the exact pipeline. *)
-let run_on ?deadline pool db q config =
+   this path is byte-for-byte the exact pipeline.
+
+   [?cache] arms the cross-query cache: each candidate verifies under its
+   own seed-derived PRNG stream, so its SSP is a pure function of
+   (query, graph, verifier config, seed) and safe to memoise — cached
+   answers are bit-identical to cold ones (DESIGN.md §13). The deadline
+   check stays ahead of the cache lookup: a late candidate degrades to
+   its bounds whether or not a cached value exists, preserving the
+   budget semantics. *)
+let run_on ?deadline ?cache pool db q config =
   validate_config config;
   Psst_obs.incr m_runs;
-  let p = prune_phases db q config in
+  let scope =
+    Option.map
+      (fun c ->
+        Qcache.scope c ~graphs:db.graphs ~pmi:db.pmi ~q ~delta:config.delta
+          ~relax_cap:config.relax_cap)
+      cache
+  in
+  let p = prune_phases ?scope db q config in
   let relaxed = p.p_relaxed in
   (* Phase 3: verification of the undecided candidates. *)
   let results, t_verification =
@@ -210,7 +273,8 @@ let run_on ?deadline pool db q config =
               let rng = Prng.stream ~seed:config.seed gi in
               match
                 Timer.time (fun () ->
-                    verify_one config rng db.graphs.(gi) relaxed)
+                    verify_candidate ?scope ~graph:gi config rng db.graphs.(gi)
+                      relaxed)
               with
               | v, t -> (gi, v >= config.epsilon, t, false)
               | exception Psst_fault.Injected _ -> (gi, true, 0., true))
@@ -256,10 +320,17 @@ let run_on ?deadline pool db q config =
    included. The all-degraded limit of [run_on ?deadline] — used when the
    verification stage itself is unavailable, so the server can still give
    a correct-to-bounds, flagged answer instead of an error. *)
-let run_bounds_only db q config =
+let run_bounds_only ?cache db q config =
   validate_config config;
   Psst_obs.incr m_runs;
-  let p = prune_phases db q config in
+  let scope =
+    Option.map
+      (fun c ->
+        Qcache.scope c ~graphs:db.graphs ~pmi:db.pmi ~q ~delta:config.delta
+          ~relax_cap:config.relax_cap)
+      cache
+  in
+  let p = prune_phases ?scope db q config in
   let candidates = List.rev p.p_candidates in
   let answers = List.sort compare (p.p_accepted @ candidates) in
   Psst_obs.add m_answers (List.length answers);
@@ -286,23 +357,24 @@ let deadline_of_budget = function
   | Some ms when ms > 0. -> Some (Unix.gettimeofday () +. (ms /. 1000.))
   | _ -> None
 
-let run ?(domains = 1) ?budget_ms db q config =
+let run ?(domains = 1) ?budget_ms ?cache db q config =
   let deadline = deadline_of_budget budget_ms in
-  Pool.with_pool ~domains (fun pool -> run_on ?deadline pool db q config)
+  Pool.with_pool ~domains (fun pool -> run_on ?deadline ?cache pool db q config)
 
-let run_batch_on ?budget_ms pool db queries config =
+let run_batch_on ?budget_ms ?cache pool db queries config =
   validate_config config;
   (* One absolute deadline for the whole batch, fixed before the fan-out:
      however the pool schedules the queries, they degrade against the
      same wall-clock instant. *)
   let deadline = deadline_of_budget budget_ms in
   Pool.map_array pool ~chunk:1
-    (fun q -> run_on ?deadline pool db q config)
+    (fun q -> run_on ?deadline ?cache pool db q config)
     (Array.of_list queries)
   |> Array.to_list
 
-let run_batch ?(domains = 1) ?budget_ms db queries config =
-  Pool.with_pool ~domains (fun pool -> run_batch_on ?budget_ms pool db queries config)
+let run_batch ?(domains = 1) ?budget_ms ?cache db queries config =
+  Pool.with_pool ~domains (fun pool ->
+      run_batch_on ?budget_ms ?cache pool db queries config)
 
 let run_exact_scan db q config =
   validate_config config;
@@ -362,7 +434,8 @@ let put_config e (c : config) =
     Store.put_i64 e 1;
     Store.put_f64 e vc.tau;
     Store.put_f64 e vc.xi;
-    Store.put_i64 e vc.emb_cap);
+    Store.put_i64 e vc.emb_cap;
+    Store.put_bool e vc.adaptive);
   Store.put_i64 e c.relax_cap;
   Store.put_i64 e c.seed
 
@@ -383,10 +456,11 @@ let get_config d =
       let tau = Store.get_f64 d in
       let xi = Store.get_f64 d in
       let emb_cap = Store.get_i64 d in
+      let adaptive = Store.get_bool d in
       if not (tau > 0. && xi > 0. && xi < 1. && emb_cap > 0) then
         Store.error "config: invalid verifier parameters (tau %g, xi %g, emb_cap %d)"
           tau xi emb_cap;
-      `Smp { Verify.tau; xi; emb_cap }
+      `Smp { Verify.tau; xi; emb_cap; adaptive }
     | t -> Store.error "config: unknown verifier tag %d" t
   in
   let relax_cap = Store.get_i64 d in

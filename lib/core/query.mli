@@ -95,9 +95,24 @@ type outcome = { answers : int list; stats : stats; trace : Psst_obs.Trace.t }
     from their PMI bounds and counted in [stats.degraded_candidates]
     (see its documentation for why that is superset-safe). Without a
     budget and without armed faults the result is bit-identical to
-    previous releases. *)
+    previous releases.
+
+    [cache] arms the cross-query verification cache ({!Qcache}): relaxed
+    sets, prepared memberships, embedding sets, Karp–Luby preparations
+    and final SSP values memoise across repeated and related queries.
+    Because every cached artifact is a deterministic function of its key
+    — per-candidate PRNG streams make even the sampled SSP one — answers
+    with a cache (cold or warm) are bit-identical to answers without
+    one. The cache self-invalidates when the database changes
+    ({!add_graphs}, {!load_database}). *)
 val run :
-  ?domains:int -> ?budget_ms:float -> database -> Lgraph.t -> config -> outcome
+  ?domains:int ->
+  ?budget_ms:float ->
+  ?cache:Qcache.t ->
+  database ->
+  Lgraph.t ->
+  config ->
+  outcome
 
 (** [run_batch ?domains db queries config] answers many queries on one
     domain pool — the heavy-traffic path. Queries and their verification
@@ -107,6 +122,7 @@ val run :
 val run_batch :
   ?domains:int ->
   ?budget_ms:float ->
+  ?cache:Qcache.t ->
   database ->
   Lgraph.t list ->
   config ->
@@ -118,6 +134,7 @@ val run_batch :
     bit-identical to {!run_batch} with [domains = Pool.size pool]. *)
 val run_batch_on :
   ?budget_ms:float ->
+  ?cache:Qcache.t ->
   Psst_util.Pool.t ->
   database ->
   Lgraph.t list ->
@@ -128,7 +145,7 @@ val run_batch_on :
     bounds cannot decide is included and counted degraded. The fallback
     the server uses when the verification stage itself is unavailable
     (DESIGN.md §12); the answer set is a superset of {!run}'s. *)
-val run_bounds_only : database -> Lgraph.t -> config -> outcome
+val run_bounds_only : ?cache:Qcache.t -> database -> Lgraph.t -> config -> outcome
 
 (** Wire codec for {!config} (used by the RPC protocol of [Psst_server]).
     [get_config] validates variant tags and numeric ranges, raising

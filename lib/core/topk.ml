@@ -13,22 +13,63 @@ let m_runs = Psst_obs.counter "topk.runs"
 
 type outcome = { hits : hit list; stats : stats }
 
-let verify_one (config : Query.config) rng g relaxed =
+(* Unlike [Query.run]'s per-candidate PRNG streams, best-first top-k
+   threads ONE rng through bound evaluation and verification in ranking
+   order — so final SSP values must not be served from a cache (skipping
+   a verification would shift every later draw). Only the PRNG-free
+   artifacts (relaxed set, prepared memberships, embedding sets and
+   Karp–Luby preparations) memoise here; they leave the draw sequence
+   untouched, keeping cached runs bit-identical to cold ones. *)
+let verify_one ?scope ~graph:gi (config : Query.config) rng g relaxed =
+  let cached_embeddings emb_cap compute =
+    match scope with
+    | None -> compute ()
+    | Some s -> Qcache.embeddings s ~graph:gi ~emb_cap ~compute
+  in
   match config.verifier with
-  | `Exact -> Verify.exact g relaxed
-  | `Smp vc -> Verify.smp ~config:vc rng g relaxed
+  | `Exact ->
+    let sets =
+      cached_embeddings Verify.default_config.emb_cap (fun () ->
+          Verify.embedding_sets g relaxed)
+    in
+    Verify.exact_with_sets g sets
+  | `Smp vc ->
+    let prep =
+      match scope with
+      | None -> Verify.smp_prepare g (Verify.embedding_sets ~config:vc g relaxed)
+      | Some s ->
+        Qcache.smp_prep s ~graph:gi ~emb_cap:vc.emb_cap ~compute:(fun () ->
+            let sets =
+              cached_embeddings vc.emb_cap (fun () ->
+                  Verify.embedding_sets ~config:vc g relaxed)
+            in
+            Verify.smp_prepare g sets)
+    in
+    let stop_epsilon = if vc.adaptive then Some config.epsilon else None in
+    (Verify.smp_run ~config:vc ?stop_epsilon rng prep).value
 
-let run (db : Query.database) q ~k (config : Query.config) =
+let run ?cache (db : Query.database) q ~k (config : Query.config) =
   if k <= 0 then invalid_arg "Topk.run: k must be positive";
   Psst_obs.incr m_runs;
+  let scope =
+    Option.map
+      (fun c ->
+        Qcache.scope c ~graphs:db.graphs ~pmi:db.pmi ~q ~delta:config.delta
+          ~relax_cap:config.relax_cap)
+      cache
+  in
   let rng = Prng.make config.seed in
   let relaxed, status =
-    Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta
+    let compute () = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
+    match scope with None -> compute () | Some s -> Qcache.relaxed s ~compute
   in
   let structural =
     Structural.candidates db.structural db.skeletons q ~delta:config.delta
   in
-  let prepared = Pruning.prepare db.pmi ~relaxed in
+  let prepared =
+    let compute () = Pruning.prepare db.pmi ~relaxed in
+    match scope with None -> compute () | Some s -> Qcache.prepared s ~compute
+  in
   (* Candidates ordered by decreasing upper bound. *)
   let ranked =
     List.map
@@ -56,7 +97,7 @@ let run (db : Query.database) q ~k (config : Query.config) =
         incr skipped
       else begin
         incr verified;
-        let ssp = verify_one config rng db.graphs.(gi) relaxed in
+        let ssp = verify_one ?scope ~graph:gi config rng db.graphs.(gi) relaxed in
         if ssp > 0. then begin
           hits := { graph = gi; ssp } :: !hits;
           hits :=

@@ -21,8 +21,15 @@ type stats = {
 
 type outcome = { hits : hit list; stats : stats }
 
-(** [run db q ~k config] — [config.epsilon] is ignored (top-k has no
-    threshold); [delta], [mode], [certified] and [verifier] apply. Hits
-    are sorted by decreasing SSP; fewer than [k] hits are returned when
-    fewer graphs have positive SSP. *)
-val run : Query.database -> Lgraph.t -> k:int -> Query.config -> outcome
+(** [run ?cache db q ~k config] — [config.epsilon] is ignored (top-k has
+    no threshold); [delta], [mode], [certified] and [verifier] apply.
+    Hits are sorted by decreasing SSP; fewer than [k] hits are returned
+    when fewer graphs have positive SSP.
+
+    [cache] memoises the PRNG-free artifacts only (relaxed set, prepared
+    memberships, embedding sets, Karp–Luby preparations) — top-k threads
+    one rng through verification in ranking order, so final SSP values
+    are never served from the cache and cached runs stay bit-identical
+    to cold ones. *)
+val run :
+  ?cache:Qcache.t -> Query.database -> Lgraph.t -> k:int -> Query.config -> outcome

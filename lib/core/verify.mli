@@ -19,6 +19,15 @@ type config = {
   tau : float;  (** relative accuracy; default 0.1 *)
   xi : float;  (** failure probability; default 0.05 *)
   emb_cap : int;  (** cap on distinct embeddings per relaxed query *)
+  adaptive : bool;
+      (** adaptive-precision sampling (default [false]): stop the
+          Karp–Luby loop at the first geometric checkpoint where the
+          Hoeffding confidence interval (at confidence [1 - xi], union
+          bound over checkpoints) either is narrower than [tau] or
+          clears the caller's decision threshold ([?stop_epsilon])
+          either way. Sample counts never exceed {!num_samples}. With
+          [adaptive = false] the sampling loop is bit-identical to
+          previous releases. *)
 }
 
 val default_config : config
@@ -46,3 +55,45 @@ val exact : ?config:config -> Pgraph.t -> Lgraph.t list -> float
     enumeration over every uncertain edge (see
     {!Exact.prob_any_present_naive}). *)
 val exact_naive : ?config:config -> Pgraph.t -> Lgraph.t list -> float
+
+(** {1 Split preparation (verification cache support)}
+
+    The seed-independent part of a verification — embedding sets, the
+    uncertain-edge event antichain, calibrated junction trees and exact
+    event probabilities — factored out so Qcache can share it across
+    candidates and queries. All values are immutable and safe to share
+    across domains. *)
+
+(** [exact_with_sets g sets] = {!exact} given precomputed
+    {!embedding_sets}. *)
+val exact_with_sets : Pgraph.t -> Psst_util.Bitset.t list -> float
+
+type smp_prep
+
+(** [smp_prepare g sets] precomputes the Karp–Luby run for [g] from its
+    embedding sets (as returned by {!embedding_sets}). *)
+val smp_prepare : Pgraph.t -> Psst_util.Bitset.t list -> smp_prep
+
+type smp_result = {
+  value : float;
+  samples : int;  (** PRNG samples actually drawn (0 on trivial preps) *)
+  early_stopped : bool;  (** an adaptive checkpoint cut the loop short *)
+}
+
+(** [smp_run ?config ?stop_epsilon rng prep] — the sampling loop.
+    [stop_epsilon] is the decision threshold for adaptive early
+    stopping (ignored unless [config.adaptive]). With [config.adaptive =
+    false] the draws — and hence the estimate under a fixed seed — are
+    bit-identical to {!smp}. *)
+val smp_run :
+  ?config:config -> ?stop_epsilon:float -> Psst_util.Prng.t -> smp_prep -> smp_result
+
+(** [smp_info ?config ?stop_epsilon rng g relaxed] — {!smp} returning the
+    full {!smp_result}. *)
+val smp_info :
+  ?config:config ->
+  ?stop_epsilon:float ->
+  Psst_util.Prng.t ->
+  Pgraph.t ->
+  Lgraph.t list ->
+  smp_result

@@ -1,20 +1,29 @@
 module Bitset = Psst_util.Bitset
+module Flat = Lgraph.Flat
 
-(* Pattern vertices are matched in a precomputed order that keeps each new
+(* The search runs entirely on the contiguous [Lgraph.Flat] image of both
+   graphs: adjacency slices replace the (neighbor, edge_id) lists and edge
+   lookups are binary searches, so the inner loops touch int arrays only.
+   The flat adjacency keeps the list representation's sorted neighbor
+   order, so the search tree — and therefore the embedding enumeration
+   order — is identical to the historical list-based implementation (the
+   reference copy in test/test_iso.ml pins this equivalence).
+
+   Pattern vertices are matched in a precomputed order that keeps each new
    vertex adjacent to an already-matched one whenever possible (pure VF2
    connectivity heuristic); disconnected patterns fall back to an arbitrary
    unmatched vertex when no connected choice remains. *)
 
-let matching_order pattern =
-  let n = Lgraph.num_vertices pattern in
+let matching_order (p : Flat.t) =
+  let n = p.Flat.n in
   let order = Array.make n (-1) in
   let placed = Array.make n false in
-  let degree v = Lgraph.degree pattern v in
+  let deg = p.Flat.deg in
   let next_seed () =
     (* Highest degree first among unplaced vertices. *)
     let best = ref (-1) in
     for v = 0 to n - 1 do
-      if (not placed.(v)) && (!best < 0 || degree v > degree !best) then best := v
+      if (not placed.(v)) && (!best < 0 || deg.(v) > deg.(!best)) then best := v
     done;
     !best
   in
@@ -23,11 +32,13 @@ let matching_order pattern =
     (* Prefer an unplaced vertex adjacent to a placed one, with max degree. *)
     let best = ref (-1) in
     for v = 0 to n - 1 do
-      if not placed.(v) then
-        let touches =
-          List.exists (fun (w, _) -> placed.(w)) (Lgraph.neighbors pattern v)
-        in
-        if touches && (!best < 0 || degree v > degree !best) then best := v
+      if not placed.(v) then begin
+        let touches = ref false in
+        for a = p.Flat.off.(v) to p.Flat.off.(v + 1) - 1 do
+          if placed.(p.Flat.nbr.(a)) then touches := true
+        done;
+        if !touches && (!best < 0 || deg.(v) > deg.(!best)) then best := v
+      end
     done;
     let v = if !best >= 0 then !best else next_seed () in
     order.(!idx) <- v;
@@ -36,15 +47,19 @@ let matching_order pattern =
   done;
   order
 
-let compatible_vertex pattern target pu tv =
-  Lgraph.vertex_label pattern pu = Lgraph.vertex_label target tv
-
 let iter pattern target f =
-  let np = Lgraph.num_vertices pattern in
-  let nt = Lgraph.num_vertices target in
-  if np > nt || Lgraph.num_edges pattern > Lgraph.num_edges target then ()
+  let p = Lgraph.flat pattern in
+  let t = Lgraph.flat target in
+  let np = p.Flat.n in
+  let nt = t.Flat.n in
+  if
+    np > nt || p.Flat.m > t.Flat.m
+    (* Quick multiset pre-filters. *)
+    || Flat.hist_missing p.Flat.vhist t.Flat.vhist <> 0
+    || Flat.hist_missing p.Flat.ehist t.Flat.ehist <> 0
+  then ()
   else begin
-    let order = matching_order pattern in
+    let order = matching_order p in
     let pmap = Array.make np (-1) in
     (* pattern -> target *)
     let used = Array.make nt false in
@@ -53,63 +68,70 @@ let iter pattern target f =
       if !stop then ()
       else if depth = np then begin
         (* Collect the target edges realising each pattern edge. *)
-        let edges = Bitset.create (Lgraph.num_edges target) in
-        Array.iter
-          (fun (e : Lgraph.edge) ->
-            match Lgraph.find_edge target pmap.(e.u) pmap.(e.v) with
-            | Some te -> Bitset.add edges te.id
-            | None -> assert false)
-          (Lgraph.edges pattern);
+        let edges = Bitset.create t.Flat.m in
+        for k = 0 to p.Flat.m - 1 do
+          let te = Flat.find_edge_id t pmap.(p.Flat.eu.(k)) pmap.(p.Flat.ev.(k)) in
+          assert (te >= 0);
+          Bitset.add edges te
+        done;
         if not (f { Embedding.vmap = Array.copy pmap; edges }) then stop := true
       end
       else begin
         let pu = order.(depth) in
-        let matched_neighbors =
-          Lgraph.neighbors pattern pu
-          |> List.filter_map (fun (w, eid) ->
-                 if pmap.(w) >= 0 then Some (pmap.(w), (Lgraph.edge pattern eid).label)
-                 else None)
-        in
-        let candidates =
-          match matched_neighbors with
-          | (tv_anchor, elab) :: _ ->
-            (* Candidates must be neighbors of the mapped anchor through an
-               edge with the right label. *)
-            Lgraph.neighbors target tv_anchor
-            |> List.filter_map (fun (tw, teid) ->
-                   if (Lgraph.edge target teid).label = elab then Some tw else None)
-          | [] -> List.init nt (fun v -> v)
-        in
+        (* Already-matched pattern neighbors of the vertex being placed,
+           as (mapped target vertex, edge label) — per search-tree node,
+           since deeper frames would clobber shared scratch. *)
+        let mn_tv = Array.make (max 1 p.Flat.deg.(pu)) 0 in
+        let mn_lab = Array.make (max 1 p.Flat.deg.(pu)) 0 in
+        let mn = ref 0 in
+        for a = p.Flat.off.(pu) to p.Flat.off.(pu + 1) - 1 do
+          let w = p.Flat.nbr.(a) in
+          if pmap.(w) >= 0 then begin
+            mn_tv.(!mn) <- pmap.(w);
+            mn_lab.(!mn) <- p.Flat.elab.(a);
+            incr mn
+          end
+        done;
+        let k = !mn in
         let feasible tv =
           (not used.(tv))
-          && compatible_vertex pattern target pu tv
-          && Lgraph.degree target tv >= Lgraph.degree pattern pu
-          && List.for_all
-               (fun (tw, elab) ->
-                 match Lgraph.find_edge target tv tw with
-                 | Some te -> te.label = elab
-                 | None -> false)
-               matched_neighbors
+          && p.Flat.vlabels.(pu) = t.Flat.vlabels.(tv)
+          && t.Flat.deg.(tv) >= p.Flat.deg.(pu)
+          &&
+          let ok = ref true in
+          let i = ref 0 in
+          while !ok && !i < k do
+            let te = Flat.find_edge_id t tv mn_tv.(!i) in
+            if te < 0 || t.Flat.el.(te) <> mn_lab.(!i) then ok := false;
+            incr i
+          done;
+          !ok
         in
-        List.iter
-          (fun tv ->
-            if (not !stop) && feasible tv then begin
-              pmap.(pu) <- tv;
-              used.(tv) <- true;
-              go (depth + 1);
-              pmap.(pu) <- -1;
-              used.(tv) <- false
-            end)
-          (List.sort_uniq compare candidates)
+        let try_tv tv =
+          if (not !stop) && feasible tv then begin
+            pmap.(pu) <- tv;
+            used.(tv) <- true;
+            go (depth + 1);
+            pmap.(pu) <- -1;
+            used.(tv) <- false
+          end
+        in
+        if k > 0 then begin
+          (* Candidates must be neighbors of the mapped anchor through an
+             edge with the right label; the adjacency slice is sorted
+             ascending, reproducing the legacy sort_uniq order. *)
+          let anchor = mn_tv.(0) and elab = mn_lab.(0) in
+          for b = t.Flat.off.(anchor) to t.Flat.off.(anchor + 1) - 1 do
+            if t.Flat.elab.(b) = elab then try_tv t.Flat.nbr.(b)
+          done
+        end
+        else
+          for tv = 0 to nt - 1 do
+            try_tv tv
+          done
       end
     in
-    (* Quick multiset pre-filters. *)
-    let vh_p = Lgraph.vertex_label_hist pattern
-    and vh_t = Lgraph.vertex_label_hist target in
-    let eh_p = Lgraph.edge_label_hist pattern
-    and eh_t = Lgraph.edge_label_hist target in
-    if Lgraph.hist_missing vh_p vh_t = 0 && Lgraph.hist_missing eh_p eh_t = 0 then
-      go 0
+    go 0
   end
 
 let exists pattern target =

@@ -2,10 +2,66 @@ module Bitset = Psst_util.Bitset
 
 type edge = { u : int; v : int; label : int; id : int }
 
+module Flat = struct
+  (* Contiguous CSR image of a graph: the adjacency of vertex [v] lives
+     in [nbr/eid/elab] between [off.(v)] and [off.(v+1)], sorted by
+     neighbor id — the same (neighbor, edge_id) order the list-based
+     [adj] uses, so enumeration driven by either representation visits
+     candidates identically. Arrays are never mutated after
+     construction. *)
+  type t = {
+    n : int;
+    m : int;
+    vlabels : int array;
+    deg : int array;
+    off : int array;  (* length n+1: prefix offsets into nbr/eid/elab *)
+    nbr : int array;
+    eid : int array;
+    elab : int array;
+    eu : int array;  (* per edge id: endpoints (u <= v) and label *)
+    ev : int array;
+    el : int array;
+    vhist : (int * int) array;  (* sorted (label, count) multisets *)
+    ehist : (int * int) array;
+  }
+
+  (* Edge id between [u] and [v], or -1: binary search in [u]'s sorted
+     adjacency slice (neighbor ids are unique — simple graphs). *)
+  let find_edge_id t u v =
+    let lo = ref t.off.(u) and hi = ref (t.off.(u + 1) - 1) in
+    let found = ref (-1) in
+    while !found < 0 && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let w = t.nbr.(mid) in
+      if w = v then found := t.eid.(mid)
+      else if w < v then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+
+  (* [hist_missing a b] over the sorted histogram arrays; same value as
+     [Lgraph.hist_missing] on the corresponding association lists. *)
+  let hist_missing a b =
+    let nb = Array.length b in
+    let missing = ref 0 and j = ref 0 in
+    Array.iter
+      (fun (label, count) ->
+        while !j < nb && fst b.(!j) < label do
+          incr j
+        done;
+        let there = if !j < nb && fst b.(!j) = label then snd b.(!j) else 0 in
+        missing := !missing + max 0 (count - there))
+      a;
+    !missing
+end
+
 type t = {
   vlabels : int array;
   edges : edge array;
   adj : (int * int) list array;
+  flat_memo : Flat.t option Atomic.t;
+      (* memoised CSR image; idempotent racy init (the build is a pure
+         function of the immutable fields) *)
 }
 
 let num_vertices t = Array.length t.vlabels
@@ -35,7 +91,7 @@ let create ~vlabels ~edges =
     edges;
   (* Deterministic neighbor order regardless of insertion order. *)
   Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
-  { vlabels = Array.copy vlabels; edges; adj }
+  { vlabels = Array.copy vlabels; edges; adj; flat_memo = Atomic.make None }
 
 let vertices_only ~vlabels = create ~vlabels ~edges:[]
 
@@ -175,6 +231,58 @@ let hist_missing a b =
       let there = Option.value ~default:0 (List.assoc_opt label b) in
       acc + max 0 (count - there))
     0 a
+
+let flat t =
+  match Atomic.get t.flat_memo with
+  | Some f -> f
+  | None ->
+    let n = num_vertices t and m = num_edges t in
+    let deg = Array.make n 0 in
+    Array.iteri (fun i l -> deg.(i) <- List.length l) t.adj;
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      off.(i + 1) <- off.(i) + deg.(i)
+    done;
+    let nbr = Array.make (2 * m) 0 in
+    let eid = Array.make (2 * m) 0 in
+    let elab = Array.make (2 * m) 0 in
+    Array.iteri
+      (fun i l ->
+        let k = ref off.(i) in
+        List.iter
+          (fun (w, e) ->
+            nbr.(!k) <- w;
+            eid.(!k) <- e;
+            elab.(!k) <- t.edges.(e).label;
+            incr k)
+          l)
+      t.adj;
+    let eu = Array.make m 0 and ev = Array.make m 0 and el = Array.make m 0 in
+    Array.iter
+      (fun e ->
+        eu.(e.id) <- e.u;
+        ev.(e.id) <- e.v;
+        el.(e.id) <- e.label)
+      t.edges;
+    let f =
+      {
+        Flat.n;
+        m;
+        vlabels = t.vlabels;
+        deg;
+        off;
+        nbr;
+        eid;
+        elab;
+        eu;
+        ev;
+        el;
+        vhist = Array.of_list (vertex_label_hist t);
+        ehist = Array.of_list (edge_label_hist t);
+      }
+    in
+    Atomic.set t.flat_memo (Some f);
+    f
 
 let to_string t =
   let buf = Buffer.create 256 in

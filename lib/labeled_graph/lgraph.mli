@@ -99,6 +99,44 @@ val edge_label_hist : t -> (int * int) list
     on how many elements of [a] cannot be matched in [b]. *)
 val hist_missing : (int * int) list -> (int * int) list -> int
 
+(** {1 Flat representation}
+
+    A contiguous CSR image of the graph for the hot inner loops (VF2,
+    cut enumeration): adjacency of vertex [v] is the slice
+    [off.(v) .. off.(v+1)-1] of the parallel [nbr]/[eid]/[elab] arrays,
+    sorted ascending by neighbor id — the exact (neighbor, edge_id)
+    order of {!neighbors}, so search trees driven by either
+    representation expand identically. The arrays are shared, read-only
+    views: callers must not mutate them. *)
+module Flat : sig
+  type t = {
+    n : int;  (** vertex count *)
+    m : int;  (** edge count *)
+    vlabels : int array;
+    deg : int array;
+    off : int array;  (** length [n+1] prefix offsets *)
+    nbr : int array;
+    eid : int array;
+    elab : int array;
+    eu : int array;  (** per edge id: endpoints ([u <= v]) and label *)
+    ev : int array;
+    el : int array;
+    vhist : (int * int) array;  (** sorted (label, count) multiset *)
+    ehist : (int * int) array;
+  }
+
+  (** [find_edge_id t u v] is the id of the edge between [u] and [v], or
+      [-1]; binary search in [u]'s adjacency slice. *)
+  val find_edge_id : t -> int -> int -> int
+
+  (** {!Lgraph.hist_missing} over the sorted histogram arrays. *)
+  val hist_missing : (int * int) array -> (int * int) array -> int
+end
+
+(** [flat t] is the memoised CSR image of [t]; built once per graph (the
+    first call from any domain), O(1) afterwards. *)
+val flat : t -> Flat.t
+
 (** {1 Serialisation} *)
 
 (** Stable textual format: one [v <label>] line per vertex then one

@@ -66,8 +66,7 @@ let upward t evidence =
   done;
   (reduced, incoming, messages)
 
-let evidence_prob t evidence =
-  let _, _, messages = upward t evidence in
+let root_prob t messages =
   (* Roots hold scalar messages; independent components multiply. *)
   Array.to_list t.nodes
   |> List.mapi (fun k node -> (k, node))
@@ -80,15 +79,38 @@ let evidence_prob t evidence =
            | None -> acc)
        1.
 
-let sample_posterior rng t ~evidence =
-  let reduced, incoming, _ = upward t evidence in
+let evidence_prob t evidence =
+  let _, _, messages = upward t evidence in
+  root_prob t messages
+
+(* The evidence-conditioned, fully message-passed beliefs. The whole
+   upward pass (conditioning + message products) depends only on the
+   evidence, not on any sample, so the Karp–Luby loop pays it once per
+   event instead of once per draw; [sample_calibrated] consumes exactly
+   the PRNG draws [sample_posterior] does on the same beliefs, keeping
+   seeded runs bit-identical. *)
+type calibrated = {
+  c_evidence : (int * bool) list;
+  c_beliefs : Factor.t array;  (* per node: reduced × incoming messages *)
+  c_prob : float;  (* Pr(evidence) *)
+}
+
+let calibrate t evidence =
+  let reduced, incoming, messages = upward t evidence in
+  let beliefs =
+    Array.mapi (fun k r -> Factor.multiply_all (r :: incoming.(k))) reduced
+  in
+  { c_evidence = evidence; c_beliefs = beliefs; c_prob = root_prob t messages }
+
+let calibrated_prob cal = cal.c_prob
+
+let sample_calibrated rng t cal =
   let n = Array.length t.nodes in
   let assign = Hashtbl.create 32 in
-  List.iter (fun (v, b) -> Hashtbl.replace assign v b) evidence;
+  List.iter (fun (v, b) -> Hashtbl.replace assign v b) cal.c_evidence;
   let ok = ref true in
   for k = 0 to n - 1 do
     if !ok then begin
-      let belief = Factor.multiply_all (reduced.(k) :: incoming.(k)) in
       (* Clamp variables already sampled at ancestors (separator vars). *)
       let belief =
         Array.fold_left
@@ -96,7 +118,8 @@ let sample_posterior rng t ~evidence =
             match Hashtbl.find_opt assign v with
             | Some b -> Factor.condition f v b
             | None -> f)
-          belief (Factor.vars belief)
+          cal.c_beliefs.(k)
+          (Factor.vars cal.c_beliefs.(k))
       in
       if Array.length (Factor.vars belief) > 0 then begin
         if Factor.total belief <= 0. then ok := false
@@ -112,3 +135,5 @@ let sample_posterior rng t ~evidence =
     let lookup v = match Hashtbl.find_opt assign v with Some b -> b | None -> false in
     Some (lookup, Hashtbl.fold (fun v b acc -> (v, b) :: acc) assign [])
   end
+
+let sample_posterior rng t ~evidence = sample_calibrated rng t (calibrate t evidence)

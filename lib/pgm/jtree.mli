@@ -28,5 +28,28 @@ val sample_posterior :
   evidence:(int * bool) list ->
   ((int -> bool) * (int * bool) list) option
 
+(** {1 Split calibration}
+
+    The upward pass (conditioning every factor on the evidence and
+    passing messages) depends only on the evidence, so callers drawing
+    many posterior samples under the same evidence — the Karp–Luby loop —
+    calibrate once and sample many times. [sample_calibrated rng t
+    (calibrate t e)] consumes exactly the PRNG draws [sample_posterior
+    rng t ~evidence:e] does, so seeded runs are bit-identical either
+    way. A [calibrated] value is immutable and safe to share across
+    domains. *)
+
+type calibrated
+
+(** [calibrate t evidence] runs the upward pass once. *)
+val calibrate : t -> (int * bool) list -> calibrated
+
+(** Pr(evidence), same float as {!evidence_prob} on the same evidence. *)
+val calibrated_prob : calibrated -> float
+
+(** Draw from Pr(· | evidence) using the precomputed beliefs. *)
+val sample_calibrated :
+  Psst_util.Prng.t -> t -> calibrated -> ((int -> bool) * (int * bool) list) option
+
 (** Variables covered by the tree's scopes (sorted). *)
 val variables : t -> int list

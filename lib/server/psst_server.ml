@@ -42,6 +42,7 @@ type config = {
   verify_budget_ms : float;
   batch_max : int;
   trace_cap : int;
+  cache_cap : int;
 }
 
 let default_config endpoint =
@@ -53,6 +54,7 @@ let default_config endpoint =
     verify_budget_ms = 0.;
     batch_max = 32;
     trace_cap = 256;
+    cache_cap = 16384;
   }
 
 (* Chaos site around batch execution (DESIGN.md §12): a Fail plan here
@@ -79,6 +81,9 @@ type t = {
   cfg : config;
   db : Query.database;
   pool : Pool.t;
+  cache : Qcache.t option;
+      (* cross-query verification cache, shared by every batch on the
+         persistent pool; None when [cache_cap = 0] *)
   listen_fd : Unix.file_descr;
   bound : Proto.endpoint;  (* endpoint with the actual port resolved *)
   mutex : Mutex.t;
@@ -377,7 +382,8 @@ let process_batch t batch =
     (fun (cfg, jobs) ->
       match
         Psst_fault.inject fault_batch;
-        Query.run_batch_on ?budget_ms t.pool t.db (List.map snd jobs) cfg
+        Query.run_batch_on ?budget_ms ?cache:t.cache t.pool t.db
+          (List.map snd jobs) cfg
       with
       | outs -> List.iter2 (fun (j, _) out -> finish_run t j out) jobs outs
       | exception Psst_fault.Injected _ ->
@@ -389,7 +395,7 @@ let process_batch t batch =
            answers";
         List.iter
           (fun (j, q) ->
-            match Query.run_bounds_only t.db q cfg with
+            match Query.run_bounds_only ?cache:t.cache t.db q cfg with
             | out -> finish_run t j out
             | exception e ->
               job_error t j Proto.Internal
@@ -406,7 +412,7 @@ let process_batch t batch =
     (fun (j, q, k, cfg) ->
       match
         Psst_fault.inject fault_batch;
-        Topk.run t.db q ~k cfg
+        Topk.run ?cache:t.cache t.db q ~k cfg
       with
       | out ->
         send_counted t j.jconn ~version:j.jver
@@ -483,6 +489,7 @@ let bind_endpoint = function
 let start cfg db =
   if cfg.queue_cap < 1 then invalid_arg "Psst_server: queue_cap must be >= 1";
   if cfg.batch_max < 1 then invalid_arg "Psst_server: batch_max must be >= 1";
+  if cfg.cache_cap < 0 then invalid_arg "Psst_server: cache_cap must be >= 0";
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
@@ -492,6 +499,9 @@ let start cfg db =
       cfg;
       db;
       pool = Pool.create ~domains:cfg.domains ();
+      cache =
+        (if cfg.cache_cap > 0 then Some (Qcache.create ~value_cap:cfg.cache_cap ())
+         else None);
       listen_fd;
       bound;
       mutex = Mutex.create ();

@@ -41,10 +41,16 @@ type config = {
           latency tail. [0.] disables budgets (exact answers always). *)
   batch_max : int;  (** micro-batch size cap *)
   trace_cap : int;  (** per-query traces retained for [--stats-json] *)
+  cache_cap : int;
+      (** cross-query verification cache ({!Qcache}) value-table bound;
+          [0] disables the cache. Cached answers are bit-identical to
+          cold ones (the cache memoises deterministic artifacts only) and
+          the cache self-invalidates when the database changes, so the
+          only trade-off is memory. *)
 }
 
 (** Unix socket, 1 domain, queue of 128, no deadline, no verification
-    budget, batches of 32, 256 traces. *)
+    budget, batches of 32, 256 traces, cache of 16384 entries. *)
 val default_config : Psst_proto.endpoint -> config
 
 type t

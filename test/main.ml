@@ -23,5 +23,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);
       ("edge_cases", Test_edge_cases.suite);
+      ("cache", Test_cache.suite);
       ("chaos", Test_chaos.suite);
     ]

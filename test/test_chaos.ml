@@ -347,6 +347,128 @@ let test_verify_fault_degrades_to_superset () =
         out.Query.answers)
     picked
 
+(* --- the verification cache under chaos (DESIGN.md §13) ---
+
+   Faulted and budget-degraded verifications must never leave residue in
+   the cache (the compute callback raises or is skipped before the cache
+   is consulted, so nothing degraded is stored), a warm cache absorbs
+   verification faults entirely (hits draw no samples), and a poisoned
+   entry is evicted and recomputed — never served. *)
+
+let test_verify_fault_with_armed_cache () =
+  let ds, db = make_db 361 18 in
+  let picked =
+    queries_with_candidates ds db base_config (Prng.make 47) ~want:2
+  in
+  Alcotest.(check bool) "found queries with verification work" true
+    (picked <> []);
+  (* Cold cache under faults: superset invariant, like the uncached path. *)
+  let cache = Qcache.create () in
+  F.arm ~seed:31 [ ("verify.sample", F.Fail, 0.02) ];
+  Fun.protect ~finally:F.disarm (fun () ->
+      List.iter
+        (fun (q, (exact : Query.outcome)) ->
+          let out = Query.run ~cache db q base_config in
+          List.iter
+            (fun a ->
+              Alcotest.(check bool)
+                (Printf.sprintf "answer %d survives faults, cache armed" a)
+                true
+                (List.mem a out.Query.answers))
+            exact.Query.answers)
+        picked);
+  (* Disarmed, same cache: bit-identical — no faulted value was stored. *)
+  List.iter
+    (fun (q, (exact : Query.outcome)) ->
+      let out = Query.run ~cache db q base_config in
+      Alcotest.(check (list int)) "disarmed + cache, bit-identical"
+        exact.Query.answers out.Query.answers)
+    picked;
+  (* Warm cache under faults: hits draw no samples, so the fault site is
+     never consulted and replies stay exact, not merely superset. *)
+  F.arm ~seed:31 [ ("verify.sample", F.Fail, 1.0) ];
+  Fun.protect ~finally:F.disarm (fun () ->
+      List.iter
+        (fun (q, (exact : Query.outcome)) ->
+          let out = Query.run ~cache db q base_config in
+          Alcotest.(check (list int)) "warm cache absorbs certain faults"
+            exact.Query.answers out.Query.answers;
+          Alcotest.(check int) "warm replies are not degraded" 0
+            out.Query.stats.degraded_candidates)
+        picked)
+
+let test_budget_with_armed_cache () =
+  let ds, db = make_db 367 18 in
+  let config = { base_config with verifier = `Smp slow_smp } in
+  let picked = queries_with_candidates ds db config (Prng.make 53) ~want:2 in
+  Alcotest.(check bool) "found queries with verification work" true
+    (picked <> []);
+  let cache = Qcache.create () in
+  List.iter
+    (fun (q, (exact : Query.outcome)) ->
+      (* Spent budget, cold cache: everything degrades, superset holds. *)
+      let out = Query.run ~budget_ms:1e-6 ~cache db q config in
+      Alcotest.(check int) "all candidates degraded (cold cache)"
+        out.Query.stats.prob_candidates out.Query.stats.degraded_candidates;
+      List.iter
+        (fun a ->
+          Alcotest.(check bool)
+            (Printf.sprintf "budget keeps true answer %d (cache armed)" a)
+            true
+            (List.mem a out.Query.answers))
+        exact.Query.answers;
+      (* No budget, same cache: bit-identical — the degraded pass stored
+         no bound-derived values. *)
+      let fresh = Query.run ~cache db q config in
+      Alcotest.(check (list int)) "degraded pass left no residue"
+        exact.Query.answers fresh.Query.answers;
+      (* Warm cache, spent budget: deadline checks precede cache lookups,
+         so budget semantics are preserved — candidates still degrade. *)
+      let again = Query.run ~budget_ms:1e-6 ~cache db q config in
+      Alcotest.(check int) "warm cache does not bypass the budget"
+        again.Query.stats.prob_candidates
+        again.Query.stats.degraded_candidates)
+    picked
+
+let test_poisoned_cache_entry_evicted () =
+  let ds, db = make_db 373 18 in
+  let picked =
+    queries_with_candidates ds db base_config (Prng.make 59) ~want:2
+  in
+  Alcotest.(check bool) "found queries with verification work" true
+    (picked <> []);
+  let cache = Qcache.create () in
+  List.iter
+    (fun (q, _) -> ignore (Query.run ~cache db q base_config))
+    picked;
+  let poisoned = Qcache.poison_ssp cache Float.nan in
+  Alcotest.(check bool) "ssp entries were poisoned" true (poisoned > 0);
+  let evict = Psst_obs.counter "cache.evict" in
+  let warn = Psst_obs.counter "warn.cache.poisoned" in
+  let evict0 = Psst_obs.counter_value evict
+  and warn0 = Psst_obs.counter_value warn in
+  List.iter
+    (fun (q, (exact : Query.outcome)) ->
+      let out = Query.run ~cache db q base_config in
+      Alcotest.(check (list int)) "poisoned entries recomputed, not served"
+        exact.Query.answers out.Query.answers)
+    picked;
+  Alcotest.(check bool) "poisoned reads evicted" true
+    (Psst_obs.counter_value evict - evict0 >= poisoned);
+  Alcotest.(check bool) "poisoning warned" true
+    (Psst_obs.counter_value warn - warn0 >= poisoned);
+  (* The recomputed values replaced the poison: a third pass is warm and
+     clean (no further warnings). *)
+  let warn1 = Psst_obs.counter_value warn in
+  List.iter
+    (fun (q, (exact : Query.outcome)) ->
+      let out = Query.run ~cache db q base_config in
+      Alcotest.(check (list int)) "re-cached pass stays clean"
+        exact.Query.answers out.Query.answers)
+    picked;
+  Alcotest.(check int) "no warnings after recompute" warn1
+    (Psst_obs.counter_value warn)
+
 (* --- the serving stack under chaos --- *)
 
 let with_server ?(domains = 1) ?(verify_budget_ms = 0.) db f =
@@ -614,6 +736,12 @@ let suite =
       test_budget_degrades_to_superset;
     Alcotest.test_case "verify faults degrade to a superset" `Slow
       test_verify_fault_degrades_to_superset;
+    Alcotest.test_case "verify faults with armed cache" `Slow
+      test_verify_fault_with_armed_cache;
+    Alcotest.test_case "budget with armed cache" `Slow
+      test_budget_with_armed_cache;
+    Alcotest.test_case "poisoned cache entry evicted, not served" `Slow
+      test_poisoned_cache_entry_evicted;
     Alcotest.test_case "served chaos invariant" `Slow
       test_served_chaos_invariant;
     Alcotest.test_case "served budget + health endpoint" `Slow

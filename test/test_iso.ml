@@ -155,6 +155,193 @@ let prop_distance_lower_bound_sound =
       let g = Tgen.random_connected_graph rng ~n:5 ~extra:2 ~vl:2 ~el:3 in
       Distance.lower_bound q g <= Distance.dis q g)
 
+(* --- flat-representation equivalence ---
+
+   Vf2 now runs on the contiguous [Lgraph.Flat] image. The module below
+   is a frozen copy of the historical list-based search; the properties
+   pin that the rewrite enumerates the SAME embeddings in the SAME order
+   — not merely the same set. Order matters downstream: capped
+   enumeration ([distinct_embeddings ~cap]) keeps a prefix, and the
+   verification cache keys assume that prefix is reproducible. *)
+
+module Reference_vf2 = struct
+  let matching_order pattern =
+    let n = Lgraph.num_vertices pattern in
+    let order = Array.make n (-1) in
+    let placed = Array.make n false in
+    let degree v = Lgraph.degree pattern v in
+    let next_seed () =
+      let best = ref (-1) in
+      for v = 0 to n - 1 do
+        if (not placed.(v)) && (!best < 0 || degree v > degree !best) then
+          best := v
+      done;
+      !best
+    in
+    let idx = ref 0 in
+    while !idx < n do
+      let best = ref (-1) in
+      for v = 0 to n - 1 do
+        if not placed.(v) then
+          let touches =
+            List.exists (fun (w, _) -> placed.(w)) (Lgraph.neighbors pattern v)
+          in
+          if touches && (!best < 0 || degree v > degree !best) then best := v
+      done;
+      let v = if !best >= 0 then !best else next_seed () in
+      order.(!idx) <- v;
+      placed.(v) <- true;
+      incr idx
+    done;
+    order
+
+  let iter pattern target f =
+    let np = Lgraph.num_vertices pattern in
+    let nt = Lgraph.num_vertices target in
+    if np > nt || Lgraph.num_edges pattern > Lgraph.num_edges target then ()
+    else begin
+      let order = matching_order pattern in
+      let pmap = Array.make np (-1) in
+      let used = Array.make nt false in
+      let stop = ref false in
+      let rec go depth =
+        if !stop then ()
+        else if depth = np then begin
+          let edges = Bitset.create (Lgraph.num_edges target) in
+          Array.iter
+            (fun (e : Lgraph.edge) ->
+              match Lgraph.find_edge target pmap.(e.u) pmap.(e.v) with
+              | Some te -> Bitset.add edges te.id
+              | None -> assert false)
+            (Lgraph.edges pattern);
+          if not (f { Embedding.vmap = Array.copy pmap; edges }) then
+            stop := true
+        end
+        else begin
+          let pu = order.(depth) in
+          let matched_neighbors =
+            Lgraph.neighbors pattern pu
+            |> List.filter_map (fun (w, eid) ->
+                   if pmap.(w) >= 0 then
+                     Some (pmap.(w), (Lgraph.edge pattern eid).label)
+                   else None)
+          in
+          let candidates =
+            match matched_neighbors with
+            | (tv_anchor, elab) :: _ ->
+              Lgraph.neighbors target tv_anchor
+              |> List.filter_map (fun (tw, teid) ->
+                     if (Lgraph.edge target teid).label = elab then Some tw
+                     else None)
+            | [] -> List.init nt (fun v -> v)
+          in
+          let feasible tv =
+            (not used.(tv))
+            && Lgraph.vertex_label pattern pu = Lgraph.vertex_label target tv
+            && Lgraph.degree target tv >= Lgraph.degree pattern pu
+            && List.for_all
+                 (fun (tw, elab) ->
+                   match Lgraph.find_edge target tv tw with
+                   | Some te -> te.label = elab
+                   | None -> false)
+                 matched_neighbors
+          in
+          List.iter
+            (fun tv ->
+              if (not !stop) && feasible tv then begin
+                pmap.(pu) <- tv;
+                used.(tv) <- true;
+                go (depth + 1);
+                pmap.(pu) <- -1;
+                used.(tv) <- false
+              end)
+            (List.sort_uniq compare candidates)
+        end
+      in
+      let vh_p = Lgraph.vertex_label_hist pattern
+      and vh_t = Lgraph.vertex_label_hist target in
+      let eh_p = Lgraph.edge_label_hist pattern
+      and eh_t = Lgraph.edge_label_hist target in
+      if
+        Lgraph.hist_missing vh_p vh_t = 0 && Lgraph.hist_missing eh_p eh_t = 0
+      then go 0
+    end
+
+  let all pattern target =
+    let out = ref [] in
+    iter pattern target (fun e ->
+        out := e :: !out;
+        true);
+    List.rev !out
+
+  let distinct_embeddings ~cap pattern target =
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    let n = ref 0 in
+    iter pattern target (fun e ->
+        let key = Bitset.elements e.Embedding.edges in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          out := e :: !out;
+          incr n
+        end;
+        !n < cap);
+    List.rev !out
+end
+
+(* Sequence-comparable image of an embedding list: vertex maps plus edge
+   ids, in enumeration order. *)
+let emb_trace embs =
+  List.map
+    (fun (e : Embedding.t) ->
+      (Array.to_list e.Embedding.vmap, Bitset.elements e.Embedding.edges))
+    embs
+
+let vf2_all pattern target =
+  let out = ref [] in
+  Vf2.iter pattern target (fun e ->
+      out := e :: !out;
+      true);
+  List.rev !out
+
+let prop_flat_same_embeddings_same_order =
+  QCheck.Test.make
+    ~name:"flat vf2 enumerates reference embeddings in reference order"
+    ~count:300 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 601) in
+      let target = Tgen.random_graph rng ~n:7 ~m:9 ~vl:2 ~el:2 in
+      let pattern = Tgen.random_connected_graph rng ~n:4 ~extra:1 ~vl:2 ~el:2 in
+      emb_trace (vf2_all pattern target)
+      = emb_trace (Reference_vf2.all pattern target))
+
+let prop_flat_same_on_permuted_pattern =
+  (* Renumbering a pattern changes the search tree; the flat engine must
+     track the reference through every presentation, not just canonical
+     ones. *)
+  QCheck.Test.make ~name:"flat vf2 = reference on permuted presentations"
+    ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 607) in
+      let target = Tgen.random_graph rng ~n:7 ~m:9 ~vl:2 ~el:2 in
+      let base = Tgen.random_connected_graph rng ~n:4 ~extra:1 ~vl:2 ~el:2 in
+      let pattern = Tgen.permuted rng base in
+      emb_trace (vf2_all pattern target)
+      = emb_trace (Reference_vf2.all pattern target))
+
+let prop_flat_capped_prefix_agrees =
+  (* The capped distinct enumeration keeps a prefix of the stream — both
+     engines must keep the SAME prefix. *)
+  QCheck.Test.make ~name:"flat vf2 capped distinct prefix = reference"
+    ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.make (seed + 613) in
+      let target = Tgen.random_graph rng ~n:7 ~m:10 ~vl:2 ~el:1 in
+      let pattern = Tgen.random_connected_graph rng ~n:3 ~extra:1 ~vl:2 ~el:1 in
+      let cap = 1 + Prng.int rng 3 in
+      emb_trace (Vf2.distinct_embeddings ~cap pattern target)
+      = emb_trace (Reference_vf2.distinct_embeddings ~cap pattern target))
+
 (* --- Ullmann cross-validation --- *)
 
 let test_ullmann_basic () =
@@ -237,6 +424,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_distance_within_agrees_with_dis;
     QCheck_alcotest.to_alcotest prop_vf2_implies_distance_zero;
     QCheck_alcotest.to_alcotest prop_distance_lower_bound_sound;
+    QCheck_alcotest.to_alcotest prop_flat_same_embeddings_same_order;
+    QCheck_alcotest.to_alcotest prop_flat_same_on_permuted_pattern;
+    QCheck_alcotest.to_alcotest prop_flat_capped_prefix_agrees;
     Alcotest.test_case "ullmann basic" `Quick test_ullmann_basic;
     Alcotest.test_case "ullmann find_one" `Quick test_ullmann_find_one;
     QCheck_alcotest.to_alcotest prop_ullmann_agrees_with_vf2;

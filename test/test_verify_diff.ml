@@ -57,6 +57,78 @@ let prop_smp_seed_deterministic =
       let b = Verify.smp ~config (Prng.stream ~seed 0) g relaxed in
       a = b)
 
+(* --- adaptive-precision Karp–Luby (DESIGN.md §13) --- *)
+
+let adaptive_cfg tau = { Verify.default_config with tau; adaptive = true }
+
+let prop_adaptive_within_3tau =
+  (* The adaptive stopping rule budgets its failure probability with a
+     union bound over checkpoints, so the early-stopped estimate carries
+     the same |est - exact| <= tau guarantee at confidence 1 - xi as the
+     fixed-budget run; 3·tau keeps false alarms vanishingly unlikely
+     under QCheck's self-initialised seeds. *)
+  QCheck.Test.make ~name:"adaptive: |est - exact| <= 3*tau" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let g, relaxed = small_case (seed + 1300) in
+      let exact = Verify.exact g relaxed in
+      let tau = 0.15 in
+      let r =
+        Verify.smp_info ~config:(adaptive_cfg tau) ~stop_epsilon:0.5
+          (Prng.make (seed + 3)) g relaxed
+      in
+      Float.abs (r.Verify.value -. exact) <= 3. *. tau)
+
+let prop_adaptive_prefix_of_fixed =
+  (* The adaptive run draws a prefix of the fixed run's PRNG stream:
+     sample counts never exceed the fixed budget, and a run that never
+     early-stops produces the bitwise-identical estimate. *)
+  QCheck.Test.make ~name:"adaptive: samples <= fixed budget; no-stop => bitwise"
+    ~count:40 QCheck.small_int
+    (fun seed ->
+      let g, relaxed = small_case (seed + 1700) in
+      let tau = 0.2 in
+      let cfg = adaptive_cfg tau in
+      let r =
+        Verify.smp_info ~config:cfg ~stop_epsilon:0.5 (Prng.make (seed + 5)) g
+          relaxed
+      in
+      let fixed =
+        Verify.smp
+          ~config:{ cfg with Verify.adaptive = false }
+          (Prng.make (seed + 5)) g relaxed
+      in
+      r.Verify.samples <= Verify.num_samples cfg
+      && (r.Verify.early_stopped || r.Verify.value = fixed))
+
+let prop_adaptive_never_flips_clear_decision =
+  (* Whenever the exact SSP is well clear of the threshold (beyond the
+     3·tau noise floor), the adaptive and fixed-budget estimators must
+     land on the same side of it as the exact value — early stopping can
+     only change decisions the estimator was already coin-flipping on. *)
+  QCheck.Test.make ~name:"adaptive: clear decisions never flip" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let g, relaxed = small_case (seed + 2100) in
+      let exact = Verify.exact g relaxed in
+      let tau = 0.15 in
+      let eps = 0.5 in
+      if Float.abs (exact -. eps) <= 3. *. tau then true
+      else begin
+        let cfg = adaptive_cfg tau in
+        let adap =
+          Verify.smp_info ~config:cfg ~stop_epsilon:eps
+            (Prng.make (seed + 11)) g relaxed
+        in
+        let fixed =
+          Verify.smp
+            ~config:{ cfg with Verify.adaptive = false }
+            (Prng.make (seed + 11)) g relaxed
+        in
+        let truth = exact >= eps in
+        adap.Verify.value >= eps = truth && fixed >= eps = truth
+      end)
+
 (* [ground_truth] applies a [Distance.within] pre-filter that
    [run_exact_scan] does not; when the relaxed set is complete the filter
    can never change the answer set (any graph with positive exact SSP
@@ -98,5 +170,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_exact_agrees_with_naive;
     QCheck_alcotest.to_alcotest prop_smp_within_3tau_of_exact;
     QCheck_alcotest.to_alcotest prop_smp_seed_deterministic;
+    QCheck_alcotest.to_alcotest prop_adaptive_within_3tau;
+    QCheck_alcotest.to_alcotest prop_adaptive_prefix_of_fixed;
+    QCheck_alcotest.to_alcotest prop_adaptive_never_flips_clear_decision;
     QCheck_alcotest.to_alcotest prop_exact_scan_matches_ground_truth;
   ]
