@@ -82,6 +82,10 @@ type t = {
 }
 
 let create ?(query_cap = 128) ?(value_cap = 16384) () =
+  (* Caps below 1 would make [Tbl.add]'s eviction loop unsatisfiable
+     (an empty table still exceeds the cap). *)
+  if query_cap < 1 then invalid_arg "Qcache.create: query_cap must be >= 1";
+  if value_cap < 1 then invalid_arg "Qcache.create: value_cap must be >= 1";
   {
     mu = Mutex.create ();
     owner_graphs = [||];
@@ -93,12 +97,15 @@ let create ?(query_cap = 128) ?(value_cap = 16384) () =
     ssp = Tbl.create value_cap;
   }
 
-let flush t =
+(* Callers must hold [t.mu]. *)
+let flush_unlocked t =
   Tbl.clear t.relaxed;
   Tbl.clear t.prepared;
   Tbl.clear t.emb;
   Tbl.clear t.sprep;
   Tbl.clear t.ssp
+
+let flush t = Mutex.protect t.mu (fun () -> flush_unlocked t)
 
 let entries t =
   Mutex.protect t.mu (fun () ->
@@ -120,7 +127,7 @@ let scope t ~graphs ~pmi ~q ~delta ~relax_cap =
       in
       if not same_owner then begin
         if t.owner_pmi <> None then Psst_obs.incr m_flush;
-        flush t;
+        flush_unlocked t;
         t.owner_graphs <- graphs;
         t.owner_pmi <- Some pmi
       end);

@@ -28,7 +28,8 @@ type t
 (** [create ?query_cap ?value_cap ()] — [query_cap] bounds the per-query
     tables (relaxed sets, prepared memberships; defaults 128),
     [value_cap] the per-(query, graph) tables (embeddings, preparations,
-    SSP values; default 16384). *)
+    SSP values; default 16384). Both caps must be [>= 1]
+    ([Invalid_argument] otherwise). *)
 val create : ?query_cap:int -> ?value_cap:int -> unit -> t
 
 (** Total cached entries across all tables. *)

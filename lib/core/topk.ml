@@ -45,8 +45,11 @@ let verify_one ?scope ~graph:gi (config : Query.config) rng g relaxed =
             in
             Verify.smp_prepare g sets)
     in
-    let stop_epsilon = if vc.adaptive then Some config.epsilon else None in
-    (Verify.smp_run ~config:vc ?stop_epsilon rng prep).value
+    (* No [stop_epsilon]: top-k documents [config.epsilon] as ignored
+       (there is no decision threshold in a ranking query), so adaptive
+       verifiers stop on the precision test alone — never on a CI
+       clearing a meaningless threshold. *)
+    (Verify.smp_run ~config:vc rng prep).value
 
 let run ?cache (db : Query.database) q ~k (config : Query.config) =
   if k <= 0 then invalid_arg "Topk.run: k must be positive";

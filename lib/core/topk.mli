@@ -22,9 +22,11 @@ type stats = {
 type outcome = { hits : hit list; stats : stats }
 
 (** [run ?cache db q ~k config] — [config.epsilon] is ignored (top-k has
-    no threshold); [delta], [mode], [certified] and [verifier] apply.
-    Hits are sorted by decreasing SSP; fewer than [k] hits are returned
-    when fewer graphs have positive SSP.
+    no threshold; an adaptive SMP verifier therefore stops on its
+    precision test alone, never on a decision threshold); [delta],
+    [mode], [certified] and [verifier] apply. Hits are sorted by
+    decreasing SSP; fewer than [k] hits are returned when fewer graphs
+    have positive SSP.
 
     [cache] memoises the PRNG-free artifacts only (relaxed set, prepared
     memberships, embedding sets, Karp–Luby preparations) — top-k threads

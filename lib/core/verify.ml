@@ -153,7 +153,11 @@ let smp_run ?(config = default_config) ?stop_epsilon rng prep =
            next_check := 2 * !next_check;
            let est = v *. float_of_int !cnt /. float_of_int s in
            let hw = v *. sqrt (log_term /. (2. *. float_of_int s)) in
-           let precision_reached = hw <= config.tau in
+           (* Precision is relative to the normaliser [v], like the fixed
+              budget's guarantee (|est - p| <= O(v * tau) at n_max): an
+              absolute [hw <= tau] test would let small-v candidates stop
+              with a looser estimate than the non-adaptive path delivers. *)
+           let precision_reached = hw <= config.tau *. v in
            let decision_clear =
              match stop_epsilon with
              | Some eps -> est +. hw < eps || est -. hw >= eps

@@ -23,11 +23,13 @@ type config = {
       (** adaptive-precision sampling (default [false]): stop the
           Karp–Luby loop at the first geometric checkpoint where the
           Hoeffding confidence interval (at confidence [1 - xi], union
-          bound over checkpoints) either is narrower than [tau] or
-          clears the caller's decision threshold ([?stop_epsilon])
-          either way. Sample counts never exceed {!num_samples}. With
-          [adaptive = false] the sampling loop is bit-identical to
-          previous releases. *)
+          bound over checkpoints) either is narrower than [tau]
+          relative to the Karp–Luby normaliser [V] (half-width
+          [<= tau * V], matching the relative-accuracy guarantee of the
+          fixed budget) or clears the caller's decision threshold
+          ([?stop_epsilon]) either way. Sample counts never exceed
+          {!num_samples}. With [adaptive = false] the sampling loop is
+          bit-identical to previous releases. *)
 }
 
 val default_config : config

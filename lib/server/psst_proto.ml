@@ -10,7 +10,10 @@
    version-1 frame still decodes (the flag defaults to false) and replies
    to a version-1 peer are encoded in version 1 (with [Unavailable]
    mapped to the equally-retryable [Shutdown]), so old clients keep
-   working against new servers and vice versa. *)
+   working against new servers and vice versa. Version 3 added the
+   [adaptive] byte to SMP verifier configs in Run/Run_topk requests:
+   v1/v2 frames decode with [adaptive = false], and a request encoded
+   for an older peer drops the flag (Query.put_config ~adaptive_field). *)
 
 module S = Psst_store
 module Crc32 = Psst_util.Crc32
@@ -19,7 +22,7 @@ exception Proto_error of string
 exception Timed_out
 
 let error fmt = Printf.ksprintf (fun msg -> raise (Proto_error msg)) fmt
-let proto_version = 2
+let proto_version = 3
 let min_proto_version = 1
 let magic = "PSSTRPC\x00"
 let header_bytes = 24
@@ -140,20 +143,23 @@ and tag_stats_json = 68
 and tag_error = 69
 and tag_health = 70
 
-let encode_request_payload = function
+let encode_request_payload ~version = function
   | Ping -> (tag_ping, "")
   | Run { id; query; config } ->
     let e = S.encoder () in
     S.put_i64 e id;
     S.put_lgraph e query;
-    Query.put_config e config;
+    (* Version 1–2 configs predate the adaptive flag; dropping it only
+       loses the (off-by-default) sampling optimisation, never the
+       answer. *)
+    Query.put_config ~adaptive_field:(version >= 3) e config;
     (tag_run, S.contents e)
   | Run_topk { id; query; k; config } ->
     let e = S.encoder () in
     S.put_i64 e id;
     S.put_lgraph e query;
     S.put_i64 e k;
-    Query.put_config e config;
+    Query.put_config ~adaptive_field:(version >= 3) e config;
     (tag_run_topk, S.contents e)
   | Get_stats -> (tag_get_stats, "")
   | Get_health -> (tag_get_health, "")
@@ -212,15 +218,16 @@ let decoding name f =
   | v -> v
   | exception S.Store_error msg -> error "%s: %s" name msg
 
-let decode_request tag payload =
+let decode_request ~version tag payload =
   decoding "request payload" (fun () ->
       let d = S.decoder ~name:"request" payload in
+      let adaptive_field = version >= 3 in
       let req =
         if tag = tag_ping then Ping
         else if tag = tag_run then begin
           let id = S.get_i64 d in
           let query = S.get_lgraph d in
-          let config = Query.get_config d in
+          let config = Query.get_config ~adaptive_field d in
           Run { id; query; config }
         end
         else if tag = tag_run_topk then begin
@@ -228,7 +235,7 @@ let decode_request tag payload =
           let query = S.get_lgraph d in
           let k = S.get_i64 d in
           if k < 1 then S.error "top-k count %d must be >= 1" k;
-          let config = Query.get_config d in
+          let config = Query.get_config ~adaptive_field d in
           Run_topk { id; query; k; config }
         end
         else if tag = tag_get_stats then Get_stats
@@ -320,7 +327,7 @@ let frame ~version ~tag payload =
   Buffer.contents b
 
 let encode_request ?(version = proto_version) r =
-  let tag, payload = encode_request_payload r in
+  let tag, payload = encode_request_payload ~version r in
   frame ~version ~tag payload
 
 let encode_reply ?(version = proto_version) r =
@@ -370,8 +377,8 @@ let decode_frame_string s =
   (version, tag, payload)
 
 let request_of_string s =
-  let _, tag, payload = decode_frame_string s in
-  decode_request tag payload
+  let version, tag, payload = decode_frame_string s in
+  decode_request ~version tag payload
 
 let reply_of_string s =
   let version, tag, payload = decode_frame_string s in
@@ -397,8 +404,8 @@ let read_frame ic =
   (version, tag, payload)
 
 let read_request ic =
-  let _, tag, payload = read_frame ic in
-  decode_request tag payload
+  let version, tag, payload = read_frame ic in
+  decode_request ~version tag payload
 
 let read_reply ic =
   let version, tag, payload = read_frame ic in
@@ -492,7 +499,7 @@ let read_frame_fd ?deadline fd =
 
 let read_request_fd ?deadline fd =
   let version, tag, payload = read_frame_fd ?deadline fd in
-  (version, decode_request tag payload)
+  (version, decode_request ~version tag payload)
 
 let read_reply_fd ?deadline fd =
   let version, tag, payload = read_frame_fd ?deadline fd in

@@ -25,7 +25,11 @@
     sides accept version-1 frames and answer a version-1 peer in version 1
     ([degraded] is simply not sent; [Unavailable] is downgraded to the
     equally-retryable [Shutdown]), so old clients interoperate with new
-    servers and vice versa. *)
+    servers and vice versa. Version 3 added the [adaptive] byte to SMP
+    verifier configs inside [Run]/[Run_topk] requests: a v1/v2 request
+    decodes with [adaptive = false], and a request encoded for an older
+    peer drops the byte (losing only the off-by-default sampling
+    optimisation, never the answer). *)
 
 exception Proto_error of string
 
@@ -114,8 +118,8 @@ type reply =
 val request_id : request -> int
 
 (** Full frame bytes (header + payload) for one message. [?version]
-    (default {!proto_version}) stamps the frame and, for replies, selects
-    the encoding a peer of that version expects. *)
+    (default {!proto_version}) stamps the frame and selects the encoding
+    a peer of that version expects. *)
 val encode_request : ?version:int -> request -> string
 
 val encode_reply : ?version:int -> reply -> string

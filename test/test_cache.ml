@@ -201,10 +201,40 @@ let test_eviction_is_bounded () =
   Alcotest.(check bool) "value tables stay within bound" true
     (Qcache.entries cache <= 2 * 2 + 3 * 8)
 
+let test_invalid_caps_rejected () =
+  (* Caps below 1 would make the FIFO eviction loop spin forever on the
+     first insert; create must reject them up front. *)
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "query_cap 0" (fun () -> Qcache.create ~query_cap:0 ());
+  expect_invalid "value_cap 0" (fun () -> Qcache.create ~value_cap:0 ());
+  expect_invalid "negative caps" (fun () ->
+      Qcache.create ~query_cap:(-1) ~value_cap:(-8) ())
+
+let test_flush_drops_entries () =
+  let ds, db = make_db 4261 10 in
+  let qs = query_sequence (Prng.make 29) ds ~count:4 in
+  let cache = Qcache.create () in
+  let before = List.map (fun q -> Query.run ~cache db q base_config) qs in
+  Alcotest.(check bool) "entries present before flush" true
+    (Qcache.entries cache > 0);
+  Qcache.flush cache;
+  Alcotest.(check int) "flush empties every table" 0 (Qcache.entries cache);
+  let after = List.map (fun q -> Query.run ~cache db q base_config) qs in
+  List.iteri
+    (fun i (a, b) -> check_outcome (Printf.sprintf "post-flush: query %d" i) a b)
+    (List.combine before after)
+
 let suite =
   [
     Alcotest.test_case "run: cached ≡ cold (1 and 4 domains)" `Slow
       test_run_differential;
+    Alcotest.test_case "invalid caps rejected" `Quick test_invalid_caps_rejected;
+    Alcotest.test_case "flush drops all entries; answers stay fresh" `Quick
+      test_flush_drops_entries;
     Alcotest.test_case "run_batch: cached ≡ cold" `Slow
       test_run_batch_differential;
     Alcotest.test_case "topk: cached ≡ cold (bitwise SSPs)" `Quick

@@ -308,10 +308,41 @@ let test_v1_interop () =
   | P.Ping -> ()
   | _ -> Alcotest.fail "expected Ping"
 
+(* Version 3 added the adaptive byte to SMP verifier configs in requests.
+   Frames from v1/v2 peers carry configs without the byte and must still
+   decode — adaptive defaults to false — and a request encoded for an
+   older peer drops the flag rather than emitting a byte the peer cannot
+   parse. *)
+let test_pre_v3_config_interop () =
+  let adaptive_config =
+    { smp_config with
+      Query.verifier = `Smp { Verify.default_config with adaptive = true } }
+  in
+  let encode version =
+    P.encode_request ?version
+      (P.Run { id = 5; query = query_graph; config = adaptive_config })
+  in
+  List.iter
+    (fun version ->
+      match P.request_of_string (encode (Some version)) with
+      | P.Run { config = { Query.verifier = `Smp vc; _ }; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "v%d frame decodes with adaptive = false" version)
+          false vc.Verify.adaptive
+      | _ -> Alcotest.fail "expected Run with an Smp verifier")
+    [ 1; 2 ];
+  match P.request_of_string (encode None) with
+  | P.Run { config = { Query.verifier = `Smp vc; _ }; _ } ->
+    Alcotest.(check bool) "current-version frame round-trips adaptive" true
+      vc.Verify.adaptive
+  | _ -> Alcotest.fail "expected Run with an Smp verifier"
+
 let suite =
   [
     Alcotest.test_case "requests round-trip" `Quick test_request_roundtrips;
     Alcotest.test_case "v1 frames interoperate" `Quick test_v1_interop;
+    Alcotest.test_case "pre-v3 configs interoperate" `Quick
+      test_pre_v3_config_interop;
     Alcotest.test_case "replies round-trip" `Quick test_reply_roundtrips;
     Alcotest.test_case "query config round-trips" `Quick test_config_roundtrip;
     Alcotest.test_case "truncation at every boundary" `Quick
