@@ -1,6 +1,6 @@
 (* Benchmark entry point.
 
-   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|chaos|verify|micro|all] [--quick]
+   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|shard|chaos|verify|micro|all] [--quick]
 
    Each figN target regenerates the corresponding figure of the paper's
    evaluation section (§6) at a scaled-down workload (see DESIGN.md §4-5 and
@@ -41,7 +41,7 @@ let store ~scale ppf =
       in
       let structural = Structural.build skeletons features ~emb_cap:64 in
       let mk pmi =
-        { Query.graphs; skeletons; features; structural; pmi }
+        { Query.graphs; skeletons; features; structural; pmi; base = 0 }
       in
       let db_fresh = mk pmi and db_loaded = mk loaded in
       let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
@@ -114,7 +114,7 @@ let obs ~scale ppf =
   let features = Selection.select skeletons Experiments.mining_params in
   let structural = Structural.build skeletons features ~emb_cap:64 in
   let pmi = Pmi.build graphs features in
-  let db = { Query.graphs; skeletons; features; structural; pmi } in
+  let db = { Query.graphs; skeletons; features; structural; pmi; base = 0 } in
   let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
   let nq = max 8 (2 * scale.Experiments.queries_per_point) in
   let queries =
@@ -214,7 +214,7 @@ let serve ~scale ppf =
   let features = Selection.select skeletons Experiments.mining_params in
   let structural = Structural.build skeletons features ~emb_cap:64 in
   let pmi = Pmi.build graphs features in
-  let db = { Query.graphs; skeletons; features; structural; pmi } in
+  let db = { Query.graphs; skeletons; features; structural; pmi; base = 0 } in
   let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
   let nq = max 4 scale.Experiments.queries_per_point in
   let queries =
@@ -389,6 +389,238 @@ let serve ~scale ppf =
   Format.fprintf ppf "wrote BENCH_serve.json@.";
   if not !identical then exit 1
 
+(* Scatter-gather sharding: the Fig 9 serving workload against a router
+   fronting 1/2/4/8 in-process shard workers (DESIGN.md §14). Every routed
+   reply — answer set AND pruning counters — must be bit-identical to the
+   offline monolithic run at every shard count. A final faulted phase stops
+   one of two workers with the local bounds fallback armed: its shard's
+   answers degrade to a flagged superset while the healthy shard stays
+   exact, and no request fails. *)
+let shard_bench ~scale ppf =
+  Format.fprintf ppf
+    "@.=== Shard: scatter-gather router sweep (Fig 9 workload) ===@.";
+  let ds = Generator.generate (Experiments.dataset_params scale) in
+  let graphs = ds.Generator.graphs in
+  let skeletons = Array.map Pgraph.skeleton graphs in
+  let features = Selection.select skeletons Experiments.mining_params in
+  let structural = Structural.build skeletons features ~emb_cap:64 in
+  let pmi = Pmi.build graphs features in
+  let db = { Query.graphs; skeletons; features; structural; pmi; base = 0 } in
+  let n = Array.length graphs in
+  let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
+  let nq = max 4 scale.Experiments.queries_per_point in
+  let queries =
+    Array.init nq (fun _ -> fst (Generator.extract_query rng ds ~edges:8))
+  in
+  let config = Query.default_config in
+  let offline =
+    Array.map
+      (fun q ->
+        let r = Query.run db q config in
+        (r.Query.answers, Psst_proto.stats_of_query r.Query.stats))
+      queries
+  in
+  let percentile sorted q =
+    let m = Array.length sorted in
+    if m = 0 then nan
+    else sorted.(min (m - 1) (int_of_float (ceil (q *. float_of_int m)) - 1))
+  in
+  let clients = 4 in
+  let identical = ref true in
+  (* One fleet: [shards] workers, each serving one slice of [db] behind a
+     router. Calls [body router_endpoint parts] with the fleet up. *)
+  let with_fleet shards ~fallback body =
+    let plan = Psst_shard.plan_even ~parts:shards ~total:n in
+    let parts =
+      List.map
+        (fun (base, count) -> Psst_shard.sub_database db ~base ~count)
+        plan
+    in
+    let socks =
+      List.map (fun _ -> Filename.temp_file "psst_shard_w" ".sock") parts
+    in
+    let rsock = Filename.temp_file "psst_shard_r" ".sock" in
+    let endpoints = List.map (fun s -> Psst_proto.Unix_socket s) socks in
+    let workers =
+      List.map2
+        (fun ep part ->
+          Psst_server.start
+            {
+              (Psst_server.default_config ep) with
+              Psst_server.domains = 1;
+              queue_cap = 1024;
+            }
+            part)
+        endpoints parts
+    in
+    let parts_arr = Array.of_list parts in
+    let router =
+      Psst_router.start
+        {
+          (Psst_router.default_config
+             ~endpoint:(Psst_proto.Unix_socket rsock)
+             ~workers:endpoints)
+          with
+          Psst_router.local_fallback =
+            (if fallback then
+               Some
+                 (fun sid ->
+                   if sid >= 0 && sid < Array.length parts_arr then
+                     Some parts_arr.(sid)
+                   else None)
+             else None);
+        }
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Psst_router.stop router;
+        List.iter Psst_server.stop workers;
+        List.iter
+          (fun s -> try Sys.remove s with Sys_error _ -> ())
+          (rsock :: socks))
+      (fun () -> body (Psst_router.endpoint router) (Array.of_list workers))
+  in
+  (* [count] requests round-robin over the workload through [ep]; each
+     reply's answers and counters are checked against the offline run. *)
+  let client_thread ep start count =
+    let c = Psst_client.connect ep in
+    Fun.protect
+      ~finally:(fun () -> Psst_client.close c)
+      (fun () ->
+        let lats = Array.make count 0. in
+        let errors = ref 0 in
+        for j = 0 to count - 1 do
+          let qi = (start + j) mod nq in
+          let t0 = Unix.gettimeofday () in
+          (match
+             Psst_client.rpc c
+               (Psst_proto.Run { id = j; query = queries.(qi); config })
+           with
+          | Psst_proto.Answer { answers; stats; _ } ->
+            if (answers, stats) <> offline.(qi) then identical := false
+          | _ -> incr errors);
+          lats.(j) <- Unix.gettimeofday () -. t0
+        done;
+        (lats, !errors))
+  in
+  let sweep_rows =
+    List.map
+      (fun shards ->
+        with_fleet shards ~fallback:false (fun rep workers ->
+            let per_client = max 4 nq in
+            let total = clients * per_client in
+            let results = ref [] and rm = Mutex.create () in
+            let t0 = Unix.gettimeofday () in
+            let threads =
+              List.init clients (fun i ->
+                  Thread.create
+                    (fun () ->
+                      let r = client_thread rep (i * per_client) per_client in
+                      Mutex.lock rm;
+                      results := r :: !results;
+                      Mutex.unlock rm)
+                    ())
+            in
+            let wall =
+              List.iter Thread.join threads;
+              Unix.gettimeofday () -. t0
+            in
+            let lats =
+              List.concat_map (fun (l, _) -> Array.to_list l) !results
+              |> Array.of_list
+            in
+            Array.sort compare lats;
+            let errors = List.fold_left (fun a (_, e) -> a + e) 0 !results in
+            let row =
+              ( shards,
+                Array.length workers,
+                total,
+                wall,
+                float_of_int total /. wall,
+                1000. *. percentile lats 0.50,
+                1000. *. percentile lats 0.99,
+                errors )
+            in
+            let s, w, t, wl, thr, p50, p99, e = row in
+            Format.fprintf ppf
+              "shards %2d  workers %2d  requests %4d  wall %6.2f s  \
+               %7.1f req/s  p50 %7.2f ms  p99 %7.2f ms  errors %d@."
+              s w t wl thr p50 p99 e;
+            row))
+      [ 1; 2; 4; 8 ]
+  in
+  (* Faulted phase: 2 shards, worker 0 stopped, bounds fallback armed. *)
+  let faulted =
+    with_fleet 2 ~fallback:true (fun rep workers ->
+        let b1 =
+          match Psst_shard.plan_even ~parts:2 ~total:n with
+          | _ :: (base, _) :: _ -> base
+          | _ -> n
+        in
+        Psst_server.stop workers.(0);
+        let c = Psst_client.connect rep in
+        Fun.protect
+          ~finally:(fun () -> Psst_client.close c)
+          (fun () ->
+            let degraded = ref 0
+            and superset = ref true
+            and healthy_exact = ref true
+            and errors = ref 0 in
+            for j = 0 to nq - 1 do
+              match
+                Psst_client.rpc c
+                  (Psst_proto.Run { id = j; query = queries.(j); config })
+              with
+              | Psst_proto.Answer { answers; stats; _ } ->
+                let off, _ = offline.(j) in
+                if stats.Psst_proto.degraded then incr degraded;
+                if not (List.for_all (fun g -> List.mem g answers) off) then
+                  superset := false;
+                let high = List.filter (fun g -> g >= b1) in
+                if high answers <> high off then healthy_exact := false
+              | _ -> incr errors
+            done;
+            (!degraded, !superset, !healthy_exact, !errors)))
+  in
+  let f_degraded, f_superset, f_healthy, f_errors = faulted in
+  Format.fprintf ppf
+    "faulted (2 shards, worker 0 down): %d/%d degraded replies, superset %b, \
+     healthy shard exact %b, errors %d@."
+    f_degraded nq f_superset f_healthy f_errors;
+  Format.fprintf ppf "answers identical  %b@." !identical;
+  let faulted_ok = f_superset && f_healthy && f_errors = 0 in
+  let oc = open_out "BENCH_shard.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"workload\": \"fig9\",\n\
+        \  \"db_size\": %d,\n\
+        \  \"distinct_queries\": %d,\n\
+        \  \"clients\": %d,\n\
+        \  \"sweep\": [\n"
+        n nq clients;
+      List.iteri
+        (fun i (s, w, t, wl, thr, p50, p99, e) ->
+          Printf.fprintf oc
+            "    {\"shards\": %d, \"workers\": %d, \"requests\": %d, \
+             \"wall_s\": %.6f, \"throughput_rps\": %.2f, \"p50_ms\": %.3f, \
+             \"p99_ms\": %.3f, \"errors\": %d}%s\n"
+            s w t wl thr p50 p99 e
+            (if i < List.length sweep_rows - 1 then "," else ""))
+        sweep_rows;
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"faulted\": {\"shards\": 2, \"requests\": %d, \
+         \"degraded_replies\": %d, \"superset_held\": %b, \
+         \"healthy_shard_exact\": %b, \"errors\": %d},\n\
+        \  \"identical_answers\": %b\n\
+         }\n"
+        nq f_degraded f_superset f_healthy f_errors !identical);
+  Format.fprintf ppf "wrote BENCH_shard.json@.";
+  if not (!identical && faulted_ok) then exit 1
+
 (* Chaos load: the Fig 9 serving workload twice — faults disarmed, then
    armed (lossy sockets, a flaky batcher, rare verification faults) with a
    per-batch verification budget. Measures what degradation costs
@@ -404,7 +636,7 @@ let chaos ~scale ppf =
   let features = Selection.select skeletons Experiments.mining_params in
   let structural = Structural.build skeletons features ~emb_cap:64 in
   let pmi = Pmi.build graphs features in
-  let db = { Query.graphs; skeletons; features; structural; pmi } in
+  let db = { Query.graphs; skeletons; features; structural; pmi; base = 0 } in
   let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
   let nq = max 4 scale.Experiments.queries_per_point in
   let queries =
@@ -608,7 +840,7 @@ let verify_bench ~scale ppf =
   let features = Selection.select skeletons Experiments.mining_params in
   let structural = Structural.build skeletons features ~emb_cap:64 in
   let pmi = Pmi.build graphs features in
-  let db = { Query.graphs; skeletons; features; structural; pmi } in
+  let db = { Query.graphs; skeletons; features; structural; pmi; base = 0 } in
   let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
   let nq = max 4 scale.Experiments.queries_per_point in
   let rounds = 3 in
@@ -868,6 +1100,7 @@ let () =
     | "store" -> store ~scale ppf
     | "obs" -> obs ~scale ppf
     | "serve" -> serve ~scale ppf
+    | "shard" -> shard_bench ~scale ppf
     | "chaos" -> chaos ~scale ppf
     | "verify" -> verify_bench ~scale ppf
     | "micro" -> micro ppf
@@ -876,12 +1109,13 @@ let () =
       store ~scale ppf;
       obs ~scale ppf;
       serve ~scale ppf;
+      shard_bench ~scale ppf;
       chaos ~scale ppf;
       verify_bench ~scale ppf;
       micro ppf
     | other ->
       Format.fprintf ppf
-        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, chaos, verify, micro, all)@."
+        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, shard, chaos, verify, micro, all)@."
         other;
       exit 2
   in

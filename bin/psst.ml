@@ -8,9 +8,15 @@
      query       run T-PS queries end to end on a synthetic corpus
                  (--index FILE skips mining/PMI build when a valid
                  persisted index exists)
+     shard       split an indexed database into a sharded deployment
+                 (manifest + per-shard store files, DESIGN.md §14)
      serve       resident query server over a Unix/TCP socket
-                 (DESIGN.md §11): load once, answer until SIGTERM
-     client      submit queries to a running server, print answers
+                 (DESIGN.md §11): load once, answer until SIGTERM.
+                 --role worker serves one database (optionally one shard
+                 of a manifest); --role router fans queries out to shard
+                 workers and merges the answers (DESIGN.md §14)
+     client      submit queries to a running server or router, print
+                 answers
      experiment  regenerate one of the paper's figures
      micro       (see bench/main.exe) *)
 
@@ -148,6 +154,44 @@ let index num_graphs seed input output =
     (Pmi.filled_entries db.Query.pmi)
     output bytes
 
+(* --- shard (DESIGN.md §14) --- *)
+
+let shard num_graphs seed input index_file output shards max_graphs max_cost =
+  or_die @@ fun () ->
+  let graphs, _ = corpus_of input num_graphs seed in
+  Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
+  let db, t_index, how = obtain_database index_file graphs in
+  Printf.printf "index %s in %.2fs: %d features, %d PMI entries\n%!" how t_index
+    (List.length db.Query.features)
+    (Pmi.filled_entries db.Query.pmi);
+  let plan =
+    match (shards, max_graphs, max_cost) with
+    | Some parts, None, None ->
+      Psst_shard.plan_even ~parts ~total:(Array.length graphs)
+    | None, None, None ->
+      die "pass --shards N (even split) or --max-graphs / --max-cost (budget)"
+    | None, mg, mc ->
+      let budget =
+        {
+          Psst_shard.max_graphs = Option.value mg ~default:max_int;
+          max_cost = Option.value mc ~default:infinity;
+        }
+      in
+      Psst_shard.plan_budget db budget
+    | Some _, _, _ -> die "--shards conflicts with --max-graphs/--max-cost"
+  in
+  let m = Psst_shard.split_to_files ~manifest_path:output db plan in
+  Printf.printf "sharded %d graphs into %d shards (manifest %s):\n" m.total
+    (List.length m.Psst_shard.entries)
+    output;
+  List.iter
+    (fun (s : Psst_shard.entry) ->
+      Printf.printf "  shard %d: graphs %d..%d (%d) -> %s [%08lx]\n" s.sid
+        s.base
+        (s.base + s.count - 1)
+        s.count s.path s.fingerprint)
+    m.Psst_shard.entries
+
 (* [--stats-json FILE]: the per-query traces plus a full dump of the
    metrics registry, one machine-readable document. *)
 let write_stats_json path traces =
@@ -269,6 +313,29 @@ let endpoint_of socket port host =
   | Some _, Some _ -> die "pass either --socket PATH or --port PORT, not both"
   | None, None -> die "pass --socket PATH or --port PORT"
 
+(* The syntax Psst_proto.endpoint_to_string prints: unix:PATH or
+   tcp:HOST:PORT (so a worker endpoint can be copy-pasted from a worker's
+   own startup line). *)
+let endpoint_of_string s =
+  let malformed () =
+    die "endpoint %S: expected unix:PATH or tcp:HOST:PORT" s
+  in
+  match String.index_opt s ':' with
+  | None -> malformed ()
+  | Some i -> (
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.sub s 0 i with
+    | "unix" when rest <> "" -> Psst_proto.Unix_socket rest
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | Some j when j > 0 && j < String.length rest - 1 -> (
+        let host = String.sub rest 0 j in
+        match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
+        | Some port -> Psst_proto.Tcp (host, port)
+        | None -> malformed ())
+      | _ -> malformed ())
+    | _ -> malformed ())
+
 (* A dataset wrapper for query extraction over a loaded corpus (same
    trivial organism assignment as the [query] subcommand, so the extracted
    query sequence is identical for the same corpus and seed). *)
@@ -284,16 +351,20 @@ let dataset_wrapper graphs ds_opt =
       params = Generator.default_params;
     }
 
-let serve num_graphs seed input index_file socket port host domains queue_cap
-    deadline_ms verify_budget_ms batch_max cache_cap stats_json =
-  or_die @@ fun () ->
-  let endpoint = endpoint_of socket port host in
-  let graphs, _ = corpus_of input num_graphs seed in
-  Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
-  let db, t_index, how = obtain_database index_file graphs in
-  Printf.printf "index %s in %.2fs: %d features, %d PMI entries\n%!" how t_index
-    (List.length db.Query.features)
-    (Pmi.filled_entries db.Query.pmi);
+(* Signal handlers only flip an atomic; the main thread performs the
+   drain outside signal context. *)
+let wait_for_shutdown () =
+  let stop_requested = Atomic.make false in
+  let on_signal _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.05
+  done;
+  Printf.printf "shutdown requested; draining in-flight requests...\n%!"
+
+let serve_worker endpoint db domains queue_cap deadline_ms verify_budget_ms
+    batch_max cache_cap stats_json =
   let cfg =
     {
       (Psst_server.default_config endpoint) with
@@ -316,22 +387,111 @@ let serve num_graphs seed input index_file socket port host domains queue_cap
      else "off")
     batch_max
     (if cache_cap > 0 then Printf.sprintf "%d entries" cache_cap else "off");
-  (* Signal handlers only flip an atomic; the main thread performs the
-     drain outside signal context. *)
-  let stop_requested = Atomic.make false in
-  let on_signal _ = Atomic.set stop_requested true in
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
-  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-  while not (Atomic.get stop_requested) do
-    Thread.delay 0.05
-  done;
-  Printf.printf "shutdown requested; draining in-flight requests...\n%!";
+  wait_for_shutdown ();
   Psst_server.stop srv;
   (match stats_json with
   | None -> ()
   | Some path -> write_stats_json path (Psst_server.traces srv));
   Printf.printf "served %d requests; drained cleanly\n%!"
     (Psst_server.served srv)
+
+let serve_router endpoint manifest workers shard_timeout_ms shard_retries
+    stats_json =
+  if workers = [] then
+    die "router role: pass --worker ENDPOINT once per shard, in shard order";
+  let workers = Array.of_list (List.map endpoint_of_string workers) in
+  let local_fallback =
+    match manifest with
+    | None -> None
+    | Some path ->
+      let m = Psst_shard.load_manifest path in
+      let n = List.length m.Psst_shard.entries in
+      if n <> Array.length workers then
+        die "manifest %s describes %d shards but %d --worker endpoints given"
+          path n (Array.length workers);
+      (* Lazily-loaded fallback shards, one slot per sid. Reader threads
+         may race a load; both compute the same immutable database, so
+         the benign double load only costs time. *)
+      let cache = Array.make n None in
+      Some
+        (fun sid ->
+          if sid < 0 || sid >= n then None
+          else
+            match cache.(sid) with
+            | Some db -> Some db
+            | None -> (
+              match Psst_shard.load_shard ~manifest_path:path m sid with
+              | db ->
+                cache.(sid) <- Some db;
+                Some db
+              | exception _ -> None))
+  in
+  let cfg =
+    {
+      Psst_router.endpoint;
+      workers;
+      shard_timeout_ms;
+      retries = shard_retries;
+      local_fallback;
+    }
+  in
+  let r = Psst_router.start cfg in
+  Printf.printf
+    "routing %d shards on %s (per-shard timeout %s, %d retries, local \
+     fallback %s)\n%!"
+    (Array.length workers)
+    (Psst_proto.endpoint_to_string (Psst_router.endpoint r))
+    (if shard_timeout_ms > 0. then Printf.sprintf "%.0f ms" shard_timeout_ms
+     else "off")
+    shard_retries
+    (match manifest with Some p -> p | None -> "off");
+  wait_for_shutdown ();
+  Psst_router.stop r;
+  (match stats_json with
+  | None -> ()
+  | Some path -> write_stats_json path []);
+  Printf.printf "served %d requests; drained cleanly\n%!" (Psst_router.served r)
+
+let serve num_graphs seed input index_file socket port host domains queue_cap
+    deadline_ms verify_budget_ms batch_max cache_cap stats_json role manifest
+    shard_id workers shard_timeout_ms shard_retries =
+  or_die @@ fun () ->
+  let endpoint = endpoint_of socket port host in
+  match role with
+  | `Router ->
+    serve_router endpoint manifest workers shard_timeout_ms shard_retries
+      stats_json
+  | `Worker ->
+    if workers <> [] then die "--worker is for --role router";
+    let db =
+      match (manifest, shard_id) with
+      | Some mpath, Some sid ->
+        let m = Psst_shard.load_manifest mpath in
+        let db = Psst_shard.load_shard ~manifest_path:mpath m sid in
+        Printf.printf
+          "loaded shard %d of %s: %d graphs (global ids %d..%d), %d \
+           features, %d PMI entries\n%!"
+          sid mpath
+          (Array.length db.Query.graphs)
+          db.Query.base
+          (db.Query.base + Array.length db.Query.graphs - 1)
+          (List.length db.Query.features)
+          (Pmi.filled_entries db.Query.pmi);
+        db
+      | Some _, None -> die "worker role with --manifest also needs --shard SID"
+      | None, Some _ -> die "--shard needs --manifest"
+      | None, None ->
+        let graphs, _ = corpus_of input num_graphs seed in
+        Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
+        let db, t_index, how = obtain_database index_file graphs in
+        Printf.printf "index %s in %.2fs: %d features, %d PMI entries\n%!" how
+          t_index
+          (List.length db.Query.features)
+          (Pmi.filled_entries db.Query.pmi);
+        db
+    in
+    serve_worker endpoint db domains queue_cap deadline_ms verify_budget_ms
+      batch_max cache_cap stats_json
 
 let client socket port host num_graphs seed qsize nqueries epsilon delta
     exact_verifier input do_ping do_health do_stats connect_timeout_ms
@@ -356,7 +516,16 @@ let client socket port host num_graphs seed qsize nqueries epsilon delta
            answers %d, retryable rejections %d\n%!"
           (Psst_proto.endpoint_to_string endpoint)
           h.Psst_proto.uptime_s h.Psst_proto.queue_depth h.Psst_proto.served
-          h.Psst_proto.degraded_answers h.Psst_proto.retryable_rejections
+          h.Psst_proto.degraded_answers h.Psst_proto.retryable_rejections;
+        List.iter
+          (fun (w : Psst_proto.worker_health) ->
+            if w.reachable then
+              Printf.printf
+                "  worker %d: up %.1fs, queue depth %d, degraded answers %d\n%!"
+                w.wid w.worker_uptime_s w.worker_queue_depth
+                w.worker_degraded_answers
+            else Printf.printf "  worker %d: unreachable\n%!" w.wid)
+          h.Psst_proto.workers
       end;
       if nqueries > 0 then begin
         let graphs, ds_opt = corpus_of input num_graphs seed in
@@ -544,6 +713,59 @@ let topk_cmd =
     (Cmd.info "topk" ~doc:"Top-k probabilistic subgraph similarity search")
     Term.(const topk $ num_graphs_arg $ seed_arg $ qsize $ k $ delta $ input_arg)
 
+let shard_cmd =
+  let index_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "index" ] ~docv:"FILE"
+          ~doc:
+            "Reuse the persisted monolithic index at $(docv) (built by \
+             $(b,psst index)) instead of mining and computing bounds.")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"MANIFEST"
+          ~doc:
+            "Write the shard manifest here; shard store files are written \
+             next to it, and the manifest is written last, atomically, so \
+             an interrupted split never leaves a manifest naming \
+             half-written shards.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N" ~doc:"Split into $(docv) even shards.")
+  in
+  let max_graphs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-graphs" ] ~docv:"N"
+          ~doc:"Budget split: close a shard after $(docv) graphs.")
+  in
+  let max_cost =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-cost" ] ~docv:"C"
+          ~doc:
+            "Budget split: close a shard when its estimated PMI build cost \
+             (1 + filled PMI entries per graph column) would exceed $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Split an indexed database into independently servable shards \
+          (manifest + per-shard store files); per-shard answers merge \
+          bit-identically to the monolithic ones")
+    Term.(
+      const shard $ num_graphs_arg $ seed_arg $ input_arg $ index_file $ output
+      $ shards $ max_graphs $ max_cost)
+
 let socket_arg =
   Arg.(
     value
@@ -633,16 +855,74 @@ let serve_cmd =
              metrics registry as JSON to $(docv) (same document shape as \
              $(b,psst query --stats-json)).")
   in
+  let role =
+    Arg.(
+      value
+      & opt (enum [ ("worker", `Worker); ("router", `Router) ]) `Worker
+      & info [ "role" ] ~docv:"ROLE"
+          ~doc:
+            "$(b,worker) (default) serves a database directly; $(b,router) \
+             fans each query out to shard workers (--worker, one per shard \
+             in shard order) and merges the per-shard answers — \
+             bit-identical to a monolithic worker over the same corpus.")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Shard manifest (written by $(b,psst shard)). With --role \
+             worker and --shard, serve that one shard. With --role router, \
+             enable the local bounds-only fallback: a dead worker's shard \
+             is answered from its PMI bounds, flagged degraded, instead of \
+             failing the query.")
+  in
+  let shard_id =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard" ] ~docv:"SID"
+          ~doc:"Shard id to serve (worker role, with --manifest).")
+  in
+  let workers =
+    Arg.(
+      value & opt_all string []
+      & info [ "worker" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Router role: a worker endpoint (unix:PATH or tcp:HOST:PORT), \
+             repeated once per shard, in shard order.")
+  in
+  let shard_timeout_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "shard-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Router role: per-worker connect/call timeout; past it the \
+             worker counts as unreachable for that request (degradation \
+             ladder applies). 0 blocks indefinitely.")
+  in
+  let shard_retries =
+    Arg.(
+      value & opt int 1
+      & info [ "shard-retries" ] ~docv:"N"
+          ~doc:
+            "Router role: reconnect-and-resend attempts per worker per \
+             request before the degradation ladder applies.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the resident query server: load the database and indexes \
           once, then answer T-PS and top-k queries over a framed binary \
-          protocol until SIGTERM/SIGINT (graceful drain)")
+          protocol until SIGTERM/SIGINT (graceful drain). --role router \
+          turns the process into a scatter-gather front over shard \
+          workers instead.")
     Term.(
       const serve $ num_graphs_arg $ seed_arg $ input_arg $ index_file
       $ socket_arg $ port_arg $ host_arg $ domains $ queue_cap $ deadline_ms
-      $ verify_budget_ms $ batch_max $ cache_cap $ stats_json)
+      $ verify_budget_ms $ batch_max $ cache_cap $ stats_json $ role $ manifest
+      $ shard_id $ workers $ shard_timeout_ms $ shard_retries)
 
 let client_cmd =
   let qsize =
@@ -752,6 +1032,7 @@ let main_cmd =
       index_cmd;
       query_cmd;
       topk_cmd;
+      shard_cmd;
       serve_cmd;
       client_cmd;
       experiment_cmd;

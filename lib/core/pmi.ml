@@ -113,6 +113,90 @@ let add_graphs t gs =
 
 let add_graph t g = add_graphs t [| g |]
 
+(* Slicing and concatenation back the shard store (lib/shard). Both are
+   pure re-arrangements of already-computed state: [sub] never recomputes
+   a bound (which would be sound — [build_column] is content-deterministic
+   — but would defeat the point of splitting an indexed database), and
+   [concat (sub ..)] pieces round-trip the original matrix bit-exactly,
+   support lists included. Features are rebased to local ids so a shard
+   is a fully self-contained database over its own [0 .. len-1] range. *)
+
+let rebase_support ~base ~len l =
+  List.filter_map
+    (fun gi -> if gi >= base && gi < base + len then Some (gi - base) else None)
+    l
+
+let sub t ~base ~len =
+  if base < 0 || len < 0 || base + len > t.num_graphs then
+    invalid_arg
+      (Printf.sprintf "Pmi.sub: range %d..%d outside 0..%d" base (base + len)
+         t.num_graphs);
+  let features =
+    Array.map
+      (fun (f : Selection.feature) ->
+        {
+          f with
+          Selection.support = rebase_support ~base ~len f.support;
+          strong_support = rebase_support ~base ~len f.strong_support;
+        })
+      t.features
+  in
+  let entries = Array.map (fun row -> Array.sub row base len) t.entries in
+  { t with features; entries; num_graphs = len }
+
+let concat = function
+  | [] -> invalid_arg "Pmi.concat: empty list"
+  | first :: _ as parts ->
+    let nf = Array.length first.features in
+    List.iteri
+      (fun i p ->
+        if p.config <> first.config then
+          invalid_arg "Pmi.concat: parts built with different bound configs";
+        if Array.length p.features <> nf then
+          invalid_arg "Pmi.concat: parts mined different feature sets";
+        Array.iteri
+          (fun fi (f : Selection.feature) ->
+            if f.key <> first.features.(fi).Selection.key then
+              invalid_arg
+                (Printf.sprintf
+                   "Pmi.concat: part %d feature %d is %s, expected %s" i fi
+                   f.key first.features.(fi).Selection.key))
+          p.features)
+      parts;
+    let offsets =
+      let acc = ref 0 in
+      List.map
+        (fun p ->
+          let o = !acc in
+          acc := o + p.num_graphs;
+          o)
+        parts
+    in
+    let num_graphs = List.fold_left (fun a p -> a + p.num_graphs) 0 parts in
+    let features =
+      Array.init nf (fun fi ->
+          let f = first.features.(fi) in
+          let gather proj =
+            List.concat
+              (List.map2
+                 (fun p off -> List.map (fun gi -> gi + off) (proj p.features.(fi)))
+                 parts offsets)
+          in
+          {
+            f with
+            Selection.support = gather (fun f -> f.Selection.support);
+            strong_support = gather (fun f -> f.Selection.strong_support);
+          })
+    in
+    let entries =
+      Array.init nf (fun fi ->
+          Array.concat (List.map (fun p -> p.entries.(fi)) parts))
+    in
+    let build_seconds =
+      List.fold_left (fun a p -> Float.max a p.build_seconds) 0. parts
+    in
+    { config = first.config; features; entries; num_graphs; build_seconds }
+
 let config t = t.config
 let features t = Array.copy t.features
 let num_features t = Array.length t.features

@@ -32,6 +32,21 @@ val add_graph : t -> Pgraph.t -> t
     bulk load linear instead of quadratic in the batch size. *)
 val add_graphs : t -> Pgraph.t array -> t
 
+(** [sub t ~base ~len] — the PMI of the graph range [base .. base+len-1]
+    viewed as a database of its own: entry columns are sliced, feature
+    support lists rebased to local ids. Nothing is recomputed, so the
+    shard's bounds are bit-identical to the monolithic ones
+    ([Invalid_argument] when the range is out of bounds). *)
+val sub : t -> base:int -> len:int -> t
+
+(** [concat parts] reassembles consecutive {!sub} slices (in order) into
+    the monolithic PMI: entry rows are concatenated, supports un-rebased.
+    [concat] of the {!sub} pieces of a PMI round-trips it bit-exactly
+    (modulo [build_seconds], which becomes the max over the parts).
+    [Invalid_argument] when the parts disagree on bound config or feature
+    set. *)
+val concat : t list -> t
+
 val config : t -> Bounds.config
 val features : t -> Selection.feature array
 val num_features : t -> int

@@ -8,7 +8,16 @@ type database = {
   features : Selection.feature list;
   structural : Structural.t;
   pmi : Pmi.t;
+  base : int;
 }
+
+(* Graph ids in answers, hits and PRNG-stream derivations are global:
+   local index [gi] names graph [base + gi] of the full corpus. A
+   monolithic database has [base = 0], so nothing changes for it; a shard
+   cut out by [Psst_shard.sub_database] carries its offset here, which is
+   what makes per-candidate draws — and therefore answers — independent
+   of how the corpus is partitioned. *)
+let global db gi = db.base + gi
 
 let log_src = Logs.Src.create "psst.query" ~doc:"T-PS query pipeline"
 
@@ -23,7 +32,7 @@ let index_database ?(mining = Selection.default_params)
         (Array.length graphs));
   let structural = Structural.build skeletons features ~emb_cap in
   let pmi = Pmi.build ~config:bounds ~domains graphs features in
-  { graphs; skeletons; features; structural; pmi }
+  { graphs; skeletons; features; structural; pmi; base = 0 }
 
 let m_runs = Psst_obs.counter "query.runs"
 let m_answers = Psst_obs.counter "query.answers"
@@ -45,6 +54,7 @@ let add_graphs db gs =
       features = Array.to_list (Pmi.features pmi);
       structural = Structural.add_graphs db.structural skels;
       pmi;
+      base = db.base;
     }
   end
 
@@ -158,9 +168,13 @@ let verify_candidate ?scope ~graph:gi config rng g relaxed =
     Qcache.ssp s ~graph:gi ~vkey ~compute
 
 (* Phases 1 and 2, shared by [run_on] and [run_bounds_only]. They are
-   sequential (they are cheap and Pruning threads one rng through the
-   candidates in order). [p_candidates] is in reverse structural order,
-   exactly as the fold accumulates it. *)
+   sequential (they are cheap); each candidate's bound evaluation draws
+   from its own PRNG stream, so a candidate's decision depends only on
+   (query, global graph id, config) — never on which other graphs share
+   the database. That is what keeps pruning counters and answers
+   bit-identical between a monolithic run and a union of shard runs.
+   [p_candidates] is in reverse structural order, exactly as the fold
+   accumulates it. *)
 type pruned_phases = {
   p_relaxed : Lgraph.t list;
   p_truncated : bool;
@@ -173,8 +187,14 @@ type pruned_phases = {
   pt_probabilistic : float;
 }
 
+(* The pruning phase draws from a stream family disjoint from the
+   verification one: verification streams use the (non-negative) global
+   graph id as the stream index, pruning uses its one's complement
+   (strictly negative), so the two phases never consume correlated
+   randomness for the same candidate. *)
+let prune_stream ~seed gid = Prng.stream ~seed (lnot gid)
+
 let prune_phases ?scope db q config =
-  let rng = Prng.make config.seed in
   let (relaxed, status), pt_relax =
     Timer.time (fun () ->
         let compute () =
@@ -200,6 +220,7 @@ let prune_phases ?scope db q config =
         in
         List.fold_left
           (fun (acc, cand, pruned) gi ->
+            let rng = prune_stream ~seed:config.seed (global db gi) in
             let r =
               Pruning.evaluate ~certified:config.certified rng db.pmi prepared
                 ~graph:gi ~epsilon:config.epsilon ~mode:config.mode
@@ -270,7 +291,7 @@ let run_on ?deadline ?cache pool db q config =
             in
             if late then (gi, true, 0., true)
             else
-              let rng = Prng.stream ~seed:config.seed gi in
+              let rng = Prng.stream ~seed:config.seed (global db gi) in
               match
                 Timer.time (fun () ->
                     verify_candidate ?scope ~graph:gi config rng db.graphs.(gi)
@@ -295,7 +316,9 @@ let run_on ?deadline ?cache pool db q config =
         (List.length p.p_structural) (List.length p.p_pruned)
         (List.length p.p_accepted) (List.length p.p_candidates)
         degraded_candidates);
-  let answers = List.sort compare (p.p_accepted @ verified) in
+  let answers =
+    List.sort compare (List.map (global db) (p.p_accepted @ verified))
+  in
   Psst_obs.add m_answers (List.length answers);
   let stats =
     {
@@ -332,7 +355,9 @@ let run_bounds_only ?cache db q config =
   in
   let p = prune_phases ?scope db q config in
   let candidates = List.rev p.p_candidates in
-  let answers = List.sort compare (p.p_accepted @ candidates) in
+  let answers =
+    List.sort compare (List.map (global db) (p.p_accepted @ candidates))
+  in
   Psst_obs.add m_answers (List.length answers);
   let stats =
     {
@@ -387,7 +412,8 @@ let run_exact_scan db q config =
     Timer.time (fun () ->
         List.init (Array.length db.graphs) (fun gi -> gi)
         |> List.filter (fun gi ->
-               Verify.exact db.graphs.(gi) relaxed >= config.epsilon))
+               Verify.exact db.graphs.(gi) relaxed >= config.epsilon)
+        |> List.map (global db))
   in
   let stats =
     {
@@ -414,6 +440,7 @@ let ground_truth db q config =
   |> List.filter (fun gi ->
          Distance.within q db.skeletons.(gi) ~delta:config.delta
          && Verify.exact db.graphs.(gi) relaxed >= config.epsilon)
+  |> List.map (global db)
 
 (* --- persistence (DESIGN.md §9) --- *)
 
@@ -477,7 +504,12 @@ let get_config ?(adaptive_field = true) d =
   if relax_cap <= 0 then Store.error "config: relax_cap must be positive";
   c
 
-let save_database path db =
+(* The section-level codec is exposed so the shard store (lib/shard) can
+   compose a database's sections with its own metadata in one file. The
+   "db.base" section carries the global-id offset and is written only
+   when non-zero, so files written by previous releases (always
+   monolithic, base 0) load unchanged. *)
+let database_sections db =
   let graphs = Store.encoder () in
   Store.put_array graphs Pgraph_io.encode_binary db.graphs;
   let structural = Store.encoder () in
@@ -485,17 +517,19 @@ let save_database path db =
   Store.put_array structural
     (fun e row -> Store.put_array e Store.put_i64 row)
     (Structural.counts db.structural);
-  Store.write_file path ~kind:Store.Database
-    (Store.section "graphs" graphs
+  let head =
+    Store.section "graphs" graphs
     :: Store.section "structural" structural
-    :: Pmi.to_sections ~db:db.graphs db.pmi)
-
-let load_database ?(salvage = false) path =
-  let sections =
-    if salvage then
-      (Store.read_file_salvage path ~kind:Store.Database).Store.intact
-    else Store.read_file path ~kind:Store.Database
+    :: Pmi.to_sections ~db:db.graphs db.pmi
   in
+  if db.base = 0 then head
+  else begin
+    let base = Store.encoder () in
+    Store.put_i64 base db.base;
+    head @ [ Store.section "db.base" base ]
+  end
+
+let database_of_sections ?(salvage = false) sections =
   (* The graphs are the source of truth — nothing to rebuild them from, so
      even a salvage load requires them (and the structural counts) intact;
      only the PMI entry shards are self-healing. *)
@@ -514,10 +548,30 @@ let load_database ?(salvage = false) path =
         let counts = Store.get_array d (fun d -> Store.get_array d Store.get_nat) in
         Store.checked (fun () -> Structural.of_parts ~features ~counts ~emb_cap))
   in
+  let base =
+    if List.exists (fun (s : Store.section) -> s.Store.name = "db.base") sections
+    then
+      Store.decode_section sections "db.base" (fun d ->
+          let b = Store.get_nat d in
+          b)
+    else 0
+  in
   {
     graphs;
     skeletons = Array.map Pgraph.skeleton graphs;
     features;
     structural;
     pmi;
+    base;
   }
+
+let save_database path db =
+  Store.write_file path ~kind:Store.Database (database_sections db)
+
+let load_database ?(salvage = false) path =
+  let sections =
+    if salvage then
+      (Store.read_file_salvage path ~kind:Store.Database).Store.intact
+    else Store.read_file path ~kind:Store.Database
+  in
+  database_of_sections ~salvage sections

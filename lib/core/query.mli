@@ -2,14 +2,24 @@
     probabilistic pruning → verification. *)
 
 (** A database with its two indexes (structural feature-count index and
-    PMI). *)
+    PMI). [base] is the global-id offset of local graph 0: answers, top-k
+    hits and per-candidate PRNG streams all use global ids [base + gi],
+    so a shard of a larger corpus ([Psst_shard.sub_database]) answers
+    with corpus-wide ids and draws the same randomness per graph as the
+    monolithic database — the invariant behind scatter-gather serving.
+    A monolithic database has [base = 0]. *)
 type database = {
   graphs : Pgraph.t array;
   skeletons : Lgraph.t array;  (** cached [gc] per graph *)
   features : Selection.feature list;
   structural : Structural.t;
   pmi : Pmi.t;
+  base : int;  (** global id of local graph 0 *)
 }
+
+(** [global db gi] = [db.base + gi], the corpus-wide id of local graph
+    [gi]. *)
+val global : database -> int -> int
 
 (** [index_database ?mining ?bounds ?emb_cap ?domains graphs] mines
     features over the skeletons and builds both indexes; [domains]
@@ -87,8 +97,12 @@ type outcome = { answers : int list; stats : stats; trace : Psst_obs.Trace.t }
 
     [domains] (default 1) fans the verification phase out over that many
     OCaml 5 domains. Every candidate verifies under its own PRNG stream
-    [Prng.stream ~seed:config.seed gi], so the answer set and every
-    pruning counter are identical for all values of [domains].
+    [Prng.stream ~seed:config.seed (base + gi)] — and prunes under an
+    independent per-candidate stream keyed the same way — so the answer
+    set and every pruning counter are identical for all values of
+    [domains], and identical between a monolithic database and any
+    sharding of it (the per-graph verdicts never depend on which other
+    graphs share the database).
 
     [budget_ms] (default none) bounds the verification phase: candidates
     whose verification would start after the budget elapses are answered
@@ -159,6 +173,12 @@ val put_config : ?adaptive_field:bool -> Psst_store.enc -> config -> unit
 
 val get_config : ?adaptive_field:bool -> Psst_store.dec -> config
 
+(** The pruning-phase PRNG stream of global graph id [gid]: stream index
+    [lnot gid], disjoint from the verification streams (which use the
+    non-negative [gid] itself), so the two phases never consume
+    correlated randomness. Shared with {!Topk}'s ranking bound. *)
+val prune_stream : seed:int -> int -> Psst_util.Prng.t
+
 (** {1 Persistence (DESIGN.md §9)}
 
     The whole query-time state — probabilistic graphs with their JPTs,
@@ -168,6 +188,15 @@ val get_config : ?adaptive_field:bool -> Psst_store.dec -> config
 
 (** [save_database path db] writes a [Database]-kind store file. *)
 val save_database : string -> database -> unit
+
+(** The section-level codec behind {!save_database}/{!load_database},
+    exposed so the shard store ([lib/shard]) can compose a database's
+    sections with its own metadata in one file. A non-zero [base] is
+    carried in an extra ["db.base"] section (absent for monolithic
+    databases, so files from previous releases round-trip unchanged). *)
+val database_sections : database -> Psst_store.section list
+
+val database_of_sections : ?salvage:bool -> Psst_store.section list -> database
 
 (** [load_database path] — raises [Psst_store.Store_error] on corruption,
     truncation, version skew, or when the embedded PMI's fingerprint does

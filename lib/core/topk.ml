@@ -13,13 +13,18 @@ let m_runs = Psst_obs.counter "topk.runs"
 
 type outcome = { hits : hit list; stats : stats }
 
-(* Unlike [Query.run]'s per-candidate PRNG streams, best-first top-k
-   threads ONE rng through bound evaluation and verification in ranking
-   order — so final SSP values must not be served from a cache (skipping
-   a verification would shift every later draw). Only the PRNG-free
-   artifacts (relaxed set, prepared memberships, embedding sets and
-   Karp–Luby preparations) memoise here; they leave the draw sequence
-   untouched, keeping cached runs bit-identical to cold ones. *)
+(* Like [Query.run], every candidate draws from its own PRNG stream
+   keyed on (seed, global graph id): the Usim ranking bound uses the
+   pruning-stream family, verification the verification-stream family.
+   A candidate's (upper, ssp) pair is therefore a pure function of the
+   query and the graph — independent of ranking order, of which other
+   graphs share the database, and of how many competitors were verified
+   before it. That is what makes the per-shard top-k lists of a
+   partitioned corpus mergeable into exactly the monolithic answer
+   ([Psst_shard.merge_topk]). Only the PRNG-free artifacts (relaxed set,
+   prepared memberships, embedding sets and Karp–Luby preparations)
+   memoise through [cache]; final SSPs are recomputed per run, keeping
+   cached runs bit-identical to cold ones. *)
 let verify_one ?scope ~graph:gi (config : Query.config) rng g relaxed =
   let cached_embeddings emb_cap compute =
     match scope with
@@ -61,7 +66,6 @@ let run ?cache (db : Query.database) q ~k (config : Query.config) =
           ~relax_cap:config.relax_cap)
       cache
   in
-  let rng = Prng.make config.seed in
   let relaxed, status =
     let compute () = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
     match scope with None -> compute () | Some s -> Qcache.relaxed s ~compute
@@ -77,6 +81,7 @@ let run ?cache (db : Query.database) q ~k (config : Query.config) =
   let ranked =
     List.map
       (fun gi ->
+        let rng = Query.prune_stream ~seed:config.seed (Query.global db gi) in
         let u =
           Pruning.usim ~certified:config.certified rng db.pmi prepared ~graph:gi
             ~mode:config.mode
@@ -87,7 +92,13 @@ let run ?cache (db : Query.database) q ~k (config : Query.config) =
   in
   (* Best-first: verify until the k-th best verified SSP dominates every
      remaining upper bound. The verified set is kept as a sorted list
-     (k is small). *)
+     (k is small). Reported SSPs are clamped to the candidate's upper
+     bound: the sampled estimate can exceed it, and without the clamp a
+     skipped candidate (upper < kth best) could still have out-sampled
+     the k-th hit — the clamp is what makes the skip rule lossless, and
+     with it the best-first result provably equals the full ranking by
+     clamped SSP (hence also the threshold-aware merge of per-shard
+     top-k lists). *)
   let hits = ref [] in
   let kth_best () =
     if List.length !hits < k then 0.
@@ -100,9 +111,13 @@ let run ?cache (db : Query.database) q ~k (config : Query.config) =
         incr skipped
       else begin
         incr verified;
-        let ssp = verify_one ?scope ~graph:gi config rng db.graphs.(gi) relaxed in
+        let rng = Prng.stream ~seed:config.seed (Query.global db gi) in
+        let ssp =
+          Float.min upper
+            (verify_one ?scope ~graph:gi config rng db.graphs.(gi) relaxed)
+        in
         if ssp > 0. then begin
-          hits := { graph = gi; ssp } :: !hits;
+          hits := { graph = Query.global db gi; ssp } :: !hits;
           hits :=
             List.sort
               (fun a b ->

@@ -9,6 +9,10 @@
     verified. *)
 
 type hit = { graph : int; ssp : float }
+(** [graph] is a global id ({!Query.database}[.base] [+] local index);
+    [ssp] is clamped to the candidate's Usim upper bound, which is what
+    makes the best-first skip rule lossless and per-shard top-k lists
+    mergeable into exactly the monolithic ranking. *)
 
 type stats = {
   structural_candidates : int;
@@ -28,10 +32,15 @@ type outcome = { hits : hit list; stats : stats }
     decreasing SSP; fewer than [k] hits are returned when fewer graphs
     have positive SSP.
 
+    Every candidate ranks and verifies under its own PRNG streams keyed
+    on (seed, global graph id), so its (upper bound, SSP) pair never
+    depends on ranking order or on which other graphs share the
+    database — per-shard top-k lists of a partitioned corpus merge into
+    exactly the monolithic answer ({!Psst_shard.merge_topk}).
+
     [cache] memoises the PRNG-free artifacts only (relaxed set, prepared
-    memberships, embedding sets, Karp–Luby preparations) — top-k threads
-    one rng through verification in ranking order, so final SSP values
-    are never served from the cache and cached runs stay bit-identical
-    to cold ones. *)
+    memberships, embedding sets, Karp–Luby preparations); final SSP
+    values are recomputed per run, so cached runs stay bit-identical to
+    cold ones. *)
 val run :
   ?cache:Qcache.t -> Query.database -> Lgraph.t -> k:int -> Query.config -> outcome

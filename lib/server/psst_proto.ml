@@ -13,7 +13,12 @@
    working against new servers and vice versa. Version 3 added the
    [adaptive] byte to SMP verifier configs in Run/Run_topk requests:
    v1/v2 frames decode with [adaptive = false], and a request encoded
-   for an older peer drops the flag (Query.put_config ~adaptive_field). *)
+   for an older peer drops the flag (Query.put_config ~adaptive_field).
+   Version 4 added the per-worker roster to [Health_reply] (a router
+   aggregates its workers' uptime/queue-depth/degraded counters): the
+   roster is dropped when encoding for a pre-v4 peer and defaults to []
+   when decoding a pre-v4 frame — a plain worker's roster is empty, so
+   old peers lose nothing but the router fleet view. *)
 
 module S = Psst_store
 module Crc32 = Psst_util.Crc32
@@ -22,7 +27,7 @@ exception Proto_error of string
 exception Timed_out
 
 let error fmt = Printf.ksprintf (fun msg -> raise (Proto_error msg)) fmt
-let proto_version = 3
+let proto_version = 4
 let min_proto_version = 1
 let magic = "PSSTRPC\x00"
 let header_bytes = 24
@@ -101,12 +106,24 @@ let stats_of_query (s : Query.stats) =
     degraded = s.degraded_candidates > 0;
   }
 
+(* One worker's slot in a router's aggregated health roster (v4+). *)
+type worker_health = {
+  wid : int;  (* shard / worker index in the router's configuration *)
+  reachable : bool;
+  worker_uptime_s : float;
+  worker_queue_depth : int;
+  worker_degraded_answers : int;
+}
+
 type health = {
   uptime_s : float;
   queue_depth : int;
   served : int;
   degraded_answers : int;
   retryable_rejections : int;
+  workers : worker_health list;
+      (* router role: one slot per worker; empty for plain workers and
+         when decoding pre-v4 frames *)
 }
 
 type request =
@@ -200,6 +217,17 @@ let encode_reply_payload ~version = function
     S.put_i64 e h.served;
     S.put_i64 e h.degraded_answers;
     S.put_i64 e h.retryable_rejections;
+    (* Version 1–3 predate the worker roster; dropping it loses only the
+       router's fleet view, never the process-local counters. *)
+    if version >= 4 then
+      S.put_list e
+        (fun e (w : worker_health) ->
+          S.put_i64 e w.wid;
+          S.put_bool e w.reachable;
+          S.put_f64 e w.worker_uptime_s;
+          S.put_i64 e w.worker_queue_depth;
+          S.put_i64 e w.worker_degraded_answers)
+        h.workers;
     (tag_health, S.contents e)
   | Error_reply { id; code; message } ->
     (* [Unavailable] postdates v1; degrade it to the equally-retryable
@@ -291,9 +319,26 @@ let decode_reply ~version tag payload =
           let served = S.get_nat d in
           let degraded_answers = S.get_nat d in
           let retryable_rejections = S.get_nat d in
+          let workers =
+            if version >= 4 then
+              S.get_list d (fun d ->
+                  let wid = S.get_nat d in
+                  let reachable = S.get_bool d in
+                  let worker_uptime_s = S.get_f64 d in
+                  let worker_queue_depth = S.get_nat d in
+                  let worker_degraded_answers = S.get_nat d in
+                  {
+                    wid;
+                    reachable;
+                    worker_uptime_s;
+                    worker_queue_depth;
+                    worker_degraded_answers;
+                  })
+            else []
+          in
           Health_reply
             { uptime_s; queue_depth; served; degraded_answers;
-              retryable_rejections }
+              retryable_rejections; workers }
         end
         else if tag = tag_error then begin
           let id = S.get_i64 d in

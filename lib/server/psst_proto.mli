@@ -29,7 +29,11 @@
     verifier configs inside [Run]/[Run_topk] requests: a v1/v2 request
     decodes with [adaptive = false], and a request encoded for an older
     peer drops the byte (losing only the off-by-default sampling
-    optimisation, never the answer). *)
+    optimisation, never the answer). Version 4 added the per-worker
+    roster to [Health_reply] so a router can expose its fleet: the
+    roster is dropped when encoding for a pre-v4 peer and defaults to
+    [[]] when decoding a pre-v4 frame — a plain worker's roster is empty
+    anyway, so old peers lose only the router's fleet view. *)
 
 exception Proto_error of string
 
@@ -86,6 +90,18 @@ type query_stats = {
 
 val stats_of_query : Query.stats -> query_stats
 
+(** One worker's slot in a router's aggregated health roster
+    (version >= 4). [wid] is the worker's shard index in the router's
+    configuration; when a worker is unreachable its snapshot fields are
+    zero and [reachable] is false. *)
+type worker_health = {
+  wid : int;
+  reachable : bool;
+  worker_uptime_s : float;
+  worker_queue_depth : int;
+  worker_degraded_answers : int;
+}
+
 (** The [Get_health] snapshot a load balancer polls (DESIGN.md §12). *)
 type health = {
   uptime_s : float;
@@ -95,6 +111,10 @@ type health = {
   retryable_rejections : int;
       (** retryable error replies sent (queue-full / shutdown /
           unavailable) — the server-side retry-pressure counter *)
+  workers : worker_health list;
+      (** router role only (version >= 4): one slot per configured
+          worker. Empty for plain workers and when decoding pre-v4
+          frames. *)
 }
 
 type request =

@@ -1,0 +1,567 @@
+(* Scatter-gather router over shard workers (DESIGN.md §14).
+
+   One router process fronts N {!Psst_server} workers, each serving one
+   shard of a {!Psst_shard} deployment. Per client request the router
+   fans the query out to every worker, gathers the per-shard replies and
+   merges them — T-PS answers by sorted union, top-k by the
+   threshold-aware merge — which is bit-identical to a monolithic server
+   because every per-graph verdict draws from PRNG streams keyed on the
+   global graph id (see Psst_shard).
+
+   Thread roles mirror Psst_server minus the batcher: one accept thread,
+   one reader thread per client connection. Each reader owns its own set
+   of worker connections (Psst_client.t is single-threaded) and executes
+   requests serially: send to every worker first, then gather, so the
+   shards verify concurrently while the router blocks only once per
+   request.
+
+   Failure ladder per worker and request (DESIGN.md §12): transport
+   break or timeout -> reconnect and retry up to [retries] times ->
+   local bounds-only fallback on the shard's own file when the router
+   was given one (answer flagged degraded: a superset of the exact
+   per-shard answer) -> otherwise the whole request fails with one clean
+   retryable [Unavailable]. Top-k has no bounds fallback (a ranking with
+   a hole is wrong, not degraded), so a dead worker fails the request
+   cleanly. The ["router.scatter"] chaos site makes a worker appear
+   faulted (or slow, [Delay]) from the router's side without touching
+   the worker process. *)
+
+module Proto = Psst_proto
+module Client = Psst_client
+
+let m_conns = Psst_obs.counter "router.conns"
+let m_requests = Psst_obs.counter "router.requests"
+let m_worker_calls = Psst_obs.counter "router.worker.calls"
+let m_worker_retries = Psst_obs.counter "router.worker.retries"
+let m_worker_failures = Psst_obs.counter "router.worker.failures"
+let m_degraded_shards = Psst_obs.counter "router.degraded_shards"
+let m_unavailable = Psst_obs.counter "router.unavailable"
+let m_write_errors = Psst_obs.counter "router.write.errors"
+let m_proto_errors = Psst_obs.counter "router.proto.errors"
+let m_latency = Psst_obs.histogram "router.latency_s"
+
+let fault_scatter = Psst_fault.site "router.scatter"
+
+type config = {
+  endpoint : Proto.endpoint;
+  workers : Proto.endpoint array;
+  shard_timeout_ms : float;
+  retries : int;
+  local_fallback : (int -> Query.database option) option;
+}
+
+let default_config ~endpoint ~workers =
+  {
+    endpoint;
+    workers = Array.of_list workers;
+    shard_timeout_ms = 0.;
+    retries = 1;
+    local_fallback = None;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;
+  mutable open_ : bool;
+}
+
+(* One reader thread's lazily-connected link to one worker. *)
+type wstate = { mutable client : Client.t option }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound : Proto.endpoint;
+  mutex : Mutex.t;
+  mutable stopping : bool;
+  mutable is_stopped : bool;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  served_count : int Atomic.t;
+  degraded_count : int Atomic.t;
+  retry_count : int Atomic.t;
+  start_time : float;
+}
+
+let endpoint t = t.bound
+let stopped t = t.is_stopped
+let served t = Atomic.get t.served_count
+
+(* --- worker links --- *)
+
+let transport_failure = function
+  | End_of_file | Proto.Proto_error _ | Proto.Timed_out
+  | Unix.Unix_error (_, _, _)
+  | Sys_error _ | Client.Client_error _
+  | Psst_fault.Injected _ ->
+    true
+  | _ -> false
+
+let drop_client ws =
+  match ws.client with
+  | Some c ->
+    Client.close c;
+    ws.client <- None
+  | None -> ()
+
+let ensure_client t ws sid =
+  match ws.client with
+  | Some c -> c
+  | None ->
+    let c =
+      Client.connect ~connect_timeout_ms:t.cfg.shard_timeout_ms
+        ~call_timeout_ms:t.cfg.shard_timeout_ms t.cfg.workers.(sid)
+    in
+    ws.client <- Some c;
+    c
+
+(* Sequential rpc with reconnect, for workers that fell off the pipelined
+   fast path. [attempts] are *re*tries: the caller already burned the
+   first try. *)
+let retry_rpc t ws sid req =
+  let rec go attempt =
+    if attempt >= t.cfg.retries then begin
+      Psst_obs.incr m_worker_failures;
+      None
+    end
+    else begin
+      Psst_obs.incr m_worker_retries;
+      Psst_obs.incr m_worker_calls;
+      match Client.rpc (ensure_client t ws sid) req with
+      | reply -> Some reply
+      | exception e when transport_failure e ->
+        drop_client ws;
+        go (attempt + 1)
+    end
+  in
+  go 0
+
+(* Scatter one request to every worker: consult the chaos site once per
+   worker, pipeline the sends so the shards execute concurrently, then
+   gather in worker order. Slot [sid] is [None] when the worker stayed
+   unreachable through the retry budget (or the chaos site declared it
+   faulted). *)
+let scatter t (wss : wstate array) req =
+  let n = Array.length wss in
+  let state = Array.make n `Retry in
+  for sid = 0 to n - 1 do
+    state.(sid) <-
+      (match Psst_fault.fire fault_scatter with
+      | Some (Psst_fault.Delay s) ->
+        Unix.sleepf s;
+        `Send
+      | Some _ ->
+        (* Injected router-side fault: this worker is unreachable for
+           this request, no retries — the ladder below decides whether
+           that degrades the shard or fails the query. *)
+        drop_client wss.(sid);
+        Psst_obs.incr m_worker_failures;
+        `Faulted
+      | None -> `Send)
+  done;
+  for sid = 0 to n - 1 do
+    if state.(sid) = `Send then begin
+      Psst_obs.incr m_worker_calls;
+      match Client.send (ensure_client t wss.(sid) sid) req with
+      | () -> state.(sid) <- `Sent
+      | exception e when transport_failure e ->
+        drop_client wss.(sid);
+        state.(sid) <- `Retry
+    end
+  done;
+  Array.mapi
+    (fun sid st ->
+      match st with
+      | `Faulted -> None
+      | `Sent -> (
+        match Client.read_reply (ensure_client t wss.(sid) sid) with
+        | reply -> Some reply
+        | exception e when transport_failure e ->
+          drop_client wss.(sid);
+          retry_rpc t wss.(sid) sid req)
+      | `Send | `Retry -> retry_rpc t wss.(sid) sid req)
+    state
+
+(* --- per-request merging --- *)
+
+let merge_proto_stats (a : Proto.query_stats) (b : Proto.query_stats) =
+  {
+    Proto.relaxed_truncated = a.relaxed_truncated || b.relaxed_truncated;
+    structural_candidates = a.structural_candidates + b.structural_candidates;
+    prob_candidates = a.prob_candidates + b.prob_candidates;
+    accepted_by_bounds = a.accepted_by_bounds + b.accepted_by_bounds;
+    pruned_by_bounds = a.pruned_by_bounds + b.pruned_by_bounds;
+    degraded = a.degraded || b.degraded;
+  }
+
+(* Bounds-only fallback for one shard: correct to the PMI bounds (a
+   superset of the worker's exact answer), always flagged degraded. *)
+let shard_fallback t sid ~why query config =
+  match t.cfg.local_fallback with
+  | None -> None
+  | Some lookup -> (
+    match lookup sid with
+    | None -> None
+    | Some db -> (
+      match Query.run_bounds_only db query config with
+      | out ->
+        Psst_obs.incr m_degraded_shards;
+        Psst_obs.warn ~code:"router.degraded"
+          (Printf.sprintf
+             "worker %d %s: serving shard %d from local PMI bounds" sid why sid);
+        Some
+          ( out.Query.answers,
+            { (Proto.stats_of_query out.Query.stats) with Proto.degraded = true } )
+      | exception _ -> None))
+
+type 'frag resolution =
+  | Frag of 'frag
+  | Hard of Proto.reply  (* a worker's non-retryable error: propagate *)
+  | Down of int  (* worker sid with no answer and no fallback *)
+
+let resolve_run t query config sid = function
+  | Some (Proto.Answer { answers; stats; _ }) -> Frag (answers, stats)
+  | Some (Proto.Error_reply { code; message; _ } as e) ->
+    if Proto.error_code_retryable code then
+      (* The worker rejected without executing (queue full / draining):
+         same ladder as an unreachable worker. *)
+      match shard_fallback t sid ~why:("rejected: " ^ message) query config with
+      | Some frag -> Frag frag
+      | None -> Down sid
+    else Hard e
+  | Some _ -> Hard (Proto.Error_reply
+      { id = 0; code = Proto.Internal;
+        message = Printf.sprintf "worker %d: unexpected reply kind" sid })
+  | None -> (
+    match shard_fallback t sid ~why:"unreachable" query config with
+    | Some frag -> Frag frag
+    | None -> Down sid)
+
+let resolve_topk sid = function
+  | Some (Proto.Topk_answer { hits; _ }) -> Frag hits
+  | Some (Proto.Error_reply { code; _ } as e)
+    when not (Proto.error_code_retryable code) ->
+    Hard e
+  (* Retryable rejections and dead workers both fail the ranking: a
+     top-k list missing one shard's graphs is wrong, not degraded. *)
+  | Some (Proto.Error_reply _) | Some _ | None -> Down sid
+
+let gather resolutions ~id ~what =
+  let hard = ref None and down = ref None and frags = ref [] in
+  Array.iter
+    (fun r ->
+      match r with
+      | Frag f -> frags := f :: !frags
+      | Hard e -> if !hard = None then hard := Some e
+      | Down sid -> if !down = None then down := Some sid)
+    resolutions;
+  match !hard with
+  | Some (Proto.Error_reply e) ->
+    Error (Proto.Error_reply { e with id })
+  | Some r -> Error r
+  | None -> (
+    match !down with
+    | Some sid ->
+      Psst_obs.incr m_unavailable;
+      Error
+        (Proto.Error_reply
+           {
+             id;
+             code = Proto.Unavailable;
+             message =
+               Printf.sprintf
+                 "shard %d unavailable and no local fallback; %s failed — retry"
+                 sid what;
+           })
+    | None -> Ok (List.rev !frags))
+
+let handle_run t wss ~id query config =
+  let replies = scatter t wss (Proto.Run { id; query; config }) in
+  let res = Array.mapi (resolve_run t query config) replies in
+  match gather res ~id ~what:"T-PS query" with
+  | Error reply -> reply
+  | Ok [] -> Proto.Error_reply
+      { id; code = Proto.Internal; message = "router has no workers" }
+  | Ok ((a0, s0) :: rest) ->
+    let answers, stats =
+      List.fold_left
+        (fun (ans, st) (a, s) -> (a :: ans, merge_proto_stats st s))
+        ([ a0 ], s0) rest
+    in
+    Proto.Answer { id; answers = Psst_shard.merge_answers answers; stats }
+
+let handle_topk t wss ~id query k config =
+  let replies = scatter t wss (Proto.Run_topk { id; query; k; config }) in
+  let res = Array.mapi (fun sid r -> resolve_topk sid r) replies in
+  match gather res ~id ~what:"top-k query" with
+  | Error reply -> reply
+  | Ok per_shard ->
+    let hits =
+      per_shard
+      |> List.map
+           (List.map (fun (g, ssp) -> { Topk.graph = g; ssp }))
+      |> Psst_shard.merge_topk ~k
+      |> List.map (fun (h : Topk.hit) -> (h.graph, h.ssp))
+    in
+    Proto.Topk_answer { id; hits }
+
+(* --- health aggregation --- *)
+
+let roster t (wss : wstate array) =
+  Array.to_list
+    (Array.mapi
+       (fun sid ws ->
+         match Client.health (ensure_client t ws sid) with
+         | h ->
+           {
+             Proto.wid = sid;
+             reachable = true;
+             worker_uptime_s = h.Proto.uptime_s;
+             worker_queue_depth = h.Proto.queue_depth;
+             worker_degraded_answers = h.Proto.degraded_answers;
+           }
+         | exception e when transport_failure e ->
+           drop_client ws;
+           {
+             Proto.wid = sid;
+             reachable = false;
+             worker_uptime_s = 0.;
+             worker_queue_depth = 0;
+             worker_degraded_answers = 0;
+           })
+       wss)
+
+let health_snapshot t wss =
+  {
+    Proto.uptime_s = Unix.gettimeofday () -. t.start_time;
+    (* The router executes requests inline on the reader threads — it has
+       no admission queue of its own; per-worker depths are in the
+       roster. *)
+    queue_depth = 0;
+    served = Atomic.get t.served_count;
+    degraded_answers = Atomic.get t.degraded_count;
+    retryable_rejections = Atomic.get t.retry_count;
+    workers = roster t wss;
+  }
+
+let fresh_wss t = Array.map (fun _ -> { client = None }) t.cfg.workers
+
+let health t =
+  let wss = fresh_wss t in
+  Fun.protect
+    ~finally:(fun () -> Array.iter drop_client wss)
+    (fun () -> health_snapshot t wss)
+
+(* --- connection plumbing (same discipline as Psst_server) --- *)
+
+let close_conn t c =
+  Mutex.lock c.wmutex;
+  let was_open = c.open_ in
+  if was_open then begin
+    c.open_ <- false;
+    (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ())
+  end;
+  Mutex.unlock c.wmutex;
+  if was_open then begin
+    Mutex.lock t.mutex;
+    t.conns <- List.filter (fun c' -> c' != c) t.conns;
+    Mutex.unlock t.mutex
+  end
+
+let send_reply c ~version reply =
+  Mutex.lock c.wmutex;
+  (if c.open_ then
+     match Proto.write_frame_fd c.fd (Proto.encode_reply ~version reply) with
+     | () -> ()
+     | exception (Sys_error _ | Unix.Unix_error (_, _, _)) ->
+       Psst_obs.incr m_write_errors
+     | exception Psst_fault.Injected _ -> Psst_obs.incr m_write_errors);
+  Mutex.unlock c.wmutex
+
+let send_counted t c ~version reply =
+  Atomic.incr t.served_count;
+  (match reply with
+  | Proto.Answer { stats; _ } when stats.Proto.degraded ->
+    Atomic.incr t.degraded_count
+  | Proto.Error_reply { code; _ } when Proto.error_code_retryable code ->
+    Atomic.incr t.retry_count
+  | _ -> ());
+  send_reply c ~version reply
+
+let reader_loop t c =
+  let wss = fresh_wss t in
+  let answer_query ~version ~id make =
+    Psst_obs.incr m_requests;
+    if t.stopping then
+      send_counted t c ~version
+        (Proto.Error_reply
+           { id; code = Proto.Shutdown;
+             message = "router is shutting down; retry elsewhere" })
+    else begin
+      let t0 = Unix.gettimeofday () in
+      send_counted t c ~version (make ());
+      Psst_obs.observe m_latency (Unix.gettimeofday () -. t0)
+    end
+  in
+  let rec loop () =
+    match Proto.read_request_fd c.fd with
+    | exception End_of_file -> close_conn t c
+    | exception (Sys_error _ | Unix.Unix_error (_, _, _)) -> close_conn t c
+    | exception Psst_fault.Injected _ -> close_conn t c
+    | exception Proto.Proto_error msg ->
+      Psst_obs.incr m_proto_errors;
+      Psst_obs.warn ~code:"proto" msg;
+      send_counted t c ~version:Proto.min_proto_version
+        (Proto.Error_reply { id = 0; code = Proto.Malformed; message = msg });
+      close_conn t c
+    | version, req ->
+      (match req with
+      | Proto.Ping ->
+        Psst_obs.incr m_requests;
+        send_counted t c ~version Proto.Pong
+      | Proto.Get_stats ->
+        Psst_obs.incr m_requests;
+        send_counted t c ~version (Proto.Stats_json (Psst_obs.to_json_string ()))
+      | Proto.Get_health ->
+        Psst_obs.incr m_requests;
+        send_counted t c ~version (Proto.Health_reply (health_snapshot t wss))
+      | Proto.Run { id; query; config } ->
+        answer_query ~version ~id (fun () -> handle_run t wss ~id query config)
+      | Proto.Run_topk { id; query; k; config } ->
+        answer_query ~version ~id (fun () ->
+            handle_topk t wss ~id query k config));
+      loop ()
+  in
+  Fun.protect ~finally:(fun () -> Array.iter drop_client wss) loop
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _addr when t.stopping ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    | fd, _addr ->
+      let c = { fd; wmutex = Mutex.create (); open_ = true } in
+      Psst_obs.incr m_conns;
+      let th =
+        Thread.create
+          (fun () ->
+            try reader_loop t c
+            with e ->
+              Psst_obs.warn ~code:"router.reader" (Printexc.to_string e);
+              close_conn t c)
+          ()
+      in
+      Mutex.lock t.mutex;
+      t.conns <- c :: t.conns;
+      t.readers <- th :: t.readers;
+      Mutex.unlock t.mutex;
+      loop ()
+    | exception Unix.Unix_error (e, _, _) ->
+      if t.stopping then ()
+      else if e = Unix.ECONNABORTED || e = Unix.EINTR then loop ()
+      else begin
+        Psst_obs.warn ~code:"router.accept" (Unix.error_message e);
+        Thread.delay 0.05;
+        if t.stopping then () else loop ()
+      end
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+let bind_endpoint = function
+  | Proto.Unix_socket path ->
+    (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.bind fd (Unix.ADDR_UNIX path) with e -> Unix.close fd; raise e);
+    Unix.listen fd 64;
+    (fd, Proto.Unix_socket path)
+  | Proto.Tcp (host, port) ->
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> failwith (host ^ ": unknown host"))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (addr, port))
+     with e -> Unix.close fd; raise e);
+    Unix.listen fd 64;
+    let actual =
+      match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+    in
+    (fd, Proto.Tcp (host, actual))
+
+let start cfg =
+  if Array.length cfg.workers = 0 then
+    invalid_arg "Psst_router: at least one worker endpoint required";
+  if cfg.retries < 0 then invalid_arg "Psst_router: retries must be >= 0";
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let listen_fd, bound = bind_endpoint cfg.endpoint in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      bound;
+      mutex = Mutex.create ();
+      stopping = false;
+      is_stopped = false;
+      conns = [];
+      readers = [];
+      accept_thread = None;
+      served_count = Atomic.make 0;
+      degraded_count = Atomic.make 0;
+      retry_count = Atomic.make 0;
+      start_time = Unix.gettimeofday ();
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.mutex;
+  if not already then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error (_, _, _) -> ());
+    (try
+       let wake =
+         match t.bound with
+         | Proto.Unix_socket path ->
+           let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+           (try Unix.connect fd (Unix.ADDR_UNIX path)
+            with e -> Unix.close fd; raise e);
+           fd
+         | Proto.Tcp (_, port) ->
+           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+           (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+            with e -> Unix.close fd; raise e);
+           fd
+       in
+       Unix.close wake
+     with Unix.Unix_error (_, _, _) | Failure _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+    (* A request already executing finishes its scatter (bounded by the
+       per-shard timeouts); closing the connection under it only loses
+       the reply write, never wedges the thread. *)
+    Mutex.lock t.mutex;
+    let conns = t.conns and readers = t.readers in
+    Mutex.unlock t.mutex;
+    List.iter (fun c -> close_conn t c) conns;
+    List.iter Thread.join readers;
+    (match t.bound with
+    | Proto.Unix_socket path ->
+      (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+    | Proto.Tcp _ -> ());
+    t.is_stopped <- true
+  end

@@ -1,0 +1,84 @@
+(** Scatter-gather router over shard workers (DESIGN.md §14).
+
+    Fronts N {!Psst_server} workers — each serving one shard of a
+    {!Psst_shard} deployment — behind the same wire protocol a plain
+    worker speaks, so {!Psst_client} and [psst client] work against a
+    router unchanged. Per request the router sends the query to every
+    worker first, then gathers, so the shards execute concurrently.
+
+    Merging: T-PS answers are the sorted union of the per-shard answer
+    lists with pruning counters summed and flags OR'd; top-k lists merge
+    threshold-aware ({!Psst_shard.merge_topk}). Because every per-graph
+    verdict is computed under PRNG streams keyed on the global graph id,
+    the merged replies are bit-identical to a monolithic server's — the
+    differential tests pin this at several shard counts.
+
+    Degradation ladder per worker and request (DESIGN.md §12):
+
+    - transport break / per-shard timeout → reconnect and retry, up to
+      [retries] times;
+    - still unreachable (or the worker rejected with a retryable error):
+      when [local_fallback] yields the shard's database, answer that
+      shard from its PMI bounds ({!Query.run_bounds_only}) and flag the
+      merged answer [degraded] — a superset of the exact answer whose
+      healthy shards are still exact;
+    - otherwise the request fails with one clean retryable
+      [Unavailable].
+
+    Top-k never falls back to bounds (a ranking missing one shard's
+    graphs is wrong, not degraded): a dead worker fails the request
+    cleanly. A worker's non-retryable error ([Malformed], [Deadline],
+    [Internal]) is propagated to the client as-is.
+
+    [Get_health] answers with the router's own counters plus one
+    {!Psst_proto.worker_health} slot per worker (protocol version >= 4);
+    [Ping] and [Get_stats] are answered locally. The ["router.scatter"]
+    chaos site lets tests make a worker appear faulted or slow from the
+    router's side without touching the worker process. *)
+
+type config = {
+  endpoint : Psst_proto.endpoint;  (** where the router listens *)
+  workers : Psst_proto.endpoint array;
+      (** one worker per shard, indexed by shard id *)
+  shard_timeout_ms : float;
+      (** per-worker connect and call timeout; [0.] blocks indefinitely *)
+  retries : int;  (** reconnect-and-resend attempts per worker per request *)
+  local_fallback : (int -> Query.database option) option;
+      (** [lookup sid] returns the shard's database for the bounds-only
+          fallback ([None] = shard not locally available). Typically
+          backed by lazy {!Psst_shard.load_shard} calls; consulted only
+          when a worker is down, from the reader thread of the failing
+          request. *)
+}
+
+(** [workers] endpoints, no timeouts, 1 retry, no local fallback. *)
+val default_config :
+  endpoint:Psst_proto.endpoint -> workers:Psst_proto.endpoint list -> config
+
+type t
+
+(** [start config] binds the endpoint and spawns the serving threads.
+    Workers are dialled lazily per reader thread, so a router starts
+    (and answers [Get_health] with [reachable = false] slots) before its
+    workers do. Raises [Invalid_argument] on an empty worker list. *)
+val start : config -> t
+
+(** The bound endpoint — for [Tcp (host, 0)] this carries the actual
+    kernel-assigned port. *)
+val endpoint : t -> Psst_proto.endpoint
+
+(** Graceful drain: admission closes (late requests get a retryable
+    [Shutdown] reply), requests already executing finish their scatter,
+    then connections close and threads join. Idempotent. *)
+val stop : t -> unit
+
+(** True once {!stop} has completed. *)
+val stopped : t -> bool
+
+(** Replies sent since {!start} (error replies included). *)
+val served : t -> int
+
+(** In-process health snapshot: dials every worker once (bounded by
+    [shard_timeout_ms]) and aggregates the roster, exactly as the
+    [Get_health] RPC does. *)
+val health : t -> Psst_proto.health

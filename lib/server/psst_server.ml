@@ -214,6 +214,7 @@ let health_snapshot t =
     served = Atomic.get t.served_count;
     degraded_answers = Atomic.get t.degraded_count;
     retryable_rejections = Atomic.get t.retry_count;
+    workers = [];
   }
 
 let health = health_snapshot

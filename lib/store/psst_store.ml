@@ -25,21 +25,28 @@ let magic = "PSSTSTR\x00"
 let format_version = 1
 let header_bytes = 24
 
-type kind = Pgdb | Pmi_index | Dataset | Database
+type kind = Pgdb | Pmi_index | Dataset | Database | Manifest
 
-let kind_tag = function Pgdb -> 1 | Pmi_index -> 2 | Dataset -> 3 | Database -> 4
+let kind_tag = function
+  | Pgdb -> 1
+  | Pmi_index -> 2
+  | Dataset -> 3
+  | Database -> 4
+  | Manifest -> 5
 
 let kind_name = function
   | Pgdb -> "probabilistic graph database"
   | Pmi_index -> "PMI index"
   | Dataset -> "dataset"
   | Database -> "query database"
+  | Manifest -> "shard manifest"
 
 let kind_of_tag = function
   | 1 -> Some Pgdb
   | 2 -> Some Pmi_index
   | 3 -> Some Dataset
   | 4 -> Some Database
+  | 5 -> Some Manifest
   | _ -> None
 
 type section = { name : string; payload : string }

@@ -50,6 +50,7 @@ type kind =
   | Pmi_index  (** a serialized {!Pmi.t} with its database fingerprint *)
   | Dataset  (** a full {!Generator.t} corpus *)
   | Database  (** the whole query-time state ({!Query.database}) *)
+  | Manifest  (** a shard manifest ([Psst_shard.manifest]) *)
 
 val kind_name : kind -> string
 

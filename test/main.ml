@@ -24,5 +24,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("edge_cases", Test_edge_cases.suite);
       ("cache", Test_cache.suite);
+      ("shard", Test_shard.suite);
       ("chaos", Test_chaos.suite);
     ]

@@ -639,6 +639,190 @@ let test_connect_timeout () =
       Alcotest.(check bool) "bounded connect wait" true
         (Unix.gettimeofday () -. t0 < 10.))
 
+(* --- the router under chaos (DESIGN.md §14) ---
+
+   Same degradation contract as a single server, applied per shard: a
+   slow worker only delays, a faulted or dead worker degrades exactly its
+   own shard to a flagged bounds superset when the router holds the shard
+   locally, and fails the whole request with one clean retryable error
+   when it does not. Top-k never degrades — a ranking with a missing
+   shard would be wrong, not conservative. *)
+
+let with_router ?(fallback = false) db parts f =
+  let shards =
+    List.map
+      (fun (base, count) -> Psst_shard.sub_database db ~base ~count)
+      parts
+  in
+  let socks =
+    List.map (fun _ -> Filename.temp_file "psst_chaos_w" ".sock") shards
+  in
+  let rsock = Filename.temp_file "psst_chaos_r" ".sock" in
+  let endpoints = List.map (fun s -> P.Unix_socket s) socks in
+  let workers =
+    List.map2
+      (fun ep sdb ->
+        Server.start
+          { (Server.default_config ep) with Server.domains = 1 }
+          sdb)
+      endpoints shards
+  in
+  let arr = Array.of_list shards in
+  let router =
+    Psst_router.start
+      {
+        (Psst_router.default_config ~endpoint:(P.Unix_socket rsock)
+           ~workers:endpoints)
+        with
+        Psst_router.local_fallback =
+          (if fallback then
+             Some
+               (fun sid ->
+                 if sid >= 0 && sid < Array.length arr then Some arr.(sid)
+                 else None)
+           else None);
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Psst_router.stop router;
+      List.iter Server.stop workers;
+      List.iter
+        (fun s -> try Sys.remove s with Sys_error _ -> ())
+        (rsock :: socks))
+    (fun () -> f router (Array.of_list workers))
+
+let test_router_chaos_scenarios () =
+  let ds, db = make_db 431 16 in
+  let plan = Psst_shard.plan_even ~parts:2 ~total:16 in
+  let rng = Prng.make 71 in
+  let queries =
+    List.init 3 (fun _ -> fst (Generator.extract_query rng ds ~edges:4))
+  in
+  let offline =
+    List.map (fun q -> (Query.run db q base_config).Query.answers) queries
+  in
+  let run_all c =
+    List.mapi
+      (fun i q ->
+        Client.rpc c (P.Run { id = i; query = q; config = base_config }))
+      queries
+  in
+  let check_exact what replies =
+    List.iteri
+      (fun i exact ->
+        match List.nth replies i with
+        | P.Answer { answers; stats; _ } ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s: reply %d bit-identical" what i)
+            exact answers;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: reply %d not degraded" what i)
+            false stats.P.degraded
+        | _ -> Alcotest.failf "%s: reply %d: expected Answer" what i)
+      offline
+  in
+  with_router ~fallback:true db plan (fun router workers ->
+      let ep = Psst_router.endpoint router in
+      let c = Client.connect ~call_timeout_ms:30000. ep in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* baseline: disarmed, bit-identical *)
+          check_exact "baseline" (run_all c);
+          (* a slow worker only delays; answers stay exact *)
+          F.arm ~seed:83 [ ("router.scatter", F.Delay 0.02, 1.) ];
+          Fun.protect ~finally:F.disarm (fun () ->
+              check_exact "delayed" (run_all c));
+          (* a faulted worker degrades its shard to a flagged superset *)
+          F.arm ~seed:89 [ ("router.scatter", F.Fail, 1.) ];
+          Fun.protect ~finally:F.disarm (fun () ->
+              let replies = run_all c in
+              List.iteri
+                (fun i exact ->
+                  match List.nth replies i with
+                  | P.Answer { answers; stats; _ } ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "faulted: reply %d flagged" i)
+                      true stats.P.degraded;
+                    List.iter
+                      (fun a ->
+                        Alcotest.(check bool)
+                          (Printf.sprintf
+                             "faulted: reply %d keeps answer %d" i a)
+                          true (List.mem a answers))
+                      exact
+                  | _ -> Alcotest.failf "faulted: reply %d: expected Answer" i)
+                offline);
+          (* disarmed again: bit-identical, nothing lingers *)
+          check_exact "disarmed" (run_all c);
+          (* worker killed mid-serving, shard held locally: flagged
+             superset for its shard, the other shard still exact *)
+          Server.stop workers.(0);
+          let b1 = match plan with _ :: (b, _) :: _ -> b | _ -> 16 in
+          let replies = run_all c in
+          List.iteri
+            (fun i exact ->
+              match List.nth replies i with
+              | P.Answer { answers; stats; _ } ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "killed: reply %d flagged" i)
+                  true stats.P.degraded;
+                List.iter
+                  (fun a ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "killed: reply %d keeps answer %d" i a)
+                      true (List.mem a answers))
+                  exact;
+                Alcotest.(check (list int))
+                  (Printf.sprintf "killed: reply %d healthy shard exact" i)
+                  (List.filter (fun g -> g >= b1) exact)
+                  (List.filter (fun g -> g >= b1) answers)
+              | _ -> Alcotest.failf "killed: reply %d: expected Answer" i)
+            offline;
+          (* top-k never falls back to bounds: clean retryable error *)
+          match
+            Client.rpc c
+              (P.Run_topk
+                 { id = 9; query = List.hd queries; k = 3;
+                   config = base_config })
+          with
+          | P.Error_reply { code; _ } ->
+            Alcotest.(check bool) "top-k with a dead worker is retryable"
+              true
+              (P.error_code_retryable code)
+          | _ -> Alcotest.fail "top-k with a dead worker: expected error"))
+
+let test_router_dead_worker_without_fallback () =
+  let ds, db = make_db 433 16 in
+  let plan = Psst_shard.plan_even ~parts:2 ~total:16 in
+  let q, _ = Generator.extract_query (Prng.make 73) ds ~edges:4 in
+  with_router ~fallback:false db plan (fun router workers ->
+      Server.stop workers.(1);
+      let c =
+        Client.connect ~call_timeout_ms:30000. (Psst_router.endpoint router)
+      in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (match
+             Client.rpc c (P.Run { id = 0; query = q; config = base_config })
+           with
+          | P.Error_reply { code; _ } ->
+            Alcotest.(check bool) "dead shard, no fallback: retryable" true
+              (P.error_code_retryable code)
+          | _ -> Alcotest.fail "dead shard, no fallback: expected error");
+          (* the healthy worker is untouched: a fresh request still errors
+             (whole request, not a silent partial answer) *)
+          match
+            Client.rpc c
+              (P.Run_topk { id = 1; query = q; k = 2; config = base_config })
+          with
+          | P.Error_reply { code; _ } ->
+            Alcotest.(check bool) "dead shard top-k: retryable" true
+              (P.error_code_retryable code)
+          | _ -> Alcotest.fail "dead shard top-k: expected error"))
+
 (* --- crash atomicity: SIGKILL a child mid-write --- *)
 
 let exe =
@@ -713,6 +897,82 @@ let test_sigkill_mid_write () =
       Alcotest.(check bool) "orphan tmp cleaned on open" false
         (Sys.file_exists (path ^ ".tmp")))
 
+let test_sigkill_mid_split () =
+  (* Crash atomicity of a deployment: every file `psst shard` writes goes
+     through the atomic tmp+rename store path and the manifest is written
+     last, so a SIGKILL anywhere mid-split leaves the previous deployment
+     fully intact and loadable — never a manifest naming half-written
+     shard files. *)
+  let dir = Filename.temp_file "psst_chaos_split" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let manifest = Filename.concat dir "deploy.manifest" in
+      let pid =
+        run_child
+          [| "shard"; "-n"; "10"; "--seed"; "5"; "-o"; manifest;
+             "--shards"; "2" |]
+      in
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "clean shard split failed");
+      let m = Psst_shard.load_manifest manifest in
+      let files =
+        manifest
+        :: List.map (fun e -> Filename.concat dir e.Psst_shard.path)
+             m.Psst_shard.entries
+      in
+      let pristine = List.map read_bytes files in
+      (* Re-split the same deployment path from a different corpus, with a
+         5 s delay injected into the middle of every store write: the
+         child sits on a half-flushed .tmp — SIGKILL it there. *)
+      let pid =
+        run_child
+          ~env:
+            [| "PSST_FAULTS=store.write=delay:5000"; "PSST_FAULT_SEED=1" |]
+          [| "shard"; "-n"; "12"; "--seed"; "6"; "-o"; manifest;
+             "--shards"; "2" |]
+      in
+      let tmp_present () =
+        Array.exists
+          (fun e -> Filename.check_suffix e ".tmp")
+          (Sys.readdir dir)
+      in
+      let rec await n =
+        if tmp_present () then true
+        else if n = 0 then false
+        else begin
+          Thread.delay 0.05;
+          await (n - 1)
+        end
+      in
+      let caught = await 1200 (* up to 60 s *) in
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      Alcotest.(check bool) "child was killed inside a write window" true
+        caught;
+      List.iter2
+        (fun path bytes ->
+          Alcotest.(check bool)
+            (Filename.basename path ^ " intact after SIGKILL")
+            true
+            (read_bytes path = bytes))
+        files pristine;
+      (* The old deployment still loads and reassembles. *)
+      let m' = Psst_shard.load_manifest manifest in
+      Alcotest.(check bool) "manifest unchanged" true (m' = m);
+      let db =
+        Psst_shard.merge (Psst_shard.load_all ~manifest_path:manifest m')
+      in
+      Alcotest.(check int) "old deployment reassembles" 10
+        (Array.length db.Query.graphs))
+
 let suite =
   [
     Alcotest.test_case "fault schedules are deterministic" `Quick
@@ -748,6 +1008,12 @@ let suite =
       test_served_budget_and_health;
     Alcotest.test_case "connect timeout is bounded" `Quick
       test_connect_timeout;
+    Alcotest.test_case "router: delay, fault, kill, disarm" `Slow
+      test_router_chaos_scenarios;
+    Alcotest.test_case "router: dead shard without fallback" `Slow
+      test_router_dead_worker_without_fallback;
     Alcotest.test_case "SIGKILL mid-write keeps the old index" `Slow
       test_sigkill_mid_write;
+    Alcotest.test_case "SIGKILL mid-split keeps the old deployment" `Slow
+      test_sigkill_mid_split;
   ]

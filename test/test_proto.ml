@@ -77,6 +77,32 @@ let sample_replies =
         served = 10_000;
         degraded_answers = 42;
         retryable_rejections = 7;
+        workers = [];
+      };
+    P.Health_reply
+      {
+        P.uptime_s = 99.25;
+        queue_depth = 0;
+        served = 4;
+        degraded_answers = 1;
+        retryable_rejections = 0;
+        workers =
+          [
+            {
+              P.wid = 0;
+              reachable = true;
+              worker_uptime_s = 98.5;
+              worker_queue_depth = 2;
+              worker_degraded_answers = 1;
+            };
+            {
+              P.wid = 1;
+              reachable = false;
+              worker_uptime_s = 0.;
+              worker_queue_depth = 0;
+              worker_degraded_answers = 0;
+            };
+          ];
       };
     P.Error_reply { id = 9; code = P.Queue_full; message = "queue full" };
     P.Error_reply { id = 0; code = P.Malformed; message = "bad magic" };
@@ -337,12 +363,50 @@ let test_pre_v3_config_interop () =
       vc.Verify.adaptive
   | _ -> Alcotest.fail "expected Run with an Smp verifier"
 
+(* Version 4 added the router's per-worker roster to Health_reply. A
+   frame encoded for a pre-v4 peer drops the roster, and decoding it
+   yields an empty one — the rest of the snapshot is unchanged, so old
+   load balancers keep polling routers without renegotiation. *)
+let test_pre_v4_health_interop () =
+  let with_roster =
+    List.find
+      (function P.Health_reply { workers = _ :: _; _ } -> true | _ -> false)
+      sample_replies
+  in
+  List.iter
+    (fun version ->
+      match P.reply_of_string (P.encode_reply ~version with_roster) with
+      | P.Health_reply h ->
+        Alcotest.(check bool)
+          (Printf.sprintf "v%d frame decodes with an empty roster" version)
+          true (h.P.workers = []);
+        (match with_roster with
+        | P.Health_reply full ->
+          Alcotest.(check bool)
+            (Printf.sprintf "v%d frame keeps the scalar fields" version)
+            true
+            (h.P.uptime_s = full.P.uptime_s
+            && h.P.queue_depth = full.P.queue_depth
+            && h.P.served = full.P.served
+            && h.P.degraded_answers = full.P.degraded_answers
+            && h.P.retryable_rejections = full.P.retryable_rejections)
+        | _ -> assert false)
+      | _ -> Alcotest.fail "expected Health_reply")
+    [ 2; 3 ];
+  match P.reply_of_string (P.encode_reply with_roster) with
+  | P.Health_reply h ->
+    Alcotest.(check int) "current-version frame round-trips the roster" 2
+      (List.length h.P.workers)
+  | _ -> Alcotest.fail "expected Health_reply"
+
 let suite =
   [
     Alcotest.test_case "requests round-trip" `Quick test_request_roundtrips;
     Alcotest.test_case "v1 frames interoperate" `Quick test_v1_interop;
     Alcotest.test_case "pre-v3 configs interoperate" `Quick
       test_pre_v3_config_interop;
+    Alcotest.test_case "pre-v4 health interoperates" `Quick
+      test_pre_v4_health_interop;
     Alcotest.test_case "replies round-trip" `Quick test_reply_roundtrips;
     Alcotest.test_case "query config round-trips" `Quick test_config_roundtrip;
     Alcotest.test_case "truncation at every boundary" `Quick
