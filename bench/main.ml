@@ -11,6 +11,150 @@
 
 open Bechamel
 
+(* Flat mmap-ready image vs eager decode at scale (DESIGN.md §15): index a
+   large synthetic corpus once, persist it in both layouts, then measure
+   time-to-first-query (load + one query, the cold-start metric a worker
+   restart pays) for the eager decode of the classic layout against the
+   zero-copy mapping of the flat one. The mmap-backed database must answer
+   bit-identically to the eager one on every probe query. Full runs use
+   10^4 graphs; --quick scales down to stay inside the CI time budget. *)
+let store_flat ~scale ppf =
+  Format.fprintf ppf
+    "@.=== Store: flat mmap image vs eager decode (%s scale) ===@."
+    (if scale.Experiments.db_size >= 120 then "10k graphs" else "quick");
+  let n = if scale.Experiments.db_size >= 120 then 10_000 else 1_000 in
+  (* [max_edges = 3] mines a feature-rich index — the regime where the
+     O(features x graphs) eager decode dominates cold start; cheap bound
+     knobs keep the one-off single-core build tractable. *)
+  let params =
+    {
+      (Experiments.dataset_params scale) with
+      Generator.num_graphs = n;
+    }
+  in
+  let ds = Generator.generate params in
+  let graphs = ds.Generator.graphs in
+  let mining = { Selection.default_params with Selection.max_edges = 3 } in
+  let bounds =
+    {
+      Bounds.default_config with
+      Bounds.mc_samples = 16;
+      emb_cap = 4;
+      cut_cap = 8;
+      clique_budget = 1_000;
+    }
+  in
+  let domains = max 1 (Domain.recommended_domain_count () - 1) in
+  let db, t_index =
+    Psst_util.Timer.time (fun () ->
+        Query.index_database ~mining ~bounds ~domains graphs)
+  in
+  Format.fprintf ppf
+    "indexed %d graphs in %.1f s (%d features, %d filled PMI entries, %d \
+     domains)@."
+    n t_index
+    (List.length db.Query.features)
+    (Pmi.filled_entries db.Query.pmi)
+    domains;
+  let eager_path = Filename.temp_file "psst_bench_eager" ".db" in
+  let flat_path = Filename.temp_file "psst_bench_flat" ".db" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ eager_path; flat_path ])
+    (fun () ->
+      Query.save_database eager_path db;
+      Query.save_database ~flat:true flat_path db;
+      let file_bytes p =
+        let ic = open_in_bin p in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> in_channel_length ic)
+      in
+      let eager_bytes = file_bytes eager_path in
+      let flat_bytes = file_bytes flat_path in
+      let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
+      let nq = max 3 (min 4 scale.Experiments.queries_per_point) in
+      let queries =
+        List.init nq (fun _ -> fst (Generator.extract_query rng ds ~edges:8))
+      in
+      let config = Query.default_config in
+      let first = List.hd queries in
+      (* Time-to-first-query: loader + one answered query, cold. The first
+         query runs at a selective threshold (the regime a cold server
+         actually faces — the index prunes nearly everything and the lazy
+         corpus decodes only the few survivors); the differential probe
+         below still exercises the default, heavier config. A full major
+         collection first keeps one loader's garbage from being charged to
+         the other's clock. *)
+      let first_config = { config with Query.delta = 0; epsilon = 0.9 } in
+      let ttfq loader =
+        Gc.full_major ();
+        let ldb, t_load = Psst_util.Timer.time loader in
+        let _, t_q =
+          Psst_util.Timer.time (fun () -> Query.run ldb first first_config)
+        in
+        (ldb, t_load, t_load +. t_q)
+      in
+      let mmap_db, t_load_mmap, ttfq_mmap =
+        ttfq (fun () -> Query.load_database ~mmap:true flat_path)
+      in
+      let eager_db, t_load_eager, ttfq_eager =
+        ttfq (fun () -> Query.load_database eager_path)
+      in
+      let probe ldb =
+        List.map
+          (fun q ->
+            let o = Query.run ldb q config in
+            ( o.Query.answers,
+              o.Query.stats.structural_candidates,
+              o.Query.stats.prob_candidates,
+              o.Query.stats.accepted_by_bounds,
+              o.Query.stats.pruned_by_bounds ))
+          queries
+      in
+      let identical = probe eager_db = probe mmap_db in
+      let speedup = if ttfq_mmap > 0. then ttfq_eager /. ttfq_mmap else infinity in
+      Format.fprintf ppf
+        "@[<v>eager file           %d bytes@,\
+         flat file            %d bytes (%.1f bytes/graph)@,\
+         eager load           %.3f s@,\
+         mmap load            %.3f s@,\
+         TTFQ eager           %.3f s@,\
+         TTFQ mmap            %.3f s@,\
+         TTFQ speedup         %.1fx@,\
+         answers identical    %b (%d queries)@]@."
+        eager_bytes flat_bytes
+        (float_of_int flat_bytes /. float_of_int n)
+        t_load_eager t_load_mmap ttfq_eager ttfq_mmap speedup identical nq;
+      let json =
+        Printf.sprintf
+          "  \"flat\": {\n\
+          \    \"db_size\": %d,\n\
+          \    \"features\": %d,\n\
+          \    \"filled_entries\": %d,\n\
+          \    \"index_build_s\": %.3f,\n\
+          \    \"eager_file_bytes\": %d,\n\
+          \    \"flat_file_bytes\": %d,\n\
+          \    \"flat_bytes_per_graph\": %.1f,\n\
+          \    \"eager_load_s\": %.6f,\n\
+          \    \"mmap_load_s\": %.6f,\n\
+          \    \"ttfq_eager_s\": %.6f,\n\
+          \    \"ttfq_mmap_s\": %.6f,\n\
+          \    \"ttfq_speedup\": %.2f,\n\
+          \    \"queries\": %d,\n\
+          \    \"identical_answers\": %b\n\
+          \  }"
+          n
+          (List.length db.Query.features)
+          (Pmi.filled_entries db.Query.pmi)
+          t_index eager_bytes flat_bytes
+          (float_of_int flat_bytes /. float_of_int n)
+          t_load_eager t_load_mmap ttfq_eager ttfq_mmap speedup nq identical
+      in
+      (json, identical))
+
 (* Cold PMI build vs. load-from-disk on the Fig 9 workload. The loaded
    index must answer bit-identically (same answers, same pruning counters),
    so the comparison also doubles as an end-to-end determinism check. *)
@@ -41,7 +185,7 @@ let store ~scale ppf =
       in
       let structural = Structural.build skeletons features ~emb_cap:64 in
       let mk pmi =
-        { Query.graphs; skeletons; features; structural; pmi; base = 0 }
+        { Query.graphs = Corpus.of_array graphs; features; structural; pmi; base = 0 }
       in
       let db_fresh = mk pmi and db_loaded = mk loaded in
       let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
@@ -76,6 +220,8 @@ let store ~scale ppf =
          answers identical  %b (%d queries)@]@."
         (Array.length graphs) (List.length features)
         (Pmi.filled_entries pmi) t_mine t_cold t_load speedup bytes identical nq;
+      (* Tentpole phase: flat mmap image vs eager decode at scale. *)
+      let flat_json, flat_identical = store_flat ~scale ppf in
       let oc = open_out "BENCH_store.json" in
       Fun.protect
         ~finally:(fun () -> close_out oc)
@@ -92,13 +238,14 @@ let store ~scale ppf =
             \  \"speedup\": %.2f,\n\
             \  \"file_bytes\": %d,\n\
             \  \"queries\": %d,\n\
-            \  \"identical_answers\": %b\n\
+            \  \"identical_answers\": %b,\n\
+             %s\n\
              }\n"
             (Array.length graphs) (List.length features)
             (Pmi.filled_entries pmi) t_mine t_cold t_load speedup bytes nq
-            identical);
+            identical flat_json);
       Format.fprintf ppf "wrote BENCH_store.json@.";
-      if not identical then exit 1)
+      if not (identical && flat_identical) then exit 1)
 
 (* Observability overhead on the Fig 9 workload: the same query batch
    with the metrics layer disabled and enabled must produce bit-identical
@@ -114,7 +261,7 @@ let obs ~scale ppf =
   let features = Selection.select skeletons Experiments.mining_params in
   let structural = Structural.build skeletons features ~emb_cap:64 in
   let pmi = Pmi.build graphs features in
-  let db = { Query.graphs; skeletons; features; structural; pmi; base = 0 } in
+  let db = { Query.graphs = Corpus.of_array graphs; features; structural; pmi; base = 0 } in
   let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
   let nq = max 8 (2 * scale.Experiments.queries_per_point) in
   let queries =
@@ -214,7 +361,7 @@ let serve ~scale ppf =
   let features = Selection.select skeletons Experiments.mining_params in
   let structural = Structural.build skeletons features ~emb_cap:64 in
   let pmi = Pmi.build graphs features in
-  let db = { Query.graphs; skeletons; features; structural; pmi; base = 0 } in
+  let db = { Query.graphs = Corpus.of_array graphs; features; structural; pmi; base = 0 } in
   let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
   let nq = max 4 scale.Experiments.queries_per_point in
   let queries =
@@ -405,7 +552,7 @@ let shard_bench ~scale ppf =
   let features = Selection.select skeletons Experiments.mining_params in
   let structural = Structural.build skeletons features ~emb_cap:64 in
   let pmi = Pmi.build graphs features in
-  let db = { Query.graphs; skeletons; features; structural; pmi; base = 0 } in
+  let db = { Query.graphs = Corpus.of_array graphs; features; structural; pmi; base = 0 } in
   let n = Array.length graphs in
   let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
   let nq = max 4 scale.Experiments.queries_per_point in
@@ -636,7 +783,7 @@ let chaos ~scale ppf =
   let features = Selection.select skeletons Experiments.mining_params in
   let structural = Structural.build skeletons features ~emb_cap:64 in
   let pmi = Pmi.build graphs features in
-  let db = { Query.graphs; skeletons; features; structural; pmi; base = 0 } in
+  let db = { Query.graphs = Corpus.of_array graphs; features; structural; pmi; base = 0 } in
   let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
   let nq = max 4 scale.Experiments.queries_per_point in
   let queries =
@@ -840,7 +987,7 @@ let verify_bench ~scale ppf =
   let features = Selection.select skeletons Experiments.mining_params in
   let structural = Structural.build skeletons features ~emb_cap:64 in
   let pmi = Pmi.build graphs features in
-  let db = { Query.graphs; skeletons; features; structural; pmi; base = 0 } in
+  let db = { Query.graphs = Corpus.of_array graphs; features; structural; pmi; base = 0 } in
   let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
   let nq = max 4 scale.Experiments.queries_per_point in
   let rounds = 3 in
@@ -935,6 +1082,49 @@ let verify_bench ~scale ppf =
         a.Query.answers = b.Query.answers)
       cold_outs adap_outs
   in
+  (* Adaptive sampling's decision-safety contract: a candidate whose exact
+     SSP is well clear of ε (beyond the estimator's 3·τ noise floor, the
+     same exemption the differential test suite uses) must never flip
+     between the fixed-budget and adaptive runs. Borderline candidates —
+     |exact − ε| ≤ 3·τ — may legitimately land on either side, so flipped
+     answers are classified by their exact SSP: borderline flips are
+     reported, a clear flip is a real estimator bug and fails the bench. *)
+  let flip_pairs =
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    List.iteri
+      (fun i ((a : Query.outcome), (b : Query.outcome)) ->
+        let sym =
+          List.filter
+            (fun g -> not (List.mem g b.Query.answers))
+            a.Query.answers
+          @ List.filter
+              (fun g -> not (List.mem g a.Query.answers))
+              b.Query.answers
+        in
+        List.iter
+          (fun gid ->
+            let key = (i mod nq, gid) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              out := (List.nth sequence i, gid) :: !out
+            end)
+          sym)
+      (List.combine cold_outs adap_outs);
+    List.rev !out
+  in
+  let qcfg = Query.default_config in
+  let borderline_flips, clear_flips =
+    List.partition
+      (fun (q, gid) ->
+        let relaxed, _ =
+          Relax.relaxed_set ~cap:qcfg.Query.relax_cap q ~delta:qcfg.Query.delta
+        in
+        let exact = Verify.exact graphs.(gid) relaxed in
+        Float.abs (exact -. qcfg.Query.epsilon) <= 3. *. smp_cfg.Verify.tau)
+      flip_pairs
+  in
+  let decision_safe = clear_flips = [] in
   let p50_of (p50, _, _, _, _, _, _) = p50
   and warm50_of (_, _, _, w, _, _, _) = w in
   let speedup_warm =
@@ -959,8 +1149,17 @@ let verify_bench ~scale ppf =
     "speedup (cold p50 / warm p50)      %8.1fx@,\
      speedup (cold p50 / adaptive p50)  %8.1fx@,\
      answers identical (cold = warm)    %b@,\
-     answer sets match (cold = adaptive) %b@."
-    speedup_warm speedup_adaptive identical same_answers;
+     answer sets match (cold = adaptive) %b@,\
+     adaptive flips: %d borderline (|exact SSP − ε| ≤ 3τ, legitimate), \
+     %d clear (decision-safety violations)@."
+    speedup_warm speedup_adaptive identical same_answers
+    (List.length borderline_flips)
+    (List.length clear_flips);
+  List.iter
+    (fun (_, gid) ->
+      Format.fprintf ppf "CLEAR FLIP: graph %d (exact SSP well clear of ε)@."
+        gid)
+    clear_flips;
   let oc = open_out "BENCH_verify.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -986,15 +1185,21 @@ let verify_bench ~scale ppf =
         \  \"speedup_warm_p50\": %.2f,\n\
         \  \"speedup_adaptive_p50\": %.2f,\n\
         \  \"identical_answers\": %b,\n\
-        \  \"adaptive_same_answer_sets\": %b\n\
+        \  \"adaptive_same_answer_sets\": %b,\n\
+        \  \"adaptive_borderline_flips\": %d,\n\
+        \  \"adaptive_clear_flips\": %d,\n\
+        \  \"adaptive_decision_safe\": %b\n\
          }\n"
         (Array.length graphs) nq rounds
         (row "cold" cold_row false)
         (row "warm" warm_row false)
         (row "adaptive" adap_row true)
-        speedup_warm speedup_adaptive identical same_answers);
+        speedup_warm speedup_adaptive identical same_answers
+        (List.length borderline_flips)
+        (List.length clear_flips)
+        decision_safe);
   Format.fprintf ppf "wrote BENCH_verify.json@.";
-  if not identical then exit 1
+  if not (identical && decision_safe) then exit 1
 
 let micro ppf =
   Format.fprintf ppf "@.=== Micro-benchmarks (Bechamel, ns/run) ===@.";

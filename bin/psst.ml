@@ -111,23 +111,35 @@ let corpus_of input num_graphs seed =
    a valid store for this exact corpus. A missing file is built and saved; a
    corrupt/stale/foreign one is reported, rebuilt and overwritten — a bad
    cache never changes answers, only costs the rebuild. *)
-let obtain_database index_file graphs =
+let obtain_database ?(flat = false) ?(mmap = false) index_file graphs =
+  (* Memory-mapped serving needs the flat on-disk layout, so --mmap
+     implies writing any rebuilt index with --flat. *)
+  let flat = flat || mmap in
   let build_and_save () =
     let db, t = Psst_util.Timer.time (fun () -> Query.index_database graphs) in
-    (match index_file with
+    match index_file with
     | Some path ->
-      Query.save_database path db;
-      Printf.printf "index persisted to %s\n%!" path
-    | None -> ());
-    (db, t, "built")
+      Query.save_database ~flat path db;
+      Printf.printf "index persisted to %s%s\n%!" path
+        (if flat then " (flat image)" else "");
+      if mmap then
+        let db, t_map =
+          Psst_util.Timer.time (fun () -> Query.load_database ~mmap:true path)
+        in
+        (db, t +. t_map, "built (serving the memory-mapped flat image)")
+      else (db, t, "built")
+    | None -> (db, t, "built")
   in
   match index_file with
   | Some path when Sys.file_exists path -> (
-    match Psst_util.Timer.time (fun () -> Query.load_database path) with
+    match Psst_util.Timer.time (fun () -> Query.load_database ~mmap path) with
     | db, t when
-        Pgraph_io.db_fingerprint db.Query.graphs
+        Corpus.fingerprint db.Query.graphs
         = Pgraph_io.db_fingerprint graphs ->
-      (db, t, "loaded (mining and PMI build skipped)")
+      ( db,
+        t,
+        if mmap then "memory-mapped (zero-copy flat image)"
+        else "loaded (mining and PMI build skipped)" )
     | _ ->
       Printf.printf "index %s was built for a different corpus; rebuilding\n%!"
         path;
@@ -137,26 +149,28 @@ let obtain_database index_file graphs =
       build_and_save ())
   | _ -> build_and_save ()
 
-let index num_graphs seed input output =
+let index num_graphs seed input flat output =
   or_die @@ fun () ->
   let graphs, _ = corpus_of input num_graphs seed in
   Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
   let db, t_index = Psst_util.Timer.time (fun () -> Query.index_database graphs) in
-  Query.save_database output db;
+  Query.save_database ~flat output db;
   let bytes =
     let ic = open_in_bin output in
     Fun.protect ~finally:(fun () -> close_in ic) (fun () -> in_channel_length ic)
   in
   Printf.printf
-    "indexed in %.2fs: %d features, %d PMI entries\nindex written to %s (%d bytes)\n"
+    "indexed in %.2fs: %d features, %d PMI entries\nindex written to %s (%d bytes%s)\n"
     t_index
     (List.length db.Query.features)
     (Pmi.filled_entries db.Query.pmi)
     output bytes
+    (if flat then ", flat mmap-ready image" else "")
 
 (* --- shard (DESIGN.md §14) --- *)
 
-let shard num_graphs seed input index_file output shards max_graphs max_cost =
+let shard num_graphs seed input index_file flat output shards max_graphs
+    max_cost =
   or_die @@ fun () ->
   let graphs, _ = corpus_of input num_graphs seed in
   Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
@@ -180,9 +194,10 @@ let shard num_graphs seed input index_file output shards max_graphs max_cost =
       Psst_shard.plan_budget db budget
     | Some _, _, _ -> die "--shards conflicts with --max-graphs/--max-cost"
   in
-  let m = Psst_shard.split_to_files ~manifest_path:output db plan in
-  Printf.printf "sharded %d graphs into %d shards (manifest %s):\n" m.total
+  let m = Psst_shard.split_to_files ~flat ~manifest_path:output db plan in
+  Printf.printf "sharded %d graphs into %d shards%s (manifest %s):\n" m.total
     (List.length m.Psst_shard.entries)
+    (if flat then " as flat mmap-ready images" else "")
     output;
   List.iter
     (fun (s : Psst_shard.entry) ->
@@ -308,33 +323,53 @@ let topk num_graphs seed qsize k delta input =
 
 let endpoint_of socket port host =
   match (socket, port) with
-  | Some path, None -> Psst_proto.Unix_socket path
-  | None, Some p -> Psst_proto.Tcp (host, p)
+  | Some path, None ->
+    if path = "" then die "--socket PATH must be non-empty";
+    Psst_proto.Unix_socket path
+  | None, Some p ->
+    if p < 1 || p > 65535 then die "--port %d: port must be in 1..65535" p;
+    if host = "" then die "--host must be non-empty";
+    Psst_proto.Tcp (host, p)
   | Some _, Some _ -> die "pass either --socket PATH or --port PORT, not both"
   | None, None -> die "pass --socket PATH or --port PORT"
 
 (* The syntax Psst_proto.endpoint_to_string prints: unix:PATH or
    tcp:HOST:PORT (so a worker endpoint can be copy-pasted from a worker's
-   own startup line). *)
+   own startup line). Validation is eager and strict: an empty path or
+   host, a port that is not plain decimal digits (no 0x/_/sign forms),
+   or a port outside 1..65535 dies with the uniform one-line failure
+   here, instead of surfacing minutes later as a confusing Unix_error
+   from connect(2) mid-query. *)
 let endpoint_of_string s =
-  let malformed () =
-    die "endpoint %S: expected unix:PATH or tcp:HOST:PORT" s
-  in
+  let malformed why = die "endpoint %S: %s" s why in
   match String.index_opt s ':' with
-  | None -> malformed ()
+  | None -> malformed "expected unix:PATH or tcp:HOST:PORT"
   | Some i -> (
     let rest = String.sub s (i + 1) (String.length s - i - 1) in
     match String.sub s 0 i with
-    | "unix" when rest <> "" -> Psst_proto.Unix_socket rest
+    | "unix" ->
+      if rest = "" then malformed "unix endpoint needs a non-empty PATH"
+      else Psst_proto.Unix_socket rest
     | "tcp" -> (
+      (* The last colon splits host from port, so IPv6-style hosts with
+         colons of their own still parse. *)
       match String.rindex_opt rest ':' with
-      | Some j when j > 0 && j < String.length rest - 1 -> (
+      | None -> malformed "expected tcp:HOST:PORT"
+      | Some j -> (
         let host = String.sub rest 0 j in
-        match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
-        | Some port -> Psst_proto.Tcp (host, port)
-        | None -> malformed ())
-      | _ -> malformed ())
-    | _ -> malformed ())
+        let port_s = String.sub rest (j + 1) (String.length rest - j - 1) in
+        if host = "" then malformed "tcp endpoint needs a non-empty HOST"
+        else if
+          port_s = ""
+          || not (String.for_all (fun c -> c >= '0' && c <= '9') port_s)
+        then malformed "PORT must be decimal digits"
+        else
+          match int_of_string_opt port_s with
+          | Some p when p >= 1 && p <= 65535 -> Psst_proto.Tcp (host, p)
+          | Some _ | None -> malformed "PORT must be in 1..65535"))
+    | scheme ->
+      malformed
+        (Printf.sprintf "unknown scheme %S (expected unix or tcp)" scheme))
 
 (* A dataset wrapper for query extraction over a loaded corpus (same
    trivial organism assignment as the [query] subcommand, so the extracted
@@ -395,7 +430,7 @@ let serve_worker endpoint db domains queue_cap deadline_ms verify_budget_ms
   Printf.printf "served %d requests; drained cleanly\n%!"
     (Psst_server.served srv)
 
-let serve_router endpoint manifest workers shard_timeout_ms shard_retries
+let serve_router endpoint manifest mmap workers shard_timeout_ms shard_retries
     stats_json =
   if workers = [] then
     die "router role: pass --worker ENDPOINT once per shard, in shard order";
@@ -420,7 +455,7 @@ let serve_router endpoint manifest workers shard_timeout_ms shard_retries
             match cache.(sid) with
             | Some db -> Some db
             | None -> (
-              match Psst_shard.load_shard ~manifest_path:path m sid with
+              match Psst_shard.load_shard ~mmap ~manifest_path:path m sid with
               | db ->
                 cache.(sid) <- Some db;
                 Some db
@@ -452,14 +487,14 @@ let serve_router endpoint manifest workers shard_timeout_ms shard_retries
   | Some path -> write_stats_json path []);
   Printf.printf "served %d requests; drained cleanly\n%!" (Psst_router.served r)
 
-let serve num_graphs seed input index_file socket port host domains queue_cap
-    deadline_ms verify_budget_ms batch_max cache_cap stats_json role manifest
-    shard_id workers shard_timeout_ms shard_retries =
+let serve num_graphs seed input index_file mmap socket port host domains
+    queue_cap deadline_ms verify_budget_ms batch_max cache_cap stats_json role
+    manifest shard_id workers shard_timeout_ms shard_retries =
   or_die @@ fun () ->
   let endpoint = endpoint_of socket port host in
   match role with
   | `Router ->
-    serve_router endpoint manifest workers shard_timeout_ms shard_retries
+    serve_router endpoint manifest mmap workers shard_timeout_ms shard_retries
       stats_json
   | `Worker ->
     if workers <> [] then die "--worker is for --role router";
@@ -467,23 +502,26 @@ let serve num_graphs seed input index_file socket port host domains queue_cap
       match (manifest, shard_id) with
       | Some mpath, Some sid ->
         let m = Psst_shard.load_manifest mpath in
-        let db = Psst_shard.load_shard ~manifest_path:mpath m sid in
+        let db = Psst_shard.load_shard ~mmap ~manifest_path:mpath m sid in
         Printf.printf
-          "loaded shard %d of %s: %d graphs (global ids %d..%d), %d \
+          "loaded shard %d of %s%s: %d graphs (global ids %d..%d), %d \
            features, %d PMI entries\n%!"
           sid mpath
-          (Array.length db.Query.graphs)
+          (if mmap then " (memory-mapped flat image)" else "")
+          (Corpus.length db.Query.graphs)
           db.Query.base
-          (db.Query.base + Array.length db.Query.graphs - 1)
+          (db.Query.base + Corpus.length db.Query.graphs - 1)
           (List.length db.Query.features)
           (Pmi.filled_entries db.Query.pmi);
         db
       | Some _, None -> die "worker role with --manifest also needs --shard SID"
       | None, Some _ -> die "--shard needs --manifest"
       | None, None ->
+        if mmap && index_file = None then
+          die "--mmap needs --index FILE (or --manifest with --shard)";
         let graphs, _ = corpus_of input num_graphs seed in
         Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
-        let db, t_index, how = obtain_database index_file graphs in
+        let db, t_index, how = obtain_database ~mmap index_file graphs in
         Printf.printf "index %s in %.2fs: %d features, %d PMI entries\n%!" how
           t_index
           (List.length db.Query.features)
@@ -641,6 +679,16 @@ let generate_cmd =
       const generate $ num_graphs_arg $ organisms $ seed_arg $ verbose $ binary
       $ output)
 
+let flat_arg =
+  Arg.(
+    value & flag
+    & info [ "flat" ]
+        ~doc:
+          "Write the succinct flat index image (DESIGN.md §15): delta-coded \
+           PMI postings, fixed-width bounds and u16 structural count cells \
+           that $(b,psst serve --mmap) reads zero-copy out of a memory \
+           mapping. Loads eagerly too, to bit-identical answers.")
+
 let index_cmd =
   let output =
     Arg.(
@@ -654,7 +702,7 @@ let index_cmd =
        ~doc:
          "Mine features and build the PMI once, persisting the whole \
           query-time state for later $(b,query --index) runs")
-    Term.(const index $ num_graphs_arg $ seed_arg $ input_arg $ output)
+    Term.(const index $ num_graphs_arg $ seed_arg $ input_arg $ flat_arg $ output)
 
 let query_cmd =
   let qsize =
@@ -763,8 +811,8 @@ let shard_cmd =
           (manifest + per-shard store files); per-shard answers merge \
           bit-identically to the monolithic ones")
     Term.(
-      const shard $ num_graphs_arg $ seed_arg $ input_arg $ index_file $ output
-      $ shards $ max_graphs $ max_cost)
+      const shard $ num_graphs_arg $ seed_arg $ input_arg $ index_file
+      $ flat_arg $ output $ shards $ max_graphs $ max_cost)
 
 let socket_arg =
   Arg.(
@@ -784,6 +832,19 @@ let host_arg =
     & info [ "host" ] ~docv:"HOST" ~doc:"TCP host to bind/connect (with --port).")
 
 let serve_cmd =
+  let mmap =
+    Arg.(
+      value & flag
+      & info [ "mmap" ]
+          ~doc:
+            "Serve the index zero-copy out of a memory mapping instead of \
+             decoding it (worker role: with --index or --manifest/--shard; \
+             router role: applies to the local fallback shards). Requires \
+             the flat image layout ($(b,psst index --flat) / $(b,psst \
+             shard --flat)); a non-flat store is rejected and — when \
+             rebuilding is possible — rebuilt flat. Answers are \
+             bit-identical to the eager load.")
+  in
   let index_file =
     Arg.(
       value
@@ -919,7 +980,7 @@ let serve_cmd =
           turns the process into a scatter-gather front over shard \
           workers instead.")
     Term.(
-      const serve $ num_graphs_arg $ seed_arg $ input_arg $ index_file
+      const serve $ num_graphs_arg $ seed_arg $ input_arg $ index_file $ mmap
       $ socket_arg $ port_arg $ host_arg $ domains $ queue_cap $ deadline_ms
       $ verify_budget_ms $ batch_max $ cache_cap $ stats_json $ role $ manifest
       $ shard_id $ workers $ shard_timeout_ms $ shard_retries)

@@ -38,7 +38,7 @@ let () =
      no index rebuild; bounds for the new graphs are computed on demand. *)
   db := Query.add_graphs !db (Array.sub ds.graphs 24 6);
   Printf.printf "after incremental adds: %d graphs, %d PMI entries\n"
-    (Array.length !db.Query.graphs)
+    (Corpus.length !db.Query.graphs)
     (Pmi.filled_entries !db.Query.pmi);
 
   (* Top-k: which networks most probably contain this motif? *)

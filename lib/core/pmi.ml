@@ -1,12 +1,33 @@
 type entry = Bounds.t
 
+(* The flat backing (DESIGN.md §15): per-feature delta-coded postings plus
+   a fixed-width IEEE-754 bounds array, both read zero-copy out of a
+   memory-mapped store file. [d_rank] is the cumulative filled-entry count
+   before the feature — the feature's first bounds record lives at float
+   index [6 * d_rank]. *)
+type flat_dir = { d_count : int; d_off : int; d_len : int; d_rank : int }
+
+type flat = {
+  f_dir : flat_dir array; (* per feature *)
+  f_postings : Psst_store.bigbytes;
+  f_bounds : Psst_store.floats;
+  f_block : int;
+  f_filled : int;
+}
+
+type backing =
+  | Heap of entry option array array (* feature -> graph *)
+  | Flat of flat
+
 type t = {
   config : Bounds.config;
   features : Selection.feature array;
-  entries : entry option array array; (* feature -> graph *)
+  backing : backing;
   num_graphs : int;
   build_seconds : float;
 }
+
+module S = Psst_store
 
 let log_src = Logs.Src.create "psst.pmi" ~doc:"PMI index construction"
 
@@ -51,7 +72,185 @@ let build ?(config = Bounds.default_config) ?(domains = 1) db features =
   in
   Log.info (fun m ->
       m "PMI built: %d features x %d graphs in %.2fs" nf ng build_seconds);
-  { config; features; entries = result; num_graphs = ng; build_seconds }
+  { config; features; backing = Heap result; num_graphs = ng; build_seconds }
+
+(* --- flat-backing primitives ---
+
+   Shared by the zero-copy lookup path, the eager decoder and the open-time
+   validator. Postings region layout per feature (byte offsets relative to
+   the postings payload):
+
+     u32 n_blocks
+     n_blocks x { u32 first_gid; u32 body_off }      skip entries
+     block bodies: LEB128 deltas (>= 1) between consecutive graph ids
+
+   Block k covers within-feature ranks [k*block .. min((k+1)*block, count)-1];
+   its first graph id sits in the skip entry, the remaining ids are deltas in
+   the body at [body_off] (relative to the start of the bodies area). *)
+
+let flat_block = 128
+
+let flat_u32 (b : S.bigbytes) at =
+  let g i = Char.code (Bigarray.Array1.get b (at + i)) in
+  g 0 lor (g 1 lsl 8) lor (g 2 lsl 16) lor (g 3 lsl 24)
+
+(* Unchecked varint over validated postings: [Bigarray] still bounds-checks,
+   so even hostile bytes cannot read outside the mapping. *)
+let flat_varint (b : S.bigbytes) pos =
+  let acc = ref 0 and shift = ref 0 and p = ref pos and cont = ref true in
+  while !cont do
+    let c = Char.code (Bigarray.Array1.get b !p) in
+    incr p;
+    acc := !acc lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    cont := c land 0x80 <> 0
+  done;
+  (!acc, !p)
+
+let flat_varint_checked (b : S.bigbytes) pos stop fi =
+  let acc = ref 0 and shift = ref 0 and p = ref pos and cont = ref true in
+  while !cont do
+    if !p >= stop then S.error "flat postings: feature %d region overrun" fi;
+    if !shift > 56 then S.error "flat postings: feature %d varint overflow" fi;
+    let c = Char.code (Bigarray.Array1.get b !p) in
+    incr p;
+    acc := !acc lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    cont := c land 0x80 <> 0
+  done;
+  if !acc < 0 then S.error "flat postings: feature %d varint overflow" fi;
+  (!acc, !p)
+
+(* Full validating walk over every posting; [emit fi rank gid] is called for
+   each, with [rank] the within-feature rank. Both the eager decoder and the
+   mmap open-time validator use this, so the two paths accept exactly the
+   same byte strings. *)
+let scan_postings (p : S.bigbytes) (dir : flat_dir array) ~block ~ng emit =
+  Array.iteri
+    (fun fi de ->
+      let stop = de.d_off + de.d_len in
+      let u32 at =
+        if at < de.d_off || at + 4 > stop then
+          S.error "flat postings: feature %d region overrun" fi;
+        flat_u32 p at
+      in
+      let nb = u32 de.d_off in
+      let expect_nb = if de.d_count = 0 then 0 else ((de.d_count - 1) / block) + 1 in
+      if nb <> expect_nb then
+        S.error "flat postings: feature %d has %d skip blocks, expected %d" fi
+          nb expect_nb;
+      let bodies = de.d_off + 4 + (8 * nb) in
+      if bodies > stop then S.error "flat postings: feature %d region overrun" fi;
+      let pos = ref bodies in
+      let prev = ref (-1) in
+      for k = 0 to nb - 1 do
+        let g0 = u32 (de.d_off + 4 + (8 * k)) in
+        let boff = u32 (de.d_off + 4 + (8 * k) + 4) in
+        if bodies + boff <> !pos then
+          S.error "flat postings: feature %d block %d body offset mismatch" fi k;
+        if g0 <= !prev then
+          S.error "flat postings: feature %d graph ids not strictly increasing"
+            fi;
+        if g0 >= ng then
+          S.error "flat postings: feature %d mentions graph %d of a %d-graph \
+                   database"
+            fi g0 ng;
+        let lo = k * block in
+        let hi = min de.d_count ((k + 1) * block) in
+        emit fi lo g0;
+        let cur = ref g0 in
+        for i = lo + 1 to hi - 1 do
+          let v, p' = flat_varint_checked p !pos stop fi in
+          pos := p';
+          if v < 1 then
+            S.error "flat postings: feature %d non-positive delta" fi;
+          cur := !cur + v;
+          if !cur >= ng then
+            S.error "flat postings: feature %d mentions graph %d of a \
+                     %d-graph database"
+              fi !cur ng;
+          emit fi i !cur
+        done;
+        prev := !cur
+      done;
+      if !pos <> stop then
+        S.error "flat postings: feature %d region has %d trailing bytes" fi
+          (stop - !pos))
+    dir
+
+(* Count fields are validated here, on materialisation, not at open time:
+   the bounds payload is the bulk of the image and a streaming scan of it
+   at open would defeat the O(mmap) cold start. A corrupted count still
+   surfaces as a clean [Store_error], just at first lookup. *)
+let flat_count what v =
+  if not (Float.is_integer v) || v < 0. || v > 9.0e15 then
+    S.error "flat bounds: invalid %s %g" what v;
+  int_of_float v
+
+let flat_entry fl idx : entry =
+  let b i = Bigarray.Array1.get fl.f_bounds ((idx * 6) + i) in
+  {
+    Bounds.lower = b 0;
+    upper = b 1;
+    lower_safe = b 2;
+    upper_safe = b 3;
+    embeddings = flat_count "embedding count" (b 4);
+    cuts = flat_count "cut count" (b 5);
+  }
+
+let flat_lookup fl ~feature ~graph =
+  let de = fl.f_dir.(feature) in
+  if de.d_count = 0 then None
+  else begin
+    let p = fl.f_postings in
+    let base = de.d_off in
+    let nb = flat_u32 p base in
+    let first k = flat_u32 p (base + 4 + (8 * k)) in
+    if graph < first 0 then None
+    else begin
+      (* greatest block whose first id is <= graph *)
+      let lo = ref 0 and hi = ref (nb - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if first mid <= graph then lo := mid else hi := mid - 1
+      done;
+      let k = !lo in
+      let g0 = first k in
+      let start_rank = k * fl.f_block in
+      if g0 = graph then Some (flat_entry fl (de.d_rank + start_rank))
+      else begin
+        let blk_n = min fl.f_block (de.d_count - start_rank) in
+        let bodies = base + 4 + (8 * nb) in
+        let pos = ref (bodies + flat_u32 p (base + 4 + (8 * k) + 4)) in
+        let cur = ref g0 in
+        let found = ref (-1) in
+        let i = ref 1 in
+        while !found < 0 && !i < blk_n && !cur < graph do
+          let v, p' = flat_varint p !pos in
+          pos := p';
+          cur := !cur + v;
+          if !cur = graph then found := de.d_rank + start_rank + !i;
+          incr i
+        done;
+        if !found < 0 then None else Some (flat_entry fl !found)
+      end
+    end
+  end
+
+(* Offline operations ([sub], [concat], [add_graphs], re-encoding) work on
+   the heap matrix; a flat-backed index materialises one first. The floats
+   come straight off the bounds array, so the materialised matrix is
+   bit-identical to what the eager loader would have produced. *)
+let entries_matrix t =
+  match t.backing with
+  | Heap e -> e
+  | Flat fl ->
+    let nf = Array.length t.features and ng = t.num_graphs in
+    let entries = Array.init nf (fun _ -> Array.make ng None) in
+    scan_postings fl.f_postings fl.f_dir ~block:fl.f_block ~ng
+      (fun fi rank gid ->
+        entries.(fi).(gid) <- Some (flat_entry fl (fl.f_dir.(fi).d_rank + rank)));
+    entries
 
 (* Incremental insertion. Alongside the new bound columns, the mined
    features' support lists must absorb the new graph ids: supports drive
@@ -95,7 +294,7 @@ let add_graphs t gs =
     let entries =
       Array.mapi
         (fun fi row -> Array.append row (Array.init k (fun i -> columns.(i).(fi))))
-        t.entries
+        (entries_matrix t)
     in
     let features =
       Array.mapi
@@ -108,7 +307,7 @@ let add_graphs t gs =
           else { f with Selection.support = f.support @ !extra })
         t.features
     in
-    { t with features; entries; num_graphs = base + k }
+    { t with features; backing = Heap entries; num_graphs = base + k }
   end
 
 let add_graph t g = add_graphs t [| g |]
@@ -141,8 +340,8 @@ let sub t ~base ~len =
         })
       t.features
   in
-  let entries = Array.map (fun row -> Array.sub row base len) t.entries in
-  { t with features; entries; num_graphs = len }
+  let entries = Array.map (fun row -> Array.sub row base len) (entries_matrix t) in
+  { t with features; backing = Heap entries; num_graphs = len }
 
 let concat = function
   | [] -> invalid_arg "Pmi.concat: empty list"
@@ -188,42 +387,64 @@ let concat = function
             strong_support = gather (fun f -> f.Selection.strong_support);
           })
     in
+    let mats = List.map entries_matrix parts in
     let entries =
-      Array.init nf (fun fi ->
-          Array.concat (List.map (fun p -> p.entries.(fi)) parts))
+      Array.init nf (fun fi -> Array.concat (List.map (fun m -> m.(fi)) mats))
     in
     let build_seconds =
       List.fold_left (fun a p -> Float.max a p.build_seconds) 0. parts
     in
-    { config = first.config; features; entries; num_graphs; build_seconds }
+    {
+      config = first.config;
+      features;
+      backing = Heap entries;
+      num_graphs;
+      build_seconds;
+    }
 
 let config t = t.config
 let features t = Array.copy t.features
 let num_features t = Array.length t.features
 let num_graphs t = t.num_graphs
 
-let lookup t ~feature ~graph = t.entries.(feature).(graph)
+let lookup t ~feature ~graph =
+  match t.backing with
+  | Heap e -> e.(feature).(graph)
+  | Flat fl -> flat_lookup fl ~feature ~graph
 
 let column t ~graph =
-  let out = ref [] in
-  for fi = Array.length t.features - 1 downto 0 do
-    match t.entries.(fi).(graph) with
-    | Some e -> out := (fi, e) :: !out
-    | None -> ()
-  done;
-  !out
+  match t.backing with
+  | Heap e ->
+    let out = ref [] in
+    for fi = Array.length t.features - 1 downto 0 do
+      match e.(fi).(graph) with
+      | Some e -> out := (fi, e) :: !out
+      | None -> ()
+    done;
+    !out
+  | Flat fl ->
+    let out = ref [] in
+    for fi = Array.length t.features - 1 downto 0 do
+      match flat_lookup fl ~feature:fi ~graph with
+      | Some e -> out := (fi, e) :: !out
+      | None -> ()
+    done;
+    !out
 
 let filled_entries t =
-  Array.fold_left
-    (fun acc row ->
-      acc + Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 row)
-    0 t.entries
+  match t.backing with
+  | Heap entries ->
+    Array.fold_left
+      (fun acc row ->
+        acc
+        + Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 row)
+      0 entries
+  | Flat fl -> fl.f_filled
 
+let backing t = match t.backing with Heap _ -> `Heap | Flat _ -> `Flat
 let build_seconds t = t.build_seconds
 
 (* --- persistence (DESIGN.md §9) --- *)
-
-module S = Psst_store
 
 let encode_entry e (b : entry) =
   S.put_f64 e b.Bounds.lower;
@@ -254,7 +475,9 @@ let shard_name k = Printf.sprintf "pmi.entries.%d" k
 let num_shards ng = if ng = 0 then 0 else ((ng - 1) / shard_width) + 1
 let m_salvaged = Psst_obs.counter "store.salvaged_columns"
 
-let to_sections ~db t =
+(* The small metadata sections are shared verbatim between the eager
+   (sharded) and flat images, so both carry the same validation surface. *)
+let small_sections ~db t =
   let config = S.encoder () in
   S.put_i64 config t.config.Bounds.emb_cap;
   S.put_i64 config t.config.cut_cap;
@@ -267,7 +490,17 @@ let to_sections ~db t =
   S.put_i32 dbsec (Pgraph_io.db_fingerprint db);
   let features = S.encoder () in
   S.put_array features Selection.encode_feature t.features;
+  let meta = S.encoder () in
+  S.put_f64 meta t.build_seconds;
+  ( S.section "pmi.config" config,
+    S.section "pmi.db" dbsec,
+    S.section "pmi.features" features,
+    S.section "pmi.meta" meta )
+
+let to_sections ~db t =
+  let config, dbsec, features, meta = small_sections ~db t in
   let nf = num_features t and ng = num_graphs t in
+  let entries = entries_matrix t in
   let layout = S.encoder () in
   S.put_i64 layout nf;
   S.put_i64 layout ng;
@@ -278,20 +511,192 @@ let to_sections ~db t =
         let lo = k * shard_width and hi = min ng ((k + 1) * shard_width) in
         for gi = lo to hi - 1 do
           for fi = 0 to nf - 1 do
-            S.put_option e encode_entry t.entries.(fi).(gi)
+            S.put_option e encode_entry entries.(fi).(gi)
           done
         done;
         S.section (shard_name k) e)
   in
-  let meta = S.encoder () in
-  S.put_f64 meta t.build_seconds;
-  S.section "pmi.config" config
-  :: S.section "pmi.db" dbsec
-  :: S.section "pmi.features" features
+  config :: dbsec :: features
   :: S.section "pmi.layout" layout
-  :: (shards @ [ S.section "pmi.meta" meta ])
+  :: (shards @ [ meta ])
 
-let of_sections ?(salvage = false) ~db sections =
+(* --- flat image codec (DESIGN.md §15) --- *)
+
+let flat_dir_name = "pmi.flat.dir"
+let flat_postings_name = "pmi.flat.postings"
+let flat_bounds_name = "pmi.flat.bounds"
+
+let count_as_float what v =
+  let f = Float.of_int v in
+  if v < 0 || Float.to_int f <> v then
+    S.error "flat bounds: %s %d is not exactly representable" what v;
+  f
+
+let flat_sections ~db t =
+  let config, dbsec, features, meta = small_sections ~db t in
+  let nf = num_features t and ng = t.num_graphs in
+  let block = flat_block in
+  (* Posting rows via [lookup], so any backing can be re-encoded. *)
+  let rows =
+    Array.init nf (fun fi ->
+        let acc = ref [] in
+        for gi = ng - 1 downto 0 do
+          match lookup t ~feature:fi ~graph:gi with
+          | Some e -> acc := (gi, e) :: !acc
+          | None -> ()
+        done;
+        Array.of_list !acc)
+  in
+  let filled = Array.fold_left (fun a r -> a + Array.length r) 0 rows in
+  let dir = S.encoder () in
+  S.put_i64 dir nf;
+  S.put_i64 dir ng;
+  S.put_i64 dir block;
+  S.put_i64 dir filled;
+  let postings = S.encoder () in
+  let bounds = S.encoder () in
+  let put_u32 e v = S.put_i32 e (Int32.of_int v) in
+  let off = ref 0 in
+  Array.iter
+    (fun row ->
+      let n = Array.length row in
+      let nb = if n = 0 then 0 else ((n - 1) / block) + 1 in
+      let bodies = S.encoder () in
+      let skips = Array.make nb (0, 0) in
+      for k = 0 to nb - 1 do
+        let lo = k * block and hi = min n ((k + 1) * block) in
+        skips.(k) <- (fst row.(lo), S.enc_length bodies);
+        for i = lo + 1 to hi - 1 do
+          S.put_varint bodies (fst row.(i) - fst row.(i - 1))
+        done
+      done;
+      put_u32 postings nb;
+      Array.iter
+        (fun (g, o) ->
+          put_u32 postings g;
+          put_u32 postings o)
+        skips;
+      let body = S.contents bodies in
+      S.put_raw postings body;
+      let len = 4 + (8 * nb) + String.length body in
+      S.put_i64 dir n;
+      S.put_i64 dir !off;
+      S.put_i64 dir len;
+      off := !off + len;
+      Array.iter
+        (fun (_, (e : entry)) ->
+          S.put_f64 bounds e.Bounds.lower;
+          S.put_f64 bounds e.upper;
+          S.put_f64 bounds e.lower_safe;
+          S.put_f64 bounds e.upper_safe;
+          S.put_f64 bounds (count_as_float "embedding count" e.embeddings);
+          S.put_f64 bounds (count_as_float "cut count" e.cuts))
+        row)
+    rows;
+  [
+    config;
+    dbsec;
+    features;
+    S.section flat_dir_name dir;
+    S.section flat_postings_name postings;
+    S.section flat_bounds_name bounds;
+    meta;
+  ]
+
+let decode_flat_dir payload ~nf ~ng ~postings_len ~bounds_len =
+  let d = S.decoder ~name:flat_dir_name payload in
+  let snf = S.get_nat d in
+  let sng = S.get_nat d in
+  let block = S.get_nat d in
+  let filled = S.get_nat d in
+  if snf <> nf then S.error "flat directory has %d rows for %d features" snf nf;
+  if sng <> ng then S.error "flat directory has %d columns for %d graphs" sng ng;
+  if block < 1 then S.error "flat directory block size %d must be >= 1" block;
+  if bounds_len <> filled * 48 then
+    S.error "flat bounds payload is %d bytes for %d filled entries" bounds_len
+      filled;
+  let run_off = ref 0 and run_rank = ref 0 in
+  let dir =
+    Array.init nf (fun fi ->
+        let count = S.get_nat d in
+        let off = S.get_nat d in
+        let len = S.get_nat d in
+        if count > ng then
+          S.error "flat directory: feature %d has %d postings for %d graphs" fi
+            count ng;
+        if off <> !run_off then
+          S.error "flat directory: feature %d region at offset %d, expected %d"
+            fi off !run_off;
+        if len < 4 || off + len > postings_len then
+          S.error "flat directory: feature %d region %d+%d outside %d-byte \
+                   postings payload"
+            fi off len postings_len;
+        let rank = !run_rank in
+        run_off := off + len;
+        run_rank := rank + count;
+        { d_count = count; d_off = off; d_len = len; d_rank = rank })
+  in
+  S.expect_end d;
+  if !run_off <> postings_len then
+    S.error "flat directory: regions cover %d of %d postings bytes" !run_off
+      postings_len;
+  if !run_rank <> filled then
+    S.error "flat directory: feature counts sum to %d, filled total is %d"
+      !run_rank filled;
+  (dir, filled, block)
+
+let big_of_string s : S.bigbytes =
+  let n = String.length s in
+  let b = Bigarray.Array1.create Bigarray.char Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set b i (String.unsafe_get s i)
+  done;
+  b
+
+(* Eager decode of a flat image into the heap matrix — used when a flat
+   store file is loaded without [~mmap]. Bit-identical to the matrix the
+   zero-copy path exposes through [lookup]. *)
+let heap_of_flat_sections sections ~nf ~ng =
+  let postings_s = S.find_section sections flat_postings_name in
+  let bounds_s = S.find_section sections flat_bounds_name in
+  let dir, _filled, block =
+    decode_flat_dir
+      (S.find_section sections flat_dir_name)
+      ~nf ~ng
+      ~postings_len:(String.length postings_s)
+      ~bounds_len:(String.length bounds_s)
+  in
+  let p = big_of_string postings_s in
+  let bound_at i = Int64.float_of_bits (String.get_int64_le bounds_s (i * 8)) in
+  let check_count what v =
+    if not (Float.is_integer v) || v < 0. || v > 9.0e15 then
+      S.error "flat bounds: invalid %s %g" what v;
+    int_of_float v
+  in
+  let entries = Array.init nf (fun _ -> Array.make ng None) in
+  scan_postings p dir ~block ~ng (fun fi rank gid ->
+      let idx = dir.(fi).d_rank + rank in
+      let b i = bound_at ((idx * 6) + i) in
+      entries.(fi).(gid) <-
+        Some
+          {
+            Bounds.lower = b 0;
+            upper = b 1;
+            lower_safe = b 2;
+            upper_safe = b 3;
+            embeddings = check_count "embedding count" (b 4);
+            cuts = check_count "cut count" (b 5);
+          });
+  entries
+
+(* Decode + validate the small metadata sections, shared by every load
+   path (eager sharded, eager flat, zero-copy mapped). [fp] recomputes the
+   database fingerprint when identity must be re-proven — the eager paths
+   always do; the zero-copy query path skips it (its graphs live in the
+   same atomically-written container as the index, so identity is
+   intrinsic, and re-fingerprinting would force the decode the mapping
+   exists to avoid). *)
+let decode_small_sections ~ng ~fp sections =
   let config =
     S.decode_section sections "pmi.config" (fun d ->
         let emb_cap = S.get_nat d in
@@ -305,18 +710,20 @@ let of_sections ?(salvage = false) ~db sections =
   S.decode_section sections "pmi.db" (fun d ->
       let stored_ng = S.get_nat d in
       let stored_fp = S.get_i32 d in
-      if stored_ng <> Array.length db then
+      if stored_ng <> ng then
         S.error
           "database mismatch: index was built over %d graphs, this database \
            has %d — rebuild the index"
-          stored_ng (Array.length db);
-      let fp = Pgraph_io.db_fingerprint db in
-      if stored_fp <> fp then
-        S.error
-          "database fingerprint mismatch (stored %08lx, actual %08lx): the \
-           index was built for a different database — rebuild the index"
-          stored_fp fp);
-  let ng = Array.length db in
+          stored_ng ng;
+      match fp with
+      | None -> ()
+      | Some recompute ->
+        let actual = recompute () in
+        if stored_fp <> actual then
+          S.error
+            "database fingerprint mismatch (stored %08lx, actual %08lx): the \
+             index was built for a different database — rebuild the index"
+            stored_fp actual);
   let features =
     S.decode_section sections "pmi.features" (fun d ->
         S.get_array d Selection.decode_feature)
@@ -330,7 +737,54 @@ let of_sections ?(salvage = false) ~db sections =
               gi ng)
         f.support)
     features;
+  (config, features)
+
+let of_sections ?(salvage = false) ~db sections =
+  let ng = Array.length db in
+  let config, features =
+    decode_small_sections ~ng
+      ~fp:(Some (fun () -> Pgraph_io.db_fingerprint db))
+      sections
+  in
   let nf = Array.length features in
+  let has name = List.exists (fun (s : S.section) -> s.S.name = name) sections in
+  if
+    has flat_dir_name
+    || (salvage && (has flat_postings_name || has flat_bounds_name))
+  then begin
+    (* A flat image. Its three sections do not shard per column, so salvage
+       is coarse: if any of them is damaged, every column is rebuilt with
+       the same deterministic builder the sharded salvage uses. *)
+    let entries, rebuilt =
+      if has flat_dir_name && has flat_postings_name && has flat_bounds_name
+      then (heap_of_flat_sections sections ~nf ~ng, 0)
+      else if not salvage then
+        (heap_of_flat_sections sections ~nf ~ng, 0 (* raises: missing section *))
+      else begin
+        let entries = Array.init nf (fun _ -> Array.make ng None) in
+        for gi = 0 to ng - 1 do
+          let col = build_column config db features gi in
+          for fi = 0 to nf - 1 do
+            entries.(fi).(gi) <- col.(fi)
+          done
+        done;
+        (entries, ng)
+      end
+    in
+    if rebuilt > 0 then begin
+      Psst_obs.add m_salvaged rebuilt;
+      Psst_obs.warn ~code:"store.salvaged"
+        (Printf.sprintf
+           "PMI salvage: rebuilt all %d columns (damaged flat image section)"
+           rebuilt)
+    end;
+    let build_seconds =
+      if salvage && not (has "pmi.meta") then 0.
+      else S.decode_section sections "pmi.meta" S.get_f64
+    in
+    { config; features; backing = Heap entries; num_graphs = ng; build_seconds }
+  end
+  else begin
   let shard_w =
     S.decode_section sections "pmi.layout" (fun d ->
         let stored_nf = S.get_nat d in
@@ -347,7 +801,6 @@ let of_sections ?(salvage = false) ~db sections =
   let nshards = if ng = 0 then 0 else ((ng - 1) / shard_w) + 1 in
   let rebuilt_shards = ref [] in
   let rebuilt_cols = ref 0 in
-  let has name = List.exists (fun (s : S.section) -> s.S.name = name) sections in
   for k = 0 to nshards - 1 do
     let name = shard_name k in
     let lo = k * shard_w and hi = min ng ((k + 1) * shard_w) in
@@ -385,15 +838,92 @@ let of_sections ?(salvage = false) ~db sections =
     if salvage && not (has "pmi.meta") then 0.
     else S.decode_section sections "pmi.meta" S.get_f64
   in
-  { config; features; entries; num_graphs = ng; build_seconds }
+  { config; features; backing = Heap entries; num_graphs = ng; build_seconds }
+  end
 
 let save path ~db t = S.write_file path ~kind:S.Pmi_index (to_sections ~db t)
 
-let load ?(salvage = false) path ~db =
-  if salvage then
-    of_sections ~salvage:true ~db
-      (S.read_file_salvage path ~kind:S.Pmi_index).S.intact
-  else of_sections ~db (S.read_file path ~kind:S.Pmi_index)
+let save_flat path ~db t =
+  S.write_file path ~kind:S.Pmi_index
+    (S.align_payloads ~targets:[ flat_bounds_name ] (flat_sections ~db t))
+
+(* Zero-copy attach: the small sections are decoded (and CRC-checked)
+   exactly like [of_sections]; the postings stay in the mapping after a
+   full validating scan, so query-time binary searches never have to
+   re-check structure. The bounds payload — the bulk of the image — is
+   not scanned at open: its floats are read straight off the mapping and
+   its count fields validated on materialisation ([flat_entry]), which is
+   what keeps attach time independent of the index size. [fp] as in
+   [decode_small_sections]. *)
+let of_mapped_gen m ~ng ~fp =
+  if not (S.mapped_has m flat_dir_name) then
+    S.error
+      "store %s holds no flat index image — re-index it with --flat to use \
+       --mmap"
+      (S.mapped_path m);
+  let small =
+    List.filter_map
+      (fun name ->
+        if S.mapped_has m name then
+          Some { S.name; payload = S.mapped_section_string m name }
+        else None)
+      [ "pmi.config"; "pmi.db"; "pmi.features"; "pmi.meta"; flat_dir_name ]
+  in
+  let config, features = decode_small_sections ~ng ~fp small in
+  let nf = Array.length features in
+  let postings = S.mapped_bytes m flat_postings_name in
+  let bounds = S.mapped_f64 m flat_bounds_name in
+  let dir, filled, block =
+    decode_flat_dir
+      (S.find_section small flat_dir_name)
+      ~nf ~ng
+      ~postings_len:(Bigarray.Array1.dim postings)
+      ~bounds_len:(8 * Bigarray.Array1.dim bounds)
+  in
+  scan_postings postings dir ~block ~ng (fun _ _ _ -> ());
+  let build_seconds = S.decode_section small "pmi.meta" S.get_f64 in
+  {
+    config;
+    features;
+    backing =
+      Flat
+        {
+          f_dir = dir;
+          f_postings = postings;
+          f_bounds = bounds;
+          f_block = block;
+          f_filled = filled;
+        };
+    num_graphs = ng;
+    build_seconds;
+  }
+
+let of_mapped m ~db =
+  of_mapped_gen m ~ng:(Array.length db)
+    ~fp:(Some (fun () -> Pgraph_io.db_fingerprint db))
+
+let of_mapped_lazy m ~ng = of_mapped_gen m ~ng ~fp:None
+
+let load ?(salvage = false) ?(mmap = false) path ~db =
+  let eager () =
+    if salvage then
+      of_sections ~salvage:true ~db
+        (S.read_file_salvage path ~kind:S.Pmi_index).S.intact
+    else of_sections ~db (S.read_file path ~kind:S.Pmi_index)
+  in
+  if not mmap then eager ()
+  else
+    match
+      let m = S.map_file path ~kind:S.Pmi_index in
+      Fun.protect
+        ~finally:(fun () -> S.mapped_release m)
+        (fun () -> of_mapped m ~db)
+    with
+    | t -> t
+    | exception S.Store_error _ when salvage ->
+      (* The mmap path has no partial salvage; fall back to the eager
+         salvage loader, which rebuilds what the file cannot provide. *)
+      eager ()
 
 let pp_stats ppf t =
   Format.fprintf ppf "PMI: %d features x %d graphs, %d filled entries, built in %.2fs"

@@ -62,6 +62,12 @@ val column : t -> graph:int -> (int * entry) list
 (** Number of non-empty entries — the "index size" series of Fig 12(d). *)
 val filled_entries : t -> int
 
+(** How the bound matrix is held: [`Heap] (eagerly decoded OCaml arrays) or
+    [`Flat] (zero-copy lookups off a memory-mapped flat image, DESIGN.md
+    §15). Observability only — every query-time accessor behaves
+    identically on both. *)
+val backing : t -> [ `Heap | `Flat ]
+
 (** Wall-clock seconds spent computing the entries (Fig 12(c)). *)
 val build_seconds : t -> float
 
@@ -92,8 +98,41 @@ val save : string -> db:Pgraph.t array -> t -> unit
     warning event. The small metadata sections (config, database
     fingerprint, features, layout) cannot be salvaged — if one of those is
     damaged the load still raises [Store_error] and the caller should fall
-    back to a full rebuild. *)
-val load : ?salvage:bool -> string -> db:Pgraph.t array -> t
+    back to a full rebuild.
+
+    [~mmap:true] memory-maps the file instead of decoding it: the store
+    must hold a flat image ({!save_flat}); postings and bounds stay in the
+    mapping and {!lookup} reads them zero-copy, so cold start does no
+    per-entry decoding (the file is still integrity-scanned once —
+    DESIGN.md §15). Lookups are bit-identical to the eager load of the
+    same file. A non-flat store raises [Store_error] suggesting [--flat].
+    With [~salvage:true], a damaged file falls back to the eager salvage
+    loader (the mapping itself has no partial salvage). *)
+val load : ?salvage:bool -> ?mmap:bool -> string -> db:Pgraph.t array -> t
+
+(** [save_flat path ~db t] writes the flat, mmap-ready image of the index:
+    delta-coded per-feature postings, one fixed-width IEEE-754 bounds
+    array (8-byte aligned via a pad section), and a directory — same
+    outer container, checksums and metadata sections as {!save}. Both
+    {!load} paths read it; only this layout supports [~mmap:true]. *)
+val save_flat : string -> db:Pgraph.t array -> t -> unit
+
+(** [of_mapped m ~db] attaches to the flat image inside an already-mapped
+    store when the graphs are already decoded (standalone [Pmi_index]
+    files paired with an external database). Runs the same metadata
+    validation as {!of_sections} — including the database fingerprint —
+    plus a full validating scan of the postings; bound count fields are
+    validated on first materialisation instead of at open, so attach time
+    does not scale with the bounds payload. *)
+val of_mapped : Psst_store.mapped -> db:Pgraph.t array -> t
+
+(** [of_mapped_lazy m ~ng] — like {!of_mapped} but for images whose
+    graphs live (lazily decoded) in the {e same} container, so only the
+    graph count is cross-checked: the index and the graphs were written
+    in one atomic store file, making re-fingerprinting — which would
+    force the full decode the mapping exists to avoid — redundant for
+    identity. {!Query.load_database}'s [~mmap] path uses this. *)
+val of_mapped_lazy : Psst_store.mapped -> ng:int -> t
 
 (** Section-level codec, shared with the whole-database store
     ({!Query.save_database}). [of_sections] performs the same validation as
@@ -102,6 +141,17 @@ val load : ?salvage:bool -> string -> db:Pgraph.t array -> t
     [intact] list of {!Psst_store.read_file_salvage}). *)
 val to_sections : db:Pgraph.t array -> t -> Psst_store.section list
 
+(** The flat-image sections ("pmi.flat.dir" / "pmi.flat.postings" /
+    "pmi.flat.bounds" plus the shared metadata sections). Callers must run
+    {!Psst_store.align_payloads} with target ["pmi.flat.bounds"] on the
+    final section list before writing, or the mmap loader will reject the
+    unaligned bounds payload. *)
+val flat_sections : db:Pgraph.t array -> t -> Psst_store.section list
+
+(** [of_sections] accepts both layouts (sharded and flat), eagerly decoding
+    either into the heap backing. With [~salvage:true], a damaged flat
+    image rebuilds {e all} columns (the flat sections are not per-column
+    sharded); damaged metadata still raises. *)
 val of_sections :
   ?salvage:bool -> db:Pgraph.t array -> Psst_store.section list -> t
 

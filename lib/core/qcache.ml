@@ -72,7 +72,7 @@ end
 
 type t = {
   mu : Mutex.t;
-  mutable owner_graphs : Pgraph.t array;
+  mutable owner_graphs : Corpus.t;
   mutable owner_pmi : Pmi.t option;
   relaxed : (Lgraph.t list * [ `Complete | `Truncated ]) Tbl.t;
   prepared : Pruning.prepared Tbl.t;
@@ -88,7 +88,7 @@ let create ?(query_cap = 128) ?(value_cap = 16384) () =
   if value_cap < 1 then invalid_arg "Qcache.create: value_cap must be >= 1";
   {
     mu = Mutex.create ();
-    owner_graphs = [||];
+    owner_graphs = Corpus.of_array [||];
     owner_pmi = None;
     relaxed = Tbl.create query_cap;
     prepared = Tbl.create query_cap;

@@ -45,7 +45,7 @@ type scope
 
 val scope :
   t ->
-  graphs:Pgraph.t array ->
+  graphs:Corpus.t ->
   pmi:Pmi.t ->
   q:Lgraph.t ->
   delta:int ->

@@ -3,8 +3,7 @@ module Timer = Psst_util.Timer
 module Pool = Psst_util.Pool
 
 type database = {
-  graphs : Pgraph.t array;
-  skeletons : Lgraph.t array;
+  graphs : Corpus.t;
   features : Selection.feature list;
   structural : Structural.t;
   pmi : Pmi.t;
@@ -32,7 +31,7 @@ let index_database ?(mining = Selection.default_params)
         (Array.length graphs));
   let structural = Structural.build skeletons features ~emb_cap in
   let pmi = Pmi.build ~config:bounds ~domains graphs features in
-  { graphs; skeletons; features; structural; pmi; base = 0 }
+  { graphs = Corpus.of_array graphs; features; structural; pmi; base = 0 }
 
 let m_runs = Psst_obs.counter "query.runs"
 let m_answers = Psst_obs.counter "query.answers"
@@ -49,8 +48,7 @@ let add_graphs db gs =
     let pmi = Pmi.add_graphs db.pmi gs in
     Psst_obs.add m_graphs_added (Array.length gs);
     {
-      graphs = Array.append db.graphs gs;
-      skeletons = Array.append db.skeletons skels;
+      graphs = Corpus.append db.graphs gs;
       features = Array.to_list (Pmi.features pmi);
       structural = Structural.add_graphs db.structural skels;
       pmi;
@@ -207,7 +205,9 @@ let prune_phases ?scope db q config =
   (* Phase 1: structural pruning over the certain skeletons (Thm 1). *)
   let structural_cands, pt_structural =
     Timer.time (fun () ->
-        Structural.candidates db.structural db.skeletons q ~delta:config.delta)
+        Structural.candidates db.structural
+          ~skeleton:(Corpus.skeleton db.graphs)
+          q ~delta:config.delta)
   in
   (* Phase 2: probabilistic pruning through the PMI bounds. *)
   let (accepted, candidates, pruned), pt_probabilistic =
@@ -294,8 +294,8 @@ let run_on ?deadline ?cache pool db q config =
               let rng = Prng.stream ~seed:config.seed (global db gi) in
               match
                 Timer.time (fun () ->
-                    verify_candidate ?scope ~graph:gi config rng db.graphs.(gi)
-                      relaxed)
+                    verify_candidate ?scope ~graph:gi config rng
+                      (Corpus.get db.graphs gi) relaxed)
               with
               | v, t -> (gi, v >= config.epsilon, t, false)
               | exception Psst_fault.Injected _ -> (gi, true, 0., true))
@@ -410,17 +410,17 @@ let run_exact_scan db q config =
   in
   let answers, t =
     Timer.time (fun () ->
-        List.init (Array.length db.graphs) (fun gi -> gi)
+        List.init (Corpus.length db.graphs) (fun gi -> gi)
         |> List.filter (fun gi ->
-               Verify.exact db.graphs.(gi) relaxed >= config.epsilon)
+               Verify.exact (Corpus.get db.graphs gi) relaxed >= config.epsilon)
         |> List.map (global db))
   in
   let stats =
     {
       relaxed_count = List.length relaxed;
       relaxed_truncated = status = `Truncated;
-      structural_candidates = Array.length db.graphs;
-      prob_candidates = Array.length db.graphs;
+      structural_candidates = Corpus.length db.graphs;
+      prob_candidates = Corpus.length db.graphs;
       accepted_by_bounds = 0;
       pruned_by_bounds = 0;
       degraded_candidates = 0;
@@ -436,10 +436,10 @@ let run_exact_scan db q config =
 
 let ground_truth db q config =
   let relaxed, _ = Relax.relaxed_set ~cap:config.relax_cap q ~delta:config.delta in
-  List.init (Array.length db.graphs) (fun gi -> gi)
+  List.init (Corpus.length db.graphs) (fun gi -> gi)
   |> List.filter (fun gi ->
-         Distance.within q db.skeletons.(gi) ~delta:config.delta
-         && Verify.exact db.graphs.(gi) relaxed >= config.epsilon)
+         Distance.within q (Corpus.skeleton db.graphs gi) ~delta:config.delta
+         && Verify.exact (Corpus.get db.graphs gi) relaxed >= config.epsilon)
   |> List.map (global db)
 
 (* --- persistence (DESIGN.md §9) --- *)
@@ -509,18 +509,72 @@ let get_config ?(adaptive_field = true) d =
    "db.base" section carries the global-id offset and is written only
    when non-zero, so files written by previous releases (always
    monolithic, base 0) load unchanged. *)
-let database_sections db =
+(* The flat structural image (DESIGN.md §15): a tiny directory plus one
+   feature-major u16 cell matrix that the mmap load path reads zero-copy.
+   Counts are capped at [emb_cap], so u16 range suffices as long as the
+   cap itself fits — enforced here rather than silently truncated. *)
+let structural_flat_sections st =
+  let emb_cap = Structural.emb_cap st in
+  if emb_cap > 0xFFFF then
+    Store.error
+      "flat structural image requires emb_cap < 65536 (this index uses %d)"
+      emb_cap;
+  let nf = Structural.num_features st and ng = Structural.num_graphs st in
+  let dir = Store.encoder () in
+  Store.put_i64 dir emb_cap;
+  Store.put_i64 dir nf;
+  Store.put_i64 dir ng;
+  let cells = Store.encoder () in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun c ->
+          if c > 0xFFFF then
+            Store.error "structural count %d does not fit the flat u16 cells" c;
+          Store.put_u16 cells c)
+        row)
+    (Structural.counts st);
+  [
+    Store.section "structural.flat.dir" dir;
+    Store.section "structural.flat.counts" cells;
+  ]
+
+let database_sections ?(flat = false) db =
+  let garr = Corpus.to_array db.graphs in
   let graphs = Store.encoder () in
-  Store.put_array graphs Pgraph_io.encode_binary db.graphs;
-  let structural = Store.encoder () in
-  Store.put_i64 structural (Structural.emb_cap db.structural);
-  Store.put_array structural
-    (fun e row -> Store.put_array e Store.put_i64 row)
-    (Structural.counts db.structural);
+  (* Framing identical to [put_array encode_binary] — the payload bytes
+     (and hence the database fingerprint) are the same in both layouts;
+     the flat image just also records where each graph begins, so a
+     mapped corpus can decode one graph without scanning its
+     predecessors. *)
+  let n = Array.length garr in
+  Store.put_i64 graphs n;
+  let offsets = Array.make (n + 1) 0 in
+  offsets.(0) <- Store.enc_length graphs;
+  Array.iteri
+    (fun i g ->
+      Pgraph_io.encode_binary graphs g;
+      offsets.(i + 1) <- Store.enc_length graphs)
+    garr;
   let head =
-    Store.section "graphs" graphs
-    :: Store.section "structural" structural
-    :: Pmi.to_sections ~db:db.graphs db.pmi
+    if flat then begin
+      let offs = Store.encoder () in
+      Store.put_array offs Store.put_i64 offsets;
+      Store.section "graphs" graphs
+      :: Store.section "graphs.offsets" offs
+      :: (structural_flat_sections db.structural
+         @ Pmi.flat_sections ~db:garr db.pmi)
+    end
+    else begin
+      let structural = Store.encoder () in
+      Store.put_i64 structural (Structural.emb_cap db.structural);
+      Store.put_array structural
+        (fun e row -> Store.put_array e Store.put_i64 row)
+        (Structural.counts db.structural);
+      Store.section "graphs" graphs
+      :: Store.section "structural" structural
+      :: Pmi.to_sections ~db:garr db.pmi
+    end
   in
   if db.base = 0 then head
   else begin
@@ -542,11 +596,43 @@ let database_of_sections ?(salvage = false) sections =
      stores is rejected here. *)
   let pmi = Pmi.of_sections ~salvage ~db:graphs sections in
   let features = Array.to_list (Pmi.features pmi) in
+  let has name =
+    List.exists (fun (s : Store.section) -> s.Store.name = name) sections
+  in
   let structural =
-    Store.decode_section sections "structural" (fun d ->
-        let emb_cap = Store.get_nat d in
-        let counts = Store.get_array d (fun d -> Store.get_array d Store.get_nat) in
-        Store.checked (fun () -> Structural.of_parts ~features ~counts ~emb_cap))
+    if has "structural.flat.dir" then begin
+      (* Eager decode of the flat image (a flat file loaded without mmap). *)
+      let emb_cap, nf, ng =
+        Store.decode_section sections "structural.flat.dir" (fun d ->
+            let emb_cap = Store.get_nat d in
+            let nf = Store.get_nat d in
+            let ng = Store.get_nat d in
+            (emb_cap, nf, ng))
+      in
+      if nf <> List.length features then
+        Store.error "structural flat image has %d rows for %d features" nf
+          (List.length features);
+      if ng <> Array.length graphs then
+        Store.error "structural flat image has %d columns for %d graphs" ng
+          (Array.length graphs);
+      let payload = Store.find_section sections "structural.flat.counts" in
+      if String.length payload <> 2 * nf * ng then
+        Store.error "structural flat counts: %d bytes for %d x %d cells"
+          (String.length payload) nf ng;
+      let counts =
+        Array.init nf (fun fi ->
+            Array.init ng (fun gi ->
+                String.get_uint16_le payload (2 * ((fi * ng) + gi))))
+      in
+      Store.checked (fun () -> Structural.of_parts ~features ~counts ~emb_cap)
+    end
+    else
+      Store.decode_section sections "structural" (fun d ->
+          let emb_cap = Store.get_nat d in
+          let counts =
+            Store.get_array d (fun d -> Store.get_array d Store.get_nat)
+          in
+          Store.checked (fun () -> Structural.of_parts ~features ~counts ~emb_cap))
   in
   let base =
     if List.exists (fun (s : Store.section) -> s.Store.name = "db.base") sections
@@ -556,22 +642,106 @@ let database_of_sections ?(salvage = false) sections =
           b)
     else 0
   in
-  {
-    graphs;
-    skeletons = Array.map Pgraph.skeleton graphs;
-    features;
-    structural;
-    pmi;
-    base;
-  }
+  { graphs = Corpus.of_array graphs; features; structural; pmi; base }
 
-let save_database path db =
-  Store.write_file path ~kind:Store.Database (database_sections db)
-
-let load_database ?(salvage = false) path =
+let save_database ?(flat = false) path db =
+  let sections = database_sections ~flat db in
   let sections =
-    if salvage then
-      (Store.read_file_salvage path ~kind:Store.Database).Store.intact
-    else Store.read_file path ~kind:Store.Database
+    if flat then
+      Store.align_payloads
+        ~targets:[ "structural.flat.counts"; "pmi.flat.bounds" ]
+        sections
+    else sections
   in
-  database_of_sections ~salvage sections
+  Store.write_file path ~kind:Store.Database sections
+
+(* Zero-copy load of a flat database image: only the small metadata
+   sections (directories, features, config) are decoded at open. The
+   graphs stay in the mapping behind a lazily-decoding {!Corpus}, and the
+   PMI postings/bounds and structural count cells — the
+   O(features x graphs) bulk — are read in place, so time-to-first-query
+   does not scale with database size. *)
+let load_database_mapped path =
+  let m = Store.map_file path ~kind:Store.Database in
+  Fun.protect
+    ~finally:(fun () -> Store.mapped_release m)
+    (fun () ->
+      if not (Store.mapped_has m "graphs.offsets") then
+        Store.error
+          "store %s holds no graph offset table — re-index it with --flat to \
+           use --mmap"
+          path;
+      let offsets =
+        let d =
+          Store.decoder ~name:"graphs.offsets"
+            (Store.mapped_section_string m "graphs.offsets")
+        in
+        let v = Store.get_array d Store.get_i64 in
+        Store.expect_end d;
+        v
+      in
+      let graphs = Corpus.of_mapped m ~section:"graphs" ~offsets in
+      let ng = Corpus.length graphs in
+      let pmi = Pmi.of_mapped_lazy m ~ng in
+      let features = Array.to_list (Pmi.features pmi) in
+      if not (Store.mapped_has m "structural.flat.dir") then
+        Store.error
+          "store %s holds no flat structural image — re-index it with --flat \
+           to use --mmap"
+          path;
+      let emb_cap, nf =
+        let d =
+          Store.decoder ~name:"structural.flat.dir"
+            (Store.mapped_section_string m "structural.flat.dir")
+        in
+        let emb_cap = Store.get_nat d in
+        let nf = Store.get_nat d in
+        let ng' = Store.get_nat d in
+        Store.expect_end d;
+        if ng' <> ng then
+          Store.error "structural flat image has %d columns for %d graphs" ng'
+            ng;
+        (emb_cap, nf)
+      in
+      if nf <> List.length features then
+        Store.error "structural flat image has %d rows for %d features" nf
+          (List.length features);
+      let cells = Store.mapped_u16 m "structural.flat.counts" in
+      if Bigarray.Array1.dim cells <> nf * ng then
+        Store.error "structural flat counts: %d cells for %d x %d"
+          (Bigarray.Array1.dim cells) nf ng;
+      let structural =
+        Store.checked (fun () ->
+            Structural.of_cells ~features ~cells ~num_graphs:ng ~emb_cap)
+      in
+      let base =
+        if Store.mapped_has m "db.base" then begin
+          let d =
+            Store.decoder ~name:"db.base"
+              (Store.mapped_section_string m "db.base")
+          in
+          let b = Store.get_nat d in
+          Store.expect_end d;
+          b
+        end
+        else 0
+      in
+      { graphs; features; structural; pmi; base })
+
+let load_database ?(salvage = false) ?(mmap = false) path =
+  let eager () =
+    let sections =
+      if salvage then
+        (Store.read_file_salvage path ~kind:Store.Database).Store.intact
+      else Store.read_file path ~kind:Store.Database
+    in
+    database_of_sections ~salvage sections
+  in
+  if not mmap then eager ()
+  else
+    match load_database_mapped path with
+    | db -> db
+    | exception Store.Store_error _ when salvage ->
+      (* No partial salvage on a mapping — fall back to the eager salvage
+         loader, which can rebuild damaged PMI columns. *)
+      eager ()

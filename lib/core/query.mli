@@ -7,10 +7,15 @@
     so a shard of a larger corpus ([Psst_shard.sub_database]) answers
     with corpus-wide ids and draws the same randomness per graph as the
     monolithic database — the invariant behind scatter-gather serving.
-    A monolithic database has [base = 0]. *)
+    A monolithic database has [base = 0].
+
+    [graphs] is a {!Corpus}: eagerly built databases hold plain arrays,
+    while the [--mmap] load path decodes graphs lazily out of the mapped
+    store image (memoised per graph), so constructing the database does
+    not touch the graph payload at all. Skeletons come from
+    {!Corpus.skeleton} (a field read on the decoded graph). *)
 type database = {
-  graphs : Pgraph.t array;
-  skeletons : Lgraph.t array;  (** cached [gc] per graph *)
+  graphs : Corpus.t;
   features : Selection.feature list;
   structural : Structural.t;
   pmi : Pmi.t;
@@ -186,15 +191,24 @@ val prune_stream : seed:int -> int -> Psst_util.Prng.t
     as one {!Psst_store} file, so a process answers queries without paying
     mining or {!Pmi.build} again. *)
 
-(** [save_database path db] writes a [Database]-kind store file. *)
-val save_database : string -> database -> unit
+(** [save_database path db] writes a [Database]-kind store file.
+
+    [~flat:true] writes the succinct mmap-ready image instead (DESIGN.md
+    §15): delta-coded PMI postings, a fixed-width bounds array, u16
+    structural count cells, and directory sections — the only layout
+    {!load_database}'s [~mmap:true] accepts. Both layouts load to
+    bit-identical query behaviour. *)
+val save_database : ?flat:bool -> string -> database -> unit
 
 (** The section-level codec behind {!save_database}/{!load_database},
     exposed so the shard store ([lib/shard]) can compose a database's
     sections with its own metadata in one file. A non-zero [base] is
     carried in an extra ["db.base"] section (absent for monolithic
-    databases, so files from previous releases round-trip unchanged). *)
-val database_sections : database -> Psst_store.section list
+    databases, so files from previous releases round-trip unchanged).
+    With [~flat:true] the caller must apply {!Psst_store.align_payloads}
+    (targets ["structural.flat.counts"] and ["pmi.flat.bounds"]) before
+    writing, as {!save_database} does. *)
+val database_sections : ?flat:bool -> database -> Psst_store.section list
 
 val database_of_sections : ?salvage:bool -> Psst_store.section list -> database
 
@@ -202,10 +216,21 @@ val database_of_sections : ?salvage:bool -> Psst_store.section list -> database
     truncation, version skew, or when the embedded PMI's fingerprint does
     not match the embedded graphs. Queries on the result are bit-identical
     to queries on the database that was saved. [~salvage:true] applies
-    {!Pmi.load}'s self-healing to the embedded PMI entry shards; the
-    graphs and structural sections have no rebuild source and must be
-    intact either way. *)
-val load_database : ?salvage:bool -> string -> database
+    {!Pmi.load}'s self-healing to the embedded PMI entry shards (for a
+    flat image, a damaged flat section rebuilds all columns); the graphs
+    and structural sections have no rebuild source and must be intact
+    either way.
+
+    [~mmap:true] memory-maps a flat image ({!save_database} with
+    [~flat:true]) instead of decoding it: PMI lookups and structural
+    count cells read zero-copy out of the mapping, so cold start skips
+    the O(features x graphs) decode entirely (the file is still
+    integrity-scanned once, and graphs/skeletons are still materialised).
+    Queries are bit-identical to the eager load of the same file. A
+    non-flat store raises [Store_error] suggesting [--flat]; combined
+    with [~salvage:true], any mmap failure falls back to the eager
+    salvage loader. *)
+val load_database : ?salvage:bool -> ?mmap:bool -> string -> database
 
 (** [run_exact_scan db q config] — the paper's Exact competitor: no
     indexes, exact SSP on every graph. *)

@@ -71,7 +71,9 @@ let run ?cache (db : Query.database) q ~k (config : Query.config) =
     match scope with None -> compute () | Some s -> Qcache.relaxed s ~compute
   in
   let structural =
-    Structural.candidates db.structural db.skeletons q ~delta:config.delta
+    Structural.candidates db.structural
+      ~skeleton:(Corpus.skeleton db.Query.graphs)
+      q ~delta:config.delta
   in
   let prepared =
     let compute () = Pruning.prepare db.pmi ~relaxed in
@@ -114,7 +116,7 @@ let run ?cache (db : Query.database) q ~k (config : Query.config) =
         let rng = Prng.stream ~seed:config.seed (Query.global db gi) in
         let ssp =
           Float.min upper
-            (verify_one ?scope ~graph:gi config rng db.graphs.(gi) relaxed)
+            (verify_one ?scope ~graph:gi config rng (Corpus.get db.graphs gi) relaxed)
         in
         if ssp > 0. then begin
           hits := { graph = Query.global db gi; ssp } :: !hits;

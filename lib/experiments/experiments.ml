@@ -82,13 +82,13 @@ let fig9 ?(scale = default_scale) ppf =
         (fun (q, _) ->
           let relaxed, _ = Relax.relaxed_set q ~delta:default_delta in
           let cands =
-            Structural.candidates db.Query.structural db.Query.skeletons q
+            Structural.candidates db.Query.structural ~skeleton:(Corpus.skeleton db.Query.graphs) q
               ~delta:default_delta
           in
           let exact_answers = ref [] and smp_answers = ref [] in
           List.iter
             (fun gi ->
-              let g = db.Query.graphs.(gi) in
+              let g = Corpus.get db.Query.graphs gi in
               (try
                  let v = Verify.exact g relaxed in
                  if v >= default_epsilon then exact_answers := gi :: !exact_answers;
@@ -152,7 +152,7 @@ let fig10 ?(scale = default_scale) ppf =
           let relaxed, _ = Relax.relaxed_set q ~delta:default_delta in
           let cands, t_struct =
             Timer.time (fun () ->
-                Structural.candidates db.Query.structural db.Query.skeletons q
+                Structural.candidates db.Query.structural ~skeleton:(Corpus.skeleton db.Query.graphs) q
                   ~delta:default_delta)
           in
           let n_rand, t_rand =
@@ -200,7 +200,7 @@ let fig11 ?(scale = default_scale) ppf =
         (fun (q, _) ->
           let relaxed, _ = Relax.relaxed_set q ~delta in
           let cands, t_struct =
-            Timer.time (fun () -> Structural.candidates structural skeletons q ~delta)
+            Timer.time (fun () -> Structural.candidates structural ~skeleton:(fun gi -> skeletons.(gi)) q ~delta)
           in
           let n_loose, t_loose =
             prune_stats ~mode:Pruning.Optimized ~certified:false pmi_loose cands
@@ -232,7 +232,7 @@ let candidates_with db queries ~mode ~epsilon ~delta =
     (fun (q, _) ->
       let relaxed, _ = Relax.relaxed_set q ~delta in
       let cands =
-        Structural.candidates db.Query.structural db.Query.skeletons q ~delta
+        Structural.candidates db.Query.structural ~skeleton:(Corpus.skeleton db.Query.graphs) q ~delta
       in
       let n, _ =
         prune_stats ~mode ~certified:false db.Query.pmi cands relaxed epsilon
@@ -247,7 +247,7 @@ let structure_candidates db queries ~delta =
        (fun (q, _) ->
          float_of_int
            (List.length
-              (Structural.candidates db.Query.structural db.Query.skeletons q
+              (Structural.candidates db.Query.structural ~skeleton:(Corpus.skeleton db.Query.graphs) q
                  ~delta)))
        queries)
 
@@ -292,7 +292,7 @@ let fig12 ?(scale = default_scale) ppf =
              (fun (q, _) ->
                let relaxed, _ = Relax.relaxed_set q ~delta:default_delta in
                let cands =
-                 Structural.candidates structural skeletons q ~delta:default_delta
+                 Structural.candidates structural ~skeleton:(fun gi -> skeletons.(gi)) q ~delta:default_delta
                in
                let n, _ =
                  prune_stats ~mode:Pruning.Optimized ~certified:false which_pmi
@@ -307,7 +307,7 @@ let fig12 ?(scale = default_scale) ppf =
              (fun (q, _) ->
                float_of_int
                  (List.length
-                    (Structural.candidates structural skeletons q
+                    (Structural.candidates structural ~skeleton:(fun gi -> skeletons.(gi)) q
                        ~delta:default_delta)))
              queries)
       in
@@ -514,7 +514,7 @@ let ablations ?(scale = default_scale) ppf =
           let relaxed, _ = Relax.relaxed_set q ~delta:default_delta in
           let prepared = Pruning.prepare db.Query.pmi ~relaxed in
           let cands =
-            Structural.candidates db.Query.structural db.Query.skeletons q
+            Structural.candidates db.Query.structural ~skeleton:(Corpus.skeleton db.Query.graphs) q
               ~delta:default_delta
           in
           let rng = Prng.make 3 in
@@ -541,7 +541,7 @@ let ablations ?(scale = default_scale) ppf =
     List.concat_map
       (fun (q, _) ->
         let relaxed, _ = Relax.relaxed_set q ~delta:default_delta in
-        Structural.candidates db.Query.structural db.Query.skeletons q
+        Structural.candidates db.Query.structural ~skeleton:(Corpus.skeleton db.Query.graphs) q
           ~delta:default_delta
         |> List.filteri (fun i _ -> i < 3)
         |> List.filter_map (fun gi ->

@@ -1,0 +1,68 @@
+(** A random-access collection of probabilistic graphs — the graph side
+    of a {!Query.database} (DESIGN.md §15).
+
+    Two backings answer the same interface: an eager array (built
+    in-memory or decoded by the classic loader) and a zero-copy view over
+    the ["graphs"] payload of a memory-mapped flat store image, which
+    decodes graphs {e lazily, on first access}, so loading a database
+    does O(1) work per graph and a query only pays decode cost for the
+    graphs it actually touches (structural survivors and verification
+    candidates). Decoded graphs are memoized under a mutex, so concurrent
+    readers are safe and every access after the first is a plain array
+    read.
+
+    Skeletons are projections of the decoded graph ([Pgraph.skeleton] is
+    a field read), so they share the same laziness and cache. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_array : Pgraph.t array -> t
+
+(** [of_mapped m ~section ~offsets] — lazy view over section [section] of
+    the mapping [m]. [offsets] holds [n + 1] boundaries into the payload:
+    graph [i] occupies bytes [offsets.(i) .. offsets.(i+1) - 1], and the
+    prefix [0 .. offsets.(0) - 1] must decode as the element count [n]
+    (the payload is byte-identical to the classic
+    [put_array encode_binary] encoding — same fingerprint, same eager
+    decode). Validates the boundary monotonicity and the count prefix
+    eagerly ({!Psst_store.Store_error} on any anomaly); the per-graph
+    payloads are validated when first decoded. *)
+val of_mapped : Psst_store.mapped -> section:string -> offsets:int array -> t
+
+(** {1 Access} *)
+
+val length : t -> int
+
+(** [get t i] — graph [i], decoding and caching it first if the backing
+    is mapped. Raises [Psst_store.Store_error] if the stored bytes are
+    malformed (including a region not exactly consumed by the decode —
+    a lying offsets table is caught here). [Invalid_argument] when out of
+    range. *)
+val get : t -> int -> Pgraph.t
+
+(** [skeleton t i] = [Pgraph.skeleton (get t i)]. *)
+val skeleton : t -> int -> Lgraph.t
+
+(** {1 Bulk operations (force the lazy backing)} *)
+
+(** [to_array t] decodes every graph and returns the full array. The
+    result is cached, so repeated calls are cheap; offline consumers
+    (save, shard splitting, salvage rebuild) use this. *)
+val to_array : t -> Pgraph.t array
+
+(** [sub t ~base ~count] — an eager corpus over the contiguous slice. *)
+val sub : t -> base:int -> count:int -> t
+
+(** [append t gs] — an eager corpus holding [t]'s graphs followed by
+    [gs]. *)
+val append : t -> Pgraph.t array -> t
+
+(** {1 Identity} *)
+
+(** [fingerprint t] — {!Pgraph_io.db_fingerprint} of the graphs. For a
+    mapped corpus this is one streaming CRC pass over the raw payload (no
+    decode, no copy): the payload is byte-identical to the encoding the
+    fingerprint is defined over. *)
+val fingerprint : t -> int32

@@ -29,6 +29,7 @@ let m_proto_errors = Psst_obs.counter "server.proto.errors"
 let m_write_errors = Psst_obs.counter "server.write.errors"
 let m_degraded = Psst_obs.counter "server.degraded"
 let m_retries = Psst_obs.counter "server.retries"
+let m_flat_index = Psst_obs.counter "server.db.flat_index"
 let m_batch_size = Psst_obs.histogram ~lo:1. ~hi:1e4 "server.batch.size"
 let m_queue_depth = Psst_obs.histogram ~lo:1. ~hi:1e6 "server.queue.depth"
 let m_queue_wait = Psst_obs.histogram "server.queue.wait_s"
@@ -494,6 +495,9 @@ let start cfg db =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
+  (* Record the index backing once at startup so dashboards can tell a
+     zero-copy (flat/mmap) deployment from an eager one. *)
+  if Pmi.backing db.Query.pmi = `Flat then Psst_obs.incr m_flat_index;
   let listen_fd, bound = bind_endpoint cfg.endpoint in
   let t =
     {

@@ -39,7 +39,7 @@ let column_cost (db : Query.database) gi =
 let plan_budget (db : Query.database) budget =
   if budget.max_graphs < 1 then
     invalid_arg "Psst_shard.plan_budget: max_graphs must be >= 1";
-  let n = Array.length db.graphs in
+  let n = Corpus.length db.graphs in
   let ranges = ref [] in
   let base = ref 0 and count = ref 0 and cost = ref 0. in
   let close () =
@@ -76,7 +76,7 @@ let plan_even ~parts ~total =
 (* --- in-memory slicing and merging --- *)
 
 let sub_database (db : Query.database) ~base ~count =
-  let n = Array.length db.graphs in
+  let n = Corpus.length db.graphs in
   if base < 0 || count < 0 || base + count > n then
     invalid_arg
       (Printf.sprintf "Psst_shard.sub_database: range %d..%d outside 0..%d" base
@@ -90,8 +90,7 @@ let sub_database (db : Query.database) ~base ~count =
     Structural.of_parts ~features ~counts ~emb_cap:(Structural.emb_cap db.structural)
   in
   {
-    Query.graphs = Array.sub db.graphs base count;
-    skeletons = Array.sub db.skeletons base count;
+    Query.graphs = Corpus.sub db.graphs ~base ~count;
     features;
     structural;
     pmi;
@@ -115,7 +114,7 @@ let merge (parts : Query.database list) =
           if Structural.emb_cap p.Query.structural <> emb_cap then
             invalid_arg
               "Psst_shard.merge: parts indexed with different embedding caps";
-          expected_base + Array.length p.Query.graphs)
+          expected_base + Corpus.length p.Query.graphs)
         first.Query.base parts
     in
     let pmi = Pmi.concat (List.map (fun (p : Query.database) -> p.Query.pmi) parts) in
@@ -131,9 +130,9 @@ let merge (parts : Query.database list) =
     let structural = Structural.of_parts ~features ~counts ~emb_cap in
     {
       Query.graphs =
-        Array.concat (List.map (fun (p : Query.database) -> p.Query.graphs) parts);
-      skeletons =
-        Array.concat (List.map (fun (p : Query.database) -> p.Query.skeletons) parts);
+        Corpus.of_array
+          (Array.concat
+             (List.map (fun (p : Query.database) -> Corpus.to_array p.Query.graphs) parts));
       features;
       structural;
       pmi;
@@ -244,7 +243,7 @@ let shard_file_name ~manifest_path sid =
   let stem = Filename.remove_extension (Filename.basename manifest_path) in
   Printf.sprintf "%s.shard%d" stem sid
 
-let split_to_files ~manifest_path (db : Query.database) plan =
+let split_to_files ?(flat = false) ~manifest_path (db : Query.database) plan =
   if db.Query.base <> 0 then
     invalid_arg "Psst_shard.split_to_files: database must be monolithic (base 0)";
   if plan = [] then invalid_arg "Psst_shard.split_to_files: empty plan";
@@ -258,20 +257,20 @@ let split_to_files ~manifest_path (db : Query.database) plan =
         (* Each shard file is written atomically (tmp + rename); the
            manifest below goes last, so a crash at any point leaves the
            previous deployment — or no deployment — fully intact. *)
-        Query.save_database (Filename.concat dir path) shard;
+        Query.save_database ~flat (Filename.concat dir path) shard;
         {
           sid;
           base;
           count;
           path;
-          fingerprint = Pgraph_io.db_fingerprint shard.Query.graphs;
+          fingerprint = Corpus.fingerprint shard.Query.graphs;
         })
       plan
   in
   let m =
     {
-      total = Array.length db.Query.graphs;
-      corpus_fingerprint = Pgraph_io.db_fingerprint db.Query.graphs;
+      total = Corpus.length db.Query.graphs;
+      corpus_fingerprint = Corpus.fingerprint db.Query.graphs;
       entries;
     }
   in
@@ -284,19 +283,19 @@ let find_entry m sid =
   | None -> Store.error "manifest names no shard %d (%d shards)" sid
               (List.length m.entries)
 
-let load_shard ?(salvage = false) ~manifest_path m sid =
+let load_shard ?(salvage = false) ?(mmap = false) ~manifest_path m sid =
   let s = find_entry m sid in
   let path = Filename.concat (Filename.dirname manifest_path) s.path in
-  let db = Query.load_database ~salvage path in
+  let db = Query.load_database ~salvage ~mmap path in
   Psst_obs.incr m_shard_loads;
-  let n = Array.length db.Query.graphs in
+  let n = Corpus.length db.Query.graphs in
   if n <> s.count then
     Store.error "shard %d file %s holds %d graphs, manifest says %d" sid s.path
       n s.count;
   if db.Query.base <> s.base then
     Store.error "shard %d file %s starts at global id %d, manifest says %d" sid
       s.path db.Query.base s.base;
-  let fp = Pgraph_io.db_fingerprint db.Query.graphs in
+  let fp = Corpus.fingerprint db.Query.graphs in
   if fp <> s.fingerprint then
     Store.error
       "shard %d file %s fingerprint %08lx does not match the manifest's %08lx \
@@ -304,5 +303,7 @@ let load_shard ?(salvage = false) ~manifest_path m sid =
       sid s.path fp s.fingerprint;
   db
 
-let load_all ?salvage ~manifest_path m =
-  List.map (fun (s : entry) -> load_shard ?salvage ~manifest_path m s.sid) m.entries
+let load_all ?salvage ?mmap ~manifest_path m =
+  List.map
+    (fun (s : entry) -> load_shard ?salvage ?mmap ~manifest_path m s.sid)
+    m.entries

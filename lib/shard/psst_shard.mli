@@ -97,9 +97,15 @@ val merge_topk : k:int -> Topk.hit list list -> Topk.hit list
     the manifest — then the manifest itself, last and atomically: a
     crash anywhere mid-split leaves the previous deployment's manifest
     (or none) intact and never a manifest naming half-written shards.
-    Returns the manifest. *)
+    Returns the manifest. [~flat:true] writes each shard as the succinct
+    mmap-ready image ({!Query.save_database} with [~flat:true]), so
+    workers can cold-start with {!load_shard}'s [~mmap:true]. *)
 val split_to_files :
-  manifest_path:string -> Query.database -> (int * int) list -> manifest
+  ?flat:bool ->
+  manifest_path:string ->
+  Query.database ->
+  (int * int) list ->
+  manifest
 
 val write_manifest : string -> manifest -> unit
 
@@ -112,10 +118,21 @@ val load_manifest : string -> manifest
     (resolving its relative path against the manifest's directory) and
     validates its range and fingerprint against the manifest entry, so a
     stale or foreign shard file is rejected, never silently served.
-    [~salvage:true] applies {!Query.load_database}'s PMI self-healing. *)
+    [~salvage:true] applies {!Query.load_database}'s PMI self-healing;
+    [~mmap:true] memory-maps a flat shard image zero-copy (see
+    {!Query.load_database}) — the manifest validation runs either way. *)
 val load_shard :
-  ?salvage:bool -> manifest_path:string -> manifest -> int -> Query.database
+  ?salvage:bool ->
+  ?mmap:bool ->
+  manifest_path:string ->
+  manifest ->
+  int ->
+  Query.database
 
 (** [load_all ~manifest_path m] — every shard, in [sid] order. *)
 val load_all :
-  ?salvage:bool -> manifest_path:string -> manifest -> Query.database list
+  ?salvage:bool ->
+  ?mmap:bool ->
+  manifest_path:string ->
+  manifest ->
+  Query.database list

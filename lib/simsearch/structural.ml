@@ -1,8 +1,18 @@
 module Bitset = Psst_util.Bitset
 
+type u16s = (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* The count matrix is either eagerly decoded rows or a zero-copy u16 view
+   over a memory-mapped flat image (DESIGN.md §15), feature-major. Both
+   answer [cell] identically; offline mutation materialises rows first. *)
+type backing =
+  | Rows of int array array (* feature -> graph -> capped embedding count *)
+  | Cells of u16s
+
 type t = {
   features : Selection.feature array;
-  counts : int array array; (* feature -> graph -> capped embedding count *)
+  backing : backing;
+  num_graphs : int;
   emb_cap : int;
 }
 
@@ -27,7 +37,7 @@ let build db features ~emb_cap =
         row)
       features
   in
-  { features; counts; emb_cap }
+  { features; backing = Rows counts; num_graphs = Array.length db; emb_cap }
 
 let of_parts ~features ~counts ~emb_cap =
   let features = Array.of_list features in
@@ -43,14 +53,36 @@ let of_parts ~features ~counts ~emb_cap =
         (fun c -> if c < 0 then invalid_arg "Structural.of_parts: negative count")
         row)
     counts;
-  { features; counts = Array.map Array.copy counts; emb_cap }
+  {
+    features;
+    backing = Rows (Array.map Array.copy counts);
+    num_graphs = ng;
+    emb_cap;
+  }
 
-let counts t = Array.map Array.copy t.counts
+let of_cells ~features ~cells ~num_graphs ~emb_cap =
+  let features = Array.of_list features in
+  if emb_cap <= 0 then invalid_arg "Structural.of_cells: emb_cap must be positive";
+  if num_graphs < 0 then invalid_arg "Structural.of_cells: negative graph count";
+  if Bigarray.Array1.dim cells <> Array.length features * num_graphs then
+    invalid_arg "Structural.of_cells: cell count does not match dimensions";
+  { features; backing = Cells cells; num_graphs; emb_cap }
+
+let rows_matrix t =
+  match t.backing with
+  | Rows c -> c
+  | Cells cells ->
+    let ng = t.num_graphs in
+    Array.init (Array.length t.features) (fun fi ->
+        Array.init ng (fun gi -> Bigarray.Array1.get cells ((fi * ng) + gi)))
+
+let counts t = Array.map Array.copy (rows_matrix t)
 let emb_cap t = t.emb_cap
 
 let num_features t = Array.length t.features
+let num_graphs t = t.num_graphs
 
-let size_cells t = Array.length t.features * Array.length t.counts.(0)
+let size_cells t = Array.length t.features * t.num_graphs
 
 (* Max number of q-embeddings of [f] destroyed by deleting one edge of q. *)
 let max_per_edge q embs =
@@ -83,9 +115,13 @@ let add_graphs t gs =
               gs
           in
           Array.append row cs)
-        t.counts
+        (rows_matrix t)
     in
-    { t with counts }
+    {
+      t with
+      backing = Rows counts;
+      num_graphs = t.num_graphs + Array.length gs;
+    }
   end
 
 let add_graph t g = add_graphs t [| g |]
@@ -93,8 +129,8 @@ let add_graph t g = add_graphs t [| g |]
 let m_checked = Psst_obs.counter "structural.checked"
 let m_survivors = Psst_obs.counter "structural.survivors"
 
-let candidates t db q ~delta =
-  Psst_obs.add m_checked (Array.length db);
+let candidates t ~skeleton q ~delta =
+  Psst_obs.add m_checked t.num_graphs;
   let q_vh = Lgraph.vertex_label_hist q and q_eh = Lgraph.edge_label_hist q in
   (* Per-feature requirements from the query. *)
   let requirements =
@@ -112,17 +148,30 @@ let candidates t db q ~delta =
       t.features
   in
   let active = Array.to_list requirements |> List.filter (fun (_, r) -> r > 0) in
+  (* Hoist the backing dispatch out of the per-graph loop. *)
+  let cell =
+    match t.backing with
+    | Rows c -> fun fi gi -> c.(fi).(gi)
+    | Cells cells ->
+      let ng = t.num_graphs in
+      fun fi gi -> Bigarray.Array1.get cells ((fi * ng) + gi)
+  in
+  (* Feature requirements first: they read index cells only (zero-copy on
+     a mapped image), so the label-histogram check — which touches the
+     graph itself and forces a lazy decode — only runs on the survivors.
+     The filter is a conjunction, so the order cannot change the result. *)
   let survivors =
-    List.init (Array.length db) (fun gi -> gi)
+    List.init t.num_graphs (fun gi -> gi)
     |> List.filter (fun gi ->
-           let g = db.(gi) in
+           List.for_all (fun (fi, req) -> cell fi gi >= req) active
+           &&
+           let g = skeleton gi in
            Lgraph.hist_missing q_eh (Lgraph.edge_label_hist g) <= delta
            (* Each pair of unmatched query vertices costs at least one common
               edge, so more than 2*delta missing vertex labels is fatal. *)
-           && Lgraph.hist_missing q_vh (Lgraph.vertex_label_hist g) <= 2 * delta
-           && List.for_all (fun (fi, req) -> t.counts.(fi).(gi) >= req) active)
+           && Lgraph.hist_missing q_vh (Lgraph.vertex_label_hist g) <= 2 * delta)
   in
   Psst_obs.add m_survivors (List.length survivors);
   survivors
 
-let verify_candidate db q ~delta gi = Distance.within q db.(gi) ~delta
+let verify_candidate ~skeleton q ~delta gi = Distance.within q (skeleton gi) ~delta

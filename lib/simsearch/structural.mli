@@ -42,19 +42,42 @@ val of_parts :
   emb_cap:int ->
   t
 
+(** Zero-copy cells for the flat image load path (DESIGN.md §15). *)
+type u16s = (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** [of_cells ~features ~cells ~num_graphs ~emb_cap] wraps a feature-major
+    u16 count matrix (typically a view over a memory-mapped flat store
+    image) without copying it: [candidates] reads cells straight out of
+    [cells]. Counts are capped at [emb_cap] by construction, so u16 range
+    suffices whenever [emb_cap < 65536] (the flat encoder enforces this).
+    Raises [Invalid_argument] when [Bigarray.Array1.dim cells] does not
+    equal [features x num_graphs]. *)
+val of_cells :
+  features:Selection.feature list ->
+  cells:u16s ->
+  num_graphs:int ->
+  emb_cap:int ->
+  t
+
 (** Raw capped embedding-count matrix, feature-major (a copy). *)
 val counts : t -> int array array
 
 val emb_cap : t -> int
 
 val num_features : t -> int
+val num_graphs : t -> int
 
 (** Total count-matrix cells (features x graphs) — reported as index size. *)
 val size_cells : t -> int
 
-(** [candidates t db q ~delta] — indices of surviving graphs. *)
-val candidates : t -> Lgraph.t array -> Lgraph.t -> delta:int -> int list
+(** [candidates t ~skeleton q ~delta] — indices of surviving graphs.
+    [skeleton gi] supplies graph [gi]'s skeleton; it is only consulted
+    for graphs that pass the feature-count requirements (which read index
+    cells alone), so a lazily-decoded corpus ({!Corpus}) pays decode cost
+    for the near-survivors only. *)
+val candidates : t -> skeleton:(int -> Lgraph.t) -> Lgraph.t -> delta:int -> int list
 
-(** [verify_candidate db q ~delta gi] — exact check [dis(q, gc) <= delta];
-    exposed for building ground truths in tests and experiments. *)
-val verify_candidate : Lgraph.t array -> Lgraph.t -> delta:int -> int -> bool
+(** [verify_candidate ~skeleton q ~delta gi] — exact check
+    [dis(q, gc) <= delta]; exposed for building ground truths in tests
+    and experiments. *)
+val verify_candidate : skeleton:(int -> Lgraph.t) -> Lgraph.t -> delta:int -> int -> bool

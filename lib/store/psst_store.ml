@@ -57,8 +57,14 @@ type enc = Buffer.t
 
 let encoder () = Buffer.create 4096
 let contents = Buffer.contents
+let enc_length = Buffer.length
+let put_raw = Buffer.add_string
 let put_i64 e i = Buffer.add_int64_le e (Int64.of_int i)
 let put_i32 e (i : int32) = Buffer.add_int32_le e i
+
+let put_u16 e i =
+  if i < 0 || i > 0xFFFF then invalid_arg "put_u16: out of range";
+  Buffer.add_uint16_le e i
 let put_f64 e f = Buffer.add_int64_le e (Int64.bits_of_float f)
 let put_bool e b = Buffer.add_char e (if b then '\001' else '\000')
 
@@ -208,6 +214,33 @@ let get_lgraph d =
 let expect_end d =
   if remaining d <> 0 then
     error "section %S: %d trailing bytes after payload" d.ctx (remaining d)
+
+(* --- varints (unsigned LEB128, used by the flat postings sections) --- *)
+
+let put_varint e n =
+  if n < 0 then invalid_arg "put_varint: negative value";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char e (Char.chr n)
+    else begin
+      Buffer.add_char e (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let get_varint d =
+  let acc = ref 0 and shift = ref 0 and cont = ref true in
+  while !cont do
+    if !shift > 56 then error "section %S: varint overflow" d.ctx;
+    need d 1;
+    let c = Char.code d.data.[d.pos] in
+    d.pos <- d.pos + 1;
+    acc := !acc lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    cont := c land 0x80 <> 0
+  done;
+  if !acc < 0 then error "section %S: varint overflow" d.ctx;
+  !acc
 
 let find_section sections name =
   match List.find_opt (fun s -> s.name = name) sections with
@@ -480,3 +513,284 @@ let is_store_file path =
       (fun () ->
         in_channel_length ic >= 8
         && really_input_string ic 8 = magic)
+
+(* --- alignment pads for memory-mapped typed views --- *)
+
+let framed_size s = 16 + String.length s.name + String.length s.payload
+
+let pad_prefix = "pad."
+
+let align_payloads ~targets sections =
+  let out = ref [] in
+  let off = ref header_bytes in
+  List.iter
+    (fun s ->
+      if List.mem s.name targets then begin
+        let pad_name = pad_prefix ^ s.name in
+        (* With the pad in front, the target's payload starts at
+           [off + (16 + |pad_name| + pad_len) + (16 + |s.name|)]; choose
+           [pad_len] to land that on a multiple of 8. *)
+        let base = !off + 16 + String.length pad_name + 16 + String.length s.name in
+        let pad = { name = pad_name; payload = String.make ((8 - (base mod 8)) mod 8) '\000' } in
+        out := pad :: !out;
+        off := !off + framed_size pad
+      end;
+      out := s :: !out;
+      off := !off + framed_size s)
+    sections;
+  List.rev !out
+
+(* --- memory-mapped zero-copy access (DESIGN.md §15) ---
+
+   [map_file] maps the whole file read-only and verifies the header CRC and
+   every section CRC by streaming chunks through {!Crc32} — an O(file) scan
+   with no per-entry allocation, so a flipped byte anywhere is caught at
+   open time and the typed views handed out afterwards can be trusted.
+   There is no salvage variant: salvage implies rebuilding heap structures,
+   which is exactly what the mmap path exists to avoid. *)
+
+type bigbytes =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type u16s = (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type mapped = {
+  m_path : string;
+  m_data : bigbytes;
+  m_spans : (string * int * int * int32) list;
+      (* name, payload start, payload end, stored CRC — payload checksums
+         are verified on access, not at open, so mapping a file is O(header
+         + directory) regardless of its size *)
+  mutable m_fd : Unix.file_descr option;
+}
+
+(* The map site supports Fail and Delay; Bitflip/Partial_io cannot be
+   simulated on a shared read-only mapping without copying (which would
+   defeat the point), so they escalate to Fail. *)
+let fault_map = Psst_fault.site "store.map"
+
+let big_sub (b : bigbytes) pos len =
+  let s = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set s i (Bigarray.Array1.unsafe_get b (pos + i))
+  done;
+  Bytes.unsafe_to_string s
+
+let crc_chunk = 65536
+
+let big_crc (b : bigbytes) init ~pos ~len =
+  let crc = ref init in
+  let at = ref pos and left = ref len in
+  while !left > 0 do
+    let n = min crc_chunk !left in
+    let chunk = big_sub b !at n in
+    crc := Crc32.update !crc chunk ~pos:0 ~len:n;
+    at := !at + n;
+    left := !left - n
+  done;
+  !crc
+
+(* A raw cursor over the mapped bytes, mirroring [raw] over strings. *)
+type braw = { bfile : bigbytes; blen : int; mutable bat : int }
+
+let braw_need r n what =
+  if r.bat + n > r.blen then
+    error "truncated store: unexpected end of file in %s" what
+
+let braw_bytes r n what =
+  braw_need r n what;
+  let s = big_sub r.bfile r.bat n in
+  r.bat <- r.bat + n;
+  s
+
+let braw_u32 r what = String.get_int32_le (braw_bytes r 4 what) 0
+let braw_u64 r what = String.get_int64_le (braw_bytes r 8 what) 0
+
+let read_header_mapped r ~kind =
+  if r.blen < header_bytes then
+    error "truncated store: %d bytes is shorter than the %d-byte header"
+      r.blen header_bytes;
+  let m = braw_bytes r 8 "header" in
+  if m <> magic then error "bad magic: not a PSST store file";
+  let version = Int32.to_int (braw_u32 r "header") in
+  let ktag = Int32.to_int (braw_u32 r "header") in
+  let count = Int32.to_int (braw_u32 r "header") in
+  let stored_crc = braw_u32 r "header" in
+  let actual_crc = big_crc r.bfile 0l ~pos:0 ~len:20 in
+  if stored_crc <> actual_crc then error "header checksum mismatch";
+  if version <> format_version then
+    error "unsupported store format version %d (this build reads version %d)"
+      version format_version;
+  (match kind_of_tag ktag with
+  | None -> error "unknown store kind tag %d" ktag
+  | Some k ->
+    if k <> kind then
+      error "wrong store kind: expected a %s file, found a %s file"
+        (kind_name kind) (kind_name k));
+  if count < 0 then error "negative section count";
+  count
+
+let read_one_span_mapped r =
+  let name_len = Int32.to_int (braw_u32 r "section header") in
+  if name_len < 0 || name_len > max_section_name then
+    error "implausible section name length %d" name_len;
+  let name = braw_bytes r name_len "section name" in
+  let ctx = if name = "" then "<unnamed>" else name in
+  let payload_len = braw_u64 r (Printf.sprintf "section %S header" ctx) in
+  if Int64.compare payload_len 0L < 0
+     || Int64.compare payload_len (Int64.of_int (r.blen - r.bat)) > 0
+  then
+    error "section %S: payload length %Ld exceeds the file" ctx payload_len;
+  let stored_crc = braw_u32 r (Printf.sprintf "section %S header" ctx) in
+  let len = Int64.to_int payload_len in
+  let start = r.bat in
+  braw_need r len (Printf.sprintf "section %S payload" ctx);
+  r.bat <- r.bat + len;
+  (* The payload CRC is recorded, not verified: open stays O(directory)
+     so cold start is independent of the file size. Accessors that decode
+     a payload verify it first; the raw [Bigarray] views do not (their
+     consumers validate structurally, and the eager loader re-checks
+     everything). *)
+  (name, start, r.bat, stored_crc)
+
+let map_file path ~kind =
+  clean_orphan_tmp path;
+  (match Psst_fault.fire fault_map with
+  | None -> ()
+  | Some (Psst_fault.Delay s) -> Unix.sleepf s
+  | Some _ -> injected fault_map);
+  let fd =
+    try Unix.openfile path [ Unix.O_RDONLY ] 0
+    with Unix.Unix_error (e, _, _) ->
+      error "cannot open store: %s: %s" path (Unix.error_message e)
+  in
+  match
+    (fun () ->
+      let len64 = (Unix.LargeFile.fstat fd).Unix.LargeFile.st_size in
+      if Int64.compare len64 (Int64.of_int max_int) > 0 then
+        error "store %s is too large to map" path;
+      let len = Int64.to_int len64 in
+      if len < header_bytes then
+        error "truncated store: %d bytes is shorter than the %d-byte header"
+          len header_bytes;
+      let data =
+        try
+          Bigarray.array1_of_genarray
+            (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| len |])
+        with Unix.Unix_error (e, _, _) ->
+          error "cannot map store %s: %s" path (Unix.error_message e)
+      in
+      let r = { bfile = data; blen = len; bat = 0 } in
+      let count = read_header_mapped r ~kind in
+      let spans = ref [] in
+      for _ = 1 to count do
+        let ((name, _, _, _) as span) = read_one_span_mapped r in
+        if List.exists (fun (n, _, _, _) -> n = name) !spans then
+          error "duplicate section %S" name;
+        spans := span :: !spans
+      done;
+      if r.bat <> len then
+        error "trailing garbage: %d bytes after the last section" (len - r.bat);
+      { m_path = path; m_data = data; m_spans = List.rev !spans; m_fd = Some fd })
+      ()
+  with
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+  | m -> m
+
+let mapped_path m = m.m_path
+let mapped_names m = List.map (fun (n, _, _, _) -> n) m.m_spans
+let mapped_has m name = List.exists (fun (n, _, _, _) -> n = name) m.m_spans
+
+let mapped_span_crc m name =
+  match List.find_opt (fun (n, _, _, _) -> n = name) m.m_spans with
+  | Some (_, a, b, crc) -> (a, b, crc)
+  | None -> error "missing section %S" name
+
+let mapped_span m name =
+  let a, b, _ = mapped_span_crc m name in
+  (a, b)
+
+let verify_span m name =
+  let a, b, stored = mapped_span_crc m name in
+  if big_crc m.m_data (Crc32.digest name) ~pos:a ~len:(b - a) <> stored then
+    error "section %S: checksum mismatch (corrupted payload)" name;
+  (a, b)
+
+let mapped_section_string m name =
+  let a, b = verify_span m name in
+  big_sub m.m_data a (b - a)
+
+let mapped_bytes m name : bigbytes =
+  let a, b = verify_span m name in
+  Bigarray.Array1.sub m.m_data a (b - a)
+
+(* Raw view without the checksum pass — for payloads whose consumers
+   validate lazily (per-record decode, per-lookup range checks). *)
+let mapped_bytes_unverified m name : bigbytes =
+  let a, b = mapped_span m name in
+  Bigarray.Array1.sub m.m_data a (b - a)
+
+(* CRC-32 over the raw payload with a zero seed — the same digest
+   [Crc32.digest] yields on the payload string, so a caller can compare
+   against fingerprints computed over encoded data without decoding or
+   copying the section. *)
+let mapped_payload_crc m name =
+  let a, b = mapped_span m name in
+  big_crc m.m_data 0l ~pos:a ~len:(b - a)
+
+let require_fd m name =
+  match m.m_fd with
+  | Some fd -> fd
+  | None ->
+    error "store %s: typed view of %S requested after release" m.m_path name
+
+(* [Unix.map_file] aligns the underlying mapping down to a page and offsets
+   the data pointer, so the view's alignment equals [pos mod page]; the
+   writer's pad sections ({!align_payloads}) guarantee [pos mod 8 = 0]. *)
+let mapped_f64 m name : floats =
+  let a, b = mapped_span m name in
+  let len = b - a in
+  if len mod 8 <> 0 then
+    error "section %S: float payload length %d is not a multiple of 8" name len;
+  if a mod 8 <> 0 then
+    error "section %S: payload offset %d is not 8-byte aligned (missing pad section?)"
+      name a;
+  let n = len / 8 in
+  if n = 0 then Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
+  else
+    try
+      Bigarray.array1_of_genarray
+        (Unix.map_file (require_fd m name) ~pos:(Int64.of_int a) Bigarray.float64
+           Bigarray.c_layout false [| n |])
+    with Unix.Unix_error (e, _, _) ->
+      error "cannot map section %S: %s" name (Unix.error_message e)
+
+let mapped_u16 m name : u16s =
+  let a, b = mapped_span m name in
+  let len = b - a in
+  if len mod 2 <> 0 then
+    error "section %S: u16 payload length %d is not a multiple of 2" name len;
+  if a mod 8 <> 0 then
+    error "section %S: payload offset %d is not 8-byte aligned (missing pad section?)"
+      name a;
+  let n = len / 2 in
+  if n = 0 then Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout 0
+  else
+    try
+      Bigarray.array1_of_genarray
+        (Unix.map_file (require_fd m name) ~pos:(Int64.of_int a)
+           Bigarray.int16_unsigned Bigarray.c_layout false [| n |])
+    with Unix.Unix_error (e, _, _) ->
+      error "cannot map section %S: %s" name (Unix.error_message e)
+
+(* The initial mapping survives the [close]: views already created (and the
+   whole-file view) stay valid until garbage-collected. *)
+let mapped_release m =
+  match m.m_fd with
+  | None -> ()
+  | Some fd ->
+    m.m_fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())

@@ -110,8 +110,18 @@ type enc
 
 val encoder : unit -> enc
 val contents : enc -> string
+
+(** Bytes written so far — flat encoders use it to record offsets. *)
+val enc_length : enc -> int
+
+(** [put_raw e s] appends [s] with no length prefix (the receiving decoder
+    must know the extent some other way, e.g. from a directory section). *)
+val put_raw : enc -> string -> unit
 val put_i64 : enc -> int -> unit
 val put_i32 : enc -> int32 -> unit
+
+(** Little-endian u16; [Invalid_argument] outside [0 .. 65535]. *)
+val put_u16 : enc -> int -> unit
 
 (** Stored as IEEE-754 bits: round-trips every float bit-exactly. *)
 val put_f64 : enc -> float -> unit
@@ -161,3 +171,100 @@ val expect_end : dec -> unit
 (** [decode_section sections name f] finds the section, decodes it with [f]
     and checks the payload was fully consumed. *)
 val decode_section : section list -> string -> (dec -> 'a) -> 'a
+
+(** Unsigned LEB128 varint (7 bits per byte, high bit = continuation) —
+    the delta coding of the flat postings sections (DESIGN.md §15). *)
+val put_varint : enc -> int -> unit
+
+val get_varint : dec -> int
+
+(** {1 Memory-mapped zero-copy access (DESIGN.md §15)}
+
+    The flat index image stores fixed-width payloads (IEEE-754 bounds,
+    u16 structural counts) that query-time code reads directly out of a
+    memory-mapped store file through typed {!Bigarray} views, skipping the
+    eager decode entirely. *)
+
+(** [align_payloads ~targets sections] inserts, immediately before every
+    section named in [targets], a zero-filled padding section (named
+    ["pad." ^ name]) sized so that the target's payload starts at a file
+    offset that is a multiple of 8 — the alignment {!mapped_f64} and
+    {!mapped_u16} require. Pads carry their own CRC like any section and
+    are simply ignored by readers. Writers of flat images call this once,
+    on the final section list, just before {!write_file}. *)
+val align_payloads : targets:string list -> section list -> section list
+
+type bigbytes =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type u16s = (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** A memory-mapped store file: the raw bytes plus the parsed section
+    table. Opening one verifies the header CRC and the whole section
+    framing (names, lengths, no duplicates, no trailing garbage) but
+    {e defers payload checksums}: open stays O(header + directory) no
+    matter how large the file is — the point of the flat image is a cold
+    start independent of database size. Payloads are then verified where
+    they are consumed: {!mapped_section_string} and {!mapped_bytes} check
+    the stored CRC before handing bytes out, while the typed
+    {!mapped_f64}/{!mapped_u16} views and lazily-decoded payloads are
+    validated structurally by their consumers (and exhaustively by the
+    eager loader, which remains the integrity baseline). There is no
+    salvage variant — salvage rebuilds heap structures, which is what
+    mmap loading exists to avoid; callers fall back to the eager salvage
+    path instead. *)
+type mapped
+
+(** [map_file path ~kind] maps [path] read-only and validates header,
+    kind, framing and orphaned [.tmp] cleanup (payload CRCs are deferred
+    to the accessors — see {!mapped}). Fault site ["store.map"] supports
+    [Fail] and [Delay] ([Bitflip]/[Partial_io] escalate to [Fail]: a
+    shared read-only mapping cannot be damaged without copying). *)
+val map_file : string -> kind:kind -> mapped
+
+val mapped_path : mapped -> string
+val mapped_names : mapped -> string list
+val mapped_has : mapped -> string -> bool
+
+(** [mapped_section_string m name] verifies the section's stored CRC and
+    copies its payload out as a string — for small sections (directories,
+    configs) that are decoded eagerly with the ordinary {!dec} codecs.
+    {!Store_error} when absent or corrupted. *)
+val mapped_section_string : mapped -> string -> string
+
+(** [mapped_bytes m name] — zero-copy [char] view of the payload, after
+    verifying its stored CRC (one streaming pass, no allocation). *)
+val mapped_bytes : mapped -> string -> bigbytes
+
+(** [mapped_bytes_unverified m name] — zero-copy view {e without} the
+    checksum pass, for bulk payloads whose consumers validate lazily
+    (per-record decoders, per-lookup range checks). A flipped byte in
+    such a section surfaces as a {!Store_error} at access time — or, for
+    raw numeric payloads, as a changed value the eager loader would have
+    rejected; pick this accessor only when that trade is documented. *)
+val mapped_bytes_unverified : mapped -> string -> bigbytes
+
+(** [mapped_payload_crc m name] — CRC-32 of the raw payload bytes with a
+    zero seed, equal to [Psst_util.Crc32.digest] of the payload string:
+    lets callers compare a section against a fingerprint computed over
+    encoded data (e.g. {!Pgraph_io.db_fingerprint}) without decoding or
+    copying it. One streaming O(payload) pass. *)
+val mapped_payload_crc : mapped -> string -> int32
+
+(** [mapped_f64 m name] — zero-copy IEEE-754 float64 view of the payload.
+    {!Store_error} if the payload's length is not a multiple of 8 or its
+    file offset is not 8-byte aligned (see {!align_payloads}). Must be
+    created before {!mapped_release}. *)
+val mapped_f64 : mapped -> string -> floats
+
+(** [mapped_u16 m name] — zero-copy little-endian u16 view. Same
+    alignment contract as {!mapped_f64}. *)
+val mapped_u16 : mapped -> string -> u16s
+
+(** [mapped_release m] closes the underlying file descriptor. The mapping
+    itself survives (it is unmapped when the views are garbage-collected),
+    but further {!mapped_f64}/{!mapped_u16} calls fail. Call it once all
+    typed views are in hand, so long-lived servers do not pin an fd per
+    shard. *)
+val mapped_release : mapped -> unit

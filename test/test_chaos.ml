@@ -893,7 +893,7 @@ let test_sigkill_mid_write () =
         (Sys.file_exists (path ^ ".tmp"));
       (* The next open serves the old index and cleans the orphan. *)
       let db = Query.load_database path in
-      Alcotest.(check int) "old index loads" 10 (Array.length db.Query.graphs);
+      Alcotest.(check int) "old index loads" 10 (Corpus.length db.Query.graphs);
       Alcotest.(check bool) "orphan tmp cleaned on open" false
         (Sys.file_exists (path ^ ".tmp")))
 
@@ -971,7 +971,7 @@ let test_sigkill_mid_split () =
         Psst_shard.merge (Psst_shard.load_all ~manifest_path:manifest m')
       in
       Alcotest.(check int) "old deployment reassembles" 10
-        (Array.length db.Query.graphs))
+        (Corpus.length db.Query.graphs))
 
 let suite =
   [

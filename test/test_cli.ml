@@ -89,7 +89,41 @@ let test_endpoint_flag_validation () =
   check_dies "serve with neither --socket nor --port" "serve";
   check_dies "serve with both --socket and --port"
     "serve --socket /tmp/x.sock --port 7777";
-  check_dies "client with neither --socket nor --port" "client --queries 0"
+  check_dies "client with neither --socket nor --port" "client --queries 0";
+  check_dies "serve with an empty --socket path" "serve --socket ''";
+  check_dies "client with --port 0" "client --queries 0 --port 0";
+  check_dies "client with --port 70000" "client --queries 0 --port 70000";
+  check_dies "client with an empty --host"
+    "client --queries 0 --port 8080 --host ''"
+
+(* Worker endpoint strings (tcp:HOST:PORT / unix:PATH) are validated
+   eagerly and strictly: every malformed form dies with the uniform
+   one-line failure at argument time, never as a later Unix_error from
+   connect(2). The router parses its --worker list before touching any
+   manifest or socket, so an invalid endpoint is guaranteed to die
+   before anything binds. *)
+let test_endpoint_string_matrix () =
+  List.iter
+    (fun (what, ep) ->
+      check_dies
+        (Printf.sprintf "router --worker %s (%s)" ep what)
+        (Printf.sprintf "serve --port 7777 --role router --worker %s"
+           (Filename.quote ep)))
+    [
+      ("no scheme separator", "localhost8080");
+      ("unknown scheme", "ftp:host:80");
+      ("unix with empty path", "unix:");
+      ("tcp without port", "tcp:onlyhost");
+      ("tcp with empty host", "tcp::8080");
+      ("port 0", "tcp:host:0");
+      ("port 65536", "tcp:host:65536");
+      ("negative port", "tcp:host:-1");
+      ("hex port", "tcp:host:0x50");
+      ("underscore port", "tcp:host:8_0");
+      ("trailing colon", "tcp:host:80:");
+      ("empty port", "tcp:host:");
+      ("port with trailing garbage", "tcp:host:80xyz");
+    ]
 
 let test_success_path_stays_zero () =
   let code, stderr = run_psst "generate -n 4 --seed 3" in
@@ -108,6 +142,8 @@ let suite =
       test_unreachable_server;
     Alcotest.test_case "endpoint flag validation exits 1" `Quick
       test_endpoint_flag_validation;
+    Alcotest.test_case "malformed endpoint strings exit 1" `Quick
+      test_endpoint_string_matrix;
     Alcotest.test_case "healthy invocation exits 0" `Quick
       test_success_path_stays_zero;
   ]

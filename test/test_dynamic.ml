@@ -29,7 +29,7 @@ let supports db =
 let test_add_graph_syncs_supports () =
   let _, db, extra = split_db 101 ~base:8 ~extra:1 in
   let g = extra.(0) in
-  let gi = Array.length db.Query.graphs in
+  let gi = Corpus.length db.Query.graphs in
   let db' = Query.add_graph db g in
   let gc = Pgraph.skeleton g in
   List.iter
@@ -72,7 +72,7 @@ let test_add_then_roundtrip_preserves_index () =
       Query.save_database path db';
       let loaded = Query.load_database path in
       Alcotest.(check int) "graph count survives" 9
-        (Array.length loaded.Query.graphs);
+        (Corpus.length loaded.Query.graphs);
       Alcotest.(check bool) "supports survive" true
         (supports db' = supports loaded);
       Alcotest.(check int) "pmi sees every graph" 9
@@ -106,7 +106,7 @@ let test_batch_equals_sequential () =
     (Structural.counts seq.Query.structural
     = Structural.counts batch.Query.structural);
   let nf = Pmi.num_features seq.Query.pmi in
-  let ng = Array.length seq.Query.graphs in
+  let ng = Corpus.length seq.Query.graphs in
   Alcotest.(check int) "pmi num_graphs" ng (Pmi.num_graphs batch.Query.pmi);
   for fi = 0 to nf - 1 do
     for gi = 0 to ng - 1 do
@@ -129,8 +129,8 @@ let test_batch_equals_sequential () =
 let test_empty_batch_is_identity () =
   let _, db, _ = split_db 111 ~base:5 ~extra:1 in
   let db' = Query.add_graphs db [||] in
-  Alcotest.(check int) "no graphs added" (Array.length db.Query.graphs)
-    (Array.length db'.Query.graphs);
+  Alcotest.(check int) "no graphs added" (Corpus.length db.Query.graphs)
+    (Corpus.length db'.Query.graphs);
   Alcotest.(check bool) "supports untouched" true (supports db = supports db')
 
 let suite =

@@ -173,7 +173,7 @@ let test_structural_verify_candidate () =
   let q = Lgraph.delete_edges g [ 0 ] in
   let q, _ = Lgraph.drop_isolated q in
   Alcotest.(check bool) "subgraph verifies at delta 0" true
-    (Structural.verify_candidate [| g |] q ~delta:0 0)
+    (Structural.verify_candidate ~skeleton:(fun _ -> g) q ~delta:0 0)
 
 (* --- Bounds / verification misc --- *)
 

@@ -228,7 +228,7 @@ let test_add_graph_extends_database () =
       ~bounds:fast_bounds base
   in
   let db' = Query.add_graph db extra in
-  Alcotest.(check int) "graph count" 8 (Array.length db'.Query.graphs);
+  Alcotest.(check int) "graph count" 8 (Corpus.length db'.Query.graphs);
   Alcotest.(check int) "pmi columns" 8 (Pmi.num_graphs db'.Query.pmi)
 
 let test_add_graph_queries_stay_exact () =

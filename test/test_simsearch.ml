@@ -85,7 +85,7 @@ let test_structural_no_false_dismissals () =
     let rng_q = Prng.make (trial + 100) in
     let q = Tgen.random_connected_graph rng_q ~n:4 ~extra:1 ~vl:3 ~el:2 in
     let delta = Prng.int rng_q 3 in
-    let cands = Structural.candidates index db q ~delta in
+    let cands = Structural.candidates index ~skeleton:(fun gi -> db.(gi)) q ~delta in
     (* Every true match must be in the candidate set. *)
     Array.iteri
       (fun gi g ->
@@ -108,7 +108,7 @@ let test_structural_prunes_something () =
     Lgraph.create ~vlabels:[| 0; 1; 2; 0 |]
       ~edges:[ (0, 1, 0); (1, 2, 1); (2, 3, 0); (0, 3, 1) ]
   in
-  let cands = Structural.candidates index db q ~delta:0 in
+  let cands = Structural.candidates index ~skeleton:(fun gi -> db.(gi)) q ~delta:0 in
   Alcotest.(check bool) "some pruning happened" true
     (List.length cands < Array.length db)
 

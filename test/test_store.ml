@@ -250,13 +250,13 @@ let test_database_save_load_bit_identical () =
   with_tmp (fun path ->
       Query.save_database path db;
       let db' = Query.load_database path in
-      Alcotest.(check int) "graphs" (Array.length db.Query.graphs)
-        (Array.length db'.Query.graphs);
+      Alcotest.(check int) "graphs" (Corpus.length db.Query.graphs)
+        (Corpus.length db'.Query.graphs);
       Array.iteri
         (fun i g ->
-          if not (pgraph_identical g db'.Query.graphs.(i)) then
+          if not (pgraph_identical g (Corpus.get db'.Query.graphs i)) then
             Alcotest.failf "stored graph %d differs" i)
-        db.Query.graphs;
+        (Corpus.to_array db.Query.graphs);
       Alcotest.(check int) "feature count"
         (List.length db.Query.features)
         (List.length db'.Query.features);
@@ -368,6 +368,124 @@ let test_corruption_detected () =
       write_bytes path original;
       reload ())
 
+(* --- flat image: mmap vs eager differential --- *)
+
+(* Same queries, same answers, same pruning counters — eager classic
+   layout vs eager flat decode vs zero-copy mmap, for a single-domain and
+   a 4-domain index build. Each comparison runs twice on the same mapped
+   database: first cold (every graph decode hits the mapping) and then
+   warm (the corpus cache is populated), so memoisation cannot change
+   answers. *)
+let test_flat_mmap_differential () =
+  List.iter
+    (fun domains ->
+      let ds = small_dataset (100 + domains) 10 in
+      let db =
+        Query.index_database ~mining:small_mining ~bounds:fast_bounds ~domains
+          ds.graphs
+      in
+      with_tmp (fun path ->
+          Query.save_database ~flat:true path db;
+          let db_flat = Query.load_database path in
+          let db_mmap = Query.load_database ~mmap:true path in
+          Alcotest.(check int32)
+            (Printf.sprintf "fingerprint (%d domains)" domains)
+            (Corpus.fingerprint db.Query.graphs)
+            (Corpus.fingerprint db_mmap.Query.graphs);
+          check_same_answers ds db db_flat;
+          check_same_answers ds db db_mmap (* cold: decodes off the map *);
+          check_same_answers ds db db_mmap (* warm: memoised corpus *);
+          check_pmi_identical db.Query.pmi db_mmap.Query.pmi))
+    [ 1; 4 ]
+
+let test_mmap_requires_flat () =
+  let ds, db = build_db 61 8 in
+  with_tmp (fun path ->
+      Query.save_database path db;
+      expect_store_error "classic layout refused under mmap" (fun () ->
+          Query.load_database ~mmap:true path);
+      (* And the salvage fallback still yields a working eager database. *)
+      let db' = Query.load_database ~salvage:true ~mmap:true path in
+      check_same_answers ds db db')
+
+(* --- flat image: hostile inputs --- *)
+
+(* Decode every lazily-validated region of a mapped database: all graphs
+   (structural decode), every PMI entry (bound-count materialisation) and
+   the structural count matrix. Cheap, and it touches everything a query
+   could. *)
+let mmap_probe path =
+  let db = Query.load_database ~mmap:true path in
+  for gi = 0 to Corpus.length db.Query.graphs - 1 do
+    ignore (Corpus.get db.Query.graphs gi)
+  done;
+  for fi = 0 to Pmi.num_features db.Query.pmi - 1 do
+    for gi = 0 to Pmi.num_graphs db.Query.pmi - 1 do
+      ignore (Pmi.lookup db.Query.pmi ~feature:fi ~graph:gi)
+    done
+  done;
+  ignore (Structural.counts db.Query.structural)
+
+let test_flat_corruption_detected () =
+  let ds, db = build_db 67 8 in
+  with_tmp (fun path ->
+      Query.save_database ~flat:true path db;
+      let original = read_bytes path in
+      let spans = S.section_spans original in
+      (* Pristine image passes the full probe and the eager load. *)
+      mmap_probe path;
+      ignore (Query.load_database path);
+      (* Truncations anywhere must fail cleanly at open (the directory
+         walk or a missing required section catches them all). *)
+      let boundaries =
+        0 :: 1 :: (S.header_bytes - 1) :: S.header_bytes
+        :: List.concat_map
+             (fun (_, start, stop) -> [ start; start + 3; stop - 1; stop ])
+             spans
+      in
+      List.iter
+        (fun cut ->
+          if cut < String.length original then begin
+            write_bytes path (String.sub original 0 cut);
+            expect_store_error
+              (Printf.sprintf "truncated at %d" cut)
+              (fun () -> mmap_probe path)
+          end)
+        boundaries;
+      (* Byte flips: the eager loader checksums every payload, so it must
+         always refuse. The mapped loader defers bulk checksums
+         (DESIGN.md §15) — a flip may surface as Store_error at open or
+         on access, or go structurally unnoticed in a lazily-read payload
+         — but it must never escape the typed error space (no
+         Invalid_argument, no Failure, no crash). *)
+      let positions =
+        List.init S.header_bytes Fun.id
+        @ List.concat_map
+            (fun (_, start, stop) -> sample_positions start stop)
+            spans
+      in
+      List.iter
+        (fun pos ->
+          let corrupt = Bytes.of_string original in
+          Bytes.set corrupt pos
+            (Char.chr (Char.code (Bytes.get corrupt pos) lxor 0xFF));
+          write_bytes path (Bytes.to_string corrupt);
+          expect_store_error
+            (Printf.sprintf "eager load, byte %d flipped" pos)
+            (fun () -> ignore (Query.load_database path));
+          match mmap_probe path with
+          | () -> ()
+          | exception S.Store_error _ -> ()
+          | exception e ->
+            Alcotest.failf "mmap probe, byte %d flipped: escaped as %s" pos
+              (Printexc.to_string e))
+        positions;
+      (* Restore: nothing was cached across the error paths. *)
+      write_bytes path original;
+      mmap_probe path;
+      let db' = Query.load_database ~mmap:true path in
+      check_same_answers ds db db')
+
 (* --- Pgraph_io JPT row validation (regression) --- *)
 
 let test_jpt_row_sum_rejected () =
@@ -456,6 +574,12 @@ let suite =
       test_missing_and_garbage_files;
     Alcotest.test_case "corruption detected everywhere" `Slow
       test_corruption_detected;
+    Alcotest.test_case "flat mmap = eager (1 and 4 domains, cold+warm)" `Slow
+      test_flat_mmap_differential;
+    Alcotest.test_case "mmap refuses classic layout" `Quick
+      test_mmap_requires_flat;
+    Alcotest.test_case "flat corruption detected or contained" `Slow
+      test_flat_corruption_detected;
     Alcotest.test_case "jpt row sums rejected (text)" `Quick
       test_jpt_row_sum_rejected;
     Alcotest.test_case "jpt row sums rejected (binary)" `Quick
