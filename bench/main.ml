@@ -1,6 +1,6 @@
 (* Benchmark entry point.
 
-   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|shard|chaos|verify|micro|all] [--quick]
+   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|shard|chaos|ingest|verify|micro|all] [--quick]
 
    Each figN target regenerates the corresponding figure of the paper's
    evaluation section (§6) at a scaled-down workload (see DESIGN.md §4-5 and
@@ -941,7 +941,214 @@ let chaos ~scale ppf =
   in
   let baseline = phase ~label:"faults-off" ~faults:false in
   let faulted = phase ~label:"faults-on" ~faults:true in
-  let rows = [ baseline; faulted ] in
+  (* Ingest-during-fault phase (DESIGN.md §16): a fresh server with delta
+     persistence armed, store.write and server.batch faults injected, and
+     one feeder connection pushing Add_graphs batches while the query
+     clients run. The database grows mid-flight, so exactness is pinned
+     with the restricted-id invariant: per-candidate PRNG streams are
+     keyed by global id, so every answer restricted to the original ids
+     [< N] must equal the offline run on the base database — exactly when
+     unflagged, as a superset when degraded. A failed delta write must
+     surface as a retryable rejection the feeder absorbs, never as a lost
+     ack or a torn base file. *)
+  let ingest_faulted, ingest_stats =
+    let n_base = Array.length graphs in
+    let base_path = Filename.temp_file "psst_chaos" ".pgdb" in
+    Query.save_database base_path db;
+    let db0, chain = Psst_ingest.load base_path in
+    let pool =
+      (Generator.generate
+         { Generator.default_params with num_graphs = 60;
+           seed = scale.Experiments.seed + 4242 })
+        .Generator.graphs
+    in
+    let srv =
+      Psst_server.start ~chain
+        {
+          (Psst_server.default_config endpoint) with
+          Psst_server.domains = 2;
+          queue_cap = 1024;
+          verify_budget_ms = 50.;
+        }
+        db0
+    in
+    let d0 = Psst_obs.counter_value c_degraded
+    and r0 = Psst_obs.counter_value c_retries in
+    Fun.protect
+      ~finally:(fun () ->
+        Psst_server.stop srv;
+        ignore (Psst_ingest.clear_deltas base_path);
+        try Sys.remove base_path with Sys_error _ -> ())
+      (fun () ->
+        Psst_fault.arm ~seed:20120806
+          [
+            ("store.write", Psst_fault.Partial_io, 0.2);
+            ("server.batch", Psst_fault.Fail, 0.25);
+          ];
+        Fun.protect ~finally:Psst_fault.disarm (fun () ->
+            let stop_feed = Atomic.make false in
+            let ingested = ref 0 and ing_ok = ref 0 and ing_rej = ref 0 in
+            let feeder =
+              Thread.create
+                (fun () ->
+                  let c =
+                    Psst_client.connect ~connect_timeout_ms:5000.
+                      ~call_timeout_ms:10000. endpoint
+                  in
+                  Fun.protect
+                    ~finally:(fun () -> Psst_client.close c)
+                    (fun () ->
+                      let k = ref 0 in
+                      (* At least 8 batches even if the query clients
+                         finish first, so some survive the 0.2-probability
+                         write fault and at least one epoch applies. *)
+                      while (not (Atomic.get stop_feed)) || !k < 8 do
+                        let b = Array.sub pool (!k mod 6 * 10) 10 in
+                        incr k;
+                        (match Psst_client.add_graphs c b with
+                        | Ok r ->
+                          ingested := !ingested + r.Psst_ingest.count;
+                          incr ing_ok
+                        | Error (code, _) ->
+                          incr ing_rej;
+                          if not (Psst_proto.error_code_retryable code)
+                          then begin
+                            Mutex.lock vm;
+                            violations :=
+                              Printf.sprintf
+                                "ingest: non-retryable rejection %s"
+                                (Psst_proto.error_code_name code)
+                              :: !violations;
+                            Mutex.unlock vm
+                          end);
+                        Thread.delay 0.002
+                      done))
+                ()
+            in
+            let results = ref [] and rm = Mutex.create () in
+            let client_thread start =
+              let c =
+                Psst_client.connect ~connect_timeout_ms:5000.
+                  ~call_timeout_ms:10000. endpoint
+              in
+              Fun.protect
+                ~finally:(fun () -> Psst_client.close c)
+                (fun () ->
+                  let lats = Array.make per_client 0. in
+                  let exact = ref 0 and degraded = ref 0 and errors = ref 0 in
+                  for j = 0 to per_client - 1 do
+                    let qi = (start + j) mod nq in
+                    let t0 = Unix.gettimeofday () in
+                    (match
+                       Psst_client.run_all ~max_retries:8 ~backoff_ms:5. c
+                         [ queries.(qi) ] config
+                     with
+                    | [| Psst_proto.Answer { answers; stats; _ } |] ->
+                      let restricted =
+                        List.filter (fun a -> a < n_base) answers
+                      in
+                      if stats.Psst_proto.degraded then begin
+                        incr degraded;
+                        if
+                          not
+                            (List.for_all
+                               (fun a -> List.mem a restricted)
+                               offline.(qi))
+                        then begin
+                          Mutex.lock vm;
+                          violations :=
+                            Printf.sprintf
+                              "ingest query %d: degraded answer not a \
+                               superset on ids < %d"
+                              qi n_base
+                            :: !violations;
+                          Mutex.unlock vm
+                        end
+                      end
+                      else begin
+                        incr exact;
+                        if restricted <> offline.(qi) then begin
+                          Mutex.lock vm;
+                          violations :=
+                            Printf.sprintf
+                              "ingest query %d: unflagged answer differs \
+                               from offline on ids < %d"
+                              qi n_base
+                            :: !violations;
+                          Mutex.unlock vm
+                        end
+                      end
+                    | [| Psst_proto.Error_reply { code; _ } |] ->
+                      incr errors;
+                      if not (Psst_proto.error_code_retryable code)
+                      then begin
+                        Mutex.lock vm;
+                        violations :=
+                          Printf.sprintf
+                            "ingest query %d: non-retryable error %s" qi
+                            (Psst_proto.error_code_name code)
+                          :: !violations;
+                        Mutex.unlock vm
+                      end
+                    | _ | (exception Psst_client.Client_error _) ->
+                      incr errors);
+                    lats.(j) <- Unix.gettimeofday () -. t0
+                  done;
+                  Mutex.lock rm;
+                  results := (lats, !exact, !degraded, !errors) :: !results;
+                  Mutex.unlock rm)
+            in
+            let t0 = Unix.gettimeofday () in
+            let threads =
+              List.init clients (fun i ->
+                  Thread.create (fun () -> client_thread (i * per_client)) ())
+            in
+            List.iter Thread.join threads;
+            Atomic.set stop_feed true;
+            Thread.join feeder;
+            let wall = Unix.gettimeofday () -. t0 in
+            let lats =
+              List.concat_map (fun (l, _, _, _) -> Array.to_list l) !results
+              |> Array.of_list
+            in
+            Array.sort compare lats;
+            let sum f = List.fold_left (fun a r -> a + f r) 0 !results in
+            let exact = sum (fun (_, e, _, _) -> e)
+            and degraded = sum (fun (_, _, d, _) -> d)
+            and errors = sum (fun (_, _, _, e) -> e) in
+            let total = clients * per_client in
+            let epochs = Psst_server.epoch srv in
+            if epochs = 0 then begin
+              Mutex.lock vm;
+              violations := "ingest: no batch was ever applied" :: !violations;
+              Mutex.unlock vm
+            end;
+            let row =
+              ( "ingest-faults",
+                total,
+                wall,
+                float_of_int total /. wall,
+                1000. *. percentile lats 0.50,
+                1000. *. percentile lats 0.99,
+                exact,
+                degraded,
+                errors,
+                Psst_obs.counter_value c_degraded - d0,
+                Psst_obs.counter_value c_retries - r0 )
+            in
+            let l, t, w, thr, p50, p99, ex, dg, er, srv_dg, srv_rt = row in
+            Format.fprintf ppf
+              "%-10s requests %4d  wall %6.2f s  %7.1f req/s  p50 %7.2f ms  \
+               p99 %7.2f ms  exact %d  degraded %d  errors %d  \
+               (server: %d degraded, %d retryable rejections)@."
+              l t w thr p50 p99 ex dg er srv_dg srv_rt;
+            Format.fprintf ppf
+              "ingest under faults: %d graphs applied across %d epochs \
+               (%d acked batches, %d retryable rejections)@."
+              !ingested epochs !ing_ok !ing_rej;
+            (row, (!ingested, !ing_ok, !ing_rej, epochs))))
+  in
+  let rows = [ baseline; faulted; ingest_faulted ] in
   (try Sys.remove sock with Sys_error _ -> ());
   let ok = !violations = [] in
   List.iter (fun v -> Format.fprintf ppf "VIOLATION: %s@." v) !violations;
@@ -965,10 +1172,282 @@ let chaos ~scale ppf =
             l t w thr p50 p99 ex dg er srv_dg srv_rt
             (if i < List.length rows - 1 then "," else ""))
         rows;
+      let ing_graphs, ing_ok, ing_rej, ing_epochs = ingest_stats in
       Printf.fprintf oc
-        "  ],\n  \"invariant_held\": %b,\n  \"metrics\": %s}\n" ok
+        "  ],\n  \"ingest\": {\"graphs\": %d, \"acked_batches\": %d, \
+         \"rejected_batches\": %d, \"epochs\": %d},\n  \
+         \"invariant_held\": %b,\n  \"metrics\": %s}\n"
+        ing_graphs ing_ok ing_rej ing_epochs ok
         (Psst_obs.to_json_string ()));
   Format.fprintf ppf "wrote BENCH_chaos.json@.";
+  if not ok then exit 1
+
+(* Continuous ingest (DESIGN.md §16): the Fig 9 serving workload with a
+   live Add_graphs feed. A query-only "light" tenant is measured solo,
+   then again while a "heavy" tenant pushes ingest batches against its
+   tenant quota and runs its own queries — the round-robin admission
+   scheduler should keep the two tenants' query service comparable, and
+   the quota should absorb the heavy tenant's oversized batches as clean
+   retryable rejections metered per tenant. Reported: ingest throughput
+   (graphs/s), the light tenant's p50/p99 drift solo → concurrent, and
+   the fairness ratio between the tenants' query throughputs. Hard
+   invariants (exit 1): every answer on the growing database, restricted
+   to the original ids [< N], is identical to the offline run on the
+   base database (per-candidate PRNG streams are keyed by global id, so
+   appending graphs never changes an existing graph's verdict); every
+   rejection is a retryable error; at least one batch applied and at
+   least one oversized batch bounced. *)
+let ingest_bench ~scale ppf =
+  Format.fprintf ppf
+    "@.=== Ingest: live Add_graphs under a two-tenant load (Fig 9 \
+     workload) ===@.";
+  let ds = Generator.generate (Experiments.dataset_params scale) in
+  let graphs = ds.Generator.graphs in
+  let n_base = Array.length graphs in
+  let skeletons = Array.map Pgraph.skeleton graphs in
+  let features = Selection.select skeletons Experiments.mining_params in
+  let structural = Structural.build skeletons features ~emb_cap:64 in
+  let pmi = Pmi.build graphs features in
+  let db =
+    { Query.graphs = Corpus.of_array graphs; features; structural; pmi;
+      base = 0 }
+  in
+  let rng = Psst_util.Prng.make (scale.Experiments.seed + 777) in
+  let nq = max 4 scale.Experiments.queries_per_point in
+  let queries =
+    Array.init nq (fun _ -> fst (Generator.extract_query rng ds ~edges:8))
+  in
+  let config = Query.default_config in
+  let offline =
+    Array.map (fun q -> (Query.run db q config).Query.answers) queries
+  in
+  let pool =
+    (Generator.generate
+       { Generator.default_params with num_graphs = 96;
+         seed = scale.Experiments.seed + 4242 })
+      .Generator.graphs
+  in
+  let quota = 24 in
+  let sock = Filename.temp_file "psst_ingest" ".sock" in
+  let endpoint = Psst_proto.Unix_socket sock in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then nan
+    else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+  in
+  let violations = ref [] and vm = Mutex.create () in
+  let violation fmt =
+    Printf.ksprintf
+      (fun s ->
+        Mutex.lock vm;
+        violations := s :: !violations;
+        Mutex.unlock vm)
+      fmt
+  in
+  let per_client = 2 * nq in
+  (* One tenant's query loop: [per_client] synchronous requests
+     round-robin over the workload, each answer checked with the
+     restricted-id invariant; rejections must be retryable. *)
+  let query_loop tenant start =
+    let c = Psst_client.connect endpoint in
+    Fun.protect
+      ~finally:(fun () -> Psst_client.close c)
+      (fun () ->
+        Psst_client.set_tenant c tenant;
+        let lats = Array.make per_client 0. in
+        let answered = ref 0 and rejected = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        for j = 0 to per_client - 1 do
+          let qi = (start + j) mod nq in
+          let s = Unix.gettimeofday () in
+          (match
+             Psst_client.rpc c
+               (Psst_proto.Run { id = j; query = queries.(qi); config })
+           with
+          | Psst_proto.Answer { answers; stats; _ } ->
+            incr answered;
+            let restricted = List.filter (fun a -> a < n_base) answers in
+            if stats.Psst_proto.degraded then begin
+              if
+                not
+                  (List.for_all (fun a -> List.mem a restricted) offline.(qi))
+              then
+                violation
+                  "tenant %s query %d: degraded answer not a superset on \
+                   ids < %d"
+                  tenant qi n_base
+            end
+            else if restricted <> offline.(qi) then
+              violation
+                "tenant %s query %d: answer differs from offline on ids < %d"
+                tenant qi n_base
+          | Psst_proto.Error_reply { code; _ } ->
+            incr rejected;
+            if not (Psst_proto.error_code_retryable code) then
+              violation "tenant %s query %d: non-retryable error %s" tenant
+                qi
+                (Psst_proto.error_code_name code)
+          | _ -> violation "tenant %s query %d: unexpected reply kind" tenant qi);
+          lats.(j) <- Unix.gettimeofday () -. s
+        done;
+        let wall = Unix.gettimeofday () -. t0 in
+        Array.sort compare lats;
+        (wall, lats, !answered, !rejected))
+  in
+  let phase_row label (wall, lats, answered, rejected) =
+    let row =
+      ( label,
+        per_client,
+        wall,
+        float_of_int answered /. wall,
+        1000. *. percentile lats 0.50,
+        1000. *. percentile lats 0.99,
+        answered,
+        rejected )
+    in
+    let l, t, w, thr, p50, p99, a, r = row in
+    Format.fprintf ppf
+      "%-17s requests %4d  wall %6.2f s  %7.1f req/s  p50 %7.2f ms  \
+       p99 %7.2f ms  answered %d  rejected %d@."
+      l t w thr p50 p99 a r;
+    row
+  in
+  let with_server f =
+    let srv =
+      Psst_server.start
+        {
+          (Psst_server.default_config endpoint) with
+          Psst_server.domains = 2;
+          queue_cap = 1024;
+          ingest_queue_cap = 1024;
+          tenant_quota = quota;
+        }
+        db
+    in
+    Fun.protect ~finally:(fun () -> Psst_server.stop srv) (fun () -> f srv)
+  in
+  (* Phase 1: the light tenant alone — the latency baseline. *)
+  let solo =
+    with_server (fun _ -> phase_row "light-solo" (query_loop "light" 0))
+  in
+  (* Phase 2: fresh server (epochs reset); the heavy tenant ingests and
+     queries while the light tenant reruns the phase-1 workload. *)
+  let light, heavy, ingest_stats =
+    with_server (fun srv ->
+        let stop_feed = Atomic.make false in
+        let ingested = ref 0 and acked = ref 0 and rejected_b = ref 0 in
+        let feed_wall = ref 1e-9 in
+        let feeder =
+          Thread.create
+            (fun () ->
+              let c = Psst_client.connect endpoint in
+              Fun.protect
+                ~finally:(fun () -> Psst_client.close c)
+                (fun () ->
+                  Psst_client.set_tenant c "heavy";
+                  let t0 = Unix.gettimeofday () in
+                  let k = ref 0 in
+                  (* At least 8 batches even if the query clients finish
+                     first; every fourth exceeds the tenant quota on
+                     purpose and must bounce as a clean retryable
+                     rejection metered on the heavy tenant. *)
+                  while (not (Atomic.get stop_feed)) || !k < 8 do
+                    let b =
+                      if !k mod 4 = 3 then Array.sub pool 0 (quota + 8)
+                      else Array.sub pool (!k mod 8 * 8) 8
+                    in
+                    incr k;
+                    (match Psst_client.add_graphs c b with
+                    | Ok r ->
+                      ingested := !ingested + r.Psst_ingest.count;
+                      incr acked
+                    | Error (code, msg) ->
+                      incr rejected_b;
+                      if not (Psst_proto.error_code_retryable code) then
+                        violation "ingest: non-retryable rejection %s (%s)"
+                          (Psst_proto.error_code_name code)
+                          msg);
+                    Thread.delay 0.001
+                  done;
+                  feed_wall := Unix.gettimeofday () -. t0))
+            ()
+        in
+        let results = Array.make 2 None in
+        let qthreads =
+          List.map
+            (fun (tenant, start, slot) ->
+              Thread.create
+                (fun () -> results.(slot) <- Some (query_loop tenant start))
+                ())
+            [ ("light", 0, 0); ("heavy", nq / 2, 1) ]
+        in
+        List.iter Thread.join qthreads;
+        Atomic.set stop_feed true;
+        Thread.join feeder;
+        let epochs = Psst_server.epoch srv in
+        let light = phase_row "light-concurrent" (Option.get results.(0)) in
+        let heavy = phase_row "heavy-concurrent" (Option.get results.(1)) in
+        Format.fprintf ppf
+          "ingest: %d graphs in %d batches across %d epochs \
+           (%.1f graphs/s), %d rejected batches@."
+          !ingested !acked epochs
+          (float_of_int !ingested /. !feed_wall)
+          !rejected_b;
+        if epochs = 0 then violation "ingest: no batch was ever applied";
+        if !rejected_b = 0 then
+          violation "ingest: oversized batches were never rejected";
+        let heavy_rejected =
+          Psst_obs.counter_value
+            (Psst_obs.counter "server.tenant.heavy.rejected")
+        in
+        if heavy_rejected < !rejected_b then
+          violation
+            "ingest: %d rejections but server.tenant.heavy.rejected = %d"
+            !rejected_b heavy_rejected;
+        (light, heavy, (!ingested, !acked, !rejected_b, epochs, !feed_wall)))
+  in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let ok = !violations = [] in
+  List.iter (fun v -> Format.fprintf ppf "VIOLATION: %s@." v) !violations;
+  let thr_of (_, _, _, t, _, _, _, _) = t in
+  let p99_of (_, _, _, _, _, p, _, _) = p in
+  let fairness =
+    let a = thr_of light and b = thr_of heavy in
+    if a = 0. || b = 0. then 0. else min a b /. max a b
+  in
+  let drift = p99_of light /. p99_of solo in
+  Format.fprintf ppf
+    "fairness (light/heavy query throughput) %.2f   light p99 drift \
+     solo -> concurrent %.2fx@."
+    fairness drift;
+  Format.fprintf ppf "ingest invariants held  %b@." ok;
+  let oc = open_out "BENCH_ingest.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let row_json (l, t, w, thr, p50, p99, a, r) =
+        Printf.sprintf
+          "{\"label\": %S, \"requests\": %d, \"wall_s\": %.6f, \
+           \"throughput_rps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+           \"answered\": %d, \"rejected\": %d}"
+          l t w thr p50 p99 a r
+      in
+      let g, ab, rb, ep, fw = ingest_stats in
+      Printf.fprintf oc
+        "{\n  \"workload\": \"fig9\",\n  \"db_size\": %d,\n  \
+         \"distinct_queries\": %d,\n  \"tenant_quota\": %d,\n  \
+         \"solo\": %s,\n  \"light_concurrent\": %s,\n  \
+         \"heavy_concurrent\": %s,\n  \"ingest\": {\"graphs\": %d, \
+         \"acked_batches\": %d, \"rejected_batches\": %d, \"epochs\": %d, \
+         \"graphs_per_s\": %.2f},\n  \"fairness_ratio\": %.4f,\n  \
+         \"light_p99_drift\": %.4f,\n  \"invariant_held\": %b,\n  \
+         \"metrics\": %s}\n"
+        n_base nq quota (row_json solo) (row_json light) (row_json heavy) g
+        ab rb ep
+        (float_of_int g /. fw)
+        fairness drift ok
+        (Psst_obs.to_json_string ()));
+  Format.fprintf ppf "wrote BENCH_ingest.json@.";
   if not ok then exit 1
 
 (* Verification hot path on the Fig 9 workload: the same repeated query
@@ -1307,6 +1786,7 @@ let () =
     | "serve" -> serve ~scale ppf
     | "shard" -> shard_bench ~scale ppf
     | "chaos" -> chaos ~scale ppf
+    | "ingest" -> ingest_bench ~scale ppf
     | "verify" -> verify_bench ~scale ppf
     | "micro" -> micro ppf
     | "all" ->
@@ -1316,11 +1796,12 @@ let () =
       serve ~scale ppf;
       shard_bench ~scale ppf;
       chaos ~scale ppf;
+      ingest_bench ~scale ppf;
       verify_bench ~scale ppf;
       micro ppf
     | other ->
       Format.fprintf ppf
-        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, shard, chaos, verify, micro, all)@."
+        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, shard, chaos, ingest, verify, micro, all)@."
         other;
       exit 2
   in

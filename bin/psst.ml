@@ -110,15 +110,37 @@ let corpus_of input num_graphs seed =
 (* Build the indexes, or reuse a persisted database when [index_file] names
    a valid store for this exact corpus. A missing file is built and saved; a
    corrupt/stale/foreign one is reported, rebuilt and overwritten — a bad
-   cache never changes answers, only costs the rebuild. *)
+   cache never changes answers, only costs the rebuild. A reused index then
+   replays its ingest delta chain (DESIGN.md §16), so an offline run agrees
+   with a server that ingested on the same store; a rebuild clears the
+   chain (the deltas chained onto the old base). Returns the database, the
+   elapsed time, a description, and the delta chain when persistent
+   (armed for further ingest). *)
 let obtain_database ?(flat = false) ?(mmap = false) index_file graphs =
   (* Memory-mapped serving needs the flat on-disk layout, so --mmap
      implies writing any rebuilt index with --flat. *)
   let flat = flat || mmap in
+  let with_deltas path (db, t) how =
+    let (db, chain), t_replay =
+      Psst_util.Timer.time (fun () -> Psst_ingest.apply_deltas ~base:path db)
+    in
+    let applied = chain.Psst_ingest.next_seq - 1 in
+    let how =
+      if applied = 0 then how
+      else Printf.sprintf "%s + %d ingest delta%s replayed" how applied
+        (if applied = 1 then "" else "s")
+    in
+    (db, t +. t_replay, how, Some chain)
+  in
   let build_and_save () =
     let db, t = Psst_util.Timer.time (fun () -> Query.index_database graphs) in
     match index_file with
     | Some path ->
+      let stale = Psst_ingest.clear_deltas path in
+      if stale > 0 then
+        Printf.printf "removed %d stale ingest delta file%s of %s\n%!" stale
+          (if stale = 1 then "" else "s")
+          path;
       Query.save_database ~flat path db;
       Printf.printf "index persisted to %s%s\n%!" path
         (if flat then " (flat image)" else "");
@@ -126,9 +148,10 @@ let obtain_database ?(flat = false) ?(mmap = false) index_file graphs =
         let db, t_map =
           Psst_util.Timer.time (fun () -> Query.load_database ~mmap:true path)
         in
-        (db, t +. t_map, "built (serving the memory-mapped flat image)")
-      else (db, t, "built")
-    | None -> (db, t, "built")
+        with_deltas path (db, t +. t_map)
+          "built (serving the memory-mapped flat image)"
+      else with_deltas path (db, t) "built"
+    | None -> (db, t, "built", None)
   in
   match index_file with
   | Some path when Sys.file_exists path -> (
@@ -136,10 +159,9 @@ let obtain_database ?(flat = false) ?(mmap = false) index_file graphs =
     | db, t when
         Corpus.fingerprint db.Query.graphs
         = Pgraph_io.db_fingerprint graphs ->
-      ( db,
-        t,
-        if mmap then "memory-mapped (zero-copy flat image)"
-        else "loaded (mining and PMI build skipped)" )
+      with_deltas path (db, t)
+        (if mmap then "memory-mapped (zero-copy flat image)"
+         else "loaded (mining and PMI build skipped)")
     | _ ->
       Printf.printf "index %s was built for a different corpus; rebuilding\n%!"
         path;
@@ -174,7 +196,7 @@ let shard num_graphs seed input index_file flat output shards max_graphs
   or_die @@ fun () ->
   let graphs, _ = corpus_of input num_graphs seed in
   Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
-  let db, t_index, how = obtain_database index_file graphs in
+  let db, t_index, how, _chain = obtain_database index_file graphs in
   Printf.printf "index %s in %.2fs: %d features, %d PMI entries\n%!" how t_index
     (List.length db.Query.features)
     (Pmi.filled_entries db.Query.pmi);
@@ -231,7 +253,7 @@ let query num_graphs seed qsize nqueries epsilon delta exact_verifier input
   or_die @@ fun () ->
   let graphs, ds_opt = corpus_of input num_graphs seed in
   Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
-  let db, t_index, how = obtain_database index_file graphs in
+  let db, t_index, how, _chain = obtain_database index_file graphs in
   Printf.printf "index %s in %.2fs: %d features, %d PMI entries\n%!" how t_index
     (List.length db.Query.features)
     (Pmi.filled_entries db.Query.pmi);
@@ -398,8 +420,9 @@ let wait_for_shutdown () =
   done;
   Printf.printf "shutdown requested; draining in-flight requests...\n%!"
 
-let serve_worker endpoint db domains queue_cap deadline_ms verify_budget_ms
-    batch_max cache_cap stats_json =
+let serve_worker ?chain endpoint db domains queue_cap deadline_ms
+    verify_budget_ms batch_max cache_cap ingest_queue_cap tenant_quota
+    stats_json =
   let cfg =
     {
       (Psst_server.default_config endpoint) with
@@ -409,24 +432,37 @@ let serve_worker endpoint db domains queue_cap deadline_ms verify_budget_ms
       verify_budget_ms;
       batch_max;
       cache_cap;
+      ingest_queue_cap;
+      tenant_quota;
     }
   in
-  let srv = Psst_server.start cfg db in
+  let srv = Psst_server.start ?chain cfg db in
   Printf.printf
     "serving on %s (%d domains, queue cap %d, deadline %s, verify budget %s, \
-     batch cap %d, cache %s)\n%!"
+     batch cap %d, cache %s, ingest %s, tenant quota %s)\n%!"
     (Psst_proto.endpoint_to_string (Psst_server.endpoint srv))
     domains queue_cap
     (if deadline_ms > 0 then Printf.sprintf "%d ms" deadline_ms else "off")
     (if verify_budget_ms > 0. then Printf.sprintf "%.0f ms" verify_budget_ms
      else "off")
     batch_max
-    (if cache_cap > 0 then Printf.sprintf "%d entries" cache_cap else "off");
+    (if cache_cap > 0 then Printf.sprintf "%d entries" cache_cap else "off")
+    (if ingest_queue_cap > 0 then
+       Printf.sprintf "queue of %d graphs%s" ingest_queue_cap
+         (match chain with
+         | Some _ -> ", persisted as delta files"
+         | None -> ", memory only")
+     else "off")
+    (if tenant_quota > 0 then string_of_int tenant_quota else "off");
   wait_for_shutdown ();
   Psst_server.stop srv;
   (match stats_json with
   | None -> ()
   | Some path -> write_stats_json path (Psst_server.traces srv));
+  let h = Psst_server.health srv in
+  if h.Psst_proto.epoch > 0 then
+    Printf.printf "ingested %d graphs across %d epochs\n%!"
+      h.Psst_proto.ingest_applied h.Psst_proto.epoch;
   Printf.printf "served %d requests; drained cleanly\n%!"
     (Psst_server.served srv)
 
@@ -488,9 +524,15 @@ let serve_router endpoint manifest mmap workers shard_timeout_ms shard_retries
   Printf.printf "served %d requests; drained cleanly\n%!" (Psst_router.served r)
 
 let serve num_graphs seed input index_file mmap socket port host domains
-    queue_cap deadline_ms verify_budget_ms batch_max cache_cap stats_json role
-    manifest shard_id workers shard_timeout_ms shard_retries =
+    queue_cap deadline_ms verify_budget_ms batch_max cache_cap
+    ingest_queue_cap tenant_quota stats_json role manifest shard_id workers
+    shard_timeout_ms shard_retries =
   or_die @@ fun () ->
+  if ingest_queue_cap < 0 then
+    die "--ingest-queue-cap must be >= 0 (0 disables ingest), got %d"
+      ingest_queue_cap;
+  if tenant_quota < 0 then
+    die "--tenant-quota must be >= 0 (0 disables quotas), got %d" tenant_quota;
   let endpoint = endpoint_of socket port host in
   match role with
   | `Router ->
@@ -498,7 +540,7 @@ let serve num_graphs seed input index_file mmap socket port host domains
       stats_json
   | `Worker ->
     if workers <> [] then die "--worker is for --role router";
-    let db =
+    let db, chain =
       match (manifest, shard_id) with
       | Some mpath, Some sid ->
         let m = Psst_shard.load_manifest mpath in
@@ -513,7 +555,7 @@ let serve num_graphs seed input index_file mmap socket port host domains
           (db.Query.base + Corpus.length db.Query.graphs - 1)
           (List.length db.Query.features)
           (Pmi.filled_entries db.Query.pmi);
-        db
+        (db, None)
       | Some _, None -> die "worker role with --manifest also needs --shard SID"
       | None, Some _ -> die "--shard needs --manifest"
       | None, None ->
@@ -521,21 +563,46 @@ let serve num_graphs seed input index_file mmap socket port host domains
           die "--mmap needs --index FILE (or --manifest with --shard)";
         let graphs, _ = corpus_of input num_graphs seed in
         Printf.printf "indexing %d graphs...\n%!" (Array.length graphs);
-        let db, t_index, how = obtain_database ~mmap index_file graphs in
+        let db, t_index, how, chain = obtain_database ~mmap index_file graphs in
         Printf.printf "index %s in %.2fs: %d features, %d PMI entries\n%!" how
           t_index
           (List.length db.Query.features)
           (Pmi.filled_entries db.Query.pmi);
-        db
+        (db, chain)
     in
-    serve_worker endpoint db domains queue_cap deadline_ms verify_budget_ms
-      batch_max cache_cap stats_json
+    (* A shard holds a fixed global-id slice of the corpus (placement is
+       decided offline by [psst shard]); appending to one shard would
+       change answers relative to the monolithic database, so shard
+       workers serve read-only. *)
+    let ingest_queue_cap =
+      if manifest <> None then begin
+        if ingest_queue_cap > 0 then
+          Printf.printf
+            "ingest disabled: shard workers are read-only (re-run psst \
+             shard to grow a sharded deployment)\n%!";
+        0
+      end
+      else ingest_queue_cap
+    in
+    serve_worker ?chain endpoint db domains queue_cap deadline_ms
+      verify_budget_ms batch_max cache_cap ingest_queue_cap tenant_quota
+      stats_json
 
 let client socket port host num_graphs seed qsize nqueries epsilon delta
-    exact_verifier input do_ping do_health do_stats connect_timeout_ms
-    timeout_ms retries backoff_ms =
+    exact_verifier input tenant add_file do_ping do_health do_stats
+    connect_timeout_ms timeout_ms retries backoff_ms =
   or_die @@ fun () ->
+  (match tenant with
+  | Some "" -> die "--tenant needs a non-empty name"
+  | _ -> ());
   let endpoint = endpoint_of socket port host in
+  (* Load the graphs to ingest before connecting, so a missing or
+     malformed file dies cleanly without touching the server. *)
+  let add_graphs =
+    match add_file with
+    | None -> None
+    | Some path -> Some (path, Pgraph_io.load_auto path)
+  in
   let c =
     Psst_client.connect ~connect_timeout_ms ~call_timeout_ms:timeout_ms
       endpoint
@@ -543,18 +610,39 @@ let client socket port host num_graphs seed qsize nqueries epsilon delta
   Fun.protect
     ~finally:(fun () -> Psst_client.close c)
     (fun () ->
+      Option.iter (fun name -> Psst_client.set_tenant c name) tenant;
       if do_ping then begin
         Psst_client.ping c;
         Printf.printf "pong from %s\n%!" (Psst_proto.endpoint_to_string endpoint)
       end;
+      (match add_graphs with
+      | None -> ()
+      | Some (path, graphs) -> (
+        match Psst_client.add_graphs c graphs with
+        | Ok r ->
+          Printf.printf
+            "ingested %d graphs from %s: global ids %d..%d, database epoch \
+             %d\n%!"
+            r.Psst_ingest.count path r.Psst_ingest.base
+            (r.Psst_ingest.base + r.Psst_ingest.count - 1)
+            r.Psst_ingest.epoch
+        | Error (code, message) ->
+          die "ingest of %s rejected [%s%s]: %s" path
+            (Psst_proto.error_code_name code)
+            (if Psst_proto.error_code_retryable code then ", retryable"
+             else "")
+            message));
       if do_health then begin
         let h = Psst_client.health c in
         Printf.printf
           "health of %s: up %.1fs, queue depth %d, served %d, degraded \
-           answers %d, retryable rejections %d\n%!"
+           answers %d, retryable rejections %d, epoch %d, ingest lag %d \
+           (applied %d)\n%!"
           (Psst_proto.endpoint_to_string endpoint)
           h.Psst_proto.uptime_s h.Psst_proto.queue_depth h.Psst_proto.served
-          h.Psst_proto.degraded_answers h.Psst_proto.retryable_rejections;
+          h.Psst_proto.degraded_answers h.Psst_proto.retryable_rejections
+          h.Psst_proto.epoch h.Psst_proto.ingest_queued
+          h.Psst_proto.ingest_applied;
         List.iter
           (fun (w : Psst_proto.worker_health) ->
             if w.reachable then
@@ -906,6 +994,28 @@ let serve_cmd =
              it. Hit/miss/eviction counts surface as the \
              cache.{hit,miss,evict} metrics.")
   in
+  let ingest_queue_cap =
+    Arg.(
+      value & opt int 1024
+      & info [ "ingest-queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bound on graphs queued for ingest (Add_graphs) across \
+             tenants; batches beyond it are rejected with a retryable \
+             queue-full error. 0 disables ingest entirely. With --index, \
+             each ingested batch is persisted as a crash-atomic delta \
+             file next to the index before it becomes visible to \
+             queries; the base index file is never rewritten.")
+  in
+  let tenant_quota =
+    Arg.(
+      value & opt int 0
+      & info [ "tenant-quota" ] ~docv:"N"
+          ~doc:
+            "Per-tenant bound on queued queries and queued ingest \
+             graphs; beyond it the tenant gets retryable queue-full \
+             errors while other tenants keep their share (admission is \
+             round-robin across tenants). 0 disables quotas.")
+  in
   let stats_json =
     Arg.(
       value
@@ -982,8 +1092,9 @@ let serve_cmd =
     Term.(
       const serve $ num_graphs_arg $ seed_arg $ input_arg $ index_file $ mmap
       $ socket_arg $ port_arg $ host_arg $ domains $ queue_cap $ deadline_ms
-      $ verify_budget_ms $ batch_max $ cache_cap $ stats_json $ role $ manifest
-      $ shard_id $ workers $ shard_timeout_ms $ shard_retries)
+      $ verify_budget_ms $ batch_max $ cache_cap $ ingest_queue_cap
+      $ tenant_quota $ stats_json $ role $ manifest $ shard_id $ workers
+      $ shard_timeout_ms $ shard_retries)
 
 let client_cmd =
   let qsize =
@@ -1004,6 +1115,31 @@ let client_cmd =
     Arg.(
       value & flag
       & info [ "exact" ] ~doc:"Verify candidates exactly instead of sampling.")
+  in
+  let tenant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:
+            "Run this connection as tenant $(docv) (non-empty, at most \
+             128 bytes): queries and ingest batches are admitted and \
+             metered under that identity, subject to the server's \
+             --tenant-quota. Without it the connection runs as tenant \
+             $(b,default).")
+  in
+  let add_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "add" ] ~docv:"FILE"
+          ~doc:
+            "Ingest the probabilistic graphs in $(docv) into the running \
+             server (Add_graphs) before sending any queries. On success \
+             prints the new graphs' global id range and the database \
+             epoch; every query sent afterwards observes them. A \
+             rejection (queue full, tenant quota, ingest disabled) is a \
+             clean one-line error.")
   in
   let do_ping =
     Arg.(value & flag & info [ "ping" ] ~doc:"Round-trip a ping first.")
@@ -1064,8 +1200,8 @@ let client_cmd =
     Term.(
       const client $ socket_arg $ port_arg $ host_arg $ num_graphs_arg
       $ seed_arg $ qsize $ nqueries $ epsilon $ delta $ exact $ input_arg
-      $ do_ping $ do_health $ do_stats $ connect_timeout_ms $ timeout_ms
-      $ retries $ backoff_ms)
+      $ tenant $ add_file $ do_ping $ do_health $ do_stats
+      $ connect_timeout_ms $ timeout_ms $ retries $ backoff_ms)
 
 let experiment_cmd =
   let fig =

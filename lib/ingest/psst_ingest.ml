@@ -1,0 +1,293 @@
+(* Continuous-ingest pipeline (DESIGN.md §16).
+
+   Concurrency model: one writer thread owns all mutation of the served
+   database. Readers (the server's connection threads and batcher) only
+   ever [Atomic.get] the snapshot, so there is no read-side locking and
+   no torn state — an epoch is immutable once published. The writer
+   builds each next epoch with Query.add_graphs (pure: fresh corpus
+   array, fresh index rows) while queries keep running on the previous
+   one, persists the delta first, then publishes with one Atomic.set.
+   Crash ordering: the delta hits disk before the epoch swap, so an
+   acknowledged batch is always reloadable; a batch that failed to
+   persist is rejected with the in-memory database unchanged — memory
+   and disk never diverge by more than the batch being rejected. *)
+
+module S = Psst_store
+
+let m_batches = Psst_obs.counter "ingest.batches"
+let m_graphs = Psst_obs.counter "ingest.graphs"
+let m_rejects = Psst_obs.counter "ingest.rejects"
+let m_stale = Psst_obs.counter "ingest.delta.stale"
+let m_queue_depth = Psst_obs.histogram ~lo:1. ~hi:1e6 "ingest.queue.depth"
+let m_apply = Psst_obs.histogram "ingest.apply_s"
+
+type snapshot = { epoch : int; db : Query.database }
+
+(* --- delta-file persistence --- *)
+
+let delta_path base k = Printf.sprintf "%s.delta.%d" base k
+
+type chain = { base : string; base_fp : int32; mutable next_seq : int }
+
+let meta_section ~seq ~base_fp ~prev_count ~count =
+  let e = S.encoder () in
+  S.put_i64 e seq;
+  S.put_i32 e base_fp;
+  S.put_i64 e prev_count;
+  S.put_i64 e count;
+  S.section "delta.meta" e
+
+let graphs_section graphs =
+  let e = S.encoder () in
+  S.put_array e Pgraph_io.encode_binary graphs;
+  S.section "delta.graphs" e
+
+let save_delta chain ~prev_count graphs =
+  let seq = chain.next_seq in
+  S.write_file (delta_path chain.base seq) ~kind:S.Delta
+    [
+      meta_section ~seq ~base_fp:chain.base_fp ~prev_count
+        ~count:(Array.length graphs);
+      graphs_section graphs;
+    ];
+  chain.next_seq <- seq + 1
+
+(* Decode delta [seq]; Store_error on damage or a chain mismatch. The
+   fingerprint pins the delta to its base file and the count pins its
+   position, so replay after a base rebuild or out of order is caught
+   here instead of producing a silently different database. *)
+let read_delta chain ~seq ~prev_count =
+  let sections = S.read_file (delta_path chain.base seq) ~kind:S.Delta in
+  let stored_seq, fp, stored_prev, count =
+    S.decode_section sections "delta.meta" (fun d ->
+        let stored_seq = S.get_nat d in
+        let fp = S.get_i32 d in
+        let stored_prev = S.get_nat d in
+        let count = S.get_nat d in
+        (stored_seq, fp, stored_prev, count))
+  in
+  if stored_seq <> seq then
+    S.error "delta %d of %s records sequence number %d" seq chain.base
+      stored_seq;
+  if fp <> chain.base_fp then
+    S.error
+      "delta %d of %s was written for a different base corpus (fingerprint \
+       %08lx, base is %08lx)"
+      seq chain.base fp chain.base_fp;
+  if stored_prev <> prev_count then
+    S.error "delta %d of %s chains onto %d graphs, the database holds %d" seq
+      chain.base stored_prev prev_count;
+  let graphs =
+    S.decode_section sections "delta.graphs" (fun d ->
+        S.get_array d Pgraph_io.decode_binary)
+  in
+  if Array.length graphs <> count then
+    S.error "delta %d of %s holds %d graphs, its metadata says %d" seq
+      chain.base (Array.length graphs) count;
+  graphs
+
+let apply_deltas ~base db =
+  let chain =
+    { base; base_fp = Corpus.fingerprint db.Query.graphs; next_seq = 1 }
+  in
+  let rec go db =
+    let seq = chain.next_seq in
+    if not (Sys.file_exists (delta_path base seq)) then db
+    else
+      match
+        read_delta chain ~seq ~prev_count:(Corpus.length db.Query.graphs)
+      with
+      | graphs ->
+        let db = Query.add_graphs db graphs in
+        chain.next_seq <- seq + 1;
+        go db
+      | exception S.Store_error msg ->
+        (* Stale (base rebuilt) or damaged: keep the epochs that chained,
+           drop the rest of the chain — a bad delta never changes
+           answers, it only costs the graphs it carried. *)
+        Psst_obs.incr m_stale;
+        Psst_obs.warn ~code:"ingest.delta"
+          (Printf.sprintf "stopping delta replay at %s: %s"
+             (delta_path base seq) msg);
+        db
+  in
+  let db = go db in
+  (db, chain)
+
+let load ?salvage ?mmap path =
+  apply_deltas ~base:path (Query.load_database ?salvage ?mmap path)
+
+let clear_deltas path =
+  let rec go k removed =
+    let p = delta_path path k in
+    if Sys.file_exists p then begin
+      (try Sys.remove p with Sys_error _ -> ());
+      go (k + 1) (removed + 1)
+    end
+    else removed
+  in
+  go 1 0
+
+(* --- the single-writer pipeline --- *)
+
+type result = { epoch : int; base : int; count : int }
+
+type batch = {
+  tenant : string;
+  graphs : Pgraph.t array;
+  ack : (result, string) Result.t -> unit;
+}
+
+type t = {
+  db_ref : snapshot Atomic.t;
+  chain : chain option;
+  queue_cap : int;
+  tenant_quota : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  pending : batch Queue.t;
+  per_tenant : (string, int) Hashtbl.t;  (* queued graphs, guarded by mutex *)
+  mutable queued : int;  (* total queued graphs, guarded by mutex *)
+  mutable stopping : bool;
+  applied : int Atomic.t;  (* graphs applied to the live database *)
+  mutable writer : Thread.t option;
+}
+
+let queued_graphs t =
+  Mutex.lock t.mutex;
+  let n = t.queued in
+  Mutex.unlock t.mutex;
+  n
+
+let applied_graphs t = Atomic.get t.applied
+
+let tenant_queued t tenant =
+  Option.value (Hashtbl.find_opt t.per_tenant tenant) ~default:0
+
+let apply_one t b =
+  let n = Array.length b.graphs in
+  if n = 0 then
+    b.ack (Ok { epoch = (Atomic.get t.db_ref).epoch; base = 0; count = 0 })
+  else begin
+    let snap = Atomic.get t.db_ref in
+    let prev_count = Corpus.length snap.db.Query.graphs in
+    match
+      let db', dt =
+        Psst_util.Timer.time (fun () -> Query.add_graphs snap.db b.graphs)
+      in
+      Option.iter (fun chain -> save_delta chain ~prev_count b.graphs) t.chain;
+      (db', dt)
+    with
+    | db', dt ->
+      (* Persisted (when armed) and built: publish. The single writer is
+         the only mutator, so a plain set is a race-free epoch swap. *)
+      Atomic.set t.db_ref { epoch = snap.epoch + 1; db = db' };
+      Atomic.fetch_and_add t.applied n |> ignore;
+      Psst_obs.incr m_batches;
+      Psst_obs.add m_graphs n;
+      Psst_obs.observe m_apply dt;
+      b.ack
+        (Ok
+           {
+             epoch = snap.epoch + 1;
+             base = snap.db.Query.base + prev_count;
+             count = n;
+           })
+    | exception e ->
+      (* Injected store.write fault, a full disk, or an invalid graph:
+         nothing was published, so the caller may simply retry. *)
+      Psst_obs.incr m_rejects;
+      let msg =
+        match e with
+        | S.Store_error m -> m
+        | Psst_fault.Injected m -> m
+        | Sys_error m -> m
+        | e -> Printexc.to_string e
+      in
+      Psst_obs.warn ~code:"ingest.apply" msg;
+      b.ack (Error ("ingest batch failed: " ^ msg))
+  end
+
+let writer_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.pending && not t.stopping do
+      Condition.wait t.cond t.mutex
+    done;
+    let next =
+      if Queue.is_empty t.pending then None
+      else begin
+        let b = Queue.pop t.pending in
+        let n = Array.length b.graphs in
+        t.queued <- t.queued - n;
+        Hashtbl.replace t.per_tenant b.tenant (tenant_queued t b.tenant - n);
+        Some b
+      end
+    in
+    Mutex.unlock t.mutex;
+    match next with
+    | Some b ->
+      apply_one t b;
+      loop ()
+    | None -> () (* stopping with an empty queue: drained *)
+  in
+  loop ()
+
+let create ?chain ?(tenant_quota = 0) ~queue_cap db_ref =
+  if queue_cap < 1 then invalid_arg "Psst_ingest: queue_cap must be >= 1";
+  if tenant_quota < 0 then
+    invalid_arg "Psst_ingest: tenant_quota must be >= 0";
+  let t =
+    {
+      db_ref;
+      chain;
+      queue_cap;
+      tenant_quota;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      pending = Queue.create ();
+      per_tenant = Hashtbl.create 8;
+      queued = 0;
+      stopping = false;
+      applied = Atomic.make 0;
+      writer = None;
+    }
+  in
+  t.writer <-
+    Some
+      (Thread.create
+         (fun () ->
+           try writer_loop t
+           with e ->
+             Psst_obs.warn ~code:"ingest.writer" (Printexc.to_string e))
+         ());
+  t
+
+let submit t ~tenant graphs ~ack =
+  let n = Array.length graphs in
+  Mutex.lock t.mutex;
+  let verdict =
+    if t.stopping then `Stopped
+    else if t.queued + n > t.queue_cap then `Full
+    else if t.tenant_quota > 0 && tenant_queued t tenant + n > t.tenant_quota
+    then `Quota
+    else begin
+      Queue.add { tenant; graphs; ack } t.pending;
+      t.queued <- t.queued + n;
+      Hashtbl.replace t.per_tenant tenant (tenant_queued t tenant + n);
+      Psst_obs.observe m_queue_depth (float_of_int t.queued);
+      Condition.signal t.cond;
+      `Queued
+    end
+  in
+  Mutex.unlock t.mutex;
+  (match verdict with `Full | `Quota -> Psst_obs.incr m_rejects | _ -> ());
+  verdict
+
+let stop t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  if not already then Option.iter Thread.join t.writer

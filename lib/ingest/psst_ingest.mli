@@ -1,0 +1,119 @@
+(** Continuous-ingest subsystem (DESIGN.md §16): the single-writer
+    pipeline behind the server's [Add_graphs] RPC, and the incremental
+    delta-file persistence it writes.
+
+    {2 Epochs and snapshots}
+
+    The live database is an immutable {!snapshot} behind an [Atomic.t]:
+    readers capture the current snapshot at admission time and every
+    query runs against exactly that value, while the single writer
+    builds the next epoch with {!Query.add_graphs} (a pure function —
+    it allocates fresh index rows and never mutates its input) and
+    publishes it with one atomic swap. A query admitted at epoch [e] is
+    therefore bit-identical to an offline [Query.run] against epoch
+    [e]'s database, whatever ingest does concurrently — the
+    snapshot-consistency contract the differential tests pin.
+
+    {2 Incremental persistence}
+
+    A database served from a store file persists each applied batch as a
+    side file [BASE.delta.K] ([K] = 1, 2, ...), each written with the
+    store's crash-atomic tmp+rename discipline. The base file is never
+    rewritten — byte-identical before and after any number of batches —
+    so a SIGKILL mid-append leaves the previous epoch loadable: either
+    the delta file exists completely or not at all. Each delta carries
+    the base corpus fingerprint and the graph count it chains onto;
+    {!load} (and the CLI's index loader) replays the chain in order and
+    stops with a warning at the first delta that does not chain — a
+    stale or damaged delta can cost ingested graphs, never correctness
+    of the ones before it. *)
+
+(** One epoch of the served database. [epoch] counts applied ingest
+    batches since process start; [db] is immutable. *)
+type snapshot = { epoch : int; db : Query.database }
+
+(** {1 Delta-file persistence} *)
+
+(** [delta_path base k] = [base ^ ".delta.K"] — delta [k] (1-based) of
+    the store file at [base]. *)
+val delta_path : string -> int -> string
+
+(** The delta chain bookkeeping for one base store file: [base_fp] is
+    the fingerprint of the {e base file's} corpus (constant across the
+    chain), [next_seq] the sequence number the next {!save_delta} should
+    use. *)
+type chain = { base : string; base_fp : int32; mutable next_seq : int }
+
+(** [save_delta chain ~prev_count graphs] writes delta [chain.next_seq]
+    (atomically, via tmp+rename — the ["store.write"] fault site
+    applies) and advances [next_seq]. [prev_count] is the graph count of
+    the database the delta chains onto. Raises [Psst_store.Store_error]
+    / [Psst_fault.Injected] / [Sys_error] on failure, in which case no
+    delta was added ([next_seq] is not advanced). *)
+val save_delta : chain -> prev_count:int -> Pgraph.t array -> unit
+
+(** [apply_deltas ~base db] replays the delta chain of [base] on top of
+    [db] (the freshly-loaded base database): returns the extended
+    database and the chain positioned after the last applied delta.
+    A delta that is damaged or does not chain (wrong base fingerprint or
+    graph count) stops the replay with an ["ingest.delta"] warning; the
+    deltas before it are kept. *)
+val apply_deltas : base:string -> Query.database -> Query.database * chain
+
+(** [load ?salvage ?mmap path] — {!Query.load_database} followed by
+    {!apply_deltas}: the post-ingest database an offline process agrees
+    with the server on. With [~mmap:true] the base loads zero-copy; a
+    non-empty chain then materialises the corpus on the first append
+    (see {!Corpus.append}). *)
+val load : ?salvage:bool -> ?mmap:bool -> string -> Query.database * chain
+
+(** [clear_deltas path] unlinks the contiguous delta chain of [path]
+    (used when the base index is rebuilt, making any existing chain
+    stale). Returns how many files were removed. *)
+val clear_deltas : string -> int
+
+(** {1 The single-writer pipeline} *)
+
+type t
+
+(** What an applied batch reports back: the new epoch and the global id
+    range [base .. base + count - 1] of the inserted graphs. *)
+type result = { epoch : int; base : int; count : int }
+
+(** [create ?chain ?tenant_quota ~queue_cap db_ref] spawns the writer
+    thread. [db_ref] is the epoch-swapped database the server serves
+    from; the writer is its only mutator. [queue_cap] bounds the total
+    graphs queued across tenants (>= 1); [tenant_quota] (default 0 =
+    unlimited) bounds the graphs one tenant may have queued. [chain]
+    arms delta persistence: every batch is persisted {e before} the
+    epoch swap, so an acknowledged batch is always on disk and a failed
+    write rejects the batch with the database unchanged. *)
+val create :
+  ?chain:chain -> ?tenant_quota:int -> queue_cap:int -> snapshot Atomic.t -> t
+
+(** [submit t ~tenant graphs ~ack] — enqueue one batch. [`Queued] hands
+    the batch to the writer, which eventually calls [ack] (on the writer
+    thread) with [Ok result] after the epoch swap or [Error msg] when
+    applying or persisting failed (the database is unchanged; the
+    condition is transient, so the caller should answer with a retryable
+    error). [`Full]/[`Quota] reject without queueing — [ack] is never
+    called — when the queue or the tenant's quota cannot take
+    [Array.length graphs] more graphs; [`Stopped] likewise after
+    {!stop} began. Empty batches are applied trivially (no epoch swap,
+    [count = 0]). *)
+val submit :
+  t ->
+  tenant:string ->
+  Pgraph.t array ->
+  ack:((result, string) Result.t -> unit) ->
+  [ `Queued | `Full | `Quota | `Stopped ]
+
+(** Graphs queued but not yet applied — the ingest lag. *)
+val queued_graphs : t -> int
+
+(** Graphs applied to the live database since {!create}. *)
+val applied_graphs : t -> int
+
+(** Closes admission ([`Stopped] from then on), drains every queued
+    batch — each gets its [ack] — and joins the writer. Idempotent. *)
+val stop : t -> unit

@@ -95,7 +95,18 @@ let get t i =
 let skeleton t i = Pgraph.skeleton (get t i)
 let to_array t = Array.init (length t) (get t)
 let sub t ~base ~count = Eager (Array.init count (fun i -> get t (base + i)))
-let append t gs = Eager (Array.append (to_array t) gs)
+
+(* Decoding goes through [get], so graphs already memoised by earlier
+   lazy accesses are reused as-is and the rest decode (and validate)
+   now — a mapped corpus materialises to exactly the array the classic
+   eager loader would have produced, whatever the prior access pattern. *)
+let materialise t =
+  match t with Eager _ -> t | Mapped _ -> Eager (to_array t)
+
+let append t gs =
+  match materialise t with
+  | Eager old -> Eager (Array.append old gs)
+  | Mapped _ -> assert false (* materialise never returns Mapped *)
 
 let fingerprint = function
   | Eager g -> Pgraph_io.db_fingerprint g

@@ -55,8 +55,19 @@ val to_array : t -> Pgraph.t array
 (** [sub t ~base ~count] — an eager corpus over the contiguous slice. *)
 val sub : t -> base:int -> count:int -> t
 
+(** [materialise t] — an eager corpus with the same graphs. A no-op on an
+    eager backing; a mapped backing decodes every graph (reusing the ones
+    already memoised) and drops the mapping dependence, so the result
+    stays valid even after the underlying file changes or the mapping is
+    released. Raises [Psst_store.Store_error] if any stored graph is
+    malformed — materialising never silently truncates. *)
+val materialise : t -> t
+
 (** [append t gs] — an eager corpus holding [t]'s graphs followed by
-    [gs]. *)
+    [gs]. A mapped [t] is {!materialise}d first (the append itself never
+    reads the mapping lazily), so continuous ingest on an mmap-served
+    database is safe: the appended corpus and its {!fingerprint} are
+    identical to appending to the eager load of the same image. *)
 val append : t -> Pgraph.t array -> t
 
 (** {1 Identity} *)

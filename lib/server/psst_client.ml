@@ -114,6 +114,24 @@ let health c =
   | Proto.Health_reply h -> h
   | _ -> raise (Client_error "health: unexpected reply")
 
+let set_tenant c name =
+  if name = "" then raise (Client_error "set_tenant: tenant name is empty");
+  match rpc c (Proto.Set_tenant name) with
+  | Proto.Pong -> ()
+  | Proto.Error_reply { message; _ } ->
+    client_error "set_tenant: server rejected %S: %s" name message
+  | _ -> raise (Client_error "set_tenant: unexpected reply")
+
+let add_graphs ?(id = 0) c graphs =
+  match rpc c (Proto.Add_graphs { id; graphs }) with
+  | Proto.Ingest_ack { id = rid; epoch; base; count } ->
+    if rid <> id then raise (Client_error "add_graphs: reply id mismatch");
+    Ok { Psst_ingest.epoch; base; count }
+  | Proto.Error_reply { id = rid; code; message } ->
+    if rid <> id then raise (Client_error "add_graphs: reply id mismatch");
+    Error (code, message)
+  | _ -> raise (Client_error "add_graphs: unexpected reply")
+
 (* Capped exponential backoff with a deterministic jitter (a PRNG here
    would make load-driver runs unrepeatable); returns seconds. *)
 let backoff_delay backoff_ms attempt =
@@ -154,7 +172,7 @@ let run_all ?(max_retries = 0) ?(backoff_ms = 50.) c queries config =
               match reply with
               | Proto.Answer { id; _ } | Proto.Error_reply { id; _ } -> id
               | Proto.Pong | Proto.Topk_answer _ | Proto.Stats_json _
-              | Proto.Health_reply _ ->
+              | Proto.Health_reply _ | Proto.Ingest_ack _ ->
                 raise (Client_error "run_all: unexpected reply kind")
             in
             if id < 0 || id >= n then

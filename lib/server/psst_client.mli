@@ -47,8 +47,27 @@ val ping : t -> unit
 val stats_json : t -> string
 
 (** Health snapshot of the server (uptime, queue depth, served /
-    degraded / retryable-rejection counters). *)
+    degraded / retryable-rejection counters, ingest epoch and lag). *)
 val health : t -> Psst_proto.health
+
+(** [set_tenant c name] — name this connection's tenant (version 5):
+    subsequent queries and ingest batches on [c] are admitted and
+    metered under [name]. {!Client_error} on an empty name or a
+    rejection. *)
+val set_tenant : t -> string -> unit
+
+(** [add_graphs c graphs] — append [graphs] to the served database.
+    [Ok r] means the batch is applied (and persisted when the server
+    serves from a store file): the graphs hold global ids
+    [r.base .. r.base + r.count - 1] and every query sent after this
+    returns observes epoch [r.epoch]. [Error (code, msg)] carries the
+    server's rejection; retryable codes (queue full, quota, shutdown,
+    ingest disabled) left the database unchanged. *)
+val add_graphs :
+  ?id:int ->
+  t ->
+  Pgraph.t array ->
+  (Psst_ingest.result, Psst_proto.error_code * string) result
 
 (** [run_all c queries config] — pipeline all queries (ids [0..n-1]),
     then collect the replies and return them indexed by query position

@@ -18,7 +18,16 @@
    aggregates its workers' uptime/queue-depth/degraded counters): the
    roster is dropped when encoding for a pre-v4 peer and defaults to []
    when decoding a pre-v4 frame — a plain worker's roster is empty, so
-   old peers lose nothing but the router fleet view. *)
+   old peers lose nothing but the router fleet view.
+
+   Version 5 added continuous ingest and multi-tenancy: the [Set_tenant]
+   and [Add_graphs] requests, the [Ingest_ack] reply, and the ingest
+   fields (epoch / queued graphs / applied graphs) on [Health_reply].
+   The new tags are version-gated on decode — a pre-v5 frame carrying
+   them is malformed, matching what a pre-v5 server would answer — and
+   the health fields are dropped for pre-v5 peers and default to zero
+   when decoding pre-v5 frames. Pre-v5 peers never emit the new tags, so
+   plain query traffic is untouched. *)
 
 module S = Psst_store
 module Crc32 = Psst_util.Crc32
@@ -27,7 +36,7 @@ exception Proto_error of string
 exception Timed_out
 
 let error fmt = Printf.ksprintf (fun msg -> raise (Proto_error msg)) fmt
-let proto_version = 4
+let proto_version = 5
 let min_proto_version = 1
 let magic = "PSSTRPC\x00"
 let header_bytes = 24
@@ -124,6 +133,9 @@ type health = {
   workers : worker_health list;
       (* router role: one slot per worker; empty for plain workers and
          when decoding pre-v4 frames *)
+  epoch : int;  (* ingest batches applied since start (v5+; 0 before) *)
+  ingest_queued : int;  (* graphs waiting in the ingest queue — the lag *)
+  ingest_applied : int;  (* graphs applied to the live database *)
 }
 
 type request =
@@ -132,6 +144,8 @@ type request =
   | Run_topk of { id : int; query : Lgraph.t; k : int; config : Query.config }
   | Get_stats
   | Get_health
+  | Set_tenant of string
+  | Add_graphs of { id : int; graphs : Pgraph.t array }
 
 type reply =
   | Pong
@@ -140,10 +154,11 @@ type reply =
   | Stats_json of string
   | Health_reply of health
   | Error_reply of { id : int; code : error_code; message : string }
+  | Ingest_ack of { id : int; epoch : int; base : int; count : int }
 
 let request_id = function
-  | Ping | Get_stats | Get_health -> 0
-  | Run { id; _ } | Run_topk { id; _ } -> id
+  | Ping | Get_stats | Get_health | Set_tenant _ -> 0
+  | Run { id; _ } | Run_topk { id; _ } | Add_graphs { id; _ } -> id
 
 (* --- message payloads (tag + Psst_store-encoded body) --- *)
 
@@ -152,6 +167,8 @@ and tag_run = 2
 and tag_run_topk = 3
 and tag_get_stats = 4
 and tag_get_health = 5
+and tag_set_tenant = 6
+and tag_add_graphs = 7
 
 let tag_pong = 65
 and tag_answer = 66
@@ -159,6 +176,7 @@ and tag_topk_answer = 67
 and tag_stats_json = 68
 and tag_error = 69
 and tag_health = 70
+and tag_ingest_ack = 71
 
 let encode_request_payload ~version = function
   | Ping -> (tag_ping, "")
@@ -180,6 +198,15 @@ let encode_request_payload ~version = function
     (tag_run_topk, S.contents e)
   | Get_stats -> (tag_get_stats, "")
   | Get_health -> (tag_get_health, "")
+  | Set_tenant name ->
+    let e = S.encoder () in
+    S.put_string e name;
+    (tag_set_tenant, S.contents e)
+  | Add_graphs { id; graphs } ->
+    let e = S.encoder () in
+    S.put_i64 e id;
+    S.put_array e Pgraph_io.encode_binary graphs;
+    (tag_add_graphs, S.contents e)
 
 let encode_reply_payload ~version = function
   | Pong -> (tag_pong, "")
@@ -228,6 +255,13 @@ let encode_reply_payload ~version = function
           S.put_i64 e w.worker_queue_depth;
           S.put_i64 e w.worker_degraded_answers)
         h.workers;
+    (* Version 1–4 predate continuous ingest; dropping the epoch / lag
+       fields loses only the ingest view, never the serving counters. *)
+    if version >= 5 then begin
+      S.put_i64 e h.epoch;
+      S.put_i64 e h.ingest_queued;
+      S.put_i64 e h.ingest_applied
+    end;
     (tag_health, S.contents e)
   | Error_reply { id; code; message } ->
     (* [Unavailable] postdates v1; degrade it to the equally-retryable
@@ -238,6 +272,13 @@ let encode_reply_payload ~version = function
     S.put_i64 e (error_code_tag code);
     S.put_string e message;
     (tag_error, S.contents e)
+  | Ingest_ack { id; epoch; base; count } ->
+    let e = S.encoder () in
+    S.put_i64 e id;
+    S.put_i64 e epoch;
+    S.put_i64 e base;
+    S.put_i64 e count;
+    (tag_ingest_ack, S.contents e)
 
 (* Payload decoders run under [decoding]: a Psst_store decode failure (or a
    validating constructor rejecting the data) surfaces as Proto_error. *)
@@ -268,6 +309,19 @@ let decode_request ~version tag payload =
         end
         else if tag = tag_get_stats then Get_stats
         else if tag = tag_get_health then Get_health
+        else if version >= 5 && tag = tag_set_tenant then begin
+          let name = S.get_string d in
+          if name = "" then S.error "tenant name must be non-empty";
+          if String.length name > 128 then
+            S.error "tenant name of %d bytes exceeds the 128-byte cap"
+              (String.length name);
+          Set_tenant name
+        end
+        else if version >= 5 && tag = tag_add_graphs then begin
+          let id = S.get_i64 d in
+          let graphs = S.get_array d Pgraph_io.decode_binary in
+          Add_graphs { id; graphs }
+        end
         else S.error "unknown request tag %d" tag
       in
       S.expect_end d;
@@ -336,15 +390,26 @@ let decode_reply ~version tag payload =
                   })
             else []
           in
+          let epoch = if version >= 5 then S.get_nat d else 0 in
+          let ingest_queued = if version >= 5 then S.get_nat d else 0 in
+          let ingest_applied = if version >= 5 then S.get_nat d else 0 in
           Health_reply
             { uptime_s; queue_depth; served; degraded_answers;
-              retryable_rejections; workers }
+              retryable_rejections; workers; epoch; ingest_queued;
+              ingest_applied }
         end
         else if tag = tag_error then begin
           let id = S.get_i64 d in
           let code = error_code_of_tag (S.get_i64 d) in
           let message = S.get_string d in
           Error_reply { id; code; message }
+        end
+        else if version >= 5 && tag = tag_ingest_ack then begin
+          let id = S.get_i64 d in
+          let epoch = S.get_nat d in
+          let base = S.get_nat d in
+          let count = S.get_nat d in
+          Ingest_ack { id; epoch; base; count }
         end
         else S.error "unknown reply tag %d" tag
       in

@@ -33,7 +33,18 @@
     roster to [Health_reply] so a router can expose its fleet: the
     roster is dropped when encoding for a pre-v4 peer and defaults to
     [[]] when decoding a pre-v4 frame — a plain worker's roster is empty
-    anyway, so old peers lose only the router's fleet view. *)
+    anyway, so old peers lose only the router's fleet view.
+
+    Version 5 added continuous ingest and multi-tenancy
+    (DESIGN.md §16): {!request.Set_tenant} names the connection's tenant
+    for admission quotas and fair scheduling, {!request.Add_graphs}
+    appends graphs to the served database (answered by
+    {!reply.Ingest_ack} or a retryable [Error_reply]), and
+    [Health_reply] gains the ingest epoch / queued / applied fields.
+    The new tags are rejected as malformed when carried by a pre-v5
+    frame, and the health fields are dropped for pre-v5 peers (decoding
+    a pre-v5 frame defaults them to zero) — a pre-v5 peer never emits
+    them, so query traffic round-trips exactly as before. *)
 
 exception Proto_error of string
 
@@ -115,6 +126,14 @@ type health = {
       (** router role only (version >= 4): one slot per configured
           worker. Empty for plain workers and when decoding pre-v4
           frames. *)
+  epoch : int;
+      (** ingest batches applied since start (version >= 5; 0 when
+          decoding older frames and on servers without ingest) *)
+  ingest_queued : int;
+      (** graphs admitted to the ingest queue but not yet applied — the
+          ingest lag a health poller watches (version >= 5) *)
+  ingest_applied : int;
+      (** graphs applied to the live database since start (version >= 5) *)
 }
 
 type request =
@@ -123,6 +142,19 @@ type request =
   | Run_topk of { id : int; query : Lgraph.t; k : int; config : Query.config }
   | Get_stats
   | Get_health
+  | Set_tenant of string
+      (** name this connection's tenant (version >= 5): subsequent
+          requests on the connection are admitted, scheduled and metered
+          under that identity. Answered inline with [Pong]. The name
+          must be non-empty and at most 128 bytes; connections that
+          never send it run as tenant ["default"]. *)
+  | Add_graphs of { id : int; graphs : Pgraph.t array }
+      (** append [graphs] to the served database (version >= 5).
+          Answered with {!reply.Ingest_ack} once the batch is applied
+          (and persisted, when the server serves from a store file), or
+          with a retryable [Error_reply] when the ingest queue or the
+          tenant's quota is full, ingest is disabled, or persistence
+          failed — the database is unchanged in every rejection case. *)
 
 type reply =
   | Pong
@@ -131,10 +163,14 @@ type reply =
   | Stats_json of string
   | Health_reply of health
   | Error_reply of { id : int; code : error_code; message : string }
+  | Ingest_ack of { id : int; epoch : int; base : int; count : int }
+      (** [Add_graphs] succeeded: the [count] new graphs hold global ids
+          [base .. base + count - 1] and every query admitted after this
+          reply observes database epoch [epoch] (version >= 5). *)
 
 (** [request_id r] — the client-chosen correlation id ([0] for [Ping] /
-    [Get_stats] / [Get_health], which are answered in order on the
-    connection). *)
+    [Get_stats] / [Get_health] / [Set_tenant], which are answered in
+    order on the connection). *)
 val request_id : request -> int
 
 (** Full frame bytes (header + payload) for one message. [?version]

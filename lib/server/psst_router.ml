@@ -343,6 +343,11 @@ let health_snapshot t wss =
     degraded_answers = Atomic.get t.degraded_count;
     retryable_rejections = Atomic.get t.retry_count;
     workers = roster t wss;
+    (* The router holds no database and never ingests; shards are
+       rebuilt offline and redeployed (DESIGN.md §15, §16). *)
+    epoch = 0;
+    ingest_queued = 0;
+    ingest_applied = 0;
   }
 
 let fresh_wss t = Array.map (fun _ -> { client = None }) t.cfg.workers
@@ -428,6 +433,26 @@ let reader_loop t c =
       | Proto.Get_health ->
         Psst_obs.incr m_requests;
         send_counted t c ~version (Proto.Health_reply (health_snapshot t wss))
+      | Proto.Set_tenant _ ->
+        (* Accepted for forward compatibility: workers meter tenants;
+           the router itself schedules nothing per-tenant. *)
+        Psst_obs.incr m_requests;
+        send_counted t c ~version Proto.Pong
+      | Proto.Add_graphs { id; _ } ->
+        (* A sharded deployment's placement is fixed offline
+           (DESIGN.md §15); routing live appends would change shard
+           hashing under readers. Reject cleanly — retryable against a
+           standalone worker. *)
+        Psst_obs.incr m_requests;
+        send_counted t c ~version
+          (Proto.Error_reply
+             {
+               id;
+               code = Proto.Unavailable;
+               message =
+                 "ingest is not supported through the router; send \
+                  Add_graphs to a standalone worker";
+             })
       | Proto.Run { id; query; config } ->
         answer_query ~version ~id (fun () -> handle_run t wss ~id query config)
       | Proto.Run_topk { id; query; k; config } ->

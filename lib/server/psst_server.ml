@@ -1,13 +1,26 @@
-(* Resident query server (DESIGN.md §11).
+(* Resident query server (DESIGN.md §11, §16).
 
    Thread roles:
      - accept thread: accepts sockets, spawns one reader per connection;
-     - reader threads: parse frames, answer Ping/Get_stats inline, admit
-       Run/Run_topk into the bounded queue (or reject with a retryable
-       error when the queue is full / the server is stopping);
-     - batcher thread: owns the domain pool; pops micro-batches, enforces
-       queue-wait deadlines, executes with Query.run_batch_on, writes
-       replies.
+     - reader threads: parse frames, answer Ping/Get_stats/Set_tenant
+       inline, admit Run/Run_topk into the bounded per-tenant queues (or
+       reject with a retryable error when the queue / tenant quota is
+       full or the server is stopping), and hand Add_graphs batches to
+       the ingest writer;
+     - batcher thread: owns the domain pool; pops micro-batches
+       round-robin across tenants, enforces queue-wait deadlines,
+       executes with Query.run_batch_on, writes replies;
+     - ingest writer (Psst_ingest, when enabled): the single mutator of
+       the served database — applies Add_graphs batches, persists them
+       as delta files, and publishes each new epoch with one atomic
+       swap.
+
+   Snapshot consistency: the live database is an epoch-numbered
+   immutable snapshot behind an Atomic. Readers capture the snapshot at
+   admission time and the batcher groups jobs by (epoch, config), so a
+   query admitted before an ingest batch never observes the new graphs
+   and every answer is bit-identical to an offline Query.run against
+   that epoch's database.
 
    The queue mutex orders admission against the drain: once [stopping] is
    set under the mutex, no new job can enter, so the batcher's "stopping
@@ -23,6 +36,7 @@ let m_conns = Psst_obs.counter "server.conns"
 let m_requests = Psst_obs.counter "server.requests"
 let m_served = Psst_obs.counter "server.served"
 let m_reject_full = Psst_obs.counter "server.reject.queue_full"
+let m_reject_quota = Psst_obs.counter "server.reject.tenant_quota"
 let m_reject_deadline = Psst_obs.counter "server.reject.deadline"
 let m_reject_shutdown = Psst_obs.counter "server.reject.shutdown"
 let m_proto_errors = Psst_obs.counter "server.proto.errors"
@@ -35,6 +49,12 @@ let m_queue_depth = Psst_obs.histogram ~lo:1. ~hi:1e6 "server.queue.depth"
 let m_queue_wait = Psst_obs.histogram "server.queue.wait_s"
 let m_latency = Psst_obs.histogram "server.latency_s"
 
+(* Per-tenant counters are interned on first use — [Psst_obs.counter]
+   returns the existing counter for a repeated name, so dynamic tenant
+   names are safe (one registry row per tenant per verb). *)
+let tenant_counter tenant verb =
+  Psst_obs.counter (Printf.sprintf "server.tenant.%s.%s" tenant verb)
+
 type config = {
   endpoint : Proto.endpoint;
   domains : int;
@@ -44,6 +64,8 @@ type config = {
   batch_max : int;
   trace_cap : int;
   cache_cap : int;
+  ingest_queue_cap : int;
+  tenant_quota : int;
 }
 
 let default_config endpoint =
@@ -56,7 +78,11 @@ let default_config endpoint =
     batch_max = 32;
     trace_cap = 256;
     cache_cap = 16384;
+    ingest_queue_cap = 1024;
+    tenant_quota = 0;
   }
+
+let default_tenant = "default"
 
 (* Chaos site around batch execution (DESIGN.md §12): a Fail plan here
    stands in for the verification stage dying (pool wedged, OOM-killed
@@ -67,12 +93,15 @@ type conn = {
   fd : Unix.file_descr;
   wmutex : Mutex.t;  (* serialises reply writes and the close *)
   mutable open_ : bool;
+  mutable tenant : string;  (* set by Set_tenant; reader thread only *)
 }
 
 type job = {
   jconn : conn;
   jid : int;
   jver : int;  (* protocol version of the request frame; replies mirror it *)
+  jtenant : string;
+  jsnap : Psst_ingest.snapshot;  (* the epoch captured at admission *)
   jkind :
     [ `Run of Lgraph.t * Query.config | `Topk of Lgraph.t * int * Query.config ];
   enqueued : float;
@@ -80,16 +109,25 @@ type job = {
 
 type t = {
   cfg : config;
-  db : Query.database;
+  db_ref : Psst_ingest.snapshot Atomic.t;
+  ingest : Psst_ingest.t option;  (* None when ingest_queue_cap = 0 *)
   pool : Pool.t;
   cache : Qcache.t option;
       (* cross-query verification cache, shared by every batch on the
-         persistent pool; None when [cache_cap = 0] *)
+         persistent pool; None when [cache_cap = 0]. Scoped by physical
+         database identity, so an epoch swap flushes it automatically. *)
   listen_fd : Unix.file_descr;
   bound : Proto.endpoint;  (* endpoint with the actual port resolved *)
   mutex : Mutex.t;
   cond : Condition.t;
-  queue : job Queue.t;
+  (* Per-tenant FIFO queues with a round-robin rota: a tenant is in
+     [tenant_rota] exactly when its queue is non-empty, and the batcher
+     takes one job per rota turn, so a tenant saturating its quota gets
+     an equal share of batch slots, never the whole batch. All three
+     fields are guarded by [mutex]. *)
+  tqueues : (string, job Queue.t) Hashtbl.t;
+  mutable tenant_rota : string list;
+  mutable queued_total : int;
   mutable stopping : bool;
   mutable is_stopped : bool;
   mutable conns : conn list;
@@ -106,6 +144,8 @@ type t = {
 let endpoint t = t.bound
 let stopped t = t.is_stopped
 let served t = Atomic.get t.served_count
+let database t = (Atomic.get t.db_ref).Psst_ingest.db
+let epoch t = (Atomic.get t.db_ref).Psst_ingest.epoch
 
 let traces t =
   Mutex.lock t.mutex;
@@ -169,23 +209,40 @@ let send_counted t c ~version reply =
 
 (* --- admission --- *)
 
+let tenant_queue t tenant =
+  match Hashtbl.find_opt t.tqueues tenant with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.tqueues tenant q;
+    q
+
 let admit t job =
   Mutex.lock t.mutex;
   let verdict =
     if t.stopping then `Shutdown
-    else if Queue.length t.queue >= t.cfg.queue_cap then `Full
     else begin
-      Queue.add job t.queue;
-      Psst_obs.observe m_queue_depth (float_of_int (Queue.length t.queue));
-      Condition.signal t.cond;
-      `Admitted
+      let q = tenant_queue t job.jtenant in
+      if t.cfg.tenant_quota > 0 && Queue.length q >= t.cfg.tenant_quota then
+        `Quota
+      else if t.queued_total >= t.cfg.queue_cap then `Full
+      else begin
+        if Queue.is_empty q then
+          t.tenant_rota <- t.tenant_rota @ [ job.jtenant ];
+        Queue.add job q;
+        t.queued_total <- t.queued_total + 1;
+        Psst_obs.observe m_queue_depth (float_of_int t.queued_total);
+        Condition.signal t.cond;
+        `Admitted
+      end
     end
   in
   Mutex.unlock t.mutex;
   match verdict with
-  | `Admitted -> ()
+  | `Admitted -> Psst_obs.incr (tenant_counter job.jtenant "admitted")
   | `Full ->
     Psst_obs.incr m_reject_full;
+    Psst_obs.incr (tenant_counter job.jtenant "rejected");
     send_counted t job.jconn ~version:job.jver
       (Proto.Error_reply
          {
@@ -194,6 +251,19 @@ let admit t job =
            message =
              Printf.sprintf "admission queue full (%d requests); retry later"
                t.cfg.queue_cap;
+         })
+  | `Quota ->
+    Psst_obs.incr m_reject_quota;
+    Psst_obs.incr (tenant_counter job.jtenant "rejected");
+    send_counted t job.jconn ~version:job.jver
+      (Proto.Error_reply
+         {
+           id = job.jid;
+           code = Proto.Queue_full;
+           message =
+             Printf.sprintf
+               "tenant %S is at its quota (%d queued requests); retry later"
+               job.jtenant t.cfg.tenant_quota;
          })
   | `Shutdown ->
     Psst_obs.incr m_reject_shutdown;
@@ -207,8 +277,9 @@ let admit t job =
 
 let health_snapshot t =
   Mutex.lock t.mutex;
-  let depth = Queue.length t.queue in
+  let depth = t.queued_total in
   Mutex.unlock t.mutex;
+  let snap = Atomic.get t.db_ref in
   {
     Proto.uptime_s = Unix.gettimeofday () -. t.start_time;
     queue_depth = depth;
@@ -216,9 +287,62 @@ let health_snapshot t =
     degraded_answers = Atomic.get t.degraded_count;
     retryable_rejections = Atomic.get t.retry_count;
     workers = [];
+    epoch = snap.Psst_ingest.epoch;
+    ingest_queued =
+      (match t.ingest with
+      | Some ing -> Psst_ingest.queued_graphs ing
+      | None -> 0);
+    ingest_applied =
+      (match t.ingest with
+      | Some ing -> Psst_ingest.applied_graphs ing
+      | None -> 0);
   }
 
 let health = health_snapshot
+
+(* Hand one Add_graphs batch to the ingest writer. The ack runs on the
+   writer thread after the epoch swap (or the failed persist), so an
+   Ingest_ack in hand means every later query on any connection sees the
+   new graphs. *)
+let handle_add_graphs t c ~version ~id graphs =
+  let tenant = c.tenant in
+  let reject code message =
+    Psst_obs.incr (tenant_counter tenant "rejected");
+    (match code with
+    | Proto.Queue_full -> Psst_obs.incr m_reject_full
+    | Proto.Shutdown -> Psst_obs.incr m_reject_shutdown
+    | _ -> ());
+    send_counted t c ~version (Proto.Error_reply { id; code; message })
+  in
+  match t.ingest with
+  | None ->
+    reject Proto.Unavailable
+      "ingest is disabled on this server (--ingest-queue-cap 0)"
+  | Some ing -> (
+    let ack = function
+      | Ok (r : Psst_ingest.result) ->
+        Psst_obs.incr (tenant_counter tenant "ingested");
+        send_counted t c ~version
+          (Proto.Ingest_ack
+             { id; epoch = r.epoch; base = r.base; count = r.count })
+      | Error msg ->
+        (* Persist or apply failed; nothing was published, so the batch
+           is safely retryable. *)
+        reject Proto.Unavailable msg
+    in
+    match Psst_ingest.submit ing ~tenant graphs ~ack with
+    | `Queued -> ()
+    | `Full ->
+      reject Proto.Queue_full
+        (Printf.sprintf "ingest queue full (%d graphs); retry later"
+           t.cfg.ingest_queue_cap)
+    | `Quota ->
+      reject Proto.Queue_full
+        (Printf.sprintf
+           "tenant %S is at its ingest quota (%d queued graphs); retry later"
+           tenant t.cfg.tenant_quota)
+    | `Stopped ->
+      reject Proto.Shutdown "server is shutting down; retry elsewhere")
 
 let reader_loop t c =
   let rec loop () =
@@ -254,6 +378,15 @@ let reader_loop t c =
         Psst_obs.incr m_requests;
         send_counted t c ~version (Proto.Health_reply (health_snapshot t));
         loop ()
+      | Proto.Set_tenant name ->
+        Psst_obs.incr m_requests;
+        c.tenant <- name;
+        send_counted t c ~version Proto.Pong;
+        loop ()
+      | Proto.Add_graphs { id; graphs } ->
+        Psst_obs.incr m_requests;
+        handle_add_graphs t c ~version ~id graphs;
+        loop ()
       | Proto.Run { id; query; config } ->
         Psst_obs.incr m_requests;
         admit t
@@ -261,6 +394,8 @@ let reader_loop t c =
             jconn = c;
             jid = id;
             jver = version;
+            jtenant = c.tenant;
+            jsnap = Atomic.get t.db_ref;
             jkind = `Run (query, config);
             enqueued = Unix.gettimeofday ();
           };
@@ -272,6 +407,8 @@ let reader_loop t c =
             jconn = c;
             jid = id;
             jver = version;
+            jtenant = c.tenant;
+            jsnap = Atomic.get t.db_ref;
             jkind = `Topk (query, k, config);
             enqueued = Unix.gettimeofday ();
           };
@@ -287,7 +424,9 @@ let accept_loop t =
          is closed, drop it. *)
       (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
     | fd, _addr ->
-      let c = { fd; wmutex = Mutex.create (); open_ = true } in
+      let c =
+        { fd; wmutex = Mutex.create (); open_ = true; tenant = default_tenant }
+      in
       Psst_obs.incr m_conns;
       let th =
         Thread.create
@@ -327,6 +466,7 @@ let job_error t job code message =
 
 let finish_run t job (out : Query.outcome) =
   push_trace t out.trace;
+  Psst_obs.incr (tenant_counter job.jtenant "served");
   send_counted t job.jconn ~version:job.jver
     (Proto.Answer
        {
@@ -364,27 +504,31 @@ let process_batch t batch =
         | `Topk (q, k, cfg) -> Either.Right (j, q, k, cfg))
       live
   in
-  (* Group Run jobs by config so each group is one Query.run_batch_on call
-     on the shared pool; answers stay bit-identical to offline runs. *)
+  (* Group Run jobs by (epoch, config) so each group is one
+     Query.run_batch_on call on the shared pool against the snapshot its
+     jobs were admitted under; answers stay bit-identical to offline
+     runs on that epoch's database, whatever ingest published since. *)
   let groups =
     List.fold_left
       (fun acc (j, q, cfg) ->
-        match List.assoc_opt cfg acc with
+        let key = (j.jsnap.Psst_ingest.epoch, cfg) in
+        match List.assoc_opt key acc with
         | Some cell ->
           cell := (j, q) :: !cell;
           acc
-        | None -> (cfg, ref [ (j, q) ]) :: acc)
+        | None -> (key, ref [ (j, q) ]) :: acc)
       [] runs
-    |> List.rev_map (fun (cfg, cell) -> (cfg, List.rev !cell))
+    |> List.rev_map (fun (key, cell) -> (key, List.rev !cell))
   in
   let budget_ms =
     if t.cfg.verify_budget_ms > 0. then Some t.cfg.verify_budget_ms else None
   in
   List.iter
-    (fun (cfg, jobs) ->
+    (fun ((_, cfg), jobs) ->
+      let db = (fst (List.hd jobs)).jsnap.Psst_ingest.db in
       match
         Psst_fault.inject fault_batch;
-        Query.run_batch_on ?budget_ms ?cache:t.cache t.pool t.db
+        Query.run_batch_on ?budget_ms ?cache:t.cache t.pool db
           (List.map snd jobs) cfg
       with
       | outs -> List.iter2 (fun (j, _) out -> finish_run t j out) jobs outs
@@ -397,7 +541,7 @@ let process_batch t batch =
            answers";
         List.iter
           (fun (j, q) ->
-            match Query.run_bounds_only ?cache:t.cache t.db q cfg with
+            match Query.run_bounds_only ?cache:t.cache db q cfg with
             | out -> finish_run t j out
             | exception e ->
               job_error t j Proto.Internal
@@ -412,11 +556,13 @@ let process_batch t batch =
     groups;
   List.iter
     (fun (j, q, k, cfg) ->
+      let db = j.jsnap.Psst_ingest.db in
       match
         Psst_fault.inject fault_batch;
-        Topk.run ?cache:t.cache t.db q ~k cfg
+        Topk.run ?cache:t.cache db q ~k cfg
       with
       | out ->
+        Psst_obs.incr (tenant_counter j.jtenant "served");
         send_counted t j.jconn ~version:j.jver
           (Proto.Topk_answer
              {
@@ -435,19 +581,41 @@ let process_batch t batch =
         job_error t j Proto.Internal ("top-k failed: " ^ msg))
     topks
 
+(* Pop up to [batch_max] jobs, one per tenant per rota turn (caller holds
+   the mutex). A tenant leaves the rota when its queue empties and
+   re-enters at the tail on its next admission, so no tenant is ever
+   starved by another's backlog. *)
+let pop_batch t =
+  let batch = ref [] in
+  let n = ref 0 in
+  while !n < t.cfg.batch_max && t.queued_total > 0 do
+    match t.tenant_rota with
+    | [] ->
+      (* Unreachable: queued_total > 0 implies a non-empty queue, and
+         every non-empty queue's tenant is in the rota. *)
+      t.queued_total <- 0
+    | tenant :: rest -> (
+      match Hashtbl.find_opt t.tqueues tenant with
+      | None -> t.tenant_rota <- rest
+      | Some q ->
+        if Queue.is_empty q then t.tenant_rota <- rest
+        else begin
+          batch := Queue.pop q :: !batch;
+          incr n;
+          t.queued_total <- t.queued_total - 1;
+          t.tenant_rota <-
+            (if Queue.is_empty q then rest else rest @ [ tenant ])
+        end)
+  done;
+  List.rev !batch
+
 let batch_loop t =
   let rec loop () =
     Mutex.lock t.mutex;
-    while Queue.is_empty t.queue && not t.stopping do
+    while t.queued_total = 0 && not t.stopping do
       Condition.wait t.cond t.mutex
     done;
-    let batch = ref [] in
-    let n = ref 0 in
-    while (not (Queue.is_empty t.queue)) && !n < t.cfg.batch_max do
-      batch := Queue.pop t.queue :: !batch;
-      incr n
-    done;
-    let batch = List.rev !batch in
+    let batch = pop_batch t in
     Mutex.unlock t.mutex;
     if batch <> [] then begin
       process_batch t batch;
@@ -488,10 +656,14 @@ let bind_endpoint = function
     in
     (fd, Proto.Tcp (host, actual))
 
-let start cfg db =
+let start ?chain cfg db =
   if cfg.queue_cap < 1 then invalid_arg "Psst_server: queue_cap must be >= 1";
   if cfg.batch_max < 1 then invalid_arg "Psst_server: batch_max must be >= 1";
   if cfg.cache_cap < 0 then invalid_arg "Psst_server: cache_cap must be >= 0";
+  if cfg.ingest_queue_cap < 0 then
+    invalid_arg "Psst_server: ingest_queue_cap must be >= 0";
+  if cfg.tenant_quota < 0 then
+    invalid_arg "Psst_server: tenant_quota must be >= 0";
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
@@ -499,10 +671,17 @@ let start cfg db =
      zero-copy (flat/mmap) deployment from an eager one. *)
   if Pmi.backing db.Query.pmi = `Flat then Psst_obs.incr m_flat_index;
   let listen_fd, bound = bind_endpoint cfg.endpoint in
+  let db_ref = Atomic.make { Psst_ingest.epoch = 0; db } in
   let t =
     {
       cfg;
-      db;
+      db_ref;
+      ingest =
+        (if cfg.ingest_queue_cap > 0 then
+           Some
+             (Psst_ingest.create ?chain ~tenant_quota:cfg.tenant_quota
+                ~queue_cap:cfg.ingest_queue_cap db_ref)
+         else None);
       pool = Pool.create ~domains:cfg.domains ();
       cache =
         (if cfg.cache_cap > 0 then Some (Qcache.create ~value_cap:cfg.cache_cap ())
@@ -511,7 +690,9 @@ let start cfg db =
       bound;
       mutex = Mutex.create ();
       cond = Condition.create ();
-      queue = Queue.create ();
+      tqueues = Hashtbl.create 8;
+      tenant_rota = [];
+      queued_total = 0;
       stopping = false;
       is_stopped = false;
       conns = [];
@@ -571,6 +752,10 @@ let stop t =
     Option.iter Thread.join t.accept_thread;
     (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
     Option.iter Thread.join t.batch_thread;
+    (* Queries are drained; now drain the ingest writer so every admitted
+       Add_graphs batch is applied (and persisted) and acknowledged
+       before the connections go away. *)
+    Option.iter Psst_ingest.stop t.ingest;
     (* Every admitted request is answered by now; drop the connections so
        the reader threads unblock and exit. *)
     Mutex.lock t.mutex;

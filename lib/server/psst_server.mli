@@ -1,4 +1,4 @@
-(** Resident query server (DESIGN.md §11).
+(** Resident query server (DESIGN.md §11, §16).
 
     Loads a database once and answers {!Psst_proto} requests over a
     Unix-domain or TCP socket for the life of the process — the
@@ -6,15 +6,33 @@
     (no per-query process start, mining, or PMI build).
 
     Execution model: one accept thread, one lightweight reader thread per
-    connection, and a single batcher thread that owns the domain pool.
-    Readers admit [Run]/[Run_topk] requests into a bounded queue
-    (explicit backpressure: a full queue yields a retryable
-    [`Queue_full`] error reply, never an unbounded buffer); the batcher
-    drains the queue in micro-batches and executes them with
-    {!Query.run_batch_on} on the shared pool, so concurrent requests
-    interleave across domains while each answer stays bit-identical to an
-    offline {!Query.run}. [Ping]/[Get_stats] are answered inline by the
-    reader and never queue.
+    connection, a single batcher thread that owns the domain pool, and
+    (when ingest is enabled) one {!Psst_ingest} writer thread. Readers
+    admit [Run]/[Run_topk] requests into bounded per-tenant queues
+    (explicit backpressure: a full queue or tenant quota yields a
+    retryable [`Queue_full`] error reply, never an unbounded buffer); the
+    batcher drains the queues round-robin across tenants in micro-batches
+    and executes them with {!Query.run_batch_on} on the shared pool, so
+    concurrent requests interleave across domains while each answer stays
+    bit-identical to an offline {!Query.run}. [Ping]/[Get_stats]/
+    [Set_tenant] are answered inline by the reader and never queue.
+
+    Snapshot-consistent ingest: the served database is an epoch-numbered
+    immutable {!Psst_ingest.snapshot} behind an atomic reference. Each
+    request captures the snapshot at admission, so a query admitted
+    before an [Add_graphs] batch was applied never observes the new
+    graphs, and every answer is bit-identical to an offline run against
+    that epoch's database. The ingest writer is the only mutator; when a
+    delta {!Psst_ingest.chain} is supplied, each batch is persisted
+    before its epoch is published.
+
+    Multi-tenancy: a connection runs as tenant ["default"] until it sends
+    [Set_tenant]. Admission quotas ([tenant_quota]) bound each tenant's
+    queued queries and queued ingest graphs, the batcher takes one job
+    per tenant per rota turn (a saturating tenant gets an equal share of
+    batch slots, never the whole batch), and per-tenant
+    [server.tenant.<name>.{admitted,served,rejected,ingested}] counters
+    appear in [Get_stats].
 
     Deadlines bound queue wait: a request that has already waited longer
     than [deadline_ms] when the batcher pops it is answered with a
@@ -23,15 +41,16 @@
 
     Shutdown ({!stop}) is a graceful drain: admission closes (late
     arrivals get a retryable [`Shutdown`] error), every already-queued
-    request is answered, then connections are closed and the pool is
-    released. A malformed frame on a connection produces one [`Malformed`]
-    error reply and a ["proto"] warning event, then closes that
-    connection; the server itself keeps serving. *)
+    request is answered, every admitted ingest batch is applied,
+    persisted and acknowledged, then connections are closed and the pool
+    is released. A malformed frame on a connection produces one
+    [`Malformed`] error reply and a ["proto"] warning event, then closes
+    that connection; the server itself keeps serving. *)
 
 type config = {
   endpoint : Psst_proto.endpoint;
   domains : int;  (** domain-pool size for verification fan-out *)
-  queue_cap : int;  (** admission queue bound (backpressure) *)
+  queue_cap : int;  (** admission queue bound across tenants (backpressure) *)
   deadline_ms : float;  (** max queue wait; [0.] disables deadlines *)
   verify_budget_ms : float;
       (** per-batch verification budget (DESIGN.md §12): candidates whose
@@ -45,28 +64,42 @@ type config = {
       (** cross-query verification cache ({!Qcache}) value-table bound;
           [0] disables the cache. Cached answers are bit-identical to
           cold ones (the cache memoises deterministic artifacts only) and
-          the cache self-invalidates when the database changes, so the
-          only trade-off is memory. *)
+          the cache self-invalidates when the database changes — an
+          ingest epoch swap flushes it automatically — so the only
+          trade-off is memory. *)
+  ingest_queue_cap : int;
+      (** bound on graphs queued for ingest across tenants; [0] disables
+          ingest entirely ([Add_graphs] is answered [Unavailable]). *)
+  tenant_quota : int;
+      (** per-tenant bound on queued queries and queued ingest graphs;
+          [0] disables quotas. Exceeding it yields a retryable
+          [`Queue_full`] reply metered on the tenant's [rejected]
+          counter. *)
 }
 
 (** Unix socket, 1 domain, queue of 128, no deadline, no verification
-    budget, batches of 32, 256 traces, cache of 16384 entries. *)
+    budget, batches of 32, 256 traces, cache of 16384 entries, ingest
+    queue of 1024 graphs, no tenant quota. *)
 val default_config : Psst_proto.endpoint -> config
 
 type t
 
-(** [start config db] binds the endpoint and spawns the serving threads.
-    Raises [Unix.Unix_error] when the endpoint cannot be bound. SIGPIPE is
-    set to ignore (a client hanging up mid-reply must not kill the
-    process). *)
-val start : config -> Query.database -> t
+(** [start ?chain config db] binds the endpoint and spawns the serving
+    threads. [db] becomes epoch 0; [chain] (from {!Psst_ingest.load})
+    arms incremental delta persistence for ingested batches — omit it to
+    serve a memory-only database (ingest still works, but does not
+    survive the process). Raises [Unix.Unix_error] when the endpoint
+    cannot be bound. SIGPIPE is set to ignore (a client hanging up
+    mid-reply must not kill the process). *)
+val start : ?chain:Psst_ingest.chain -> config -> Query.database -> t
 
 (** The bound endpoint — for [Tcp (host, 0)] this carries the actual
     kernel-assigned port. *)
 val endpoint : t -> Psst_proto.endpoint
 
 (** Graceful drain as described above. Idempotent; blocks until every
-    queued request is answered and all threads have joined. *)
+    queued request is answered, the ingest writer has drained, and all
+    threads have joined. *)
 val stop : t -> unit
 
 (** True once {!stop} has completed. *)
@@ -77,6 +110,12 @@ val traces : t -> Psst_obs.Trace.t list
 
 (** Requests answered since {!start} (including error replies). *)
 val served : t -> int
+
+(** The current epoch's database / epoch number (in-process view of the
+    atomic snapshot; tests diff this against offline reference runs). *)
+val database : t -> Query.database
+
+val epoch : t -> int
 
 (** The snapshot the [Get_health] RPC answers from (also available
     in-process, e.g. for tests and supervisors). *)

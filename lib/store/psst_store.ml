@@ -25,7 +25,7 @@ let magic = "PSSTSTR\x00"
 let format_version = 1
 let header_bytes = 24
 
-type kind = Pgdb | Pmi_index | Dataset | Database | Manifest
+type kind = Pgdb | Pmi_index | Dataset | Database | Manifest | Delta
 
 let kind_tag = function
   | Pgdb -> 1
@@ -33,6 +33,7 @@ let kind_tag = function
   | Dataset -> 3
   | Database -> 4
   | Manifest -> 5
+  | Delta -> 6
 
 let kind_name = function
   | Pgdb -> "probabilistic graph database"
@@ -40,6 +41,7 @@ let kind_name = function
   | Dataset -> "dataset"
   | Database -> "query database"
   | Manifest -> "shard manifest"
+  | Delta -> "ingest delta batch"
 
 let kind_of_tag = function
   | 1 -> Some Pgdb
@@ -47,6 +49,7 @@ let kind_of_tag = function
   | 3 -> Some Dataset
   | 4 -> Some Database
   | 5 -> Some Manifest
+  | 6 -> Some Delta
   | _ -> None
 
 type section = { name : string; payload : string }

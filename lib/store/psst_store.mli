@@ -51,6 +51,10 @@ type kind =
   | Dataset  (** a full {!Generator.t} corpus *)
   | Database  (** the whole query-time state ({!Query.database}) *)
   | Manifest  (** a shard manifest ([Psst_shard.manifest]) *)
+  | Delta
+      (** one ingest batch appended to a [Database] store — a side file
+          ([BASE.delta.K]) holding the new graphs plus the chain metadata
+          that pins it to its base ([Psst_ingest]) *)
 
 val kind_name : kind -> string
 

@@ -26,4 +26,5 @@ let () =
       ("cache", Test_cache.suite);
       ("shard", Test_shard.suite);
       ("chaos", Test_chaos.suite);
+      ("ingest", Test_ingest.suite);
     ]

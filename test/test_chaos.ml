@@ -973,6 +973,134 @@ let test_sigkill_mid_split () =
       Alcotest.(check int) "old deployment reassembles" 10
         (Corpus.length db.Query.graphs))
 
+(* --- ingest under faults (DESIGN.md §16) --- *)
+
+let make_batch seed n =
+  (Generator.generate { Generator.default_params with num_graphs = n; seed })
+    .Generator.graphs
+
+let with_ingest_server ~chain db f =
+  let path = Filename.temp_file "psst_chaos_ing" ".sock" in
+  let srv = Server.start ~chain (Server.default_config (P.Unix_socket path)) db in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f srv)
+
+(* Armed store.write faults while ingesting: the persist fails before
+   the epoch swap, so the batch is rejected with a clean retryable
+   error, the served database and the base store are unchanged, queries
+   keep answering exactly against the old epoch, and after disarming the
+   same batch applies — the store plus chain stay loadable throughout. *)
+let test_ingest_store_faults_reject_cleanly () =
+  with_tmp @@ fun path ->
+  let ds, db = make_db 521 12 in
+  Query.save_database path db;
+  let base_bytes = read_bytes path in
+  let db, chain = Psst_ingest.load path in
+  let batch = make_batch 977 5 in
+  let rng = Prng.make 71 in
+  let q = fst (Generator.extract_query rng ds ~edges:4) in
+  let exact0 = Query.run db q base_config in
+  with_ingest_server ~chain db (fun srv ->
+      with_client srv (fun c ->
+          List.iter
+            (fun (label, plan) ->
+              F.arm ~seed:43 [ ("store.write", plan, 1.) ];
+              Fun.protect ~finally:F.disarm (fun () ->
+                  (match Client.add_graphs c batch with
+                  | Error (code, _) ->
+                    Alcotest.(check bool)
+                      (label ^ ": rejection is retryable") true
+                      (P.error_code_retryable code)
+                  | Ok _ ->
+                    Alcotest.failf "%s: persist fault must reject the batch"
+                      label);
+                  Alcotest.(check int) (label ^ ": epoch unchanged") 0
+                    (Server.epoch srv);
+                  Alcotest.(check bool) (label ^ ": no delta file") false
+                    (Sys.file_exists (Psst_ingest.delta_path path 1));
+                  (* Queries during the fault: exact, against the old
+                     epoch. *)
+                  match Client.run_all c [ q ] base_config with
+                  | [| P.Answer { answers; _ } |] ->
+                    Alcotest.(check (list int))
+                      (label ^ ": answers exact under fault")
+                      exact0.Query.answers answers
+                  | _ -> Alcotest.failf "%s: expected Answer" label))
+            [ ("fail", F.Fail); ("partial", F.Partial_io) ];
+          (* Disarmed: the same batch applies and persists. *)
+          (match Client.add_graphs c batch with
+          | Ok r ->
+            Alcotest.(check int) "applies after disarm" 1 r.Psst_ingest.epoch
+          | Error _ -> Alcotest.fail "batch must apply once disarmed");
+          Alcotest.(check bool) "delta exists after disarm" true
+            (Sys.file_exists (Psst_ingest.delta_path path 1))));
+  Alcotest.(check bool) "base store never rewritten" true
+    (read_bytes path = base_bytes);
+  (* The chain is loadable and reconstructs base + the applied batch. *)
+  let reloaded, _ = Psst_ingest.load path in
+  Alcotest.(check int) "reload = base + applied batch" 17
+    (Corpus.length reloaded.Query.graphs);
+  ignore (Psst_ingest.clear_deltas path)
+
+(* Armed server.batch faults while epochs advance: ingest still applies
+   (it does not run through the batcher), and every query reply is
+   exact or a flagged superset of the post-ingest offline answers —
+   never silently wrong. Disarmed, replies return to bit-identical. *)
+let test_ingest_batch_faults_degrade () =
+  let ds, db0 = make_db 523 15 in
+  let batch = make_batch 983 6 in
+  let db1 = Query.add_graphs db0 batch in
+  let rng = Prng.make 73 in
+  let queries =
+    List.init 3 (fun _ -> fst (Generator.extract_query rng ds ~edges:4))
+  in
+  let offline1 = List.map (fun q -> Query.run db1 q base_config) queries in
+  with_server db0 (fun srv ->
+      with_client srv (fun c ->
+          F.arm ~seed:47 [ ("server.batch", F.Fail, 1.) ];
+          Fun.protect ~finally:F.disarm (fun () ->
+              (match Client.add_graphs c batch with
+              | Ok r ->
+                Alcotest.(check int) "ingest applies under batch faults" 1
+                  r.Psst_ingest.epoch
+              | Error _ -> Alcotest.fail "ingest must not consult server.batch");
+              let replies = Client.run_all c queries base_config in
+              List.iteri
+                (fun i (exact : Query.outcome) ->
+                  match replies.(i) with
+                  | P.Answer { answers; stats; _ } ->
+                    List.iter
+                      (fun a ->
+                        Alcotest.(check bool)
+                          (Printf.sprintf
+                             "query %d keeps true answer %d under faults" i a)
+                          true (List.mem a answers))
+                      exact.Query.answers;
+                    if not stats.P.degraded then
+                      Alcotest.(check (list int))
+                        (Printf.sprintf "query %d unflagged must be exact" i)
+                        exact.Query.answers answers
+                  | P.Error_reply { code; _ } ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "query %d error is retryable" i)
+                      true (P.error_code_retryable code)
+                  | _ -> Alcotest.failf "query %d: unexpected reply kind" i)
+                offline1);
+          (* Disarmed: bit-identical to offline on the ingested epoch. *)
+          let replies = Client.run_all c queries base_config in
+          List.iteri
+            (fun i (exact : Query.outcome) ->
+              match replies.(i) with
+              | P.Answer { answers; _ } ->
+                Alcotest.(check (list int))
+                  (Printf.sprintf "query %d bit-identical after disarm" i)
+                  exact.Query.answers answers
+              | _ -> Alcotest.failf "query %d: expected Answer" i)
+            offline1))
+
 let suite =
   [
     Alcotest.test_case "fault schedules are deterministic" `Quick
@@ -1012,6 +1140,10 @@ let suite =
       test_router_chaos_scenarios;
     Alcotest.test_case "router: dead shard without fallback" `Slow
       test_router_dead_worker_without_fallback;
+    Alcotest.test_case "ingest store faults reject cleanly" `Slow
+      test_ingest_store_faults_reject_cleanly;
+    Alcotest.test_case "ingest under batch faults degrades, never lies" `Slow
+      test_ingest_batch_faults_degrade;
     Alcotest.test_case "SIGKILL mid-write keeps the old index" `Slow
       test_sigkill_mid_write;
     Alcotest.test_case "SIGKILL mid-split keeps the old deployment" `Slow

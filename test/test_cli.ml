@@ -125,6 +125,27 @@ let test_endpoint_string_matrix () =
       ("port with trailing garbage", "tcp:host:80xyz");
     ]
 
+(* Ingest flags (DESIGN.md §16): negative caps and quotas, empty tenant
+   names, and a missing --add corpus all die with the uniform one-line
+   failure — in particular --add validates its file before connecting,
+   so a bad path never produces a connect error or a half-done RPC. *)
+let test_ingest_flag_validation () =
+  check_dies "serve with a negative ingest queue cap"
+    "serve --socket /tmp/psst-cli-x.sock --ingest-queue-cap=-1";
+  check_dies "serve with a negative tenant quota"
+    "serve --socket /tmp/psst-cli-x.sock --tenant-quota=-1";
+  check_dies "client with an empty --tenant"
+    "client --queries 0 --socket /tmp/psst-cli-x.sock --tenant ''";
+  let p = missing_path () in
+  check_dies "client --add on a missing file"
+    (Printf.sprintf "client --queries 0 --socket /tmp/psst-cli-x.sock --add %s"
+       p);
+  with_file "graphs 1\nnot a graph file\n" (fun path ->
+      check_dies "client --add on a malformed corpus"
+        (Printf.sprintf "client --queries 0 --socket /tmp/psst-cli-x.sock \
+                         --add %s"
+           path))
+
 let test_success_path_stays_zero () =
   let code, stderr = run_psst "generate -n 4 --seed 3" in
   Alcotest.(check int) "generate exits 0" 0 code;
@@ -144,6 +165,8 @@ let suite =
       test_endpoint_flag_validation;
     Alcotest.test_case "malformed endpoint strings exit 1" `Quick
       test_endpoint_string_matrix;
+    Alcotest.test_case "ingest flag validation exits 1" `Quick
+      test_ingest_flag_validation;
     Alcotest.test_case "healthy invocation exits 0" `Quick
       test_success_path_stays_zero;
   ]

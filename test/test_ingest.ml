@@ -1,0 +1,428 @@
+(* Continuous ingest (DESIGN.md §16): the serving pins that make live
+   Add_graphs trustworthy. Snapshot consistency — a query admitted
+   before a batch never sees the new graphs, a query sent after the ack
+   always does, and both halves are bit-identical to offline Query.run
+   against the corresponding epoch's database (at 1 and 4 domains, cold
+   and warm cache). Admission — queue and tenant-quota overflows reject
+   with retryable errors, metered per tenant, with the database
+   unchanged. Persistence — every acked batch is a crash-atomic delta
+   side file, the base store is byte-identical before and after, and an
+   offline Psst_ingest.load reconstructs exactly the database the server
+   ended on (stale deltas after a base rebuild are refused, not
+   replayed). *)
+
+module P = Psst_proto
+module Client = Psst_client
+module Server = Psst_server
+module Prng = Psst_util.Prng
+
+let fast_bounds = { Bounds.default_config with mc_samples = 400 }
+let fast_smp = { Verify.default_config with tau = 0.3 }
+
+let make_db seed n =
+  let ds =
+    Generator.generate
+      { Generator.default_params with num_graphs = n; seed; min_vertices = 6;
+        max_vertices = 10; motif_edges = 3 }
+  in
+  let db =
+    Query.index_database
+      ~mining:{ Selection.default_params with max_edges = 2; beta = 0.2 }
+      ~bounds:fast_bounds ds.graphs
+  in
+  (ds, db)
+
+(* Fresh graphs to ingest, disjoint from any generated corpus's seed. *)
+let make_batch seed n =
+  (Generator.generate { Generator.default_params with num_graphs = n; seed })
+    .Generator.graphs
+
+let base_config =
+  { Query.default_config with epsilon = 0.4; delta = 1; verifier = `Smp fast_smp }
+
+let with_server ?chain ?(domains = 1) ?(ingest_queue_cap = 1024)
+    ?(tenant_quota = 0) db f =
+  let path = Filename.temp_file "psst_test_ing" ".sock" in
+  let srv =
+    Server.start ?chain
+      {
+        (Server.default_config (P.Unix_socket path)) with
+        Server.domains;
+        ingest_queue_cap;
+        tenant_quota;
+      }
+      db
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f srv)
+
+let with_client srv f =
+  let c = Client.connect (Server.endpoint srv) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let check_answer ~what expect = function
+  | P.Answer { answers; stats; _ } ->
+    Alcotest.(check (list int))
+      (what ^ " answers") expect.Query.answers answers;
+    Alcotest.(check bool)
+      (what ^ " pruning counters") true
+      (stats = P.stats_of_query expect.Query.stats)
+  | _ -> Alcotest.failf "%s: expected Answer" what
+
+(* --- the snapshot-consistency differential pin --- *)
+
+(* One connection; the server's reader admits frames in order. Pipeline
+   the queries, send Add_graphs, then — only after the Ingest_ack came
+   back — the same queries again. The first wave was admitted before the
+   batch, so it must match offline epoch 0; the second was sent after
+   the ack, so it must match offline Query.add_graphs + Query.run. The
+   epoch-0 replies that interleave before the ack arrive with ids < k;
+   collect everything by id. *)
+let check_ingest_differential ~domains () =
+  let ds, db0 = make_db 431 25 in
+  let batch = make_batch 907 8 in
+  let db1 = Query.add_graphs db0 batch in
+  let rng = Prng.make 53 in
+  let queries =
+    List.init 3 (fun _ -> fst (Generator.extract_query rng ds ~edges:4))
+  in
+  let k = List.length queries in
+  let offline0 = List.map (fun q -> Query.run db0 q base_config) queries in
+  let offline1 = List.map (fun q -> Query.run db1 q base_config) queries in
+  with_server ~domains db0 (fun srv ->
+      with_client srv (fun c ->
+          let replies = Hashtbl.create 16 in
+          let collect () =
+            match Client.read_reply c with
+            | P.Answer { id; _ } as r ->
+              Hashtbl.replace replies id r;
+              `Answer
+            | P.Ingest_ack { id; epoch; base; count } ->
+              Alcotest.(check int) "ack id" 99 id;
+              Alcotest.(check int) "ack epoch" 1 epoch;
+              Alcotest.(check int) "ack base"
+                (Corpus.length db0.Query.graphs) base;
+              Alcotest.(check int) "ack count" (Array.length batch) count;
+              `Ack
+            | _ -> Alcotest.fail "unexpected reply kind"
+          in
+          List.iteri
+            (fun i q ->
+              Client.send c (P.Run { id = i; query = q; config = base_config }))
+            queries;
+          Client.send c (P.Add_graphs { id = 99; graphs = batch });
+          (* Drain until the ack; epoch-0 answers may land first. *)
+          let acked = ref false in
+          while not !acked do
+            if collect () = `Ack then acked := true
+          done;
+          (* Cold second wave, then a warm repeat: the Qcache keys on the
+             physical database, so the swapped epoch must serve fresh
+             (yet bit-identical) answers, not stale epoch-0 ones. *)
+          List.iteri
+            (fun i q ->
+              Client.send c
+                (P.Run { id = k + i; query = q; config = base_config }))
+            queries;
+          List.iteri
+            (fun i q ->
+              Client.send c
+                (P.Run { id = (2 * k) + i; query = q; config = base_config }))
+            queries;
+          for _ = 1 to 3 * k - Hashtbl.length replies do
+            ignore (collect ())
+          done;
+          List.iteri
+            (fun i off ->
+              check_answer
+                ~what:(Printf.sprintf "epoch-0 query %d @ %d domains" i domains)
+                off
+                (Hashtbl.find replies i))
+            offline0;
+          List.iteri
+            (fun i off ->
+              check_answer
+                ~what:(Printf.sprintf "epoch-1 query %d @ %d domains" i domains)
+                off
+                (Hashtbl.find replies (k + i));
+              check_answer
+                ~what:
+                  (Printf.sprintf "epoch-1 warm query %d @ %d domains" i domains)
+                off
+                (Hashtbl.find replies ((2 * k) + i)))
+            offline1;
+          Alcotest.(check int) "server epoch" 1 (Server.epoch srv)))
+
+let test_ingest_differential_sequential () =
+  check_ingest_differential ~domains:1 ()
+
+let test_ingest_differential_parallel () =
+  check_ingest_differential ~domains:4 ()
+
+(* Multiple batches stack: each ack's id range starts where the previous
+   epoch ended, and the final database equals offline folds. *)
+let test_ingest_stacks () =
+  let ds, db0 = make_db 433 15 in
+  let b1 = make_batch 911 5 and b2 = make_batch 913 7 in
+  let db2 = Query.add_graphs (Query.add_graphs db0 b1) b2 in
+  let rng = Prng.make 59 in
+  let q = fst (Generator.extract_query rng ds ~edges:4) in
+  let offline = Query.run db2 q base_config in
+  with_server db0 (fun srv ->
+      with_client srv (fun c ->
+          (match Client.add_graphs c b1 with
+          | Ok r ->
+            Alcotest.(check int) "batch 1 base" 15 r.Psst_ingest.base;
+            Alcotest.(check int) "batch 1 epoch" 1 r.Psst_ingest.epoch
+          | Error _ -> Alcotest.fail "batch 1 rejected");
+          (match Client.add_graphs c b2 with
+          | Ok r ->
+            Alcotest.(check int) "batch 2 base" 20 r.Psst_ingest.base;
+            Alcotest.(check int) "batch 2 epoch" 2 r.Psst_ingest.epoch
+          | Error _ -> Alcotest.fail "batch 2 rejected");
+          (match Client.run_all c [ q ] base_config with
+          | [| reply |] -> check_answer ~what:"query on epoch 2" offline reply
+          | _ -> Alcotest.fail "expected one reply");
+          let h = Client.health c in
+          Alcotest.(check int) "health epoch" 2 h.P.epoch;
+          Alcotest.(check int) "health ingest_applied" 12 h.P.ingest_applied;
+          Alcotest.(check int) "health ingest_queued drained" 0
+            h.P.ingest_queued))
+
+(* --- admission: quotas and queue bounds --- *)
+
+let tenant_rejected name =
+  Psst_obs.counter_value
+    (Psst_obs.counter (Printf.sprintf "server.tenant.%s.rejected" name))
+
+let test_tenant_quota_rejects () =
+  let ds, db = make_db 437 12 in
+  let batch = make_batch 917 20 in
+  with_server ~tenant_quota:10 db (fun srv ->
+      with_client srv (fun c ->
+          Client.set_tenant c "alice";
+          let before = tenant_rejected "alice" in
+          (match Client.add_graphs c batch with
+          | Error (P.Queue_full, msg) ->
+            Alcotest.(check bool) "retryable" true
+              (P.error_code_retryable P.Queue_full);
+            Alcotest.(check bool) "message names the tenant" true
+              (contains msg "alice")
+          | Ok _ -> Alcotest.fail "a 20-graph batch must exceed quota 10"
+          | Error _ -> Alcotest.fail "expected Queue_full");
+          Alcotest.(check bool) "alice's rejection was metered" true
+            (tenant_rejected "alice" > before);
+          (* Within quota still works, and under its own tenant meter. *)
+          (match Client.add_graphs c (Array.sub batch 0 4) with
+          | Ok r -> Alcotest.(check int) "small batch applied" 4 r.Psst_ingest.count
+          | Error _ -> Alcotest.fail "a 4-graph batch fits quota 10");
+          (* The rejected batch changed nothing: answers still match the
+             database with only the accepted graphs. *)
+          let db' = Query.add_graphs db (Array.sub batch 0 4) in
+          let rng = Prng.make 61 in
+          let q = fst (Generator.extract_query rng ds ~edges:4) in
+          let offline = Query.run db' q base_config in
+          match Client.run_all c [ q ] base_config with
+          | [| reply |] -> check_answer ~what:"post-rejection query" offline reply
+          | _ -> Alcotest.fail "expected one reply"))
+
+let test_ingest_queue_full_rejects () =
+  let _, db = make_db 439 10 in
+  let batch = make_batch 919 8 in
+  with_server ~ingest_queue_cap:5 db (fun srv ->
+      with_client srv (fun c ->
+          match Client.add_graphs c batch with
+          | Error (P.Queue_full, msg) ->
+            Alcotest.(check bool) "names the cap" true (contains msg "5")
+          | _ -> Alcotest.fail "an 8-graph batch must overflow cap 5"))
+
+let test_ingest_disabled_rejects () =
+  let _, db = make_db 441 10 in
+  with_server ~ingest_queue_cap:0 db (fun srv ->
+      with_client srv (fun c ->
+          match Client.add_graphs c (make_batch 921 2) with
+          | Error (P.Unavailable, _) -> ()
+          | _ -> Alcotest.fail "ingest off must answer Unavailable"))
+
+let test_set_tenant_roundtrip () =
+  let _, db = make_db 443 10 in
+  with_server db (fun srv ->
+      with_client srv (fun c ->
+          Client.set_tenant c "team-7";
+          Client.ping c;
+          (* Empty names are refused client-side... *)
+          (match Client.set_tenant c "" with
+          | () -> Alcotest.fail "empty tenant must be refused"
+          | exception Client.Client_error _ -> ());
+          (* ...and oversized ones by the server-side decoder. *)
+          match Client.rpc c (P.Set_tenant (String.make 200 'x')) with
+          | P.Error_reply { code = P.Malformed; _ } -> ()
+          | _ -> Alcotest.fail "oversized tenant must be Malformed"))
+
+(* --- persistence: delta side files --- *)
+
+let with_tmp_store f =
+  let path = Filename.temp_file "psst_test_ing" ".psst" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Psst_ingest.clear_deltas path);
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_delta_persistence_roundtrip () =
+  with_tmp_store @@ fun path ->
+  let ds, db = make_db 449 15 in
+  Query.save_database path db;
+  let db, chain = Psst_ingest.load path in
+  let base_bytes = read_file path in
+  let b1 = make_batch 923 4 and b2 = make_batch 929 6 in
+  with_server ~chain db (fun srv ->
+      with_client srv (fun c ->
+          (match Client.add_graphs c b1 with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "batch 1 rejected");
+          match Client.add_graphs c b2 with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "batch 2 rejected");
+      (* Both deltas exist, and the base store was never rewritten. *)
+      Alcotest.(check bool) "delta 1 exists" true
+        (Sys.file_exists (Psst_ingest.delta_path path 1));
+      Alcotest.(check bool) "delta 2 exists" true
+        (Sys.file_exists (Psst_ingest.delta_path path 2));
+      Alcotest.(check bool) "no delta 3" false
+        (Sys.file_exists (Psst_ingest.delta_path path 3));
+      Alcotest.(check bool) "base store byte-identical" true
+        (read_file path = base_bytes);
+      (* An offline load replays the chain to exactly the served state. *)
+      let reloaded, chain' = Psst_ingest.load path in
+      Alcotest.(check int) "chain resumes after last delta" 3
+        chain'.Psst_ingest.next_seq;
+      let served = Server.database srv in
+      Alcotest.(check int) "reloaded corpus size"
+        (Corpus.length served.Query.graphs)
+        (Corpus.length reloaded.Query.graphs);
+      Alcotest.(check bool) "reloaded corpus fingerprint" true
+        (Corpus.fingerprint reloaded.Query.graphs
+        = Corpus.fingerprint served.Query.graphs);
+      let rng = Prng.make 67 in
+      let q = fst (Generator.extract_query rng ds ~edges:4) in
+      Alcotest.(check (list int)) "reloaded answers = served answers"
+        (Query.run served q base_config).Query.answers
+        (Query.run reloaded q base_config).Query.answers)
+
+let test_stale_delta_refused () =
+  with_tmp_store @@ fun path ->
+  let _, db = make_db 457 12 in
+  Query.save_database path db;
+  let _, chain = Psst_ingest.load path in
+  Psst_ingest.save_delta chain ~prev_count:12 (make_batch 931 3);
+  (* Rebuild the base for a different corpus: the existing delta now
+     chains onto nothing. Replay must stop at it, not apply it. *)
+  let _, db2 = make_db 461 14 in
+  Query.save_database path db2;
+  let before = Psst_obs.counter_value (Psst_obs.counter "ingest.delta.stale") in
+  let reloaded, chain' = Psst_ingest.load path in
+  Alcotest.(check int) "stale delta not replayed" 14
+    (Corpus.length reloaded.Query.graphs);
+  Alcotest.(check int) "chain stops before the stale delta" 1
+    chain'.Psst_ingest.next_seq;
+  Alcotest.(check bool) "staleness was metered" true
+    (Psst_obs.counter_value (Psst_obs.counter "ingest.delta.stale") > before)
+
+let test_out_of_order_delta_refused () =
+  with_tmp_store @@ fun path ->
+  let _, db = make_db 463 10 in
+  Query.save_database path db;
+  let _, chain = Psst_ingest.load path in
+  Psst_ingest.save_delta chain ~prev_count:10 (make_batch 937 2);
+  (* A gap in the chain (delta 1 removed, delta 2 present) must stop
+     replay at the gap rather than renumber or skip. *)
+  Psst_ingest.save_delta chain ~prev_count:12 (make_batch 941 2);
+  Sys.remove (Psst_ingest.delta_path path 1);
+  let reloaded, _ = Psst_ingest.load path in
+  Alcotest.(check int) "replay stops at the gap" 10
+    (Corpus.length reloaded.Query.graphs)
+
+(* --- the v5 wire codec --- *)
+
+let test_v5_codec_roundtrip () =
+  let graphs = make_batch 947 3 in
+  (match
+     P.request_of_string (P.encode_request (P.Add_graphs { id = 7; graphs }))
+   with
+  | P.Add_graphs { id = 7; graphs = g' } ->
+    Alcotest.(check int) "graph count survives" 3 (Array.length g');
+    Alcotest.(check bool) "graphs survive byte-exactly" true
+      (Pgraph_io.db_fingerprint g' = Pgraph_io.db_fingerprint graphs)
+  | _ -> Alcotest.fail "Add_graphs round-trip");
+  (match P.request_of_string (P.encode_request (P.Set_tenant "acme")) with
+  | P.Set_tenant "acme" -> ()
+  | _ -> Alcotest.fail "Set_tenant round-trip");
+  match
+    P.reply_of_string
+      (P.encode_reply (P.Ingest_ack { id = 3; epoch = 9; base = 100; count = 5 }))
+  with
+  | P.Ingest_ack { id = 3; epoch = 9; base = 100; count = 5 } -> ()
+  | _ -> Alcotest.fail "Ingest_ack round-trip"
+
+(* The v5 tags are gated: carried by a pre-v5 frame they must be re-
+   jected as malformed, exactly like an unknown tag — not half-decoded. *)
+let test_v5_tags_gated () =
+  let graphs = make_batch 953 1 in
+  List.iter
+    (fun (what, bytes) ->
+      match P.request_of_string bytes with
+      | exception P.Proto_error _ -> ()
+      | _ -> Alcotest.failf "%s in a v4 frame must be Proto_error" what)
+    [
+      ("Add_graphs", P.encode_request ~version:4 (P.Add_graphs { id = 1; graphs }));
+      ("Set_tenant", P.encode_request ~version:4 (P.Set_tenant "acme"));
+    ];
+  match
+    P.reply_of_string
+      (P.encode_reply ~version:4
+         (P.Ingest_ack { id = 1; epoch = 1; base = 0; count = 1 }))
+  with
+  | exception P.Proto_error _ -> ()
+  | _ -> Alcotest.fail "Ingest_ack in a v4 frame must be Proto_error"
+
+let suite =
+  [
+    Alcotest.test_case "differential across an ingest, 1 domain" `Quick
+      test_ingest_differential_sequential;
+    Alcotest.test_case "differential across an ingest, 4 domains" `Quick
+      test_ingest_differential_parallel;
+    Alcotest.test_case "batches stack; health reports epoch and lag" `Quick
+      test_ingest_stacks;
+    Alcotest.test_case "tenant quota rejects retryably, metered" `Quick
+      test_tenant_quota_rejects;
+    Alcotest.test_case "ingest queue bound rejects retryably" `Quick
+      test_ingest_queue_full_rejects;
+    Alcotest.test_case "ingest disabled answers Unavailable" `Quick
+      test_ingest_disabled_rejects;
+    Alcotest.test_case "Set_tenant roundtrip and validation" `Quick
+      test_set_tenant_roundtrip;
+    Alcotest.test_case "delta files round-trip; base never rewritten" `Quick
+      test_delta_persistence_roundtrip;
+    Alcotest.test_case "stale delta after rebuild is refused" `Quick
+      test_stale_delta_refused;
+    Alcotest.test_case "chain gap stops replay" `Quick
+      test_out_of_order_delta_refused;
+    Alcotest.test_case "v5 codec round-trips" `Quick test_v5_codec_roundtrip;
+    Alcotest.test_case "v5 tags rejected in pre-v5 frames" `Quick
+      test_v5_tags_gated;
+  ]

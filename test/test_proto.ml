@@ -78,6 +78,9 @@ let sample_replies =
         degraded_answers = 42;
         retryable_rejections = 7;
         workers = [];
+        epoch = 6;
+        ingest_queued = 17;
+        ingest_applied = 512;
       };
     P.Health_reply
       {
@@ -103,6 +106,9 @@ let sample_replies =
               worker_degraded_answers = 0;
             };
           ];
+        epoch = 0;
+        ingest_queued = 0;
+        ingest_applied = 0;
       };
     P.Error_reply { id = 9; code = P.Queue_full; message = "queue full" };
     P.Error_reply { id = 0; code = P.Malformed; message = "bad magic" };

@@ -256,7 +256,8 @@ let expect_malformed_then_recover srv corrupt =
           | P.Topk_answer _ -> "Topk_answer"
           | P.Stats_json _ -> "Stats_json"
           | P.Health_reply _ -> "Health_reply"
-          | P.Error_reply _ -> "Error_reply")));
+          | P.Error_reply _ -> "Error_reply"
+          | P.Ingest_ack _ -> "Ingest_ack")));
   Alcotest.(check bool) "a proto warning was recorded" true
     (warn_proto_count () > before);
   (* The connection is gone but the server must keep serving. *)

@@ -368,6 +368,64 @@ let test_corruption_detected () =
       write_bytes path original;
       reload ())
 
+(* --- Corpus.append on a mapped corpus (ingest on a zero-copy load) --- *)
+
+(* Appending to an mmap-backed corpus materialises it first; the result
+   must be indistinguishable from appending to an eager load of the same
+   file — same length, bit-identical graphs, same fingerprint — whether
+   the mapping was still lazy or partially / fully decoded when the
+   append happened. *)
+let test_mapped_append_differential () =
+  let ds = small_dataset 171 9 in
+  let extra = (small_dataset 173 4).Generator.graphs in
+  let db =
+    Query.index_database ~mining:small_mining ~bounds:fast_bounds ds.graphs
+  in
+  with_tmp (fun path ->
+      Query.save_database ~flat:true path db;
+      let eager = (Query.load_database path).Query.graphs in
+      let reference = Corpus.append eager extra in
+      List.iter
+        (fun (label, prime) ->
+          let mapped = (Query.load_database ~mmap:true path).Query.graphs in
+          (* Decode none / some / all graphs off the map before the
+             append, so memoisation state cannot leak into the result. *)
+          for i = 0 to prime - 1 do
+            ignore (Corpus.get mapped i)
+          done;
+          let appended = Corpus.append mapped extra in
+          Alcotest.(check int)
+            (label ^ ": length")
+            (Corpus.length reference) (Corpus.length appended);
+          for i = 0 to Corpus.length reference - 1 do
+            if not (pgraph_identical (Corpus.get reference i) (Corpus.get appended i))
+            then Alcotest.failf "%s: graph %d differs" label i
+          done;
+          Alcotest.(check int32)
+            (label ^ ": fingerprint")
+            (Corpus.fingerprint reference)
+            (Corpus.fingerprint appended);
+          (* The source mapping is untouched: still its original length,
+             still serving every graph. *)
+          Alcotest.(check int)
+            (label ^ ": source length unchanged")
+            (Corpus.length eager) (Corpus.length mapped);
+          if not (pgraph_identical (Corpus.get eager 0) (Corpus.get mapped 0))
+          then Alcotest.failf "%s: source graph 0 changed" label)
+        [ ("lazy", 0); ("partially decoded", 4); ("fully decoded", 9) ])
+
+let test_materialise_is_identity_on_eager () =
+  let ds = small_dataset 179 5 in
+  let c = Corpus.of_array ds.Generator.graphs in
+  let m = Corpus.materialise c in
+  Alcotest.(check int32) "same fingerprint" (Corpus.fingerprint c)
+    (Corpus.fingerprint m);
+  Alcotest.(check int) "same length" (Corpus.length c) (Corpus.length m);
+  (* Appending an empty array is a no-op in content. *)
+  let a = Corpus.append c [||] in
+  Alcotest.(check int32) "append [||] keeps fingerprint"
+    (Corpus.fingerprint c) (Corpus.fingerprint a)
+
 (* --- flat image: mmap vs eager differential --- *)
 
 (* Same queries, same answers, same pruning counters — eager classic
@@ -574,6 +632,10 @@ let suite =
       test_missing_and_garbage_files;
     Alcotest.test_case "corruption detected everywhere" `Slow
       test_corruption_detected;
+    Alcotest.test_case "mapped append = eager append (lazy/partial/full)" `Quick
+      test_mapped_append_differential;
+    Alcotest.test_case "materialise is identity on eager corpora" `Quick
+      test_materialise_is_identity_on_eager;
     Alcotest.test_case "flat mmap = eager (1 and 4 domains, cold+warm)" `Slow
       test_flat_mmap_differential;
     Alcotest.test_case "mmap refuses classic layout" `Quick
