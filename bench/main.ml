@@ -1,6 +1,6 @@
 (* Benchmark entry point.
 
-   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|shard|chaos|ingest|verify|micro|all] [--quick]
+   Usage: main.exe [fig9|fig10|fig11|fig12|fig13|fig14|ablation|parallel|store|obs|serve|shard|chaos|ingest|replica|verify|micro|all] [--quick]
 
    Each figN target regenerates the corresponding figure of the paper's
    evaluation section (§6) at a scaled-down workload (see DESIGN.md §4-5 and
@@ -1450,6 +1450,376 @@ let ingest_bench ~scale ppf =
   Format.fprintf ppf "wrote BENCH_ingest.json@.";
   if not ok then exit 1
 
+(* Replication (DESIGN.md §17): what semi-synchronous durability costs
+   and what failover buys. Phase 1 feeds Add_graphs batches to a
+   standalone chain server — the ack latency baseline. Phase 2 repeats
+   the feed against a primary whose every ack is gated on a live standby
+   having persisted the delta, sampling replica lag (primary seq minus
+   standby applied seq) throughout; the delta chains must end
+   byte-identical. Phase 3 routes a query load through a replica-aware
+   router, kills the primary mid-load and measures the blackout until
+   the standby answers exactly, then promotes the standby and verifies
+   it accepts writes where the primary left off — no acked batch lost.
+   Violated invariants exit non-zero. *)
+let replica_bench ~scale ppf =
+  Format.fprintf ppf
+    "@.=== Replication: ack gating, replica lag, failover blackout ===@.";
+  let ds = Generator.generate (Experiments.dataset_params scale) in
+  let graphs = ds.Generator.graphs in
+  let skeletons = Array.map Pgraph.skeleton graphs in
+  let features = Selection.select skeletons Experiments.mining_params in
+  let structural = Structural.build skeletons features ~emb_cap:64 in
+  let pmi = Pmi.build graphs features in
+  let db0 =
+    { Query.graphs = Corpus.of_array graphs; features; structural; pmi;
+      base = 0 }
+  in
+  let rng = Psst_util.Prng.make (scale.Experiments.seed + 17) in
+  let nq = max 4 scale.Experiments.queries_per_point in
+  let queries =
+    Array.init nq (fun _ -> fst (Generator.extract_query rng ds ~edges:8))
+  in
+  let config = Query.default_config in
+  let nbatch = 10 and bsize = 6 in
+  let pool =
+    (Generator.generate
+       { Generator.default_params with num_graphs = nbatch * bsize;
+         seed = scale.Experiments.seed + 9999 })
+      .Generator.graphs
+  in
+  let batches = Array.init nbatch (fun i -> Array.sub pool (i * bsize) bsize) in
+  let db_final = Array.fold_left Query.add_graphs db0 batches in
+  let offline =
+    Array.map (fun q -> (Query.run db_final q config).Query.answers) queries
+  in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then nan
+    else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+  in
+  let violations = ref [] and vm = Mutex.create () in
+  let violation fmt =
+    Printf.ksprintf
+      (fun s ->
+        Mutex.lock vm;
+        violations := s :: !violations;
+        Mutex.unlock vm)
+      fmt
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let remove_store path =
+    (try Sys.remove path with Sys_error _ -> ());
+    for seq = 1 to nbatch + 4 do
+      try Sys.remove (Psst_ingest.delta_path path seq) with Sys_error _ -> ()
+    done
+  in
+  let fresh_sock () = Filename.temp_file "psst_replica" ".sock" in
+  let counter_of name = Psst_obs.counter_value (Psst_obs.counter name) in
+  (* Feed the batch sequence through one client, retrying retryable
+     rejections (ack-gate timeouts) under the batch's idempotency token;
+     the measured latency is first-send to final ack. *)
+  let feed label endpoint =
+    let c = Psst_client.connect endpoint in
+    Fun.protect
+      ~finally:(fun () -> Psst_client.close c)
+      (fun () ->
+        let lats = Array.make nbatch 0. in
+        let t0 = Unix.gettimeofday () in
+        Array.iteri
+          (fun i b ->
+            let token = Printf.sprintf "%s-batch-%d" label i in
+            let s = Unix.gettimeofday () in
+            let rec go attempts =
+              match Psst_client.add_graphs ~token c b with
+              | Ok r ->
+                if r.Psst_ingest.epoch <> i + 1 then
+                  violation "%s: batch %d acked at epoch %d" label i
+                    r.Psst_ingest.epoch
+              | Error (code, msg) ->
+                if not (Psst_proto.error_code_retryable code) then
+                  violation "%s: batch %d non-retryable rejection %s (%s)"
+                    label i
+                    (Psst_proto.error_code_name code)
+                    msg
+                else if attempts >= 200 then
+                  violation "%s: batch %d never acked (%s)" label i msg
+                else begin
+                  Thread.delay 0.01;
+                  go (attempts + 1)
+                end
+            in
+            go 0;
+            lats.(i) <- Unix.gettimeofday () -. s)
+          batches;
+        let wall = Unix.gettimeofday () -. t0 in
+        Array.sort compare lats;
+        (wall, lats))
+  in
+  let ack_row label (wall, lats) =
+    let row =
+      ( label,
+        nbatch,
+        wall,
+        float_of_int nbatch /. wall,
+        1000. *. percentile lats 0.50,
+        1000. *. percentile lats 0.99 )
+    in
+    let l, n, w, thr, p50, p99 = row in
+    Format.fprintf ppf
+      "%-18s batches %3d  wall %6.2f s  %7.1f acks/s  ack p50 %7.2f ms  \
+       ack p99 %7.2f ms@."
+      l n w thr p50 p99;
+    row
+  in
+  (* Phase 1: standalone ack latency baseline. *)
+  let standalone =
+    let path = Filename.temp_file "psst_replica_solo" ".psst" in
+    Fun.protect ~finally:(fun () -> remove_store path) @@ fun () ->
+    Query.save_database path db0;
+    let pdb, chain = Psst_ingest.load path in
+    let sock = fresh_sock () in
+    let srv =
+      Psst_server.start ~chain
+        { (Psst_server.default_config (Psst_proto.Unix_socket sock)) with
+          Psst_server.domains = 1 }
+        pdb
+    in
+    Fun.protect ~finally:(fun () ->
+        Psst_server.stop srv;
+        try Sys.remove sock with Sys_error _ -> ())
+    @@ fun () -> ack_row "standalone" (feed "solo" (Psst_proto.Unix_socket sock))
+  in
+  (* Phases 2-3: a primary/standby pair behind a replica-aware router. *)
+  let ppath = Filename.temp_file "psst_replica_p" ".psst" in
+  let spath = Filename.temp_file "psst_replica_s" ".psst" in
+  Fun.protect ~finally:(fun () ->
+      remove_store ppath;
+      remove_store spath)
+  @@ fun () ->
+  Query.save_database ppath db0;
+  let oc = open_out_bin spath in
+  output_string oc (read_file ppath);
+  close_out oc;
+  let pdb, pchain = Psst_ingest.load ppath in
+  let sdb, schain = Psst_ingest.load spath in
+  let hub = Psst_replica.hub pchain in
+  let psock = fresh_sock () and ssock = fresh_sock () and rsock = fresh_sock () in
+  let pep = Psst_proto.Unix_socket psock
+  and sep = Psst_proto.Unix_socket ssock in
+  let psrv =
+    Psst_server.start ~chain:pchain ~publisher:(Psst_replica.publisher hub)
+      { (Psst_server.default_config pep) with Psst_server.domains = 1 }
+      pdb
+  in
+  let ssrv =
+    Psst_server.start ~chain:schain
+      { (Psst_server.default_config sep) with Psst_server.domains = 1;
+        writable = false }
+      sdb
+  in
+  let standby =
+    Psst_replica.start_standby ~primary:pep ~chain:schain
+      (Psst_server.snapshot_ref ssrv)
+  in
+  let router =
+    Psst_router.start
+      { (Psst_router.default_config ~endpoint:(Psst_proto.Unix_socket rsock)
+           ~workers:[ pep ])
+        with
+        Psst_router.workers = [| [| pep; sep |] |];
+        retries = 2;
+        shard_timeout_ms = 5000. }
+  in
+  Fun.protect ~finally:(fun () ->
+      Psst_router.stop router;
+      (if not (Psst_server.stopped psrv) then Psst_server.stop psrv);
+      Psst_replica.stop_hub hub;
+      Psst_server.stop ssrv;
+      List.iter
+        (fun s -> try Sys.remove s with Sys_error _ -> ())
+        [ psock; ssock; rsock ])
+  @@ fun () ->
+  (* Wait for the subscription so every measured ack is really gated. *)
+  let subs0 = counter_of "replica.subscribes" in
+  let deadline = Unix.gettimeofday () +. 30. in
+  while
+    counter_of "replica.subscribes" <= subs0
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.005
+  done;
+  if counter_of "replica.subscribes" <= subs0 then
+    violation "replicated: standby never subscribed";
+  (* Phase 2: replicated feed with a lag sampler. *)
+  let stop_sampler = Atomic.make false in
+  let max_lag = ref 0 and lag_samples = ref 0 in
+  let sampler =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop_sampler) do
+          let lag =
+            pchain.Psst_ingest.next_seq - 1 - Psst_replica.applied_seq standby
+          in
+          if lag > !max_lag then max_lag := lag;
+          incr lag_samples;
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  let replicated = ack_row "replicated" (feed "rep" pep) in
+  let deadline = Unix.gettimeofday () +. 30. in
+  while
+    Psst_replica.applied_seq standby < nbatch
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.005
+  done;
+  Atomic.set stop_sampler true;
+  Thread.join sampler;
+  if Psst_replica.applied_seq standby < nbatch then
+    violation "replicated: standby converged to seq %d of %d"
+      (Psst_replica.applied_seq standby)
+      nbatch;
+  if read_file ppath <> read_file spath then
+    violation "replicated: base stores differ";
+  for seq = 1 to nbatch do
+    if
+      read_file (Psst_ingest.delta_path ppath seq)
+      <> read_file (Psst_ingest.delta_path spath seq)
+    then violation "replicated: delta %d differs between chains" seq
+  done;
+  Format.fprintf ppf
+    "replica lag: max %d deltas over %d samples; chains byte-identical  %b@."
+    !max_lag !lag_samples
+    (!violations = []);
+  (* Phase 3: routed query load, failover, promotion. *)
+  let query_round label c =
+    let lats = Array.make (2 * nq) 0. in
+    let t0 = Unix.gettimeofday () in
+    for j = 0 to (2 * nq) - 1 do
+      let qi = j mod nq in
+      let s = Unix.gettimeofday () in
+      (match
+         Psst_client.rpc c
+           (Psst_proto.Run { id = j; query = queries.(qi); config })
+       with
+      | Psst_proto.Answer { answers; stats; _ } ->
+        if stats.Psst_proto.degraded then
+          violation "%s query %d: degraded answer" label qi
+        else if answers <> offline.(qi) then
+          violation "%s query %d: answer differs from offline" label qi
+      | Psst_proto.Error_reply { code; message; _ } ->
+        violation "%s query %d: error %s (%s)" label qi
+          (Psst_proto.error_code_name code)
+          message
+      | _ -> violation "%s query %d: unexpected reply kind" label qi);
+      lats.(j) <- Unix.gettimeofday () -. s
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    Array.sort compare lats;
+    let row =
+      ( label,
+        2 * nq,
+        wall,
+        float_of_int (2 * nq) /. wall,
+        1000. *. percentile lats 0.50,
+        1000. *. percentile lats 0.99 )
+    in
+    let l, n, w, thr, p50, p99 = row in
+    Format.fprintf ppf
+      "%-18s requests %3d  wall %6.2f s  %7.1f req/s  p50 %7.2f ms  \
+       p99 %7.2f ms@."
+      l n w thr p50 p99;
+    row
+  in
+  let failovers0 = counter_of "router.failover" in
+  let c = Psst_client.connect (Psst_router.endpoint router) in
+  let healthy, blackout_ms, failover =
+    Fun.protect
+      ~finally:(fun () -> Psst_client.close c)
+      (fun () ->
+        let healthy = query_round "routed-healthy" c in
+        (* Kill the primary; the blackout is the gap until the router
+           serves an exact answer from the standby. *)
+        let t_kill = Unix.gettimeofday () in
+        Psst_server.stop psrv;
+        Psst_replica.stop_hub hub;
+        let rec first_exact attempts =
+          match
+            Psst_client.rpc c
+              (Psst_proto.Run { id = 9000 + attempts; query = queries.(0);
+                                config })
+          with
+          | Psst_proto.Answer { answers; stats; _ }
+            when (not stats.Psst_proto.degraded) && answers = offline.(0) ->
+            Unix.gettimeofday () -. t_kill
+          | _ when attempts < 400 ->
+            Thread.delay 0.01;
+            first_exact (attempts + 1)
+          | _ ->
+            violation "failover: no exact answer after primary death";
+            Unix.gettimeofday () -. t_kill
+        in
+        let blackout_ms = 1000. *. first_exact 0 in
+        let failover = query_round "routed-failover" c in
+        (healthy, blackout_ms, failover))
+  in
+  if counter_of "router.failover" <= failovers0 then
+    violation "failover: router.failover counter did not grow";
+  Format.fprintf ppf "failover blackout %.2f ms@." blackout_ms;
+  (* Promotion: the survivor accepts writes where the primary left off. *)
+  Psst_replica.promote standby ssrv;
+  let extra =
+    (Generator.generate
+       { Generator.default_params with num_graphs = bsize;
+         seed = scale.Experiments.seed + 31337 })
+      .Generator.graphs
+  in
+  let c = Psst_client.connect sep in
+  Fun.protect
+    ~finally:(fun () -> Psst_client.close c)
+    (fun () ->
+      match Psst_client.add_graphs ~token:"promoted-extra" c extra with
+      | Ok r ->
+        if r.Psst_ingest.epoch <> nbatch + 1 then
+          violation "promotion: extra batch acked at epoch %d, expected %d"
+            r.Psst_ingest.epoch (nbatch + 1)
+      | Error (_, msg) -> violation "promotion: write rejected: %s" msg);
+  if schain.Psst_ingest.next_seq <> nbatch + 2 then
+    violation "promotion: survivor chain at seq %d, expected %d"
+      schain.Psst_ingest.next_seq (nbatch + 2);
+  let ok = !violations = [] in
+  List.iter (fun v -> Format.fprintf ppf "VIOLATION: %s@." v) !violations;
+  Format.fprintf ppf "replication invariants held  %b@." ok;
+  let oc = open_out "BENCH_replica.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let row_json (l, n, w, thr, p50, p99) =
+        Printf.sprintf
+          "{\"label\": %S, \"requests\": %d, \"wall_s\": %.6f, \
+           \"throughput_rps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}"
+          l n w thr p50 p99
+      in
+      Printf.fprintf oc
+        "{\n  \"db_size\": %d,\n  \"batches\": %d,\n  \"batch_size\": %d,\n  \
+         \"distinct_queries\": %d,\n  \"standalone_ingest\": %s,\n  \
+         \"replicated_ingest\": %s,\n  \"replica_lag\": {\"max_deltas\": %d, \
+         \"samples\": %d},\n  \"routed_healthy\": %s,\n  \
+         \"routed_failover\": %s,\n  \"failover_blackout_ms\": %.3f,\n  \
+         \"invariant_held\": %b,\n  \"metrics\": %s}\n"
+        (Array.length graphs) nbatch bsize nq (row_json standalone)
+        (row_json replicated) !max_lag !lag_samples (row_json healthy)
+        (row_json failover) blackout_ms ok
+        (Psst_obs.to_json_string ()));
+  Format.fprintf ppf "wrote BENCH_replica.json@.";
+  if not ok then exit 1
+
 (* Verification hot path on the Fig 9 workload: the same repeated query
    sequence cold (no cache), with the cross-query cache armed, and with
    the cache plus adaptive-precision sampling (DESIGN.md §13). Reports
@@ -1787,6 +2157,7 @@ let () =
     | "shard" -> shard_bench ~scale ppf
     | "chaos" -> chaos ~scale ppf
     | "ingest" -> ingest_bench ~scale ppf
+    | "replica" -> replica_bench ~scale ppf
     | "verify" -> verify_bench ~scale ppf
     | "micro" -> micro ppf
     | "all" ->
@@ -1797,11 +2168,12 @@ let () =
       shard_bench ~scale ppf;
       chaos ~scale ppf;
       ingest_bench ~scale ppf;
+      replica_bench ~scale ppf;
       verify_bench ~scale ppf;
       micro ppf
     | other ->
       Format.fprintf ppf
-        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, shard, chaos, ingest, verify, micro, all)@."
+        "unknown target %S (expected fig9..fig14, ablation, parallel, store, obs, serve, shard, chaos, ingest, replica, verify, micro, all)@."
         other;
       exit 2
   in

@@ -409,18 +409,24 @@ let dataset_wrapper graphs ds_opt =
     }
 
 (* Signal handlers only flip an atomic; the main thread performs the
-   drain outside signal context. *)
-let wait_for_shutdown () =
+   drain (and SIGHUP promotion, when armed) outside signal context. *)
+let wait_for_shutdown ?on_hup () =
   let stop_requested = Atomic.make false in
+  let hup_requested = Atomic.make false in
   let on_signal _ = Atomic.set stop_requested true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  if on_hup <> None then
+    Sys.set_signal Sys.sighup
+      (Sys.Signal_handle (fun _ -> Atomic.set hup_requested true));
   while not (Atomic.get stop_requested) do
+    if Atomic.compare_and_set hup_requested true false then
+      Option.iter (fun f -> f ()) on_hup;
     Thread.delay 0.05
   done;
   Printf.printf "shutdown requested; draining in-flight requests...\n%!"
 
-let serve_worker ?chain endpoint db domains queue_cap deadline_ms
+let serve_worker ?chain ?standby_of endpoint db domains queue_cap deadline_ms
     verify_budget_ms batch_max cache_cap ingest_queue_cap tenant_quota
     stats_json =
   let cfg =
@@ -434,9 +440,32 @@ let serve_worker ?chain endpoint db domains queue_cap deadline_ms
       cache_cap;
       ingest_queue_cap;
       tenant_quota;
+      writable = standby_of = None;
     }
   in
-  let srv = Psst_server.start ?chain cfg db in
+  (* Any server with a persistent chain accepts replication
+     subscriptions and gates its ingest acks on the standbys'
+     acknowledgements; without a chain there is nothing byte-exact to
+     stream. A standby carries a hub too, so once promoted it serves
+     downstream subscribers like the primary it replaced. *)
+  let hub = Option.map Psst_replica.hub chain in
+  let publisher = Option.map Psst_replica.publisher hub in
+  let srv = Psst_server.start ?chain ?publisher cfg db in
+  let standby =
+    match standby_of with
+    | None -> None
+    | Some primary -> (
+      match chain with
+      | None ->
+        die
+          "--standby-of needs --index FILE (the standby persists the \
+           replicated delta chain next to its copy of the base index)"
+      | Some chain ->
+        Some
+          ( Psst_replica.start_standby ~primary ~chain
+              (Psst_server.snapshot_ref srv),
+            primary ))
+  in
   Printf.printf
     "serving on %s (%d domains, queue cap %d, deadline %s, verify budget %s, \
      batch cap %d, cache %s, ingest %s, tenant quota %s)\n%!"
@@ -454,8 +483,33 @@ let serve_worker ?chain endpoint db domains queue_cap deadline_ms
          | None -> ", memory only")
      else "off")
     (if tenant_quota > 0 then string_of_int tenant_quota else "off");
-  wait_for_shutdown ();
+  (match standby with
+  | None -> ()
+  | Some (_, primary) ->
+    Printf.printf
+      "read-only standby of %s: replicating delta frames (SIGHUP promotes \
+       to writable primary)\n%!"
+      (Psst_proto.endpoint_to_string primary));
+  let on_hup =
+    match standby with
+    | None -> None
+    | Some (st, primary) ->
+      Some
+        (fun () ->
+          if not (Psst_server.writable srv) then begin
+            Psst_replica.promote st srv;
+            Printf.printf
+              "promoted: replication from %s stopped at seq %d; now a \
+               writable primary at epoch %d\n%!"
+              (Psst_proto.endpoint_to_string primary)
+              (Psst_replica.applied_seq st)
+              (Psst_server.epoch srv)
+          end)
+  in
+  wait_for_shutdown ?on_hup ();
+  Option.iter (fun (st, _) -> Psst_replica.stop_standby st) standby;
   Psst_server.stop srv;
+  Option.iter Psst_replica.stop_hub hub;
   (match stats_json with
   | None -> ()
   | Some path -> write_stats_json path (Psst_server.traces srv));
@@ -467,10 +521,27 @@ let serve_worker ?chain endpoint db domains queue_cap deadline_ms
     (Psst_server.served srv)
 
 let serve_router endpoint manifest mmap workers shard_timeout_ms shard_retries
-    stats_json =
+    heartbeat_ms stats_json =
   if workers = [] then
-    die "router role: pass --worker ENDPOINT once per shard, in shard order";
-  let workers = Array.of_list (List.map endpoint_of_string workers) in
+    die
+      "router role: pass --worker ENDPOINT[,ENDPOINT...] once per shard, in \
+       shard order (a comma-separated group lists the shard's replicas, \
+       primary first)";
+  if heartbeat_ms < 0. then
+    die "--heartbeat-ms must be >= 0 (0 disables the liveness poller)";
+  let workers =
+    Array.of_list
+      (List.map
+         (fun spec ->
+           let group =
+             String.split_on_char ',' spec |> List.filter (fun s -> s <> "")
+           in
+           if group = [] then
+             die "--worker needs at least one endpoint per shard";
+           Array.of_list (List.map endpoint_of_string group))
+         workers)
+  in
+  let replicas = Array.fold_left (fun acc g -> acc + Array.length g) 0 workers in
   let local_fallback =
     match manifest with
     | None -> None
@@ -503,18 +574,20 @@ let serve_router endpoint manifest mmap workers shard_timeout_ms shard_retries
       workers;
       shard_timeout_ms;
       retries = shard_retries;
+      heartbeat_ms;
       local_fallback;
     }
   in
   let r = Psst_router.start cfg in
   Printf.printf
-    "routing %d shards on %s (per-shard timeout %s, %d retries, local \
-     fallback %s)\n%!"
-    (Array.length workers)
+    "routing %d shards (%d replicas) on %s (per-shard timeout %s, %d \
+     retries, heartbeat %s, local fallback %s)\n%!"
+    (Array.length workers) replicas
     (Psst_proto.endpoint_to_string (Psst_router.endpoint r))
     (if shard_timeout_ms > 0. then Printf.sprintf "%.0f ms" shard_timeout_ms
      else "off")
     shard_retries
+    (if heartbeat_ms > 0. then Printf.sprintf "%.0f ms" heartbeat_ms else "off")
     (match manifest with Some p -> p | None -> "off");
   wait_for_shutdown ();
   Psst_router.stop r;
@@ -526,20 +599,34 @@ let serve_router endpoint manifest mmap workers shard_timeout_ms shard_retries
 let serve num_graphs seed input index_file mmap socket port host domains
     queue_cap deadline_ms verify_budget_ms batch_max cache_cap
     ingest_queue_cap tenant_quota stats_json role manifest shard_id workers
-    shard_timeout_ms shard_retries =
+    shard_timeout_ms shard_retries heartbeat_ms standby_of promote =
   or_die @@ fun () ->
   if ingest_queue_cap < 0 then
     die "--ingest-queue-cap must be >= 0 (0 disables ingest), got %d"
       ingest_queue_cap;
   if tenant_quota < 0 then
     die "--tenant-quota must be >= 0 (0 disables quotas), got %d" tenant_quota;
+  let standby_of = Option.map endpoint_of_string standby_of in
+  if standby_of <> None && promote then
+    die
+      "--standby-of and --promote are exclusive: start the standby without \
+       --promote and send it SIGHUP to promote it live, or restart the \
+       stopped standby with --promote alone";
   let endpoint = endpoint_of socket port host in
   match role with
   | `Router ->
+    if standby_of <> None || promote then
+      die "--standby-of and --promote are for --role worker";
     serve_router endpoint manifest mmap workers shard_timeout_ms shard_retries
-      stats_json
+      heartbeat_ms stats_json
   | `Worker ->
     if workers <> [] then die "--worker is for --role router";
+    if standby_of <> None && manifest <> None then
+      die "--standby-of replicates a whole worker, not a shard";
+    if promote && index_file = None then
+      die
+        "--promote needs --index FILE (the standby's base index, whose \
+         replicated delta chain carries every acked batch)";
     let db, chain =
       match (manifest, shard_id) with
       | Some mpath, Some sid ->
@@ -584,7 +671,14 @@ let serve num_graphs seed input index_file mmap socket port host domains
       end
       else ingest_queue_cap
     in
-    serve_worker ?chain endpoint db domains queue_cap deadline_ms
+    (match (promote, chain) with
+    | true, Some c ->
+      Printf.printf
+        "promoted: serving the replicated chain of %s writable (next delta \
+         seq %d)\n%!"
+        c.Psst_ingest.base c.Psst_ingest.next_seq
+    | _ -> ());
+    serve_worker ?chain ?standby_of endpoint db domains queue_cap deadline_ms
       verify_budget_ms batch_max cache_cap ingest_queue_cap tenant_quota
       stats_json
 
@@ -645,12 +739,17 @@ let client socket port host num_graphs seed qsize nqueries epsilon delta
           h.Psst_proto.ingest_applied;
         List.iter
           (fun (w : Psst_proto.worker_health) ->
+            let who =
+              if w.primary then Printf.sprintf "replica %d, primary" w.rid
+              else Printf.sprintf "replica %d" w.rid
+            in
             if w.reachable then
               Printf.printf
-                "  worker %d: up %.1fs, queue depth %d, degraded answers %d\n%!"
-                w.wid w.worker_uptime_s w.worker_queue_depth
-                w.worker_degraded_answers
-            else Printf.printf "  worker %d: unreachable\n%!" w.wid)
+                "  worker %d (%s): up %.1fs, queue depth %d, degraded \
+                 answers %d, epoch %d\n%!"
+                w.wid who w.worker_uptime_s w.worker_queue_depth
+                w.worker_degraded_answers w.worker_epoch
+            else Printf.printf "  worker %d (%s): unreachable\n%!" w.wid who)
           h.Psst_proto.workers
       end;
       if nqueries > 0 then begin
@@ -1059,10 +1158,14 @@ let serve_cmd =
   let workers =
     Arg.(
       value & opt_all string []
-      & info [ "worker" ] ~docv:"ENDPOINT"
+      & info [ "worker" ] ~docv:"GROUP"
           ~doc:
-            "Router role: a worker endpoint (unix:PATH or tcp:HOST:PORT), \
-             repeated once per shard, in shard order.")
+            "Router role: one shard's worker endpoints (unix:PATH or \
+             tcp:HOST:PORT), repeated once per shard, in shard order. A \
+             comma-separated group lists the shard's replicas, primary \
+             first; the router prefers the primary and fails over to the \
+             freshest live standby when it dies (failing back once it \
+             returns).")
   in
   let shard_timeout_ms =
     Arg.(
@@ -1081,6 +1184,42 @@ let serve_cmd =
             "Router role: reconnect-and-resend attempts per worker per \
              request before the degradation ladder applies.")
   in
+  let heartbeat_ms =
+    Arg.(
+      value & opt float 500.
+      & info [ "heartbeat-ms" ] ~docv:"MS"
+          ~doc:
+            "Router role: liveness-poll cadence over every replica of \
+             every shard (jittered); the poller revives recovered \
+             replicas, fails back to returned primaries and feeds the \
+             router.replica_lag metric. 0 disables it — failover then \
+             relies on request-path failures alone.")
+  in
+  let standby_of =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "standby-of" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Worker role, with --index: start as a read-only standby of \
+             the primary at $(docv). The standby subscribes to the \
+             primary's delta stream, persists every frame byte-identically \
+             next to its copy of the base index, and answers queries \
+             bit-identically at its applied epoch; Add_graphs is rejected \
+             with a retryable error. SIGHUP promotes it live to a \
+             writable primary.")
+  in
+  let promote =
+    Arg.(
+      value & flag
+      & info [ "promote" ]
+          ~doc:
+            "Worker role, with --index: serve a stopped standby's base \
+             index and replicated delta chain as a writable primary \
+             (offline promotion). Every batch the old primary ever acked \
+             is in that chain. Exclusive with --standby-of (promote a \
+             running standby with SIGHUP instead).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1088,13 +1227,16 @@ let serve_cmd =
           once, then answer T-PS and top-k queries over a framed binary \
           protocol until SIGTERM/SIGINT (graceful drain). --role router \
           turns the process into a scatter-gather front over shard \
-          workers instead.")
+          workers instead. --standby-of replicates a primary for \
+          failover; --promote (or SIGHUP) turns the standby into the new \
+          primary without losing an acked batch.")
     Term.(
       const serve $ num_graphs_arg $ seed_arg $ input_arg $ index_file $ mmap
       $ socket_arg $ port_arg $ host_arg $ domains $ queue_cap $ deadline_ms
       $ verify_budget_ms $ batch_max $ cache_cap $ ingest_queue_cap
       $ tenant_quota $ stats_json $ role $ manifest $ shard_id $ workers
-      $ shard_timeout_ms $ shard_retries)
+      $ shard_timeout_ms $ shard_retries $ heartbeat_ms $ standby_of
+      $ promote)
 
 let client_cmd =
   let qsize =

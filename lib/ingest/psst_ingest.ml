@@ -18,10 +18,13 @@ let m_batches = Psst_obs.counter "ingest.batches"
 let m_graphs = Psst_obs.counter "ingest.graphs"
 let m_rejects = Psst_obs.counter "ingest.rejects"
 let m_stale = Psst_obs.counter "ingest.delta.stale"
+let m_dedup = Psst_obs.counter "ingest.dedup"
+let m_lagging = Psst_obs.counter "ingest.replication.lagging"
 let m_queue_depth = Psst_obs.histogram ~lo:1. ~hi:1e6 "ingest.queue.depth"
 let m_apply = Psst_obs.histogram "ingest.apply_s"
 
 type snapshot = { epoch : int; db : Query.database }
+type result = { epoch : int; base : int; count : int }
 
 (* --- delta-file persistence --- *)
 
@@ -56,8 +59,7 @@ let save_delta chain ~prev_count graphs =
    fingerprint pins the delta to its base file and the count pins its
    position, so replay after a base rebuild or out of order is caught
    here instead of producing a silently different database. *)
-let read_delta chain ~seq ~prev_count =
-  let sections = S.read_file (delta_path chain.base seq) ~kind:S.Delta in
+let decode_delta_sections chain ~seq ~prev_count sections =
   let stored_seq, fp, stored_prev, count =
     S.decode_section sections "delta.meta" (fun d ->
         let stored_seq = S.get_nat d in
@@ -85,6 +87,37 @@ let read_delta chain ~seq ~prev_count =
     S.error "delta %d of %s holds %d graphs, its metadata says %d" seq
       chain.base (Array.length graphs) count;
   graphs
+
+let read_delta chain ~seq ~prev_count =
+  decode_delta_sections chain ~seq ~prev_count
+    (S.read_file (delta_path chain.base seq) ~kind:S.Delta)
+
+let decode_delta chain ~seq ~prev_count bytes =
+  decode_delta_sections chain ~seq ~prev_count (S.read_string bytes ~kind:S.Delta)
+
+(* Raw bytes of a persisted delta, checksum-verified before they leave —
+   the replication hub streams these so a standby's file is the exact
+   bytes of the primary's, not a re-encoding. *)
+let delta_bytes chain ~seq =
+  let path = delta_path chain.base seq in
+  let bytes =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error m -> S.error "cannot read delta %d of %s: %s" seq chain.base m
+  in
+  (* Verify every checksum and the seq/fingerprint stamps before the
+     bytes leave this process; the prev_count in the file is trusted as
+     stored — the subscriber re-checks it against its own database. *)
+  let sections = S.read_string bytes ~kind:S.Delta in
+  let stored_prev =
+    S.decode_section sections "delta.meta" (fun d ->
+        let _seq = S.get_nat d in
+        let _fp = S.get_i32 d in
+        let stored_prev = S.get_nat d in
+        let _count = S.get_nat d in
+        stored_prev)
+  in
+  ignore (decode_delta_sections chain ~seq ~prev_count:stored_prev sections);
+  bytes
 
 let apply_deltas ~base db =
   let chain =
@@ -128,19 +161,122 @@ let clear_deltas path =
   in
   go 1 0
 
+(* --- the replicated-apply path (standby side) --- *)
+
+(* Same site Psst_store.write_file fires at, so a chaos plan arming
+   "store.write" hits the standby's verbatim persist exactly like the
+   primary's section writer. *)
+let fault_write = Psst_fault.site "store.write"
+
+(* Persist a received delta byte-for-byte with the store's tmp+rename
+   discipline (and its write-fault semantics: Fail/Partial_io abandon
+   the temporary, Bitflip completes the rename with one damaged byte —
+   which the next load's checksums refuse). *)
+let write_verbatim path bytes =
+  let fault = Psst_fault.fire fault_write in
+  (if fault = Some Psst_fault.Fail then
+     raise (Psst_fault.Injected "injected fault at site store.write"));
+  let data =
+    match fault with
+    | Some Psst_fault.Bitflip when String.length bytes > 0 ->
+      let b = Bytes.of_string bytes in
+      let pos = Psst_fault.draw_int fault_write (Bytes.length b) in
+      let bit = Psst_fault.draw_int fault_write 8 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      Bytes.unsafe_to_string b
+    | _ -> bytes
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match fault with
+  | Some Psst_fault.Partial_io ->
+    let cut =
+      if String.length data = 0 then 0
+      else Psst_fault.draw_int fault_write (String.length data)
+    in
+    output_substring oc data 0 cut;
+    close_out oc;
+    raise (Psst_fault.Injected "injected fault at site store.write")
+  | Some (Psst_fault.Delay s) ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc data;
+        flush oc;
+        Unix.sleepf s)
+  | _ ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc data));
+  Sys.rename tmp path
+
+let apply_replicated chain db_ref ~seq ~bytes =
+  if seq < chain.next_seq then `Stale
+  else if seq > chain.next_seq then
+    `Error
+      (Printf.sprintf "delta stream gap: expected seq %d, received %d"
+         chain.next_seq seq)
+  else begin
+    let snap = Atomic.get db_ref in
+    let prev_count = Corpus.length snap.db.Query.graphs in
+    match
+      let graphs = decode_delta chain ~seq ~prev_count bytes in
+      let db' = Query.add_graphs snap.db graphs in
+      write_verbatim (delta_path chain.base seq) bytes;
+      (graphs, db')
+    with
+    | graphs, db' ->
+      (* Same persist-before-swap ordering as the primary's writer: the
+         bytes are on disk (verbatim, hence byte-identical chains) before
+         the epoch is visible to readers, so an acked seq is always
+         reloadable. The replication thread is this process's single
+         writer — client Add_graphs is rejected while in standby. *)
+      Atomic.set db_ref { epoch = snap.epoch + 1; db = db' };
+      chain.next_seq <- seq + 1;
+      Psst_obs.incr m_batches;
+      Psst_obs.add m_graphs (Array.length graphs);
+      `Applied
+        {
+          epoch = snap.epoch + 1;
+          base = snap.db.Query.base + prev_count;
+          count = Array.length graphs;
+        }
+    | exception e ->
+      Psst_obs.incr m_rejects;
+      let msg =
+        match e with
+        | S.Store_error m -> m
+        | Psst_fault.Injected m -> m
+        | Sys_error m -> m
+        | e -> Printexc.to_string e
+      in
+      Psst_obs.warn ~code:"ingest.apply" msg;
+      `Error msg
+  end
+
 (* --- the single-writer pipeline --- *)
 
-type result = { epoch : int; base : int; count : int }
+type publish = seq:int -> [ `Replicated | `No_standby | `Lagging of string ]
 
 type batch = {
   tenant : string;
+  token : string;  (* idempotency key; "" = dedup disabled *)
   graphs : Pgraph.t array;
   ack : (result, string) Result.t -> unit;
 }
 
+(* One remembered ack per idempotency token, writer-thread-only. [seq]
+   is the delta the batch persisted as (None when persistence is off),
+   so a retry of a batch whose first ack was blocked on replication can
+   re-await the same seq instead of ingesting twice. *)
+type remembered = { r_result : result; r_seq : int option }
+
+let token_cap = 4096
+
 type t = {
   db_ref : snapshot Atomic.t;
   chain : chain option;
+  publish : publish option;
   queue_cap : int;
   tenant_quota : int;
   mutex : Mutex.t;
@@ -150,6 +286,8 @@ type t = {
   mutable queued : int;  (* total queued graphs, guarded by mutex *)
   mutable stopping : bool;
   applied : int Atomic.t;  (* graphs applied to the live database *)
+  tokens : (string, remembered) Hashtbl.t;  (* writer thread only *)
+  token_fifo : string Queue.t;  (* insertion order, for bounded eviction *)
   mutable writer : Thread.t option;
 }
 
@@ -164,49 +302,90 @@ let applied_graphs t = Atomic.get t.applied
 let tenant_queued t tenant =
   Option.value (Hashtbl.find_opt t.per_tenant tenant) ~default:0
 
+(* Remember an applied batch's ack under its idempotency token (bounded:
+   oldest tokens are evicted past [token_cap]). Writer thread only. *)
+let remember t token r_result r_seq =
+  if token <> "" then begin
+    if not (Hashtbl.mem t.tokens token) then begin
+      Queue.add token t.token_fifo;
+      while Queue.length t.token_fifo > token_cap do
+        Hashtbl.remove t.tokens (Queue.pop t.token_fifo)
+      done
+    end;
+    Hashtbl.replace t.tokens token { r_result; r_seq }
+  end
+
+(* Acked batches must be on the standby's disk too (semi-synchronous
+   replication): the ack waits for the subscriber. A lagging or dead
+   subscriber turns the ack into a retryable error — the batch stays
+   applied and persisted locally, and the retry (same token) re-awaits
+   replication of the same seq instead of re-ingesting. *)
+let ack_after_publish t ~seq ~result ack =
+  match t.publish with
+  | None -> ack (Ok result)
+  | Some pub -> (
+    match (match seq with Some seq -> pub ~seq | None -> `No_standby) with
+    | `Replicated | `No_standby -> ack (Ok result)
+    | `Lagging msg ->
+      Psst_obs.incr m_lagging;
+      Psst_obs.warn ~code:"ingest.replication" msg;
+      ack (Error ("replication lagging: " ^ msg)))
+
 let apply_one t b =
   let n = Array.length b.graphs in
-  if n = 0 then
-    b.ack (Ok { epoch = (Atomic.get t.db_ref).epoch; base = 0; count = 0 })
-  else begin
-    let snap = Atomic.get t.db_ref in
-    let prev_count = Corpus.length snap.db.Query.graphs in
-    match
-      let db', dt =
-        Psst_util.Timer.time (fun () -> Query.add_graphs snap.db b.graphs)
-      in
-      Option.iter (fun chain -> save_delta chain ~prev_count b.graphs) t.chain;
-      (db', dt)
-    with
-    | db', dt ->
-      (* Persisted (when armed) and built: publish. The single writer is
-         the only mutator, so a plain set is a race-free epoch swap. *)
-      Atomic.set t.db_ref { epoch = snap.epoch + 1; db = db' };
-      Atomic.fetch_and_add t.applied n |> ignore;
-      Psst_obs.incr m_batches;
-      Psst_obs.add m_graphs n;
-      Psst_obs.observe m_apply dt;
-      b.ack
-        (Ok
-           {
-             epoch = snap.epoch + 1;
-             base = snap.db.Query.base + prev_count;
-             count = n;
-           })
-    | exception e ->
-      (* Injected store.write fault, a full disk, or an invalid graph:
-         nothing was published, so the caller may simply retry. *)
-      Psst_obs.incr m_rejects;
-      let msg =
-        match e with
-        | S.Store_error m -> m
-        | Psst_fault.Injected m -> m
-        | Sys_error m -> m
-        | e -> Printexc.to_string e
-      in
-      Psst_obs.warn ~code:"ingest.apply" msg;
-      b.ack (Error ("ingest batch failed: " ^ msg))
-  end
+  match if b.token = "" then None else Hashtbl.find_opt t.tokens b.token with
+  | Some { r_result; r_seq } ->
+    (* A retry of an already-applied batch: answer with the original ack
+       (after replication of its seq, as for a first attempt). *)
+    Psst_obs.incr m_dedup;
+    ack_after_publish t ~seq:r_seq ~result:r_result b.ack
+  | None ->
+    if n = 0 then
+      b.ack (Ok { epoch = (Atomic.get t.db_ref).epoch; base = 0; count = 0 })
+    else begin
+      let snap = Atomic.get t.db_ref in
+      let prev_count = Corpus.length snap.db.Query.graphs in
+      match
+        let db', dt =
+          Psst_util.Timer.time (fun () -> Query.add_graphs snap.db b.graphs)
+        in
+        Option.iter (fun chain -> save_delta chain ~prev_count b.graphs) t.chain;
+        (db', dt)
+      with
+      | db', dt ->
+        (* Persisted (when armed) and built: publish. The single writer is
+           the only mutator, so a plain set is a race-free epoch swap. *)
+        Atomic.set t.db_ref { epoch = snap.epoch + 1; db = db' };
+        Atomic.fetch_and_add t.applied n |> ignore;
+        Psst_obs.incr m_batches;
+        Psst_obs.add m_graphs n;
+        Psst_obs.observe m_apply dt;
+        let result =
+          {
+            epoch = snap.epoch + 1;
+            base = snap.db.Query.base + prev_count;
+            count = n;
+          }
+        in
+        let seq =
+          match t.chain with Some c -> Some (c.next_seq - 1) | None -> None
+        in
+        remember t b.token result seq;
+        ack_after_publish t ~seq ~result b.ack
+      | exception e ->
+        (* Injected store.write fault, a full disk, or an invalid graph:
+           nothing was published, so the caller may simply retry. *)
+        Psst_obs.incr m_rejects;
+        let msg =
+          match e with
+          | S.Store_error m -> m
+          | Psst_fault.Injected m -> m
+          | Sys_error m -> m
+          | e -> Printexc.to_string e
+        in
+        Psst_obs.warn ~code:"ingest.apply" msg;
+        b.ack (Error ("ingest batch failed: " ^ msg))
+    end
 
 let writer_loop t =
   let rec loop () =
@@ -233,7 +412,7 @@ let writer_loop t =
   in
   loop ()
 
-let create ?chain ?(tenant_quota = 0) ~queue_cap db_ref =
+let create ?chain ?publish ?(tenant_quota = 0) ~queue_cap db_ref =
   if queue_cap < 1 then invalid_arg "Psst_ingest: queue_cap must be >= 1";
   if tenant_quota < 0 then
     invalid_arg "Psst_ingest: tenant_quota must be >= 0";
@@ -241,6 +420,7 @@ let create ?chain ?(tenant_quota = 0) ~queue_cap db_ref =
     {
       db_ref;
       chain;
+      publish;
       queue_cap;
       tenant_quota;
       mutex = Mutex.create ();
@@ -250,6 +430,8 @@ let create ?chain ?(tenant_quota = 0) ~queue_cap db_ref =
       queued = 0;
       stopping = false;
       applied = Atomic.make 0;
+      tokens = Hashtbl.create 64;
+      token_fifo = Queue.create ();
       writer = None;
     }
   in
@@ -263,7 +445,7 @@ let create ?chain ?(tenant_quota = 0) ~queue_cap db_ref =
          ());
   t
 
-let submit t ~tenant graphs ~ack =
+let submit ?(token = "") t ~tenant graphs ~ack =
   let n = Array.length graphs in
   Mutex.lock t.mutex;
   let verdict =
@@ -272,7 +454,7 @@ let submit t ~tenant graphs ~ack =
     else if t.tenant_quota > 0 && tenant_queued t tenant + n > t.tenant_quota
     then `Quota
     else begin
-      Queue.add { tenant; graphs; ack } t.pending;
+      Queue.add { tenant; token; graphs; ack } t.pending;
       t.queued <- t.queued + n;
       Hashtbl.replace t.per_tenant tenant (tenant_queued t tenant + n);
       Psst_obs.observe m_queue_depth (float_of_int t.queued);

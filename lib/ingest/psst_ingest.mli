@@ -32,6 +32,10 @@
     batches since process start; [db] is immutable. *)
 type snapshot = { epoch : int; db : Query.database }
 
+(** What an applied batch reports back: the new epoch and the global id
+    range [base .. base + count - 1] of the inserted graphs. *)
+type result = { epoch : int; base : int; count : int }
+
 (** {1 Delta-file persistence} *)
 
 (** [delta_path base k] = [base ^ ".delta.K"] — delta [k] (1-based) of
@@ -51,6 +55,39 @@ type chain = { base : string; base_fp : int32; mutable next_seq : int }
     / [Psst_fault.Injected] / [Sys_error] on failure, in which case no
     delta was added ([next_seq] is not advanced). *)
 val save_delta : chain -> prev_count:int -> Pgraph.t array -> unit
+
+(** [decode_delta chain ~seq ~prev_count bytes] decodes one delta from
+    raw file contents with the full chain validation of a file read:
+    checksums, sequence number, base fingerprint and the graph count it
+    chains onto. [Psst_store.Store_error] on any anomaly. A replication
+    subscriber runs this on every received frame {e before} persisting
+    anything. *)
+val decode_delta :
+  chain -> seq:int -> prev_count:int -> string -> Pgraph.t array
+
+(** [delta_bytes chain ~seq] — the raw on-disk bytes of delta [seq],
+    checksum-verified before they leave (so local disk rot is caught
+    here, not on the standby). [Psst_store.Store_error] when the file is
+    missing, unreadable or damaged. The replication hub streams these:
+    a subscriber persisting them verbatim ends up with a chain
+    byte-identical to the primary's. *)
+val delta_bytes : chain -> seq:int -> string
+
+(** [apply_replicated chain db_ref ~seq ~bytes] — the standby's write
+    path: validate [bytes] with {!decode_delta} against the current
+    snapshot, persist them verbatim (tmp+rename; the ["store.write"]
+    fault site applies), then publish the new epoch and advance the
+    chain — the same persist-before-swap ordering as the primary's
+    writer. [`Stale] when [seq] was already applied (a reconnect replay:
+    harmless), [`Error] on a gap, damaged bytes or a failed persist — in
+    which case nothing was persisted or published. The caller must be
+    the process's only database mutator. *)
+val apply_replicated :
+  chain ->
+  snapshot Atomic.t ->
+  seq:int ->
+  bytes:string ->
+  [ `Applied of result | `Stale | `Error of string ]
 
 (** [apply_deltas ~base db] replays the delta chain of [base] on top of
     [db] (the freshly-loaded base database): returns the extended
@@ -76,37 +113,60 @@ val clear_deltas : string -> int
 
 type t
 
-(** What an applied batch reports back: the new epoch and the global id
-    range [base .. base + count - 1] of the inserted graphs. *)
-type result = { epoch : int; base : int; count : int }
+(** The replication gate the writer consults before acking an applied
+    batch: called with the seq the batch persisted as, after the epoch
+    swap. [`Replicated] / [`No_standby] let the ack through;
+    [`Lagging msg] turns it into a retryable error (the batch stays
+    applied and persisted locally — the client's retry, carrying the
+    same idempotency token, re-awaits the same seq). *)
+type publish = seq:int -> [ `Replicated | `No_standby | `Lagging of string ]
 
-(** [create ?chain ?tenant_quota ~queue_cap db_ref] spawns the writer
-    thread. [db_ref] is the epoch-swapped database the server serves
-    from; the writer is its only mutator. [queue_cap] bounds the total
-    graphs queued across tenants (>= 1); [tenant_quota] (default 0 =
-    unlimited) bounds the graphs one tenant may have queued. [chain]
-    arms delta persistence: every batch is persisted {e before} the
-    epoch swap, so an acknowledged batch is always on disk and a failed
-    write rejects the batch with the database unchanged. *)
+(** [create ?chain ?publish ?tenant_quota ~queue_cap db_ref] spawns the
+    writer thread. [db_ref] is the epoch-swapped database the server
+    serves from; the writer is its only mutator. [queue_cap] bounds the
+    total graphs queued across tenants (>= 1); [tenant_quota] (default
+    0 = unlimited) bounds the graphs one tenant may have queued.
+    [chain] arms delta persistence: every batch is persisted {e before}
+    the epoch swap, so an acknowledged batch is always on disk and a
+    failed write rejects the batch with the database unchanged.
+    [publish] arms semi-synchronous replication (see {!publish}); it is
+    only consulted when [chain] is armed too — without persistence
+    there are no delta bytes to stream. *)
 val create :
-  ?chain:chain -> ?tenant_quota:int -> queue_cap:int -> snapshot Atomic.t -> t
+  ?chain:chain ->
+  ?publish:publish ->
+  ?tenant_quota:int ->
+  queue_cap:int ->
+  snapshot Atomic.t ->
+  t
 
-(** [submit t ~tenant graphs ~ack] — enqueue one batch. [`Queued] hands
-    the batch to the writer, which eventually calls [ack] (on the writer
-    thread) with [Ok result] after the epoch swap or [Error msg] when
-    applying or persisting failed (the database is unchanged; the
+(** [submit ?token t ~tenant graphs ~ack] — enqueue one batch. [`Queued]
+    hands the batch to the writer, which eventually calls [ack] (on the
+    writer thread) with [Ok result] after the epoch swap or [Error msg]
+    when applying or persisting failed (the database is unchanged; the
     condition is transient, so the caller should answer with a retryable
     error). [`Full]/[`Quota] reject without queueing — [ack] is never
     called — when the queue or the tenant's quota cannot take
     [Array.length graphs] more graphs; [`Stopped] likewise after
     {!stop} began. Empty batches are applied trivially (no epoch swap,
-    [count = 0]). *)
+    [count = 0]).
+
+    [token] (default [""] = disabled) is the batch's idempotency key:
+    when the writer has already applied a batch with the same token, it
+    answers with the remembered ack instead of ingesting again — the
+    contract that makes retrying an unacked [Add_graphs] safe. The
+    writer remembers the last {!token_cap} tokens. *)
 val submit :
+  ?token:string ->
   t ->
   tenant:string ->
   Pgraph.t array ->
   ack:((result, string) Result.t -> unit) ->
   [ `Queued | `Full | `Quota | `Stopped ]
+
+(** Capacity of the writer's token-dedup memory (oldest evicted past
+    it). *)
+val token_cap : int
 
 (** Graphs queued but not yet applied — the ingest lag. *)
 val queued_graphs : t -> int

@@ -94,6 +94,7 @@ let send_raw c bytes = Proto.write_frame_fd ?deadline:(deadline c) c.fd bytes
 let send c req = send_raw c (Proto.encode_request req)
 let read_reply c = Proto.read_reply_fd ?deadline:(deadline c) c.fd
 let half_close c = Unix.shutdown c.fd Unix.SHUTDOWN_SEND
+let descriptor c = c.fd
 
 let rpc c req =
   send c req;
@@ -122,8 +123,21 @@ let set_tenant c name =
     client_error "set_tenant: server rejected %S: %s" name message
   | _ -> raise (Client_error "set_tenant: unexpected reply")
 
-let add_graphs ?(id = 0) c graphs =
-  match rpc c (Proto.Add_graphs { id; graphs }) with
+(* Auto-generated idempotency tokens: one prefix per process (pid +
+   start time), one suffix per batch. Unique across every client that
+   could retry against the same server, with no coordination. *)
+let token_counter = Atomic.make 0
+
+let token_prefix =
+  lazy (Printf.sprintf "%d.%.0f" (Unix.getpid ()) (Unix.gettimeofday () *. 1e6))
+
+let fresh_token () =
+  Printf.sprintf "%s.%d" (Lazy.force token_prefix)
+    (Atomic.fetch_and_add token_counter 1)
+
+let add_graphs ?(id = 0) ?token c graphs =
+  let token = match token with Some t -> t | None -> fresh_token () in
+  match rpc c (Proto.Add_graphs { id; token; graphs }) with
   | Proto.Ingest_ack { id = rid; epoch; base; count } ->
     if rid <> id then raise (Client_error "add_graphs: reply id mismatch");
     Ok { Psst_ingest.epoch; base; count }
@@ -172,7 +186,8 @@ let run_all ?(max_retries = 0) ?(backoff_ms = 50.) c queries config =
               match reply with
               | Proto.Answer { id; _ } | Proto.Error_reply { id; _ } -> id
               | Proto.Pong | Proto.Topk_answer _ | Proto.Stats_json _
-              | Proto.Health_reply _ | Proto.Ingest_ack _ ->
+              | Proto.Health_reply _ | Proto.Ingest_ack _ | Proto.Delta_frame _
+                ->
                 raise (Client_error "run_all: unexpected reply kind")
             in
             if id < 0 || id >= n then

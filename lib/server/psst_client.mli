@@ -35,6 +35,11 @@ val read_reply : t -> Psst_proto.reply
 val send_raw : t -> string -> unit
 val half_close : t -> unit
 
+(** The connection's descriptor — for callers multiplexing their own
+    waits ([select]) around {!read_reply}, e.g. the replication
+    standby's stop-reactive stream reader. *)
+val descriptor : t -> Unix.file_descr
+
 (** [rpc c req] — send one request, read one reply. Low-level: transport
     exceptions ([End_of_file], [Proto_error], [Timed_out]) propagate. *)
 val rpc : t -> Psst_proto.request -> Psst_proto.reply
@@ -62,9 +67,16 @@ val set_tenant : t -> string -> unit
     [r.base .. r.base + r.count - 1] and every query sent after this
     returns observes epoch [r.epoch]. [Error (code, msg)] carries the
     server's rejection; retryable codes (queue full, quota, shutdown,
-    ingest disabled) left the database unchanged. *)
+    ingest disabled) left the database unchanged.
+
+    [token] is the batch's idempotency key (protocol v6): resending a
+    batch whose first ack was lost in transit, with the {e same} token,
+    returns the original ack instead of ingesting twice. By default a
+    fresh process-unique token is generated per call — pass an explicit
+    one to tie a retry to its first attempt, or [""] to disable dedup. *)
 val add_graphs :
   ?id:int ->
+  ?token:string ->
   t ->
   Pgraph.t array ->
   (Psst_ingest.result, Psst_proto.error_code * string) result

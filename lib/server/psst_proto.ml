@@ -27,7 +27,18 @@
    them is malformed, matching what a pre-v5 server would answer — and
    the health fields are dropped for pre-v5 peers and default to zero
    when decoding pre-v5 frames. Pre-v5 peers never emit the new tags, so
-   plain query traffic is untouched. *)
+   plain query traffic is untouched.
+
+   Version 6 added replication and failover: the [Subscribe] and
+   [Replica_ack] requests and the [Delta_frame] reply carry a standby's
+   delta-stream subscription (DESIGN.md §17), [Add_graphs] gains a
+   client-chosen idempotency token (the writer dedups retries on it),
+   and roster slots in [Health_reply] gain the replica id / ingest
+   epoch / primary-flag triple a replica-aware router reports. All of it
+   is gated both ways: the new tags decode only from v6 frames, the
+   token is dropped when encoding for a pre-v6 peer and defaults to ""
+   on pre-v6 decode, and the roster triple is dropped / defaulted the
+   same way — pre-v6 peers keep their exact wire format. *)
 
 module S = Psst_store
 module Crc32 = Psst_util.Crc32
@@ -36,7 +47,7 @@ exception Proto_error of string
 exception Timed_out
 
 let error fmt = Printf.ksprintf (fun msg -> raise (Proto_error msg)) fmt
-let proto_version = 5
+let proto_version = 6
 let min_proto_version = 1
 let magic = "PSSTRPC\x00"
 let header_bytes = 24
@@ -115,13 +126,19 @@ let stats_of_query (s : Query.stats) =
     degraded = s.degraded_candidates > 0;
   }
 
-(* One worker's slot in a router's aggregated health roster (v4+). *)
+(* One worker's slot in a router's aggregated health roster (v4+). The
+   replica triple (v6+) defaults to "sole primary at epoch 0" when
+   decoding older frames, which is exactly what a pre-v6 router's
+   single-worker shards were. *)
 type worker_health = {
   wid : int;  (* shard / worker index in the router's configuration *)
   reachable : bool;
   worker_uptime_s : float;
   worker_queue_depth : int;
   worker_degraded_answers : int;
+  rid : int;  (* replica index within the shard's group (v6+; 0 before) *)
+  worker_epoch : int;  (* the replica's applied ingest epoch (v6+) *)
+  primary : bool;  (* currently the shard's serving replica (v6+) *)
 }
 
 type health = {
@@ -145,7 +162,9 @@ type request =
   | Get_stats
   | Get_health
   | Set_tenant of string
-  | Add_graphs of { id : int; graphs : Pgraph.t array }
+  | Add_graphs of { id : int; token : string; graphs : Pgraph.t array }
+  | Subscribe of { from_seq : int }
+  | Replica_ack of { seq : int }
 
 type reply =
   | Pong
@@ -155,9 +174,12 @@ type reply =
   | Health_reply of health
   | Error_reply of { id : int; code : error_code; message : string }
   | Ingest_ack of { id : int; epoch : int; base : int; count : int }
+  | Delta_frame of { seq : int; bytes : string }
 
 let request_id = function
-  | Ping | Get_stats | Get_health | Set_tenant _ -> 0
+  | Ping | Get_stats | Get_health | Set_tenant _ | Subscribe _
+  | Replica_ack _ ->
+    0
   | Run { id; _ } | Run_topk { id; _ } | Add_graphs { id; _ } -> id
 
 (* --- message payloads (tag + Psst_store-encoded body) --- *)
@@ -169,6 +191,8 @@ and tag_get_stats = 4
 and tag_get_health = 5
 and tag_set_tenant = 6
 and tag_add_graphs = 7
+and tag_subscribe = 8
+and tag_replica_ack = 9
 
 let tag_pong = 65
 and tag_answer = 66
@@ -177,6 +201,7 @@ and tag_stats_json = 68
 and tag_error = 69
 and tag_health = 70
 and tag_ingest_ack = 71
+and tag_delta_frame = 72
 
 let encode_request_payload ~version = function
   | Ping -> (tag_ping, "")
@@ -202,11 +227,22 @@ let encode_request_payload ~version = function
     let e = S.encoder () in
     S.put_string e name;
     (tag_set_tenant, S.contents e)
-  | Add_graphs { id; graphs } ->
+  | Add_graphs { id; token; graphs } ->
     let e = S.encoder () in
     S.put_i64 e id;
+    (* Version 1–5 predate idempotency tokens; dropping one only loses
+       dedup of the pre-v6 peer's retries, never the batch itself. *)
+    if version >= 6 then S.put_string e token;
     S.put_array e Pgraph_io.encode_binary graphs;
     (tag_add_graphs, S.contents e)
+  | Subscribe { from_seq } ->
+    let e = S.encoder () in
+    S.put_i64 e from_seq;
+    (tag_subscribe, S.contents e)
+  | Replica_ack { seq } ->
+    let e = S.encoder () in
+    S.put_i64 e seq;
+    (tag_replica_ack, S.contents e)
 
 let encode_reply_payload ~version = function
   | Pong -> (tag_pong, "")
@@ -253,7 +289,14 @@ let encode_reply_payload ~version = function
           S.put_bool e w.reachable;
           S.put_f64 e w.worker_uptime_s;
           S.put_i64 e w.worker_queue_depth;
-          S.put_i64 e w.worker_degraded_answers)
+          S.put_i64 e w.worker_degraded_answers;
+          (* Version 4–5 predate replica groups; dropping the triple
+             loses only the replica view, never the worker counters. *)
+          if version >= 6 then begin
+            S.put_i64 e w.rid;
+            S.put_i64 e w.worker_epoch;
+            S.put_bool e w.primary
+          end)
         h.workers;
     (* Version 1–4 predate continuous ingest; dropping the epoch / lag
        fields loses only the ingest view, never the serving counters. *)
@@ -279,6 +322,11 @@ let encode_reply_payload ~version = function
     S.put_i64 e base;
     S.put_i64 e count;
     (tag_ingest_ack, S.contents e)
+  | Delta_frame { seq; bytes } ->
+    let e = S.encoder () in
+    S.put_i64 e seq;
+    S.put_string e bytes;
+    (tag_delta_frame, S.contents e)
 
 (* Payload decoders run under [decoding]: a Psst_store decode failure (or a
    validating constructor rejecting the data) surfaces as Proto_error. *)
@@ -319,8 +367,23 @@ let decode_request ~version tag payload =
         end
         else if version >= 5 && tag = tag_add_graphs then begin
           let id = S.get_i64 d in
+          let token = if version >= 6 then S.get_string d else "" in
+          if String.length token > 128 then
+            S.error "ingest token of %d bytes exceeds the 128-byte cap"
+              (String.length token);
           let graphs = S.get_array d Pgraph_io.decode_binary in
-          Add_graphs { id; graphs }
+          Add_graphs { id; token; graphs }
+        end
+        else if version >= 6 && tag = tag_subscribe then begin
+          let from_seq = S.get_i64 d in
+          if from_seq < 1 then
+            S.error "subscription start seq %d must be >= 1" from_seq;
+          Subscribe { from_seq }
+        end
+        else if version >= 6 && tag = tag_replica_ack then begin
+          let seq = S.get_i64 d in
+          if seq < 1 then S.error "replica ack seq %d must be >= 1" seq;
+          Replica_ack { seq }
         end
         else S.error "unknown request tag %d" tag
       in
@@ -381,12 +444,18 @@ let decode_reply ~version tag payload =
                   let worker_uptime_s = S.get_f64 d in
                   let worker_queue_depth = S.get_nat d in
                   let worker_degraded_answers = S.get_nat d in
+                  let rid = if version >= 6 then S.get_nat d else 0 in
+                  let worker_epoch = if version >= 6 then S.get_nat d else 0 in
+                  let primary = if version >= 6 then S.get_bool d else true in
                   {
                     wid;
                     reachable;
                     worker_uptime_s;
                     worker_queue_depth;
                     worker_degraded_answers;
+                    rid;
+                    worker_epoch;
+                    primary;
                   })
             else []
           in
@@ -410,6 +479,12 @@ let decode_reply ~version tag payload =
           let base = S.get_nat d in
           let count = S.get_nat d in
           Ingest_ack { id; epoch; base; count }
+        end
+        else if version >= 6 && tag = tag_delta_frame then begin
+          let seq = S.get_i64 d in
+          if seq < 1 then S.error "delta frame seq %d must be >= 1" seq;
+          let bytes = S.get_string d in
+          Delta_frame { seq; bytes }
         end
         else S.error "unknown reply tag %d" tag
       in

@@ -44,7 +44,20 @@
     The new tags are rejected as malformed when carried by a pre-v5
     frame, and the health fields are dropped for pre-v5 peers (decoding
     a pre-v5 frame defaults them to zero) — a pre-v5 peer never emits
-    them, so query traffic round-trips exactly as before. *)
+    them, so query traffic round-trips exactly as before.
+
+    Version 6 added replication and failover (DESIGN.md §17):
+    {!request.Subscribe} opens a standby's delta-stream subscription,
+    answered by a stream of {!reply.Delta_frame} messages carrying the
+    exact bytes of the primary's on-disk [BASE.delta.K] files and acked
+    with {!request.Replica_ack}; {!request.Add_graphs} gains a
+    client-chosen idempotency [token] the ingest writer dedups retries
+    on; and {!worker_health} gains the replica triple ([rid] /
+    [worker_epoch] / [primary]) a replica-aware router reports per
+    roster slot. Gating is symmetric: the new tags decode only from v6
+    frames, the token and the triple are dropped when encoding for
+    pre-v6 peers and default ([""], [0]/[0]/[true]) when decoding
+    pre-v6 frames — old peers keep their exact wire format. *)
 
 exception Proto_error of string
 
@@ -111,6 +124,15 @@ type worker_health = {
   worker_uptime_s : float;
   worker_queue_depth : int;
   worker_degraded_answers : int;
+  rid : int;
+      (** replica index within the shard's group (version >= 6; 0 when
+          decoding older frames — a pre-v6 shard has one sole replica) *)
+  worker_epoch : int;
+      (** the replica's applied ingest epoch (version >= 6); the
+          primary epoch minus this is the replica's lag *)
+  primary : bool;
+      (** true when this replica currently serves the shard's queries
+          (version >= 6; defaults to true on pre-v6 decode) *)
 }
 
 (** The [Get_health] snapshot a load balancer polls (DESIGN.md §12). *)
@@ -148,13 +170,30 @@ type request =
           under that identity. Answered inline with [Pong]. The name
           must be non-empty and at most 128 bytes; connections that
           never send it run as tenant ["default"]. *)
-  | Add_graphs of { id : int; graphs : Pgraph.t array }
+  | Add_graphs of { id : int; token : string; graphs : Pgraph.t array }
       (** append [graphs] to the served database (version >= 5).
           Answered with {!reply.Ingest_ack} once the batch is applied
           (and persisted, when the server serves from a store file), or
           with a retryable [Error_reply] when the ingest queue or the
           tenant's quota is full, ingest is disabled, or persistence
-          failed — the database is unchanged in every rejection case. *)
+          failed — the database is unchanged in every rejection case.
+          [token] (version >= 6, at most 128 bytes) is a client-chosen
+          idempotency key: a retry carrying the token of an
+          already-applied batch is answered with the original ack
+          instead of ingesting twice. [""] disables dedup for the
+          batch; pre-v6 frames decode with [token = ""]. *)
+  | Subscribe of { from_seq : int }
+      (** turn this connection into a replication stream (version >=
+          6): the server sends {!reply.Delta_frame} for every persisted
+          delta with seq >= [from_seq] ([>= 1]), historical first, then
+          live as batches apply. The subscriber answers each frame with
+          {!request.Replica_ack}; no other request may follow on the
+          connection. Rejected when the server has no persistent delta
+          chain. *)
+  | Replica_ack of { seq : int }
+      (** the subscriber has validated, persisted and applied delta
+          [seq] (version >= 6). Acks are cumulative: acking seq [k]
+          implies every seq [<= k]. *)
 
 type reply =
   | Pong
@@ -167,10 +206,16 @@ type reply =
       (** [Add_graphs] succeeded: the [count] new graphs hold global ids
           [base .. base + count - 1] and every query admitted after this
           reply observes database epoch [epoch] (version >= 5). *)
+  | Delta_frame of { seq : int; bytes : string }
+      (** one delta of a replication stream (version >= 6): [bytes] is
+          the exact content of the primary's on-disk [BASE.delta.seq]
+          store file — the subscriber validates it with the store
+          reader, persists it verbatim (hence byte-identical chains)
+          and applies it through its own ingest path. *)
 
 (** [request_id r] — the client-chosen correlation id ([0] for [Ping] /
-    [Get_stats] / [Get_health] / [Set_tenant], which are answered in
-    order on the connection). *)
+    [Get_stats] / [Get_health] / [Set_tenant] / [Subscribe] /
+    [Replica_ack], which are answered in order on the connection). *)
 val request_id : request -> int
 
 (** Full frame bytes (header + payload) for one message. [?version]

@@ -16,15 +16,29 @@
    request.
 
    Failure ladder per worker and request (DESIGN.md §12): transport
-   break or timeout -> reconnect and retry up to [retries] times ->
-   local bounds-only fallback on the shard's own file when the router
-   was given one (answer flagged degraded: a superset of the exact
-   per-shard answer) -> otherwise the whole request fails with one clean
-   retryable [Unavailable]. Top-k has no bounds fallback (a ranking with
-   a hole is wrong, not degraded), so a dead worker fails the request
-   cleanly. The ["router.scatter"] chaos site makes a worker appear
-   faulted (or slow, [Delay]) from the router's side without touching
-   the worker process. *)
+   break or timeout -> reconnect and retry up to [retries] times (each
+   retry against the shard's current best replica) -> local bounds-only
+   fallback on the shard's own file when the router was given one
+   (answer flagged degraded: a superset of the exact per-shard answer)
+   -> otherwise the whole request fails with one clean retryable
+   [Unavailable]. Top-k has no bounds fallback (a ranking with a hole
+   is wrong, not degraded), so a dead worker fails the request cleanly.
+   The ["router.scatter"] chaos site makes a worker appear faulted (or
+   slow, [Delay]) from the router's side without touching the worker
+   process.
+
+   Replica awareness (DESIGN.md §17): each shard's entry in [workers]
+   is a GROUP of endpoints — slot 0 the primary, the rest standbys. A
+   request goes to the shard's preferred replica: the primary while it
+   is believed alive, else the freshest live replica (highest observed
+   ingest epoch, ties to the lowest rid). Liveness comes from two
+   sources: any reader marking a replica dead on a transport failure
+   (so failover happens mid-request, on the first retry), and the
+   optional heartbeat poller ([heartbeat_ms] > 0) polling [Get_health]
+   per replica — which is also what revives a recovered primary and
+   triggers failback. Because a standby answers bit-identically at its
+   applied epoch, failover restores *exact* answers where a dead
+   single-replica shard could only degrade to bounds. *)
 
 module Proto = Psst_proto
 module Client = Psst_client
@@ -39,23 +53,29 @@ let m_unavailable = Psst_obs.counter "router.unavailable"
 let m_write_errors = Psst_obs.counter "router.write.errors"
 let m_proto_errors = Psst_obs.counter "router.proto.errors"
 let m_latency = Psst_obs.histogram "router.latency_s"
+let m_failover = Psst_obs.counter "router.failover"
+let m_failback = Psst_obs.counter "router.failback"
+let m_replica_lag = Psst_obs.histogram ~lo:1. ~hi:1e6 "router.replica_lag"
 
 let fault_scatter = Psst_fault.site "router.scatter"
 
 type config = {
   endpoint : Proto.endpoint;
-  workers : Proto.endpoint array;
+  workers : Proto.endpoint array array;
+      (* [workers.(sid).(rid)]: one replica group per shard *)
   shard_timeout_ms : float;
   retries : int;
+  heartbeat_ms : float;  (* 0. = no liveness poller *)
   local_fallback : (int -> Query.database option) option;
 }
 
 let default_config ~endpoint ~workers =
   {
     endpoint;
-    workers = Array.of_list workers;
+    workers = Array.of_list (List.map (fun e -> [| e |]) workers);
     shard_timeout_ms = 0.;
     retries = 1;
+    heartbeat_ms = 0.;
     local_fallback = None;
   }
 
@@ -65,8 +85,14 @@ type conn = {
   mutable open_ : bool;
 }
 
-(* One reader thread's lazily-connected link to one worker. *)
-type wstate = { mutable client : Client.t option }
+(* One reader thread's lazily-connected link to one shard (to whichever
+   replica of the group is currently preferred). *)
+type wstate = { mutable client : Client.t option; mutable rid : int }
+
+(* Shared per-replica liveness, guarded by [rmutex]. Replicas start
+   optimistically alive so the first request goes straight to the
+   primary without waiting for a poll. *)
+type replica_state = { mutable alive : bool; mutable repoch : int }
 
 type t = {
   cfg : config;
@@ -78,6 +104,10 @@ type t = {
   mutable conns : conn list;
   mutable readers : Thread.t list;
   mutable accept_thread : Thread.t option;
+  mutable hb_thread : Thread.t option;
+  rmutex : Mutex.t;
+  replicas : replica_state array array;  (* guarded by rmutex *)
+  preferred : int array;  (* rid serving each shard, guarded by rmutex *)
   served_count : int Atomic.t;
   degraded_count : int Atomic.t;
   retry_count : int Atomic.t;
@@ -87,6 +117,69 @@ type t = {
 let endpoint t = t.bound
 let stopped t = t.is_stopped
 let served t = Atomic.get t.served_count
+
+(* --- replica liveness and preference --- *)
+
+let preferred_rid t sid =
+  Mutex.lock t.rmutex;
+  let rid = t.preferred.(sid) in
+  Mutex.unlock t.rmutex;
+  rid
+
+(* Caller holds rmutex. Primary while alive, else the freshest live
+   replica (ties to the lowest rid); with the whole group down, stay on
+   the primary optimistically — the degradation ladder takes over. *)
+let recompute_preferred t sid =
+  let group = t.replicas.(sid) in
+  let next =
+    if group.(0).alive then 0
+    else begin
+      let best = ref (-1) in
+      Array.iteri
+        (fun rid st ->
+          if
+            st.alive
+            && (!best < 0 || st.repoch > group.(!best).repoch)
+          then best := rid)
+        group;
+      if !best < 0 then 0 else !best
+    end
+  in
+  let prev = t.preferred.(sid) in
+  if next <> prev then begin
+    t.preferred.(sid) <- next;
+    if next = 0 then begin
+      Psst_obs.incr m_failback;
+      Psst_obs.warn ~code:"router.failback"
+        (Printf.sprintf "shard %d: primary is back, failing back from replica %d"
+           sid prev)
+    end
+    else begin
+      Psst_obs.incr m_failover;
+      Psst_obs.warn ~code:"router.failover"
+        (Printf.sprintf
+           "shard %d: replica %d down, failing over to replica %d (epoch %d)"
+           sid prev next group.(next).repoch)
+    end
+  end
+
+let mark_dead t sid rid =
+  Mutex.lock t.rmutex;
+  if t.replicas.(sid).(rid).alive then begin
+    t.replicas.(sid).(rid).alive <- false;
+    recompute_preferred t sid
+  end;
+  Mutex.unlock t.rmutex
+
+let mark_alive t sid rid epoch =
+  Mutex.lock t.rmutex;
+  let st = t.replicas.(sid).(rid) in
+  st.repoch <- epoch;
+  if not st.alive then begin
+    st.alive <- true;
+    recompute_preferred t sid
+  end;
+  Mutex.unlock t.rmutex
 
 (* --- worker links --- *)
 
@@ -105,20 +198,31 @@ let drop_client ws =
     ws.client <- None
   | None -> ()
 
+(* Point [ws] at the shard's currently preferred replica, dropping a
+   connection to a replica that is no longer it. *)
+let sync_preferred t ws sid =
+  let rid = preferred_rid t sid in
+  if ws.rid <> rid then begin
+    drop_client ws;
+    ws.rid <- rid
+  end
+
 let ensure_client t ws sid =
   match ws.client with
   | Some c -> c
   | None ->
     let c =
       Client.connect ~connect_timeout_ms:t.cfg.shard_timeout_ms
-        ~call_timeout_ms:t.cfg.shard_timeout_ms t.cfg.workers.(sid)
+        ~call_timeout_ms:t.cfg.shard_timeout_ms t.cfg.workers.(sid).(ws.rid)
     in
     ws.client <- Some c;
     c
 
 (* Sequential rpc with reconnect, for workers that fell off the pipelined
    fast path. [attempts] are *re*tries: the caller already burned the
-   first try. *)
+   first try. Each retry re-reads the shard's preferred replica, so a
+   failure that just marked the primary dead sends the retry to a live
+   standby — mid-request failover. *)
 let retry_rpc t ws sid req =
   let rec go attempt =
     if attempt >= t.cfg.retries then begin
@@ -128,10 +232,12 @@ let retry_rpc t ws sid req =
     else begin
       Psst_obs.incr m_worker_retries;
       Psst_obs.incr m_worker_calls;
+      sync_preferred t ws sid;
       match Client.rpc (ensure_client t ws sid) req with
       | reply -> Some reply
       | exception e when transport_failure e ->
         drop_client ws;
+        mark_dead t sid ws.rid;
         go (attempt + 1)
     end
   in
@@ -163,10 +269,12 @@ let scatter t (wss : wstate array) req =
   for sid = 0 to n - 1 do
     if state.(sid) = `Send then begin
       Psst_obs.incr m_worker_calls;
+      sync_preferred t wss.(sid) sid;
       match Client.send (ensure_client t wss.(sid) sid) req with
       | () -> state.(sid) <- `Sent
       | exception e when transport_failure e ->
         drop_client wss.(sid);
+        mark_dead t sid wss.(sid).rid;
         state.(sid) <- `Retry
     end
   done;
@@ -179,6 +287,7 @@ let scatter t (wss : wstate array) req =
         | reply -> Some reply
         | exception e when transport_failure e ->
           drop_client wss.(sid);
+          mark_dead t sid wss.(sid).rid;
           retry_rpc t wss.(sid) sid req)
       | `Send | `Retry -> retry_rpc t wss.(sid) sid req)
     state
@@ -306,33 +415,73 @@ let handle_topk t wss ~id query k config =
     in
     Proto.Topk_answer { id; hits }
 
-(* --- health aggregation --- *)
+(* --- health aggregation and the heartbeat poller --- *)
 
-let roster t (wss : wstate array) =
-  Array.to_list
-    (Array.mapi
-       (fun sid ws ->
-         match Client.health (ensure_client t ws sid) with
-         | h ->
-           {
-             Proto.wid = sid;
-             reachable = true;
-             worker_uptime_s = h.Proto.uptime_s;
-             worker_queue_depth = h.Proto.queue_depth;
-             worker_degraded_answers = h.Proto.degraded_answers;
-           }
-         | exception e when transport_failure e ->
-           drop_client ws;
-           {
-             Proto.wid = sid;
-             reachable = false;
-             worker_uptime_s = 0.;
-             worker_queue_depth = 0;
-             worker_degraded_answers = 0;
-           })
-       wss)
+(* One short-lived Get_health probe. Shared by the roster and the
+   poller; updates the liveness table as a side effect, so a [client
+   --health] against the router is also a poll. *)
+let probe t sid rid =
+  let timeout =
+    if t.cfg.shard_timeout_ms > 0. then t.cfg.shard_timeout_ms else 1000.
+  in
+  match
+    let c =
+      Client.connect ~connect_timeout_ms:timeout ~call_timeout_ms:timeout
+        t.cfg.workers.(sid).(rid)
+    in
+    Fun.protect ~finally:(fun () -> Client.close c) (fun () -> Client.health c)
+  with
+  | h ->
+    mark_alive t sid rid h.Proto.epoch;
+    Some h
+  | exception e when transport_failure e ->
+    mark_dead t sid rid;
+    None
 
-let health_snapshot t wss =
+let roster t =
+  List.concat
+    (Array.to_list
+       (Array.mapi
+          (fun sid group ->
+            let slots =
+              Array.to_list
+                (Array.mapi
+                   (fun rid _ ->
+                     match probe t sid rid with
+                     | Some h ->
+                       {
+                         Proto.wid = sid;
+                         reachable = true;
+                         worker_uptime_s = h.Proto.uptime_s;
+                         worker_queue_depth = h.Proto.queue_depth;
+                         worker_degraded_answers = h.Proto.degraded_answers;
+                         rid;
+                         worker_epoch = h.Proto.epoch;
+                         primary = false;  (* stamped below *)
+                       }
+                     | None ->
+                       {
+                         Proto.wid = sid;
+                         reachable = false;
+                         worker_uptime_s = 0.;
+                         worker_queue_depth = 0;
+                         worker_degraded_answers = 0;
+                         rid;
+                         worker_epoch = 0;
+                         primary = false;
+                       })
+                   group)
+            in
+            (* Stamp the preferred replica after all probes, so a probe
+               that just triggered a failover is reflected. *)
+            let pref = preferred_rid t sid in
+            List.map
+              (fun (w : Proto.worker_health) ->
+                { w with Proto.primary = w.Proto.rid = pref })
+              slots)
+          t.cfg.workers))
+
+let health_snapshot t =
   {
     Proto.uptime_s = Unix.gettimeofday () -. t.start_time;
     (* The router executes requests inline on the reader threads — it has
@@ -342,7 +491,7 @@ let health_snapshot t wss =
     served = Atomic.get t.served_count;
     degraded_answers = Atomic.get t.degraded_count;
     retryable_rejections = Atomic.get t.retry_count;
-    workers = roster t wss;
+    workers = roster t;
     (* The router holds no database and never ingests; shards are
        rebuilt offline and redeployed (DESIGN.md §15, §16). *)
     epoch = 0;
@@ -350,13 +499,49 @@ let health_snapshot t wss =
     ingest_applied = 0;
   }
 
-let fresh_wss t = Array.map (fun _ -> { client = None }) t.cfg.workers
+let fresh_wss t =
+  Array.mapi
+    (fun sid _ -> { client = None; rid = preferred_rid t sid })
+    t.cfg.workers
 
-let health t =
-  let wss = fresh_wss t in
-  Fun.protect
-    ~finally:(fun () -> Array.iter drop_client wss)
-    (fun () -> health_snapshot t wss)
+let health t = health_snapshot t
+
+(* Liveness poller: one Get_health probe per replica per cycle, cadence
+   [heartbeat_ms] with a deterministic jitter (so a fleet of routers
+   does not poll in lockstep), sleeping in short slices to react to
+   stop. Also feeds router.replica_lag: the freshest observed epoch in
+   each group minus each live replica's epoch. *)
+let heartbeat_loop t =
+  let cycle = ref 0 in
+  while not t.stopping do
+    Array.iteri
+      (fun sid group -> Array.iteri (fun rid _ -> ignore (probe t sid rid)) group)
+      t.cfg.workers;
+    Mutex.lock t.rmutex;
+    Array.iteri
+      (fun _sid group ->
+        if Array.length group > 1 then begin
+          let freshest =
+            Array.fold_left
+              (fun acc st -> if st.alive then max acc st.repoch else acc)
+              0 group
+          in
+          Array.iter
+            (fun st ->
+              if st.alive then
+                Psst_obs.observe m_replica_lag
+                  (float_of_int (max 0 (freshest - st.repoch))))
+            group
+        end)
+      t.replicas;
+    Mutex.unlock t.rmutex;
+    incr cycle;
+    let jitter = 0.9 +. (0.2 *. float_of_int (!cycle * 7919 mod 997) /. 997.) in
+    let until = Unix.gettimeofday () +. (t.cfg.heartbeat_ms /. 1000. *. jitter) in
+    while (not t.stopping) && Unix.gettimeofday () < until do
+      Thread.delay 0.05
+    done
+  done
 
 (* --- connection plumbing (same discipline as Psst_server) --- *)
 
@@ -432,7 +617,7 @@ let reader_loop t c =
         send_counted t c ~version (Proto.Stats_json (Psst_obs.to_json_string ()))
       | Proto.Get_health ->
         Psst_obs.incr m_requests;
-        send_counted t c ~version (Proto.Health_reply (health_snapshot t wss))
+        send_counted t c ~version (Proto.Health_reply (health_snapshot t))
       | Proto.Set_tenant _ ->
         (* Accepted for forward compatibility: workers meter tenants;
            the router itself schedules nothing per-tenant. *)
@@ -452,6 +637,19 @@ let reader_loop t c =
                message =
                  "ingest is not supported through the router; send \
                   Add_graphs to a standalone worker";
+             })
+      | Proto.Subscribe _ | Proto.Replica_ack _ ->
+        (* Replication streams run worker-to-standby (DESIGN.md §17);
+           the router is stateless and has no delta chain to stream. *)
+        Psst_obs.incr m_requests;
+        send_counted t c ~version
+          (Proto.Error_reply
+             {
+               id = 0;
+               code = Proto.Unavailable;
+               message =
+                 "replication subscriptions are not supported through \
+                  the router; subscribe to the shard's primary worker";
              })
       | Proto.Run { id; query; config } ->
         answer_query ~version ~id (fun () -> handle_run t wss ~id query config)
@@ -525,7 +723,15 @@ let bind_endpoint = function
 let start cfg =
   if Array.length cfg.workers = 0 then
     invalid_arg "Psst_router: at least one worker endpoint required";
+  Array.iteri
+    (fun sid group ->
+      if Array.length group = 0 then
+        invalid_arg
+          (Printf.sprintf "Psst_router: shard %d has an empty replica group" sid))
+    cfg.workers;
   if cfg.retries < 0 then invalid_arg "Psst_router: retries must be >= 0";
+  if cfg.heartbeat_ms < 0. then
+    invalid_arg "Psst_router: heartbeat_ms must be >= 0";
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
@@ -541,6 +747,13 @@ let start cfg =
       conns = [];
       readers = [];
       accept_thread = None;
+      hb_thread = None;
+      rmutex = Mutex.create ();
+      replicas =
+        Array.map
+          (Array.map (fun _ -> { alive = true; repoch = 0 }))
+          cfg.workers;
+      preferred = Array.make (Array.length cfg.workers) 0;
       served_count = Atomic.make 0;
       degraded_count = Atomic.make 0;
       retry_count = Atomic.make 0;
@@ -548,6 +761,15 @@ let start cfg =
     }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  if cfg.heartbeat_ms > 0. then
+    t.hb_thread <-
+      Some
+        (Thread.create
+           (fun () ->
+             try heartbeat_loop t
+             with e ->
+               Psst_obs.warn ~code:"router.heartbeat" (Printexc.to_string e))
+           ());
   t
 
 let stop t =
@@ -575,6 +797,7 @@ let stop t =
        Unix.close wake
      with Unix.Unix_error (_, _, _) | Failure _ -> ());
     Option.iter Thread.join t.accept_thread;
+    Option.iter Thread.join t.hb_thread;
     (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
     (* A request already executing finishes its scatter (bounded by the
        per-shard timeouts); closing the connection under it only loses

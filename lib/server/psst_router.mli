@@ -30,19 +30,39 @@
     cleanly. A worker's non-retryable error ([Malformed], [Deadline],
     [Internal]) is propagated to the client as-is.
 
+    Replica awareness (DESIGN.md §17): each shard's entry in [workers]
+    is a replica group — slot 0 the primary, the rest standbys kept in
+    sync by delta-stream replication. Requests go to the shard's
+    preferred replica: the primary while it is believed alive, else the
+    freshest live replica (highest observed ingest epoch). A transport
+    failure marks the replica dead and the same request's retry already
+    goes to the next-best one — restoring {e exact} answers where a
+    dead single-replica shard could only degrade to bounds. The
+    heartbeat poller ([heartbeat_ms] > 0) probes [Get_health] per
+    replica on a jittered cadence; it revives recovered replicas,
+    triggers failback to the primary, and feeds the
+    [router.{failover,failback,replica_lag}] metrics.
+
     [Get_health] answers with the router's own counters plus one
-    {!Psst_proto.worker_health} slot per worker (protocol version >= 4);
-    [Ping] and [Get_stats] are answered locally. The ["router.scatter"]
-    chaos site lets tests make a worker appear faulted or slow from the
-    router's side without touching the worker process. *)
+    {!Psst_proto.worker_health} slot per replica (protocol version >= 4;
+    the [rid]/[worker_epoch]/[primary] triple is v6) — probing them is
+    itself a liveness poll; [Ping] and [Get_stats] are answered locally.
+    The ["router.scatter"] chaos site lets tests make a worker appear
+    faulted or slow from the router's side without touching the worker
+    process. *)
 
 type config = {
   endpoint : Psst_proto.endpoint;  (** where the router listens *)
-  workers : Psst_proto.endpoint array;
-      (** one worker per shard, indexed by shard id *)
+  workers : Psst_proto.endpoint array array;
+      (** one replica group per shard, indexed by shard id then replica
+          id; slot 0 is the shard's primary *)
   shard_timeout_ms : float;
       (** per-worker connect and call timeout; [0.] blocks indefinitely *)
   retries : int;  (** reconnect-and-resend attempts per worker per request *)
+  heartbeat_ms : float;
+      (** liveness-poll cadence; [0.] (default) disables the poller —
+          failover then relies on request-path failures alone and a dead
+          primary is only revived by a [Get_health] probe *)
   local_fallback : (int -> Query.database option) option;
       (** [lookup sid] returns the shard's database for the bounds-only
           fallback ([None] = shard not locally available). Typically
@@ -51,7 +71,8 @@ type config = {
           request. *)
 }
 
-(** [workers] endpoints, no timeouts, 1 retry, no local fallback. *)
+(** [workers] endpoints as single-replica groups, no timeouts, 1 retry,
+    no heartbeat poller, no local fallback. *)
 val default_config :
   endpoint:Psst_proto.endpoint -> workers:Psst_proto.endpoint list -> config
 
@@ -78,7 +99,8 @@ val stopped : t -> bool
 (** Replies sent since {!start} (error replies included). *)
 val served : t -> int
 
-(** In-process health snapshot: dials every worker once (bounded by
-    [shard_timeout_ms]) and aggregates the roster, exactly as the
-    [Get_health] RPC does. *)
+(** In-process health snapshot: probes every replica of every shard once
+    (bounded by [shard_timeout_ms]) and aggregates the roster, exactly as
+    the [Get_health] RPC does. Probes double as liveness polls — they
+    update the failover tables as a heartbeat cycle would. *)
 val health : t -> Psst_proto.health

@@ -66,6 +66,10 @@ type config = {
   cache_cap : int;
   ingest_queue_cap : int;
   tenant_quota : int;
+  writable : bool;
+      (* false = standby: Add_graphs is rejected with a retryable error
+         (the replication stream is the only mutator) until promotion
+         flips it with [set_writable]. *)
 }
 
 let default_config endpoint =
@@ -80,7 +84,20 @@ let default_config endpoint =
     cache_cap = 16384;
     ingest_queue_cap = 1024;
     tenant_quota = 0;
+    writable = true;
   }
+
+(* The replication seam (DESIGN.md §17), implemented by Psst_replica and
+   injected here so the server stays below it in the library graph. *)
+type subscription = { sub_ack : seq:int -> unit; sub_close : unit -> unit }
+
+type publisher = {
+  pub_publish : Psst_ingest.publish;
+  pub_subscribe :
+    from_seq:int ->
+    send:(Psst_proto.reply -> bool) ->
+    (subscription, string) Result.t;
+}
 
 let default_tenant = "default"
 
@@ -111,6 +128,8 @@ type t = {
   cfg : config;
   db_ref : Psst_ingest.snapshot Atomic.t;
   ingest : Psst_ingest.t option;  (* None when ingest_queue_cap = 0 *)
+  publisher : publisher option;
+  mutable writable : bool;  (* flipped (once) by promotion *)
   pool : Pool.t;
   cache : Qcache.t option;
       (* cross-query verification cache, shared by every batch on the
@@ -146,6 +165,9 @@ let stopped t = t.is_stopped
 let served t = Atomic.get t.served_count
 let database t = (Atomic.get t.db_ref).Psst_ingest.db
 let epoch t = (Atomic.get t.db_ref).Psst_ingest.epoch
+let snapshot_ref t = t.db_ref
+let writable t = t.writable
+let set_writable t w = t.writable <- w
 
 let traces t =
   Mutex.lock t.mutex;
@@ -181,19 +203,31 @@ let close_conn t c =
     Mutex.unlock t.mutex
   end
 
-let send_reply c ~version reply =
+(* [true] iff the frame left the socket — the replication hub needs the
+   verdict to drop a dead subscriber; everyone else ignores it. *)
+let send_reply_checked c ~version reply =
   Mutex.lock c.wmutex;
-  (if c.open_ then
-     match Proto.write_frame_fd c.fd (Proto.encode_reply ~version reply) with
-     | () -> Psst_obs.incr m_served
-     | exception (Sys_error _ | Unix.Unix_error (_, _, _)) ->
-       (* The client hung up mid-reply: normal under load, not a warning. *)
-       Psst_obs.incr m_write_errors
-     | exception Psst_fault.Injected _ ->
-       (* Injected dead link on proto.write: same accounting as a hang-up;
-          the reader side of this connection fails next and closes it. *)
-       Psst_obs.incr m_write_errors);
-  Mutex.unlock c.wmutex
+  let ok =
+    if not c.open_ then false
+    else
+      match Proto.write_frame_fd c.fd (Proto.encode_reply ~version reply) with
+      | () ->
+        Psst_obs.incr m_served;
+        true
+      | exception (Sys_error _ | Unix.Unix_error (_, _, _)) ->
+        (* The client hung up mid-reply: normal under load, not a warning. *)
+        Psst_obs.incr m_write_errors;
+        false
+      | exception Psst_fault.Injected _ ->
+        (* Injected dead link on proto.write: same accounting as a hang-up;
+           the reader side of this connection fails next and closes it. *)
+        Psst_obs.incr m_write_errors;
+        false
+  in
+  Mutex.unlock c.wmutex;
+  ok
+
+let send_reply c ~version reply = ignore (send_reply_checked c ~version reply)
 
 let send_counted t c ~version reply =
   Atomic.incr t.served_count;
@@ -304,7 +338,7 @@ let health = health_snapshot
    writer thread after the epoch swap (or the failed persist), so an
    Ingest_ack in hand means every later query on any connection sees the
    new graphs. *)
-let handle_add_graphs t c ~version ~id graphs =
+let handle_add_graphs t c ~version ~id ~token graphs =
   let tenant = c.tenant in
   let reject code message =
     Psst_obs.incr (tenant_counter tenant "rejected");
@@ -314,6 +348,10 @@ let handle_add_graphs t c ~version ~id graphs =
     | _ -> ());
     send_counted t c ~version (Proto.Error_reply { id; code; message })
   in
+  if not t.writable then
+    reject Proto.Unavailable
+      "this server is a read-only standby; send writes to the primary"
+  else
   match t.ingest with
   | None ->
     reject Proto.Unavailable
@@ -330,7 +368,7 @@ let handle_add_graphs t c ~version ~id graphs =
            is safely retryable. *)
         reject Proto.Unavailable msg
     in
-    match Psst_ingest.submit ing ~tenant graphs ~ack with
+    match Psst_ingest.submit ~token ing ~tenant graphs ~ack with
     | `Queued -> ()
     | `Full ->
       reject Proto.Queue_full
@@ -345,6 +383,10 @@ let handle_add_graphs t c ~version ~id graphs =
       reject Proto.Shutdown "server is shutting down; retry elsewhere")
 
 let reader_loop t c =
+  (* This connection's replication subscription, if Subscribe turned it
+     into a stream: acks from the peer land here, and the subscription
+     is torn down with the connection however the reader exits. *)
+  let sub : subscription option ref = ref None in
   let rec loop () =
     match Proto.read_request_fd c.fd with
     | exception End_of_file -> close_conn t c
@@ -383,9 +425,48 @@ let reader_loop t c =
         c.tenant <- name;
         send_counted t c ~version Proto.Pong;
         loop ()
-      | Proto.Add_graphs { id; graphs } ->
+      | Proto.Add_graphs { id; token; graphs } ->
         Psst_obs.incr m_requests;
-        handle_add_graphs t c ~version ~id graphs;
+        handle_add_graphs t c ~version ~id ~token graphs;
+        loop ()
+      | Proto.Subscribe { from_seq } ->
+        Psst_obs.incr m_requests;
+        (match t.publisher with
+        | None ->
+          send_counted t c ~version
+            (Proto.Error_reply
+               {
+                 id = 0;
+                 code = Proto.Unavailable;
+                 message =
+                   "this server does not accept replication subscriptions \
+                    (no persistent delta chain)";
+               })
+        | Some _ when !sub <> None ->
+          send_counted t c ~version
+            (Proto.Error_reply
+               {
+                 id = 0;
+                 code = Proto.Malformed;
+                 message = "connection is already subscribed";
+               })
+        | Some p -> (
+          match
+            p.pub_subscribe ~from_seq
+              ~send:(fun reply -> send_reply_checked c ~version reply)
+          with
+          | Ok s -> sub := Some s
+          | Error msg ->
+            send_counted t c ~version
+              (Proto.Error_reply
+                 { id = 0; code = Proto.Unavailable; message = msg })));
+        loop ()
+      | Proto.Replica_ack { seq } ->
+        (* One-way: the stream carries Delta_frames the other direction,
+           so acks are never answered. An ack outside a subscription is
+           simply ignored. *)
+        Psst_obs.incr m_requests;
+        Option.iter (fun s -> s.sub_ack ~seq) !sub;
         loop ()
       | Proto.Run { id; query; config } ->
         Psst_obs.incr m_requests;
@@ -414,7 +495,9 @@ let reader_loop t c =
           };
         loop ())
   in
-  loop ()
+  Fun.protect
+    ~finally:(fun () -> Option.iter (fun s -> s.sub_close ()) !sub)
+    loop
 
 let accept_loop t =
   let rec loop () =
@@ -656,7 +739,7 @@ let bind_endpoint = function
     in
     (fd, Proto.Tcp (host, actual))
 
-let start ?chain cfg db =
+let start ?chain ?publisher cfg db =
   if cfg.queue_cap < 1 then invalid_arg "Psst_server: queue_cap must be >= 1";
   if cfg.batch_max < 1 then invalid_arg "Psst_server: batch_max must be >= 1";
   if cfg.cache_cap < 0 then invalid_arg "Psst_server: cache_cap must be >= 0";
@@ -679,9 +762,13 @@ let start ?chain cfg db =
       ingest =
         (if cfg.ingest_queue_cap > 0 then
            Some
-             (Psst_ingest.create ?chain ~tenant_quota:cfg.tenant_quota
+             (Psst_ingest.create ?chain
+                ?publish:(Option.map (fun p -> p.pub_publish) publisher)
+                ~tenant_quota:cfg.tenant_quota
                 ~queue_cap:cfg.ingest_queue_cap db_ref)
          else None);
+      publisher;
+      writable = cfg.writable;
       pool = Pool.create ~domains:cfg.domains ();
       cache =
         (if cfg.cache_cap > 0 then Some (Qcache.create ~value_cap:cfg.cache_cap ())

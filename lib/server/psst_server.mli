@@ -75,23 +75,59 @@ type config = {
           [0] disables quotas. Exceeding it yields a retryable
           [`Queue_full`] reply metered on the tenant's [rejected]
           counter. *)
+  writable : bool;
+      (** [false] starts the server as a read-only standby: [Add_graphs]
+          is rejected with a retryable [Unavailable] (the replication
+          stream is the process's only mutator) until promotion flips it
+          with {!set_writable}. Queries are served normally at the
+          applied epoch. *)
 }
 
 (** Unix socket, 1 domain, queue of 128, no deadline, no verification
     budget, batches of 32, 256 traces, cache of 16384 entries, ingest
-    queue of 1024 graphs, no tenant quota. *)
+    queue of 1024 graphs, no tenant quota, writable. *)
 val default_config : Psst_proto.endpoint -> config
+
+(** {1 The replication seam (DESIGN.md §17)}
+
+    Implemented by [Psst_replica] and injected into {!start}, so the
+    server stays below the replica layer in the library graph. *)
+
+(** One connection's live subscription: the reader thread forwards the
+    peer's [Replica_ack]s to [sub_ack] and calls [sub_close] (idempotent)
+    when the connection dies, however it dies. *)
+type subscription = { sub_ack : seq:int -> unit; sub_close : unit -> unit }
+
+type publisher = {
+  pub_publish : Psst_ingest.publish;
+      (** handed to the ingest writer: blocks each batch's ack until the
+          live subscribers acked its seq (semi-synchronous replication) *)
+  pub_subscribe :
+    from_seq:int ->
+    send:(Psst_proto.reply -> bool) ->
+    (subscription, string) Result.t;
+      (** called by the reader on [Subscribe]: [send] writes one frame on
+          the subscriber's connection and reports whether it left the
+          socket. [Error msg] is answered as a retryable [Unavailable]. *)
+}
 
 type t
 
-(** [start ?chain config db] binds the endpoint and spawns the serving
-    threads. [db] becomes epoch 0; [chain] (from {!Psst_ingest.load})
-    arms incremental delta persistence for ingested batches — omit it to
-    serve a memory-only database (ingest still works, but does not
-    survive the process). Raises [Unix.Unix_error] when the endpoint
-    cannot be bound. SIGPIPE is set to ignore (a client hanging up
-    mid-reply must not kill the process). *)
-val start : ?chain:Psst_ingest.chain -> config -> Query.database -> t
+(** [start ?chain ?publisher config db] binds the endpoint and spawns the
+    serving threads. [db] becomes epoch 0; [chain] (from
+    {!Psst_ingest.load}) arms incremental delta persistence for ingested
+    batches — omit it to serve a memory-only database (ingest still
+    works, but does not survive the process). [publisher] arms
+    replication: [Subscribe] connections stream delta frames and the
+    ingest ack gate waits for standby acks. Raises [Unix.Unix_error]
+    when the endpoint cannot be bound. SIGPIPE is set to ignore (a
+    client hanging up mid-reply must not kill the process). *)
+val start :
+  ?chain:Psst_ingest.chain ->
+  ?publisher:publisher ->
+  config ->
+  Query.database ->
+  t
 
 (** The bound endpoint — for [Tcp (host, 0)] this carries the actual
     kernel-assigned port. *)
@@ -116,6 +152,20 @@ val served : t -> int
 val database : t -> Query.database
 
 val epoch : t -> int
+
+(** The atomic snapshot reference the server reads from. A standby's
+    replication loop swaps new epochs in through it (via
+    {!Psst_ingest.apply_replicated}); nothing else may mutate it. *)
+val snapshot_ref : t -> Psst_ingest.snapshot Atomic.t
+
+(** Whether [Add_graphs] is currently accepted (see [config.writable]). *)
+val writable : t -> bool
+
+(** Promotion switch: [set_writable t true] turns a standby into a
+    writable primary. The caller must stop the replication loop first —
+    the ingest writer and the replication stream must never mutate
+    concurrently. *)
+val set_writable : t -> bool -> unit
 
 (** The snapshot the [Get_health] RPC answers from (also available
     in-process, e.g. for tests and supervisors). *)

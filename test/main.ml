@@ -27,4 +27,5 @@ let () =
       ("shard", Test_shard.suite);
       ("chaos", Test_chaos.suite);
       ("ingest", Test_ingest.suite);
+      ("replica", Test_replica.suite);
     ]

@@ -1101,6 +1101,192 @@ let test_ingest_batch_faults_degrade () =
               | _ -> Alcotest.failf "query %d: expected Answer" i)
             offline1))
 
+(* --- replication under chaos (DESIGN.md §17) ---
+
+   The headline failover invariant: with the standby's stream and
+   persist faulted (bitflipped frames, partial writes) and the primary
+   SIGKILLed, every batch the primary ever acknowledged is on the
+   promoted survivor, which then serves writable — bit-identical to an
+   offline replay of its chain. During the armed window every ingest
+   ack is either a success or a clean retryable error, and a retry with
+   the same idempotency token converges without double-ingesting. *)
+
+let await_connectable path ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match Client.connect ~connect_timeout_ms:200. (P.Unix_socket path) with
+    | c ->
+      Client.close c;
+      true
+    | exception _ ->
+      if Unix.gettimeofday () > deadline then false
+      else begin
+        Thread.delay 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let wait_for ?(timeout = 30.) what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let test_replication_chaos_failover () =
+  let dir = Filename.temp_file "psst_chaos_rep" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let ppath = Filename.concat dir "primary.psst" in
+  let spath = Filename.concat dir "standby.psst" in
+  let psock = Filename.concat dir "primary.sock" in
+  let ssock = Filename.concat dir "standby.sock" in
+  let child = ref None in
+  let cleanup () =
+    (match !child with
+    | Some pid ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    | None -> ());
+    F.disarm ();
+    Array.iter
+      (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  (* The primary's index is built by the CLI itself (the serve child
+     validates the store against its own corpus — an index built with
+     test-local mining parameters would be rejected and rebuilt). *)
+  let pid = run_child [| "index"; "-n"; "12"; "--seed"; "541"; "-o"; ppath |] in
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "index build failed");
+  let ds =
+    Generator.generate
+      { Generator.default_params with num_graphs = 12; seed = 541 }
+  in
+  write_bytes spath (read_bytes ppath);
+  (* The primary is a real child process serving the base index; its
+     delta chain lives next to [ppath]. *)
+  child :=
+    Some
+      (run_child
+         [| "serve"; "--index"; ppath; "-n"; "12"; "--seed"; "541";
+            "--socket"; psock |]);
+  Alcotest.(check bool) "primary came up" true
+    (await_connectable psock ~timeout:60.);
+  let sdb, schain = Psst_ingest.load spath in
+  let ssrv =
+    Server.start ~chain:schain
+      {
+        (Server.default_config (P.Unix_socket ssock)) with
+        Server.writable = false;
+      }
+      sdb
+  in
+  Fun.protect ~finally:(fun () -> Server.stop ssrv) @@ fun () ->
+  (* Chaos on the standby's receive path and persist path: frames get
+     bitflipped on the wire (validation refuses them, the connection
+     drops and re-subscribes) and the verbatim persist suffers partial
+     writes (the store discipline refuses the torn temp file). *)
+  F.arm ~seed:97
+    [ ("replica.stream", F.Bitflip, 0.25); ("store.write", F.Partial_io, 0.2) ];
+  let st =
+    Psst_replica.start_standby ~backoff_ms:5. ~max_backoff_ms:100.
+      ~primary:(P.Unix_socket psock) ~chain:schain (Server.snapshot_ref ssrv)
+  in
+  let promoted = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !promoted then Psst_replica.stop_standby st)
+  @@ fun () ->
+  let batches = List.init 4 (fun i -> make_batch (1103 + i) 3) in
+  let c = Client.connect ~call_timeout_ms:30000. (P.Unix_socket psock) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+      List.iteri
+        (fun i batch ->
+          let token = Printf.sprintf "chaos-batch-%d" i in
+          let rec attempt n =
+            if n = 0 then
+              Alcotest.failf "batch %d never acknowledged under chaos" i
+            else
+              match Client.add_graphs ~token c batch with
+              | Ok r ->
+                (* Dedup across retries: the ack names one ingestion of
+                   this batch, whatever attempt it acknowledged. *)
+                Alcotest.(check int)
+                  (Printf.sprintf "batch %d acked exactly once" i)
+                  (i + 1) r.Psst_ingest.epoch
+              | Error (code, _) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "batch %d rejection is retryable" i)
+                  true
+                  (P.error_code_retryable code);
+                Thread.delay 0.05;
+                attempt (n - 1)
+          in
+          attempt 80)
+        batches);
+  (* Every acked batch reaches the survivor's disk (the ack gate held
+     whenever the subscriber was live; reconnects replay the rest). *)
+  wait_for "standby convergence" (fun () -> Psst_replica.applied_seq st = 4);
+  (* The primary dies without warning, mid-deployment. *)
+  (match !child with
+  | Some pid ->
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    child := None
+  | None -> assert false);
+  F.disarm ();
+  Psst_replica.promote st ssrv;
+  promoted := true;
+  Alcotest.(check bool) "survivor is writable" true (Server.writable ssrv);
+  (* The survivor accepts the write load where the primary left off. *)
+  let extra = make_batch 1201 3 in
+  (let c = Client.connect (P.Unix_socket ssock) in
+   Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+       match Client.add_graphs c extra with
+       | Ok r ->
+         Alcotest.(check int) "post-promotion epoch" 5 r.Psst_ingest.epoch
+       | Error (_, msg) -> Alcotest.failf "post-promotion ingest failed: %s" msg));
+  (* No acked batch lost: an offline replay of the survivor's chain
+     holds the base corpus, all four acked batches and the
+     post-promotion one, and the promoted server answers bit-identically
+     to it — the monolithic offline reference. *)
+  let offline_db, offline_chain = Psst_ingest.load spath in
+  Alcotest.(check int) "survivor chain replays every delta" 6
+    offline_chain.Psst_ingest.next_seq;
+  Alcotest.(check int) "no acked batch lost"
+    (12 + (4 * 3) + 3)
+    (Corpus.length offline_db.Query.graphs);
+  let rng = Prng.make 79 in
+  let queries =
+    List.init 3 (fun _ -> fst (Generator.extract_query rng ds ~edges:4))
+  in
+  let c = Client.connect (P.Unix_socket ssock) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+      List.iteri
+        (fun i q ->
+          let exact = Query.run offline_db q base_config in
+          match Client.rpc c (P.Run { id = i; query = q; config = base_config })
+          with
+          | P.Answer { answers; stats; _ } ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "promoted reply %d bit-identical to offline" i)
+              exact.Query.answers answers;
+            Alcotest.(check bool)
+              (Printf.sprintf "promoted reply %d not degraded" i)
+              false stats.P.degraded
+          | _ -> Alcotest.failf "promoted reply %d: expected Answer" i)
+        queries)
+
 let suite =
   [
     Alcotest.test_case "fault schedules are deterministic" `Quick
@@ -1148,4 +1334,6 @@ let suite =
       test_sigkill_mid_write;
     Alcotest.test_case "SIGKILL mid-split keeps the old deployment" `Slow
       test_sigkill_mid_split;
+    Alcotest.test_case "replication failover loses no acked batch" `Slow
+      test_replication_chaos_failover;
   ]

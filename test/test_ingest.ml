@@ -118,7 +118,7 @@ let check_ingest_differential ~domains () =
             (fun i q ->
               Client.send c (P.Run { id = i; query = q; config = base_config }))
             queries;
-          Client.send c (P.Add_graphs { id = 99; graphs = batch });
+          Client.send c (P.Add_graphs { id = 99; token = ""; graphs = batch });
           (* Drain until the ack; epoch-0 answers may land first. *)
           let acked = ref false in
           while not !acked do
@@ -357,14 +357,174 @@ let test_out_of_order_delta_refused () =
   Alcotest.(check int) "replay stops at the gap" 10
     (Corpus.length reloaded.Query.graphs)
 
+(* --- the idempotency token (v6) --- *)
+
+(* Resending a batch whose ack was lost, with the same token, must
+   return the original ack without ingesting twice — the writer-side
+   dedup that makes client retries safe. A different token (or the
+   empty token, which disables dedup) ingests normally. *)
+let test_token_dedup () =
+  let _, db = make_db 467 15 in
+  let batch = make_batch 977 3 in
+  with_server db (fun srv ->
+      with_client srv (fun c ->
+          let dedups () =
+            Psst_obs.counter_value (Psst_obs.counter "ingest.dedup")
+          in
+          let before = dedups () in
+          let send token =
+            match Client.add_graphs ~token c batch with
+            | Ok r -> r
+            | Error (_, msg) -> Alcotest.failf "batch rejected: %s" msg
+          in
+          let r1 = send "batch-A" in
+          let r2 = send "batch-A" in
+          Alcotest.(check bool) "retry returns the original ack" true
+            (r1 = r2);
+          Alcotest.(check int) "corpus grew once" (15 + 3)
+            (Corpus.length (Server.database srv).Query.graphs);
+          Alcotest.(check bool) "dedup was metered" true (dedups () > before);
+          (* A different token is a different batch. *)
+          let r3 = send "batch-B" in
+          Alcotest.(check int) "fresh token ingests" (15 + 3)
+            r3.Psst_ingest.base;
+          (* The empty token disables dedup entirely. *)
+          let r4 = send "" in
+          let r5 = send "" in
+          Alcotest.(check bool) "empty token never dedups" true
+            (r4.Psst_ingest.base <> r5.Psst_ingest.base);
+          Alcotest.(check int) "four ingests total" (15 + (4 * 3))
+            (Corpus.length (Server.database srv).Query.graphs)))
+
+(* --- delta-chain fuzzing --- *)
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc
+
+(* Tiny ingest batches keep the delta files small and their replay
+   cheap, so the corruption sweep can afford a full reload per case. *)
+let make_tiny_batch seed n =
+  (Generator.generate
+     {
+       Generator.default_params with
+       num_graphs = n;
+       seed;
+       min_vertices = 4;
+       max_vertices = 5;
+       motif_edges = 2;
+     })
+    .Generator.graphs
+
+(* Positions to flip inside [start, stop): the framing fields at the
+   front, plus a spread through the payload (same sampling the store
+   corruption suite uses). *)
+let flip_positions start stop =
+  let head = List.init (min 24 (stop - start)) (fun i -> start + i) in
+  let spread =
+    List.init 7 (fun i -> start + ((stop - start - 1) * (i + 1) / 8))
+  in
+  List.sort_uniq compare (head @ spread @ [ stop - 1 ])
+
+(* The same adversarial treatment Test_store gives the base format,
+   aimed at the chain: truncate the newest delta at every section
+   boundary (and inside every section), and flip bytes across the
+   header and every section. Whatever the damage, the load must stop
+   cleanly at the first damaged delta — keeping the intact prefix,
+   metering ingest.delta.stale, warning under ingest.delta — and never
+   apply damaged graphs or raise. *)
+let test_delta_chain_fuzzing () =
+  with_tmp_store @@ fun path ->
+  let _, db = make_db 479 10 in
+  Query.save_database path db;
+  let _, chain = Psst_ingest.load path in
+  Psst_ingest.save_delta chain ~prev_count:10 (make_tiny_batch 983 2);
+  Psst_ingest.save_delta chain ~prev_count:12 (make_tiny_batch 991 3);
+  let d2 = Psst_ingest.delta_path path 2 in
+  let original = read_file d2 in
+  let spans = Psst_store.section_spans original in
+  let stale () =
+    Psst_obs.counter_value (Psst_obs.counter "ingest.delta.stale")
+  in
+  let check_stops_at_prefix what =
+    let before = stale () in
+    let reloaded, chain' = Psst_ingest.load path in
+    Alcotest.(check int)
+      (what ^ ": intact prefix kept, damaged tail dropped")
+      12
+      (Corpus.length reloaded.Query.graphs);
+    Alcotest.(check int) (what ^ ": chain stops before the damage") 2
+      chain'.Psst_ingest.next_seq;
+    Alcotest.(check bool) (what ^ ": damage was metered") true
+      (stale () > before)
+  in
+  (* Sanity: the pristine chain replays in full. *)
+  let full, _ = Psst_ingest.load path in
+  Alcotest.(check int) "pristine chain replays" 15
+    (Corpus.length full.Query.graphs);
+  (* Truncation at every section boundary, inside every section, and at
+     the header edges — the empty file included. *)
+  let boundaries =
+    0 :: 1
+    :: (Psst_store.header_bytes - 1)
+    :: Psst_store.header_bytes
+    :: List.concat_map
+         (fun (_, start, stop) -> [ start; start + 3; stop - 1; stop ])
+         spans
+  in
+  List.iter
+    (fun cut ->
+      if cut < String.length original then begin
+        write_file d2 (String.sub original 0 cut);
+        check_stops_at_prefix (Printf.sprintf "truncated at %d" cut)
+      end)
+    boundaries;
+  (* Byte flips: the whole header, and a sample of every section. *)
+  let positions =
+    List.init Psst_store.header_bytes Fun.id
+    @ List.concat_map (fun (_, start, stop) -> flip_positions start stop) spans
+  in
+  List.iter
+    (fun pos ->
+      let corrupt = Bytes.of_string original in
+      Bytes.set corrupt pos
+        (Char.chr (Char.code (Bytes.get corrupt pos) lxor 0xFF));
+      write_file d2 (Bytes.to_string corrupt);
+      check_stops_at_prefix (Printf.sprintf "byte %d flipped" pos))
+    positions;
+  (* Restore: nothing was cached across the damaged loads. *)
+  write_file d2 original;
+  let restored, chain' = Psst_ingest.load path in
+  Alcotest.(check int) "restored chain replays in full" 15
+    (Corpus.length restored.Query.graphs);
+  Alcotest.(check int) "chain resumes after the last delta" 3
+    chain'.Psst_ingest.next_seq;
+  (* Damage in the middle of the chain drops everything after it: a
+     replayed suffix that skipped a damaged link would renumber global
+     ids and change answers. *)
+  let d1 = Psst_ingest.delta_path path 1 in
+  let original1 = read_file d1 in
+  write_file d1 (String.sub original1 0 (String.length original1 / 2));
+  let reloaded, chain' = Psst_ingest.load path in
+  Alcotest.(check int) "mid-chain damage drops the tail too" 10
+    (Corpus.length reloaded.Query.graphs);
+  Alcotest.(check int) "chain restarts at the damaged link" 1
+    chain'.Psst_ingest.next_seq;
+  Alcotest.(check bool) "the stop was warned under ingest.delta" true
+    (List.exists
+       (fun (w : Psst_obs.warning) -> w.code = "ingest.delta")
+       (Psst_obs.warnings ()))
+
 (* --- the v5 wire codec --- *)
 
 let test_v5_codec_roundtrip () =
   let graphs = make_batch 947 3 in
   (match
-     P.request_of_string (P.encode_request (P.Add_graphs { id = 7; graphs }))
+     P.request_of_string (P.encode_request (P.Add_graphs { id = 7; token = "tok-7"; graphs }))
    with
-  | P.Add_graphs { id = 7; graphs = g' } ->
+  | P.Add_graphs { id = 7; token; graphs = g' } ->
+    Alcotest.(check string) "token survives" "tok-7" token;
     Alcotest.(check int) "graph count survives" 3 (Array.length g');
     Alcotest.(check bool) "graphs survive byte-exactly" true
       (Pgraph_io.db_fingerprint g' = Pgraph_io.db_fingerprint graphs)
@@ -389,7 +549,7 @@ let test_v5_tags_gated () =
       | exception P.Proto_error _ -> ()
       | _ -> Alcotest.failf "%s in a v4 frame must be Proto_error" what)
     [
-      ("Add_graphs", P.encode_request ~version:4 (P.Add_graphs { id = 1; graphs }));
+      ("Add_graphs", P.encode_request ~version:4 (P.Add_graphs { id = 1; token = ""; graphs }));
       ("Set_tenant", P.encode_request ~version:4 (P.Set_tenant "acme"));
     ];
   match
@@ -422,6 +582,10 @@ let suite =
       test_stale_delta_refused;
     Alcotest.test_case "chain gap stops replay" `Quick
       test_out_of_order_delta_refused;
+    Alcotest.test_case "idempotency token dedups retries" `Quick
+      test_token_dedup;
+    Alcotest.test_case "delta chain survives fuzzing" `Quick
+      test_delta_chain_fuzzing;
     Alcotest.test_case "v5 codec round-trips" `Quick test_v5_codec_roundtrip;
     Alcotest.test_case "v5 tags rejected in pre-v5 frames" `Quick
       test_v5_tags_gated;

@@ -35,6 +35,9 @@ let sample_requests =
     P.Run { id = 3; query = query_graph; config = smp_config };
     P.Run { id = 0; query = query_graph; config = exact_config };
     P.Run_topk { id = 12; query = query_graph; k = 5; config = smp_config };
+    P.Subscribe { from_seq = 42 };
+    P.Subscribe { from_seq = 1 };
+    P.Replica_ack { seq = 7 };
   ]
 
 let sample_replies =
@@ -97,6 +100,9 @@ let sample_replies =
               worker_uptime_s = 98.5;
               worker_queue_depth = 2;
               worker_degraded_answers = 1;
+              rid = 1;
+              worker_epoch = 12;
+              primary = false;
             };
             {
               P.wid = 1;
@@ -104,12 +110,17 @@ let sample_replies =
               worker_uptime_s = 0.;
               worker_queue_depth = 0;
               worker_degraded_answers = 0;
+              rid = 0;
+              worker_epoch = 0;
+              primary = true;
             };
           ];
         epoch = 0;
         ingest_queued = 0;
         ingest_applied = 0;
       };
+    P.Delta_frame { seq = 3; bytes = "raw delta-file bytes \x00\xff\x7f" };
+    P.Delta_frame { seq = 1; bytes = "" };
     P.Error_reply { id = 9; code = P.Queue_full; message = "queue full" };
     P.Error_reply { id = 0; code = P.Malformed; message = "bad magic" };
     P.Error_reply { id = 1; code = P.Deadline; message = "too late" };
@@ -405,9 +416,88 @@ let test_pre_v4_health_interop () =
       (List.length h.P.workers)
   | _ -> Alcotest.fail "expected Health_reply"
 
+(* Version 6 added replication (Subscribe / Replica_ack / Delta_frame),
+   the Add_graphs idempotency token and the roster's replica triple. A
+   pre-v6 peer must never see any of it: the replication tags are
+   rejected in pre-v6 frames like any unknown tag, the token is dropped
+   when encoding for an old peer (and defaults to "" when decoding an
+   old frame), and the roster triple defaults to "sole primary at epoch
+   0" so a v4/v5 load balancer keeps polling v6 routers unchanged. *)
+let test_pre_v6_interop () =
+  (* The v6-only tags, framed with a perfect CRC at v5, are malformed. *)
+  List.iter
+    (fun (what, tag, payload) ->
+      expect_proto_error
+        (Printf.sprintf "%s in a v5 frame" what)
+        (fun () -> P.request_of_string (mk_frame ~version:5 ~tag payload)))
+    [
+      ("Subscribe", 8, "\x00\x00\x00\x00\x00\x00\x00\x00");
+      ("Replica_ack", 9, "\x00\x00\x00\x00\x00\x00\x00\x00");
+    ];
+  expect_proto_error "Delta_frame in a v5 frame" (fun () ->
+      ignore (P.reply_of_string (mk_frame ~version:5 ~tag:72 "")));
+  (* The token is dropped for a v5 peer and defaults to "" on decode. *)
+  (match
+     P.request_of_string
+       (P.encode_request ~version:5
+          (P.Add_graphs { id = 4; token = "retry-1"; graphs = [||] }))
+   with
+  | P.Add_graphs { id = 4; token; _ } ->
+    Alcotest.(check string) "v5 frame drops the token" "" token
+  | _ -> Alcotest.fail "expected Add_graphs");
+  (match
+     P.request_of_string
+       (P.encode_request (P.Add_graphs { id = 4; token = "retry-1"; graphs = [||] }))
+   with
+  | P.Add_graphs { token; _ } ->
+    Alcotest.(check string) "current-version frame keeps the token" "retry-1"
+      token
+  | _ -> Alcotest.fail "expected Add_graphs");
+  (* An oversized token is rejected at the codec, not half-accepted. *)
+  expect_proto_error "oversized token" (fun () ->
+      P.request_of_string
+        (P.encode_request
+           (P.Add_graphs { id = 0; token = String.make 129 't'; graphs = [||] })));
+  (* The roster's replica triple is dropped for old peers and defaults
+     to a sole primary at epoch 0 on decode. *)
+  let with_roster =
+    List.find
+      (function P.Health_reply { workers = _ :: _; _ } -> true | _ -> false)
+      sample_replies
+  in
+  List.iter
+    (fun version ->
+      match P.reply_of_string (P.encode_reply ~version with_roster) with
+      | P.Health_reply { workers; _ } ->
+        List.iter
+          (fun (w : P.worker_health) ->
+            Alcotest.(check int)
+              (Printf.sprintf "v%d roster defaults rid to 0" version)
+              0 w.rid;
+            Alcotest.(check int)
+              (Printf.sprintf "v%d roster defaults worker_epoch to 0" version)
+              0 w.worker_epoch;
+            Alcotest.(check bool)
+              (Printf.sprintf "v%d roster defaults primary to true" version)
+              true w.primary)
+          workers
+      | _ -> Alcotest.fail "expected Health_reply")
+    [ 4; 5 ];
+  match P.reply_of_string (P.encode_reply with_roster) with
+  | P.Health_reply { workers; _ } ->
+    Alcotest.(check bool) "current-version frame keeps the replica triple"
+      true
+      (List.exists
+         (fun (w : P.worker_health) ->
+           w.rid = 1 && w.worker_epoch = 12 && not w.primary)
+         workers)
+  | _ -> Alcotest.fail "expected Health_reply"
+
 let suite =
   [
     Alcotest.test_case "requests round-trip" `Quick test_request_roundtrips;
+    Alcotest.test_case "pre-v6 replication interop pinned" `Quick
+      test_pre_v6_interop;
     Alcotest.test_case "v1 frames interoperate" `Quick test_v1_interop;
     Alcotest.test_case "pre-v3 configs interoperate" `Quick
       test_pre_v3_config_interop;

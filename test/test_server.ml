@@ -257,7 +257,8 @@ let expect_malformed_then_recover srv corrupt =
           | P.Stats_json _ -> "Stats_json"
           | P.Health_reply _ -> "Health_reply"
           | P.Error_reply _ -> "Error_reply"
-          | P.Ingest_ack _ -> "Ingest_ack")));
+          | P.Ingest_ack _ -> "Ingest_ack"
+          | P.Delta_frame _ -> "Delta_frame")));
   Alcotest.(check bool) "a proto warning was recorded" true
     (warn_proto_count () > before);
   (* The connection is gone but the server must keep serving. *)

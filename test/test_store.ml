@@ -610,6 +610,52 @@ let test_jpt_row_sum_rejected_binary () =
       expect_store_error "binary over-unity row" (fun () ->
           Pgraph_io.load_binary path))
 
+(* --- ingest delta files (DESIGN.md §16, §17) --- *)
+
+(* A delta side file is a regular sectioned store file, so it inherits
+   the whole corruption discipline above. Pin the section layout the
+   replication stream depends on, and that [Psst_ingest.delta_bytes]
+   checksum-verifies the bytes before they leave the process — a
+   primary's local disk rot is caught at the source, never streamed to
+   a standby. Truncate at every byte boundary and flip every byte: the
+   file is tiny, so the sweep is exhaustive. *)
+let test_delta_file_checksummed () =
+  let _, db = build_db 57 6 in
+  with_tmp (fun path ->
+      Query.save_database path db;
+      let _, chain = Psst_ingest.load path in
+      let extra = (small_dataset 59 2).Generator.graphs in
+      Psst_ingest.save_delta chain ~prev_count:6 extra;
+      let dpath = Psst_ingest.delta_path path 1 in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove dpath with Sys_error _ -> ())
+        (fun () ->
+          let original = read_bytes dpath in
+          Alcotest.(check (list string))
+            "delta section layout"
+            [ "delta.meta"; "delta.graphs" ]
+            (List.map (fun (n, _, _) -> n) (S.section_spans original));
+          Alcotest.(check string) "pristine bytes pass verification" original
+            (Psst_ingest.delta_bytes chain ~seq:1);
+          for cut = 0 to String.length original - 1 do
+            write_bytes dpath (String.sub original 0 cut);
+            expect_store_error
+              (Printf.sprintf "delta truncated at %d" cut)
+              (fun () -> Psst_ingest.delta_bytes chain ~seq:1)
+          done;
+          for pos = 0 to String.length original - 1 do
+            let corrupt = Bytes.of_string original in
+            Bytes.set corrupt pos
+              (Char.chr (Char.code (Bytes.get corrupt pos) lxor 0xFF));
+            write_bytes dpath (Bytes.to_string corrupt);
+            expect_store_error
+              (Printf.sprintf "delta byte %d flipped" pos)
+              (fun () -> Psst_ingest.delta_bytes chain ~seq:1)
+          done;
+          write_bytes dpath original;
+          Alcotest.(check string) "restored bytes pass again" original
+            (Psst_ingest.delta_bytes chain ~seq:1)))
+
 let suite =
   [
     Alcotest.test_case "primitive round trip" `Quick test_primitive_round_trip;
@@ -642,6 +688,8 @@ let suite =
       test_mmap_requires_flat;
     Alcotest.test_case "flat corruption detected or contained" `Slow
       test_flat_corruption_detected;
+    Alcotest.test_case "delta files checksummed end to end" `Quick
+      test_delta_file_checksummed;
     Alcotest.test_case "jpt row sums rejected (text)" `Quick
       test_jpt_row_sum_rejected;
     Alcotest.test_case "jpt row sums rejected (binary)" `Quick
